@@ -1,0 +1,52 @@
+//! Experiment C5 companion: the DDoS simulation itself.
+//!
+//! Benchmarks the simulator's run time (it must stay cheap enough for
+//! parameter sweeps) across defended/undefended and both attack
+//! strategies; the *results* of the scenarios are produced by
+//! `reproduce -- ddos`.
+
+use aipow_netsim::scenario::{self, AttackStrategy, DdosConfig};
+use aipow_policy::LinearPolicy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn ddos_throttle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ddos_sim_20s");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    let policy = LinearPolicy::policy2();
+    let base = DdosConfig {
+        duration_s: 20.0,
+        ..Default::default()
+    };
+
+    let variants = [
+        (
+            "undefended",
+            DdosConfig {
+                pow_enabled: false,
+                ..base
+            },
+        ),
+        ("defended_solve", base),
+        (
+            "defended_flood",
+            DdosConfig {
+                strategy: AttackStrategy::Flood,
+                ..base
+            },
+        ),
+    ];
+
+    for (name, config) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| scenario::run(&policy, config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ddos_throttle);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Substrate S1 microbenchmarks: the crypto under everything else.
+//!
+//! The solver's achievable hash rate bounds every latency number in the
+//! reproduction; this bench documents it (and `reproduce -- calibration`
+//! reports the derived H/s figure).
+
+use aipow_crypto::hmac::HmacSha256;
+use aipow_crypto::sha256::Sha256;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+fn hash_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+
+    for size in [64usize, 1024, 65_536] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("digest", size), &data, |b, data| {
+            b.iter(|| Sha256::digest(data))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("solver_inner_loop");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.throughput(Throughput::Elements(1));
+
+    // The exact per-nonce work: clone midstate, append nonce, finalize.
+    let mut midstate = Sha256::new();
+    midstate.update(b"challenge-bytes|tag|203.0.113.77");
+    group.bench_function("midstate_nonce_hash", |b| {
+        let mut nonce = 0u64;
+        b.iter(|| {
+            let mut h = midstate.clone();
+            h.update(&nonce.to_be_bytes());
+            nonce = nonce.wrapping_add(1);
+            h.finalize().leading_zero_bits()
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("hmac");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    let key = [7u8; 32];
+    let challenge_sized = vec![0u8; 74]; // authenticated challenge bytes
+    group.bench_function("mac_challenge", |b| {
+        b.iter(|| HmacSha256::mac(&key, &challenge_sized))
+    });
+    let tag = HmacSha256::mac(&key, &challenge_sized);
+    group.bench_function("verify_challenge", |b| {
+        b.iter(|| HmacSha256::verify(&key, &challenge_sized, tag.as_bytes()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, hash_primitives);
+criterion_main!(benches);

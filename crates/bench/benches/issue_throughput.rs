@@ -1,0 +1,54 @@
+//! Experiment A4: issuer and pipeline throughput.
+//!
+//! Under a flood, the server's cheap path is challenge issuance; it must
+//! sustain orders of magnitude more issues/sec than the service rate.
+
+use aipow_bench::{bench_client_ip, bench_issuer, BENCH_MASTER_KEY};
+use aipow_core::FrameworkBuilder;
+use aipow_policy::LinearPolicy;
+use aipow_pow::Difficulty;
+use aipow_reputation::model::FixedScoreModel;
+use aipow_reputation::{FeatureVector, ReputationScore};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+fn issue_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("issue");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.throughput(Throughput::Elements(1));
+
+    let issuer = bench_issuer();
+    let ip = bench_client_ip();
+    let d = Difficulty::new(10).unwrap();
+    group.bench_function("issuer_issue", |b| b.iter(|| issuer.issue(ip, d)));
+
+    let framework = FrameworkBuilder::new()
+        .master_key(BENCH_MASTER_KEY)
+        .model(FixedScoreModel::new(ReputationScore::new(6.0).unwrap()))
+        .policy(LinearPolicy::policy2())
+        .build()
+        .unwrap();
+    let features = FeatureVector::zeros();
+    group.bench_function("framework_handle_request", |b| {
+        b.iter(|| framework.handle_request(ip, &features))
+    });
+
+    // The full AI path: score a real feature vector through DAbR first.
+    let (_, test, model) = aipow_bench::fitted_dabr(3);
+    let sample = test.samples()[0].features;
+    let framework_ai = FrameworkBuilder::new()
+        .master_key(BENCH_MASTER_KEY)
+        .model(model)
+        .policy(LinearPolicy::policy2())
+        .build()
+        .unwrap();
+    group.bench_function("framework_handle_request_dabr", |b| {
+        b.iter(|| framework_ai.handle_request(ip, &sample))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, issue_throughput);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Policy-module cost: decisions are per-request, parsing is per-reload.
+
+use aipow_policy::{dsl, ErrorRangePolicy, LinearPolicy, Policy, PolicyContext, StepPolicy};
+use aipow_reputation::ReputationScore;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+const DSL_SOURCE: &str = r#"
+    policy "bench" {
+        when score < 2.0 => difficulty 1;
+        when score in [2.0, 7.0) => linear(base = 5);
+        otherwise => power(min = 12, max = 18, exponent = 2.0);
+    }
+"#;
+
+fn policy_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_decide");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.throughput(Throughput::Elements(1));
+
+    let ctx = PolicyContext::default();
+    let score = ReputationScore::new(6.5).unwrap();
+
+    let policy1 = LinearPolicy::policy1();
+    group.bench_function("policy1", |b| b.iter(|| policy1.difficulty_for(score, &ctx)));
+
+    let policy3 = ErrorRangePolicy::new(2.0, 1);
+    group.bench_function("policy3", |b| b.iter(|| policy3.difficulty_for(score, &ctx)));
+
+    let step = StepPolicy::builder("step")
+        .band_below(2.0, 1)
+        .band_below(7.0, 8)
+        .otherwise(16)
+        .build()
+        .unwrap();
+    group.bench_function("step", |b| b.iter(|| step.difficulty_for(score, &ctx)));
+
+    let compiled = dsl::parse(DSL_SOURCE).unwrap();
+    group.bench_function("dsl_compiled", |b| {
+        b.iter(|| compiled.difficulty_for(score, &ctx))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("policy_parse");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.bench_function("dsl_parse", |b| b.iter(|| dsl::parse(DSL_SOURCE).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, policy_eval);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Experiment C2 companions: AI-model cost.
+//!
+//! The paper's pipeline scores every incoming request, so model inference
+//! sits on the hot path; training happens out of band.
+
+use aipow_bench::fitted_dabr;
+use aipow_reputation::baseline::{BlocklistHeuristic, KnnScorer};
+use aipow_reputation::dabr::{DabrConfig, DabrModel};
+use aipow_reputation::{ReputationModel, synth::DatasetSpec};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+fn reputation(c: &mut Criterion) {
+    let (train, test, dabr) = fitted_dabr(42);
+    let sample = test.samples()[0].features;
+
+    let mut group = c.benchmark_group("reputation_score");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("dabr", |b| b.iter(|| dabr.score(&sample)));
+
+    let knn = KnnScorer::fit(&train, 5);
+    group.bench_function("knn_k5", |b| b.iter(|| knn.score(&sample)));
+
+    let heuristic = BlocklistHeuristic;
+    group.bench_function("heuristic", |b| b.iter(|| heuristic.score(&sample)));
+    group.finish();
+
+    let mut group = c.benchmark_group("reputation_fit");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("dabr_fit_4k", |b| {
+        b.iter(|| DabrModel::fit(&train, &DabrConfig::default()))
+    });
+    group.bench_function("dataset_generate_5k", |b| {
+        b.iter(|| DatasetSpec::default().with_seed(7).generate())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, reputation);
+criterion_main!(benches);

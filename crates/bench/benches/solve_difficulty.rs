@@ -1,0 +1,46 @@
+//! Experiment C1: solve time vs difficulty.
+//!
+//! “It takes 31 ms on average to solve a 1-difficult puzzle, and this time
+//! increases with difficulty.” Natively the absolute number is far smaller,
+//! but the doubling-per-bit shape is hardware-independent.
+
+use aipow_bench::{bench_client_ip, issued_challenge};
+use aipow_pow::solver::{self, SolverOptions};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn solve_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve_difficulty");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+
+    let ip = bench_client_ip();
+    for bits in [1u8, 4, 8, 12, 15, 16, 18] {
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            b.iter_batched(
+                || issued_challenge(bits),
+                |challenge| {
+                    solver::solve(&challenge, ip, &SolverOptions::default())
+                        .expect("solvable difficulty")
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // The paper's exact puzzle format: strict 32-bit nonce.
+    group.bench_function("strict_u32_d12", |b| {
+        b.iter_batched(
+            || issued_challenge(12),
+            |challenge| {
+                solver::solve(&challenge, ip, &SolverOptions::strict()).expect("solvable")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, solve_scaling);
+criterion_main!(benches);

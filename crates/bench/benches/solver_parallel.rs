@@ -1,0 +1,44 @@
+//! Ablation A1: parallel solver scaling.
+//!
+//! A client with `k` cores can cut its latency ~k-fold, which shifts where
+//! a policy's latency targets land for well-resourced (benign or hostile)
+//! clients.
+
+use aipow_bench::{bench_client_ip, issued_challenge};
+use aipow_pow::solver::{self, SolverOptions};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn solver_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_parallel_d16");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    let ip = bench_client_ip();
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter_batched(
+                    || issued_challenge(16),
+                    |challenge| {
+                        solver::solve_parallel(
+                            &challenge,
+                            ip,
+                            threads,
+                            &SolverOptions::default(),
+                        )
+                        .expect("solvable")
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, solver_parallel);
+criterion_main!(benches);

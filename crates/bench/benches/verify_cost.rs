@@ -1,0 +1,108 @@
+//! Experiments C6 and A3: verification is lightweight.
+//!
+//! §II.5 calls the verifier a “light weight block”. Cost must be flat in
+//! difficulty (one HMAC + one SHA-256 regardless of `d`), tampered input
+//! must be rejected even cheaper, and the replay guard must not dominate.
+
+use aipow_bench::{bench_client_ip, bench_verifier, issued_challenge};
+use aipow_pow::replay::ReplayGuard;
+use aipow_pow::solver::{self, SolverOptions};
+use aipow_pow::{Challenge, Solution};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn solved(bits: u8) -> Solution {
+    let challenge = issued_challenge(bits);
+    solver::solve(&challenge, bench_client_ip(), &SolverOptions::default())
+        .expect("solvable")
+        .solution
+}
+
+fn verify_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+
+    let ip = bench_client_ip();
+
+    // Flatness across difficulty: the verifier hashes once whatever `d` is.
+    for bits in [0u8, 8, 16] {
+        let solution = solved(bits);
+        let verifier = bench_verifier();
+        group.bench_with_input(
+            BenchmarkId::new("accept_d", bits),
+            &solution,
+            |b, solution| {
+                b.iter_batched(
+                    // Fresh verifier state per batch so the replay guard
+                    // accepts (the accept path is the expensive one).
+                    bench_verifier,
+                    |v| v.verify(solution, ip),
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+        // Replayed solutions: the common hot rejection under attack.
+        verifier.verify(&solution, ip).expect("first redemption");
+        group.bench_with_input(
+            BenchmarkId::new("reject_replay_d", bits),
+            &solution,
+            |b, solution| b.iter(|| verifier.verify(solution, ip).unwrap_err()),
+        );
+    }
+
+    // Tampered MAC: rejected before any puzzle hashing.
+    let solution = solved(8);
+    let mut tag = *solution.challenge.tag();
+    tag[0] ^= 1;
+    let c2 = solution.challenge.clone();
+    let forged = Solution {
+        challenge: Challenge::from_parts(
+            c2.version(),
+            *c2.seed(),
+            c2.issued_at_ms(),
+            c2.ttl_ms(),
+            c2.difficulty(),
+            c2.client_ip(),
+            tag,
+        ),
+        ..solution
+    };
+    let verifier = bench_verifier();
+    group.bench_function("reject_bad_mac", |b| {
+        b.iter(|| verifier.verify(&forged, ip).unwrap_err())
+    });
+
+    group.finish();
+
+    // Ablation A3: the replay guard alone, including eviction pressure.
+    let mut group = c.benchmark_group("replay_guard");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for capacity in [1usize << 10, 1 << 16, 1 << 20] {
+        group.bench_with_input(
+            BenchmarkId::new("insert_at_capacity", capacity),
+            &capacity,
+            |b, &capacity| {
+                let guard = ReplayGuard::new(capacity);
+                // Pre-fill to capacity so every insert evicts.
+                for i in 0..capacity as u64 {
+                    let mut seed = [0u8; 16];
+                    seed[..8].copy_from_slice(&i.to_be_bytes());
+                    guard.check_and_insert(&seed, u64::MAX, 0);
+                }
+                let mut next = capacity as u64;
+                b.iter(|| {
+                    let mut seed = [0u8; 16];
+                    seed[..8].copy_from_slice(&next.to_be_bytes());
+                    next += 1;
+                    guard.check_and_insert(&seed, u64::MAX, 0)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, verify_cost);
+criterion_main!(benches);

@@ -1,0 +1,319 @@
+//! The `serve`, `fetch`, `solve`, and `train` commands.
+
+use crate::args::Args;
+use crate::CliError;
+use aipow_core::{framework::random_master_key, FrameworkBuilder, StaticFeatureSource};
+use aipow_net::{PowClient, PowServer, ServerConfig};
+use aipow_policy::registry;
+use aipow_pow::solver::{self, SolverOptions};
+use aipow_pow::{Difficulty, Issuer};
+use aipow_reputation::dabr::DabrModel;
+use aipow_reputation::eval::evaluate;
+use aipow_reputation::model::FixedScoreModel;
+use aipow_reputation::synth::DatasetSpec;
+use aipow_reputation::{FeatureVector, ReputationScore};
+use std::collections::HashMap;
+use std::net::{IpAddr, Ipv4Addr};
+use std::sync::Arc;
+
+/// `aipow serve` — run the PoW-fronted resource server until interrupted.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad flags, an unresolvable policy spec, or bind
+/// failure.
+pub fn serve(raw: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(
+        raw.iter().cloned(),
+        &["addr", "policy", "resource", "key", "bypass", "workers", "score"],
+        &[],
+    )?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8471").to_string();
+    let policy_spec = args.get("policy").unwrap_or("policy2");
+    let policy = registry::from_spec(policy_spec, 0)
+        .map_err(|e| CliError::usage(format!("--policy: {e}")))?;
+
+    let key = match args.get("key") {
+        Some(hex) => parse_key(hex)?,
+        None => random_master_key(),
+    };
+
+    // Until a flow monitor is wired in, the demo server scores every
+    // client with a fixed value (configurable for experimentation).
+    let score = args.get_parsed::<f64>("score", 5.0, "a score in [0,10]")?;
+    let score = ReputationScore::new(score)
+        .map_err(|e| CliError::usage(format!("--score: {e}")))?;
+
+    let mut builder = FrameworkBuilder::new()
+        .master_key(key)
+        .model(FixedScoreModel::new(score))
+        .policy_boxed(policy);
+    if let Some(threshold) = args.get("bypass") {
+        let threshold: f64 = threshold
+            .parse()
+            .map_err(|_| CliError::usage("--bypass expects a number"))?;
+        builder = builder.bypass_threshold(threshold);
+    }
+    let framework = Arc::new(
+        builder
+            .build()
+            .map_err(|e| CliError::runtime(e.to_string()))?,
+    );
+
+    let mut resources = HashMap::new();
+    for spec in args.get_all("resource") {
+        let (path, body) = spec.split_once('=').ok_or_else(|| {
+            CliError::usage(format!("--resource expects path=body, got `{spec}`"))
+        })?;
+        resources.insert(path.to_string(), body.as_bytes().to_vec());
+    }
+    if resources.is_empty() {
+        resources.insert("/".to_string(), b"it works".to_vec());
+    }
+
+    let workers = args.get_parsed::<usize>("workers", 4, "an integer")?;
+    let server = PowServer::start(
+        &addr,
+        Arc::clone(&framework),
+        Arc::new(StaticFeatureSource::new(FeatureVector::zeros())),
+        resources,
+        ServerConfig {
+            workers,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| CliError::runtime(format!("bind {addr}: {e}")))?;
+
+    println!(
+        "serving on {} with policy `{}` (fixed client score {score}); Ctrl-C to stop",
+        server.local_addr(),
+        framework.policy_name(),
+    );
+    // Serve until the process is killed; print a metrics line every 10 s.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(10));
+        let snap = framework.metrics().snapshot();
+        println!(
+            "issued {} accepted {} rejected {} bypassed {}",
+            snap.challenges_issued,
+            snap.solutions_accepted,
+            snap.solutions_rejected,
+            snap.bypassed
+        );
+    }
+}
+
+/// `aipow fetch` — request a resource, solving the returned puzzle.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad flags, connection failure, or rejection.
+pub fn fetch(raw: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(
+        raw.iter().cloned(),
+        &["addr", "path", "threads", "count"],
+        &["strict"],
+    )?;
+    let addr = args.require("addr")?.to_string();
+    let path = args.get("path").unwrap_or("/").to_string();
+    let threads = args.get_parsed::<usize>("threads", 1, "an integer")?;
+    let count = args.get_parsed::<u32>("count", 1, "an integer")?;
+
+    let mut client = PowClient::connect(&addr)
+        .map_err(|e| CliError::runtime(format!("connect {addr}: {e}")))?;
+    if args.has("strict") {
+        client = client.with_solver_options(SolverOptions::strict());
+    }
+    if threads > 1 {
+        client = client.with_solver_threads(threads);
+    }
+
+    for i in 0..count {
+        let report = client
+            .fetch(&path)
+            .map_err(|e| CliError::runtime(e.to_string()))?;
+        println!(
+            "[{}] {} bytes  difficulty {}  {} hashes  solve {:.3} ms  total {:.3} ms",
+            i + 1,
+            report.body.len(),
+            report
+                .difficulty
+                .map(|d| d.bits().to_string())
+                .unwrap_or_else(|| "bypass".into()),
+            report.attempts,
+            report.solve_time.as_secs_f64() * 1e3,
+            report.total_time.as_secs_f64() * 1e3,
+        );
+    }
+    Ok(())
+}
+
+/// `aipow solve` — local puzzle microbenchmark.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad flags or an unsolvable configuration.
+pub fn solve(raw: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(raw.iter().cloned(), &["difficulty", "threads", "trials"], &[])?;
+    let bits = args.get_parsed::<u8>("difficulty", 16, "bits in [0,64]")?;
+    let difficulty = Difficulty::new(bits)
+        .map_err(|e| CliError::usage(format!("--difficulty: {e}")))?;
+    let threads = args.get_parsed::<usize>("threads", 1, "an integer")?;
+    let trials = args.get_parsed::<u32>("trials", 5, "an integer")?;
+
+    let issuer = Issuer::new(&[0xC1u8; 32]);
+    let ip = IpAddr::V4(Ipv4Addr::new(203, 0, 113, 1));
+    println!("solving {trials} × {difficulty} puzzles with {threads} thread(s)");
+    let mut total_attempts = 0u64;
+    let mut total_secs = 0f64;
+    for i in 0..trials {
+        let challenge = issuer.issue(ip, difficulty);
+        let report = if threads > 1 {
+            solver::solve_parallel(&challenge, ip, threads, &SolverOptions::default())
+        } else {
+            solver::solve(&challenge, ip, &SolverOptions::default())
+        }
+        .map_err(|e| CliError::runtime(e.to_string()))?;
+        println!(
+            "  [{}] nonce {:>12}  {:>9} hashes  {:>9.3} ms  {:>8.0} kH/s",
+            i + 1,
+            report.solution.nonce,
+            report.attempts,
+            report.elapsed.as_secs_f64() * 1e3,
+            report.hash_rate() / 1e3,
+        );
+        total_attempts += report.attempts;
+        total_secs += report.elapsed.as_secs_f64();
+    }
+    println!(
+        "mean: {:.0} hashes/puzzle (theory {:.0}), aggregate {:.0} kH/s",
+        total_attempts as f64 / trials as f64,
+        difficulty.expected_attempts(),
+        if total_secs > 0.0 {
+            total_attempts as f64 / total_secs / 1e3
+        } else {
+            0.0
+        },
+    );
+    Ok(())
+}
+
+/// `aipow train` — train DAbR on the synthetic dataset and report quality.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad flags.
+pub fn train(raw: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(raw.iter().cloned(), &["seed", "overlap"], &[])?;
+    let seed = args.get_parsed::<u64>("seed", 1, "an integer")?;
+    let overlap = args.get_parsed::<f64>("overlap", 0.38, "a number in [0,1]")?;
+    if !(0.0..=1.0).contains(&overlap) {
+        return Err(CliError::usage("--overlap must be within [0,1]"));
+    }
+
+    let dataset = DatasetSpec::default()
+        .with_seed(seed)
+        .with_overlap(overlap)
+        .generate();
+    let (train_set, test_set) = dataset.split(0.8, seed);
+    let model = DabrModel::fit(&train_set, &Default::default());
+    let report = evaluate(&model, &test_set);
+
+    println!(
+        "dataset: {} train / {} test (overlap {overlap}, seed {seed})",
+        train_set.len(),
+        test_set.len()
+    );
+    println!(
+        "dabr: accuracy {:.1}%  precision {:.3}  recall {:.3}  f1 {:.3}  ϵ {:.2}",
+        report.accuracy * 100.0,
+        report.precision,
+        report.recall,
+        report.f1,
+        report.score_mae
+    );
+    println!("paper reference: accuracy ≈ 80%");
+    Ok(())
+}
+
+fn parse_key(hex: &str) -> Result<[u8; 32], CliError> {
+    let bytes = aipow_crypto::hex::decode(hex)
+        .map_err(|e| CliError::usage(format!("--key: {e}")))?;
+    bytes
+        .try_into()
+        .map_err(|_| CliError::usage("--key must be exactly 64 hex characters"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(tokens: &[&str]) -> Vec<String> {
+        tokens.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn solve_command_runs() {
+        solve(&strings(&["--difficulty", "8", "--trials", "2"])).unwrap();
+    }
+
+    #[test]
+    fn solve_rejects_bad_difficulty() {
+        let err = solve(&strings(&["--difficulty", "90"])).unwrap_err();
+        assert_eq!(err.exit_code, 2);
+    }
+
+    #[test]
+    fn train_command_runs() {
+        train(&strings(&["--seed", "3"])).unwrap();
+    }
+
+    #[test]
+    fn train_rejects_bad_overlap() {
+        assert!(train(&strings(&["--overlap", "1.5"])).is_err());
+    }
+
+    #[test]
+    fn fetch_requires_addr() {
+        let err = fetch(&strings(&["--path", "/x"])).unwrap_err();
+        assert!(err.message.contains("--addr"));
+    }
+
+    #[test]
+    fn key_parsing() {
+        assert!(parse_key(&"ab".repeat(32)).is_ok());
+        assert!(parse_key("abcd").is_err());
+        assert!(parse_key(&"zz".repeat(32)).is_err());
+    }
+
+    /// serve+fetch end-to-end through the command layer, using a thread
+    /// for the serving loop (it never returns).
+    #[test]
+    fn serve_and_fetch_roundtrip() {
+        // Bind the server components directly (serve() loops forever), but
+        // exercise fetch() against it.
+        let framework = Arc::new(
+            FrameworkBuilder::new()
+                .master_key([1u8; 32])
+                .model(FixedScoreModel::new(ReputationScore::new(2.0).unwrap()))
+                .policy(aipow_policy::LinearPolicy::policy1())
+                .build()
+                .unwrap(),
+        );
+        let mut resources = HashMap::new();
+        resources.insert("/cli".to_string(), b"hello".to_vec());
+        let server = PowServer::start(
+            "127.0.0.1:0",
+            framework,
+            Arc::new(StaticFeatureSource::new(FeatureVector::zeros())),
+            resources,
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+
+        fetch(&strings(&["--addr", &addr, "--path", "/cli", "--count", "2"])).unwrap();
+        fetch(&strings(&["--addr", &addr, "--path", "/cli", "--strict"])).unwrap();
+        server.shutdown();
+    }
+}

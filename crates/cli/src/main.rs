@@ -1,0 +1,10 @@
+//! The `aipow` command-line binary; logic lives in the library so it stays
+//! unit-testable.
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = aipow_cli::dispatch(&raw) {
+        eprintln!("error: {e}");
+        std::process::exit(e.exit_code);
+    }
+}

@@ -1,0 +1,195 @@
+//! Bounded audit log of admission decisions.
+//!
+//! Operators tuning a policy need to see *why* clients were charged what
+//! they were. The log keeps the most recent `capacity` events in memory;
+//! persistence is the embedder's concern.
+
+use aipow_pow::Difficulty;
+use aipow_reputation::ReputationScore;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::net::IpAddr;
+
+/// What happened in one admission step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuditKind {
+    /// A challenge was issued (Figure 1, steps 2–4).
+    ChallengeIssued {
+        /// The model's score for the client.
+        score: ReputationScore,
+        /// The policy's difficulty decision.
+        difficulty: Difficulty,
+    },
+    /// A solution verified successfully (steps 6–7).
+    SolutionAccepted {
+        /// The difficulty that was paid.
+        difficulty: Difficulty,
+    },
+    /// A solution was rejected.
+    SolutionRejected {
+        /// The verifier's reason, as text.
+        reason: String,
+    },
+    /// The request was admitted without a puzzle (bypass threshold).
+    Bypassed {
+        /// The model's score for the client.
+        score: ReputationScore,
+    },
+}
+
+/// One audit event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditEvent {
+    /// When it happened, ms since the Unix epoch.
+    pub at_ms: u64,
+    /// The client concerned.
+    pub client_ip: IpAddr,
+    /// What happened.
+    pub kind: AuditKind,
+}
+
+/// A bounded, thread-safe, most-recent-first audit log.
+///
+/// ```
+/// use aipow_core::{AuditLog, AuditKind};
+/// # use std::net::{IpAddr, Ipv4Addr};
+/// let log = AuditLog::new(2);
+/// let ip = IpAddr::V4(Ipv4Addr::LOCALHOST);
+/// for i in 0..3 {
+///     log.record(i, ip, AuditKind::SolutionRejected { reason: format!("r{i}") });
+/// }
+/// let events = log.snapshot();
+/// assert_eq!(events.len(), 2); // oldest evicted
+/// assert_eq!(events[0].at_ms, 2); // most recent first
+/// ```
+#[derive(Debug)]
+pub struct AuditLog {
+    inner: Mutex<VecDeque<AuditEvent>>,
+    capacity: usize,
+}
+
+impl AuditLog {
+    /// Creates a log retaining at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "audit log capacity must be positive");
+        AuditLog {
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+        }
+    }
+
+    /// Appends an event, evicting the oldest if full.
+    pub fn record(&self, at_ms: u64, client_ip: IpAddr, kind: AuditKind) {
+        let mut log = self.inner.lock();
+        if log.len() == self.capacity {
+            log.pop_front();
+        }
+        log.push_back(AuditEvent {
+            at_ms,
+            client_ip,
+            kind,
+        });
+    }
+
+    /// The retained events, most recent first.
+    pub fn snapshot(&self) -> Vec<AuditEvent> {
+        self.inner.lock().iter().rev().cloned().collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn ip() -> IpAddr {
+        IpAddr::V4(Ipv4Addr::LOCALHOST)
+    }
+
+    #[test]
+    fn records_and_snapshots_most_recent_first() {
+        let log = AuditLog::new(10);
+        log.record(
+            1,
+            ip(),
+            AuditKind::Bypassed {
+                score: ReputationScore::MIN,
+            },
+        );
+        log.record(
+            2,
+            ip(),
+            AuditKind::SolutionAccepted {
+                difficulty: Difficulty::new(5).unwrap(),
+            },
+        );
+        let events = log.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].at_ms, 2);
+        assert_eq!(events[1].at_ms, 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let log = AuditLog::new(3);
+        for i in 0..5u64 {
+            log.record(
+                i,
+                ip(),
+                AuditKind::SolutionRejected {
+                    reason: "x".into(),
+                },
+            );
+        }
+        let events = log.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].at_ms, 4);
+        assert_eq!(events[2].at_ms, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        AuditLog::new(0);
+    }
+
+    #[test]
+    fn concurrent_records_are_all_kept_up_to_capacity() {
+        use std::sync::Arc;
+        let log = Arc::new(AuditLog::new(1_000));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let log = Arc::clone(&log);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        log.record(
+                            t * 1_000 + i,
+                            ip(),
+                            AuditKind::Bypassed {
+                                score: ReputationScore::MIN,
+                            },
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(log.len(), 400);
+    }
+}

@@ -1,0 +1,289 @@
+//! Declarative framework configuration.
+//!
+//! Everything an operator tunes — which policy, TTLs, caps, bypass — can be
+//! expressed as data and applied to a [`FrameworkBuilder`], so deployments
+//! can keep their admission posture in version-controlled config.
+
+use crate::framework::FrameworkBuilder;
+use aipow_policy::registry;
+use aipow_pow::Difficulty;
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Serializable framework settings.
+///
+/// ```
+/// use aipow_core::FrameworkConfig;
+/// let config = FrameworkConfig {
+///     policy_spec: "policy3:eps=1.5".into(),
+///     ..Default::default()
+/// };
+/// let builder = config.apply()?; // still needs .model(..) and .master_key(..)
+/// # let _ = builder;
+/// # Ok::<(), aipow_core::config::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct FrameworkConfig {
+    /// Policy spec: a registry shorthand (`policy1`, `policy3:eps=2.0`) or
+    /// DSL source (see [`aipow_policy::dsl`]).
+    pub policy_spec: String,
+    /// Seed for randomized policies.
+    pub policy_seed: u64,
+    /// Challenge TTL in milliseconds.
+    pub ttl_ms: u64,
+    /// Replay-guard capacity (entries).
+    pub replay_capacity: usize,
+    /// Maximum difficulty the verifier accepts (bits).
+    pub difficulty_cap_bits: u8,
+    /// Tolerated clock skew in milliseconds.
+    pub max_skew_ms: u64,
+    /// Admit scores strictly below this without a puzzle (None = paper
+    /// behaviour: everyone works).
+    pub bypass_threshold: Option<f64>,
+    /// Audit-log capacity (events).
+    pub audit_capacity: usize,
+    /// Cost-ledger capacity (clients).
+    pub ledger_capacity: usize,
+}
+
+impl Default for FrameworkConfig {
+    fn default() -> Self {
+        FrameworkConfig {
+            policy_spec: "policy2".into(),
+            policy_seed: 0,
+            ttl_ms: aipow_pow::issuer::DEFAULT_TTL_MS,
+            replay_capacity: aipow_pow::replay::DEFAULT_CAPACITY,
+            difficulty_cap_bits: 40,
+            max_skew_ms: aipow_pow::verifier::DEFAULT_MAX_SKEW_MS,
+            bypass_threshold: None,
+            audit_capacity: 1_024,
+            ledger_capacity: 4_096,
+        }
+    }
+}
+
+/// Error applying a [`FrameworkConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The policy spec did not resolve.
+    Policy(registry::SpecError),
+    /// The difficulty cap exceeds 64 bits.
+    BadDifficultyCap {
+        /// The rejected cap.
+        bits: u8,
+    },
+    /// A capacity field was zero.
+    ZeroCapacity {
+        /// Which field was zero.
+        field: &'static str,
+    },
+    /// The bypass threshold was not a finite number in `[0, 10]`.
+    BadBypassThreshold {
+        /// The rejected threshold.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Policy(e) => write!(f, "policy spec error: {e}"),
+            ConfigError::BadDifficultyCap { bits } => {
+                write!(f, "difficulty cap {bits} exceeds 64 bits")
+            }
+            ConfigError::ZeroCapacity { field } => {
+                write!(f, "{field} capacity must be positive")
+            }
+            ConfigError::BadBypassThreshold { value } => {
+                write!(f, "bypass threshold {value} outside [0, 10]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<registry::SpecError> for ConfigError {
+    fn from(e: registry::SpecError) -> Self {
+        ConfigError::Policy(e)
+    }
+}
+
+impl FrameworkConfig {
+    /// Validates the config and produces a pre-populated builder. The
+    /// caller still supplies the model and master key (neither is sensibly
+    /// expressible as plain data).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for invalid field values or an unresolvable
+    /// policy spec.
+    pub fn apply(&self) -> Result<FrameworkBuilder, ConfigError> {
+        let policy = registry::from_spec(&self.policy_spec, self.policy_seed)?;
+        let cap = Difficulty::new(self.difficulty_cap_bits)
+            .map_err(|_| ConfigError::BadDifficultyCap {
+                bits: self.difficulty_cap_bits,
+            })?;
+        if self.replay_capacity == 0 {
+            return Err(ConfigError::ZeroCapacity { field: "replay" });
+        }
+        if self.audit_capacity == 0 {
+            return Err(ConfigError::ZeroCapacity { field: "audit" });
+        }
+        if self.ledger_capacity == 0 {
+            return Err(ConfigError::ZeroCapacity { field: "ledger" });
+        }
+        if let Some(t) = self.bypass_threshold {
+            if !t.is_finite() || !(0.0..=10.0).contains(&t) {
+                return Err(ConfigError::BadBypassThreshold { value: t });
+            }
+        }
+
+        let mut builder = FrameworkBuilder::new()
+            .policy_boxed(policy)
+            .ttl_ms(self.ttl_ms)
+            .replay_capacity(self.replay_capacity)
+            .difficulty_cap(cap)
+            .max_skew_ms(self.max_skew_ms)
+            .audit_capacity(self.audit_capacity)
+            .ledger_capacity(self.ledger_capacity);
+        if let Some(t) = self.bypass_threshold {
+            builder = builder.bypass_threshold(t);
+        }
+        Ok(builder)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aipow_reputation::model::FixedScoreModel;
+    use aipow_reputation::{FeatureVector, ReputationScore};
+    use std::net::{IpAddr, Ipv4Addr};
+
+    #[test]
+    fn default_config_applies() {
+        let fw = FrameworkConfig::default()
+            .apply()
+            .unwrap()
+            .model(FixedScoreModel::new(ReputationScore::MIN))
+            .master_key([1u8; 32])
+            .build()
+            .unwrap();
+        assert_eq!(fw.policy_name(), "policy2");
+    }
+
+    #[test]
+    fn policy_spec_resolves_through_config() {
+        let config = FrameworkConfig {
+            policy_spec: "policy1".into(),
+            ..Default::default()
+        };
+        let fw = config
+            .apply()
+            .unwrap()
+            .model(FixedScoreModel::new(ReputationScore::MIN))
+            .master_key([1u8; 32])
+            .build()
+            .unwrap();
+        let issued = fw
+            .handle_request(
+                IpAddr::V4(Ipv4Addr::LOCALHOST),
+                &FeatureVector::zeros(),
+            )
+            .challenge()
+            .unwrap();
+        assert_eq!(issued.difficulty.bits(), 1);
+    }
+
+    #[test]
+    fn dsl_policy_through_config() {
+        let config = FrameworkConfig {
+            policy_spec: "policy \"cfg\" { otherwise => difficulty 3; }".into(),
+            ..Default::default()
+        };
+        let fw = config
+            .apply()
+            .unwrap()
+            .model(FixedScoreModel::new(ReputationScore::MAX))
+            .master_key([1u8; 32])
+            .build()
+            .unwrap();
+        assert_eq!(fw.policy_name(), "cfg");
+    }
+
+    #[test]
+    fn bad_policy_spec_rejected() {
+        let config = FrameworkConfig {
+            policy_spec: "not-a-policy".into(),
+            ..Default::default()
+        };
+        assert!(matches!(config.apply(), Err(ConfigError::Policy(_))));
+    }
+
+    #[test]
+    fn bad_cap_rejected() {
+        let config = FrameworkConfig {
+            difficulty_cap_bits: 65,
+            ..Default::default()
+        };
+        assert_eq!(
+            config.apply().unwrap_err(),
+            ConfigError::BadDifficultyCap { bits: 65 }
+        );
+    }
+
+    #[test]
+    fn zero_capacities_rejected() {
+        for (field, config) in [
+            (
+                "replay",
+                FrameworkConfig {
+                    replay_capacity: 0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "audit",
+                FrameworkConfig {
+                    audit_capacity: 0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "ledger",
+                FrameworkConfig {
+                    ledger_capacity: 0,
+                    ..Default::default()
+                },
+            ),
+        ] {
+            assert_eq!(
+                config.apply().unwrap_err(),
+                ConfigError::ZeroCapacity { field },
+            );
+        }
+    }
+
+    #[test]
+    fn bad_bypass_rejected() {
+        for value in [-1.0, 11.0, f64::NAN] {
+            let config = FrameworkConfig {
+                bypass_threshold: Some(value),
+                ..Default::default()
+            };
+            assert!(matches!(
+                config.apply(),
+                Err(ConfigError::BadBypassThreshold { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(!ConfigError::ZeroCapacity { field: "audit" }
+            .to_string()
+            .is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Per-client cost accounting (paper property 1).
+//!
+//! “First, each client pays a cost for utilizing the system, and this cost
+//! increases as the client's reputation score worsens.” The ledger tracks
+//! the cumulative *expected work* (hash evaluations) each client has been
+//! charged, which is the quantity the DDoS experiment (claim C5) reports.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+/// Thread-safe per-IP cumulative work ledger, bounded in entries.
+///
+/// When full, the entry with the smallest accumulated cost is evicted —
+/// heavy hitters (the interesting clients) are retained.
+///
+/// ```
+/// use aipow_core::CostLedger;
+/// # use std::net::{IpAddr, Ipv4Addr};
+/// let ledger = CostLedger::new(100);
+/// let ip = IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1));
+/// ledger.charge(ip, 32.0); // a 5-difficult puzzle: 2^5 expected hashes
+/// ledger.charge(ip, 32.0);
+/// assert_eq!(ledger.total(ip), 64.0);
+/// ```
+#[derive(Debug)]
+pub struct CostLedger {
+    inner: Mutex<HashMap<IpAddr, f64>>,
+    capacity: usize,
+}
+
+impl CostLedger {
+    /// Creates a ledger tracking at most `capacity` clients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cost ledger capacity must be positive");
+        CostLedger {
+            inner: Mutex::new(HashMap::new()),
+            capacity,
+        }
+    }
+
+    /// Adds `expected_work` (hash evaluations) to `ip`'s account.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expected_work` is negative or NaN.
+    pub fn charge(&self, ip: IpAddr, expected_work: f64) {
+        assert!(
+            expected_work.is_finite() && expected_work >= 0.0,
+            "expected work must be finite and non-negative"
+        );
+        let mut map = self.inner.lock();
+        if !map.contains_key(&ip) && map.len() >= self.capacity {
+            // Evict the cheapest client to stay bounded.
+            if let Some((&evict, _)) = map
+                .iter()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN costs"))
+            {
+                map.remove(&evict);
+            }
+        }
+        *map.entry(ip).or_insert(0.0) += expected_work;
+    }
+
+    /// Cumulative expected work charged to `ip` (0.0 if unknown).
+    pub fn total(&self, ip: IpAddr) -> f64 {
+        self.inner.lock().get(&ip).copied().unwrap_or(0.0)
+    }
+
+    /// The `n` clients with the highest cumulative cost, descending.
+    pub fn top(&self, n: usize) -> Vec<(IpAddr, f64)> {
+        let map = self.inner.lock();
+        let mut entries: Vec<(IpAddr, f64)> = map.iter().map(|(k, v)| (*k, *v)).collect();
+        entries.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN costs"));
+        entries.truncate(n);
+        entries
+    }
+
+    /// Number of tracked clients.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether no clients are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of all tracked costs.
+    pub fn grand_total(&self) -> f64 {
+        self.inner.lock().values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(10, 0, 0, last))
+    }
+
+    #[test]
+    fn charges_accumulate() {
+        let ledger = CostLedger::new(8);
+        ledger.charge(ip(1), 10.0);
+        ledger.charge(ip(1), 5.0);
+        ledger.charge(ip(2), 1.0);
+        assert_eq!(ledger.total(ip(1)), 15.0);
+        assert_eq!(ledger.total(ip(2)), 1.0);
+        assert_eq!(ledger.total(ip(3)), 0.0);
+        assert_eq!(ledger.grand_total(), 16.0);
+    }
+
+    #[test]
+    fn top_orders_descending() {
+        let ledger = CostLedger::new(8);
+        ledger.charge(ip(1), 5.0);
+        ledger.charge(ip(2), 50.0);
+        ledger.charge(ip(3), 0.5);
+        let top = ledger.top(2);
+        assert_eq!(top, vec![(ip(2), 50.0), (ip(1), 5.0)]);
+    }
+
+    #[test]
+    fn eviction_drops_cheapest() {
+        let ledger = CostLedger::new(2);
+        ledger.charge(ip(1), 100.0);
+        ledger.charge(ip(2), 1.0);
+        ledger.charge(ip(3), 10.0); // evicts ip(2)
+        assert_eq!(ledger.len(), 2);
+        assert_eq!(ledger.total(ip(2)), 0.0);
+        assert_eq!(ledger.total(ip(1)), 100.0);
+        assert_eq!(ledger.total(ip(3)), 10.0);
+    }
+
+    #[test]
+    fn existing_clients_never_evicted_by_their_own_charge() {
+        let ledger = CostLedger::new(1);
+        ledger.charge(ip(1), 1.0);
+        ledger.charge(ip(1), 1.0);
+        assert_eq!(ledger.total(ip(1)), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_charge_panics() {
+        CostLedger::new(2).charge(ip(1), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        CostLedger::new(0);
+    }
+
+    #[test]
+    fn concurrent_charges_sum_exactly() {
+        use std::sync::Arc;
+        let ledger = Arc::new(CostLedger::new(64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let ledger = Arc::clone(&ledger);
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        ledger.charge(ip(1), 1.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ledger.total(ip(1)), 8_000.0);
+    }
+}

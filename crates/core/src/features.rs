@@ -1,0 +1,184 @@
+//! Sources of per-IP traffic attributes for the AI model.
+//!
+//! The paper's AI model “inspects the features of the request as input”.
+//! Where those features come from is deployment-specific — a flow monitor,
+//! a WAF, an IDS feed — so the framework abstracts it behind
+//! [`FeatureSource`]. Two implementations ship with the workspace:
+//!
+//! - [`StaticFeatureSource`] — an explicit per-IP table with a default,
+//!   used by tests and the TCP demo server;
+//! - [`SyntheticFeatureSource`] — deterministic pseudo-features derived
+//!   from the IP itself, useful for load tests where any stable feature
+//!   assignment suffices.
+
+use aipow_reputation::FeatureVector;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+/// Provides the attribute vector the AI model sees for a client.
+pub trait FeatureSource: Send + Sync {
+    /// The current attribute vector for `ip`.
+    fn features_for(&self, ip: IpAddr) -> FeatureVector;
+}
+
+/// A table of per-IP features with a fallback default.
+///
+/// ```
+/// use aipow_core::{FeatureSource, StaticFeatureSource};
+/// use aipow_reputation::FeatureVector;
+/// # use std::net::{IpAddr, Ipv4Addr};
+/// let source = StaticFeatureSource::new(FeatureVector::zeros());
+/// let bot = IpAddr::V4(Ipv4Addr::new(10, 9, 9, 9));
+/// source.insert(bot, FeatureVector::zeros().with(0, 50.0));
+/// assert_eq!(source.features_for(bot).get(0), 50.0);
+/// ```
+#[derive(Debug)]
+pub struct StaticFeatureSource {
+    default: FeatureVector,
+    table: RwLock<HashMap<IpAddr, FeatureVector>>,
+}
+
+impl StaticFeatureSource {
+    /// Creates a source returning `default` for unregistered IPs.
+    pub fn new(default: FeatureVector) -> Self {
+        StaticFeatureSource {
+            default,
+            table: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Registers (or replaces) the features for `ip`.
+    pub fn insert(&self, ip: IpAddr, features: FeatureVector) {
+        self.table.write().insert(ip, features);
+    }
+
+    /// Removes the registration for `ip`, if any.
+    pub fn remove(&self, ip: IpAddr) -> Option<FeatureVector> {
+        self.table.write().remove(&ip)
+    }
+
+    /// Number of registered IPs.
+    pub fn len(&self) -> usize {
+        self.table.read().len()
+    }
+
+    /// Whether no IPs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl FeatureSource for StaticFeatureSource {
+    fn features_for(&self, ip: IpAddr) -> FeatureVector {
+        self.table.read().get(&ip).copied().unwrap_or(self.default)
+    }
+}
+
+/// Deterministic pseudo-features keyed by the IP bits: the same IP always
+/// maps to the same plausible-looking attribute vector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SyntheticFeatureSource;
+
+impl FeatureSource for SyntheticFeatureSource {
+    fn features_for(&self, ip: IpAddr) -> FeatureVector {
+        // Mix the address bits into stable pseudo-random lanes via
+        // splitmix64, then shape each lane into its feature's range.
+        let seed = match ip {
+            IpAddr::V4(v4) => u32::from(v4) as u64,
+            IpAddr::V6(v6) => {
+                let o = v6.octets();
+                u64::from_be_bytes(o[..8].try_into().expect("8 bytes"))
+                    ^ u64::from_be_bytes(o[8..].try_into().expect("8 bytes"))
+            }
+        };
+        let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut lane = || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64 // uniform [0, 1)
+        };
+        FeatureVector::new([
+            lane() * 10.0,  // request_rate
+            lane() * 0.3,   // syn_ratio
+            lane() * 8.0,   // unique_ports
+            3.0 + lane() * 3.0, // payload_entropy
+            lane() * 0.5,   // geo_risk
+            lane() * 0.5,   // asn_risk
+            (lane() * 2.0).floor(), // blacklist_hits
+            lane() * 0.2,   // tls_anomaly
+            lane() * 200.0, // interarrival_jitter
+            lane() * 0.1,   // failed_auth_ratio
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(192, 0, 2, last))
+    }
+
+    #[test]
+    fn static_source_returns_registered_or_default() {
+        let source = StaticFeatureSource::new(FeatureVector::zeros());
+        assert_eq!(source.features_for(ip(1)), FeatureVector::zeros());
+        let custom = FeatureVector::zeros().with(3, 7.0);
+        source.insert(ip(1), custom);
+        assert_eq!(source.features_for(ip(1)), custom);
+        assert_eq!(source.features_for(ip(2)), FeatureVector::zeros());
+    }
+
+    #[test]
+    fn static_source_remove() {
+        let source = StaticFeatureSource::new(FeatureVector::zeros());
+        let custom = FeatureVector::zeros().with(0, 1.0);
+        source.insert(ip(1), custom);
+        assert_eq!(source.remove(ip(1)), Some(custom));
+        assert_eq!(source.remove(ip(1)), None);
+        assert!(source.is_empty());
+    }
+
+    #[test]
+    fn synthetic_source_is_deterministic_and_varied() {
+        let source = SyntheticFeatureSource;
+        let a1 = source.features_for(ip(1));
+        let a2 = source.features_for(ip(1));
+        let b = source.features_for(ip(2));
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+    }
+
+    #[test]
+    fn synthetic_features_within_physical_ranges() {
+        let source = SyntheticFeatureSource;
+        for last in 0..=255u8 {
+            let f = source.features_for(ip(last));
+            assert!((0.0..10.0).contains(&f.get(0)));
+            assert!((0.0..=1.0).contains(&f.get(1)));
+            assert!((0.0..=8.0).contains(&f.get(3)));
+            assert!((0.0..=1.0).contains(&f.get(9)));
+        }
+    }
+
+    #[test]
+    fn synthetic_handles_ipv6() {
+        let source = SyntheticFeatureSource;
+        let v6: IpAddr = "2001:db8::1".parse().unwrap();
+        let f1 = source.features_for(v6);
+        let f2 = source.features_for(v6);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let source: Box<dyn FeatureSource> = Box::new(SyntheticFeatureSource);
+        let _ = source.features_for(ip(9));
+    }
+}

@@ -1,0 +1,703 @@
+//! The admission pipeline: Figure 1 as a value.
+
+use crate::audit::{AuditKind, AuditLog};
+use crate::cost::CostLedger;
+use crate::metrics::FrameworkMetrics;
+use aipow_policy::{Policy, PolicyContext};
+use aipow_pow::{
+    Challenge, Difficulty, Issuer, ManualClock, Solution, SystemClock, TimeSource, VerifiedToken,
+    Verifier, VerifyError,
+};
+use aipow_pow::replay::ReplayGuard;
+use aipow_reputation::{FeatureVector, ReputationModel, ReputationScore};
+use core::fmt;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::net::IpAddr;
+use std::sync::Arc;
+
+/// A challenge issued by the pipeline, with its provenance.
+#[derive(Debug, Clone)]
+pub struct IssuedChallenge {
+    /// The authenticated puzzle for the client.
+    pub challenge: Challenge,
+    /// The AI model's score that drove the decision.
+    pub score: ReputationScore,
+    /// The policy's difficulty decision.
+    pub difficulty: Difficulty,
+}
+
+/// Outcome of [`Framework::handle_request`].
+#[derive(Debug, Clone)]
+pub enum AdmissionDecision {
+    /// The client must solve a puzzle before being served.
+    Challenge(IssuedChallenge),
+    /// The request was admitted without a puzzle (score under the
+    /// configured bypass threshold).
+    Admit {
+        /// The AI model's score for the client.
+        score: ReputationScore,
+    },
+}
+
+impl AdmissionDecision {
+    /// The issued challenge, if the decision was to challenge.
+    pub fn challenge(self) -> Option<IssuedChallenge> {
+        match self {
+            AdmissionDecision::Challenge(issued) => Some(issued),
+            AdmissionDecision::Admit { .. } => None,
+        }
+    }
+
+    /// Whether the request was admitted without work.
+    pub fn is_bypass(&self) -> bool {
+        matches!(self, AdmissionDecision::Admit { .. })
+    }
+}
+
+/// Error from [`FrameworkBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// No reputation model was provided.
+    MissingModel,
+    /// No policy was provided.
+    MissingPolicy,
+    /// No master key was provided.
+    MissingMasterKey,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::MissingModel => write!(f, "framework requires a reputation model"),
+            BuildError::MissingPolicy => write!(f, "framework requires a policy"),
+            BuildError::MissingMasterKey => write!(f, "framework requires a master key"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builder for [`Framework`]; see the crate-level example.
+pub struct FrameworkBuilder {
+    model: Option<Arc<dyn ReputationModel>>,
+    policy: Option<Box<dyn Policy>>,
+    master_key: Option<[u8; 32]>,
+    clock: Arc<dyn TimeSource>,
+    ttl_ms: u64,
+    replay_capacity: usize,
+    difficulty_cap: Difficulty,
+    max_skew_ms: u64,
+    bypass_threshold: Option<f64>,
+    audit_capacity: usize,
+    ledger_capacity: usize,
+}
+
+impl Default for FrameworkBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameworkBuilder {
+    /// Starts a builder with production defaults: 30 s TTL, 2 s skew,
+    /// difficulty cap 40, 1 Mi replay slots, no bypass.
+    pub fn new() -> Self {
+        FrameworkBuilder {
+            model: None,
+            policy: None,
+            master_key: None,
+            clock: Arc::new(SystemClock),
+            ttl_ms: aipow_pow::issuer::DEFAULT_TTL_MS,
+            replay_capacity: aipow_pow::replay::DEFAULT_CAPACITY,
+            difficulty_cap: Difficulty::saturating(40),
+            max_skew_ms: aipow_pow::verifier::DEFAULT_MAX_SKEW_MS,
+            bypass_threshold: None,
+            audit_capacity: 1_024,
+            ledger_capacity: 4_096,
+        }
+    }
+
+    /// Sets the reputation model (required).
+    pub fn model<M: ReputationModel + 'static>(mut self, model: M) -> Self {
+        self.model = Some(Arc::new(model));
+        self
+    }
+
+    /// Sets the reputation model from a shared handle.
+    pub fn model_arc(mut self, model: Arc<dyn ReputationModel>) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Sets the policy (required).
+    pub fn policy<P: Policy + 'static>(mut self, policy: P) -> Self {
+        self.policy = Some(Box::new(policy));
+        self
+    }
+
+    /// Sets the policy from a boxed trait object.
+    pub fn policy_boxed(mut self, policy: Box<dyn Policy>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Sets the 32-byte master key from which the challenge MAC key is
+    /// derived (required; use [`random_master_key`] for ephemeral
+    /// deployments).
+    pub fn master_key(mut self, key: [u8; 32]) -> Self {
+        self.master_key = Some(key);
+        self
+    }
+
+    /// Uses an explicit time source (tests, simulation).
+    pub fn clock(mut self, clock: Arc<dyn TimeSource>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Convenience: a [`ManualClock`] starting at `ms`, returned for
+    /// driving the test.
+    pub fn manual_clock(mut self, ms: u64) -> (Self, ManualClock) {
+        let clock = ManualClock::at(ms);
+        self.clock = Arc::new(clock.clone());
+        (self, clock)
+    }
+
+    /// Challenge TTL in milliseconds.
+    pub fn ttl_ms(mut self, ttl: u64) -> Self {
+        self.ttl_ms = ttl;
+        self
+    }
+
+    /// Replay-guard capacity in entries.
+    pub fn replay_capacity(mut self, capacity: usize) -> Self {
+        self.replay_capacity = capacity;
+        self
+    }
+
+    /// Maximum difficulty the verifier will accept.
+    pub fn difficulty_cap(mut self, cap: Difficulty) -> Self {
+        self.difficulty_cap = cap;
+        self
+    }
+
+    /// Tolerated clock skew in milliseconds.
+    pub fn max_skew_ms(mut self, skew: u64) -> Self {
+        self.max_skew_ms = skew;
+        self
+    }
+
+    /// Admits clients scoring strictly below `threshold` without a puzzle.
+    ///
+    /// Off by default: the paper's design has *every* client pay a cost.
+    /// This extension trades that property for zero added latency on
+    /// clearly trusted traffic.
+    pub fn bypass_threshold(mut self, threshold: f64) -> Self {
+        self.bypass_threshold = Some(threshold);
+        self
+    }
+
+    /// Audit-log capacity in events.
+    pub fn audit_capacity(mut self, capacity: usize) -> Self {
+        self.audit_capacity = capacity;
+        self
+    }
+
+    /// Cost-ledger capacity in clients.
+    pub fn ledger_capacity(mut self, capacity: usize) -> Self {
+        self.ledger_capacity = capacity;
+        self
+    }
+
+    /// Builds the framework.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if the model, policy, or master key is
+    /// missing.
+    pub fn build(self) -> Result<Framework, BuildError> {
+        let model = self.model.ok_or(BuildError::MissingModel)?;
+        let policy = self.policy.ok_or(BuildError::MissingPolicy)?;
+        let master_key = self.master_key.ok_or(BuildError::MissingMasterKey)?;
+
+        let issuer = Issuer::with_clock(&master_key, Arc::clone(&self.clock))
+            .with_ttl_ms(self.ttl_ms);
+        let verifier = Verifier::with_clock(&master_key, Arc::clone(&self.clock))
+            .with_replay_guard(ReplayGuard::new(self.replay_capacity))
+            .with_difficulty_cap(self.difficulty_cap)
+            .with_max_skew_ms(self.max_skew_ms);
+
+        Ok(Framework {
+            model,
+            policy: RwLock::new(policy),
+            issuer,
+            verifier,
+            metrics: FrameworkMetrics::new(),
+            audit: AuditLog::new(self.audit_capacity),
+            ledger: CostLedger::new(self.ledger_capacity),
+            clock: self.clock,
+            load_millis: AtomicU64::new(0),
+            under_attack: AtomicBool::new(false),
+            bypass_threshold: self.bypass_threshold,
+        })
+    }
+}
+
+impl fmt::Debug for FrameworkBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FrameworkBuilder")
+            .field("has_model", &self.model.is_some())
+            .field("has_policy", &self.policy.is_some())
+            .field("ttl_ms", &self.ttl_ms)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Generates a random 32-byte master key (OS entropy).
+pub fn random_master_key() -> [u8; 32] {
+    rand::random()
+}
+
+/// The assembled AI-assisted PoW framework.
+///
+/// One instance serves all connections; every method takes `&self`.
+pub struct Framework {
+    model: Arc<dyn ReputationModel>,
+    policy: RwLock<Box<dyn Policy>>,
+    issuer: Issuer,
+    verifier: Verifier,
+    metrics: FrameworkMetrics,
+    audit: AuditLog,
+    ledger: CostLedger,
+    clock: Arc<dyn TimeSource>,
+    /// Server load in thousandths, for lock-free updates.
+    load_millis: AtomicU64,
+    under_attack: AtomicBool,
+    bypass_threshold: Option<f64>,
+}
+
+impl Framework {
+    /// Steps 2–4 of Figure 1: score the request's features, map the score
+    /// to a difficulty, and issue an authenticated challenge.
+    pub fn handle_request(&self, client_ip: IpAddr, features: &FeatureVector) -> AdmissionDecision {
+        let score = self.model.score(features);
+        let now_ms = self.clock.now_ms();
+
+        if let Some(threshold) = self.bypass_threshold {
+            if score.value() < threshold {
+                self.metrics.bypassed.inc();
+                self.audit
+                    .record(now_ms, client_ip, AuditKind::Bypassed { score });
+                return AdmissionDecision::Admit { score };
+            }
+        }
+
+        let ctx = PolicyContext {
+            server_load: self.load(),
+            under_attack: self.under_attack.load(Ordering::Relaxed),
+            now_ms,
+        };
+        let difficulty = self.policy.read().difficulty_for(score, &ctx);
+        let challenge = self.issuer.issue(client_ip, difficulty);
+
+        self.metrics.record_issued_difficulty(difficulty.bits());
+        self.audit.record(
+            now_ms,
+            client_ip,
+            AuditKind::ChallengeIssued { score, difficulty },
+        );
+
+        AdmissionDecision::Challenge(IssuedChallenge {
+            challenge,
+            score,
+            difficulty,
+        })
+    }
+
+    /// Steps 5–6 of Figure 1: verify a returned solution. On success the
+    /// caller releases the requested resource (step 7).
+    ///
+    /// # Errors
+    ///
+    /// Returns the verifier's [`VerifyError`]; the rejection is also
+    /// recorded in metrics and the audit log.
+    pub fn handle_solution(
+        &self,
+        solution: &Solution,
+        claimed_ip: IpAddr,
+    ) -> Result<VerifiedToken, VerifyError> {
+        let now_ms = self.clock.now_ms();
+        match self.verifier.verify_at(solution, claimed_ip, now_ms) {
+            Ok(token) => {
+                self.metrics.solutions_accepted.inc();
+                self.ledger
+                    .charge(claimed_ip, token.difficulty.expected_attempts());
+                self.audit.record(
+                    now_ms,
+                    claimed_ip,
+                    AuditKind::SolutionAccepted {
+                        difficulty: token.difficulty,
+                    },
+                );
+                Ok(token)
+            }
+            Err(err) => {
+                self.metrics.record_rejection(reason_label(&err));
+                self.audit.record(
+                    now_ms,
+                    claimed_ip,
+                    AuditKind::SolutionRejected {
+                        reason: err.to_string(),
+                    },
+                );
+                Err(err)
+            }
+        }
+    }
+
+    /// Publishes the current server load (`[0, 1]`) to adaptive policies.
+    pub fn set_load(&self, load: f64) {
+        let clamped = if load.is_nan() { 0.0 } else { load.clamp(0.0, 1.0) };
+        self.load_millis
+            .store((clamped * 1_000.0) as u64, Ordering::Relaxed);
+    }
+
+    /// The last published load.
+    pub fn load(&self) -> f64 {
+        self.load_millis.load(Ordering::Relaxed) as f64 / 1_000.0
+    }
+
+    /// Declares (or clears) an active attack for adaptive policies.
+    pub fn set_under_attack(&self, attacked: bool) {
+        self.under_attack.store(attacked, Ordering::Relaxed);
+    }
+
+    /// Replaces the policy at runtime (paper property 2: the inflicted
+    /// work is tunable).
+    pub fn swap_policy(&self, policy: Box<dyn Policy>) {
+        *self.policy.write() = policy;
+    }
+
+    /// Name of the active policy.
+    pub fn policy_name(&self) -> String {
+        self.policy.read().name().to_string()
+    }
+
+    /// Name of the reputation model.
+    pub fn model_name(&self) -> &str {
+        self.model.name()
+    }
+
+    /// The pipeline's operational metrics.
+    pub fn metrics(&self) -> &FrameworkMetrics {
+        &self.metrics
+    }
+
+    /// The admission audit log.
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// The per-client cost ledger.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// The underlying verifier (for replay-guard diagnostics).
+    pub fn verifier(&self) -> &Verifier {
+        &self.verifier
+    }
+}
+
+impl fmt::Debug for Framework {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Framework")
+            .field("model", &self.model.name())
+            .field("policy", &self.policy.read().name())
+            .field("load", &self.load())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Stable labels for rejection metrics.
+fn reason_label(err: &VerifyError) -> &'static str {
+    match err {
+        VerifyError::UnsupportedVersion { .. } => "unsupported_version",
+        VerifyError::DifficultyTooHigh { .. } => "difficulty_too_high",
+        VerifyError::BadMac => "bad_mac",
+        VerifyError::ClientMismatch => "client_mismatch",
+        VerifyError::NotYetValid => "not_yet_valid",
+        VerifyError::Expired { .. } => "expired",
+        VerifyError::Replayed => "replayed",
+        VerifyError::InsufficientWork { .. } => "insufficient_work",
+        VerifyError::MalformedNonce => "malformed_nonce",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aipow_policy::{ErrorRangePolicy, LinearPolicy};
+    use aipow_pow::solver::{self, SolverOptions};
+    use aipow_reputation::model::FixedScoreModel;
+    use std::net::Ipv4Addr;
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(198, 51, 100, last))
+    }
+
+    fn framework_with_score(score: f64) -> Framework {
+        FrameworkBuilder::new()
+            .master_key([9u8; 32])
+            .model(FixedScoreModel::new(ReputationScore::new(score).unwrap()))
+            .policy(LinearPolicy::policy2())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn full_pipeline_roundtrip() {
+        let fw = framework_with_score(3.0);
+        let issued = fw
+            .handle_request(ip(1), &FeatureVector::zeros())
+            .challenge()
+            .unwrap();
+        assert_eq!(issued.difficulty.bits(), 8); // 3 + 5
+        let report =
+            solver::solve(&issued.challenge, ip(1), &SolverOptions::default()).unwrap();
+        let token = fw.handle_solution(&report.solution, ip(1)).unwrap();
+        assert_eq!(token.difficulty.bits(), 8);
+
+        let snap = fw.metrics().snapshot();
+        assert_eq!(snap.challenges_issued, 1);
+        assert_eq!(snap.solutions_accepted, 1);
+        assert_eq!(snap.solutions_rejected, 0);
+    }
+
+    #[test]
+    fn cost_ledger_charges_expected_work() {
+        let fw = framework_with_score(0.0); // policy2 → 5 bits → 32 hashes
+        let issued = fw
+            .handle_request(ip(2), &FeatureVector::zeros())
+            .challenge()
+            .unwrap();
+        let report =
+            solver::solve(&issued.challenge, ip(2), &SolverOptions::default()).unwrap();
+        fw.handle_solution(&report.solution, ip(2)).unwrap();
+        assert_eq!(fw.ledger().total(ip(2)), 32.0);
+    }
+
+    #[test]
+    fn worse_scores_pay_more() {
+        // Paper property 1: cost increases with worsening score.
+        let mut last_cost = 0.0;
+        for score in [0.0, 5.0, 10.0] {
+            let fw = framework_with_score(score);
+            let issued = fw
+                .handle_request(ip(3), &FeatureVector::zeros())
+                .challenge()
+                .unwrap();
+            let report =
+                solver::solve(&issued.challenge, ip(3), &SolverOptions::default()).unwrap();
+            fw.handle_solution(&report.solution, ip(3)).unwrap();
+            let cost = fw.ledger().total(ip(3));
+            assert!(cost > last_cost, "score {score}: cost {cost} <= {last_cost}");
+            last_cost = cost;
+        }
+    }
+
+    #[test]
+    fn rejections_are_counted_and_audited() {
+        let fw = framework_with_score(0.0);
+        let issued = fw
+            .handle_request(ip(4), &FeatureVector::zeros())
+            .challenge()
+            .unwrap();
+        let report =
+            solver::solve(&issued.challenge, ip(4), &SolverOptions::default()).unwrap();
+        // Submit from the wrong IP.
+        let err = fw.handle_solution(&report.solution, ip(5)).unwrap_err();
+        assert_eq!(err, VerifyError::ClientMismatch);
+        let snap = fw.metrics().snapshot();
+        assert_eq!(snap.solutions_rejected, 1);
+        assert_eq!(snap.rejected_by_reason["client_mismatch"], 1);
+        let audit = fw.audit().snapshot();
+        assert!(matches!(
+            audit[0].kind,
+            AuditKind::SolutionRejected { .. }
+        ));
+    }
+
+    #[test]
+    fn replay_rejected_through_framework() {
+        let fw = framework_with_score(0.0);
+        let issued = fw
+            .handle_request(ip(6), &FeatureVector::zeros())
+            .challenge()
+            .unwrap();
+        let report =
+            solver::solve(&issued.challenge, ip(6), &SolverOptions::default()).unwrap();
+        fw.handle_solution(&report.solution, ip(6)).unwrap();
+        assert_eq!(
+            fw.handle_solution(&report.solution, ip(6)),
+            Err(VerifyError::Replayed)
+        );
+    }
+
+    #[test]
+    fn bypass_admits_trusted_clients() {
+        let fw = FrameworkBuilder::new()
+            .master_key([9u8; 32])
+            .model(FixedScoreModel::new(ReputationScore::new(1.0).unwrap()))
+            .policy(LinearPolicy::policy1())
+            .bypass_threshold(2.0)
+            .build()
+            .unwrap();
+        let decision = fw.handle_request(ip(7), &FeatureVector::zeros());
+        assert!(decision.is_bypass());
+        assert_eq!(fw.metrics().snapshot().bypassed, 1);
+    }
+
+    #[test]
+    fn bypass_threshold_excludes_higher_scores() {
+        let fw = FrameworkBuilder::new()
+            .master_key([9u8; 32])
+            .model(FixedScoreModel::new(ReputationScore::new(2.0).unwrap()))
+            .policy(LinearPolicy::policy1())
+            .bypass_threshold(2.0)
+            .build()
+            .unwrap();
+        let decision = fw.handle_request(ip(8), &FeatureVector::zeros());
+        assert!(!decision.is_bypass());
+    }
+
+    #[test]
+    fn policy_swap_takes_effect() {
+        let fw = framework_with_score(0.0);
+        assert_eq!(fw.policy_name(), "policy2");
+        let d1 = fw
+            .handle_request(ip(9), &FeatureVector::zeros())
+            .challenge()
+            .unwrap()
+            .difficulty;
+        assert_eq!(d1.bits(), 5);
+        fw.swap_policy(Box::new(LinearPolicy::policy1()));
+        assert_eq!(fw.policy_name(), "policy1");
+        let d2 = fw
+            .handle_request(ip(9), &FeatureVector::zeros())
+            .challenge()
+            .unwrap()
+            .difficulty;
+        assert_eq!(d2.bits(), 1);
+    }
+
+    #[test]
+    fn adaptive_policy_reads_framework_load() {
+        let fw = FrameworkBuilder::new()
+            .master_key([9u8; 32])
+            .model(FixedScoreModel::new(ReputationScore::MIN))
+            .policy(aipow_policy::LoadAdaptivePolicy::new(
+                LinearPolicy::policy1(),
+                8,
+                0,
+            ))
+            .build()
+            .unwrap();
+        let base = fw
+            .handle_request(ip(10), &FeatureVector::zeros())
+            .challenge()
+            .unwrap()
+            .difficulty;
+        assert_eq!(base.bits(), 1);
+        fw.set_load(1.0);
+        let loaded = fw
+            .handle_request(ip(10), &FeatureVector::zeros())
+            .challenge()
+            .unwrap()
+            .difficulty;
+        assert_eq!(loaded.bits(), 9);
+        assert_eq!(fw.load(), 1.0);
+    }
+
+    #[test]
+    fn error_range_policy_works_in_framework() {
+        let fw = FrameworkBuilder::new()
+            .master_key([9u8; 32])
+            .model(FixedScoreModel::new(ReputationScore::new(5.0).unwrap()))
+            .policy(ErrorRangePolicy::new(1.0, 3))
+            .build()
+            .unwrap();
+        for _ in 0..50 {
+            let issued = fw
+                .handle_request(ip(11), &FeatureVector::zeros())
+                .challenge()
+                .unwrap();
+            // d_i = 6, interval [5, 7].
+            assert!((5..=7).contains(&issued.difficulty.bits()));
+        }
+    }
+
+    #[test]
+    fn build_errors() {
+        assert_eq!(
+            FrameworkBuilder::new().build().unwrap_err(),
+            BuildError::MissingModel
+        );
+        assert_eq!(
+            FrameworkBuilder::new()
+                .model(FixedScoreModel::new(ReputationScore::MIN))
+                .build()
+                .unwrap_err(),
+            BuildError::MissingPolicy
+        );
+        assert_eq!(
+            FrameworkBuilder::new()
+                .model(FixedScoreModel::new(ReputationScore::MIN))
+                .policy(LinearPolicy::policy1())
+                .build()
+                .unwrap_err(),
+            BuildError::MissingMasterKey
+        );
+    }
+
+    #[test]
+    fn manual_clock_drives_expiry() {
+        let (builder, clock) = FrameworkBuilder::new()
+            .master_key([9u8; 32])
+            .model(FixedScoreModel::new(ReputationScore::MIN))
+            .policy(LinearPolicy::policy1())
+            .ttl_ms(1_000)
+            .manual_clock(50_000);
+        let fw = builder.build().unwrap();
+        let issued = fw
+            .handle_request(ip(12), &FeatureVector::zeros())
+            .challenge()
+            .unwrap();
+        let report =
+            solver::solve(&issued.challenge, ip(12), &SolverOptions::default()).unwrap();
+        clock.advance(2_000);
+        assert!(matches!(
+            fw.handle_solution(&report.solution, ip(12)),
+            Err(VerifyError::Expired { .. })
+        ));
+    }
+
+    #[test]
+    fn random_master_keys_differ() {
+        assert_ne!(random_master_key(), random_master_key());
+    }
+
+    #[test]
+    fn framework_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Framework>();
+    }
+
+    #[test]
+    fn debug_impls_nonempty() {
+        let fw = framework_with_score(1.0);
+        assert!(!format!("{fw:?}").is_empty());
+        assert!(!format!("{:?}", FrameworkBuilder::new()).is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! The AI-assisted PoW framework (the paper's primary contribution).
+//!
+//! This crate composes the five modular components of Figure 1 into one
+//! admission pipeline:
+//!
+//! 1. an **AI model** ([`aipow_reputation::ReputationModel`]) scores the
+//!    incoming request's IP attributes,
+//! 2. a **policy** ([`aipow_policy::Policy`]) maps the score to a puzzle
+//!    difficulty,
+//! 3. the **puzzle generator** ([`aipow_pow::Issuer`]) mints an
+//!    authenticated challenge,
+//! 4. the client's **solver** works offline (it is the only component that
+//!    does not live in this crate),
+//! 5. the **verifier** ([`aipow_pow::Verifier`]) checks the returned
+//!    solution, after which the server releases the resource.
+//!
+//! The paper's two framework properties are first-class here:
+//! *every client pays a cost that grows with its reputation score* (tracked
+//! by the [`cost::CostLedger`]) and *the inflicted work is adaptive and
+//! tunable* (policies are swappable at runtime and may read live server
+//! conditions).
+//!
+//! # Example
+//!
+//! ```
+//! use aipow_core::{Framework, FrameworkBuilder};
+//! use aipow_policy::LinearPolicy;
+//! use aipow_reputation::model::FixedScoreModel;
+//! use aipow_reputation::{FeatureVector, ReputationScore};
+//! use aipow_pow::solver;
+//! use std::net::{IpAddr, Ipv4Addr};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let framework = FrameworkBuilder::new()
+//!     .master_key([1u8; 32])
+//!     .model(FixedScoreModel::new(ReputationScore::new(2.0)?))
+//!     .policy(LinearPolicy::policy2())
+//!     .build()?;
+//!
+//! let ip = IpAddr::V4(Ipv4Addr::new(198, 51, 100, 7));
+//! let issued = framework.handle_request(ip, &FeatureVector::zeros()).challenge()
+//!     .expect("no bypass configured");
+//! assert_eq!(issued.difficulty.bits(), 7); // score 2 → policy2 → 7 bits
+//!
+//! let report = solver::solve(&issued.challenge, ip, &Default::default())?;
+//! let token = framework.handle_solution(&report.solution, ip)?;
+//! assert_eq!(token.client_ip, ip);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod config;
+pub mod controller;
+pub mod cost;
+pub mod features;
+pub mod framework;
+pub mod metrics;
+pub mod token_bucket;
+
+pub use audit::{AuditEvent, AuditKind, AuditLog};
+pub use controller::{LoadController, LoadSignal};
+pub use config::FrameworkConfig;
+pub use cost::CostLedger;
+pub use features::{FeatureSource, StaticFeatureSource, SyntheticFeatureSource};
+pub use framework::{
+    AdmissionDecision, BuildError, Framework, FrameworkBuilder, IssuedChallenge,
+};
+pub use metrics::{FrameworkMetrics, MetricsSnapshot};
+pub use token_bucket::{RateLimiter, TokenBucket};

@@ -1,0 +1,120 @@
+//! Framework-level operational metrics.
+
+use aipow_metrics::{Counter, Histogram};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Live counters for the admission pipeline. Cheap to update from any
+/// worker thread.
+#[derive(Debug, Default)]
+pub struct FrameworkMetrics {
+    /// Challenges issued (Figure 1, step 4).
+    pub challenges_issued: Counter,
+    /// Solutions verified successfully (step 6).
+    pub solutions_accepted: Counter,
+    /// Solutions rejected, any reason.
+    pub solutions_rejected: Counter,
+    /// Requests admitted without a puzzle (bypass threshold).
+    pub bypassed: Counter,
+    /// Rejections keyed by the verifier's reason label.
+    rejected_by_reason: Mutex<HashMap<&'static str, u64>>,
+    /// Distribution of issued difficulties (bits).
+    issued_difficulty: Mutex<Histogram>,
+}
+
+impl FrameworkMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a rejection under a stable reason label.
+    pub fn record_rejection(&self, reason: &'static str) {
+        self.solutions_rejected.inc();
+        *self.rejected_by_reason.lock().entry(reason).or_insert(0) += 1;
+    }
+
+    /// Records the difficulty of an issued challenge.
+    pub fn record_issued_difficulty(&self, bits: u8) {
+        self.challenges_issued.inc();
+        self.issued_difficulty.lock().record(bits as u64);
+    }
+
+    /// Takes a consistent snapshot for reporting.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let hist = self.issued_difficulty.lock();
+        MetricsSnapshot {
+            challenges_issued: self.challenges_issued.get(),
+            solutions_accepted: self.solutions_accepted.get(),
+            solutions_rejected: self.solutions_rejected.get(),
+            bypassed: self.bypassed.get(),
+            rejected_by_reason: self
+                .rejected_by_reason
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            median_issued_difficulty: hist.median(),
+            max_issued_difficulty: hist.max(),
+        }
+    }
+}
+
+/// A serializable point-in-time view of [`FrameworkMetrics`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Challenges issued.
+    pub challenges_issued: u64,
+    /// Solutions accepted.
+    pub solutions_accepted: u64,
+    /// Solutions rejected.
+    pub solutions_rejected: u64,
+    /// Bypass admissions.
+    pub bypassed: u64,
+    /// Rejections by reason label.
+    pub rejected_by_reason: HashMap<String, u64>,
+    /// Median issued difficulty in bits.
+    pub median_issued_difficulty: u64,
+    /// Maximum issued difficulty in bits.
+    pub max_issued_difficulty: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_snapshot() {
+        let m = FrameworkMetrics::new();
+        m.record_issued_difficulty(5);
+        m.record_issued_difficulty(9);
+        m.solutions_accepted.inc();
+        m.record_rejection("replayed");
+        m.record_rejection("replayed");
+        m.record_rejection("expired");
+
+        let snap = m.snapshot();
+        assert_eq!(snap.challenges_issued, 2);
+        assert_eq!(snap.solutions_accepted, 1);
+        assert_eq!(snap.solutions_rejected, 3);
+        assert_eq!(snap.rejected_by_reason["replayed"], 2);
+        assert_eq!(snap.rejected_by_reason["expired"], 1);
+        assert_eq!(snap.max_issued_difficulty, 9);
+        assert!(snap.median_issued_difficulty >= 5);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zeroed() {
+        let snap = FrameworkMetrics::new().snapshot();
+        assert_eq!(snap.challenges_issued, 0);
+        assert_eq!(snap.median_issued_difficulty, 0);
+        assert!(snap.rejected_by_reason.is_empty());
+    }
+
+    #[test]
+    fn metrics_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FrameworkMetrics>();
+    }
+}

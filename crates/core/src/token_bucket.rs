@@ -1,0 +1,228 @@
+//! Token-bucket rate limiting.
+//!
+//! PoW throttles *work*; the token bucket throttles *message volume*. The
+//! TCP runtime applies a per-IP bucket in front of the framework so a
+//! client cannot spam challenge requests it never intends to solve (each
+//! issued challenge costs the server an HMAC plus a replay-cache slot).
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+/// A single token bucket over a millisecond clock.
+///
+/// ```
+/// use aipow_core::TokenBucket;
+/// let mut bucket = TokenBucket::new(2.0, 1.0); // burst 2, refill 1/s
+/// assert!(bucket.try_acquire(0));
+/// assert!(bucket.try_acquire(0));
+/// assert!(!bucket.try_acquire(0));     // burst exhausted
+/// assert!(bucket.try_acquire(1_000));  // one second refills one token
+/// ```
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    capacity: f64,
+    tokens: f64,
+    refill_per_ms: f64,
+    last_ms: u64,
+}
+
+impl TokenBucket {
+    /// Creates a full bucket holding up to `capacity` tokens, refilling at
+    /// `refill_per_sec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `refill_per_sec` is not finite and positive.
+    pub fn new(capacity: f64, refill_per_sec: f64) -> Self {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be positive"
+        );
+        assert!(
+            refill_per_sec.is_finite() && refill_per_sec > 0.0,
+            "refill rate must be positive"
+        );
+        TokenBucket {
+            capacity,
+            tokens: capacity,
+            refill_per_ms: refill_per_sec / 1_000.0,
+            last_ms: 0,
+        }
+    }
+
+    /// Attempts to take one token at time `now_ms`; returns whether it was
+    /// granted. Time may move backwards (clock adjustment): refill is then
+    /// skipped rather than negative.
+    pub fn try_acquire(&mut self, now_ms: u64) -> bool {
+        if now_ms > self.last_ms {
+            let elapsed = (now_ms - self.last_ms) as f64;
+            self.tokens = (self.tokens + elapsed * self.refill_per_ms).min(self.capacity);
+        }
+        self.last_ms = self.last_ms.max(now_ms);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (diagnostic).
+    pub fn available(&self) -> f64 {
+        self.tokens
+    }
+}
+
+/// Per-IP token buckets with bounded population.
+///
+/// When the table is full, the stalest bucket (least-recently used) is
+/// evicted; a returning client simply starts with a fresh, full bucket.
+#[derive(Debug)]
+pub struct RateLimiter {
+    buckets: Mutex<HashMap<IpAddr, TokenBucket>>,
+    capacity_per_client: f64,
+    refill_per_sec: f64,
+    max_clients: usize,
+}
+
+impl RateLimiter {
+    /// Creates a limiter giving each client a bucket of
+    /// `capacity_per_client` tokens refilled at `refill_per_sec`, tracking
+    /// at most `max_clients` clients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive.
+    pub fn new(capacity_per_client: f64, refill_per_sec: f64, max_clients: usize) -> Self {
+        assert!(max_clients > 0, "max clients must be positive");
+        // Bucket constructor validates the rates.
+        let _probe = TokenBucket::new(capacity_per_client, refill_per_sec);
+        RateLimiter {
+            buckets: Mutex::new(HashMap::new()),
+            capacity_per_client,
+            refill_per_sec,
+            max_clients,
+        }
+    }
+
+    /// Whether `ip` may proceed at `now_ms`.
+    pub fn allow(&self, ip: IpAddr, now_ms: u64) -> bool {
+        let mut buckets = self.buckets.lock();
+        if !buckets.contains_key(&ip) && buckets.len() >= self.max_clients {
+            // Evict the bucket with the oldest last-use time.
+            if let Some((&stalest, _)) = buckets.iter().min_by_key(|(_, b)| b.last_ms) {
+                buckets.remove(&stalest);
+            }
+        }
+        buckets
+            .entry(ip)
+            .or_insert_with(|| TokenBucket::new(self.capacity_per_client, self.refill_per_sec))
+            .try_acquire(now_ms)
+    }
+
+    /// Number of tracked clients.
+    pub fn len(&self) -> usize {
+        self.buckets.lock().len()
+    }
+
+    /// Whether no clients are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(172, 16, 0, last))
+    }
+
+    #[test]
+    fn burst_then_refill() {
+        let mut b = TokenBucket::new(3.0, 2.0);
+        assert!(b.try_acquire(0));
+        assert!(b.try_acquire(0));
+        assert!(b.try_acquire(0));
+        assert!(!b.try_acquire(0));
+        // 2 tokens/s → one token after 500 ms.
+        assert!(b.try_acquire(500));
+        assert!(!b.try_acquire(500));
+    }
+
+    #[test]
+    fn refill_caps_at_capacity() {
+        let mut b = TokenBucket::new(2.0, 10.0);
+        assert!(b.try_acquire(0));
+        // A long sleep must not overfill the bucket.
+        let _ = b.try_acquire(1_000_000);
+        assert!(b.available() <= 2.0);
+    }
+
+    #[test]
+    fn clock_regression_is_tolerated() {
+        let mut b = TokenBucket::new(1.0, 1.0);
+        assert!(b.try_acquire(10_000));
+        assert!(!b.try_acquire(5_000)); // going backwards grants nothing
+        assert!(b.try_acquire(11_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        TokenBucket::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_refill_panics() {
+        TokenBucket::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn limiter_isolates_clients() {
+        let limiter = RateLimiter::new(1.0, 0.001, 100);
+        assert!(limiter.allow(ip(1), 0));
+        assert!(!limiter.allow(ip(1), 0));
+        assert!(limiter.allow(ip(2), 0)); // other clients unaffected
+    }
+
+    #[test]
+    fn limiter_evicts_stalest_at_capacity() {
+        let limiter = RateLimiter::new(5.0, 1.0, 2);
+        assert!(limiter.allow(ip(1), 0));
+        assert!(limiter.allow(ip(2), 100));
+        assert!(limiter.allow(ip(3), 200)); // evicts ip(1), the stalest
+        assert_eq!(limiter.len(), 2);
+        // ip(1) returns with a fresh bucket (full burst again).
+        assert!(limiter.allow(ip(1), 300));
+    }
+
+    #[test]
+    fn limiter_concurrent_access() {
+        use std::sync::Arc;
+        let limiter = Arc::new(RateLimiter::new(1_000.0, 1.0, 100));
+        let granted = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let limiter = Arc::clone(&limiter);
+                let granted = Arc::clone(&granted);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        if limiter.allow(ip(1), 0) {
+                            granted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Exactly the burst capacity is granted across all threads.
+        assert_eq!(granted.load(std::sync::atomic::Ordering::Relaxed), 1_000);
+    }
+}

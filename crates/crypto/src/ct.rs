@@ -1,0 +1,74 @@
+//! Constant-time comparison.
+//!
+//! MAC verification must not leak, via early exit, how many prefix bytes of
+//! a forged tag were correct. [`eq`] runs in time dependent only on the
+//! lengths of its inputs.
+
+/// Compares two byte slices in constant time (for equal-length inputs).
+///
+/// Returns `false` immediately if the lengths differ — length is public
+/// information for all uses in this workspace (fixed-size MACs).
+///
+/// ```
+/// assert!(aipow_crypto::ct::eq(b"abc", b"abc"));
+/// assert!(!aipow_crypto::ct::eq(b"abc", b"abd"));
+/// assert!(!aipow_crypto::ct::eq(b"abc", b"ab"));
+/// ```
+pub fn eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    // Reduce without branching on individual bytes.
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices() {
+        assert!(eq(&[], &[]));
+        assert!(eq(&[1, 2, 3], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn differing_slices() {
+        assert!(!eq(&[1, 2, 3], &[1, 2, 4]));
+        assert!(!eq(&[0], &[1]));
+    }
+
+    #[test]
+    fn length_mismatch() {
+        assert!(!eq(&[1, 2], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn single_bit_difference_anywhere() {
+        let a = [0u8; 32];
+        for i in 0..32 {
+            for bit in 0..8 {
+                let mut b = a;
+                b[i] ^= 1 << bit;
+                assert!(!eq(&a, &b), "difference at byte {i} bit {bit}");
+            }
+        }
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn agrees_with_slice_eq(a in proptest::collection::vec(any::<u8>(), 0..128),
+                                    b in proptest::collection::vec(any::<u8>(), 0..128)) {
+                prop_assert_eq!(eq(&a, &b), a == b);
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! HKDF-SHA-256 (RFC 5869).
+//!
+//! The framework derives independent subkeys (challenge MAC key, replay-cache
+//! hash key, audit-log key) from one master secret using HKDF, so a leak of
+//! one subsystem's key does not compromise the others.
+
+use crate::hmac::HmacSha256;
+
+/// Maximum output length: `255 * HashLen` per RFC 5869.
+pub const MAX_OUTPUT_LEN: usize = 255 * 32;
+
+/// Error returned when the requested HKDF output is longer than
+/// [`MAX_OUTPUT_LEN`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidLengthError {
+    /// The length that was requested.
+    pub requested: usize,
+}
+
+impl core::fmt::Display for InvalidLengthError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "requested hkdf output of {} bytes exceeds the maximum of {} bytes",
+            self.requested, MAX_OUTPUT_LEN
+        )
+    }
+}
+
+impl std::error::Error for InvalidLengthError {}
+
+/// HKDF-Extract: derives a pseudorandom key from input keying material.
+///
+/// An empty `salt` is treated as 32 zero bytes, per the RFC.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
+    let zero_salt = [0u8; 32];
+    let salt = if salt.is_empty() { &zero_salt[..] } else { salt };
+    HmacSha256::mac(salt, ikm).into_bytes()
+}
+
+/// HKDF-Expand: stretches a pseudorandom key into `len` output bytes bound
+/// to the context string `info`.
+///
+/// # Errors
+///
+/// Returns [`InvalidLengthError`] if `len > MAX_OUTPUT_LEN`.
+pub fn expand(prk: &[u8; 32], info: &[u8], len: usize) -> Result<Vec<u8>, InvalidLengthError> {
+    if len > MAX_OUTPUT_LEN {
+        return Err(InvalidLengthError { requested: len });
+    }
+    let mut out = Vec::with_capacity(len);
+    let mut previous: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < len {
+        let mut m = HmacSha256::new(prk);
+        m.update(&previous);
+        m.update(info);
+        m.update(&[counter]);
+        let block = m.finalize().into_bytes();
+        let take = (len - out.len()).min(32);
+        out.extend_from_slice(&block[..take]);
+        previous = block.to_vec();
+        counter = counter.wrapping_add(1);
+    }
+    Ok(out)
+}
+
+/// Convenience: extract-then-expand in one call.
+///
+/// ```
+/// let key = aipow_crypto::hkdf::derive(b"salt", b"master", b"aipow/mac", 32).unwrap();
+/// assert_eq!(key.len(), 32);
+/// ```
+///
+/// # Errors
+///
+/// Returns [`InvalidLengthError`] if `len > MAX_OUTPUT_LEN`.
+pub fn derive(
+    salt: &[u8],
+    ikm: &[u8],
+    info: &[u8],
+    len: usize,
+) -> Result<Vec<u8>, InvalidLengthError> {
+    let prk = extract(salt, ikm);
+    expand(&prk, info, len)
+}
+
+/// Derives a fixed 32-byte subkey bound to `label`; infallible convenience
+/// for the common key-separation case.
+pub fn derive_key32(master: &[u8], label: &str) -> [u8; 32] {
+    let prk = extract(b"aipow/v1", master);
+    let out = expand(&prk, label.as_bytes(), 32).expect("32 <= MAX_OUTPUT_LEN");
+    out.try_into().expect("expand returned exactly 32 bytes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    /// RFC 5869 Appendix A, Test Case 1.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = vec![0x0bu8; 22];
+        let salt: Vec<u8> = (0x00u8..=0x0c).collect();
+        let info: Vec<u8> = (0xf0u8..=0xf9).collect();
+
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            hex::encode(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+
+        let okm = expand(&prk, &info, 42).unwrap();
+        assert_eq!(
+            hex::encode(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    /// RFC 5869 Appendix A, Test Case 2 (longer inputs/outputs).
+    #[test]
+    fn rfc5869_case2() {
+        let ikm: Vec<u8> = (0x00u8..=0x4f).collect();
+        let salt: Vec<u8> = (0x60u8..=0xaf).collect();
+        let info: Vec<u8> = (0xb0u8..=0xff).collect();
+
+        let okm = derive(&salt, &ikm, &info, 82).unwrap();
+        assert_eq!(
+            hex::encode(&okm),
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c\
+             59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71\
+             cc30c58179ec3e87c14c01d5c1f3434f1d87"
+        );
+    }
+
+    /// RFC 5869 Appendix A, Test Case 3 (zero-length salt and info).
+    #[test]
+    fn rfc5869_case3() {
+        let ikm = vec![0x0bu8; 22];
+        let okm = derive(&[], &ikm, &[], 42).unwrap();
+        assert_eq!(
+            hex::encode(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn expand_rejects_oversized_request() {
+        let prk = [0u8; 32];
+        let err = expand(&prk, b"", MAX_OUTPUT_LEN + 1).unwrap_err();
+        assert_eq!(err.requested, MAX_OUTPUT_LEN + 1);
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn expand_max_length_succeeds() {
+        let prk = [7u8; 32];
+        let okm = expand(&prk, b"ctx", MAX_OUTPUT_LEN).unwrap();
+        assert_eq!(okm.len(), MAX_OUTPUT_LEN);
+    }
+
+    #[test]
+    fn derive_key32_separates_labels() {
+        let a = derive_key32(b"master", "aipow/mac");
+        let b = derive_key32(b"master", "aipow/replay");
+        assert_ne!(a, b);
+        // Deterministic.
+        assert_eq!(a, derive_key32(b"master", "aipow/mac"));
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn output_len_exact(len in 0usize..512,
+                                ikm in proptest::collection::vec(any::<u8>(), 0..64),
+                                info in proptest::collection::vec(any::<u8>(), 0..64)) {
+                let okm = derive(b"s", &ikm, &info, len).unwrap();
+                prop_assert_eq!(okm.len(), len);
+            }
+
+            #[test]
+            fn prefix_consistency(ikm in proptest::collection::vec(any::<u8>(), 1..64)) {
+                // Expanding to 64 bytes then truncating equals expanding to 32.
+                let prk = extract(b"s", &ikm);
+                let long = expand(&prk, b"i", 64).unwrap();
+                let short = expand(&prk, b"i", 32).unwrap();
+                prop_assert_eq!(&long[..32], &short[..]);
+            }
+        }
+    }
+}

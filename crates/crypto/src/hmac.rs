@@ -1,0 +1,209 @@
+//! HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+//!
+//! The puzzle issuer MACs every challenge it hands out so that the verifier
+//! can authenticate returned solutions without keeping per-challenge state
+//! (see `aipow-pow`). Validated against the RFC 4231 test vectors.
+
+use crate::sha256::{Digest, Sha256};
+
+const BLOCK_LEN: usize = 64;
+
+/// Streaming HMAC-SHA-256.
+///
+/// ```
+/// use aipow_crypto::hmac::HmacSha256;
+/// let tag = HmacSha256::mac(b"key", b"message");
+/// let mut m = HmacSha256::new(b"key");
+/// m.update(b"mess");
+/// m.update(b"age");
+/// assert_eq!(m.finalize(), tag);
+/// ```
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    /// Outer-pad key block, retained until finalization.
+    opad_block: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates a MAC instance for `key`. Keys longer than the block size are
+    /// pre-hashed per the HMAC specification; any key length is accepted.
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let d = Sha256::digest(key);
+            key_block[..32].copy_from_slice(d.as_bytes());
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad_block = [0u8; BLOCK_LEN];
+        let mut opad_block = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad_block[i] = key_block[i] ^ 0x36;
+            opad_block[i] = key_block[i] ^ 0x5c;
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&ipad_block);
+        HmacSha256 { inner, opad_block }
+    }
+
+    /// One-shot convenience: `HMAC(key, data)`.
+    pub fn mac(key: &[u8], data: &[u8]) -> Digest {
+        let mut m = Self::new(key);
+        m.update(data);
+        m.finalize()
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Completes the MAC, consuming the instance.
+    pub fn finalize(self) -> Digest {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_block);
+        outer.update(inner_digest.as_bytes());
+        outer.finalize()
+    }
+
+    /// Verifies `tag` against `HMAC(key, data)` in constant time.
+    ///
+    /// ```
+    /// use aipow_crypto::hmac::HmacSha256;
+    /// let tag = HmacSha256::mac(b"k", b"d");
+    /// assert!(HmacSha256::verify(b"k", b"d", tag.as_bytes()));
+    /// assert!(!HmacSha256::verify(b"k", b"other", tag.as_bytes()));
+    /// ```
+    pub fn verify(key: &[u8], data: &[u8], tag: &[u8]) -> bool {
+        let expected = Self::mac(key, data);
+        crate::ct::eq(expected.as_bytes(), tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    /// RFC 4231 §4 test cases 1-4, 6, 7.
+    #[test]
+    fn rfc4231_vectors() {
+        // (key, data, expected HMAC-SHA-256)
+        let tc1_key = vec![0x0bu8; 20];
+        let tc3_key = vec![0xaau8; 20];
+        let tc3_data = vec![0xddu8; 50];
+        let tc4_key: Vec<u8> = (0x01u8..=0x19).collect();
+        let tc4_data = vec![0xcdu8; 50];
+        let tc67_key = vec![0xaau8; 131];
+
+        let cases: Vec<(Vec<u8>, Vec<u8>, &str)> = vec![
+            (
+                tc1_key,
+                b"Hi There".to_vec(),
+                "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7",
+            ),
+            (
+                b"Jefe".to_vec(),
+                b"what do ya want for nothing?".to_vec(),
+                "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843",
+            ),
+            (
+                tc3_key,
+                tc3_data,
+                "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe",
+            ),
+            (
+                tc4_key,
+                tc4_data,
+                "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b",
+            ),
+            (
+                tc67_key.clone(),
+                b"Test Using Larger Than Block-Size Key - Hash Key First".to_vec(),
+                "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54",
+            ),
+            (
+                tc67_key,
+                b"This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm."
+                    .to_vec(),
+                "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2",
+            ),
+        ];
+
+        for (i, (key, data, expected)) in cases.iter().enumerate() {
+            let tag = HmacSha256::mac(key, data);
+            assert_eq!(&tag.to_hex(), expected, "RFC 4231 case {}", i + 1);
+        }
+    }
+
+    /// RFC 4231 test case 5 verifies a truncated tag (first 128 bits).
+    #[test]
+    fn rfc4231_truncated_case5() {
+        let key = vec![0x0cu8; 20];
+        let tag = HmacSha256::mac(&key, b"Test With Truncation");
+        assert_eq!(
+            hex::encode(&tag.as_bytes()[..16]),
+            "a3b6167473100ee06e0c796c2955552b"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let key = b"stream-key";
+        let data: Vec<u8> = (0u8..=200).collect();
+        let oneshot = HmacSha256::mac(key, &data);
+        for split in [0usize, 1, 63, 64, 65, 128, 200] {
+            let mut m = HmacSha256::new(key);
+            m.update(&data[..split]);
+            m.update(&data[split..]);
+            assert_eq!(m.finalize(), oneshot, "split {split}");
+        }
+    }
+
+    #[test]
+    fn verify_accepts_valid_and_rejects_forged() {
+        let tag = HmacSha256::mac(b"k", b"payload");
+        assert!(HmacSha256::verify(b"k", b"payload", tag.as_bytes()));
+
+        let mut forged = *tag.as_bytes();
+        forged[0] ^= 1;
+        assert!(!HmacSha256::verify(b"k", b"payload", &forged));
+        assert!(!HmacSha256::verify(b"wrong", b"payload", tag.as_bytes()));
+        assert!(!HmacSha256::verify(b"k", b"payload", &tag.as_bytes()[..31]));
+    }
+
+    #[test]
+    fn distinct_keys_yield_distinct_tags() {
+        assert_ne!(HmacSha256::mac(b"a", b"m"), HmacSha256::mac(b"b", b"m"));
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn chunking_invariant(key in proptest::collection::vec(any::<u8>(), 0..130),
+                                  data in proptest::collection::vec(any::<u8>(), 0..512),
+                                  split in any::<usize>()) {
+                let oneshot = HmacSha256::mac(&key, &data);
+                let split = split % (data.len() + 1);
+                let mut m = HmacSha256::new(&key);
+                m.update(&data[..split]);
+                m.update(&data[split..]);
+                prop_assert_eq!(m.finalize(), oneshot);
+            }
+
+            #[test]
+            fn verify_roundtrip(key in proptest::collection::vec(any::<u8>(), 1..64),
+                                data in proptest::collection::vec(any::<u8>(), 0..256)) {
+                let tag = HmacSha256::mac(&key, &data);
+                prop_assert!(HmacSha256::verify(&key, &data, tag.as_bytes()));
+            }
+        }
+    }
+}

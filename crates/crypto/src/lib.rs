@@ -1,0 +1,51 @@
+//! Self-contained cryptographic primitives for the `aipow` workspace.
+//!
+//! The AI-assisted PoW framework (Chakraborty et al., DSN 2022) rests on a
+//! hash-puzzle substrate: clients repeatedly evaluate a cryptographic hash
+//! until the output carries a required number of leading zero bits, and the
+//! server authenticates the puzzles it issues so that verification can stay
+//! stateless. This crate provides exactly that substrate, implemented from
+//! scratch and validated against the official test vectors:
+//!
+//! - [`sha256`] — FIPS 180-4 SHA-256 and SHA-224 (streaming and one-shot),
+//! - [`hmac`] — RFC 2104 / FIPS 198-1 HMAC-SHA-256,
+//! - [`hkdf`] — RFC 5869 HKDF-SHA-256 (extract / expand),
+//! - [`drbg`] — an HMAC-DRBG (SP 800-90A style) deterministic byte generator,
+//! - [`hex`] — hex encoding/decoding,
+//! - [`ct`] — constant-time equality for MAC comparison.
+//!
+//! # Example
+//!
+//! ```
+//! use aipow_crypto::sha256::Sha256;
+//!
+//! let digest = Sha256::digest(b"abc");
+//! assert_eq!(
+//!     digest.to_hex(),
+//!     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+//! );
+//! // The PoW solver cares about leading zero bits of the digest:
+//! assert_eq!(Sha256::digest(&[0u8; 4]).leading_zero_bits() < 32, true);
+//! ```
+//!
+//! # Security note
+//!
+//! These implementations favour clarity and portability over raw speed; they
+//! are nonetheless fast enough that the workspace's PoW solver is hash-bound
+//! in the tens of MH/s range on commodity hardware. They are intended for the
+//! reproduction study in this repository, not as a general-purpose
+//! cryptography library.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ct;
+pub mod drbg;
+pub mod hex;
+pub mod hkdf;
+pub mod hmac;
+pub mod sha256;
+
+pub use drbg::HmacDrbg;
+pub use hmac::HmacSha256;
+pub use sha256::{Digest, Sha224, Sha256};

@@ -1,0 +1,366 @@
+//! Log-bucketed histogram for high-volume latency recording.
+//!
+//! Values below 64 are recorded exactly; above that, each power of two is
+//! split into 64 sub-buckets, bounding the relative quantile error at
+//! `1/64 ≈ 1.6 %`. This is the classic HDR-style log-linear layout, sized
+//! statically for the full `u64` range (3 776 buckets, ~30 KiB).
+
+/// Number of sub-bucket bits per octave.
+const SUB_BITS: u32 = 6;
+const SUB_COUNT: usize = 1 << SUB_BITS;
+/// Bucket count covering all of `u64`.
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB_COUNT;
+
+/// A log-bucketed histogram over `u64` values (typically nanoseconds).
+///
+/// ```
+/// use aipow_metrics::Histogram;
+/// let mut h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// let p50 = h.value_at_quantile(0.5);
+/// assert!((480..=520).contains(&p50), "p50 was {p50}");
+/// ```
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` observations of the same value.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(value)] += n;
+        self.count += n;
+        self.sum += value as u128 * n as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact minimum recorded value, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded value, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate value at quantile `q ∈ [0, 1]` (bucket midpoint; ≤ 1.6 %
+    /// relative error). Returns 0 for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]`.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        // Rank of the target observation (1-based), clamped into range.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let lo = bucket_low(idx);
+                let hi = bucket_high(idx);
+                let mid = lo + (hi - lo) / 2;
+                // Clamp to observed extrema so p0/p100 are exact.
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Shorthand for the median.
+    pub fn median(&self) -> u64 {
+        self.value_at_quantile(0.5)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Clears all recorded data.
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+}
+
+impl core::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("p50", &self.value_at_quantile(0.5))
+            .field("p99", &self.value_at_quantile(0.99))
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+/// Maps a value to its bucket index.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_COUNT as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+    let shift = msb - SUB_BITS;
+    let sub = ((v >> shift) & (SUB_COUNT as u64 - 1)) as usize;
+    ((msb - SUB_BITS + 1) as usize) * SUB_COUNT + sub
+}
+
+/// Lowest value mapping to bucket `idx`.
+fn bucket_low(idx: usize) -> u64 {
+    let octave = idx / SUB_COUNT;
+    let sub = (idx % SUB_COUNT) as u64;
+    if octave == 0 {
+        return sub;
+    }
+    let msb = octave as u32 + SUB_BITS - 1;
+    let shift = msb - SUB_BITS;
+    (1u64 << msb) + (sub << shift)
+}
+
+/// Highest value mapping to bucket `idx`.
+fn bucket_high(idx: usize) -> u64 {
+    if idx + 1 >= BUCKETS {
+        return u64::MAX;
+    }
+    bucket_low(idx + 1).saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        // Each value below 64 has its own bucket.
+        assert_eq!(h.value_at_quantile(0.0), 0);
+        assert_eq!(h.max(), 63);
+        assert_eq!(h.count(), 64);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_nondecreasing() {
+        let mut prev = 0usize;
+        let mut v = 0u64;
+        while v < 1 << 24 {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "index regressed at {v}");
+            prev = idx;
+            v = if v < 4096 { v + 1 } else { v + v / 512 };
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_contain_their_values() {
+        for &v in &[0u64, 1, 63, 64, 65, 127, 128, 1000, 65_535, 1 << 30, u64::MAX / 2] {
+            let idx = bucket_index(v);
+            assert!(bucket_low(idx) <= v, "low bound for {v}");
+            assert!(v <= bucket_high(idx), "high bound for {v}");
+        }
+    }
+
+    #[test]
+    fn quantile_relative_error_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for &(q, expect) in &[(0.5, 50_000u64), (0.9, 90_000), (0.99, 99_000)] {
+            let got = h.value_at_quantile(q);
+            let err = (got as f64 - expect as f64).abs() / expect as f64;
+            assert!(err < 0.02, "q={q} got {got} expected {expect} err {err}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.value_at_quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn quantile_out_of_range_panics() {
+        Histogram::new().value_at_quantile(1.5);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        h.record(30);
+        assert_eq!(h.mean(), 20.0);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extrema() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 1_000_000);
+    }
+
+    #[test]
+    fn record_n_equivalent_to_loop() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record_n(777, 100);
+        for _ in 0..100 {
+            b.record(777);
+        }
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.value_at_quantile(0.5), b.value_at_quantile(0.5));
+        assert_eq!(a.mean(), b.mean());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut h = Histogram::new();
+        h.record(42);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.value_at_quantile(0.99), 0);
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.min(), 0);
+        let _ = h.value_at_quantile(1.0);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Quantile estimates stay within one bucket (1/64 relative
+            /// error) of the exact order statistic.
+            #[test]
+            fn quantile_close_to_exact(mut values in proptest::collection::vec(1u64..1_000_000, 1..500),
+                                       q in 0.0f64..1.0) {
+                let mut h = Histogram::new();
+                for &v in &values {
+                    h.record(v);
+                }
+                values.sort_unstable();
+                let rank = ((q * values.len() as f64).ceil() as usize)
+                    .clamp(1, values.len());
+                let exact = values[rank - 1];
+                let got = h.value_at_quantile(q);
+                let err = (got as f64 - exact as f64).abs() / exact.max(1) as f64;
+                prop_assert!(err <= 0.04, "got {} exact {} err {}", got, exact, err);
+            }
+
+            /// min <= p50 <= max always holds.
+            #[test]
+            fn quantiles_within_extrema(values in proptest::collection::vec(any::<u64>(), 1..200)) {
+                let mut h = Histogram::new();
+                for &v in &values {
+                    h.record(v);
+                }
+                let p50 = h.value_at_quantile(0.5);
+                prop_assert!(h.min() <= p50 && p50 <= h.max());
+            }
+
+            /// Merging two histograms equals recording everything into one.
+            #[test]
+            fn merge_equals_union(a in proptest::collection::vec(1u64..1_000_000, 0..100),
+                                  b in proptest::collection::vec(1u64..1_000_000, 0..100)) {
+                let mut ha = Histogram::new();
+                let mut hb = Histogram::new();
+                let mut hu = Histogram::new();
+                for &v in &a { ha.record(v); hu.record(v); }
+                for &v in &b { hb.record(v); hu.record(v); }
+                ha.merge(&hb);
+                prop_assert_eq!(ha.count(), hu.count());
+                prop_assert_eq!(ha.value_at_quantile(0.5), hu.value_at_quantile(0.5));
+                prop_assert_eq!(ha.max(), hu.max());
+            }
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Exact small-sample statistics.
+//!
+//! The paper reports the **median of 30 trials** for every point in
+//! Figure 2. [`TrialSet`] keeps the raw observations and computes exact
+//! order statistics, which matters at n = 30 where bucketed approximations
+//! would visibly distort the reproduced curves.
+
+/// A set of f64 observations with exact order statistics.
+///
+/// ```
+/// use aipow_metrics::TrialSet;
+/// let trials: TrialSet = [3.0, 1.0, 2.0].into_iter().collect();
+/// assert_eq!(trials.median(), Some(2.0));
+/// assert_eq!(trials.min(), Some(1.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrialSet {
+    values: Vec<f64>,
+}
+
+impl TrialSet {
+    /// Creates an empty trial set.
+    pub fn new() -> Self {
+        TrialSet { values: Vec::new() }
+    }
+
+    /// Creates an empty trial set with capacity for `n` trials.
+    pub fn with_capacity(n: usize) -> Self {
+        TrialSet {
+            values: Vec::with_capacity(n),
+        }
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN; order statistics are undefined over NaN.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "cannot record NaN observation");
+        self.values.push(value);
+    }
+
+    /// Number of recorded observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw observations in insertion order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Exact median (mean of the two central order statistics for even n).
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Exact quantile using linear interpolation between order statistics
+    /// (type-7 / numpy default). Returns `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.values.is_empty() {
+            return None;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+    }
+
+    /// Sample standard deviation (n−1 denominator), `None` if fewer than two
+    /// observations.
+    pub fn stddev(&self) -> Option<f64> {
+        if self.values.len() < 2 {
+            return None;
+        }
+        let mean = self.mean().expect("nonempty");
+        let var = self
+            .values
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / (self.values.len() - 1) as f64;
+        Some(var.sqrt())
+    }
+
+    /// Smallest observation, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Largest observation, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// Interquartile range (q75 − q25), `None` if empty.
+    pub fn iqr(&self) -> Option<f64> {
+        Some(self.quantile(0.75)? - self.quantile(0.25)?)
+    }
+}
+
+impl FromIterator<f64> for TrialSet {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut set = TrialSet::new();
+        for v in iter {
+            set.record(v);
+        }
+        set
+    }
+}
+
+impl Extend<f64> for TrialSet {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_count() {
+        let t: TrialSet = [5.0, 1.0, 3.0].into_iter().collect();
+        assert_eq!(t.median(), Some(3.0));
+    }
+
+    #[test]
+    fn median_even_count_interpolates() {
+        let t: TrialSet = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert_eq!(t.median(), Some(2.5));
+    }
+
+    #[test]
+    fn median_of_30_matches_paper_methodology() {
+        // 30 trials: median is the mean of the 15th and 16th order stats.
+        let t: TrialSet = (1..=30).map(f64::from).collect();
+        assert_eq!(t.median(), Some(15.5));
+    }
+
+    #[test]
+    fn quantile_extremes() {
+        let t: TrialSet = [10.0, 20.0, 30.0].into_iter().collect();
+        assert_eq!(t.quantile(0.0), Some(10.0));
+        assert_eq!(t.quantile(1.0), Some(30.0));
+    }
+
+    #[test]
+    fn empty_set_returns_none() {
+        let t = TrialSet::new();
+        assert_eq!(t.median(), None);
+        assert_eq!(t.mean(), None);
+        assert_eq!(t.stddev(), None);
+        assert_eq!(t.min(), None);
+        assert_eq!(t.max(), None);
+        assert_eq!(t.iqr(), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn stddev_known_value() {
+        let t: TrialSet = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        // Sample stddev of this classic set is sqrt(32/7).
+        let sd = t.stddev().unwrap();
+        assert!((sd - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stddev_requires_two_observations() {
+        let mut t = TrialSet::new();
+        t.record(1.0);
+        assert_eq!(t.stddev(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn recording_nan_panics() {
+        TrialSet::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn insertion_order_preserved_in_values() {
+        let t: TrialSet = [3.0, 1.0, 2.0].into_iter().collect();
+        assert_eq!(t.values(), &[3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut t: TrialSet = [1.0].into_iter().collect();
+        t.extend([2.0, 3.0]);
+        assert_eq!(t.len(), 3);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn median_between_min_and_max(values in proptest::collection::vec(-1e9f64..1e9, 1..100)) {
+                let t: TrialSet = values.into_iter().collect();
+                let m = t.median().unwrap();
+                prop_assert!(t.min().unwrap() <= m && m <= t.max().unwrap());
+            }
+
+            #[test]
+            fn quantile_monotone(values in proptest::collection::vec(-1e6f64..1e6, 1..60),
+                                 q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+                let t: TrialSet = values.into_iter().collect();
+                let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+                prop_assert!(t.quantile(lo).unwrap() <= t.quantile(hi).unwrap() + 1e-9);
+            }
+
+            #[test]
+            fn mean_within_extrema(values in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+                let t: TrialSet = values.into_iter().collect();
+                let m = t.mean().unwrap();
+                prop_assert!(t.min().unwrap() - 1e-6 <= m && m <= t.max().unwrap() + 1e-6);
+            }
+        }
+    }
+}

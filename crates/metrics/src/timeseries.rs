@@ -1,0 +1,218 @@
+//! Timestamped sample series with windowed binning.
+//!
+//! The DDoS experiments (claim C5) plot goodput and latency *over time* as
+//! an attack ramps up; [`TimeSeries`] records `(t, value)` points and bins
+//! them into fixed windows for reporting.
+
+use crate::summary::Summary;
+
+/// A series of `(timestamp, value)` observations.
+///
+/// Timestamps are `u64` in caller-chosen units (the simulator uses
+/// nanoseconds, the TCP runtime uses microseconds since start).
+///
+/// ```
+/// use aipow_metrics::TimeSeries;
+/// let mut ts = TimeSeries::new();
+/// ts.push(10, 1.0);
+/// ts.push(25, 3.0);
+/// let bins = ts.bin(10);
+/// assert_eq!(bins.len(), 2);
+/// assert_eq!(bins[0].window_start, 10);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(u64, f64)>,
+}
+
+/// One fixed window of a binned [`TimeSeries`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bin {
+    /// Inclusive start of the window.
+    pub window_start: u64,
+    /// Number of points that fell in the window.
+    pub count: usize,
+    /// Sum of the point values in the window.
+    pub sum: f64,
+    /// Mean of the point values in the window (0.0 for empty bins).
+    pub mean: f64,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Appends an observation. Timestamps need not be monotone; binning
+    /// sorts internally.
+    pub fn push(&mut self, timestamp: u64, value: f64) {
+        self.points.push((timestamp, value));
+    }
+
+    /// Number of recorded points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The raw points in insertion order.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Bins the series into consecutive windows of `width` time units,
+    /// starting at the earliest timestamp. Windows with no points are
+    /// included (with `count == 0`) so that rate plots show gaps honestly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn bin(&self, width: u64) -> Vec<Bin> {
+        assert!(width > 0, "bin width must be positive");
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let mut sorted = self.points.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let start = sorted[0].0;
+        let end = sorted[sorted.len() - 1].0;
+        let nbins = ((end - start) / width + 1) as usize;
+        let mut bins: Vec<Bin> = (0..nbins)
+            .map(|i| Bin {
+                window_start: start + i as u64 * width,
+                count: 0,
+                sum: 0.0,
+                mean: 0.0,
+            })
+            .collect();
+        for (t, v) in sorted {
+            let idx = ((t - start) / width) as usize;
+            let bin = &mut bins[idx];
+            bin.count += 1;
+            bin.sum += v;
+        }
+        for bin in &mut bins {
+            if bin.count > 0 {
+                bin.mean = bin.sum / bin.count as f64;
+            }
+        }
+        bins
+    }
+
+    /// Event rate per unit time in each window: `count / width`.
+    pub fn rate(&self, width: u64) -> Vec<(u64, f64)> {
+        self.bin(width)
+            .into_iter()
+            .map(|b| (b.window_start, b.count as f64 / width as f64))
+            .collect()
+    }
+
+    /// Statistical digest of all values, ignoring timestamps.
+    pub fn value_summary(&self) -> Summary {
+        Summary::from_values(self.points.iter().map(|&(_, v)| v))
+    }
+}
+
+impl FromIterator<(u64, f64)> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = (u64, f64)>>(iter: I) -> Self {
+        TimeSeries {
+            points: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_counts_and_means() {
+        let ts: TimeSeries = [(0, 2.0), (5, 4.0), (10, 6.0)].into_iter().collect();
+        let bins = ts.bin(10);
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins[0].count, 2);
+        assert_eq!(bins[0].mean, 3.0);
+        assert_eq!(bins[1].count, 1);
+        assert_eq!(bins[1].mean, 6.0);
+    }
+
+    #[test]
+    fn empty_bins_are_reported() {
+        let ts: TimeSeries = [(0, 1.0), (35, 1.0)].into_iter().collect();
+        let bins = ts.bin(10);
+        assert_eq!(bins.len(), 4);
+        assert_eq!(bins[1].count, 0);
+        assert_eq!(bins[2].count, 0);
+        assert_eq!(bins[1].mean, 0.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let ts: TimeSeries = [(30, 3.0), (0, 1.0), (15, 2.0)].into_iter().collect();
+        let bins = ts.bin(15);
+        assert_eq!(bins.len(), 3);
+        assert_eq!(bins[0].count, 1);
+        assert_eq!(bins[1].count, 1);
+        assert_eq!(bins[2].count, 1);
+    }
+
+    #[test]
+    fn rate_is_count_over_width() {
+        let ts: TimeSeries = (0..100).map(|i| (i, 1.0)).collect();
+        let rates = ts.rate(10);
+        assert_eq!(rates.len(), 10);
+        for (_, r) in rates {
+            assert!((r - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_series() {
+        let ts = TimeSeries::new();
+        assert!(ts.bin(10).is_empty());
+        assert!(ts.rate(10).is_empty());
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_panics() {
+        let ts: TimeSeries = [(0, 1.0)].into_iter().collect();
+        ts.bin(0);
+    }
+
+    #[test]
+    fn value_summary_ignores_time() {
+        let ts: TimeSeries = [(100, 1.0), (0, 3.0)].into_iter().collect();
+        let s = ts.value_summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Total binned count equals the number of points, and every
+            /// point lands in the window covering its timestamp.
+            #[test]
+            fn bins_conserve_points(points in proptest::collection::vec((0u64..10_000, -100f64..100.0), 1..200),
+                                    width in 1u64..500) {
+                let ts: TimeSeries = points.iter().copied().collect();
+                let bins = ts.bin(width);
+                let total: usize = bins.iter().map(|b| b.count).sum();
+                prop_assert_eq!(total, points.len());
+                // Windows tile the range contiguously.
+                for pair in bins.windows(2) {
+                    prop_assert_eq!(pair[1].window_start - pair[0].window_start, width);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! The puzzle-solving client (the framework's solver role).
+
+use aipow_pow::solver::{self, SolveError, SolverOptions};
+use aipow_pow::{Difficulty, Solution};
+use aipow_wire::{read_message, write_message, Message, ReadMessageError, RejectCode};
+use core::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Why a fetch failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure.
+    Io(io::Error),
+    /// A frame failed to decode, or the peer closed mid-exchange.
+    Protocol(ReadMessageError),
+    /// The server rejected the request or solution.
+    Rejected {
+        /// The server's reason code.
+        code: RejectCode,
+        /// Human-readable detail from the server.
+        detail: String,
+    },
+    /// The local solver gave up (budget or nonce space exhausted).
+    Solve(SolveError),
+    /// The server sent a message that does not fit the protocol state.
+    UnexpectedMessage {
+        /// A description of what arrived.
+        got: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Rejected { code, detail } => {
+                write!(f, "server rejected request: {code}: {detail}")
+            }
+            ClientError::Solve(e) => write!(f, "solver failed: {e}"),
+            ClientError::UnexpectedMessage { got } => {
+                write!(f, "unexpected message from server: {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Protocol(e) => Some(e),
+            ClientError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ReadMessageError> for ClientError {
+    fn from(e: ReadMessageError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// What a successful fetch cost.
+#[derive(Debug, Clone)]
+pub struct FetchReport {
+    /// The resource bytes.
+    pub body: Vec<u8>,
+    /// The difficulty that was paid (None when the server bypassed the
+    /// puzzle).
+    pub difficulty: Option<Difficulty>,
+    /// Hash evaluations spent solving.
+    pub attempts: u64,
+    /// Time spent solving the puzzle.
+    pub solve_time: Duration,
+    /// End-to-end request latency, the paper's Figure 2 metric.
+    pub total_time: Duration,
+}
+
+/// A blocking client for [`PowServer`](crate::PowServer).
+///
+/// One TCP connection, reusable across any number of fetches.
+#[derive(Debug)]
+pub struct PowClient {
+    stream: TcpStream,
+    solver_options: SolverOptions,
+    solver_threads: usize,
+}
+
+impl PowClient {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(PowClient {
+            stream,
+            solver_options: SolverOptions::default(),
+            solver_threads: 1,
+        })
+    }
+
+    /// Uses custom solver options (e.g. strict 32-bit nonces).
+    pub fn with_solver_options(mut self, options: SolverOptions) -> Self {
+        self.solver_options = options;
+        self
+    }
+
+    /// Solves with `threads` worker threads (powerful clients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_solver_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "at least one solver thread required");
+        self.solver_threads = threads;
+        self
+    }
+
+    /// The local socket address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying socket error.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.stream.local_addr()
+    }
+
+    /// Fetches `path`: request → solve the returned puzzle → submit →
+    /// receive the resource. This is the client half of Figure 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on transport, protocol, solver, or server
+    /// rejection.
+    pub fn fetch(&mut self, path: &str) -> Result<FetchReport, ClientError> {
+        let start = Instant::now();
+        write_message(
+            &mut self.stream,
+            &Message::RequestResource { path: path.into() },
+        )?;
+
+        let (challenge, echoed_path) = match read_message(&mut self.stream)? {
+            Message::ChallengeIssued { challenge, path } => (challenge, path),
+            Message::ResourceGranted { body, .. } => {
+                // Bypass: the server served us without a puzzle.
+                return Ok(FetchReport {
+                    body,
+                    difficulty: None,
+                    attempts: 0,
+                    solve_time: Duration::ZERO,
+                    total_time: start.elapsed(),
+                });
+            }
+            Message::Rejected { code, detail } => {
+                return Err(ClientError::Rejected { code, detail })
+            }
+            other => {
+                return Err(ClientError::UnexpectedMessage {
+                    got: format!("{other:?}"),
+                })
+            }
+        };
+
+        // Solve against the IP the server bound the challenge to (our
+        // address as the server sees it).
+        let solve_ip = challenge.client_ip();
+        let report = if self.solver_threads > 1 {
+            solver::solve_parallel(&challenge, solve_ip, self.solver_threads, &self.solver_options)
+        } else {
+            solver::solve(&challenge, solve_ip, &self.solver_options)
+        }
+        .map_err(ClientError::Solve)?;
+
+        let paid_difficulty = report.solution.challenge.difficulty();
+        let Solution {
+            challenge,
+            nonce,
+            width,
+        } = report.solution;
+        write_message(
+            &mut self.stream,
+            &Message::SubmitSolution {
+                challenge,
+                nonce,
+                width,
+                path: echoed_path,
+            },
+        )?;
+
+        match read_message(&mut self.stream)? {
+            Message::ResourceGranted { body, .. } => Ok(FetchReport {
+                body,
+                difficulty: Some(paid_difficulty),
+                attempts: report.attempts,
+                solve_time: report.elapsed,
+                total_time: start.elapsed(),
+            }),
+            Message::Rejected { code, detail } => Err(ClientError::Rejected { code, detail }),
+            other => Err(ClientError::UnexpectedMessage {
+                got: format!("{other:?}"),
+            }),
+        }
+    }
+
+    /// Round-trip liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on transport failure or a mismatched token.
+    pub fn ping(&mut self) -> Result<Duration, ClientError> {
+        let start = Instant::now();
+        write_message(&mut self.stream, &Message::Ping { token: 0xA1F0 })?;
+        match read_message(&mut self.stream)? {
+            Message::Pong { token: 0xA1F0 } => Ok(start.elapsed()),
+            other => Err(ClientError::UnexpectedMessage {
+                got: format!("{other:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{PowServer, ServerConfig};
+    use aipow_core::{FrameworkBuilder, StaticFeatureSource};
+    use aipow_policy::LinearPolicy;
+    use aipow_reputation::model::FixedScoreModel;
+    use aipow_reputation::{FeatureVector, ReputationScore};
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    fn spawn_server(score: f64, bypass: Option<f64>) -> (PowServer, Arc<aipow_core::Framework>) {
+        let mut builder = FrameworkBuilder::new()
+            .master_key([4u8; 32])
+            .model(FixedScoreModel::new(ReputationScore::new(score).unwrap()))
+            .policy(LinearPolicy::policy1());
+        if let Some(t) = bypass {
+            builder = builder.bypass_threshold(t);
+        }
+        let framework = Arc::new(builder.build().unwrap());
+        let features = Arc::new(StaticFeatureSource::new(FeatureVector::zeros()));
+        let mut resources = HashMap::new();
+        resources.insert("/data".to_string(), vec![42u8; 128]);
+        let server = PowServer::start(
+            "127.0.0.1:0",
+            Arc::clone(&framework),
+            features,
+            resources,
+            ServerConfig::default(),
+        )
+        .unwrap();
+        (server, framework)
+    }
+
+    #[test]
+    fn fetch_solves_and_receives() {
+        let (server, framework) = spawn_server(2.0, None);
+        let mut client = PowClient::connect(server.local_addr()).unwrap();
+        let report = client.fetch("/data").unwrap();
+        assert_eq!(report.body, vec![42u8; 128]);
+        assert_eq!(report.difficulty.unwrap().bits(), 3); // score 2 → policy1 → 3
+        assert!(report.attempts >= 1);
+        let snap = framework.metrics().snapshot();
+        assert_eq!(snap.challenges_issued, 1);
+        assert_eq!(snap.solutions_accepted, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn repeated_fetches_reuse_connection() {
+        let (server, framework) = spawn_server(0.0, None);
+        let mut client = PowClient::connect(server.local_addr()).unwrap();
+        for _ in 0..5 {
+            let report = client.fetch("/data").unwrap();
+            assert_eq!(report.body.len(), 128);
+        }
+        assert_eq!(framework.metrics().snapshot().solutions_accepted, 5);
+        server.shutdown();
+    }
+
+    #[test]
+    fn bypass_served_without_puzzle() {
+        let (server, framework) = spawn_server(1.0, Some(5.0));
+        let mut client = PowClient::connect(server.local_addr()).unwrap();
+        let report = client.fetch("/data").unwrap();
+        assert_eq!(report.difficulty, None);
+        assert_eq!(report.attempts, 0);
+        assert_eq!(framework.metrics().snapshot().bypassed, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn missing_resource_rejected() {
+        let (server, _) = spawn_server(0.0, None);
+        let mut client = PowClient::connect(server.local_addr()).unwrap();
+        match client.fetch("/nope") {
+            Err(ClientError::Rejected { code, .. }) => assert_eq!(code, RejectCode::NotFound),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn parallel_solver_client_works() {
+        let (server, _) = spawn_server(8.0, None); // policy1 → 9 bits
+        let mut client = PowClient::connect(server.local_addr())
+            .unwrap()
+            .with_solver_threads(4);
+        let report = client.fetch("/data").unwrap();
+        assert_eq!(report.difficulty.unwrap().bits(), 9);
+        server.shutdown();
+    }
+
+    #[test]
+    fn ping_roundtrip() {
+        let (server, _) = spawn_server(0.0, None);
+        let mut client = PowClient::connect(server.local_addr()).unwrap();
+        let rtt = client.ping().unwrap();
+        assert!(rtt < Duration::from_secs(5));
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_all_succeed() {
+        let (server, framework) = spawn_server(3.0, None);
+        let addr = server.local_addr();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut client = PowClient::connect(addr).unwrap();
+                    client.fetch("/data").unwrap().body.len()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 128);
+        }
+        assert_eq!(framework.metrics().snapshot().solutions_accepted, 8);
+        server.shutdown();
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let e = ClientError::Rejected {
+            code: RejectCode::RateLimited,
+            detail: "x".into(),
+        };
+        assert!(e.to_string().contains("rate limited"));
+    }
+}

@@ -1,0 +1,51 @@
+//! A real networked deployment of the framework (paper §I: “a simple
+//! networked client-server environment \[where\] the server contains the
+//! issuer/generator and the verifier components, and the client is the
+//! solver”).
+//!
+//! - [`PowServer`] — a threaded TCP resource server that fronts every
+//!   resource with the admission pipeline of
+//!   [`aipow_core::Framework`];
+//! - [`PowClient`] — a blocking client that requests a resource, solves
+//!   the returned puzzle, submits the solution, and receives the resource.
+//!
+//! # Example
+//!
+//! ```
+//! use aipow_core::{FrameworkBuilder, StaticFeatureSource};
+//! use aipow_net::{PowClient, PowServer, ServerConfig};
+//! use aipow_policy::LinearPolicy;
+//! use aipow_reputation::model::FixedScoreModel;
+//! use aipow_reputation::{FeatureVector, ReputationScore};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let framework = Arc::new(
+//!     FrameworkBuilder::new()
+//!         .master_key([7u8; 32])
+//!         .model(FixedScoreModel::new(ReputationScore::new(1.0)?))
+//!         .policy(LinearPolicy::policy1())
+//!         .build()?,
+//! );
+//! let features = Arc::new(StaticFeatureSource::new(FeatureVector::zeros()));
+//! let mut resources = std::collections::HashMap::new();
+//! resources.insert("/hello".to_string(), b"world".to_vec());
+//!
+//! let server = PowServer::start("127.0.0.1:0", framework, features, resources,
+//!                               ServerConfig::default())?;
+//! let mut client = PowClient::connect(server.local_addr())?;
+//! let report = client.fetch("/hello")?;
+//! assert_eq!(report.body, b"world");
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+
+pub use client::{ClientError, FetchReport, PowClient};
+pub use server::{PowServer, ServerConfig};

@@ -1,0 +1,384 @@
+//! The challenge-issuing TCP resource server.
+
+use aipow_core::{FeatureSource, Framework, RateLimiter};
+use aipow_pow::{Solution, SystemClock, TimeSource};
+use aipow_wire::{read_message, write_message, Message, ReadMessageError, RejectCode};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+    /// Optional per-IP rate limit: `(burst, refills_per_sec)` on
+    /// resource requests. Solutions are never rate-limited — the client
+    /// already paid for them in hashes.
+    pub rate_limit: Option<(f64, f64)>,
+    /// Backlog of accepted-but-unhandled connections.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            read_timeout: Duration::from_secs(30),
+            rate_limit: None,
+            queue_depth: 256,
+        }
+    }
+}
+
+/// A running server; dropping it without [`shutdown`](PowServer::shutdown)
+/// detaches the threads (they exit when the process does).
+#[derive(Debug)]
+pub struct PowServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    /// Clones of live connection streams so shutdown can interrupt workers
+    /// blocked in reads.
+    connections: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl PowServer {
+    /// Binds `addr` and starts the acceptor and worker threads.
+    ///
+    /// `resources` maps paths to response bodies; every path is fronted by
+    /// the framework's challenge flow.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from binding the listener.
+    pub fn start<A: ToSocketAddrs>(
+        addr: A,
+        framework: Arc<Framework>,
+        features: Arc<dyn FeatureSource>,
+        resources: HashMap<String, Vec<u8>>,
+        config: ServerConfig,
+    ) -> io::Result<PowServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let resources = Arc::new(resources);
+        let limiter = Arc::new(
+            config
+                .rate_limit
+                .map(|(burst, refill)| RateLimiter::new(burst, refill, 65_536)),
+        );
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(config.queue_depth);
+        let connections: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let rx = rx.clone();
+                let framework = Arc::clone(&framework);
+                let features = Arc::clone(&features);
+                let resources = Arc::clone(&resources);
+                let limiter = Arc::clone(&limiter);
+                let connections = Arc::clone(&connections);
+                let read_timeout = config.read_timeout;
+                std::thread::spawn(move || {
+                    while let Ok(stream) = rx.recv() {
+                        let _ = stream.set_read_timeout(Some(read_timeout));
+                        let _ = stream.set_nodelay(true);
+                        if let Ok(clone) = stream.try_clone() {
+                            let mut registry = connections.lock();
+                            // Prune streams whose connections have ended so
+                            // the registry does not grow unboundedly.
+                            registry.retain(|s| s.peer_addr().is_ok());
+                            registry.push(clone);
+                        }
+                        handle_connection(stream, &framework, &*features, &resources, &limiter);
+                    }
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                while !shutdown.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // A full queue sheds load by dropping the
+                            // connection — the PoW layer is the defense,
+                            // not an unbounded buffer.
+                            let _ = tx.try_send(stream);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                // Dropping `tx` lets workers drain and exit.
+            })
+        };
+
+        Ok(PowServer {
+            local_addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers,
+            connections,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, interrupts in-flight connections, and joins all
+    /// threads.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Workers may be blocked reading from live connections; closing
+        // both directions makes those reads return immediately.
+        for stream in self.connections.lock().drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Serves one connection until the peer closes or errors.
+fn handle_connection(
+    mut stream: TcpStream,
+    framework: &Framework,
+    features: &dyn FeatureSource,
+    resources: &HashMap<String, Vec<u8>>,
+    limiter: &Option<RateLimiter>,
+) {
+    let peer_ip = match stream.peer_addr() {
+        Ok(addr) => addr.ip(),
+        Err(_) => return,
+    };
+
+    loop {
+        let msg = match read_message(&mut stream) {
+            Ok(msg) => msg,
+            Err(ReadMessageError::Closed) => return,
+            Err(ReadMessageError::Decode(e)) => {
+                let _ = write_message(
+                    &mut stream,
+                    &Message::Rejected {
+                        code: RejectCode::Malformed,
+                        detail: e.to_string(),
+                    },
+                );
+                return;
+            }
+            Err(ReadMessageError::Io(_)) => return,
+        };
+
+        let reply = match msg {
+            Message::Ping { token } => Message::Pong { token },
+            Message::RequestResource { path } => {
+                if let Some(limiter) = limiter {
+                    if !limiter.allow(peer_ip, SystemClock.now_ms()) {
+                        let _ = write_message(
+                            &mut stream,
+                            &Message::Rejected {
+                                code: RejectCode::RateLimited,
+                                detail: "request rate exceeded".into(),
+                            },
+                        );
+                        continue;
+                    }
+                }
+                if !resources.contains_key(&path) {
+                    let _ = write_message(
+                        &mut stream,
+                        &Message::Rejected {
+                            code: RejectCode::NotFound,
+                            detail: path,
+                        },
+                    );
+                    continue;
+                }
+                let fv = features.features_for(peer_ip);
+                match framework.handle_request(peer_ip, &fv) {
+                    aipow_core::AdmissionDecision::Admit { .. } => Message::ResourceGranted {
+                        body: resources[&path].clone(),
+                        path,
+                    },
+                    aipow_core::AdmissionDecision::Challenge(issued) => {
+                        Message::ChallengeIssued {
+                            challenge: issued.challenge,
+                            path,
+                        }
+                    }
+                }
+            }
+            Message::SubmitSolution {
+                challenge,
+                nonce,
+                width,
+                path,
+            } => {
+                let solution = Solution {
+                    challenge,
+                    nonce,
+                    width,
+                };
+                match framework.handle_solution(&solution, peer_ip) {
+                    Ok(_token) => match resources.get(&path) {
+                        Some(body) => Message::ResourceGranted {
+                            body: body.clone(),
+                            path,
+                        },
+                        None => Message::Rejected {
+                            code: RejectCode::NotFound,
+                            detail: path,
+                        },
+                    },
+                    Err(e) => Message::Rejected {
+                        code: RejectCode::InvalidSolution,
+                        detail: e.to_string(),
+                    },
+                }
+            }
+            // Server-to-client message types arriving at the server.
+            Message::ChallengeIssued { .. }
+            | Message::ResourceGranted { .. }
+            | Message::Rejected { .. }
+            | Message::Pong { .. } => Message::Rejected {
+                code: RejectCode::Malformed,
+                detail: "unexpected message direction".into(),
+            },
+            // Future message types (enum is non_exhaustive).
+            _ => Message::Rejected {
+                code: RejectCode::Malformed,
+                detail: "unsupported message".into(),
+            },
+        };
+
+        if write_message(&mut stream, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aipow_core::{FrameworkBuilder, StaticFeatureSource};
+    use aipow_policy::LinearPolicy;
+    use aipow_reputation::model::FixedScoreModel;
+    use aipow_reputation::{FeatureVector, ReputationScore};
+
+    fn test_server(score: f64, config: ServerConfig) -> PowServer {
+        let framework = Arc::new(
+            FrameworkBuilder::new()
+                .master_key([3u8; 32])
+                .model(FixedScoreModel::new(ReputationScore::new(score).unwrap()))
+                .policy(LinearPolicy::policy1())
+                .build()
+                .unwrap(),
+        );
+        let features = Arc::new(StaticFeatureSource::new(FeatureVector::zeros()));
+        let mut resources = HashMap::new();
+        resources.insert("/r".to_string(), b"payload".to_vec());
+        PowServer::start("127.0.0.1:0", framework, features, resources, config).unwrap()
+    }
+
+    #[test]
+    fn starts_and_shuts_down() {
+        let server = test_server(0.0, ServerConfig::default());
+        let addr = server.local_addr();
+        assert_ne!(addr.port(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn raw_tcp_garbage_is_rejected_cleanly() {
+        use std::io::Write;
+        let server = test_server(0.0, ServerConfig::default());
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        // Server replies with a Rejected frame and closes; read until EOF
+        // must terminate (no hang).
+        let msg = read_message(&mut stream);
+        match msg {
+            Ok(Message::Rejected { code, .. }) => assert_eq!(code, RejectCode::Malformed),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn ping_pong() {
+        let server = test_server(0.0, ServerConfig::default());
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write_message(&mut stream, &Message::Ping { token: 99 }).unwrap();
+        match read_message(&mut stream).unwrap() {
+            Message::Pong { token } => assert_eq!(token, 99),
+            other => panic!("expected pong, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_resource_is_not_found() {
+        let server = test_server(0.0, ServerConfig::default());
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write_message(
+            &mut stream,
+            &Message::RequestResource {
+                path: "/missing".into(),
+            },
+        )
+        .unwrap();
+        match read_message(&mut stream).unwrap() {
+            Message::Rejected { code, .. } => assert_eq!(code, RejectCode::NotFound),
+            other => panic!("expected not-found, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn rate_limit_rejects_excess_requests() {
+        let server = test_server(
+            0.0,
+            ServerConfig {
+                rate_limit: Some((2.0, 0.001)),
+                ..Default::default()
+            },
+        );
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut rejected = 0;
+        for _ in 0..4 {
+            write_message(
+                &mut stream,
+                &Message::RequestResource { path: "/r".into() },
+            )
+            .unwrap();
+            if let Message::Rejected { code, .. } = read_message(&mut stream).unwrap() {
+                assert_eq!(code, RejectCode::RateLimited);
+                rejected += 1;
+            }
+        }
+        assert_eq!(rejected, 2, "burst of 2 then rejections");
+        server.shutdown();
+    }
+}

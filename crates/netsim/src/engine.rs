@@ -1,0 +1,238 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events fire in timestamp order; ties break by insertion order (FIFO), so
+//! simulation runs are fully reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Virtual time in nanoseconds.
+pub type SimTime = u64;
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so the BinaryHeap pops the *earliest* event; ties go to
+        // the lowest sequence number (FIFO).
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue with a virtual clock.
+///
+/// ```
+/// use aipow_netsim::EventQueue;
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule_at(10, "b");
+/// q.schedule_at(5, "a");
+/// q.schedule_at(10, "c"); // same time as "b": FIFO
+/// assert_eq!(q.pop(), Some((5, "a")));
+/// assert_eq!(q.pop(), Some((10, "b")));
+/// assert_eq!(q.pop(), Some((10, "c")));
+/// assert_eq!(q.now(), 10);
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current virtual time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time — causality violation.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {} < {}",
+            at,
+            self.now
+        );
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `event` after a relative delay (saturating).
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        self.schedule_at(self.now.saturating_add(delay), event);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let scheduled = self.heap.pop()?;
+        self.now = scheduled.at;
+        self.processed += 1;
+        Some((scheduled.at, scheduled.event))
+    }
+}
+
+impl<E> core::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule_at(30, 3);
+        q.schedule_at(10, 1);
+        q.schedule_at(20, 2);
+        assert_eq!(q.pop(), Some((10, 1)));
+        assert_eq!(q.pop(), Some((20, 2)));
+        assert_eq!(q.pop(), Some((30, 3)));
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(7, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5, ());
+        assert_eq!(q.now(), 0);
+        q.pop();
+        assert_eq!(q.now(), 5);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, "first");
+        q.pop();
+        q.schedule_in(50, "second");
+        assert_eq!(q.pop(), Some((150, "second")));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, ());
+        q.pop();
+        q.schedule_at(99, ());
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut q = EventQueue::new();
+        q.schedule_at(1, ());
+        q.schedule_at(2, ());
+        assert_eq!(q.pending(), 2);
+        q.pop();
+        assert_eq!(q.pending(), 1);
+        assert_eq!(q.processed(), 1);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        // Event handlers scheduling follow-ups is the normal pattern.
+        let mut q = EventQueue::new();
+        q.schedule_at(10, 0u32);
+        let mut fired = Vec::new();
+        while let Some((t, e)) = q.pop() {
+            fired.push((t, e));
+            if e < 3 {
+                q.schedule_in(10, e + 1);
+            }
+        }
+        assert_eq!(fired, vec![(10, 0), (20, 1), (30, 2), (40, 3)]);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Pop order is globally sorted by (time, insertion order).
+            #[test]
+            fn pop_order_sorted(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+                let mut q = EventQueue::new();
+                for (i, &t) in times.iter().enumerate() {
+                    q.schedule_at(t, i);
+                }
+                let mut last: Option<(u64, usize)> = None;
+                while let Some((t, i)) = q.pop() {
+                    if let Some((lt, li)) = last {
+                        prop_assert!(t > lt || (t == lt && i > li));
+                    }
+                    last = Some((t, i));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Deterministic evaluation testbed for the framework (paper §III).
+//!
+//! The paper's evaluation ran on the authors' (Python, networked) testbed:
+//! 31 ms to solve a 1-difficult puzzle, ~900 ms at the top of Policy 2.
+//! A native Rust solver is three orders of magnitude faster, so absolute
+//! reproduction is impossible by construction. This crate therefore
+//! provides:
+//!
+//! - [`profile`] — solver/latency profiles, including the calibrated
+//!   [`SolverProfile::testbed_2022`] that matches the paper's absolute
+//!   scale, and native profiles for honest measurement on this machine;
+//! - [`sample`] — exact distributions of the solve process (the attempt
+//!   count of a `d`-difficult puzzle is geometric with `p = 2^-d`);
+//! - [`fig2`] — the Figure 2 experiment: median-of-30-trials latency per
+//!   reputation score for Policies 1, 2, 3;
+//! - [`engine`] — a deterministic discrete-event queue;
+//! - [`scenario`] — DDoS scenarios over the event engine (claim C5:
+//!   “our approach effectively throttles untrustworthy traffic”);
+//! - [`report`] — CSV/Markdown rendering for EXPERIMENTS.md.
+//!
+//! Everything is seeded; two runs with the same config are bit-identical.
+//!
+//! # Example
+//!
+//! ```
+//! use aipow_netsim::fig2::{Fig2Config, run_paper_policies};
+//!
+//! let table = run_paper_policies(&Fig2Config::default());
+//! let p2_at_10 = table.median_ms("policy2", 10).unwrap();
+//! let p2_at_0 = table.median_ms("policy2", 0).unwrap();
+//! assert!(p2_at_10 / p2_at_0 > 5.0, "policy 2 must escalate sharply");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod fig2;
+pub mod profile;
+pub mod report;
+pub mod sample;
+pub mod scenario;
+
+pub use engine::EventQueue;
+pub use fig2::{Fig2Config, Fig2Row, Fig2Table};
+pub use profile::SolverProfile;
+pub use scenario::{AttackStrategy, DdosConfig, DdosOutcome};

@@ -1,0 +1,158 @@
+//! CSV and Markdown rendering for experiment results.
+//!
+//! The `reproduce` binary (in `aipow-bench`) writes these artifacts under
+//! `experiments/`; EXPERIMENTS.md quotes them.
+
+use crate::fig2::Fig2Table;
+use crate::scenario::DdosOutcome;
+use aipow_metrics::Summary;
+
+/// Renders the Figure 2 table as CSV:
+/// `policy,reputation,mean_difficulty_bits,<summary fields>`.
+pub fn fig2_to_csv(table: &Fig2Table) -> String {
+    let mut out = String::new();
+    out.push_str("policy,reputation,mean_difficulty_bits,");
+    out.push_str(Summary::CSV_HEADER);
+    out.push('\n');
+    for row in &table.rows {
+        out.push_str(&format!(
+            "{},{},{:.2},{}\n",
+            row.policy,
+            row.reputation,
+            row.mean_difficulty_bits,
+            row.summary.to_csv_fields()
+        ));
+    }
+    out
+}
+
+/// Renders the Figure 2 table as a Markdown table of median latencies
+/// (ms), one row per reputation score, one column per policy — the same
+/// series the paper plots.
+pub fn fig2_to_markdown(table: &Fig2Table) -> String {
+    let policies = table.policies();
+    let mut out = String::new();
+    out.push_str("| reputation |");
+    for p in &policies {
+        out.push_str(&format!(" {p} median (ms) |"));
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in &policies {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for band in 0u8..=10 {
+        out.push_str(&format!("| {band} |"));
+        for p in &policies {
+            match table.median_ms(p, band) {
+                Some(m) => out.push_str(&format!(" {m:.1} |")),
+                None => out.push_str(" — |"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a set of labelled DDoS outcomes as a Markdown comparison table.
+pub fn ddos_to_markdown(outcomes: &[(String, DdosOutcome)]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "| scenario | benign goodput (rps) | bot goodput (rps) | benign share | \
+         benign p50 latency (ms) | server util | peak queue |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|\n");
+    for (label, o) in outcomes {
+        out.push_str(&format!(
+            "| {} | {:.1} | {:.1} | {:.2} | {:.1} | {:.2} | {} |\n",
+            label,
+            o.benign_goodput_rps,
+            o.bot_goodput_rps,
+            o.benign_share,
+            o.benign_latency_ms.median,
+            o.server_utilization,
+            o.peak_queue,
+        ));
+    }
+    out
+}
+
+/// Renders labelled DDoS outcomes as CSV.
+pub fn ddos_to_csv(outcomes: &[(String, DdosOutcome)]) -> String {
+    let mut out = String::from(
+        "scenario,benign_goodput_rps,bot_goodput_rps,benign_share,benign_p50_ms,\
+         benign_p99_ms,server_utilization,peak_queue,benign_dropped,bot_dropped,\
+         challenges_issued,challenges_abandoned\n",
+    );
+    for (label, o) in outcomes {
+        out.push_str(&format!(
+            "{},{:.3},{:.3},{:.4},{:.3},{:.3},{:.4},{},{},{},{},{}\n",
+            label,
+            o.benign_goodput_rps,
+            o.bot_goodput_rps,
+            o.benign_share,
+            o.benign_latency_ms.median,
+            o.benign_latency_ms.p99,
+            o.server_utilization,
+            o.peak_queue,
+            o.benign_dropped,
+            o.bot_dropped,
+            o.challenges_issued,
+            o.challenges_abandoned,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig2::{run_paper_policies, Fig2Config};
+    use crate::scenario::{self, DdosConfig};
+    use aipow_policy::LinearPolicy;
+
+    fn small_fig2() -> Fig2Table {
+        run_paper_policies(&Fig2Config {
+            trials: 5,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn fig2_csv_shape() {
+        let csv = fig2_to_csv(&small_fig2());
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 1 + 33);
+        assert!(lines[0].starts_with("policy,reputation,"));
+        let fields = lines[1].split(',').count();
+        assert_eq!(fields, lines[0].split(',').count());
+    }
+
+    #[test]
+    fn fig2_markdown_has_all_bands() {
+        let md = fig2_to_markdown(&small_fig2());
+        for band in 0..=10 {
+            assert!(md.contains(&format!("| {band} |")), "missing band {band}");
+        }
+        assert!(md.contains("policy1"));
+        assert!(md.contains("policy3"));
+    }
+
+    #[test]
+    fn ddos_renderers_cover_labels() {
+        let cfg = DdosConfig {
+            duration_s: 5.0,
+            n_benign: 5,
+            n_bots: 10,
+            ..Default::default()
+        };
+        let outcome = scenario::run(&LinearPolicy::policy2(), &cfg);
+        let rows = vec![("defended".to_string(), outcome)];
+        let md = ddos_to_markdown(&rows);
+        assert!(md.contains("defended"));
+        let csv = ddos_to_csv(&rows);
+        assert!(csv.lines().count() == 2);
+        assert!(csv.contains("defended"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Distributions of the solve process.
+//!
+//! Each hash evaluation of a `d`-difficult puzzle succeeds independently
+//! with probability `p = 2^-d`, so the attempt count is geometric. Sampling
+//! it exactly (rather than hashing) is what lets the simulator reproduce
+//! the paper's latency curves in microseconds of CPU time — the
+//! distribution is identical to the real solver's by construction, which
+//! the `attempts_distribution_matches_solver` test below verifies against
+//! `aipow-pow`.
+
+use rand::Rng;
+
+/// Samples the number of attempts to solve a `d`-difficult puzzle:
+/// `Geometric(p = 2^-d)`, support `{1, 2, …}`, via inversion.
+///
+/// Exact for `d = 0` (always 1 attempt) and numerically stable for large
+/// `d`, where the geometric is indistinguishable from an exponential with
+/// mean `2^d`.
+///
+/// # Panics
+///
+/// Panics if `difficulty_bits > 64`.
+pub fn attempts_to_solve<R: Rng + ?Sized>(rng: &mut R, difficulty_bits: u8) -> u64 {
+    assert!(difficulty_bits <= 64, "difficulty exceeds 64 bits");
+    if difficulty_bits == 0 {
+        return 1;
+    }
+    let p = (-(difficulty_bits as f64)).exp2();
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    // Inversion: ceil(ln U / ln(1-p)). For small p, ln(1-p) ≈ -p suffers no
+    // practical loss; use ln_1p for accuracy.
+    let attempts = (u.ln() / (-p).ln_1p()).ceil();
+    if attempts < 1.0 {
+        1
+    } else if attempts >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        attempts as u64
+    }
+}
+
+/// Samples an exponential inter-arrival gap with the given mean (used for
+/// Poisson request processes).
+///
+/// # Panics
+///
+/// Panics if `mean` is not finite and positive.
+pub fn exponential_gap<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(
+        mean.is_finite() && mean > 0.0,
+        "exponential mean must be positive"
+    );
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+/// A standard normal draw (Box–Muller), for score-noise modelling.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_difficulty_is_one_attempt() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(attempts_to_solve(&mut rng, 0), 1);
+        }
+    }
+
+    #[test]
+    fn mean_attempts_near_two_pow_d() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for d in [4u8, 8, 10] {
+            let n = 20_000;
+            let total: u64 = (0..n).map(|_| attempts_to_solve(&mut rng, d)).sum();
+            let mean = total as f64 / n as f64;
+            let expected = (d as f64).exp2();
+            let rel = (mean - expected).abs() / expected;
+            assert!(rel < 0.05, "d={d}: mean {mean} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn median_attempts_near_ln2_fraction() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = 10u8;
+        let mut samples: Vec<u64> = (0..20_001).map(|_| attempts_to_solve(&mut rng, d)).collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2] as f64;
+        let expected = 0.693 * 1024.0;
+        assert!(
+            (median - expected).abs() / expected < 0.08,
+            "median {median} vs {expected}"
+        );
+    }
+
+    /// The sampled distribution must match the *real* solver's attempt
+    /// distribution — this is the bridge that justifies simulating instead
+    /// of hashing (DESIGN.md §5.6).
+    #[test]
+    fn attempts_distribution_matches_solver() {
+        use aipow_pow::{solver, Difficulty, Issuer};
+        use std::net::{IpAddr, Ipv4Addr};
+
+        let d = 6u8; // mean 64 attempts: cheap but nontrivial
+        let trials = 300;
+
+        let issuer = Issuer::new(&[17u8; 32]);
+        let ip = IpAddr::V4(Ipv4Addr::new(192, 0, 2, 77));
+        let mut real_total = 0u64;
+        for _ in 0..trials {
+            let c = issuer.issue(ip, Difficulty::new(d).unwrap());
+            real_total += solver::solve(&c, ip, &Default::default()).unwrap().attempts;
+        }
+        let real_mean = real_total as f64 / trials as f64;
+
+        let mut rng = StdRng::seed_from_u64(4);
+        let sim_total: u64 = (0..trials).map(|_| attempts_to_solve(&mut rng, d)).sum();
+        let sim_mean = sim_total as f64 / trials as f64;
+
+        // Both estimate a mean-64 geometric from 300 samples; the standard
+        // error is 64/sqrt(300) ≈ 3.7, so a 35 % band is conservative but
+        // non-vacuous.
+        let rel = (real_mean - sim_mean).abs() / real_mean;
+        assert!(
+            rel < 0.35,
+            "real mean {real_mean:.1} vs simulated {sim_mean:.1}"
+        );
+    }
+
+    #[test]
+    fn large_difficulty_does_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let v = attempts_to_solve(&mut rng, 64);
+        assert!(v >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "64 bits")]
+    fn oversized_difficulty_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        attempts_to_solve(&mut rng, 65);
+    }
+
+    #[test]
+    fn exponential_mean_checks_out() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| exponential_gap(&mut rng, 5.0)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 5.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_bad_mean() {
+        let mut rng = StdRng::seed_from_u64(8);
+        exponential_gap(&mut rng, 0.0);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03);
+        assert!((var - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(10);
+        let mut b = StdRng::seed_from_u64(10);
+        for _ in 0..100 {
+            assert_eq!(attempts_to_solve(&mut a, 12), attempts_to_solve(&mut b, 12));
+        }
+    }
+}

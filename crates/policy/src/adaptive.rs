@@ -1,0 +1,134 @@
+//! Load-adaptive policy wrapper.
+//!
+//! The paper's property 2: “the amount of work inflicted by a puzzle is
+//! adaptive and can be tuned.” This wrapper couples any base policy to the
+//! server's live condition: as load rises (or an attack is declared), every
+//! client's difficulty rises with it, benign clients least in absolute
+//! latency because their base difficulty is lowest.
+
+use crate::context::PolicyContext;
+use crate::Policy;
+use aipow_pow::Difficulty;
+use aipow_reputation::ReputationScore;
+
+/// Wraps a policy and adds difficulty under load:
+/// `d' = d + round(load · load_boost) + (under_attack ? attack_boost : 0)`.
+///
+/// ```
+/// use aipow_policy::{LinearPolicy, LoadAdaptivePolicy, Policy, PolicyContext};
+/// use aipow_reputation::ReputationScore;
+/// let p = LoadAdaptivePolicy::new(LinearPolicy::policy1(), 4, 3);
+/// let s = ReputationScore::new(0.0).unwrap();
+/// assert_eq!(p.difficulty_for(s, &PolicyContext::default()).bits(), 1);
+/// assert_eq!(p.difficulty_for(s, &PolicyContext::with_load(1.0)).bits(), 5);
+/// assert_eq!(p.difficulty_for(s, &PolicyContext::with_load(1.0).attacked()).bits(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoadAdaptivePolicy<P> {
+    name: String,
+    inner: P,
+    load_boost: u8,
+    attack_boost: u8,
+}
+
+impl<P: Policy> LoadAdaptivePolicy<P> {
+    /// Wraps `inner`, adding up to `load_boost` bits as load goes 0→1 and a
+    /// flat `attack_boost` bits while an attack is declared.
+    pub fn new(inner: P, load_boost: u8, attack_boost: u8) -> Self {
+        let name = format!("adaptive({})", inner.name());
+        LoadAdaptivePolicy {
+            name,
+            inner,
+            load_boost,
+            attack_boost,
+        }
+    }
+
+    /// The wrapped policy.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: Policy> Policy for LoadAdaptivePolicy<P> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn difficulty_for(&self, score: ReputationScore, ctx: &PolicyContext) -> Difficulty {
+        let base = self.inner.difficulty_for(score, ctx);
+        let load = ctx.server_load.clamp(0.0, 1.0);
+        let mut extra = (load * self.load_boost as f64).round() as u32;
+        if ctx.under_attack {
+            extra += self.attack_boost as u32;
+        }
+        Difficulty::saturating(base.bits() as u32 + extra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearPolicy;
+
+    fn score(v: f64) -> ReputationScore {
+        ReputationScore::new(v).unwrap()
+    }
+
+    #[test]
+    fn idle_equals_inner() {
+        let p = LoadAdaptivePolicy::new(LinearPolicy::policy2(), 6, 4);
+        let ctx = PolicyContext::default();
+        for band in 0..=10u8 {
+            assert_eq!(
+                p.difficulty_for(score(band as f64), &ctx).bits(),
+                band + 5
+            );
+        }
+    }
+
+    #[test]
+    fn load_scales_boost() {
+        let p = LoadAdaptivePolicy::new(LinearPolicy::policy1(), 8, 0);
+        assert_eq!(
+            p.difficulty_for(score(0.0), &PolicyContext::with_load(0.5)).bits(),
+            1 + 4
+        );
+        assert_eq!(
+            p.difficulty_for(score(0.0), &PolicyContext::with_load(0.25)).bits(),
+            1 + 2
+        );
+    }
+
+    #[test]
+    fn attack_flag_adds_flat_boost() {
+        let p = LoadAdaptivePolicy::new(LinearPolicy::policy1(), 0, 7);
+        let ctx = PolicyContext::default().attacked();
+        assert_eq!(p.difficulty_for(score(3.0), &ctx).bits(), 4 + 7);
+    }
+
+    #[test]
+    fn boosts_saturate_at_max() {
+        let p = LoadAdaptivePolicy::new(LinearPolicy::new("hi", 60), 10, 10);
+        let ctx = PolicyContext::with_load(1.0).attacked();
+        assert_eq!(p.difficulty_for(score(10.0), &ctx).bits(), 64);
+    }
+
+    #[test]
+    fn out_of_range_load_is_clamped() {
+        let p = LoadAdaptivePolicy::new(LinearPolicy::policy1(), 8, 0);
+        // Direct field construction bypasses with_load's clamp.
+        let ctx = PolicyContext {
+            server_load: 99.0,
+            ..Default::default()
+        };
+        assert_eq!(p.difficulty_for(score(0.0), &ctx).bits(), 9);
+    }
+
+    #[test]
+    fn name_reflects_inner() {
+        let p = LoadAdaptivePolicy::new(LinearPolicy::policy2(), 1, 1);
+        assert_eq!(p.name(), "adaptive(policy2)");
+        assert_eq!(p.inner().name(), "policy2");
+    }
+}

@@ -1,0 +1,195 @@
+//! Policy combinators: clamp, offset, and closure policies.
+//!
+//! Small wrappers that let operators adjust a deployed policy without
+//! rewriting it — e.g. capping Policy 2 during an incident retro, or
+//! shifting every difficulty by a constant.
+
+use crate::context::PolicyContext;
+use crate::Policy;
+use aipow_pow::Difficulty;
+use aipow_reputation::ReputationScore;
+
+/// Clamps another policy's output into `[min, max]`.
+///
+/// ```
+/// use aipow_policy::{LinearPolicy, Policy, PolicyContext};
+/// use aipow_policy::combinators::ClampPolicy;
+/// use aipow_pow::Difficulty;
+/// use aipow_reputation::ReputationScore;
+/// let capped = ClampPolicy::new(
+///     LinearPolicy::policy2(),
+///     Difficulty::ZERO,
+///     Difficulty::new(10).unwrap(),
+/// );
+/// let d = capped.difficulty_for(ReputationScore::MAX, &PolicyContext::default());
+/// assert_eq!(d.bits(), 10); // policy2 would say 15
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClampPolicy<P> {
+    name: String,
+    inner: P,
+    min: Difficulty,
+    max: Difficulty,
+}
+
+impl<P: Policy> ClampPolicy<P> {
+    /// Wraps `inner`, clamping outputs into `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn new(inner: P, min: Difficulty, max: Difficulty) -> Self {
+        assert!(min <= max, "clamp bounds inverted: {min} > {max}");
+        let name = format!("clamp({})", inner.name());
+        ClampPolicy {
+            name,
+            inner,
+            min,
+            max,
+        }
+    }
+}
+
+impl<P: Policy> Policy for ClampPolicy<P> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn difficulty_for(&self, score: ReputationScore, ctx: &PolicyContext) -> Difficulty {
+        self.inner
+            .difficulty_for(score, ctx)
+            .clamp(self.min, self.max)
+    }
+}
+
+/// Adds a signed constant to another policy's output (saturating at both
+/// ends of the difficulty range).
+#[derive(Debug, Clone)]
+pub struct OffsetPolicy<P> {
+    name: String,
+    inner: P,
+    delta: i16,
+}
+
+impl<P: Policy> OffsetPolicy<P> {
+    /// Wraps `inner`, adding `delta` bits to every decision.
+    pub fn new(inner: P, delta: i16) -> Self {
+        let name = format!("offset({},{delta:+})", inner.name());
+        OffsetPolicy { name, inner, delta }
+    }
+}
+
+impl<P: Policy> Policy for OffsetPolicy<P> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn difficulty_for(&self, score: ReputationScore, ctx: &PolicyContext) -> Difficulty {
+        let base = self.inner.difficulty_for(score, ctx).bits() as i32;
+        let shifted = (base + self.delta as i32).max(0) as u32;
+        Difficulty::saturating(shifted)
+    }
+}
+
+/// Wraps a closure as a policy, for tests and one-off experiments.
+pub struct FnPolicy<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> FnPolicy<F>
+where
+    F: Fn(ReputationScore, &PolicyContext) -> Difficulty + Send + Sync,
+{
+    /// Creates a policy from a closure.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        FnPolicy {
+            name: name.into(),
+            f,
+        }
+    }
+}
+
+impl<F> Policy for FnPolicy<F>
+where
+    F: Fn(ReputationScore, &PolicyContext) -> Difficulty + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn difficulty_for(&self, score: ReputationScore, ctx: &PolicyContext) -> Difficulty {
+        (self.f)(score, ctx)
+    }
+}
+
+impl<F> core::fmt::Debug for FnPolicy<F> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "FnPolicy({})", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearPolicy;
+
+    fn score(v: f64) -> ReputationScore {
+        ReputationScore::new(v).unwrap()
+    }
+
+    #[test]
+    fn clamp_limits_both_ends() {
+        let p = ClampPolicy::new(
+            LinearPolicy::policy2(),
+            Difficulty::new(7).unwrap(),
+            Difficulty::new(12).unwrap(),
+        );
+        let ctx = PolicyContext::default();
+        assert_eq!(p.difficulty_for(score(0.0), &ctx).bits(), 7); // was 5
+        assert_eq!(p.difficulty_for(score(5.0), &ctx).bits(), 10); // unchanged
+        assert_eq!(p.difficulty_for(score(10.0), &ctx).bits(), 12); // was 15
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn clamp_rejects_inverted_bounds() {
+        ClampPolicy::new(
+            LinearPolicy::policy1(),
+            Difficulty::new(10).unwrap(),
+            Difficulty::new(2).unwrap(),
+        );
+    }
+
+    #[test]
+    fn offset_shifts_and_saturates() {
+        let up = OffsetPolicy::new(LinearPolicy::policy1(), 3);
+        let down = OffsetPolicy::new(LinearPolicy::policy1(), -5);
+        let ctx = PolicyContext::default();
+        assert_eq!(up.difficulty_for(score(0.0), &ctx).bits(), 4);
+        assert_eq!(down.difficulty_for(score(0.0), &ctx).bits(), 0); // 1-5 → floor 0
+        assert_eq!(down.difficulty_for(score(10.0), &ctx).bits(), 6);
+    }
+
+    #[test]
+    fn fn_policy_delegates() {
+        let p = FnPolicy::new("always7", |_, _| Difficulty::new(7).unwrap());
+        let ctx = PolicyContext::default();
+        assert_eq!(p.difficulty_for(score(9.0), &ctx).bits(), 7);
+        assert_eq!(p.name(), "always7");
+        assert!(format!("{p:?}").contains("always7"));
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let p = ClampPolicy::new(
+            OffsetPolicy::new(LinearPolicy::policy1(), 10),
+            Difficulty::ZERO,
+            Difficulty::new(13).unwrap(),
+        );
+        let ctx = PolicyContext::default();
+        assert_eq!(p.difficulty_for(score(0.0), &ctx).bits(), 11);
+        assert_eq!(p.difficulty_for(score(10.0), &ctx).bits(), 13);
+        assert!(p.name().contains("clamp(offset(policy1,+10))"));
+    }
+}

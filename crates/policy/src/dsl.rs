@@ -1,0 +1,1109 @@
+//! The administrator policy rule DSL.
+//!
+//! The paper positions the policy module as operator-configurable: “a
+//! network administrator may specify a policy based on her specific
+//! security needs.” This module gives that sentence a concrete syntax, so
+//! policies can live in configuration files and be hot-swapped without
+//! recompiling:
+//!
+//! ```text
+//! policy "escalate" {
+//!   # trusted clients solve trivial puzzles
+//!   when score < 2.0 => difficulty 1;
+//!   when score in [2.0, 7.0) => linear(base = 5);
+//!   otherwise => power(min = 12, max = 18, exponent = 2.0);
+//! }
+//! ```
+//!
+//! Rules are evaluated top to bottom; the first matching rule decides. The
+//! final rule must be `otherwise`, so every score is covered by
+//! construction. `#` starts a comment running to end of line.
+//!
+//! # Example
+//!
+//! ```
+//! use aipow_policy::{dsl, Policy, PolicyContext};
+//! use aipow_reputation::ReputationScore;
+//!
+//! let policy = dsl::parse(r#"
+//!     policy "demo" {
+//!         when score < 5.0 => difficulty 2;
+//!         otherwise => difficulty 12;
+//!     }
+//! "#)?;
+//! let ctx = PolicyContext::default();
+//! assert_eq!(policy.difficulty_for(ReputationScore::new(1.0).unwrap(), &ctx).bits(), 2);
+//! assert_eq!(policy.difficulty_for(ReputationScore::new(9.0).unwrap(), &ctx).bits(), 12);
+//! # Ok::<(), aipow_policy::dsl::ParseError>(())
+//! ```
+
+use crate::context::PolicyContext;
+use crate::Policy;
+use aipow_pow::Difficulty;
+use aipow_reputation::ReputationScore;
+use core::fmt;
+
+// ---------------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------------
+
+/// A parsed policy definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyDef {
+    /// The policy's declared name.
+    pub name: String,
+    /// Ordered rules; the last is always [`Condition::Otherwise`].
+    pub rules: Vec<Rule>,
+}
+
+/// One `when … => …;` rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// The guard.
+    pub condition: Condition,
+    /// The difficulty computation applied when the guard matches.
+    pub action: Action,
+}
+
+/// A rule guard over the reputation score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Condition {
+    /// `score < x`
+    Lt(f64),
+    /// `score <= x`
+    Le(f64),
+    /// `score > x`
+    Gt(f64),
+    /// `score >= x`
+    Ge(f64),
+    /// `score in [lo, hi)` or `score in [lo, hi]`
+    InRange {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+        /// Whether `hi` is inclusive (`]`) or exclusive (`)`).
+        hi_inclusive: bool,
+    },
+    /// `otherwise` — matches every score.
+    Otherwise,
+}
+
+impl Condition {
+    /// Whether the guard matches `score`.
+    pub fn matches(&self, score: f64) -> bool {
+        match *self {
+            Condition::Lt(x) => score < x,
+            Condition::Le(x) => score <= x,
+            Condition::Gt(x) => score > x,
+            Condition::Ge(x) => score >= x,
+            Condition::InRange {
+                lo,
+                hi,
+                hi_inclusive,
+            } => score >= lo && (score < hi || (hi_inclusive && score <= hi)),
+            Condition::Otherwise => true,
+        }
+    }
+}
+
+/// A rule action.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Action {
+    /// `difficulty N` — a constant difficulty.
+    Constant(u8),
+    /// `linear(base = N)` — `d = round(score) + base`.
+    Linear {
+        /// Difficulty at score 0.
+        base: u8,
+    },
+    /// `power(min = A, max = B, exponent = E)` —
+    /// `d = round(min + (max−min)·(score/10)^E)`.
+    Power {
+        /// Difficulty at score 0.
+        min: u8,
+        /// Difficulty at score 10.
+        max: u8,
+        /// Curvature.
+        exponent: f64,
+    },
+}
+
+impl Action {
+    /// Computes the difficulty for `score`.
+    pub fn apply(&self, score: ReputationScore) -> Difficulty {
+        match *self {
+            Action::Constant(bits) => Difficulty::saturating(bits as u32),
+            Action::Linear { base } => {
+                Difficulty::saturating(score.band() as u32 + base as u32)
+            }
+            Action::Power { min, max, exponent } => {
+                let fraction = (score.value() / 10.0).powf(exponent);
+                let bits = min as f64 + (max.saturating_sub(min)) as f64 * fraction;
+                Difficulty::saturating(bits.round() as u32)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Condition::Lt(x) => write!(f, "when score < {x}"),
+            Condition::Le(x) => write!(f, "when score <= {x}"),
+            Condition::Gt(x) => write!(f, "when score > {x}"),
+            Condition::Ge(x) => write!(f, "when score >= {x}"),
+            Condition::InRange {
+                lo,
+                hi,
+                hi_inclusive,
+            } => {
+                let close = if hi_inclusive { ']' } else { ')' };
+                write!(f, "when score in [{lo}, {hi}{close}")
+            }
+            Condition::Otherwise => write!(f, "otherwise"),
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Action::Constant(bits) => write!(f, "difficulty {bits}"),
+            Action::Linear { base } => write!(f, "linear(base = {base})"),
+            Action::Power { min, max, exponent } => {
+                write!(f, "power(min = {min}, max = {max}, exponent = {exponent})")
+            }
+        }
+    }
+}
+
+impl fmt::Display for PolicyDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "policy \"{}\" {{", self.name)?;
+        for rule in &self.rules {
+            writeln!(f, "    {} => {};", rule.condition, rule.action)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// A parse or validation error, with source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line of the error.
+    pub line: usize,
+    /// 1-based column of the error.
+    pub col: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(line: usize, col: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Number(f64),
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    RParenBracket, // ')' used as range close
+    LParen,
+    Comma,
+    Semi,
+    Arrow,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Str(s) => write!(f, "string \"{s}\""),
+            Tok::Number(n) => write!(f, "number {n}"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::RParenBracket => write!(f, "`)`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Arrow => write!(f, "`=>`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::Eq => write!(f, "`=`"),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+fn lex(source: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut chars = source.chars().peekable();
+
+    macro_rules! push {
+        ($tok:expr, $line:expr, $col:expr) => {
+            out.push(Spanned {
+                tok: $tok,
+                line: $line,
+                col: $col,
+            })
+        };
+    }
+
+    while let Some(&c) = chars.peek() {
+        let (tline, tcol) = (line, col);
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                col += 1;
+            }
+            '#' => {
+                // Comment to end of line.
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        col = 1;
+                        break;
+                    }
+                }
+            }
+            '{' => {
+                chars.next();
+                col += 1;
+                push!(Tok::LBrace, tline, tcol);
+            }
+            '}' => {
+                chars.next();
+                col += 1;
+                push!(Tok::RBrace, tline, tcol);
+            }
+            '[' => {
+                chars.next();
+                col += 1;
+                push!(Tok::LBracket, tline, tcol);
+            }
+            ']' => {
+                chars.next();
+                col += 1;
+                push!(Tok::RBracket, tline, tcol);
+            }
+            '(' => {
+                chars.next();
+                col += 1;
+                push!(Tok::LParen, tline, tcol);
+            }
+            ')' => {
+                chars.next();
+                col += 1;
+                push!(Tok::RParenBracket, tline, tcol);
+            }
+            ',' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Comma, tline, tcol);
+            }
+            ';' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Semi, tline, tcol);
+            }
+            '=' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    col += 1;
+                    push!(Tok::Arrow, tline, tcol);
+                } else {
+                    push!(Tok::Eq, tline, tcol);
+                }
+            }
+            '<' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    col += 1;
+                    push!(Tok::Le, tline, tcol);
+                } else {
+                    push!(Tok::Lt, tline, tcol);
+                }
+            }
+            '>' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    col += 1;
+                    push!(Tok::Ge, tline, tcol);
+                } else {
+                    push!(Tok::Gt, tline, tcol);
+                }
+            }
+            '"' => {
+                chars.next();
+                col += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => {
+                            col += 1;
+                            break;
+                        }
+                        Some('\n') => {
+                            return Err(ParseError::new(
+                                tline,
+                                tcol,
+                                "unterminated string literal",
+                            ))
+                        }
+                        Some(c) => {
+                            col += 1;
+                            s.push(c);
+                        }
+                        None => {
+                            return Err(ParseError::new(
+                                tline,
+                                tcol,
+                                "unterminated string literal",
+                            ))
+                        }
+                    }
+                }
+                push!(Tok::Str(s), tline, tcol);
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '.' => {
+                let mut text = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' {
+                        text.push(c);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let value: f64 = text.parse().map_err(|_| {
+                    ParseError::new(tline, tcol, format!("invalid number `{text}`"))
+                })?;
+                if !value.is_finite() {
+                    return Err(ParseError::new(tline, tcol, "number must be finite"));
+                }
+                push!(Tok::Number(value), tline, tcol);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                        text.push(c);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push!(Tok::Ident(text), tline, tcol);
+            }
+            other => {
+                return Err(ParseError::new(
+                    tline,
+                    tcol,
+                    format!("unexpected character `{other}`"),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Spanned> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Spanned> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, message: impl Into<String>) -> ParseError {
+        match self.peek().or_else(|| self.tokens.last()) {
+            Some(t) => ParseError::new(t.line, t.col, message),
+            None => ParseError::new(1, 1, message),
+        }
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<Spanned, ParseError> {
+        match self.next() {
+            Some(t) if t.tok == *want => Ok(t),
+            Some(t) => Err(ParseError::new(
+                t.line,
+                t.col,
+                format!("expected {what}, found {}", t.tok),
+            )),
+            None => Err(self.err_here(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, keyword: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Spanned {
+                tok: Tok::Ident(ref s),
+                ..
+            }) if s == keyword => Ok(()),
+            Some(t) => Err(ParseError::new(
+                t.line,
+                t.col,
+                format!("expected keyword `{keyword}`, found {}", t.tok),
+            )),
+            None => Err(self.err_here(format!(
+                "expected keyword `{keyword}`, found end of input"
+            ))),
+        }
+    }
+
+    fn number(&mut self, what: &str) -> Result<(f64, usize, usize), ParseError> {
+        match self.next() {
+            Some(Spanned {
+                tok: Tok::Number(n),
+                line,
+                col,
+            }) => Ok((n, line, col)),
+            Some(t) => Err(ParseError::new(
+                t.line,
+                t.col,
+                format!("expected {what}, found {}", t.tok),
+            )),
+            None => Err(self.err_here(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn difficulty_bits(&mut self, what: &str) -> Result<u8, ParseError> {
+        let (n, line, col) = self.number(what)?;
+        if !(0.0..=64.0).contains(&n) || n.fract() != 0.0 {
+            return Err(ParseError::new(
+                line,
+                col,
+                format!("{what} must be an integer in [0, 64], got {n}"),
+            ));
+        }
+        Ok(n as u8)
+    }
+
+    fn parse_policy(&mut self) -> Result<PolicyDef, ParseError> {
+        self.expect_keyword("policy")?;
+        let name = match self.next() {
+            Some(Spanned {
+                tok: Tok::Str(s), ..
+            }) => s,
+            Some(Spanned {
+                tok: Tok::Ident(s), ..
+            }) => s,
+            Some(t) => {
+                return Err(ParseError::new(
+                    t.line,
+                    t.col,
+                    format!("expected policy name, found {}", t.tok),
+                ))
+            }
+            None => return Err(self.err_here("expected policy name, found end of input")),
+        };
+        self.expect(&Tok::LBrace, "`{`")?;
+
+        let mut rules = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Spanned {
+                    tok: Tok::RBrace, ..
+                }) => {
+                    self.next();
+                    break;
+                }
+                Some(_) => rules.push(self.parse_rule()?),
+                None => return Err(self.err_here("expected rule or `}`, found end of input")),
+            }
+        }
+
+        if let Some(t) = self.peek() {
+            return Err(ParseError::new(
+                t.line,
+                t.col,
+                format!("unexpected trailing input: {}", t.tok),
+            ));
+        }
+
+        validate(&PolicyDef {
+            name: name.clone(),
+            rules: rules.clone(),
+        })?;
+        Ok(PolicyDef { name, rules })
+    }
+
+    fn parse_rule(&mut self) -> Result<Rule, ParseError> {
+        let condition = match self.next() {
+            Some(Spanned {
+                tok: Tok::Ident(ref s),
+                ..
+            }) if s == "when" => self.parse_condition()?,
+            Some(Spanned {
+                tok: Tok::Ident(ref s),
+                ..
+            }) if s == "otherwise" => Condition::Otherwise,
+            Some(t) => {
+                return Err(ParseError::new(
+                    t.line,
+                    t.col,
+                    format!("expected `when` or `otherwise`, found {}", t.tok),
+                ))
+            }
+            None => {
+                return Err(self.err_here("expected `when` or `otherwise`, found end of input"))
+            }
+        };
+        self.expect(&Tok::Arrow, "`=>`")?;
+        let action = self.parse_action()?;
+        self.expect(&Tok::Semi, "`;`")?;
+        Ok(Rule { condition, action })
+    }
+
+    fn parse_condition(&mut self) -> Result<Condition, ParseError> {
+        self.expect_keyword("score")?;
+        match self.next() {
+            Some(Spanned { tok: Tok::Lt, .. }) => Ok(Condition::Lt(self.number("score bound")?.0)),
+            Some(Spanned { tok: Tok::Le, .. }) => Ok(Condition::Le(self.number("score bound")?.0)),
+            Some(Spanned { tok: Tok::Gt, .. }) => Ok(Condition::Gt(self.number("score bound")?.0)),
+            Some(Spanned { tok: Tok::Ge, .. }) => Ok(Condition::Ge(self.number("score bound")?.0)),
+            Some(Spanned {
+                tok: Tok::Ident(ref s),
+                line,
+                col,
+            }) if s == "in" => {
+                self.expect(&Tok::LBracket, "`[`")?;
+                let (lo, ..) = self.number("range lower bound")?;
+                self.expect(&Tok::Comma, "`,`")?;
+                let (hi, ..) = self.number("range upper bound")?;
+                let hi_inclusive = match self.next() {
+                    Some(Spanned {
+                        tok: Tok::RBracket, ..
+                    }) => true,
+                    Some(Spanned {
+                        tok: Tok::RParenBracket,
+                        ..
+                    }) => false,
+                    Some(t) => {
+                        return Err(ParseError::new(
+                            t.line,
+                            t.col,
+                            format!("expected `]` or `)`, found {}", t.tok),
+                        ))
+                    }
+                    None => return Err(self.err_here("expected `]` or `)`, found end of input")),
+                };
+                if lo > hi {
+                    return Err(ParseError::new(
+                        line,
+                        col,
+                        format!("range [{lo}, {hi}] has inverted bounds"),
+                    ));
+                }
+                Ok(Condition::InRange {
+                    lo,
+                    hi,
+                    hi_inclusive,
+                })
+            }
+            Some(t) => Err(ParseError::new(
+                t.line,
+                t.col,
+                format!("expected comparison or `in`, found {}", t.tok),
+            )),
+            None => Err(self.err_here("expected comparison or `in`, found end of input")),
+        }
+    }
+
+    fn parse_action(&mut self) -> Result<Action, ParseError> {
+        match self.next() {
+            Some(Spanned {
+                tok: Tok::Ident(ref s),
+                ..
+            }) if s == "difficulty" => Ok(Action::Constant(self.difficulty_bits("difficulty")?)),
+            Some(Spanned {
+                tok: Tok::Ident(ref s),
+                ..
+            }) if s == "linear" => {
+                self.expect(&Tok::LParen, "`(`")?;
+                self.expect_keyword("base")?;
+                self.expect(&Tok::Eq, "`=`")?;
+                let base = self.difficulty_bits("base")?;
+                self.expect(&Tok::RParenBracket, "`)`")?;
+                Ok(Action::Linear { base })
+            }
+            Some(Spanned {
+                tok: Tok::Ident(ref s),
+                line,
+                col,
+            }) if s == "power" => {
+                self.expect(&Tok::LParen, "`(`")?;
+                self.expect_keyword("min")?;
+                self.expect(&Tok::Eq, "`=`")?;
+                let min = self.difficulty_bits("min")?;
+                self.expect(&Tok::Comma, "`,`")?;
+                self.expect_keyword("max")?;
+                self.expect(&Tok::Eq, "`=`")?;
+                let max = self.difficulty_bits("max")?;
+                self.expect(&Tok::Comma, "`,`")?;
+                self.expect_keyword("exponent")?;
+                self.expect(&Tok::Eq, "`=`")?;
+                let (exponent, eline, ecol) = self.number("exponent")?;
+                self.expect(&Tok::RParenBracket, "`)`")?;
+                if min > max {
+                    return Err(ParseError::new(
+                        line,
+                        col,
+                        format!("power range [{min}, {max}] has inverted bounds"),
+                    ));
+                }
+                if exponent <= 0.0 {
+                    return Err(ParseError::new(
+                        eline,
+                        ecol,
+                        format!("exponent must be positive, got {exponent}"),
+                    ));
+                }
+                Ok(Action::Power { min, max, exponent })
+            }
+            Some(t) => Err(ParseError::new(
+                t.line,
+                t.col,
+                format!("expected `difficulty`, `linear`, or `power`, found {}", t.tok),
+            )),
+            None => Err(self.err_here("expected an action, found end of input")),
+        }
+    }
+}
+
+/// Structural validation: at least one rule, `otherwise` present exactly
+/// once, and only in final position.
+fn validate(def: &PolicyDef) -> Result<(), ParseError> {
+    if def.rules.is_empty() {
+        return Err(ParseError::new(1, 1, "policy has no rules"));
+    }
+    for (i, rule) in def.rules.iter().enumerate() {
+        let is_last = i + 1 == def.rules.len();
+        let is_otherwise = rule.condition == Condition::Otherwise;
+        if is_last && !is_otherwise {
+            return Err(ParseError::new(
+                1,
+                1,
+                "the final rule must be `otherwise` so every score is covered",
+            ));
+        }
+        if !is_last && is_otherwise {
+            return Err(ParseError::new(
+                1,
+                1,
+                "`otherwise` must be the final rule",
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Compiled policy
+// ---------------------------------------------------------------------------
+
+/// A parsed, validated, executable DSL policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DslPolicy {
+    def: PolicyDef,
+}
+
+impl DslPolicy {
+    /// The underlying definition.
+    pub fn def(&self) -> &PolicyDef {
+        &self.def
+    }
+}
+
+impl fmt::Display for DslPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.def.fmt(f)
+    }
+}
+
+impl Policy for DslPolicy {
+    fn name(&self) -> &str {
+        &self.def.name
+    }
+
+    fn difficulty_for(&self, score: ReputationScore, _ctx: &PolicyContext) -> Difficulty {
+        let s = score.value();
+        for rule in &self.def.rules {
+            if rule.condition.matches(s) {
+                return rule.action.apply(score);
+            }
+        }
+        // Unreachable: validation guarantees a final `otherwise`.
+        unreachable!("validated policy must have a total rule set")
+    }
+}
+
+/// Parses DSL source into an executable policy.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] (with line/column) for lexical, syntactic, or
+/// structural problems — including a missing final `otherwise` rule.
+pub fn parse(source: &str) -> Result<DslPolicy, ParseError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let def = parser.parse_policy()?;
+    Ok(DslPolicy { def })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEMO: &str = r#"
+        policy "escalate" {
+            # trusted clients solve trivial puzzles
+            when score < 2.0 => difficulty 1;
+            when score in [2.0, 7.0) => linear(base = 5);
+            otherwise => power(min = 12, max = 18, exponent = 2.0);
+        }
+    "#;
+
+    fn score(v: f64) -> ReputationScore {
+        ReputationScore::new(v).unwrap()
+    }
+
+    #[test]
+    fn parses_demo_policy() {
+        let p = parse(DEMO).unwrap();
+        assert_eq!(p.name(), "escalate");
+        assert_eq!(p.def().rules.len(), 3);
+    }
+
+    #[test]
+    fn evaluation_follows_rule_order() {
+        let p = parse(DEMO).unwrap();
+        let ctx = PolicyContext::default();
+        assert_eq!(p.difficulty_for(score(0.5), &ctx).bits(), 1);
+        // In-range rule: linear(base=5) at score 4 → band 4 + 5 = 9.
+        assert_eq!(p.difficulty_for(score(4.0), &ctx).bits(), 9);
+        // Otherwise: power curve at score 10 → max = 18.
+        assert_eq!(p.difficulty_for(score(10.0), &ctx).bits(), 18);
+    }
+
+    #[test]
+    fn range_endpoint_semantics() {
+        let p = parse(
+            r#"policy p {
+                when score in [2.0, 7.0) => difficulty 3;
+                when score in [7.0, 9.0] => difficulty 5;
+                otherwise => difficulty 8;
+            }"#,
+        )
+        .unwrap();
+        let ctx = PolicyContext::default();
+        assert_eq!(p.difficulty_for(score(2.0), &ctx).bits(), 3); // lo inclusive
+        assert_eq!(p.difficulty_for(score(6.999), &ctx).bits(), 3);
+        assert_eq!(p.difficulty_for(score(7.0), &ctx).bits(), 5); // hi exclusive in first
+        assert_eq!(p.difficulty_for(score(9.0), &ctx).bits(), 5); // hi inclusive in second
+        assert_eq!(p.difficulty_for(score(9.5), &ctx).bits(), 8);
+        assert_eq!(p.difficulty_for(score(1.0), &ctx).bits(), 8);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let p = parse(
+            r#"policy cmp {
+                when score <= 1.0 => difficulty 0;
+                when score > 8.0 => difficulty 20;
+                otherwise => difficulty 6;
+            }"#,
+        )
+        .unwrap();
+        let ctx = PolicyContext::default();
+        assert_eq!(p.difficulty_for(score(1.0), &ctx).bits(), 0);
+        assert_eq!(p.difficulty_for(score(8.0), &ctx).bits(), 6);
+        assert_eq!(p.difficulty_for(score(8.01), &ctx).bits(), 20);
+    }
+
+    #[test]
+    fn bare_identifier_name_allowed() {
+        let p = parse("policy strict-prod { otherwise => difficulty 9; }").unwrap();
+        assert_eq!(p.name(), "strict-prod");
+    }
+
+    #[test]
+    fn missing_otherwise_is_rejected() {
+        let err = parse(
+            r#"policy p { when score < 5.0 => difficulty 1; }"#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("otherwise"), "{err}");
+    }
+
+    #[test]
+    fn otherwise_not_last_is_rejected() {
+        let err = parse(
+            r#"policy p {
+                otherwise => difficulty 1;
+                when score < 5.0 => difficulty 2;
+            }"#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("final rule"), "{err}");
+    }
+
+    #[test]
+    fn empty_policy_is_rejected() {
+        let err = parse("policy p { }").unwrap_err();
+        assert!(err.message.contains("no rules"), "{err}");
+    }
+
+    #[test]
+    fn missing_semicolon_reports_position() {
+        let err = parse("policy p {\n  otherwise => difficulty 1\n}").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("`;`"), "{err}");
+    }
+
+    #[test]
+    fn oversized_difficulty_rejected() {
+        let err = parse("policy p { otherwise => difficulty 65; }").unwrap_err();
+        assert!(err.message.contains("[0, 64]"), "{err}");
+    }
+
+    #[test]
+    fn fractional_difficulty_rejected() {
+        let err = parse("policy p { otherwise => difficulty 3.5; }").unwrap_err();
+        assert!(err.message.contains("integer"), "{err}");
+    }
+
+    #[test]
+    fn inverted_range_rejected() {
+        let err = parse(
+            "policy p { when score in [7.0, 2.0) => difficulty 1; otherwise => difficulty 2; }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("inverted"), "{err}");
+    }
+
+    #[test]
+    fn inverted_power_range_rejected() {
+        let err = parse(
+            "policy p { otherwise => power(min = 9, max = 2, exponent = 1.0); }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("inverted"), "{err}");
+    }
+
+    #[test]
+    fn nonpositive_exponent_rejected() {
+        let err = parse(
+            "policy p { otherwise => power(min = 1, max = 9, exponent = 0.0); }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        let err = parse("policy \"oops { otherwise => difficulty 1; }").unwrap_err();
+        assert!(err.message.contains("unterminated"), "{err}");
+    }
+
+    #[test]
+    fn unknown_character_rejected() {
+        let err = parse("policy p { otherwise => difficulty 1; } @").unwrap_err();
+        assert!(err.message.contains('@'), "{err}");
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        let err = parse("policy p { otherwise => difficulty 1; } policy").unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let p = parse(
+            "# leading comment\npolicy p { # inline\n otherwise => difficulty 4; # end\n }",
+        )
+        .unwrap();
+        assert_eq!(
+            p.difficulty_for(score(5.0), &PolicyContext::default()).bits(),
+            4
+        );
+    }
+
+    #[test]
+    fn print_parse_fixpoint() {
+        let p1 = parse(DEMO).unwrap();
+        let printed = p1.to_string();
+        let p2 = parse(&printed).unwrap();
+        assert_eq!(p1.def(), p2.def(), "printed:\n{printed}");
+        assert_eq!(printed, p2.to_string());
+    }
+
+    #[test]
+    fn negative_bounds_parse() {
+        // Scores are never negative, but the grammar permits the literal;
+        // the rule simply never fires.
+        let p = parse(
+            "policy p { when score < -1.0 => difficulty 0; otherwise => difficulty 2; }",
+        )
+        .unwrap();
+        assert_eq!(
+            p.difficulty_for(score(0.0), &PolicyContext::default()).bits(),
+            2
+        );
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_condition() -> impl Strategy<Value = Condition> {
+            prop_oneof![
+                (0.0f64..10.0).prop_map(Condition::Lt),
+                (0.0f64..10.0).prop_map(Condition::Le),
+                (0.0f64..10.0).prop_map(Condition::Gt),
+                (0.0f64..10.0).prop_map(Condition::Ge),
+                (0.0f64..5.0, 0.0f64..5.0, any::<bool>()).prop_map(|(a, b, inc)| {
+                    Condition::InRange {
+                        lo: a.min(b),
+                        hi: a.max(b) + 0.5,
+                        hi_inclusive: inc,
+                    }
+                }),
+            ]
+        }
+
+        fn arb_action() -> impl Strategy<Value = Action> {
+            prop_oneof![
+                (0u8..=64).prop_map(Action::Constant),
+                (0u8..=50).prop_map(|base| Action::Linear { base }),
+                (0u8..=20, 0u8..=40, 1u32..=40).prop_map(|(min, extra, e)| Action::Power {
+                    min,
+                    max: min + extra,
+                    exponent: e as f64 / 10.0,
+                }),
+            ]
+        }
+
+        proptest! {
+            /// Printing any valid AST and re-parsing reproduces it exactly.
+            #[test]
+            fn print_parse_roundtrip(rules in proptest::collection::vec(
+                (arb_condition(), arb_action()), 0..6),
+                final_action in arb_action()) {
+                let mut all: Vec<Rule> = rules
+                    .into_iter()
+                    .map(|(condition, action)| Rule { condition, action })
+                    .collect();
+                all.push(Rule { condition: Condition::Otherwise, action: final_action });
+                let def = PolicyDef { name: "prop".into(), rules: all };
+                let printed = def.to_string();
+                let reparsed = parse(&printed).expect("printed policy must parse");
+                prop_assert_eq!(reparsed.def(), &def, "printed:\n{}", printed);
+            }
+
+            /// Every score gets a difficulty (totality) within bounds.
+            #[test]
+            fn evaluation_total(s in 0.0f64..=10.0) {
+                let p = parse(DEMO).unwrap();
+                let d = p.difficulty_for(
+                    ReputationScore::new(s).unwrap(),
+                    &PolicyContext::default(),
+                );
+                prop_assert!(d.bits() <= 64);
+            }
+
+            /// The parser never panics, whatever bytes arrive — it returns
+            /// a positioned error instead.
+            #[test]
+            fn parser_never_panics(source in "\\PC{0,200}") {
+                let _ = parse(&source);
+            }
+
+            /// Mutilating valid source still never panics (truncations,
+            /// splices).
+            #[test]
+            fn mutated_source_never_panics(cut in 0usize..200, splice in "\\PC{0,16}") {
+                let mut source = DEMO.to_string();
+                let mut cut = cut.min(source.len());
+                while !source.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                source.truncate(cut);
+                source.push_str(&splice);
+                let _ = parse(&source);
+            }
+        }
+    }
+}

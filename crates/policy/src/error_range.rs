@@ -1,0 +1,213 @@
+//! Policy 3: error-range mapping (paper §III.B).
+//!
+//! “we consider the error ϵ from \[the\] DAbR system … given this error, the
+//! resulting IP reputation score might be higher or lower than the ground
+//! truth. Our Policy 3 attempts to correct for this in the following way.
+//! All reputation scores sᵢ are in the interval [0, 10]. For a score sᵢ,
+//! the difficulty value is a value chosen at random in the interval
+//! [⌈dᵢ−ϵ⌉, ⌈dᵢ+ϵ⌉], where dᵢ = ⌈sᵢ + 1⌉.”
+
+use crate::context::PolicyContext;
+use crate::Policy;
+use aipow_pow::Difficulty;
+use aipow_reputation::ReputationScore;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's Policy 3: randomized difficulty within the model's error
+/// band around the linear mapping.
+///
+/// The policy is seedable so experiments are reproducible; one draw is made
+/// per decision.
+///
+/// ```
+/// use aipow_policy::{ErrorRangePolicy, Policy, PolicyContext};
+/// use aipow_reputation::ReputationScore;
+/// let p3 = ErrorRangePolicy::new(1.0, 42);
+/// let d = p3.difficulty_for(ReputationScore::new(4.0).unwrap(), &PolicyContext::default());
+/// // d_i = ceil(4 + 1) = 5, so the draw lies in [4, 6].
+/// assert!((4..=6).contains(&d.bits()));
+/// ```
+#[derive(Debug)]
+pub struct ErrorRangePolicy {
+    name: String,
+    epsilon: f64,
+    rng: Mutex<StdRng>,
+}
+
+impl ErrorRangePolicy {
+    /// Creates Policy 3 with model error `epsilon` and an RNG `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is negative or not finite.
+    pub fn new(epsilon: f64, seed: u64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon >= 0.0,
+            "epsilon {epsilon} must be a finite non-negative number"
+        );
+        ErrorRangePolicy {
+            name: "policy3".to_string(),
+            epsilon,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// Creates Policy 3 with `epsilon` estimated from a model evaluation
+    /// (see [`aipow_reputation::eval::estimate_epsilon`]).
+    pub fn from_estimated_epsilon(epsilon: f64, seed: u64) -> Self {
+        Self::new(epsilon, seed)
+    }
+
+    /// The error band half-width.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The inclusive difficulty interval for `score`:
+    /// `[⌈dᵢ−ϵ⌉, ⌈dᵢ+ϵ⌉]` with `dᵢ = ⌈sᵢ+1⌉`, clamped at zero.
+    pub fn interval(&self, score: ReputationScore) -> (u8, u8) {
+        let d_i = (score.value() + 1.0).ceil();
+        let lo = ((d_i - self.epsilon).ceil().max(0.0)) as u32;
+        let hi = ((d_i + self.epsilon).ceil().max(0.0)) as u32;
+        (
+            Difficulty::saturating(lo).bits(),
+            Difficulty::saturating(hi).bits(),
+        )
+    }
+}
+
+impl Policy for ErrorRangePolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn difficulty_for(&self, score: ReputationScore, _ctx: &PolicyContext) -> Difficulty {
+        let (lo, hi) = self.interval(score);
+        let bits = if lo == hi {
+            lo
+        } else {
+            self.rng.lock().gen_range(lo..=hi)
+        };
+        Difficulty::saturating(bits as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(v: f64) -> ReputationScore {
+        ReputationScore::new(v).unwrap()
+    }
+
+    #[test]
+    fn interval_matches_paper_formula() {
+        let p = ErrorRangePolicy::new(1.5, 0);
+        // s=4: d_i = ceil(5) = 5; interval [ceil(3.5), ceil(6.5)] = [4, 7].
+        assert_eq!(p.interval(score(4.0)), (4, 7));
+        // s=0: d_i = 1; interval [ceil(-0.5)→0, ceil(2.5)=3].
+        assert_eq!(p.interval(score(0.0)), (0, 3));
+        // s=10: d_i = 11; interval [10, 13].
+        assert_eq!(p.interval(score(10.0)), (10, 13));
+    }
+
+    #[test]
+    fn fractional_scores_ceil() {
+        let p = ErrorRangePolicy::new(0.0, 0);
+        // s=3.2: d_i = ceil(4.2) = 5; zero epsilon pins the draw.
+        assert_eq!(p.interval(score(3.2)), (5, 5));
+        assert_eq!(
+            p.difficulty_for(score(3.2), &PolicyContext::default()).bits(),
+            5
+        );
+    }
+
+    #[test]
+    fn draws_stay_in_interval() {
+        let p = ErrorRangePolicy::new(2.0, 7);
+        let ctx = PolicyContext::default();
+        for _ in 0..500 {
+            let d = p.difficulty_for(score(6.0), &ctx).bits();
+            let (lo, hi) = p.interval(score(6.0));
+            assert!((lo..=hi).contains(&d), "draw {d} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn draws_cover_the_interval() {
+        let p = ErrorRangePolicy::new(2.0, 11);
+        let ctx = PolicyContext::default();
+        let (lo, hi) = p.interval(score(5.0));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2_000 {
+            seen.insert(p.difficulty_for(score(5.0), &ctx).bits());
+        }
+        for d in lo..=hi {
+            assert!(seen.contains(&d), "difficulty {d} never drawn");
+        }
+        assert_eq!(seen.len() as u32, (hi - lo + 1) as u32);
+    }
+
+    #[test]
+    fn same_seed_reproduces_sequence() {
+        let a = ErrorRangePolicy::new(1.0, 99);
+        let b = ErrorRangePolicy::new(1.0, 99);
+        let ctx = PolicyContext::default();
+        for band in 0..=10 {
+            let s = score(band as f64);
+            assert_eq!(
+                a.difficulty_for(s, &ctx).bits(),
+                b.difficulty_for(s, &ctx).bits()
+            );
+        }
+    }
+
+    #[test]
+    fn mean_draw_tracks_linear_mapping() {
+        // Policy 3's expected difficulty should sit near d_i = ceil(s)+1,
+        // which is how Figure 2 places it between Policies 1 and 2.
+        let p = ErrorRangePolicy::new(2.0, 3);
+        let ctx = PolicyContext::default();
+        let s = score(7.0);
+        let n = 4_000;
+        let sum: u64 = (0..n)
+            .map(|_| p.difficulty_for(s, &ctx).bits() as u64)
+            .sum();
+        let mean = sum as f64 / n as f64;
+        // d_i = 8; interval [6, 10]; uniform mean 8.
+        assert!((mean - 8.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn negative_epsilon_panics() {
+        ErrorRangePolicy::new(-1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn nan_epsilon_panics() {
+        ErrorRangePolicy::new(f64::NAN, 0);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The interval always contains the deterministic mapping
+            /// d_i = ceil(s+1), and is symmetric up to ceiling effects.
+            #[test]
+            fn interval_contains_center(s in 0.0f64..=10.0, eps in 0.0f64..4.0) {
+                let p = ErrorRangePolicy::new(eps, 1);
+                let sc = ReputationScore::new(s).unwrap();
+                let (lo, hi) = p.interval(sc);
+                let d_i = (s + 1.0).ceil() as u8;
+                prop_assert!(lo <= d_i && d_i <= hi,
+                    "d_i {} outside [{}, {}]", d_i, lo, hi);
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Policies 1 and 2: linear mapping (paper §III.A).
+//!
+//! “For Policy 1, we map a 1-difficult puzzle to a client with a reputation
+//! score 0, a 2-difficult puzzle to a client with a reputation score of 1,
+//! and so on. … we evaluate Policy 2, where the easiest puzzle has
+//! difficulty 5. Thus, we map a 5-difficult puzzle to the client with
+//! reputation score 0, a 6-difficult puzzle to a client with a reputation
+//! score of 1, and so on.”
+
+use crate::context::PolicyContext;
+use crate::Policy;
+use aipow_pow::Difficulty;
+use aipow_reputation::ReputationScore;
+
+/// A linear score→difficulty mapping: `d = round(R) + base`.
+///
+/// ```
+/// use aipow_policy::{LinearPolicy, Policy, PolicyContext};
+/// use aipow_reputation::ReputationScore;
+/// let p1 = LinearPolicy::policy1();
+/// let ctx = PolicyContext::default();
+/// assert_eq!(p1.difficulty_for(ReputationScore::MIN, &ctx).bits(), 1);
+/// assert_eq!(p1.difficulty_for(ReputationScore::MAX, &ctx).bits(), 11);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearPolicy {
+    name: String,
+    base: u8,
+}
+
+impl LinearPolicy {
+    /// A linear policy with the given base difficulty (difficulty assigned
+    /// to reputation score 0).
+    pub fn new(name: impl Into<String>, base: u8) -> Self {
+        LinearPolicy {
+            name: name.into(),
+            base,
+        }
+    }
+
+    /// The paper's Policy 1: `d = R + 1`.
+    pub fn policy1() -> Self {
+        LinearPolicy::new("policy1", 1)
+    }
+
+    /// The paper's Policy 2: `d = R + 5`.
+    pub fn policy2() -> Self {
+        LinearPolicy::new("policy2", 5)
+    }
+
+    /// The base difficulty (at reputation score 0).
+    pub fn base(&self) -> u8 {
+        self.base
+    }
+}
+
+impl Policy for LinearPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn difficulty_for(&self, score: ReputationScore, _ctx: &PolicyContext) -> Difficulty {
+        Difficulty::saturating(score.band() as u32 + self.base as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(v: f64) -> ReputationScore {
+        ReputationScore::new(v).unwrap()
+    }
+
+    #[test]
+    fn policy1_matches_paper_table() {
+        let p = LinearPolicy::policy1();
+        let ctx = PolicyContext::default();
+        for band in 0..=10u8 {
+            let d = p.difficulty_for(score(band as f64), &ctx);
+            assert_eq!(d.bits(), band + 1, "reputation {band}");
+        }
+    }
+
+    #[test]
+    fn policy2_matches_paper_table() {
+        let p = LinearPolicy::policy2();
+        let ctx = PolicyContext::default();
+        for band in 0..=10u8 {
+            let d = p.difficulty_for(score(band as f64), &ctx);
+            assert_eq!(d.bits(), band + 5, "reputation {band}");
+        }
+    }
+
+    #[test]
+    fn fractional_scores_round_to_band() {
+        let p = LinearPolicy::policy1();
+        let ctx = PolicyContext::default();
+        assert_eq!(p.difficulty_for(score(3.4), &ctx).bits(), 4);
+        assert_eq!(p.difficulty_for(score(3.5), &ctx).bits(), 5);
+    }
+
+    #[test]
+    fn extreme_base_saturates() {
+        let p = LinearPolicy::new("extreme", 60);
+        let ctx = PolicyContext::default();
+        assert_eq!(p.difficulty_for(score(10.0), &ctx).bits(), 64);
+    }
+
+    #[test]
+    fn monotone_in_score() {
+        let p = LinearPolicy::policy2();
+        let ctx = PolicyContext::default();
+        let mut prev = 0u8;
+        for tenths in 0..=100 {
+            let d = p.difficulty_for(score(tenths as f64 / 10.0), &ctx);
+            assert!(d.bits() >= prev);
+            prev = d.bits();
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(LinearPolicy::policy1().name(), "policy1");
+        assert_eq!(LinearPolicy::policy2().name(), "policy2");
+        assert_eq!(LinearPolicy::policy1().base(), 1);
+        assert_eq!(LinearPolicy::policy2().base(), 5);
+    }
+}

@@ -1,0 +1,204 @@
+//! Curved score→difficulty mappings.
+//!
+//! Linear policies add a constant bit per score point — i.e. a constant
+//! *latency factor* per point. A [`PowerPolicy`] curves the mapping so an
+//! operator can stay lenient across the benign range and escalate steeply
+//! near the top.
+
+use crate::context::PolicyContext;
+use crate::Policy;
+use aipow_pow::Difficulty;
+use aipow_reputation::ReputationScore;
+use core::fmt;
+
+/// A power-curve policy: `d = round(min + (max − min) · (s/10)^exponent)`.
+///
+/// `exponent = 1` is linear between `min` and `max`; `exponent > 1` is
+/// convex (lenient at low scores, harsh near 10); `exponent < 1` is concave.
+///
+/// ```
+/// use aipow_policy::{PowerPolicy, Policy, PolicyContext};
+/// use aipow_reputation::ReputationScore;
+/// let p = PowerPolicy::new("curve", 1, 15, 2.0)?;
+/// let ctx = PolicyContext::default();
+/// assert_eq!(p.difficulty_for(ReputationScore::MIN, &ctx).bits(), 1);
+/// assert_eq!(p.difficulty_for(ReputationScore::MAX, &ctx).bits(), 15);
+/// // Convex: halfway up the score scale sits well below halfway in bits.
+/// let mid = p.difficulty_for(ReputationScore::new(5.0).unwrap(), &ctx).bits();
+/// assert!(mid < 8, "mid {mid}");
+/// # Ok::<(), aipow_policy::power::PowerPolicyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerPolicy {
+    name: String,
+    min: u8,
+    max: u8,
+    exponent: f64,
+}
+
+/// Error constructing a [`PowerPolicy`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PowerPolicyError {
+    /// `min` must not exceed `max`, and both must be ≤ 64.
+    BadRange {
+        /// Configured minimum bits.
+        min: u8,
+        /// Configured maximum bits.
+        max: u8,
+    },
+    /// The exponent must be finite and positive.
+    BadExponent {
+        /// The rejected exponent.
+        exponent: f64,
+    },
+}
+
+impl fmt::Display for PowerPolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerPolicyError::BadRange { min, max } => {
+                write!(f, "power policy range [{min}, {max}] is invalid")
+            }
+            PowerPolicyError::BadExponent { exponent } => {
+                write!(f, "power policy exponent {exponent} must be finite and positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PowerPolicyError {}
+
+impl PowerPolicy {
+    /// Creates a power policy mapping scores 0→`min` bits and 10→`max`
+    /// bits with the given curvature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerPolicyError`] for an inverted/overflowing range or a
+    /// non-positive exponent.
+    pub fn new(
+        name: impl Into<String>,
+        min: u8,
+        max: u8,
+        exponent: f64,
+    ) -> Result<Self, PowerPolicyError> {
+        if min > max || max > 64 {
+            return Err(PowerPolicyError::BadRange { min, max });
+        }
+        if !exponent.is_finite() || exponent <= 0.0 {
+            return Err(PowerPolicyError::BadExponent { exponent });
+        }
+        Ok(PowerPolicy {
+            name: name.into(),
+            min,
+            max,
+            exponent,
+        })
+    }
+
+    /// The configured `(min, max, exponent)`.
+    pub fn parameters(&self) -> (u8, u8, f64) {
+        (self.min, self.max, self.exponent)
+    }
+}
+
+impl Policy for PowerPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn difficulty_for(&self, score: ReputationScore, _ctx: &PolicyContext) -> Difficulty {
+        let fraction = (score.value() / 10.0).powf(self.exponent);
+        let bits = self.min as f64 + (self.max - self.min) as f64 * fraction;
+        Difficulty::saturating(bits.round() as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(v: f64) -> ReputationScore {
+        ReputationScore::new(v).unwrap()
+    }
+
+    #[test]
+    fn endpoints_hit_min_and_max() {
+        let p = PowerPolicy::new("p", 3, 20, 1.7).unwrap();
+        let ctx = PolicyContext::default();
+        assert_eq!(p.difficulty_for(score(0.0), &ctx).bits(), 3);
+        assert_eq!(p.difficulty_for(score(10.0), &ctx).bits(), 20);
+    }
+
+    #[test]
+    fn exponent_one_is_linear() {
+        let p = PowerPolicy::new("lin", 0, 10, 1.0).unwrap();
+        let ctx = PolicyContext::default();
+        for band in 0..=10u8 {
+            assert_eq!(p.difficulty_for(score(band as f64), &ctx).bits(), band);
+        }
+    }
+
+    #[test]
+    fn convex_curve_is_below_linear_midway() {
+        let convex = PowerPolicy::new("cv", 0, 16, 2.0).unwrap();
+        let ctx = PolicyContext::default();
+        // (5/10)^2 = 0.25 → 4 bits, vs 8 for linear.
+        assert_eq!(convex.difficulty_for(score(5.0), &ctx).bits(), 4);
+    }
+
+    #[test]
+    fn concave_curve_is_above_linear_midway() {
+        let concave = PowerPolicy::new("cc", 0, 16, 0.5).unwrap();
+        let ctx = PolicyContext::default();
+        // sqrt(0.5) ≈ 0.707 → round(11.3) = 11 bits.
+        assert_eq!(concave.difficulty_for(score(5.0), &ctx).bits(), 11);
+    }
+
+    #[test]
+    fn monotone_in_score() {
+        let p = PowerPolicy::new("m", 2, 24, 3.0).unwrap();
+        let ctx = PolicyContext::default();
+        let mut prev = 0u8;
+        for tenths in 0..=100 {
+            let d = p.difficulty_for(score(tenths as f64 / 10.0), &ctx).bits();
+            assert!(d >= prev, "not monotone at {tenths}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert_eq!(
+            PowerPolicy::new("x", 10, 5, 1.0).unwrap_err(),
+            PowerPolicyError::BadRange { min: 10, max: 5 }
+        );
+        assert_eq!(
+            PowerPolicy::new("x", 0, 70, 1.0).unwrap_err(),
+            PowerPolicyError::BadRange { min: 0, max: 70 }
+        );
+        assert!(matches!(
+            PowerPolicy::new("x", 0, 10, 0.0).unwrap_err(),
+            PowerPolicyError::BadExponent { .. }
+        ));
+        assert!(matches!(
+            PowerPolicy::new("x", 0, 10, f64::NAN).unwrap_err(),
+            PowerPolicyError::BadExponent { .. }
+        ));
+    }
+
+    #[test]
+    fn degenerate_flat_range() {
+        let p = PowerPolicy::new("flat", 7, 7, 2.0).unwrap();
+        let ctx = PolicyContext::default();
+        assert_eq!(p.difficulty_for(score(0.0), &ctx).bits(), 7);
+        assert_eq!(p.difficulty_for(score(10.0), &ctx).bits(), 7);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(PowerPolicyError::BadRange { min: 9, max: 1 }
+            .to_string()
+            .contains("[9, 1]"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Textual policy specs → boxed policies.
+//!
+//! Configuration files, the CLI, and the benchmark harness name policies as
+//! strings. A spec is either a built-in shorthand or full DSL source:
+//!
+//! | Spec | Meaning |
+//! |------|---------|
+//! | `policy1` | the paper's Policy 1 (`d = R + 1`) |
+//! | `policy2` | the paper's Policy 2 (`d = R + 5`) |
+//! | `policy3` | the paper's Policy 3 with default `ϵ = 2.0` |
+//! | `policy3:eps=1.5` | Policy 3 with explicit `ϵ` |
+//! | `policy "x" { … }` | DSL source (see [`crate::dsl`]) |
+
+use crate::dsl;
+use crate::error_range::ErrorRangePolicy;
+use crate::linear::LinearPolicy;
+use crate::Policy;
+use core::fmt;
+
+/// Error resolving a policy spec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The spec names no known builtin and is not DSL source.
+    UnknownSpec {
+        /// The unrecognized spec.
+        spec: String,
+    },
+    /// A builtin parameter could not be parsed.
+    BadParameter {
+        /// The offending parameter text.
+        parameter: String,
+    },
+    /// DSL source failed to parse.
+    Dsl(dsl::ParseError),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownSpec { spec } => write!(f, "unknown policy spec `{spec}`"),
+            SpecError::BadParameter { parameter } => {
+                write!(f, "invalid policy parameter `{parameter}`")
+            }
+            SpecError::Dsl(e) => write!(f, "policy dsl error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<dsl::ParseError> for SpecError {
+    fn from(e: dsl::ParseError) -> Self {
+        SpecError::Dsl(e)
+    }
+}
+
+/// Resolves a policy spec string. `seed` feeds randomized policies
+/// (Policy 3) so experiments stay reproducible.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] for unknown shorthands, malformed parameters, or
+/// invalid DSL source.
+///
+/// ```
+/// let p = aipow_policy::registry::from_spec("policy3:eps=1.5", 7)?;
+/// assert_eq!(p.name(), "policy3");
+/// # Ok::<(), aipow_policy::registry::SpecError>(())
+/// ```
+pub fn from_spec(spec: &str, seed: u64) -> Result<Box<dyn Policy>, SpecError> {
+    let trimmed = spec.trim();
+    match trimmed {
+        "policy1" => return Ok(Box::new(LinearPolicy::policy1())),
+        "policy2" => return Ok(Box::new(LinearPolicy::policy2())),
+        "policy3" => return Ok(Box::new(ErrorRangePolicy::new(2.0, seed))),
+        _ => {}
+    }
+
+    if let Some(params) = trimmed.strip_prefix("policy3:") {
+        let mut epsilon: Option<f64> = None;
+        for part in params.split(',') {
+            let part = part.trim();
+            match part.split_once('=') {
+                Some(("eps", v)) => {
+                    let value: f64 = v.trim().parse().map_err(|_| SpecError::BadParameter {
+                        parameter: part.to_string(),
+                    })?;
+                    if !value.is_finite() || value < 0.0 {
+                        return Err(SpecError::BadParameter {
+                            parameter: part.to_string(),
+                        });
+                    }
+                    epsilon = Some(value);
+                }
+                _ => {
+                    return Err(SpecError::BadParameter {
+                        parameter: part.to_string(),
+                    })
+                }
+            }
+        }
+        let epsilon = epsilon.ok_or_else(|| SpecError::BadParameter {
+            parameter: params.to_string(),
+        })?;
+        return Ok(Box::new(ErrorRangePolicy::new(epsilon, seed)));
+    }
+
+    if trimmed.starts_with("policy ") || trimmed.starts_with("policy\"") {
+        return Ok(Box::new(dsl::parse(trimmed)?));
+    }
+
+    Err(SpecError::UnknownSpec {
+        spec: trimmed.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::PolicyContext;
+    use aipow_reputation::ReputationScore;
+
+    fn score(v: f64) -> ReputationScore {
+        ReputationScore::new(v).unwrap()
+    }
+
+    #[test]
+    fn builtin_policies_resolve() {
+        let ctx = PolicyContext::default();
+        let p1 = from_spec("policy1", 0).unwrap();
+        let p2 = from_spec("policy2", 0).unwrap();
+        assert_eq!(p1.difficulty_for(score(0.0), &ctx).bits(), 1);
+        assert_eq!(p2.difficulty_for(score(0.0), &ctx).bits(), 5);
+    }
+
+    #[test]
+    fn policy3_with_epsilon() {
+        let p = from_spec("policy3:eps=0.0", 1).unwrap();
+        let ctx = PolicyContext::default();
+        // eps=0 pins the draw: d = ceil(s+1).
+        assert_eq!(p.difficulty_for(score(4.0), &ctx).bits(), 5);
+    }
+
+    #[test]
+    fn policy3_default_epsilon() {
+        let p = from_spec("policy3", 1).unwrap();
+        assert_eq!(p.name(), "policy3");
+    }
+
+    #[test]
+    fn policy3_seed_reproducibility() {
+        let ctx = PolicyContext::default();
+        let a = from_spec("policy3:eps=2.0", 9).unwrap();
+        let b = from_spec("policy3:eps=2.0", 9).unwrap();
+        for band in 0..=10 {
+            assert_eq!(
+                a.difficulty_for(score(band as f64), &ctx).bits(),
+                b.difficulty_for(score(band as f64), &ctx).bits()
+            );
+        }
+    }
+
+    #[test]
+    fn dsl_source_resolves() {
+        let p = from_spec(
+            "policy \"inline\" { when score < 5.0 => difficulty 2; otherwise => difficulty 9; }",
+            0,
+        )
+        .unwrap();
+        assert_eq!(p.name(), "inline");
+    }
+
+    #[test]
+    fn unknown_spec_rejected() {
+        assert!(matches!(
+            from_spec("policyX", 0),
+            Err(SpecError::UnknownSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        assert!(matches!(
+            from_spec("policy3:eps=abc", 0),
+            Err(SpecError::BadParameter { .. })
+        ));
+        assert!(matches!(
+            from_spec("policy3:eps=-1", 0),
+            Err(SpecError::BadParameter { .. })
+        ));
+        assert!(matches!(
+            from_spec("policy3:sigma=2", 0),
+            Err(SpecError::BadParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn dsl_errors_propagate() {
+        match from_spec("policy \"broken\" { }", 0) {
+            Err(SpecError::Dsl(e)) => assert!(e.message.contains("no rules")),
+            other => panic!("expected DSL error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(from_spec("nope", 0).unwrap_err().to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,262 @@
+//! Tiered (step) policies.
+//!
+//! Operators often think in tiers — “trusted / unknown / hostile” — rather
+//! than per-point mappings. A [`StepPolicy`] assigns one difficulty per
+//! score band.
+
+use crate::context::PolicyContext;
+use crate::Policy;
+use aipow_pow::Difficulty;
+use aipow_reputation::ReputationScore;
+use core::fmt;
+
+/// A step policy: consecutive half-open score bands, each mapped to one
+/// difficulty, plus a final difficulty for everything above the last bound.
+///
+/// ```
+/// use aipow_policy::{StepPolicy, Policy, PolicyContext};
+/// use aipow_reputation::ReputationScore;
+/// let policy = StepPolicy::builder("tiers")
+///     .band_below(2.0, 1)   // score < 2.0  → 1-difficult
+///     .band_below(7.0, 8)   // 2.0 ≤ s < 7  → 8-difficult
+///     .otherwise(16)        // s ≥ 7        → 16-difficult
+///     .build()?;
+/// let ctx = PolicyContext::default();
+/// assert_eq!(policy.difficulty_for(ReputationScore::new(1.0).unwrap(), &ctx).bits(), 1);
+/// assert_eq!(policy.difficulty_for(ReputationScore::new(9.0).unwrap(), &ctx).bits(), 16);
+/// # Ok::<(), aipow_policy::step::StepPolicyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StepPolicy {
+    name: String,
+    /// `(upper_bound, difficulty)`: applies to scores `< upper_bound`.
+    bands: Vec<(f64, Difficulty)>,
+    fallback: Difficulty,
+}
+
+/// Error constructing a [`StepPolicy`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepPolicyError {
+    /// Band bounds must be strictly increasing.
+    NonIncreasingBounds {
+        /// The offending bound.
+        bound: f64,
+    },
+    /// A bound was NaN or infinite.
+    NonFiniteBound,
+    /// A difficulty exceeded the representable maximum.
+    BadDifficulty {
+        /// The offending difficulty in bits.
+        bits: u16,
+    },
+}
+
+impl fmt::Display for StepPolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepPolicyError::NonIncreasingBounds { bound } => {
+                write!(f, "step bound {bound} does not increase over the previous band")
+            }
+            StepPolicyError::NonFiniteBound => write!(f, "step bound must be finite"),
+            StepPolicyError::BadDifficulty { bits } => {
+                write!(f, "step difficulty {bits} exceeds 64 bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StepPolicyError {}
+
+impl StepPolicy {
+    /// Starts building a step policy.
+    pub fn builder(name: impl Into<String>) -> StepPolicyBuilder {
+        StepPolicyBuilder {
+            name: name.into(),
+            bands: Vec::new(),
+        }
+    }
+
+    /// The configured bands as `(upper_bound, difficulty)` pairs.
+    pub fn bands(&self) -> &[(f64, Difficulty)] {
+        &self.bands
+    }
+
+    /// The difficulty for scores at or above the last bound.
+    pub fn fallback(&self) -> Difficulty {
+        self.fallback
+    }
+}
+
+impl Policy for StepPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn difficulty_for(&self, score: ReputationScore, _ctx: &PolicyContext) -> Difficulty {
+        for &(bound, difficulty) in &self.bands {
+            if score.value() < bound {
+                return difficulty;
+            }
+        }
+        self.fallback
+    }
+}
+
+/// Builder for [`StepPolicy`]; see [`StepPolicy::builder`].
+#[derive(Debug, Clone)]
+pub struct StepPolicyBuilder {
+    name: String,
+    bands: Vec<(f64, u16)>,
+}
+
+impl StepPolicyBuilder {
+    /// Adds a band: scores below `upper_bound` (and at/above the previous
+    /// bound) receive `difficulty_bits`.
+    pub fn band_below(mut self, upper_bound: f64, difficulty_bits: u16) -> Self {
+        self.bands.push((upper_bound, difficulty_bits));
+        self
+    }
+
+    /// Finishes with the difficulty for all remaining (highest) scores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepPolicyError`] if bounds are not finite and strictly
+    /// increasing, or any difficulty exceeds 64 bits.
+    pub fn otherwise(self, difficulty_bits: u16) -> StepPolicyFinal {
+        StepPolicyFinal {
+            builder: self,
+            fallback: difficulty_bits,
+        }
+    }
+}
+
+/// Terminal builder state produced by [`StepPolicyBuilder::otherwise`].
+#[derive(Debug, Clone)]
+pub struct StepPolicyFinal {
+    builder: StepPolicyBuilder,
+    fallback: u16,
+}
+
+impl StepPolicyFinal {
+    /// Validates and constructs the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepPolicyError`] if bounds are not finite and strictly
+    /// increasing, or any difficulty exceeds 64 bits.
+    pub fn build(self) -> Result<StepPolicy, StepPolicyError> {
+        let mut bands = Vec::with_capacity(self.builder.bands.len());
+        let mut prev: Option<f64> = None;
+        for (bound, bits) in self.builder.bands {
+            if !bound.is_finite() {
+                return Err(StepPolicyError::NonFiniteBound);
+            }
+            if let Some(p) = prev {
+                if bound <= p {
+                    return Err(StepPolicyError::NonIncreasingBounds { bound });
+                }
+            }
+            prev = Some(bound);
+            let difficulty = to_difficulty(bits)?;
+            bands.push((bound, difficulty));
+        }
+        Ok(StepPolicy {
+            name: self.builder.name,
+            bands,
+            fallback: to_difficulty(self.fallback)?,
+        })
+    }
+}
+
+fn to_difficulty(bits: u16) -> Result<Difficulty, StepPolicyError> {
+    if bits > 64 {
+        return Err(StepPolicyError::BadDifficulty { bits });
+    }
+    Difficulty::new(bits as u8).map_err(|e| StepPolicyError::BadDifficulty { bits: e.bits })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(v: f64) -> ReputationScore {
+        ReputationScore::new(v).unwrap()
+    }
+
+    fn tiers() -> StepPolicy {
+        StepPolicy::builder("tiers")
+            .band_below(2.0, 1)
+            .band_below(7.0, 8)
+            .otherwise(16)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn bands_select_correctly() {
+        let p = tiers();
+        let ctx = PolicyContext::default();
+        assert_eq!(p.difficulty_for(score(0.0), &ctx).bits(), 1);
+        assert_eq!(p.difficulty_for(score(1.999), &ctx).bits(), 1);
+        assert_eq!(p.difficulty_for(score(2.0), &ctx).bits(), 8);
+        assert_eq!(p.difficulty_for(score(6.999), &ctx).bits(), 8);
+        assert_eq!(p.difficulty_for(score(7.0), &ctx).bits(), 16);
+        assert_eq!(p.difficulty_for(score(10.0), &ctx).bits(), 16);
+    }
+
+    #[test]
+    fn no_bands_is_constant_policy() {
+        let p = StepPolicy::builder("const").otherwise(9).build().unwrap();
+        let ctx = PolicyContext::default();
+        assert_eq!(p.difficulty_for(score(0.0), &ctx).bits(), 9);
+        assert_eq!(p.difficulty_for(score(10.0), &ctx).bits(), 9);
+    }
+
+    #[test]
+    fn rejects_non_increasing_bounds() {
+        let err = StepPolicy::builder("bad")
+            .band_below(5.0, 1)
+            .band_below(5.0, 2)
+            .otherwise(3)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, StepPolicyError::NonIncreasingBounds { bound: 5.0 });
+    }
+
+    #[test]
+    fn rejects_nan_bound() {
+        let err = StepPolicy::builder("bad")
+            .band_below(f64::NAN, 1)
+            .otherwise(3)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, StepPolicyError::NonFiniteBound);
+    }
+
+    #[test]
+    fn rejects_oversized_difficulty() {
+        let err = StepPolicy::builder("bad")
+            .band_below(5.0, 70)
+            .otherwise(3)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, StepPolicyError::BadDifficulty { bits: 70 });
+    }
+
+    #[test]
+    fn accessors_expose_structure() {
+        let p = tiers();
+        assert_eq!(p.bands().len(), 2);
+        assert_eq!(p.fallback().bits(), 16);
+        assert_eq!(p.name(), "tiers");
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(!StepPolicyError::NonFiniteBound.to_string().is_empty());
+        assert!(StepPolicyError::BadDifficulty { bits: 70 }
+            .to_string()
+            .contains("70"));
+    }
+}

@@ -1,0 +1,397 @@
+//! Challenge and solution data types (paper §II.3–§II.4).
+//!
+//! A challenge is “request related data, i.e., timestamp and unique seed
+//! (for mitigating pre-computation attacks), and a difficulty value as
+//! defined by the policy module”. The issuer authenticates the bundle with
+//! an HMAC tag so the verifier can recognize its own challenges without
+//! storing them.
+
+use crate::difficulty::Difficulty;
+use aipow_crypto::sha256::{Digest, Sha256};
+use serde::{Deserialize, Serialize};
+use std::net::IpAddr;
+
+/// Current challenge format version.
+pub const CHALLENGE_VERSION: u8 = 1;
+
+/// Size of the anti-precomputation seed in bytes.
+pub const SEED_LEN: usize = 16;
+
+/// A proof-of-work challenge as issued to a client.
+///
+/// The fields mirror the paper's puzzle-generation module: a unique seed, an
+/// issuance timestamp, a TTL, the policy-assigned difficulty, the client IP
+/// the puzzle is bound to, and the issuer's HMAC tag over all of the above.
+///
+/// ```
+/// use aipow_pow::{Difficulty, Issuer};
+/// # use std::net::{IpAddr, Ipv4Addr};
+/// let issuer = Issuer::new(&[0u8; 32]);
+/// let ip = IpAddr::V4(Ipv4Addr::LOCALHOST);
+/// let c = issuer.issue(ip, Difficulty::new(4).unwrap());
+/// assert_eq!(c.difficulty().bits(), 4);
+/// assert_eq!(c.client_ip(), ip);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Challenge {
+    version: u8,
+    seed: [u8; SEED_LEN],
+    issued_at_ms: u64,
+    ttl_ms: u64,
+    difficulty: Difficulty,
+    client_ip: IpAddr,
+    tag: [u8; 32],
+}
+
+impl Challenge {
+    /// Assembles a challenge from parts. Intended for the issuer and for
+    /// wire decoding; ordinary callers obtain challenges from
+    /// [`Issuer::issue`](crate::Issuer::issue).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        version: u8,
+        seed: [u8; SEED_LEN],
+        issued_at_ms: u64,
+        ttl_ms: u64,
+        difficulty: Difficulty,
+        client_ip: IpAddr,
+        tag: [u8; 32],
+    ) -> Self {
+        Challenge {
+            version,
+            seed,
+            issued_at_ms,
+            ttl_ms,
+            difficulty,
+            client_ip,
+            tag,
+        }
+    }
+
+    /// Format version of this challenge.
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// The unique anti-precomputation seed.
+    pub fn seed(&self) -> &[u8; SEED_LEN] {
+        &self.seed
+    }
+
+    /// Issuance timestamp, milliseconds since the Unix epoch.
+    pub fn issued_at_ms(&self) -> u64 {
+        self.issued_at_ms
+    }
+
+    /// Validity window length in milliseconds.
+    pub fn ttl_ms(&self) -> u64 {
+        self.ttl_ms
+    }
+
+    /// The required number of leading zero bits.
+    pub fn difficulty(&self) -> Difficulty {
+        self.difficulty
+    }
+
+    /// The client IP this challenge was issued to.
+    pub fn client_ip(&self) -> IpAddr {
+        self.client_ip
+    }
+
+    /// The issuer's HMAC tag.
+    pub fn tag(&self) -> &[u8; 32] {
+        &self.tag
+    }
+
+    /// Expiry instant: `issued_at + ttl`, saturating.
+    pub fn expires_at_ms(&self) -> u64 {
+        self.issued_at_ms.saturating_add(self.ttl_ms)
+    }
+
+    /// Whether the challenge has expired at `now_ms`.
+    pub fn is_expired(&self, now_ms: u64) -> bool {
+        now_ms > self.expires_at_ms()
+    }
+
+    /// Short printable identifier (hex of the seed).
+    pub fn id(&self) -> String {
+        aipow_crypto::hex::encode(&self.seed)
+    }
+
+    /// Canonical byte encoding of the fields covered by the issuer's MAC:
+    /// `version ‖ seed ‖ issued_at ‖ ttl ‖ difficulty ‖ ip`, all big-endian.
+    pub fn authenticated_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + SEED_LEN + 8 + 8 + 1 + 17);
+        out.push(self.version);
+        out.extend_from_slice(&self.seed);
+        out.extend_from_slice(&self.issued_at_ms.to_be_bytes());
+        out.extend_from_slice(&self.ttl_ms.to_be_bytes());
+        out.push(self.difficulty.bits());
+        encode_ip(&mut out, self.client_ip);
+        out
+    }
+
+    /// The immutable solve-preimage prefix: the challenge data as received
+    /// (including the tag) concatenated with the textual client IP, per
+    /// paper §II.4 — “concatenated with the client's IP address to form a
+    /// string that is not altered”. The solver appends only the nonce.
+    pub fn preimage_prefix(&self, client_ip: IpAddr) -> Vec<u8> {
+        let mut out = self.authenticated_bytes();
+        out.extend_from_slice(&self.tag);
+        out.extend_from_slice(client_ip.to_string().as_bytes());
+        out
+    }
+}
+
+/// Appends a self-delimiting IP encoding: `0x04 ‖ 4 bytes` or `0x06 ‖ 16 bytes`.
+fn encode_ip(out: &mut Vec<u8>, ip: IpAddr) {
+    match ip {
+        IpAddr::V4(v4) => {
+            out.push(0x04);
+            out.extend_from_slice(&v4.octets());
+        }
+        IpAddr::V6(v6) => {
+            out.push(0x06);
+            out.extend_from_slice(&v6.octets());
+        }
+    }
+}
+
+/// Width of the nonce the solver appends to the preimage.
+///
+/// The paper specifies a 32-bit nonce. A 32-bit space exhausts with
+/// probability `≈ e^{-2^{32-d}}` at difficulty `d` (non-negligible beyond
+/// `d ≈ 28`), so the default is [`NonceWidth::U64`]; use
+/// [`SolverOptions::strict_u32`](crate::SolverOptions) for paper-faithful
+/// behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum NonceWidth {
+    /// 4-byte big-endian nonce (paper-faithful).
+    U32,
+    /// 8-byte big-endian nonce (default).
+    #[default]
+    U64,
+}
+
+impl NonceWidth {
+    /// Serializes `nonce` at this width (big-endian).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nonce` does not fit the width; the solver guarantees this
+    /// by construction, and wire decoding validates before calling.
+    pub fn encode(&self, nonce: u64) -> Vec<u8> {
+        match self {
+            NonceWidth::U32 => {
+                let n32 = u32::try_from(nonce).expect("nonce exceeds u32 width");
+                n32.to_be_bytes().to_vec()
+            }
+            NonceWidth::U64 => nonce.to_be_bytes().to_vec(),
+        }
+    }
+
+    /// Whether `nonce` is representable at this width.
+    pub fn fits(&self, nonce: u64) -> bool {
+        match self {
+            NonceWidth::U32 => nonce <= u32::MAX as u64,
+            NonceWidth::U64 => true,
+        }
+    }
+
+    /// The maximum nonce representable at this width.
+    pub fn max_nonce(&self) -> u64 {
+        match self {
+            NonceWidth::U32 => u32::MAX as u64,
+            NonceWidth::U64 => u64::MAX,
+        }
+    }
+}
+
+/// A candidate solution: the challenge it answers plus the found nonce.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Solution {
+    /// The challenge being answered (echoed back to the verifier).
+    pub challenge: Challenge,
+    /// The nonce that produced a qualifying digest.
+    pub nonce: u64,
+    /// Width at which the nonce was hashed.
+    pub width: NonceWidth,
+}
+
+impl Solution {
+    /// Computes the solution digest for a claimed client IP.
+    pub fn digest(&self, client_ip: IpAddr) -> Digest {
+        let mut hasher = Sha256::new();
+        hasher.update(&self.challenge.preimage_prefix(client_ip));
+        hasher.update(&self.width.encode(self.nonce));
+        hasher.finalize()
+    }
+
+    /// Whether the digest for `client_ip` meets the challenge difficulty.
+    pub fn meets_difficulty(&self, client_ip: IpAddr) -> bool {
+        self.digest(client_ip).leading_zero_bits() >= self.challenge.difficulty().bits() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{Ipv4Addr, Ipv6Addr};
+
+    fn sample_challenge(ip: IpAddr) -> Challenge {
+        Challenge::from_parts(
+            CHALLENGE_VERSION,
+            [9u8; SEED_LEN],
+            1_000,
+            30_000,
+            Difficulty::new(4).unwrap(),
+            ip,
+            [3u8; 32],
+        )
+    }
+
+    #[test]
+    fn expiry_window() {
+        let c = sample_challenge(IpAddr::V4(Ipv4Addr::LOCALHOST));
+        assert_eq!(c.expires_at_ms(), 31_000);
+        assert!(!c.is_expired(31_000));
+        assert!(c.is_expired(31_001));
+    }
+
+    #[test]
+    fn expiry_saturates() {
+        let c = Challenge::from_parts(
+            1,
+            [0; SEED_LEN],
+            u64::MAX - 5,
+            100,
+            Difficulty::ZERO,
+            IpAddr::V4(Ipv4Addr::LOCALHOST),
+            [0; 32],
+        );
+        assert_eq!(c.expires_at_ms(), u64::MAX);
+    }
+
+    #[test]
+    fn authenticated_bytes_cover_every_field() {
+        let ip = IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1));
+        let base = sample_challenge(ip);
+        let baseline = base.authenticated_bytes();
+
+        let variants = [
+            Challenge::from_parts(2, *base.seed(), 1_000, 30_000, base.difficulty(), ip, [3; 32]),
+            Challenge::from_parts(1, [8; SEED_LEN], 1_000, 30_000, base.difficulty(), ip, [3; 32]),
+            Challenge::from_parts(1, *base.seed(), 1_001, 30_000, base.difficulty(), ip, [3; 32]),
+            Challenge::from_parts(1, *base.seed(), 1_000, 30_001, base.difficulty(), ip, [3; 32]),
+            Challenge::from_parts(
+                1,
+                *base.seed(),
+                1_000,
+                30_000,
+                Difficulty::new(5).unwrap(),
+                ip,
+                [3; 32],
+            ),
+            Challenge::from_parts(
+                1,
+                *base.seed(),
+                1_000,
+                30_000,
+                base.difficulty(),
+                IpAddr::V4(Ipv4Addr::new(10, 0, 0, 2)),
+                [3; 32],
+            ),
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(
+                v.authenticated_bytes(),
+                baseline,
+                "variant {i} not reflected in authenticated bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn tag_not_in_authenticated_bytes_but_in_preimage() {
+        let ip = IpAddr::V4(Ipv4Addr::LOCALHOST);
+        let a = sample_challenge(ip);
+        let mut b = a.clone();
+        b.tag = [7u8; 32];
+        assert_eq!(a.authenticated_bytes(), b.authenticated_bytes());
+        assert_ne!(a.preimage_prefix(ip), b.preimage_prefix(ip));
+    }
+
+    #[test]
+    fn preimage_binds_solver_ip() {
+        let issued_to = IpAddr::V4(Ipv4Addr::new(1, 2, 3, 4));
+        let c = sample_challenge(issued_to);
+        let other = IpAddr::V4(Ipv4Addr::new(4, 3, 2, 1));
+        assert_ne!(c.preimage_prefix(issued_to), c.preimage_prefix(other));
+    }
+
+    #[test]
+    fn ipv6_challenges_encode_distinctly() {
+        let v6 = IpAddr::V6(Ipv6Addr::LOCALHOST);
+        let v4 = IpAddr::V4(Ipv4Addr::LOCALHOST);
+        let a = sample_challenge(v6);
+        let b = sample_challenge(v4);
+        assert_ne!(a.authenticated_bytes(), b.authenticated_bytes());
+    }
+
+    #[test]
+    fn nonce_width_encoding() {
+        assert_eq!(NonceWidth::U32.encode(0x0102_0304), vec![1, 2, 3, 4]);
+        assert_eq!(NonceWidth::U64.encode(1).len(), 8);
+        assert!(NonceWidth::U32.fits(u32::MAX as u64));
+        assert!(!NonceWidth::U32.fits(u32::MAX as u64 + 1));
+        assert!(NonceWidth::U64.fits(u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "u32 width")]
+    fn nonce_width_u32_panics_on_overflow() {
+        NonceWidth::U32.encode(u64::MAX);
+    }
+
+    #[test]
+    fn solution_digest_depends_on_nonce_and_width() {
+        let ip = IpAddr::V4(Ipv4Addr::LOCALHOST);
+        let c = sample_challenge(ip);
+        let s1 = Solution {
+            challenge: c.clone(),
+            nonce: 1,
+            width: NonceWidth::U64,
+        };
+        let s2 = Solution {
+            challenge: c.clone(),
+            nonce: 2,
+            width: NonceWidth::U64,
+        };
+        let s3 = Solution {
+            challenge: c,
+            nonce: 1,
+            width: NonceWidth::U32,
+        };
+        assert_ne!(s1.digest(ip), s2.digest(ip));
+        assert_ne!(s1.digest(ip), s3.digest(ip));
+    }
+
+    #[test]
+    fn zero_difficulty_always_meets() {
+        let ip = IpAddr::V4(Ipv4Addr::LOCALHOST);
+        let mut c = sample_challenge(ip);
+        c.difficulty = Difficulty::ZERO;
+        let s = Solution {
+            challenge: c,
+            nonce: 12345,
+            width: NonceWidth::U64,
+        };
+        assert!(s.meets_difficulty(ip));
+    }
+
+    #[test]
+    fn challenge_id_is_seed_hex() {
+        let c = sample_challenge(IpAddr::V4(Ipv4Addr::LOCALHOST));
+        assert_eq!(c.id(), "09".repeat(SEED_LEN));
+    }
+}

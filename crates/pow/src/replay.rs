@@ -1,0 +1,270 @@
+//! Replay protection for solved challenges.
+//!
+//! A solution is valid work exactly once: accepting the same seed twice
+//! would let an attacker amortize one solve over many requests. The guard
+//! remembers seeds until their challenge TTL has passed (after which the
+//! expiry check rejects them anyway) and bounds its memory with FIFO
+//! eviction.
+
+use crate::challenge::SEED_LEN;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+
+/// Default maximum number of remembered seeds.
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// A bounded, TTL-aware set of already-redeemed challenge seeds.
+///
+/// Thread-safe; one instance is shared by all verifier call sites.
+///
+/// ```
+/// use aipow_pow::ReplayGuard;
+/// let guard = ReplayGuard::new(1024);
+/// let seed = [1u8; 16];
+/// assert!(guard.check_and_insert(&seed, 5_000, 0), "first redemption accepted");
+/// assert!(!guard.check_and_insert(&seed, 5_000, 1), "replay rejected");
+/// assert!(guard.check_and_insert(&seed, 9_000, 6_000), "accepted again after expiry");
+/// ```
+#[derive(Debug)]
+pub struct ReplayGuard {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// seed → expiry (ms). Entries past expiry are semantically absent.
+    seen: HashMap<[u8; SEED_LEN], u64>,
+    /// Insertion order for FIFO eviction, with each entry's expiry.
+    order: VecDeque<([u8; SEED_LEN], u64)>,
+    capacity: usize,
+    evicted_live: u64,
+}
+
+impl ReplayGuard {
+    /// Creates a guard remembering at most `capacity` seeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay guard capacity must be positive");
+        ReplayGuard {
+            inner: Mutex::new(Inner {
+                seen: HashMap::new(),
+                order: VecDeque::new(),
+                capacity,
+                evicted_live: 0,
+            }),
+        }
+    }
+
+    /// Atomically checks whether `seed` is fresh at `now_ms` and, if so,
+    /// records it until `expires_at_ms`. Returns `true` if the seed was
+    /// fresh (caller may proceed), `false` if it is a replay.
+    pub fn check_and_insert(&self, seed: &[u8; SEED_LEN], expires_at_ms: u64, now_ms: u64) -> bool {
+        let mut inner = self.inner.lock();
+        inner.sweep_expired(now_ms);
+
+        match inner.seen.get(seed) {
+            Some(&expiry) if expiry >= now_ms => return false,
+            _ => {}
+        }
+
+        if inner.seen.len() >= inner.capacity {
+            inner.evict_oldest(now_ms);
+        }
+        inner.seen.insert(*seed, expires_at_ms);
+        inner.order.push_back((*seed, expires_at_ms));
+        true
+    }
+
+    /// Number of live entries currently remembered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().seen.len()
+    }
+
+    /// Whether the guard remembers no seeds.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of *live* (unexpired) entries evicted due to the capacity
+    /// bound. A nonzero value means the guard was undersized for the
+    /// workload and replays became theoretically possible; operators should
+    /// alarm on it (see ablation A3 in EXPERIMENTS.md).
+    pub fn live_evictions(&self) -> u64 {
+        self.inner.lock().evicted_live
+    }
+}
+
+impl Default for ReplayGuard {
+    fn default() -> Self {
+        Self::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl Inner {
+    /// Drops expired entries from the front of the FIFO. Amortized O(1):
+    /// each entry is pushed and popped once.
+    fn sweep_expired(&mut self, now_ms: u64) {
+        while let Some(&(seed, expiry)) = self.order.front() {
+            if expiry < now_ms {
+                self.order.pop_front();
+                // Only remove from the map if the map entry is this one
+                // (an expired seed may have been re-inserted with a later
+                // expiry).
+                if self.seen.get(&seed) == Some(&expiry) {
+                    self.seen.remove(&seed);
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Evicts the oldest entry to make room, counting it if it was live.
+    fn evict_oldest(&mut self, now_ms: u64) {
+        while let Some((seed, expiry)) = self.order.pop_front() {
+            if self.seen.get(&seed) == Some(&expiry) {
+                self.seen.remove(&seed);
+                if expiry >= now_ms {
+                    self.evicted_live += 1;
+                }
+                return;
+            }
+            // Stale order entry (superseded); keep popping.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seed(i: u64) -> [u8; SEED_LEN] {
+        let mut s = [0u8; SEED_LEN];
+        s[..8].copy_from_slice(&i.to_be_bytes());
+        s
+    }
+
+    #[test]
+    fn first_use_accepted_replay_rejected() {
+        let g = ReplayGuard::new(16);
+        assert!(g.check_and_insert(&seed(1), 1_000, 0));
+        assert!(!g.check_and_insert(&seed(1), 1_000, 10));
+        assert!(!g.check_and_insert(&seed(1), 2_000, 999));
+    }
+
+    #[test]
+    fn distinct_seeds_independent() {
+        let g = ReplayGuard::new(16);
+        assert!(g.check_and_insert(&seed(1), 1_000, 0));
+        assert!(g.check_and_insert(&seed(2), 1_000, 0));
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn expired_entries_are_forgotten() {
+        let g = ReplayGuard::new(16);
+        assert!(g.check_and_insert(&seed(1), 100, 0));
+        // At now=101 the entry has expired; the seed may be seen again
+        // (the verifier's TTL check would reject such a challenge anyway).
+        assert!(g.check_and_insert(&seed(1), 300, 101));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn capacity_bound_enforced_with_fifo_eviction() {
+        let g = ReplayGuard::new(4);
+        for i in 0..4 {
+            assert!(g.check_and_insert(&seed(i), 10_000, 0));
+        }
+        assert_eq!(g.len(), 4);
+        // Fifth insertion evicts the oldest (seed 0).
+        assert!(g.check_and_insert(&seed(4), 10_000, 1));
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.live_evictions(), 1);
+        // Seed 0 is (regrettably) acceptable again — the documented
+        // capacity/soundness trade-off.
+        assert!(g.check_and_insert(&seed(0), 10_000, 2));
+    }
+
+    #[test]
+    fn sweep_prefers_expired_over_live_eviction() {
+        let g = ReplayGuard::new(2);
+        assert!(g.check_and_insert(&seed(1), 10, 0));
+        assert!(g.check_and_insert(&seed(2), 10_000, 0));
+        // seed(1) has expired by now=11; inserting a third seed must sweep
+        // it rather than evicting the live seed(2).
+        assert!(g.check_and_insert(&seed(3), 10_000, 11));
+        assert_eq!(g.live_evictions(), 0);
+        assert!(!g.check_and_insert(&seed(2), 10_000, 12), "live entry survived");
+    }
+
+    #[test]
+    fn reinsertion_after_expiry_keeps_map_and_order_consistent() {
+        let g = ReplayGuard::new(4);
+        assert!(g.check_and_insert(&seed(1), 10, 0));
+        assert!(g.check_and_insert(&seed(1), 1_000, 11)); // re-insert after expiry
+        // The stale order entry for the first insertion must not remove the
+        // fresh map entry when swept.
+        assert!(!g.check_and_insert(&seed(1), 2_000, 12));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        ReplayGuard::new(0);
+    }
+
+    #[test]
+    fn concurrent_redemption_admits_exactly_once() {
+        use std::sync::Arc;
+        let g = Arc::new(ReplayGuard::new(1024));
+        let mut handles = Vec::new();
+        let accepted = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        for _ in 0..8 {
+            let g = Arc::clone(&g);
+            let accepted = Arc::clone(&accepted);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1_000u64 {
+                    if g.check_and_insert(&seed(i), 1_000_000, 0) {
+                        accepted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            accepted.load(std::sync::atomic::Ordering::Relaxed),
+            1_000,
+            "each seed must be admitted exactly once across threads"
+        );
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Soundness: within a TTL window, no seed is ever accepted
+            /// twice (as long as capacity is not exceeded).
+            #[test]
+            fn no_double_redemption(ops in proptest::collection::vec((0u64..50, 1u64..100), 1..200)) {
+                let g = ReplayGuard::new(10_000);
+                let mut accepted = std::collections::HashSet::new();
+                for (s, _tick) in ops {
+                    let fresh = g.check_and_insert(&seed(s), u64::MAX, 0);
+                    if fresh {
+                        prop_assert!(accepted.insert(s), "seed {} accepted twice", s);
+                    } else {
+                        prop_assert!(accepted.contains(&s));
+                    }
+                }
+            }
+        }
+    }
+}

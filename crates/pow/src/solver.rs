@@ -1,0 +1,487 @@
+//! The puzzle solver (paper §II.4).
+//!
+//! “The data received from the puzzle generation module are concatenated
+//! with the client's IP address to form a string that is not altered. To
+//! this, a 32-bit string is added, which the client modifies upon each hash
+//! function evaluation. The client performs evaluations on this input until
+//! it finds an output with a prefix of d zeros.”
+//!
+//! The preimage prefix is fixed, so the solver pre-hashes it once and clones
+//! the midstate per attempt — the per-nonce cost is one block-sized SHA-256
+//! update plus finalization.
+
+use crate::challenge::{Challenge, NonceWidth, Solution};
+use aipow_crypto::sha256::Sha256;
+use core::fmt;
+use std::net::IpAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Options controlling a solve run.
+#[derive(Debug, Clone)]
+pub struct SolverOptions {
+    /// Stop after this many attempts (None = run until the nonce space of
+    /// the selected width exhausts).
+    pub max_attempts: Option<u64>,
+    /// Use a 32-bit nonce exactly as the paper specifies. The default is a
+    /// 64-bit nonce, which cannot practically exhaust.
+    pub strict_u32: bool,
+    /// First nonce to try. Parallel solving stripes the space by giving
+    /// each worker a different starting offset.
+    pub start_nonce: u64,
+    /// Step between successive nonces (1 for serial solving).
+    pub nonce_step: u64,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            max_attempts: None,
+            strict_u32: false,
+            start_nonce: 0,
+            nonce_step: 1,
+        }
+    }
+}
+
+impl SolverOptions {
+    /// Paper-faithful options: 32-bit nonce.
+    pub fn strict() -> Self {
+        SolverOptions {
+            strict_u32: true,
+            ..Self::default()
+        }
+    }
+
+    fn width(&self) -> NonceWidth {
+        if self.strict_u32 {
+            NonceWidth::U32
+        } else {
+            NonceWidth::U64
+        }
+    }
+}
+
+/// Why a solve run terminated without a solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// The configured attempt budget was exhausted.
+    BudgetExhausted {
+        /// Attempts performed before giving up.
+        attempts: u64,
+    },
+    /// The nonce space of the selected width was exhausted.
+    NonceSpaceExhausted {
+        /// Attempts performed before giving up.
+        attempts: u64,
+    },
+    /// Another worker (or the caller) cancelled the run.
+    Cancelled {
+        /// Attempts performed before cancellation.
+        attempts: u64,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::BudgetExhausted { attempts } => {
+                write!(f, "attempt budget exhausted after {attempts} attempts")
+            }
+            SolveError::NonceSpaceExhausted { attempts } => {
+                write!(f, "nonce space exhausted after {attempts} attempts")
+            }
+            SolveError::Cancelled { attempts } => {
+                write!(f, "solve cancelled after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// The outcome of a successful solve run.
+#[derive(Debug, Clone)]
+pub struct SolveReport {
+    /// The found solution.
+    pub solution: Solution,
+    /// Number of hash evaluations performed (across all workers for
+    /// parallel runs).
+    pub attempts: u64,
+    /// Wall-clock time spent solving.
+    pub elapsed: Duration,
+}
+
+impl SolveReport {
+    /// Effective hash rate of the run in hashes per second.
+    pub fn hash_rate(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            return self.attempts as f64;
+        }
+        self.attempts as f64 / secs
+    }
+}
+
+/// Solves `challenge` for `client_ip` on the calling thread.
+///
+/// # Errors
+///
+/// Returns [`SolveError::BudgetExhausted`] or
+/// [`SolveError::NonceSpaceExhausted`] if no qualifying nonce was found
+/// within the configured limits.
+pub fn solve(
+    challenge: &Challenge,
+    client_ip: IpAddr,
+    options: &SolverOptions,
+) -> Result<SolveReport, SolveError> {
+    let cancel = AtomicBool::new(false);
+    solve_cancellable(challenge, client_ip, options, &cancel)
+}
+
+/// Solves with an external cancellation flag; checked every 1024 attempts.
+///
+/// # Errors
+///
+/// As [`solve`], plus [`SolveError::Cancelled`] when `cancel` becomes true.
+pub fn solve_cancellable(
+    challenge: &Challenge,
+    client_ip: IpAddr,
+    options: &SolverOptions,
+    cancel: &AtomicBool,
+) -> Result<SolveReport, SolveError> {
+    let width = options.width();
+    let need_bits = challenge.difficulty().bits() as u32;
+    let prefix = challenge.preimage_prefix(client_ip);
+
+    let mut midstate = Sha256::new();
+    midstate.update(&prefix);
+
+    let start = Instant::now();
+    let mut attempts: u64 = 0;
+    let mut nonce = options.start_nonce;
+    let step = options.nonce_step.max(1);
+
+    loop {
+        if let Some(budget) = options.max_attempts {
+            if attempts >= budget {
+                return Err(SolveError::BudgetExhausted { attempts });
+            }
+        }
+        if attempts.is_multiple_of(1024) && cancel.load(Ordering::Relaxed) {
+            return Err(SolveError::Cancelled { attempts });
+        }
+
+        let mut hasher = midstate.clone();
+        hasher.update(&width.encode(nonce));
+        attempts += 1;
+
+        if hasher.finalize().leading_zero_bits() >= need_bits {
+            return Ok(SolveReport {
+                solution: Solution {
+                    challenge: challenge.clone(),
+                    nonce,
+                    width,
+                },
+                attempts,
+                elapsed: start.elapsed(),
+            });
+        }
+
+        // Advance; detect exhaustion of the width-limited space (u64 wrap
+        // or stepping past the u32 ceiling in strict mode).
+        let next = nonce.wrapping_add(step);
+        if next < nonce || !width.fits(next) {
+            return Err(SolveError::NonceSpaceExhausted { attempts });
+        }
+        nonce = next;
+    }
+}
+
+/// Solves using `threads` worker threads with striped nonce ranges. The
+/// first worker to find a solution cancels the rest; total attempts are
+/// aggregated across workers.
+///
+/// # Errors
+///
+/// Returns the first terminal error if every worker exhausted its share of
+/// the space or budget without finding a solution.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn solve_parallel(
+    challenge: &Challenge,
+    client_ip: IpAddr,
+    threads: usize,
+    options: &SolverOptions,
+) -> Result<SolveReport, SolveError> {
+    assert!(threads > 0, "at least one solver thread required");
+    if threads == 1 {
+        return solve(challenge, client_ip, options);
+    }
+
+    let start = Instant::now();
+    let found = AtomicBool::new(false);
+    let total_attempts = AtomicU64::new(0);
+
+    let result = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            let found = &found;
+            let total_attempts = &total_attempts;
+            let options = SolverOptions {
+                start_nonce: options.start_nonce.wrapping_add(worker as u64),
+                nonce_step: threads as u64,
+                // Split any attempt budget across workers.
+                max_attempts: options.max_attempts.map(|b| b.div_ceil(threads as u64)),
+                strict_u32: options.strict_u32,
+            };
+            handles.push(scope.spawn(move |_| {
+                let out = solve_cancellable(challenge, client_ip, &options, found);
+                match &out {
+                    Ok(report) => {
+                        found.store(true, Ordering::Relaxed);
+                        total_attempts.fetch_add(report.attempts, Ordering::Relaxed);
+                    }
+                    Err(
+                        SolveError::BudgetExhausted { attempts }
+                        | SolveError::NonceSpaceExhausted { attempts }
+                        | SolveError::Cancelled { attempts },
+                    ) => {
+                        total_attempts.fetch_add(*attempts, Ordering::Relaxed);
+                    }
+                }
+                out
+            }));
+        }
+
+        let mut best: Option<SolveReport> = None;
+        let mut first_err: Option<SolveError> = None;
+        for handle in handles {
+            match handle.join().expect("solver worker panicked") {
+                Ok(report) => {
+                    // Keep the first reported solution.
+                    if best.is_none() {
+                        best = Some(report);
+                    }
+                }
+                Err(e @ (SolveError::BudgetExhausted { .. } | SolveError::NonceSpaceExhausted { .. })) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+                Err(SolveError::Cancelled { .. }) => {}
+            }
+        }
+        (best, first_err)
+    })
+    .expect("solver scope panicked");
+
+    match result {
+        (Some(mut report), _) => {
+            report.attempts = total_attempts.load(Ordering::Relaxed);
+            report.elapsed = start.elapsed();
+            Ok(report)
+        }
+        (None, Some(err)) => Err(err),
+        (None, None) => Err(SolveError::Cancelled {
+            attempts: total_attempts.load(Ordering::Relaxed),
+        }),
+    }
+}
+
+/// Measures the solver's effective hash rate (hashes/second) by timing
+/// `samples` midstate-clone-and-finalize evaluations on a synthetic
+/// preimage. Used to calibrate simulation profiles and report native
+/// numbers in EXPERIMENTS.md.
+pub fn measure_hash_rate(samples: u64) -> f64 {
+    let mut midstate = Sha256::new();
+    midstate.update(b"aipow hash-rate calibration preimage / 203.0.113.7");
+    let start = Instant::now();
+    let mut acc = 0u32;
+    for nonce in 0..samples {
+        let mut h = midstate.clone();
+        h.update(&nonce.to_be_bytes());
+        acc ^= h.finalize().leading_zero_bits();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    // Fold `acc` into the result decision so the loop cannot be optimized out.
+    let denom = if elapsed > 0.0 { elapsed } else { 1e-9 };
+    if acc == u32::MAX {
+        return samples as f64 / denom - 1.0;
+    }
+    samples as f64 / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::difficulty::Difficulty;
+    use crate::issuer::Issuer;
+    use std::net::Ipv4Addr;
+
+    fn ip() -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(198, 51, 100, 42))
+    }
+
+    fn issue(d: u8) -> Challenge {
+        Issuer::new(&[11u8; 32]).issue(ip(), Difficulty::new(d).unwrap())
+    }
+
+    #[test]
+    fn solves_easy_puzzles() {
+        for d in 0..=10 {
+            let c = issue(d);
+            let report = solve(&c, ip(), &SolverOptions::default()).expect("solvable");
+            assert!(report.solution.meets_difficulty(ip()), "difficulty {d}");
+            assert!(report.attempts >= 1);
+        }
+    }
+
+    #[test]
+    fn strict_u32_produces_u32_nonce() {
+        let c = issue(8);
+        let report = solve(&c, ip(), &SolverOptions::strict()).unwrap();
+        assert_eq!(report.solution.width, NonceWidth::U32);
+        assert!(report.solution.nonce <= u32::MAX as u64);
+        assert!(report.solution.meets_difficulty(ip()));
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_attempts() {
+        // Difficulty 64 is unsolvable in 100 attempts with overwhelming
+        // probability; the budget must trip first.
+        let c = issue(64);
+        let opts = SolverOptions {
+            max_attempts: Some(100),
+            ..Default::default()
+        };
+        match solve(&c, ip(), &opts) {
+            Err(SolveError::BudgetExhausted { attempts }) => assert_eq!(attempts, 100),
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_promptly() {
+        let c = issue(64);
+        let cancel = AtomicBool::new(true);
+        match solve_cancellable(&c, ip(), &SolverOptions::default(), &cancel) {
+            Err(SolveError::Cancelled { attempts }) => assert_eq!(attempts, 0),
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attempt_counts_track_difficulty() {
+        // Over many puzzles, mean attempts at difficulty d should be near
+        // 2^d. Use d=6 (mean 64) and allow generous slack.
+        let issuer = Issuer::new(&[12u8; 32]);
+        let mut total = 0u64;
+        let n = 200;
+        for _ in 0..n {
+            let c = issuer.issue(ip(), Difficulty::new(6).unwrap());
+            total += solve(&c, ip(), &SolverOptions::default()).unwrap().attempts;
+        }
+        let mean = total as f64 / n as f64;
+        assert!(
+            (32.0..=128.0).contains(&mean),
+            "mean attempts {mean} far from 64"
+        );
+    }
+
+    #[test]
+    fn parallel_solution_verifies_and_matches_difficulty() {
+        let c = issue(12);
+        let report = solve_parallel(&c, ip(), 4, &SolverOptions::default()).unwrap();
+        assert!(report.solution.meets_difficulty(ip()));
+    }
+
+    #[test]
+    fn parallel_budget_exhaustion() {
+        let c = issue(64);
+        let opts = SolverOptions {
+            max_attempts: Some(1000),
+            ..Default::default()
+        };
+        match solve_parallel(&c, ip(), 4, &opts) {
+            Err(SolveError::BudgetExhausted { .. }) => {}
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_threads_panics() {
+        let c = issue(1);
+        let _ = solve_parallel(&c, ip(), 0, &SolverOptions::default());
+    }
+
+    #[test]
+    fn nonce_step_stripes_disjointly() {
+        // Two striped solvers must try disjoint nonce sets: verify the
+        // parity of found nonces matches their stripe.
+        let c = issue(4);
+        let even = SolverOptions {
+            start_nonce: 0,
+            nonce_step: 2,
+            ..Default::default()
+        };
+        let odd = SolverOptions {
+            start_nonce: 1,
+            nonce_step: 2,
+            ..Default::default()
+        };
+        let re = solve(&c, ip(), &even).unwrap();
+        let ro = solve(&c, ip(), &odd).unwrap();
+        assert_eq!(re.solution.nonce % 2, 0);
+        assert_eq!(ro.solution.nonce % 2, 1);
+    }
+
+    #[test]
+    fn hash_rate_measurement_is_positive() {
+        let rate = measure_hash_rate(20_000);
+        assert!(rate > 10_000.0, "implausibly slow hash rate {rate}");
+    }
+
+    #[test]
+    fn report_hash_rate_consistent() {
+        let c = issue(10);
+        let report = solve(&c, ip(), &SolverOptions::default()).unwrap();
+        assert!(report.hash_rate() > 0.0);
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert!(SolveError::BudgetExhausted { attempts: 5 }
+            .to_string()
+            .contains("5"));
+        assert!(SolveError::Cancelled { attempts: 0 }
+            .to_string()
+            .contains("cancelled"));
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Any solvable difficulty ≤ 12 yields a solution that meets
+            /// its own difficulty check, regardless of key or IP.
+            #[test]
+            fn solve_then_check(d in 0u8..=12, key in any::<[u8; 32]>(), last_octet in any::<u8>()) {
+                let client = IpAddr::V4(Ipv4Addr::new(203, 0, 113, last_octet));
+                let issuer = Issuer::new(&key);
+                let c = issuer.issue(client, Difficulty::new(d).unwrap());
+                let report = solve(&c, client, &SolverOptions::default()).unwrap();
+                prop_assert!(report.solution.meets_difficulty(client));
+                // Note: a solution CAN transfer to another IP by chance
+                // (probability 2^-d); binding is enforced by the verifier's
+                // ClientMismatch check, tested deterministically elsewhere.
+            }
+        }
+    }
+}

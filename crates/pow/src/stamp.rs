@@ -1,0 +1,357 @@
+//! Text encoding of challenges and solutions (“stamps”).
+//!
+//! The paper deploys over HTTP, where binary frames are awkward: defenders
+//! typically hand the puzzle to the client in a header or cookie (compare
+//! hashcash's `X-Hashcash` stamps and kaPoW's reputation-PoW headers, the
+//! paper's reference \[2\]). A stamp is a single printable token:
+//!
+//! ```text
+//! aipow1:<seed>:<issued_at>:<ttl>:<difficulty>:<client_ip>:<tag>
+//! aipow1s:<challenge-stamp-fields>:<width>:<nonce>
+//! ```
+//!
+//! Fields are lowercase hex (integers big-endian, minimal width is not
+//! required); the IP is its standard textual form. Stamps round-trip
+//! exactly: the MAC is computed over the decoded fields, so a tampered
+//! stamp fails verification just like a tampered frame.
+
+use crate::challenge::{Challenge, NonceWidth, Solution, SEED_LEN};
+use crate::difficulty::Difficulty;
+use aipow_crypto::hex;
+use core::fmt;
+use std::net::IpAddr;
+
+/// Stamp prefix for a challenge.
+pub const CHALLENGE_PREFIX: &str = "aipow1";
+/// Stamp prefix for a solution.
+pub const SOLUTION_PREFIX: &str = "aipow1s";
+
+/// Why a stamp failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseStampError {
+    /// The leading token was not a known stamp prefix.
+    BadPrefix,
+    /// Wrong number of `:`-separated fields.
+    BadFieldCount {
+        /// Fields found.
+        got: usize,
+        /// Fields expected.
+        expected: usize,
+    },
+    /// A field failed to decode.
+    BadField {
+        /// Zero-based field index.
+        index: usize,
+        /// What the field should have been.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ParseStampError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseStampError::BadPrefix => write!(f, "stamp prefix is not recognized"),
+            ParseStampError::BadFieldCount { got, expected } => {
+                write!(f, "stamp has {got} fields, expected {expected}")
+            }
+            ParseStampError::BadField { index, expected } => {
+                write!(f, "stamp field {index} is not {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseStampError {}
+
+impl Challenge {
+    /// Renders the challenge as a printable stamp.
+    pub fn to_stamp(&self) -> String {
+        format!(
+            "{CHALLENGE_PREFIX}:{}:{:x}:{:x}:{:x}:{}:{}",
+            hex::encode(self.seed()),
+            self.issued_at_ms(),
+            self.ttl_ms(),
+            self.difficulty().bits(),
+            self.client_ip(),
+            hex::encode(self.tag()),
+        )
+    }
+
+    /// Parses a stamp produced by [`Challenge::to_stamp`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseStampError`] for malformed input; an authentic-
+    /// looking but forged stamp parses fine and is rejected later by the
+    /// verifier's MAC check.
+    pub fn from_stamp(stamp: &str) -> Result<Self, ParseStampError> {
+        let fields: Vec<&str> = stamp.split(':').collect();
+        // IPv6 textual form contains ':'; fields beyond the fixed six are
+        // the IP's internal colons, so split from both ends instead.
+        if fields.len() < 7 {
+            return Err(ParseStampError::BadFieldCount {
+                got: fields.len(),
+                expected: 7,
+            });
+        }
+        if fields[0] != CHALLENGE_PREFIX {
+            return Err(ParseStampError::BadPrefix);
+        }
+
+        let seed_bytes = hex::decode(fields[1]).map_err(|_| ParseStampError::BadField {
+            index: 1,
+            expected: "hex seed",
+        })?;
+        let seed: [u8; SEED_LEN] = seed_bytes
+            .try_into()
+            .map_err(|_| ParseStampError::BadField {
+                index: 1,
+                expected: "a 16-byte hex seed",
+            })?;
+        let issued_at_ms =
+            u64::from_str_radix(fields[2], 16).map_err(|_| ParseStampError::BadField {
+                index: 2,
+                expected: "a hex timestamp",
+            })?;
+        let ttl_ms = u64::from_str_radix(fields[3], 16).map_err(|_| ParseStampError::BadField {
+            index: 3,
+            expected: "a hex ttl",
+        })?;
+        let bits = u8::from_str_radix(fields[4], 16).map_err(|_| ParseStampError::BadField {
+            index: 4,
+            expected: "a hex difficulty",
+        })?;
+        let difficulty = Difficulty::new(bits).map_err(|_| ParseStampError::BadField {
+            index: 4,
+            expected: "a difficulty of at most 64 bits",
+        })?;
+
+        // The IP occupies fields[5..len-1] re-joined (IPv6 colons).
+        let tag_field = fields[fields.len() - 1];
+        let ip_text = fields[5..fields.len() - 1].join(":");
+        let client_ip: IpAddr = ip_text.parse().map_err(|_| ParseStampError::BadField {
+            index: 5,
+            expected: "an ip address",
+        })?;
+
+        let tag_bytes = hex::decode(tag_field).map_err(|_| ParseStampError::BadField {
+            index: 6,
+            expected: "a hex tag",
+        })?;
+        let tag: [u8; 32] = tag_bytes
+            .try_into()
+            .map_err(|_| ParseStampError::BadField {
+                index: 6,
+                expected: "a 32-byte hex tag",
+            })?;
+
+        Ok(Challenge::from_parts(
+            crate::challenge::CHALLENGE_VERSION,
+            seed,
+            issued_at_ms,
+            ttl_ms,
+            difficulty,
+            client_ip,
+            tag,
+        ))
+    }
+}
+
+impl Solution {
+    /// Renders the solution as a printable stamp.
+    pub fn to_stamp(&self) -> String {
+        let challenge_stamp = self.challenge.to_stamp();
+        let body = challenge_stamp
+            .strip_prefix(CHALLENGE_PREFIX)
+            .expect("challenge stamp carries its prefix");
+        let width = match self.width {
+            NonceWidth::U32 => 4,
+            NonceWidth::U64 => 8,
+        };
+        format!("{SOLUTION_PREFIX}{body}:{width:x}:{:x}", self.nonce)
+    }
+
+    /// Parses a stamp produced by [`Solution::to_stamp`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseStampError`] for malformed input.
+    pub fn from_stamp(stamp: &str) -> Result<Self, ParseStampError> {
+        let body = stamp
+            .strip_prefix(SOLUTION_PREFIX)
+            .ok_or(ParseStampError::BadPrefix)?;
+        // Split the trailing `:width:nonce` off, the rest is a challenge
+        // stamp body.
+        let mut parts = body.rsplitn(3, ':');
+        let nonce_text = parts.next().ok_or(ParseStampError::BadFieldCount {
+            got: 0,
+            expected: 9,
+        })?;
+        let width_text = parts.next().ok_or(ParseStampError::BadFieldCount {
+            got: 1,
+            expected: 9,
+        })?;
+        let challenge_body = parts.next().ok_or(ParseStampError::BadFieldCount {
+            got: 2,
+            expected: 9,
+        })?;
+
+        let challenge = Challenge::from_stamp(&format!("{CHALLENGE_PREFIX}{challenge_body}"))?;
+        let width = match width_text {
+            "4" => NonceWidth::U32,
+            "8" => NonceWidth::U64,
+            _ => {
+                return Err(ParseStampError::BadField {
+                    index: 7,
+                    expected: "nonce width 4 or 8",
+                })
+            }
+        };
+        let nonce = u64::from_str_radix(nonce_text, 16).map_err(|_| ParseStampError::BadField {
+            index: 8,
+            expected: "a hex nonce",
+        })?;
+        if !width.fits(nonce) {
+            return Err(ParseStampError::BadField {
+                index: 8,
+                expected: "a nonce fitting its width",
+            });
+        }
+
+        Ok(Solution {
+            challenge,
+            nonce,
+            width,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::issuer::Issuer;
+    use crate::solver::{self, SolverOptions};
+    use crate::verifier::Verifier;
+    use std::net::{Ipv4Addr, Ipv6Addr};
+
+    fn ip4() -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(203, 0, 113, 4))
+    }
+
+    #[test]
+    fn challenge_stamp_roundtrip() {
+        let c = Issuer::new(&[1u8; 32]).issue(ip4(), Difficulty::new(9).unwrap());
+        let stamp = c.to_stamp();
+        assert!(stamp.starts_with("aipow1:"));
+        assert_eq!(Challenge::from_stamp(&stamp).unwrap(), c);
+    }
+
+    #[test]
+    fn ipv6_challenge_stamp_roundtrip() {
+        let ip = IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 7));
+        let c = Issuer::new(&[2u8; 32]).issue(ip, Difficulty::new(3).unwrap());
+        let parsed = Challenge::from_stamp(&c.to_stamp()).unwrap();
+        assert_eq!(parsed, c);
+        assert_eq!(parsed.client_ip(), ip);
+    }
+
+    #[test]
+    fn solution_stamp_roundtrip_and_verify() {
+        let key = [3u8; 32];
+        let c = Issuer::new(&key).issue(ip4(), Difficulty::new(8).unwrap());
+        let solution = solver::solve(&c, ip4(), &SolverOptions::default())
+            .unwrap()
+            .solution;
+        let parsed = Solution::from_stamp(&solution.to_stamp()).unwrap();
+        assert_eq!(parsed, solution);
+        assert!(Verifier::new(&key).verify(&parsed, ip4()).is_ok());
+    }
+
+    #[test]
+    fn strict_u32_solution_stamp_roundtrip() {
+        let c = Issuer::new(&[4u8; 32]).issue(ip4(), Difficulty::new(6).unwrap());
+        let solution = solver::solve(&c, ip4(), &SolverOptions::strict())
+            .unwrap()
+            .solution;
+        let parsed = Solution::from_stamp(&solution.to_stamp()).unwrap();
+        assert_eq!(parsed.width, NonceWidth::U32);
+        assert_eq!(parsed, solution);
+    }
+
+    #[test]
+    fn tampered_stamp_fails_mac_not_parse() {
+        let key = [5u8; 32];
+        let c = Issuer::new(&key).issue(ip4(), Difficulty::new(2).unwrap());
+        // Raise the TTL in the stamp text.
+        let stamp = c.to_stamp();
+        let mut fields: Vec<String> = stamp.split(':').map(String::from).collect();
+        fields[3] = "ffffffff".into();
+        let forged = Challenge::from_stamp(&fields.join(":")).unwrap();
+        let solution = solver::solve(&forged, ip4(), &SolverOptions::default())
+            .unwrap()
+            .solution;
+        assert_eq!(
+            Verifier::new(&key).verify(&solution, ip4()),
+            Err(crate::verifier::VerifyError::BadMac)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(
+            Challenge::from_stamp("nonsense"),
+            Err(ParseStampError::BadFieldCount { got: 1, expected: 7 })
+        );
+        assert_eq!(
+            Challenge::from_stamp("wrong:aa:1:1:1:127.0.0.1:bb"),
+            Err(ParseStampError::BadPrefix)
+        );
+        assert!(matches!(
+            Challenge::from_stamp("aipow1:zz:1:1:1:127.0.0.1:bb"),
+            Err(ParseStampError::BadField { index: 1, .. })
+        ));
+        assert!(matches!(
+            Challenge::from_stamp("aipow1:00112233445566778899aabbccddeeff:1:1:99:127.0.0.1:bb"),
+            Err(ParseStampError::BadField { index: 4, .. })
+        ));
+        assert_eq!(
+            Solution::from_stamp("aipow1:not-a-solution"),
+            Err(ParseStampError::BadPrefix)
+        );
+    }
+
+    #[test]
+    fn solution_stamp_rejects_overflowing_u32_nonce() {
+        let c = Issuer::new(&[6u8; 32]).issue(ip4(), Difficulty::ZERO);
+        let solution = Solution {
+            challenge: c,
+            nonce: 7,
+            width: NonceWidth::U64,
+        };
+        let stamp = solution.to_stamp();
+        // Swap the width marker to 4 while keeping a >u32 nonce.
+        let stamp = stamp.replace(":8:7", &format!(":4:{:x}", u64::MAX));
+        assert!(matches!(
+            Solution::from_stamp(&stamp),
+            Err(ParseStampError::BadField { index: 8, .. })
+        ));
+    }
+
+    #[test]
+    fn stamps_are_header_safe() {
+        let c = Issuer::new(&[7u8; 32]).issue(ip4(), Difficulty::new(20).unwrap());
+        let stamp = c.to_stamp();
+        assert!(stamp
+            .chars()
+            .all(|ch| ch.is_ascii_graphic() && ch != ',' && ch != ';'));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(!ParseStampError::BadPrefix.to_string().is_empty());
+        assert!(ParseStampError::BadFieldCount { got: 2, expected: 7 }
+            .to_string()
+            .contains('2'));
+    }
+}

@@ -1,0 +1,112 @@
+//! Time abstraction for issuance and expiry.
+//!
+//! Challenge freshness (timestamps, TTLs, replay windows) must be testable
+//! without sleeping, so every component that reads a clock does it through
+//! [`TimeSource`]. Production code uses [`SystemClock`]; tests and the
+//! discrete-event simulator use [`ManualClock`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// A source of milliseconds since the Unix epoch.
+pub trait TimeSource: Send + Sync {
+    /// Current time in milliseconds since the Unix epoch.
+    fn now_ms(&self) -> u64;
+}
+
+/// Wall-clock time from the operating system.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl TimeSource for SystemClock {
+    fn now_ms(&self) -> u64 {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .expect("system clock before Unix epoch")
+            .as_millis() as u64
+    }
+}
+
+/// A hand-advanced clock for tests and simulation.
+///
+/// Cloning yields a handle to the *same* underlying instant.
+///
+/// ```
+/// use aipow_pow::time::{ManualClock, TimeSource};
+/// let clock = ManualClock::at(1_000);
+/// let handle = clock.clone();
+/// clock.advance(500);
+/// assert_eq!(handle.now_ms(), 1_500);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    now: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a clock at `ms` milliseconds.
+    pub fn at(ms: u64) -> Self {
+        ManualClock {
+            now: Arc::new(AtomicU64::new(ms)),
+        }
+    }
+
+    /// Moves the clock forward by `ms` milliseconds.
+    pub fn advance(&self, ms: u64) {
+        self.now.fetch_add(ms, Ordering::SeqCst);
+    }
+
+    /// Sets the clock to an absolute time.
+    pub fn set(&self, ms: u64) {
+        self.now.store(ms, Ordering::SeqCst);
+    }
+}
+
+impl TimeSource for ManualClock {
+    fn now_ms(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_plausible() {
+        // After 2020-01-01 and before 2100-01-01, in ms.
+        let now = SystemClock.now_ms();
+        assert!(now > 1_577_836_800_000);
+        assert!(now < 4_102_444_800_000);
+    }
+
+    #[test]
+    fn manual_clock_advances() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ms(), 0);
+        c.advance(42);
+        assert_eq!(c.now_ms(), 42);
+        c.set(7);
+        assert_eq!(c.now_ms(), 7);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = ManualClock::at(100);
+        let b = a.clone();
+        a.advance(1);
+        assert_eq!(b.now_ms(), 101);
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let clock: Box<dyn TimeSource> = Box::new(ManualClock::at(5));
+        assert_eq!(clock.now_ms(), 5);
+    }
+}

@@ -1,0 +1,615 @@
+//! The puzzle verification module (paper §II.5).
+//!
+//! “Puzzle verification is \[a\] light weight block used to verify the
+//! client's solution and offer response if correct solution is returned.”
+//!
+//! Verification performs, in order: version check, difficulty-cap check,
+//! MAC authentication (constant-time), client binding, freshness window,
+//! replay check, and finally the single SHA-256 evaluation that checks the
+//! work itself. Total cost is two hash-block pipelines regardless of the
+//! puzzle difficulty — measured in bench `verify_cost` (claim C6).
+
+use crate::challenge::{Solution, CHALLENGE_VERSION};
+use crate::difficulty::Difficulty;
+use crate::replay::ReplayGuard;
+use crate::time::{SystemClock, TimeSource};
+use aipow_crypto::hkdf;
+use aipow_crypto::hmac::HmacSha256;
+use core::fmt;
+use std::net::IpAddr;
+use std::sync::Arc;
+
+/// Default tolerated forward clock skew between issuance and verification
+/// hosts (they are the same host in this framework, but the bound is kept
+/// explicit and configurable).
+pub const DEFAULT_MAX_SKEW_MS: u64 = 2_000;
+
+/// Reasons a solution can be rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The challenge version is unknown to this verifier.
+    UnsupportedVersion {
+        /// Version found in the challenge.
+        got: u8,
+    },
+    /// The challenge difficulty exceeds the verifier's acceptance cap
+    /// (defense against forged extreme difficulties DoS-ing the verifier's
+    /// replay cache with long-lived entries).
+    DifficultyTooHigh {
+        /// Difficulty carried by the challenge.
+        got: Difficulty,
+        /// The verifier's cap.
+        cap: Difficulty,
+    },
+    /// The HMAC tag does not authenticate the challenge under this
+    /// verifier's key: not a challenge we issued, or tampered.
+    BadMac,
+    /// The solution was submitted from a different IP than the challenge
+    /// was issued to.
+    ClientMismatch,
+    /// The challenge timestamp is further in the future than the allowed
+    /// clock skew.
+    NotYetValid,
+    /// The challenge TTL has elapsed.
+    Expired {
+        /// Expiry instant of the challenge (ms since epoch).
+        expired_at_ms: u64,
+        /// Verification instant (ms since epoch).
+        now_ms: u64,
+    },
+    /// The challenge seed was already redeemed.
+    Replayed,
+    /// The digest does not carry enough leading zero bits.
+    InsufficientWork {
+        /// Zero bits achieved by the submitted nonce.
+        got_bits: u32,
+        /// Zero bits required by the challenge.
+        need_bits: u32,
+    },
+    /// The nonce does not fit the declared nonce width.
+    MalformedNonce,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::UnsupportedVersion { got } => {
+                write!(f, "unsupported challenge version {got}")
+            }
+            VerifyError::DifficultyTooHigh { got, cap } => {
+                write!(f, "challenge difficulty {got} exceeds verifier cap {cap}")
+            }
+            VerifyError::BadMac => write!(f, "challenge authentication failed"),
+            VerifyError::ClientMismatch => {
+                write!(f, "solution submitted from a different client than issued to")
+            }
+            VerifyError::NotYetValid => write!(f, "challenge timestamp is in the future"),
+            VerifyError::Expired {
+                expired_at_ms,
+                now_ms,
+            } => write!(f, "challenge expired at {expired_at_ms}, now {now_ms}"),
+            VerifyError::Replayed => write!(f, "challenge seed already redeemed"),
+            VerifyError::InsufficientWork { got_bits, need_bits } => {
+                write!(f, "solution has {got_bits} leading zero bits, needs {need_bits}")
+            }
+            VerifyError::MalformedNonce => write!(f, "nonce does not fit its declared width"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Proof that a solution was accepted: handed to the resource layer, which
+/// releases the response to the client (paper Figure 1, steps 6–7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifiedToken {
+    /// The client whose work was verified.
+    pub client_ip: IpAddr,
+    /// The difficulty that was paid.
+    pub difficulty: Difficulty,
+    /// The redeemed challenge seed.
+    pub seed: [u8; 16],
+    /// When verification happened (ms since epoch).
+    pub verified_at_ms: u64,
+}
+
+/// The solution verifier.
+///
+/// Construct with the same master key as the [`Issuer`](crate::Issuer).
+///
+/// ```
+/// use aipow_pow::{Difficulty, Issuer, Verifier, solver, VerifyError};
+/// # use std::net::{IpAddr, Ipv4Addr};
+/// let key = [9u8; 32];
+/// let (issuer, verifier) = (Issuer::new(&key), Verifier::new(&key));
+/// let ip = IpAddr::V4(Ipv4Addr::new(192, 0, 2, 1));
+/// let c = issuer.issue(ip, Difficulty::new(5).unwrap());
+/// let sol = solver::solve(&c, ip, &Default::default()).unwrap().solution;
+/// assert!(verifier.verify(&sol, ip).is_ok());
+/// // A second redemption of the same seed is a replay:
+/// assert_eq!(verifier.verify(&sol, ip), Err(VerifyError::Replayed));
+/// ```
+pub struct Verifier {
+    mac_key: [u8; 32],
+    replay: ReplayGuard,
+    clock: Arc<dyn TimeSource>,
+    max_skew_ms: u64,
+    difficulty_cap: Difficulty,
+}
+
+impl Verifier {
+    /// Creates a verifier from the issuer's master key, with the system
+    /// clock, default skew tolerance, a difficulty cap of 40 bits and the
+    /// default replay capacity.
+    pub fn new(master_key: &[u8; 32]) -> Self {
+        Self::with_clock(master_key, Arc::new(SystemClock))
+    }
+
+    /// Creates a verifier with an explicit time source.
+    pub fn with_clock(master_key: &[u8; 32], clock: Arc<dyn TimeSource>) -> Self {
+        Verifier {
+            mac_key: hkdf::derive_key32(master_key, "aipow/challenge-mac"),
+            replay: ReplayGuard::default(),
+            clock,
+            max_skew_ms: DEFAULT_MAX_SKEW_MS,
+            difficulty_cap: Difficulty::saturating(40),
+        }
+    }
+
+    /// Replaces the replay guard (e.g. to size its capacity).
+    pub fn with_replay_guard(mut self, guard: ReplayGuard) -> Self {
+        self.replay = guard;
+        self
+    }
+
+    /// Sets the maximum accepted challenge difficulty.
+    pub fn with_difficulty_cap(mut self, cap: Difficulty) -> Self {
+        self.difficulty_cap = cap;
+        self
+    }
+
+    /// Sets the tolerated forward clock skew in milliseconds.
+    pub fn with_max_skew_ms(mut self, skew: u64) -> Self {
+        self.max_skew_ms = skew;
+        self
+    }
+
+    /// Access to the replay guard (for metrics/ablation).
+    pub fn replay_guard(&self) -> &ReplayGuard {
+        &self.replay
+    }
+
+    /// Verifies `solution` as submitted by `claimed_ip` at the current time.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first applicable [`VerifyError`]; checks are ordered
+    /// cheapest-first so malformed floods are rejected with minimal work.
+    pub fn verify(
+        &self,
+        solution: &Solution,
+        claimed_ip: IpAddr,
+    ) -> Result<VerifiedToken, VerifyError> {
+        self.verify_at(solution, claimed_ip, self.clock.now_ms())
+    }
+
+    /// Verifies at an explicit time (tests, simulation).
+    ///
+    /// # Errors
+    ///
+    /// As [`Verifier::verify`].
+    pub fn verify_at(
+        &self,
+        solution: &Solution,
+        claimed_ip: IpAddr,
+        now_ms: u64,
+    ) -> Result<VerifiedToken, VerifyError> {
+        let challenge = &solution.challenge;
+
+        if challenge.version() != CHALLENGE_VERSION {
+            return Err(VerifyError::UnsupportedVersion {
+                got: challenge.version(),
+            });
+        }
+        if challenge.difficulty() > self.difficulty_cap {
+            return Err(VerifyError::DifficultyTooHigh {
+                got: challenge.difficulty(),
+                cap: self.difficulty_cap,
+            });
+        }
+        if !solution.width.fits(solution.nonce) {
+            return Err(VerifyError::MalformedNonce);
+        }
+        if !HmacSha256::verify(
+            &self.mac_key,
+            &challenge.authenticated_bytes(),
+            challenge.tag(),
+        ) {
+            return Err(VerifyError::BadMac);
+        }
+        if challenge.client_ip() != claimed_ip {
+            return Err(VerifyError::ClientMismatch);
+        }
+        if challenge.issued_at_ms() > now_ms.saturating_add(self.max_skew_ms) {
+            return Err(VerifyError::NotYetValid);
+        }
+        if challenge.is_expired(now_ms) {
+            return Err(VerifyError::Expired {
+                expired_at_ms: challenge.expires_at_ms(),
+                now_ms,
+            });
+        }
+
+        // The work check precedes replay marking so that invalid work does
+        // not consume the seed.
+        let got_bits = solution.digest(claimed_ip).leading_zero_bits();
+        let need_bits = challenge.difficulty().bits() as u32;
+        if got_bits < need_bits {
+            return Err(VerifyError::InsufficientWork { got_bits, need_bits });
+        }
+
+        if !self
+            .replay
+            .check_and_insert(challenge.seed(), challenge.expires_at_ms(), now_ms)
+        {
+            return Err(VerifyError::Replayed);
+        }
+
+        Ok(VerifiedToken {
+            client_ip: claimed_ip,
+            difficulty: challenge.difficulty(),
+            seed: *challenge.seed(),
+            verified_at_ms: now_ms,
+        })
+    }
+}
+
+impl core::fmt::Debug for Verifier {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Verifier")
+            .field("max_skew_ms", &self.max_skew_ms)
+            .field("difficulty_cap", &self.difficulty_cap)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::challenge::{Challenge, NonceWidth};
+    use crate::issuer::Issuer;
+    use crate::solver::{self, SolverOptions};
+    use crate::time::ManualClock;
+    use std::net::Ipv4Addr;
+
+    const KEY: [u8; 32] = [21u8; 32];
+
+    fn ip() -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(192, 0, 2, 10))
+    }
+
+    fn setup(d: u8) -> (Issuer, Verifier, ManualClock, Solution) {
+        let clock = ManualClock::at(1_000_000);
+        let issuer = Issuer::with_clock(&KEY, Arc::new(clock.clone()));
+        let verifier = Verifier::with_clock(&KEY, Arc::new(clock.clone()));
+        let c = issuer.issue(ip(), Difficulty::new(d).unwrap());
+        let sol = solver::solve(&c, ip(), &SolverOptions::default())
+            .unwrap()
+            .solution;
+        (issuer, verifier, clock, sol)
+    }
+
+    #[test]
+    fn valid_solution_verifies() {
+        let (_, verifier, _, sol) = setup(8);
+        let token = verifier.verify(&sol, ip()).unwrap();
+        assert_eq!(token.client_ip, ip());
+        assert_eq!(token.difficulty.bits(), 8);
+        assert_eq!(&token.seed, sol.challenge.seed());
+    }
+
+    #[test]
+    fn replay_is_rejected() {
+        let (_, verifier, _, sol) = setup(4);
+        verifier.verify(&sol, ip()).unwrap();
+        assert_eq!(verifier.verify(&sol, ip()), Err(VerifyError::Replayed));
+    }
+
+    #[test]
+    fn different_nonce_for_same_seed_is_still_replay() {
+        // Even a *different valid solution* to the same challenge must not
+        // redeem twice.
+        let (_, verifier, _, sol) = setup(2);
+        verifier.verify(&sol, ip()).unwrap();
+        let next = solver::solve(
+            &sol.challenge,
+            ip(),
+            &SolverOptions {
+                start_nonce: sol.nonce + 1,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .solution;
+        assert_ne!(next.nonce, sol.nonce);
+        assert_eq!(verifier.verify(&next, ip()), Err(VerifyError::Replayed));
+    }
+
+    #[test]
+    fn expired_challenge_rejected() {
+        let (_, verifier, clock, sol) = setup(4);
+        clock.advance(crate::issuer::DEFAULT_TTL_MS + 1);
+        match verifier.verify(&sol, ip()) {
+            Err(VerifyError::Expired { .. }) => {}
+            other => panic!("expected expiry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn future_dated_challenge_rejected() {
+        let clock = ManualClock::at(1_000_000);
+        let issuer = Issuer::with_clock(&KEY, Arc::new(clock.clone()));
+        let verifier = Verifier::with_clock(&KEY, Arc::new(clock.clone()));
+        // Issue 10 s in the future — beyond the 2 s default skew.
+        let c = issuer.issue_at(ip(), Difficulty::ZERO, 1_010_000);
+        let sol = solver::solve(&c, ip(), &SolverOptions::default())
+            .unwrap()
+            .solution;
+        assert_eq!(verifier.verify(&sol, ip()), Err(VerifyError::NotYetValid));
+    }
+
+    #[test]
+    fn skew_tolerance_is_configurable() {
+        let clock = ManualClock::at(1_000_000);
+        let issuer = Issuer::with_clock(&KEY, Arc::new(clock.clone()));
+        let verifier = Verifier::with_clock(&KEY, Arc::new(clock.clone())).with_max_skew_ms(20_000);
+        let c = issuer.issue_at(ip(), Difficulty::ZERO, 1_010_000);
+        let sol = solver::solve(&c, ip(), &SolverOptions::default())
+            .unwrap()
+            .solution;
+        assert!(verifier.verify(&sol, ip()).is_ok());
+    }
+
+    #[test]
+    fn wrong_client_rejected() {
+        let (_, verifier, _, sol) = setup(4);
+        let other = IpAddr::V4(Ipv4Addr::new(192, 0, 2, 99));
+        assert_eq!(verifier.verify(&sol, other), Err(VerifyError::ClientMismatch));
+    }
+
+    #[test]
+    fn tampered_difficulty_fails_mac() {
+        let (_, verifier, _, sol) = setup(6);
+        // Lower the carried difficulty to pretend less work was required.
+        let c = &sol.challenge;
+        let tampered = Challenge::from_parts(
+            c.version(),
+            *c.seed(),
+            c.issued_at_ms(),
+            c.ttl_ms(),
+            Difficulty::ZERO,
+            c.client_ip(),
+            *c.tag(),
+        );
+        let forged = Solution {
+            challenge: tampered,
+            nonce: sol.nonce,
+            width: sol.width,
+        };
+        assert_eq!(verifier.verify(&forged, ip()), Err(VerifyError::BadMac));
+    }
+
+    #[test]
+    fn tampered_tag_fails_mac() {
+        let (_, verifier, _, sol) = setup(4);
+        let c = &sol.challenge;
+        let mut tag = *c.tag();
+        tag[31] ^= 1;
+        let forged = Solution {
+            challenge: Challenge::from_parts(
+                c.version(),
+                *c.seed(),
+                c.issued_at_ms(),
+                c.ttl_ms(),
+                c.difficulty(),
+                c.client_ip(),
+                tag,
+            ),
+            nonce: sol.nonce,
+            width: sol.width,
+        };
+        assert_eq!(verifier.verify(&forged, ip()), Err(VerifyError::BadMac));
+    }
+
+    #[test]
+    fn foreign_issuer_rejected() {
+        let clock = ManualClock::at(1_000_000);
+        let foreign = Issuer::with_clock(&[99u8; 32], Arc::new(clock.clone()));
+        let verifier = Verifier::with_clock(&KEY, Arc::new(clock));
+        let c = foreign.issue(ip(), Difficulty::ZERO);
+        let sol = solver::solve(&c, ip(), &SolverOptions::default())
+            .unwrap()
+            .solution;
+        assert_eq!(verifier.verify(&sol, ip()), Err(VerifyError::BadMac));
+    }
+
+    #[test]
+    fn insufficient_work_rejected() {
+        let clock = ManualClock::at(1_000_000);
+        let issuer = Issuer::with_clock(&KEY, Arc::new(clock.clone()));
+        let verifier = Verifier::with_clock(&KEY, Arc::new(clock));
+        // Difficulty 20: an arbitrary nonce almost surely fails the bit check.
+        let c = issuer.issue(ip(), Difficulty::new(20).unwrap());
+        let mut nonce = 0u64;
+        let bogus = loop {
+            let candidate = Solution {
+                challenge: c.clone(),
+                nonce,
+                width: NonceWidth::U64,
+            };
+            if !candidate.meets_difficulty(ip()) {
+                break candidate;
+            }
+            nonce += 1;
+        };
+        match verifier.verify(&bogus, ip()) {
+            Err(VerifyError::InsufficientWork { need_bits: 20, .. }) => {}
+            other => panic!("expected insufficient work, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_work_does_not_consume_seed() {
+        let (_, verifier, _, sol) = setup(8);
+        let wrong = Solution {
+            nonce: sol.nonce.wrapping_add(1),
+            ..sol.clone()
+        };
+        // Most likely insufficient work; whatever the outcome, the true
+        // solution must still be redeemable afterwards unless `wrong`
+        // itself happened to be valid (probability 2^-8 — retry protects
+        // the test from that).
+        if verifier.verify(&wrong, ip()).is_err() {
+            assert!(verifier.verify(&sol, ip()).is_ok());
+        }
+    }
+
+    #[test]
+    fn difficulty_cap_enforced() {
+        let (_, verifier, _, _) = setup(0);
+        let verifier = verifier.with_difficulty_cap(Difficulty::new(10).unwrap());
+        let clock = ManualClock::at(1_000_000);
+        let issuer = Issuer::with_clock(&KEY, Arc::new(clock));
+        let c = issuer.issue(ip(), Difficulty::new(11).unwrap());
+        let sol = Solution {
+            challenge: c,
+            nonce: 0,
+            width: NonceWidth::U64,
+        };
+        match verifier.verify(&sol, ip()) {
+            Err(VerifyError::DifficultyTooHigh { .. }) => {}
+            other => panic!("expected difficulty cap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let (_, verifier, _, sol) = setup(0);
+        let c = &sol.challenge;
+        let odd = Challenge::from_parts(
+            99,
+            *c.seed(),
+            c.issued_at_ms(),
+            c.ttl_ms(),
+            c.difficulty(),
+            c.client_ip(),
+            *c.tag(),
+        );
+        let forged = Solution {
+            challenge: odd,
+            nonce: sol.nonce,
+            width: sol.width,
+        };
+        assert_eq!(
+            verifier.verify(&forged, ip()),
+            Err(VerifyError::UnsupportedVersion { got: 99 })
+        );
+    }
+
+    #[test]
+    fn malformed_nonce_rejected() {
+        let (_, verifier, _, sol) = setup(0);
+        let forged = Solution {
+            nonce: u32::MAX as u64 + 1,
+            width: NonceWidth::U32,
+            ..sol
+        };
+        assert_eq!(verifier.verify(&forged, ip()), Err(VerifyError::MalformedNonce));
+    }
+
+    #[test]
+    fn strict_u32_solutions_verify() {
+        let clock = ManualClock::at(1_000_000);
+        let issuer = Issuer::with_clock(&KEY, Arc::new(clock.clone()));
+        let verifier = Verifier::with_clock(&KEY, Arc::new(clock));
+        let c = issuer.issue(ip(), Difficulty::new(8).unwrap());
+        let sol = solver::solve(&c, ip(), &SolverOptions::strict())
+            .unwrap()
+            .solution;
+        assert!(verifier.verify(&sol, ip()).is_ok());
+    }
+
+    #[test]
+    fn error_displays_are_informative() {
+        let errors: Vec<VerifyError> = vec![
+            VerifyError::UnsupportedVersion { got: 2 },
+            VerifyError::BadMac,
+            VerifyError::ClientMismatch,
+            VerifyError::NotYetValid,
+            VerifyError::Expired {
+                expired_at_ms: 1,
+                now_ms: 2,
+            },
+            VerifyError::Replayed,
+            VerifyError::InsufficientWork {
+                got_bits: 1,
+                need_bits: 9,
+            },
+            VerifyError::MalformedNonce,
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// End-to-end issue→solve→verify holds for arbitrary
+            /// difficulties ≤ 12 and arbitrary client IPs.
+            #[test]
+            fn issue_solve_verify(d in 0u8..=12, octets in any::<[u8; 4]>()) {
+                let client = IpAddr::V4(Ipv4Addr::from(octets));
+                let clock = ManualClock::at(42);
+                let issuer = Issuer::with_clock(&KEY, Arc::new(clock.clone()));
+                let verifier = Verifier::with_clock(&KEY, Arc::new(clock));
+                let c = issuer.issue(client, Difficulty::new(d).unwrap());
+                let sol = solver::solve(&c, client, &SolverOptions::default())
+                    .unwrap().solution;
+                prop_assert!(verifier.verify(&sol, client).is_ok());
+                prop_assert_eq!(verifier.verify(&sol, client), Err(VerifyError::Replayed));
+            }
+
+            /// Any single-byte corruption of the tag is rejected.
+            #[test]
+            fn tag_corruption_rejected(d in 0u8..=6, idx in 0usize..32, flip in 1u8..=255) {
+                let clock = ManualClock::at(42);
+                let issuer = Issuer::with_clock(&KEY, Arc::new(clock.clone()));
+                let verifier = Verifier::with_clock(&KEY, Arc::new(clock));
+                let client = ip();
+                let c = issuer.issue(client, Difficulty::new(d).unwrap());
+                let sol = solver::solve(&c, client, &SolverOptions::default()).unwrap().solution;
+                let mut tag = *sol.challenge.tag();
+                tag[idx] ^= flip;
+                let forged = Solution {
+                    challenge: Challenge::from_parts(
+                        sol.challenge.version(),
+                        *sol.challenge.seed(),
+                        sol.challenge.issued_at_ms(),
+                        sol.challenge.ttl_ms(),
+                        sol.challenge.difficulty(),
+                        sol.challenge.client_ip(),
+                        tag,
+                    ),
+                    nonce: sol.nonce,
+                    width: sol.width,
+                };
+                prop_assert_eq!(verifier.verify(&forged, client), Err(VerifyError::BadMac));
+            }
+        }
+    }
+}

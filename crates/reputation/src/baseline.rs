@@ -1,0 +1,186 @@
+//! Alternative reputation models behind the same trait.
+//!
+//! The framework's AI component is swappable; these baselines exist to
+//! demonstrate that and to contextualize DAbR's quality in experiment C2:
+//!
+//! - [`KnnScorer`] — distance-weighted k-nearest-neighbour regression on
+//!   ground-truth scores: stronger but more expensive than DAbR.
+//! - [`BlocklistHeuristic`] — a fixed-weight rule of thumb over three
+//!   attributes: what an operator might hand-tune without ML.
+
+use crate::feature::FeatureVector;
+use crate::model::ReputationModel;
+use crate::normalize::MinMaxNormalizer;
+use crate::score::ReputationScore;
+use crate::synth::Dataset;
+
+/// k-nearest-neighbour score regression.
+#[derive(Debug, Clone)]
+pub struct KnnScorer {
+    k: usize,
+    normalizer: MinMaxNormalizer,
+    /// `(normalized features, ground-truth score)` for the training set.
+    neighbours: Vec<(FeatureVector, f64)>,
+}
+
+impl KnnScorer {
+    /// Fits (memorizes) the training set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train` is empty or `k == 0`.
+    pub fn fit(train: &Dataset, k: usize) -> Self {
+        assert!(!train.is_empty(), "cannot fit k-NN on an empty dataset");
+        assert!(k > 0, "k must be positive");
+        let features: Vec<FeatureVector> = train.samples().iter().map(|s| s.features).collect();
+        let normalizer = MinMaxNormalizer::fit(&features);
+        let neighbours = train
+            .samples()
+            .iter()
+            .map(|s| (normalizer.transform(&s.features), s.true_score))
+            .collect();
+        KnnScorer {
+            k,
+            normalizer,
+            neighbours,
+        }
+    }
+}
+
+impl ReputationModel for KnnScorer {
+    fn name(&self) -> &str {
+        "knn"
+    }
+
+    fn score(&self, features: &FeatureVector) -> ReputationScore {
+        let x = self.normalizer.transform(features);
+        // Collect distances, take the k smallest.
+        let mut dists: Vec<(f64, f64)> = self
+            .neighbours
+            .iter()
+            .map(|(nf, ns)| (x.distance(nf), *ns))
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN distances"));
+        let k = self.k.min(dists.len());
+
+        // Inverse-distance weighting; an exact hit dominates.
+        let mut weight_sum = 0.0;
+        let mut value_sum = 0.0;
+        for &(d, s) in &dists[..k] {
+            if d == 0.0 {
+                return ReputationScore::clamped(s);
+            }
+            let w = 1.0 / d;
+            weight_sum += w;
+            value_sum += w * s;
+        }
+        ReputationScore::clamped(value_sum / weight_sum)
+    }
+}
+
+/// A hand-tuned heuristic over blocklist hits, SYN ratio, and request rate.
+///
+/// Stateless and training-free; its accuracy gap versus DAbR motivates the
+/// AI model in the first place.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlocklistHeuristic;
+
+impl ReputationModel for BlocklistHeuristic {
+    fn name(&self) -> &str {
+        "blocklist-heuristic"
+    }
+
+    fn score(&self, features: &FeatureVector) -> ReputationScore {
+        // Feature indices per FEATURE_NAMES: 0 request_rate, 1 syn_ratio,
+        // 6 blacklist_hits.
+        let rate_component = (features.get(0) / 10.0).min(3.0);
+        let syn_component = features.get(1) * 4.0;
+        let blacklist_component = (features.get(6) * 2.0).min(4.0);
+        ReputationScore::clamped(rate_component + syn_component + blacklist_component)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::synth::{ClassLabel, DatasetSpec};
+
+    #[test]
+    fn knn_scores_in_range_and_sane() {
+        let dataset = DatasetSpec::default().with_sizes(400, 400).with_seed(3).generate();
+        let (train, test) = dataset.split(0.8, 3);
+        let model = KnnScorer::fit(&train, 5);
+        for s in test.samples().iter().take(50) {
+            let v = model.score(&s.features).value();
+            assert!((0.0..=10.0).contains(&v));
+        }
+        let report = evaluate(&model, &test);
+        assert!(report.accuracy > 0.7, "knn accuracy {}", report.accuracy);
+    }
+
+    #[test]
+    fn knn_exact_hit_returns_neighbour_score() {
+        let dataset = DatasetSpec::default().with_sizes(50, 50).with_seed(4).generate();
+        let model = KnnScorer::fit(&dataset, 3);
+        let sample = &dataset.samples()[0];
+        let v = model.score(&sample.features).value();
+        assert!((v - sample.true_score.clamp(0.0, 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn knn_zero_k_panics() {
+        let dataset = DatasetSpec::default().with_sizes(5, 5).generate();
+        KnnScorer::fit(&dataset, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn knn_empty_train_panics() {
+        KnnScorer::fit(&Dataset::from_samples(vec![]), 3);
+    }
+
+    #[test]
+    fn heuristic_orders_obvious_cases() {
+        let benign = FeatureVector::zeros()
+            .with(0, 1.0)
+            .with(1, 0.05)
+            .with(6, 0.0);
+        let attack = FeatureVector::zeros()
+            .with(0, 50.0)
+            .with(1, 0.9)
+            .with(6, 3.0);
+        let h = BlocklistHeuristic;
+        assert!(h.score(&attack).value() > h.score(&benign).value() + 3.0);
+    }
+
+    #[test]
+    fn heuristic_weaker_than_dabr_on_balanced_data() {
+        // The motivating comparison: the trained model should beat the
+        // hand-tuned rule (or at worst tie within a couple points).
+        let dataset = DatasetSpec::default().with_seed(6).generate();
+        let (train, test) = dataset.split(0.8, 6);
+        let dabr = crate::dabr::DabrModel::fit(&train, &Default::default());
+        let dabr_acc = evaluate(&dabr, &test).accuracy;
+        let heuristic_acc = evaluate(&BlocklistHeuristic, &test).accuracy;
+        assert!(
+            dabr_acc + 0.03 > heuristic_acc,
+            "dabr {dabr_acc} vs heuristic {heuristic_acc}"
+        );
+    }
+
+    #[test]
+    fn knn_classifies_clear_botnet_as_malicious() {
+        let dataset = DatasetSpec::default().with_seed(8).generate();
+        let (train, test) = dataset.split(0.8, 8);
+        let model = KnnScorer::fit(&train, 7);
+        // Find an unambiguous botnet sample in the test set.
+        let bot = test
+            .samples()
+            .iter()
+            .find(|s| s.archetype == crate::synth::Archetype::Botnet && s.true_score > 7.0)
+            .expect("test set contains a botnet sample");
+        assert_eq!(model.classify(&bot.features), ClassLabel::Malicious);
+    }
+}

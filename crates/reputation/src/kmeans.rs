@@ -1,0 +1,311 @@
+//! k-means clustering with k-means++ initialization.
+//!
+//! DAbR learns reference points from known-malicious IPs; we cluster the
+//! malicious training vectors so the scorer measures distance to the
+//! nearest *attack family* (botnet / scanner / credential-stuffer) rather
+//! than to a single blurred centroid.
+
+use crate::feature::{FeatureVector, FEATURE_COUNT};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Final centroids (`k` of them, possibly fewer if `k > data.len()`).
+    pub centroids: Vec<FeatureVector>,
+    /// Index of the centroid owning each input point.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances of points to their centroid.
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on centroid movement (Euclidean).
+    pub tolerance: f64,
+    /// RNG seed for k-means++ initialization.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 3,
+            max_iterations: 100,
+            tolerance: 1e-6,
+            seed: 0,
+        }
+    }
+}
+
+/// Runs k-means over `data`.
+///
+/// If `k >= data.len()`, every point becomes its own centroid.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `config.k == 0`.
+pub fn kmeans(data: &[FeatureVector], config: &KMeansConfig) -> KMeansResult {
+    assert!(!data.is_empty(), "cannot cluster empty data");
+    assert!(config.k > 0, "k must be positive");
+
+    if config.k >= data.len() {
+        let centroids: Vec<FeatureVector> = data.to_vec();
+        let assignments: Vec<usize> = (0..data.len()).collect();
+        return KMeansResult {
+            centroids,
+            assignments,
+            inertia: 0.0,
+            iterations: 0,
+        };
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut centroids = init_plus_plus(data, config.k, &mut rng);
+    let mut assignments = vec![0usize; data.len()];
+
+    let mut iterations = 0;
+    for iter in 0..config.max_iterations {
+        iterations = iter + 1;
+
+        // Assignment step.
+        for (i, point) in data.iter().enumerate() {
+            assignments[i] = nearest(point, &centroids).0;
+        }
+
+        // Update step.
+        let mut sums = vec![[0.0f64; FEATURE_COUNT]; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (point, &a) in data.iter().zip(assignments.iter()) {
+            counts[a] += 1;
+            for (j, s) in sums[a].iter_mut().enumerate() {
+                *s += point.get(j);
+            }
+        }
+
+        let mut movement: f64 = 0.0;
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            if counts[c] == 0 {
+                // Empty cluster: re-seed to the point farthest from its
+                // centroid to avoid dead centroids.
+                let far = data
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        let da = nearest(a, std::slice::from_ref(centroid)).1;
+                        let db = nearest(b, std::slice::from_ref(centroid)).1;
+                        da.partial_cmp(&db).expect("no NaN distances")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("nonempty data");
+                movement += centroid.distance(&data[far]);
+                *centroid = data[far];
+                continue;
+            }
+            let mut mean = [0.0f64; FEATURE_COUNT];
+            for (j, m) in mean.iter_mut().enumerate() {
+                *m = sums[c][j] / counts[c] as f64;
+            }
+            let new_centroid = FeatureVector::new(mean);
+            movement += centroid.distance(&new_centroid);
+            *centroid = new_centroid;
+        }
+
+        if movement <= config.tolerance {
+            break;
+        }
+    }
+
+    // Final assignment + inertia under the converged centroids.
+    let mut inertia = 0.0;
+    for (i, point) in data.iter().enumerate() {
+        let (a, d) = nearest(point, &centroids);
+        assignments[i] = a;
+        inertia += d * d;
+    }
+
+    KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    }
+}
+
+/// Index and distance of the nearest centroid.
+fn nearest(point: &FeatureVector, centroids: &[FeatureVector]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = point.distance(c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+/// k-means++ seeding: first centroid uniform, then proportional to squared
+/// distance from the nearest chosen centroid.
+fn init_plus_plus(data: &[FeatureVector], k: usize, rng: &mut StdRng) -> Vec<FeatureVector> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(data[rng.gen_range(0..data.len())]);
+
+    while centroids.len() < k {
+        let d2: Vec<f64> = data
+            .iter()
+            .map(|p| {
+                let (_, d) = nearest(p, &centroids);
+                d * d
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total == 0.0 {
+            // All points coincide with centroids; duplicate arbitrarily.
+            centroids.push(data[rng.gen_range(0..data.len())]);
+            continue;
+        }
+        let mut threshold = rng.gen_range(0.0..total);
+        let mut chosen = data.len() - 1;
+        for (i, &w) in d2.iter().enumerate() {
+            if threshold < w {
+                chosen = i;
+                break;
+            }
+            threshold -= w;
+        }
+        centroids.push(data[chosen]);
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three tight, well-separated blobs along feature 0.
+    fn blobs() -> Vec<FeatureVector> {
+        let mut data = Vec::new();
+        for (center, n) in [(0.0, 20), (50.0, 20), (100.0, 20)] {
+            for i in 0..n {
+                let jitter = (i as f64 - 10.0) * 0.05;
+                data.push(FeatureVector::zeros().with(0, center + jitter));
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let result = kmeans(&blobs(), &KMeansConfig::default());
+        assert_eq!(result.centroids.len(), 3);
+        let mut centers: Vec<f64> = result.centroids.iter().map(|c| c.get(0)).collect();
+        centers.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((centers[0] - 0.0).abs() < 1.0, "{centers:?}");
+        assert!((centers[1] - 50.0).abs() < 1.0, "{centers:?}");
+        assert!((centers[2] - 100.0).abs() < 1.0, "{centers:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = kmeans(&blobs(), &KMeansConfig::default());
+        let b = kmeans(&blobs(), &KMeansConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn assignments_point_to_nearest_centroid() {
+        let data = blobs();
+        let result = kmeans(&data, &KMeansConfig::default());
+        for (point, &a) in data.iter().zip(result.assignments.iter()) {
+            let (nearest_idx, _) = nearest(point, &result.centroids);
+            assert_eq!(a, nearest_idx);
+        }
+    }
+
+    #[test]
+    fn k_greater_than_points_degenerates_gracefully() {
+        let data = vec![FeatureVector::zeros(), FeatureVector::zeros().with(0, 1.0)];
+        let result = kmeans(
+            &data,
+            &KMeansConfig {
+                k: 10,
+                ..Default::default()
+            },
+        );
+        assert_eq!(result.centroids.len(), 2);
+        assert_eq!(result.inertia, 0.0);
+    }
+
+    #[test]
+    fn k_equals_one_centroid_is_mean() {
+        let data = vec![
+            FeatureVector::zeros().with(0, 0.0),
+            FeatureVector::zeros().with(0, 10.0),
+        ];
+        let result = kmeans(
+            &data,
+            &KMeansConfig {
+                k: 1,
+                ..Default::default()
+            },
+        );
+        assert!((result.centroids[0].get(0) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let data = blobs();
+        let inertia = |k: usize| {
+            kmeans(
+                &data,
+                &KMeansConfig {
+                    k,
+                    ..Default::default()
+                },
+            )
+            .inertia
+        };
+        let i1 = inertia(1);
+        let i3 = inertia(3);
+        assert!(i3 < i1, "inertia did not decrease: k1={i1} k3={i3}");
+    }
+
+    #[test]
+    fn identical_points_do_not_loop_forever() {
+        let data = vec![FeatureVector::zeros(); 10];
+        let result = kmeans(
+            &data,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(result.inertia, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_data_panics() {
+        kmeans(&[], &KMeansConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_k_panics() {
+        kmeans(
+            &[FeatureVector::zeros()],
+            &KMeansConfig {
+                k: 0,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! The AI model of the framework (paper §II.1): IP reputation scoring.
+//!
+//! The paper's proof of concept plugs in **DAbR** (Renjan et al., ISI 2018),
+//! “an euclidean distance-based technique that generates a reputation score
+//! for an IP address by learning from previously known malicious IP
+//! addresses and their attributes”, reporting ≈ 80 % accuracy and scores
+//! normalized to `[0, 10]` (higher = more untrustworthy).
+//!
+//! DAbR's training data (Cisco Talos attribute feeds) is proprietary, so
+//! this crate substitutes a **synthetic traffic-attribute dataset** with
+//! tunable class overlap (see [`synth`]) and reimplements the DAbR
+//! *technique* on top of it (see [`dabr`]):
+//!
+//! 1. min–max normalize attributes to `[0, 10]` ([`normalize`]),
+//! 2. cluster known-malicious training points ([`kmeans`]),
+//! 3. score an incoming IP by its Euclidean distance to the nearest
+//!    malicious centroid, calibrated onto the `[0, 10]` scale,
+//! 4. estimate the model's score error `ϵ` on held-out data ([`eval`]) —
+//!    the quantity the paper's Policy 3 consumes.
+//!
+//! The AI component is explicitly swappable in the framework; [`baseline`]
+//! provides a k-NN scorer and a single-attribute heuristic behind the same
+//! [`ReputationModel`] trait.
+//!
+//! # Example
+//!
+//! ```
+//! use aipow_reputation::{synth::DatasetSpec, dabr::DabrModel, ReputationModel};
+//!
+//! let dataset = DatasetSpec::default().with_seed(7).generate();
+//! let (train, test) = dataset.split(0.8, 7);
+//! let model = DabrModel::fit(&train, &Default::default());
+//! let report = aipow_reputation::eval::evaluate(&model, &test);
+//! assert!(report.accuracy > 0.7, "accuracy {}", report.accuracy);
+//! let score = model.score(&test.samples()[0].features);
+//! assert!((0.0..=10.0).contains(&score.value()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod dabr;
+pub mod eval;
+pub mod feature;
+pub mod kmeans;
+pub mod model;
+pub mod normalize;
+pub mod score;
+pub mod synth;
+
+pub use dabr::DabrModel;
+pub use feature::{FeatureVector, FEATURE_COUNT, FEATURE_NAMES};
+pub use model::ReputationModel;
+pub use score::ReputationScore;
+pub use synth::{Dataset, DatasetSpec, LabeledSample};

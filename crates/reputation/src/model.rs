@@ -1,0 +1,94 @@
+//! The pluggable reputation-model interface.
+//!
+//! The framework is modular: “Components include: an AI model that
+//! generates a reputation score …” — anything that can map an attribute
+//! vector to a `[0, 10]` score can drive the policy module.
+
+use crate::feature::FeatureVector;
+use crate::score::ReputationScore;
+use crate::synth::ClassLabel;
+
+/// A model that scores IP attribute vectors.
+///
+/// Implementations must be thread-safe: one model instance serves the whole
+/// admission pipeline.
+pub trait ReputationModel: Send + Sync {
+    /// A short, stable identifier for reports.
+    fn name(&self) -> &str;
+
+    /// Scores an attribute vector; higher = more untrustworthy.
+    fn score(&self, features: &FeatureVector) -> ReputationScore;
+
+    /// Decision threshold used by [`classify`](ReputationModel::classify).
+    fn malicious_threshold(&self) -> f64 {
+        5.0
+    }
+
+    /// Binary classification derived from the score.
+    fn classify(&self, features: &FeatureVector) -> ClassLabel {
+        if self.score(features).value() >= self.malicious_threshold() {
+            ClassLabel::Malicious
+        } else {
+            ClassLabel::Benign
+        }
+    }
+}
+
+/// A model returning a fixed score — useful for tests, examples, and as a
+/// degraded-mode fallback when the real model is unavailable.
+///
+/// ```
+/// use aipow_reputation::model::{FixedScoreModel, ReputationModel};
+/// use aipow_reputation::{FeatureVector, ReputationScore};
+/// let m = FixedScoreModel::new(ReputationScore::new(3.0).unwrap());
+/// assert_eq!(m.score(&FeatureVector::zeros()).value(), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FixedScoreModel {
+    score: ReputationScore,
+}
+
+impl FixedScoreModel {
+    /// Creates a model that always returns `score`.
+    pub fn new(score: ReputationScore) -> Self {
+        FixedScoreModel { score }
+    }
+}
+
+impl ReputationModel for FixedScoreModel {
+    fn name(&self) -> &str {
+        "fixed"
+    }
+
+    fn score(&self, _features: &FeatureVector) -> ReputationScore {
+        self.score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_model_scores_constant() {
+        let m = FixedScoreModel::new(ReputationScore::new(8.0).unwrap());
+        assert_eq!(m.score(&FeatureVector::zeros()).value(), 8.0);
+        assert_eq!(m.classify(&FeatureVector::zeros()), ClassLabel::Malicious);
+    }
+
+    #[test]
+    fn default_threshold_splits_at_five() {
+        let low = FixedScoreModel::new(ReputationScore::new(4.99).unwrap());
+        let high = FixedScoreModel::new(ReputationScore::new(5.0).unwrap());
+        assert_eq!(low.classify(&FeatureVector::zeros()), ClassLabel::Benign);
+        assert_eq!(high.classify(&FeatureVector::zeros()), ClassLabel::Malicious);
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let m: Box<dyn ReputationModel> =
+            Box::new(FixedScoreModel::new(ReputationScore::MIN));
+        assert_eq!(m.name(), "fixed");
+        assert_eq!(m.score(&FeatureVector::zeros()), ReputationScore::MIN);
+    }
+}

@@ -1,0 +1,634 @@
+//! Message encoding and decoding.
+//!
+//! All integers are big-endian. Variable-length fields carry a `u32`
+//! length prefix. Every decoder validates lengths before allocating, and
+//! the whole payload is capped at [`MAX_PAYLOAD_LEN`].
+
+use crate::message::{Message, RejectCode};
+use aipow_pow::{Challenge, Difficulty, NonceWidth};
+use bytes::{Buf, BufMut, BytesMut};
+use core::fmt;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// Frame magic: identifies aipow traffic and rejects stray peers early.
+pub const MAGIC: u16 = 0xA1F0;
+
+/// Protocol version encoded in every frame.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on an encoded payload. Challenges and solutions are tiny;
+/// resource bodies dominate. 1 MiB bounds per-connection memory.
+pub const MAX_PAYLOAD_LEN: usize = 1 << 20;
+
+/// Why a buffer failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// Frame does not start with [`MAGIC`].
+    BadMagic {
+        /// The observed leading bytes.
+        got: u16,
+    },
+    /// Protocol version unknown to this build.
+    UnsupportedVersion {
+        /// The observed version byte.
+        got: u8,
+    },
+    /// Unknown message-type byte.
+    UnknownMessageType {
+        /// The observed type byte.
+        got: u8,
+    },
+    /// Payload shorter than its fields require.
+    Truncated,
+    /// Declared length exceeds [`MAX_PAYLOAD_LEN`].
+    PayloadTooLarge {
+        /// The declared length.
+        declared: usize,
+    },
+    /// A string field was not valid UTF-8.
+    InvalidUtf8,
+    /// An IP address tag byte was neither 4 nor 6.
+    InvalidIpTag {
+        /// The observed tag.
+        got: u8,
+    },
+    /// A difficulty byte exceeded 64.
+    InvalidDifficulty {
+        /// The observed difficulty.
+        got: u8,
+    },
+    /// An unknown nonce-width byte.
+    InvalidNonceWidth {
+        /// The observed width byte.
+        got: u8,
+    },
+    /// An unknown reject-code byte.
+    InvalidRejectCode {
+        /// The observed code.
+        got: u8,
+    },
+    /// Bytes remained after the message was fully decoded.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic { got } => write!(f, "bad frame magic {got:#06x}"),
+            DecodeError::UnsupportedVersion { got } => {
+                write!(f, "unsupported protocol version {got}")
+            }
+            DecodeError::UnknownMessageType { got } => write!(f, "unknown message type {got}"),
+            DecodeError::Truncated => write!(f, "message truncated"),
+            DecodeError::PayloadTooLarge { declared } => {
+                write!(f, "declared payload of {declared} bytes exceeds the maximum")
+            }
+            DecodeError::InvalidUtf8 => write!(f, "string field is not valid utf-8"),
+            DecodeError::InvalidIpTag { got } => write!(f, "invalid ip address tag {got}"),
+            DecodeError::InvalidDifficulty { got } => write!(f, "invalid difficulty {got}"),
+            DecodeError::InvalidNonceWidth { got } => write!(f, "invalid nonce width {got}"),
+            DecodeError::InvalidRejectCode { got } => write!(f, "invalid reject code {got}"),
+            DecodeError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after message")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes a message into a complete frame (header + payload).
+pub fn encode(msg: &Message) -> Vec<u8> {
+    let mut payload = BytesMut::new();
+    match msg {
+        Message::RequestResource { path } => put_str(&mut payload, path),
+        Message::ChallengeIssued { challenge, path } => {
+            put_challenge(&mut payload, challenge);
+            put_str(&mut payload, path);
+        }
+        Message::SubmitSolution {
+            challenge,
+            nonce,
+            width,
+            path,
+        } => {
+            put_challenge(&mut payload, challenge);
+            payload.put_u64(*nonce);
+            payload.put_u8(match width {
+                NonceWidth::U32 => 4,
+                NonceWidth::U64 => 8,
+            });
+            put_str(&mut payload, path);
+        }
+        Message::ResourceGranted { path, body } => {
+            put_str(&mut payload, path);
+            put_bytes(&mut payload, body);
+        }
+        Message::Rejected { code, detail } => {
+            payload.put_u8(code.as_u8());
+            put_str(&mut payload, detail);
+        }
+        Message::Ping { token } => payload.put_u64(*token),
+        Message::Pong { token } => payload.put_u64(*token),
+    }
+
+    let mut frame = BytesMut::with_capacity(8 + payload.len());
+    frame.put_u16(MAGIC);
+    frame.put_u8(PROTOCOL_VERSION);
+    frame.put_u8(msg.type_byte());
+    frame.put_u32(payload.len() as u32);
+    frame.extend_from_slice(&payload);
+    frame.to_vec()
+}
+
+/// Decodes a complete frame produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for malformed, truncated, oversized, or
+/// trailing-garbage input.
+pub fn decode(frame: &[u8]) -> Result<Message, DecodeError> {
+    let mut buf = frame;
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let magic = buf.get_u16();
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic { got: magic });
+    }
+    let version = buf.get_u8();
+    if version != PROTOCOL_VERSION {
+        return Err(DecodeError::UnsupportedVersion { got: version });
+    }
+    let msg_type = buf.get_u8();
+    let declared = buf.get_u32() as usize;
+    if declared > MAX_PAYLOAD_LEN {
+        return Err(DecodeError::PayloadTooLarge { declared });
+    }
+    if buf.remaining() < declared {
+        return Err(DecodeError::Truncated);
+    }
+    if buf.remaining() > declared {
+        return Err(DecodeError::TrailingBytes {
+            remaining: buf.remaining() - declared,
+        });
+    }
+
+    let msg = decode_payload(msg_type, &mut buf)?;
+    if buf.has_remaining() {
+        return Err(DecodeError::TrailingBytes {
+            remaining: buf.remaining(),
+        });
+    }
+    Ok(msg)
+}
+
+fn decode_payload(msg_type: u8, buf: &mut &[u8]) -> Result<Message, DecodeError> {
+    match msg_type {
+        1 => Ok(Message::RequestResource {
+            path: get_str(buf)?,
+        }),
+        2 => Ok(Message::ChallengeIssued {
+            challenge: get_challenge(buf)?,
+            path: get_str(buf)?,
+        }),
+        3 => {
+            let challenge = get_challenge(buf)?;
+            let nonce = get_u64(buf)?;
+            let width = match get_u8(buf)? {
+                4 => NonceWidth::U32,
+                8 => NonceWidth::U64,
+                got => return Err(DecodeError::InvalidNonceWidth { got }),
+            };
+            let path = get_str(buf)?;
+            Ok(Message::SubmitSolution {
+                challenge,
+                nonce,
+                width,
+                path,
+            })
+        }
+        4 => Ok(Message::ResourceGranted {
+            path: get_str(buf)?,
+            body: get_bytes(buf)?,
+        }),
+        5 => {
+            let code_byte = get_u8(buf)?;
+            let code = RejectCode::from_u8(code_byte)
+                .ok_or(DecodeError::InvalidRejectCode { got: code_byte })?;
+            Ok(Message::Rejected {
+                code,
+                detail: get_str(buf)?,
+            })
+        }
+        6 => Ok(Message::Ping {
+            token: get_u64(buf)?,
+        }),
+        7 => Ok(Message::Pong {
+            token: get_u64(buf)?,
+        }),
+        got => Err(DecodeError::UnknownMessageType { got }),
+    }
+}
+
+// --- field helpers ---------------------------------------------------------
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_bytes(buf: &mut BytesMut, b: &[u8]) {
+    buf.put_u32(b.len() as u32);
+    buf.put_slice(b);
+}
+
+fn put_ip(buf: &mut BytesMut, ip: IpAddr) {
+    match ip {
+        IpAddr::V4(v4) => {
+            buf.put_u8(4);
+            buf.put_slice(&v4.octets());
+        }
+        IpAddr::V6(v6) => {
+            buf.put_u8(6);
+            buf.put_slice(&v6.octets());
+        }
+    }
+}
+
+fn put_challenge(buf: &mut BytesMut, c: &Challenge) {
+    buf.put_u8(c.version());
+    buf.put_slice(c.seed());
+    buf.put_u64(c.issued_at_ms());
+    buf.put_u64(c.ttl_ms());
+    buf.put_u8(c.difficulty().bits());
+    put_ip(buf, c.client_ip());
+    buf.put_slice(c.tag());
+}
+
+fn get_u8(buf: &mut &[u8]) -> Result<u8, DecodeError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u64(buf: &mut &[u8]) -> Result<u64, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_u64())
+}
+
+fn get_str(buf: &mut &[u8]) -> Result<String, DecodeError> {
+    let bytes = get_bytes(buf)?;
+    String::from_utf8(bytes).map_err(|_| DecodeError::InvalidUtf8)
+}
+
+fn get_bytes(buf: &mut &[u8]) -> Result<Vec<u8>, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let len = buf.get_u32() as usize;
+    if len > MAX_PAYLOAD_LEN {
+        return Err(DecodeError::PayloadTooLarge { declared: len });
+    }
+    if buf.remaining() < len {
+        return Err(DecodeError::Truncated);
+    }
+    let out = buf[..len].to_vec();
+    buf.advance(len);
+    Ok(out)
+}
+
+fn get_ip(buf: &mut &[u8]) -> Result<IpAddr, DecodeError> {
+    match get_u8(buf)? {
+        4 => {
+            if buf.remaining() < 4 {
+                return Err(DecodeError::Truncated);
+            }
+            let mut octets = [0u8; 4];
+            buf.copy_to_slice(&mut octets);
+            Ok(IpAddr::V4(Ipv4Addr::from(octets)))
+        }
+        6 => {
+            if buf.remaining() < 16 {
+                return Err(DecodeError::Truncated);
+            }
+            let mut octets = [0u8; 16];
+            buf.copy_to_slice(&mut octets);
+            Ok(IpAddr::V6(Ipv6Addr::from(octets)))
+        }
+        got => Err(DecodeError::InvalidIpTag { got }),
+    }
+}
+
+fn get_challenge(buf: &mut &[u8]) -> Result<Challenge, DecodeError> {
+    let version = get_u8(buf)?;
+    if buf.remaining() < 16 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut seed = [0u8; 16];
+    buf.copy_to_slice(&mut seed);
+    let issued_at_ms = get_u64(buf)?;
+    let ttl_ms = get_u64(buf)?;
+    let difficulty_bits = get_u8(buf)?;
+    let difficulty = Difficulty::new(difficulty_bits)
+        .map_err(|_| DecodeError::InvalidDifficulty { got: difficulty_bits })?;
+    let client_ip = get_ip(buf)?;
+    if buf.remaining() < 32 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut tag = [0u8; 32];
+    buf.copy_to_slice(&mut tag);
+    Ok(Challenge::from_parts(
+        version,
+        seed,
+        issued_at_ms,
+        ttl_ms,
+        difficulty,
+        client_ip,
+        tag,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aipow_pow::{Difficulty, Issuer};
+
+    fn sample_challenge() -> Challenge {
+        Issuer::new(&[5u8; 32]).issue(
+            IpAddr::V4(Ipv4Addr::new(203, 0, 113, 9)),
+            Difficulty::new(7).unwrap(),
+        )
+    }
+
+    fn all_messages() -> Vec<Message> {
+        vec![
+            Message::RequestResource {
+                path: "/index.html".into(),
+            },
+            Message::ChallengeIssued {
+                challenge: sample_challenge(),
+                path: "/a".into(),
+            },
+            Message::SubmitSolution {
+                challenge: sample_challenge(),
+                nonce: 0xdead_beef_cafe,
+                width: NonceWidth::U64,
+                path: "/a".into(),
+            },
+            Message::SubmitSolution {
+                challenge: sample_challenge(),
+                nonce: 42,
+                width: NonceWidth::U32,
+                path: String::new(),
+            },
+            Message::ResourceGranted {
+                path: "/data".into(),
+                body: vec![1, 2, 3, 255],
+            },
+            Message::Rejected {
+                code: RejectCode::InvalidSolution,
+                detail: "insufficient work".into(),
+            },
+            Message::Ping { token: 7 },
+            Message::Pong { token: 7 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_message_type() {
+        for msg in all_messages() {
+            let bytes = encode(&msg);
+            let decoded = decode(&bytes).unwrap_or_else(|e| panic!("{msg:?}: {e}"));
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn ipv6_challenge_roundtrips() {
+        let c = Issuer::new(&[6u8; 32]).issue(
+            IpAddr::V6(Ipv6Addr::LOCALHOST),
+            Difficulty::new(3).unwrap(),
+        );
+        let msg = Message::ChallengeIssued {
+            challenge: c,
+            path: "/v6".into(),
+        };
+        assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode(&Message::Ping { token: 1 });
+        bytes[0] = 0;
+        assert!(matches!(decode(&bytes), Err(DecodeError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = encode(&Message::Ping { token: 1 });
+        bytes[2] = 99;
+        assert_eq!(
+            decode(&bytes),
+            Err(DecodeError::UnsupportedVersion { got: 99 })
+        );
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut bytes = encode(&Message::Ping { token: 1 });
+        bytes[3] = 200;
+        assert_eq!(
+            decode(&bytes),
+            Err(DecodeError::UnknownMessageType { got: 200 })
+        );
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_length() {
+        let bytes = encode(&Message::SubmitSolution {
+            challenge: sample_challenge(),
+            nonce: 1,
+            width: NonceWidth::U64,
+            path: "/p".into(),
+        });
+        for cut in 0..bytes.len() {
+            let result = decode(&bytes[..cut]);
+            assert!(
+                result.is_err(),
+                "decode of {cut}/{} bytes unexpectedly succeeded",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode(&Message::Ping { token: 1 });
+        bytes.push(0);
+        assert!(matches!(
+            decode(&bytes),
+            Err(DecodeError::TrailingBytes { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_declared_payload_rejected() {
+        let mut bytes = encode(&Message::Ping { token: 1 });
+        // Overwrite the length field with something enormous.
+        bytes[4..8].copy_from_slice(&(MAX_PAYLOAD_LEN as u32 + 1).to_be_bytes());
+        assert!(matches!(
+            decode(&bytes),
+            Err(DecodeError::PayloadTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut bytes = encode(&Message::RequestResource { path: "abcd".into() });
+        let len = bytes.len();
+        bytes[len - 2] = 0xff; // corrupt a path byte into invalid UTF-8
+        bytes[len - 1] = 0xfe;
+        assert_eq!(decode(&bytes), Err(DecodeError::InvalidUtf8));
+    }
+
+    #[test]
+    fn invalid_difficulty_rejected() {
+        let msg = Message::ChallengeIssued {
+            challenge: sample_challenge(),
+            path: String::new(),
+        };
+        let mut bytes = encode(&msg);
+        // Difficulty byte position: header(8) + version(1) + seed(16) +
+        // issued(8) + ttl(8) = offset 41.
+        bytes[41] = 99;
+        assert_eq!(decode(&bytes), Err(DecodeError::InvalidDifficulty { got: 99 }));
+    }
+
+    #[test]
+    fn invalid_reject_code_rejected() {
+        let mut bytes = encode(&Message::Rejected {
+            code: RejectCode::NotFound,
+            detail: String::new(),
+        });
+        bytes[8] = 77;
+        assert_eq!(decode(&bytes), Err(DecodeError::InvalidRejectCode { got: 77 }));
+    }
+
+    #[test]
+    fn invalid_nonce_width_rejected() {
+        let msg = Message::SubmitSolution {
+            challenge: sample_challenge(),
+            nonce: 1,
+            width: NonceWidth::U64,
+            path: String::new(),
+        };
+        let mut bytes = encode(&msg);
+        // width byte sits after challenge (1+16+8+8+1+5+32 = 71) + nonce(8)
+        // + header(8) = offset 87.
+        bytes[87] = 3;
+        assert_eq!(decode(&bytes), Err(DecodeError::InvalidNonceWidth { got: 3 }));
+    }
+
+    #[test]
+    fn error_displays_nonempty() {
+        let errors = [
+            DecodeError::BadMagic { got: 0 },
+            DecodeError::Truncated,
+            DecodeError::InvalidUtf8,
+            DecodeError::TrailingBytes { remaining: 3 },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        prop_compose! {
+            fn arb_challenge()(
+                version in any::<u8>(),
+                seed in any::<[u8; 16]>(),
+                issued_at_ms in any::<u64>(),
+                ttl_ms in any::<u64>(),
+                bits in 0u8..=64,
+                v6 in any::<bool>(),
+                octets in any::<[u8; 16]>(),
+                tag in any::<[u8; 32]>(),
+            ) -> Challenge {
+                let ip = if v6 {
+                    IpAddr::V6(Ipv6Addr::from(octets))
+                } else {
+                    IpAddr::V4(Ipv4Addr::new(octets[0], octets[1], octets[2], octets[3]))
+                };
+                Challenge::from_parts(
+                    version,
+                    seed,
+                    issued_at_ms,
+                    ttl_ms,
+                    Difficulty::new(bits).expect("bits in range"),
+                    ip,
+                    tag,
+                )
+            }
+        }
+
+        fn arb_message() -> impl Strategy<Value = Message> {
+            let path = "[a-z/._-]{0,40}";
+            prop_oneof![
+                path.prop_map(|path| Message::RequestResource { path }),
+                (arb_challenge(), path).prop_map(|(challenge, path)| {
+                    Message::ChallengeIssued { challenge, path }
+                }),
+                (arb_challenge(), any::<u64>(), any::<bool>(), path).prop_map(
+                    |(challenge, nonce, wide, path)| Message::SubmitSolution {
+                        challenge,
+                        nonce: if wide { nonce } else { nonce & 0xFFFF_FFFF },
+                        width: if wide { NonceWidth::U64 } else { NonceWidth::U32 },
+                        path,
+                    }
+                ),
+                (path, proptest::collection::vec(any::<u8>(), 0..256))
+                    .prop_map(|(path, body)| Message::ResourceGranted { path, body }),
+                (1u8..=5, path).prop_map(|(c, detail)| Message::Rejected {
+                    code: RejectCode::from_u8(c).unwrap(),
+                    detail,
+                }),
+                any::<u64>().prop_map(|token| Message::Ping { token }),
+                any::<u64>().prop_map(|token| Message::Pong { token }),
+            ]
+        }
+
+        proptest! {
+            #[test]
+            fn roundtrip(msg in arb_message()) {
+                prop_assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+            }
+
+            /// Arbitrary garbage never panics the decoder.
+            #[test]
+            fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+                let _ = decode(&bytes);
+            }
+
+            /// Any single-byte corruption either still decodes (benign
+            /// positions like body contents) or fails cleanly — never panics.
+            #[test]
+            fn corruption_never_panics(token in any::<u64>(), idx in 0usize..16, val in any::<u8>()) {
+                let mut bytes = encode(&Message::Ping { token });
+                let i = idx % bytes.len();
+                bytes[i] = val;
+                let _ = decode(&bytes);
+            }
+        }
+    }
+}

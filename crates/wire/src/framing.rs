@@ -1,0 +1,184 @@
+//! Stream framing: length-delimited message IO over any `Read`/`Write`.
+
+use crate::codec::{self, DecodeError, MAX_PAYLOAD_LEN};
+use crate::message::Message;
+use core::fmt;
+use std::io::{self, Read, Write};
+
+/// Why reading a message from a stream failed.
+#[derive(Debug)]
+pub enum ReadMessageError {
+    /// The underlying stream failed (including clean EOF mid-frame).
+    Io(io::Error),
+    /// The peer closed the stream cleanly between frames.
+    Closed,
+    /// The frame arrived but did not decode.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for ReadMessageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadMessageError::Io(e) => write!(f, "stream error: {e}"),
+            ReadMessageError::Closed => write!(f, "peer closed the connection"),
+            ReadMessageError::Decode(e) => write!(f, "frame decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadMessageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadMessageError::Io(e) => Some(e),
+            ReadMessageError::Decode(e) => Some(e),
+            ReadMessageError::Closed => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadMessageError {
+    fn from(e: io::Error) -> Self {
+        ReadMessageError::Io(e)
+    }
+}
+
+impl From<DecodeError> for ReadMessageError {
+    fn from(e: DecodeError) -> Self {
+        ReadMessageError::Decode(e)
+    }
+}
+
+/// Writes one message to the stream. A `&mut W` can be passed for writers
+/// that should not be consumed.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the underlying writer.
+pub fn write_message<W: Write>(mut writer: W, msg: &Message) -> io::Result<()> {
+    let frame = codec::encode(msg);
+    writer.write_all(&frame)?;
+    writer.flush()
+}
+
+/// Reads one message from the stream. A `&mut R` can be passed for readers
+/// that should not be consumed.
+///
+/// Distinguishes a clean close *between* frames ([`ReadMessageError::Closed`])
+/// from truncation *inside* a frame (an [`ReadMessageError::Io`] with
+/// `UnexpectedEof`).
+///
+/// # Errors
+///
+/// Returns [`ReadMessageError`] on stream failure, peer close, or a frame
+/// that fails to decode.
+pub fn read_message<R: Read>(mut reader: R) -> Result<Message, ReadMessageError> {
+    // Header: magic(2) version(1) type(1) len(4).
+    let mut header = [0u8; 8];
+    match reader.read(&mut header)? {
+        0 => return Err(ReadMessageError::Closed),
+        n => reader.read_exact(&mut header[n..])?,
+    }
+
+    let declared = u32::from_be_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+    if declared > MAX_PAYLOAD_LEN {
+        return Err(ReadMessageError::Decode(DecodeError::PayloadTooLarge {
+            declared,
+        }));
+    }
+
+    let mut frame = Vec::with_capacity(8 + declared);
+    frame.extend_from_slice(&header);
+    frame.resize(8 + declared, 0);
+    reader.read_exact(&mut frame[8..])?;
+
+    Ok(codec::decode(&frame)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::RejectCode;
+    use std::io::Cursor;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let msgs = vec![
+            Message::RequestResource { path: "/x".into() },
+            Message::Ping { token: 3 },
+            Message::Rejected {
+                code: RejectCode::RateLimited,
+                detail: "slow down".into(),
+            },
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            write_message(&mut buf, m).unwrap();
+        }
+        let mut cursor = Cursor::new(buf);
+        for m in &msgs {
+            assert_eq!(&read_message(&mut cursor).unwrap(), m);
+        }
+        // Stream exhausted: clean close.
+        assert!(matches!(
+            read_message(&mut cursor),
+            Err(ReadMessageError::Closed)
+        ));
+    }
+
+    #[test]
+    fn eof_mid_header_is_io_error() {
+        let full = codec::encode(&Message::Ping { token: 9 });
+        let mut cursor = Cursor::new(full[..5].to_vec());
+        match read_message(&mut cursor) {
+            Err(ReadMessageError::Io(e)) => {
+                assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof)
+            }
+            other => panic!("expected io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eof_mid_payload_is_io_error() {
+        let full = codec::encode(&Message::RequestResource {
+            path: "/abcdefgh".into(),
+        });
+        let mut cursor = Cursor::new(full[..full.len() - 3].to_vec());
+        assert!(matches!(
+            read_message(&mut cursor),
+            Err(ReadMessageError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_allocation() {
+        let mut header = Vec::new();
+        header.extend_from_slice(&codec::MAGIC.to_be_bytes());
+        header.push(codec::PROTOCOL_VERSION);
+        header.push(6); // ping
+        header.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut cursor = Cursor::new(header);
+        assert!(matches!(
+            read_message(&mut cursor),
+            Err(ReadMessageError::Decode(DecodeError::PayloadTooLarge { .. }))
+        ));
+    }
+
+    #[test]
+    fn garbage_magic_is_decode_error() {
+        let mut bytes = codec::encode(&Message::Ping { token: 1 });
+        bytes[0] = 0x00;
+        bytes[1] = 0x01;
+        let mut cursor = Cursor::new(bytes);
+        assert!(matches!(
+            read_message(&mut cursor),
+            Err(ReadMessageError::Decode(DecodeError::BadMagic { .. }))
+        ));
+    }
+
+    #[test]
+    fn error_source_chain() {
+        let e = ReadMessageError::Decode(DecodeError::Truncated);
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&ReadMessageError::Closed).is_none());
+    }
+}

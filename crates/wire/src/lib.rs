@@ -1,0 +1,39 @@
+//! Binary wire protocol for the challenge exchange (paper Figure 1).
+//!
+//! The paper runs over HTTP; the exchange itself is carrier-agnostic, so
+//! this crate defines a compact length-prefixed binary protocol for the
+//! workspace's real TCP runtime (`aipow-net`):
+//!
+//! ```text
+//! client                                server
+//!   │ ── RequestResource ─────────────▶ │  (1) request
+//!   │ ◀───────────── ChallengeIssued ── │  (2-4) score → policy → puzzle
+//!   │ ── SubmitSolution ──────────────▶ │  (5) solved nonce
+//!   │ ◀─────────────── ResourceGranted ─│  (6-7) verified → response
+//!   │              or Rejected          │
+//! ```
+//!
+//! Frames are `magic(2) ‖ version(1) ‖ type(1) ‖ len(4) ‖ payload(len)`,
+//! big-endian, with a hard payload cap so a malicious peer cannot balloon
+//! server memory.
+//!
+//! # Example
+//!
+//! ```
+//! use aipow_wire::{Message, codec};
+//! let msg = Message::RequestResource { path: "/index.html".into() };
+//! let bytes = codec::encode(&msg);
+//! assert_eq!(codec::decode(&bytes)?, msg);
+//! # Ok::<(), aipow_wire::codec::DecodeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod framing;
+pub mod message;
+
+pub use codec::{decode, encode, DecodeError};
+pub use framing::{read_message, write_message, ReadMessageError};
+pub use message::{Message, RejectCode};

@@ -1,0 +1,171 @@
+//! Protocol message types.
+
+use aipow_pow::{Challenge, NonceWidth};
+
+/// Why the server rejected a request or solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum RejectCode {
+    /// The submitted solution failed verification (wraps the verifier's
+    /// reason as text in [`Message::Rejected::detail`]).
+    InvalidSolution,
+    /// The client exceeded its connection/request budget.
+    RateLimited,
+    /// The requested resource does not exist.
+    NotFound,
+    /// The server could not parse the client's message.
+    Malformed,
+    /// Internal server error.
+    Internal,
+}
+
+impl RejectCode {
+    /// Stable numeric code on the wire.
+    pub fn as_u8(&self) -> u8 {
+        match self {
+            RejectCode::InvalidSolution => 1,
+            RejectCode::RateLimited => 2,
+            RejectCode::NotFound => 3,
+            RejectCode::Malformed => 4,
+            RejectCode::Internal => 5,
+        }
+    }
+
+    /// Parses a numeric code.
+    pub fn from_u8(code: u8) -> Option<Self> {
+        Some(match code {
+            1 => RejectCode::InvalidSolution,
+            2 => RejectCode::RateLimited,
+            3 => RejectCode::NotFound,
+            4 => RejectCode::Malformed,
+            5 => RejectCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl core::fmt::Display for RejectCode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let text = match self {
+            RejectCode::InvalidSolution => "invalid solution",
+            RejectCode::RateLimited => "rate limited",
+            RejectCode::NotFound => "resource not found",
+            RejectCode::Malformed => "malformed message",
+            RejectCode::Internal => "internal server error",
+        };
+        f.write_str(text)
+    }
+}
+
+/// A protocol message.
+///
+/// The enum mirrors Figure 1 of the paper; see the crate docs for the
+/// exchange sequence.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Message {
+    /// Client → server: request a resource (Figure 1, step 1).
+    RequestResource {
+        /// Resource path, e.g. `/index.html`.
+        path: String,
+    },
+    /// Server → client: the puzzle to solve (steps 2–4).
+    ChallengeIssued {
+        /// The authenticated challenge.
+        challenge: Challenge,
+        /// Echo of the requested path, so the client can correlate.
+        path: String,
+    },
+    /// Client → server: a solved puzzle (step 5).
+    SubmitSolution {
+        /// The challenge being answered (echoed back verbatim).
+        challenge: Challenge,
+        /// The found nonce.
+        nonce: u64,
+        /// Width the nonce was hashed at.
+        width: NonceWidth,
+        /// The path originally requested.
+        path: String,
+    },
+    /// Server → client: verified; here is the resource (steps 6–7).
+    ResourceGranted {
+        /// The granted path.
+        path: String,
+        /// Resource bytes.
+        body: Vec<u8>,
+    },
+    /// Server → client: the request or solution was rejected.
+    Rejected {
+        /// Machine-readable reason.
+        code: RejectCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Liveness probe (either direction).
+    Ping {
+        /// Echo token.
+        token: u64,
+    },
+    /// Liveness response.
+    Pong {
+        /// Echoed token.
+        token: u64,
+    },
+}
+
+impl Message {
+    /// Stable message-type discriminant on the wire.
+    pub fn type_byte(&self) -> u8 {
+        match self {
+            Message::RequestResource { .. } => 1,
+            Message::ChallengeIssued { .. } => 2,
+            Message::SubmitSolution { .. } => 3,
+            Message::ResourceGranted { .. } => 4,
+            Message::Rejected { .. } => 5,
+            Message::Ping { .. } => 6,
+            Message::Pong { .. } => 7,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reject_codes_roundtrip() {
+        for code in [
+            RejectCode::InvalidSolution,
+            RejectCode::RateLimited,
+            RejectCode::NotFound,
+            RejectCode::Malformed,
+            RejectCode::Internal,
+        ] {
+            assert_eq!(RejectCode::from_u8(code.as_u8()), Some(code));
+            assert!(!code.to_string().is_empty());
+        }
+        assert_eq!(RejectCode::from_u8(99), None);
+        assert_eq!(RejectCode::from_u8(0), None);
+    }
+
+    #[test]
+    fn type_bytes_are_distinct() {
+        let msgs = [
+            Message::RequestResource { path: "/".into() },
+            Message::ResourceGranted {
+                path: "/".into(),
+                body: vec![],
+            },
+            Message::Rejected {
+                code: RejectCode::NotFound,
+                detail: String::new(),
+            },
+            Message::Ping { token: 0 },
+            Message::Pong { token: 0 },
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for m in &msgs {
+            assert!(seen.insert(m.type_byte()));
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! DDoS mitigation study: who gets served while a botnet floods?
+//!
+//! ```text
+//! cargo run --release --example ddos_mitigation
+//! ```
+//!
+//! Simulates 50 benign clients against 50 bots attempting 20 requests/s
+//! each (1000 rps offered against a 200 rps server) and compares the
+//! undefended baseline, the framework under each paper policy, and two
+//! attacker variations.
+
+use aipow::netsim::report;
+use aipow::netsim::scenario::{self, AttackStrategy, DdosConfig};
+use aipow::prelude::*;
+
+fn main() {
+    let base = DdosConfig::default();
+    let policy1 = LinearPolicy::policy1();
+    let policy2 = LinearPolicy::policy2();
+    let policy3 = ErrorRangePolicy::new(2.0, base.seed);
+
+    println!(
+        "=== DDoS scenario: {} benign @ {} rps vs {} bots @ {} rps, {} rps capacity ===\n",
+        base.n_benign, base.benign_rps, base.n_bots, base.bot_rps, base.server_capacity_rps
+    );
+
+    let outcomes = vec![
+        (
+            "undefended".to_string(),
+            scenario::run(
+                &policy2,
+                &DdosConfig {
+                    pow_enabled: false,
+                    ..base
+                },
+            ),
+        ),
+        ("policy1".to_string(), scenario::run(&policy1, &base)),
+        ("policy2".to_string(), scenario::run(&policy2, &base)),
+        ("policy3 (ϵ=2)".to_string(), scenario::run(&policy3, &base)),
+        (
+            "policy2 + flood bots".to_string(),
+            scenario::run(
+                &policy2,
+                &DdosConfig {
+                    strategy: AttackStrategy::Flood,
+                    ..base
+                },
+            ),
+        ),
+        (
+            "policy2 + 64× bot hashpower".to_string(),
+            scenario::run(
+                &policy2,
+                &DdosConfig {
+                    bot_hash_multiplier: 64.0,
+                    ..base
+                },
+            ),
+        ),
+    ];
+
+    println!("{}", report::ddos_to_markdown(&outcomes));
+
+    let undefended = &outcomes[0].1;
+    let defended = &outcomes[2].1;
+    println!(
+        "Policy 2 lifts benign goodput {:.1} → {:.1} rps and suppresses bot \
+         goodput {:.0} → {:.0} rps; flooding bots get nothing while costing \
+         the server almost nothing.",
+        undefended.benign_goodput_rps,
+        defended.benign_goodput_rps,
+        undefended.bot_goodput_rps,
+        defended.bot_goodput_rps,
+    );
+    println!(
+        "The 64× hashpower row shows the limit of static difficulty — the \
+         cue for load-adaptive policies (see `aipow_policy::LoadAdaptivePolicy`)."
+    );
+}

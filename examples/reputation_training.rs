@@ -1,0 +1,66 @@
+//! Train and evaluate the AI component on its own.
+//!
+//! ```text
+//! cargo run --release --example reputation_training
+//! ```
+//!
+//! Generates the synthetic IP-attribute dataset, fits the DAbR-style
+//! scorer, reports the paper's quality metrics (accuracy ≈ 80 %, score
+//! error ϵ), compares the swappable baselines, and shows per-archetype
+//! score distributions.
+
+use aipow::prelude::*;
+use aipow::reputation::baseline::{BlocklistHeuristic, KnnScorer};
+use aipow::reputation::eval::evaluate;
+use aipow::reputation::synth::Archetype;
+
+fn main() {
+    let dataset = DatasetSpec::default().with_seed(2024).generate();
+    let (train, test) = dataset.split(0.8, 2024);
+    println!(
+        "dataset: {} train / {} test samples, 10 attributes each\n",
+        train.len(),
+        test.len()
+    );
+
+    let dabr = DabrModel::fit(&train, &Default::default());
+    let knn = KnnScorer::fit(&train, 5);
+    let heuristic = BlocklistHeuristic;
+
+    println!("| model     | accuracy | precision | recall | f1    | ϵ (MAE) |");
+    println!("|-----------|----------|-----------|--------|-------|---------|");
+    let models: [(&str, &dyn ReputationModel); 3] =
+        [("dabr", &dabr), ("knn k=5", &knn), ("heuristic", &heuristic)];
+    for (name, model) in models {
+        let r = evaluate(model, &test);
+        println!(
+            "| {name:<9} | {:>7.1}% | {:>9.3} | {:>6.3} | {:>5.3} | {:>7.2} |",
+            r.accuracy * 100.0,
+            r.precision,
+            r.recall,
+            r.f1,
+            r.score_mae
+        );
+    }
+
+    println!("\nmean DAbR score per archetype (0 = trusted, 10 = hostile):");
+    for archetype in Archetype::ALL {
+        let scores: Vec<f64> = test
+            .samples()
+            .iter()
+            .filter(|s| s.archetype == archetype)
+            .map(|s| dabr.score(&s.features).value())
+            .collect();
+        if scores.is_empty() {
+            continue;
+        }
+        let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+        let bar = "#".repeat((mean * 4.0).round() as usize);
+        println!("  {archetype:?}: {mean:>5.2}  {bar}");
+    }
+
+    println!(
+        "\nThe measured ϵ feeds the paper's Policy 3: difficulties are drawn \
+         from [⌈d−ϵ⌉, ⌈d+ϵ⌉] to hedge against scoring error."
+    );
+}

@@ -1,0 +1,161 @@
+//! Experiment sanity: the paper's qualitative claims must hold on every
+//! run of the reproduction harness (exact numbers live in EXPERIMENTS.md).
+
+use aipow::netsim::fig2::{run_paper_policies, Fig2Config};
+use aipow::netsim::profile::SolverProfile;
+use aipow::netsim::scenario::{self, AttackStrategy, DdosConfig};
+use aipow::prelude::*;
+
+/// Figure 2, claim C1: on the calibrated testbed the cheapest point
+/// (Policy 1, reputation 0 → 1-difficult) sits at ≈ 31 ms.
+#[test]
+fn f2_anchor_31ms() {
+    let table = run_paper_policies(&Fig2Config::default());
+    let anchor = table.median_ms("policy1", 0).unwrap();
+    assert!(
+        (25.0..40.0).contains(&anchor),
+        "1-difficult anchor {anchor:.1} ms, paper says 31 ms"
+    );
+}
+
+/// Figure 2: all three policies are (weakly) monotone from band 0 to 10
+/// and strictly increasing over the top half where difficulty dominates
+/// the fixed overhead.
+#[test]
+fn f2_monotone_latency() {
+    let table = run_paper_policies(&Fig2Config {
+        trials: 200, // tighter medians than the paper's 30 for a CI check
+        ..Default::default()
+    });
+    for policy in ["policy1", "policy2", "policy3"] {
+        for band in 5..10u8 {
+            let lo = table.median_ms(policy, band).unwrap();
+            let hi = table.median_ms(policy, band + 1).unwrap();
+            assert!(
+                hi > lo * 0.95,
+                "{policy}: band {band}→{} regressed {lo:.1}→{hi:.1}",
+                band + 1
+            );
+        }
+        let overall_lo = table.median_ms(policy, 0).unwrap();
+        let overall_hi = table.median_ms(policy, 10).unwrap();
+        assert!(overall_hi > overall_lo, "{policy} not increasing overall");
+    }
+}
+
+/// Claims C3 + C4: Policy 1 grows mildly, Policy 2 sharply, Policy 3's
+/// rate of increase lies between them. The C4 ordering is a mean-scale
+/// property: Policy 3's symmetric ±ϵ difficulty draws cost asymmetrically
+/// (exponential in bits), lifting its mean above Policy 1's line while the
+/// median stays on it (EXPERIMENTS.md §F2 discusses the nuance).
+#[test]
+fn f2_policy_ordering() {
+    let table = run_paper_policies(&Fig2Config {
+        trials: 300,
+        ..Default::default()
+    });
+    let s1 = table.mean_slope_ms_per_band("policy1").unwrap();
+    let s2 = table.mean_slope_ms_per_band("policy2").unwrap();
+    let s3 = table.mean_slope_ms_per_band("policy3").unwrap();
+    assert!(s1 < s3, "policy3 slope {s3:.1} not above policy1 {s1:.1}");
+    assert!(s3 < s2, "policy3 slope {s3:.1} not below policy2 {s2:.1}");
+    assert!(s2 > 5.0 * s1, "policy2 must dominate policy1");
+}
+
+/// The shape survives a change of hardware: the native profile shrinks the
+/// scale (~1000×) but preserves ordering and growth factors.
+#[test]
+fn f2_shape_invariant_under_profile() {
+    let calibrated = run_paper_policies(&Fig2Config {
+        trials: 100,
+        ..Default::default()
+    });
+    let native = run_paper_policies(&Fig2Config {
+        trials: 100,
+        profile: SolverProfile::native(20_000_000.0),
+        ..Default::default()
+    });
+    // Growth factors are dimensionless; policy2's must dominate policy1's
+    // in both worlds. (Native growth is larger because the fixed overhead
+    // shrinks relative to solve time.)
+    for table in [&calibrated, &native] {
+        let g1 = table.growth_factor("policy1").unwrap();
+        let g2 = table.growth_factor("policy2").unwrap();
+        assert!(g2 > g1, "ordering violated: g1={g1:.1} g2={g2:.1}");
+    }
+    // And the absolute scale differs by orders of magnitude.
+    let cal = calibrated.median_ms("policy2", 10).unwrap();
+    let nat = native.median_ms("policy2", 10).unwrap();
+    assert!(cal / nat > 100.0, "calibrated {cal:.1} vs native {nat:.4}");
+}
+
+/// Claim C5: under attack, enabling the framework multiplies benign
+/// goodput and suppresses bot goodput.
+#[test]
+fn c5_throttling_holds() {
+    let base = DdosConfig {
+        duration_s: 30.0,
+        ..Default::default()
+    };
+    let policy = LinearPolicy::policy2();
+    let undefended = scenario::run(
+        &policy,
+        &DdosConfig {
+            pow_enabled: false,
+            ..base
+        },
+    );
+    let defended = scenario::run(&policy, &base);
+
+    assert!(defended.benign_goodput_rps > 2.0 * undefended.benign_goodput_rps);
+    assert!(defended.bot_goodput_rps < undefended.bot_goodput_rps);
+    assert!(defended.benign_share > undefended.benign_share);
+}
+
+/// Claim C5, flood variant: attackers who refuse to solve get nothing and
+/// cost almost nothing.
+#[test]
+fn c5_flood_attackers_starve() {
+    let outcome = scenario::run(
+        &LinearPolicy::policy2(),
+        &DdosConfig {
+            duration_s: 30.0,
+            strategy: AttackStrategy::Flood,
+            ..Default::default()
+        },
+    );
+    assert_eq!(outcome.bot_granted, 0);
+    assert!(outcome.server_utilization < 0.6);
+    assert!(outcome.benign_latency_ms.median < 100.0);
+}
+
+/// Ablation A2: wider ϵ widens the latency spread without moving the
+/// center much.
+#[test]
+fn a2_epsilon_widens_interval() {
+    let score = ReputationScore::new(5.0).unwrap();
+    let narrow = ErrorRangePolicy::new(0.5, 3);
+    let wide = ErrorRangePolicy::new(3.0, 3);
+    let (nlo, nhi) = narrow.interval(score);
+    let (wlo, whi) = wide.interval(score);
+    assert!(whi - wlo > nhi - nlo);
+    // Both intervals bracket the deterministic mapping d=6.
+    assert!((nlo..=nhi).contains(&6));
+    assert!((wlo..=whi).contains(&6));
+}
+
+/// Deterministic reproduction: the committed experiment artifacts can be
+/// regenerated bit-for-bit.
+#[test]
+fn experiments_are_deterministic() {
+    let a = run_paper_policies(&Fig2Config::default());
+    let b = run_paper_policies(&Fig2Config::default());
+    assert_eq!(a, b);
+
+    let config = DdosConfig {
+        duration_s: 10.0,
+        ..Default::default()
+    };
+    let p = LinearPolicy::policy2();
+    assert_eq!(scenario::run(&p, &config), scenario::run(&p, &config));
+}

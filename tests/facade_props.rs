@@ -1,0 +1,73 @@
+//! Cross-crate property tests through the facade: for arbitrary valid
+//! inputs, the composed pipeline upholds its end-to-end invariants.
+
+use aipow::prelude::*;
+use proptest::prelude::*;
+use std::net::{IpAddr, Ipv4Addr};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any score in [0, 10] under any paper policy issues a challenge that
+    /// solves and verifies exactly once, and the charged cost equals the
+    /// difficulty's expected attempts.
+    #[test]
+    fn pipeline_invariant(score_x10 in 0u32..=100, policy_id in 0u8..3, octets in any::<[u8; 4]>()) {
+        let score = ReputationScore::new(score_x10 as f64 / 10.0).unwrap();
+        let policy: Box<dyn Policy> = match policy_id {
+            0 => Box::new(LinearPolicy::policy1()),
+            1 => Box::new(LinearPolicy::policy2()),
+            _ => Box::new(ErrorRangePolicy::new(1.5, 42)),
+        };
+        let framework = FrameworkBuilder::new()
+            .master_key([0x77; 32])
+            .model(FixedScoreModel::new(score))
+            .policy_boxed(policy)
+            .build()
+            .unwrap();
+        let ip = IpAddr::V4(Ipv4Addr::from(octets));
+
+        let issued = framework
+            .handle_request(ip, &FeatureVector::zeros())
+            .challenge()
+            .unwrap();
+        // Paper policies at score ≤ 10 stay ≤ 15 bits (+ϵ for policy 3):
+        // always solvable in-test.
+        prop_assert!(issued.difficulty.bits() <= 17);
+
+        let report = solve(&issued.challenge, ip, &SolverOptions::default()).unwrap();
+        let token = framework.handle_solution(&report.solution, ip).unwrap();
+        prop_assert_eq!(token.difficulty, issued.difficulty);
+
+        // Exactly-once: replay rejected.
+        prop_assert!(framework.handle_solution(&report.solution, ip).is_err());
+
+        // Cost accounting: expected attempts of the paid difficulty.
+        let charged = framework.ledger().total(ip);
+        prop_assert!((charged - issued.difficulty.expected_attempts()).abs() < 1e-6);
+    }
+
+    /// Whatever the model score, the issued-challenge wire roundtrip is
+    /// lossless through the real codec.
+    #[test]
+    fn issued_challenges_roundtrip_on_the_wire(score_x10 in 0u32..=100) {
+        let score = ReputationScore::new(score_x10 as f64 / 10.0).unwrap();
+        let framework = FrameworkBuilder::new()
+            .master_key([0x78; 32])
+            .model(FixedScoreModel::new(score))
+            .policy(LinearPolicy::policy2())
+            .build()
+            .unwrap();
+        let ip = IpAddr::V4(Ipv4Addr::new(192, 0, 2, 200));
+        let issued = framework
+            .handle_request(ip, &FeatureVector::zeros())
+            .challenge()
+            .unwrap();
+        let msg = aipow::wire::Message::ChallengeIssued {
+            challenge: issued.challenge.clone(),
+            path: "/p".into(),
+        };
+        let decoded = aipow::wire::decode(&aipow::wire::encode(&msg)).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+}

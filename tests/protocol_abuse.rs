@@ -1,0 +1,199 @@
+//! Failure injection at the wire/TCP layer: a hostile peer sends
+//! malformed, out-of-order, stolen, or replayed protocol traffic, and the
+//! server must reject it cheaply and keep serving honest clients.
+
+use aipow::framework::{FrameworkBuilder, StaticFeatureSource};
+use aipow::net::{PowClient, PowServer, ServerConfig};
+use aipow::prelude::*;
+use aipow::wire::{read_message, write_message, Message, RejectCode};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn deploy() -> (PowServer, Arc<Framework>) {
+    let framework = Arc::new(
+        FrameworkBuilder::new()
+            .master_key([0xAB; 32])
+            .model(FixedScoreModel::new(ReputationScore::new(4.0).unwrap()))
+            .policy(LinearPolicy::policy1())
+            .build()
+            .unwrap(),
+    );
+    let mut resources = HashMap::new();
+    resources.insert("/r".to_string(), b"guarded".to_vec());
+    let server = PowServer::start(
+        "127.0.0.1:0",
+        Arc::clone(&framework),
+        Arc::new(StaticFeatureSource::new(FeatureVector::zeros())),
+        resources,
+        ServerConfig::default(),
+    )
+    .unwrap();
+    (server, framework)
+}
+
+#[test]
+fn http_request_on_pow_port_is_rejected() {
+    let (server, _) = deploy();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .write_all(b"POST /login HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    match read_message(&mut stream) {
+        Ok(Message::Rejected { code, .. }) => assert_eq!(code, RejectCode::Malformed),
+        other => panic!("expected malformed rejection, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn solution_without_request_is_still_verified_on_its_merits() {
+    // A client may solve a previously issued challenge on a *new*
+    // connection (stateless server). A fabricated challenge, though, fails
+    // the MAC.
+    let (server, _) = deploy();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+
+    let foreign_issuer = Issuer::new(&[0xFF; 32]);
+    let ip = "127.0.0.1".parse().unwrap();
+    let fake = foreign_issuer.issue(ip, Difficulty::new(1).unwrap());
+    let solved = solve(&fake, ip, &SolverOptions::default()).unwrap().solution;
+
+    write_message(
+        &mut stream,
+        &Message::SubmitSolution {
+            challenge: solved.challenge,
+            nonce: solved.nonce,
+            width: solved.width,
+            path: "/r".into(),
+        },
+    )
+    .unwrap();
+    match read_message(&mut stream).unwrap() {
+        Message::Rejected { code, detail } => {
+            assert_eq!(code, RejectCode::InvalidSolution);
+            assert!(detail.contains("authentication"), "{detail}");
+        }
+        other => panic!("expected rejection, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn replayed_solution_on_second_connection_rejected() {
+    let (server, framework) = deploy();
+    let addr = server.local_addr();
+
+    // Honest client fetches once.
+    let mut client = PowClient::connect(addr).unwrap();
+    client.fetch("/r").unwrap();
+
+    // Attacker captures the audit trail? They cannot: but even replaying
+    // the exact same solved challenge (simulated via a second framework
+    // pass) is refused. Reconstruct the replay through raw messages.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write_message(&mut stream, &Message::RequestResource { path: "/r".into() }).unwrap();
+    let challenge = match read_message(&mut stream).unwrap() {
+        Message::ChallengeIssued { challenge, .. } => challenge,
+        other => panic!("expected challenge, got {other:?}"),
+    };
+    let ip = challenge.client_ip();
+    let solved = solve(&challenge, ip, &SolverOptions::default()).unwrap().solution;
+
+    for attempt in 0..2 {
+        write_message(
+            &mut stream,
+            &Message::SubmitSolution {
+                challenge: solved.challenge.clone(),
+                nonce: solved.nonce,
+                width: solved.width,
+                path: "/r".into(),
+            },
+        )
+        .unwrap();
+        match (attempt, read_message(&mut stream).unwrap()) {
+            (0, Message::ResourceGranted { .. }) => {}
+            (1, Message::Rejected { code, detail }) => {
+                assert_eq!(code, RejectCode::InvalidSolution);
+                assert!(detail.contains("redeemed"), "{detail}");
+            }
+            (i, other) => panic!("attempt {i}: unexpected {other:?}"),
+        }
+    }
+
+    let snap = framework.metrics().snapshot();
+    assert_eq!(snap.solutions_accepted, 2); // honest fetch + first submit
+    assert_eq!(snap.rejected_by_reason["replayed"], 1);
+    server.shutdown();
+}
+
+#[test]
+fn server_to_client_messages_sent_by_client_are_malformed() {
+    let (server, _) = deploy();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    write_message(
+        &mut stream,
+        &Message::ResourceGranted {
+            path: "/r".into(),
+            body: vec![1, 2, 3],
+        },
+    )
+    .unwrap();
+    match read_message(&mut stream).unwrap() {
+        Message::Rejected { code, .. } => assert_eq!(code, RejectCode::Malformed),
+        other => panic!("expected malformed rejection, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn abuse_does_not_disturb_honest_clients() {
+    let (server, framework) = deploy();
+    let addr = server.local_addr();
+
+    // Background abuse: garbage and fabricated solutions.
+    let abuse = std::thread::spawn(move || {
+        for i in 0..10 {
+            if let Ok(mut s) = TcpStream::connect(addr) {
+                if i % 2 == 0 {
+                    let _ = s.write_all(&[0u8; 64]);
+                } else {
+                    let _ = write_message(
+                        &mut s,
+                        &Message::RequestResource {
+                            path: "/missing".into(),
+                        },
+                    );
+                }
+            }
+        }
+    });
+
+    let mut client = PowClient::connect(addr).unwrap();
+    for _ in 0..3 {
+        assert_eq!(client.fetch("/r").unwrap().body, b"guarded");
+    }
+    abuse.join().unwrap();
+
+    assert_eq!(framework.metrics().snapshot().solutions_accepted, 3);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_frame_header_is_refused() {
+    let (server, _) = deploy();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // Valid magic/version/type but an absurd declared length.
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&0xA1F0u16.to_be_bytes());
+    frame.push(1); // protocol version
+    frame.push(6); // ping
+    frame.extend_from_slice(&u32::MAX.to_be_bytes());
+    stream.write_all(&frame).unwrap();
+    match read_message(&mut stream) {
+        Ok(Message::Rejected { code, .. }) => assert_eq!(code, RejectCode::Malformed),
+        other => panic!("expected malformed rejection, got {other:?}"),
+    }
+    server.shutdown();
+}
