@@ -97,7 +97,12 @@ pub struct PowClient {
 }
 
 impl PowClient {
-    /// Connects to a server.
+    /// Default bound on waiting for a server reply. Every read is
+    /// time-limited so a dead or wedged peer surfaces as an error instead
+    /// of hanging the caller (and CI) forever.
+    pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+    /// Connects to a server with [`Self::DEFAULT_READ_TIMEOUT`].
     ///
     /// # Errors
     ///
@@ -105,11 +110,23 @@ impl PowClient {
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Self::DEFAULT_READ_TIMEOUT))?;
         Ok(PowClient {
             stream,
             solver_options: SolverOptions::default(),
             solver_threads: 1,
         })
+    }
+
+    /// Bounds how long each read waits for the server (`None` disables
+    /// the bound).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying socket error.
+    pub fn with_read_timeout(self, timeout: Option<Duration>) -> io::Result<Self> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(self)
     }
 
     /// Uses custom solver options (e.g. strict 32-bit nonces).

@@ -8,7 +8,30 @@ use aipow::prelude::*;
 use aipow::reputation::synth::ClassLabel;
 use aipow::wire::RejectCode;
 use std::collections::HashMap;
+use std::net::SocketAddr;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Every socket read in this suite is bounded so a wedged peer fails the
+/// test instead of hanging CI. Generous relative to loopback latency.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Test servers use the suite's bounded read timeout; everything else is
+/// the production default.
+fn test_server_config() -> ServerConfig {
+    ServerConfig {
+        read_timeout: READ_TIMEOUT,
+        ..ServerConfig::default()
+    }
+}
+
+/// Connects with the suite's bounded read timeout.
+fn connect(addr: SocketAddr) -> PowClient {
+    PowClient::connect(addr)
+        .unwrap()
+        .with_read_timeout(Some(READ_TIMEOUT))
+        .unwrap()
+}
 
 struct Deployment {
     server: PowServer,
@@ -48,7 +71,7 @@ fn deploy(policy: impl Policy + 'static) -> Deployment {
         Arc::clone(&framework),
         Arc::clone(&features) as Arc<dyn aipow::framework::FeatureSource>,
         resources,
-        ServerConfig::default(),
+        test_server_config(),
     )
     .unwrap();
 
@@ -62,7 +85,7 @@ fn deploy(policy: impl Policy + 'static) -> Deployment {
 #[test]
 fn full_protocol_roundtrip_with_dabr() {
     let deployment = deploy(LinearPolicy::policy2());
-    let mut client = PowClient::connect(deployment.server.local_addr()).unwrap();
+    let mut client = connect(deployment.server.local_addr());
 
     let report = client.fetch("/page").unwrap();
     assert_eq!(report.body, b"content");
@@ -83,7 +106,7 @@ fn full_protocol_roundtrip_with_dabr() {
 #[test]
 fn large_resource_transfers_intact() {
     let deployment = deploy(LinearPolicy::policy1());
-    let mut client = PowClient::connect(deployment.server.local_addr()).unwrap();
+    let mut client = connect(deployment.server.local_addr());
     let report = client.fetch("/big").unwrap();
     assert_eq!(report.body.len(), 64 * 1024);
     assert!(report.body.iter().all(|&b| b == 7));
@@ -95,7 +118,7 @@ fn hostile_features_raise_the_price_on_the_wire() {
     let deployment = deploy(LinearPolicy::policy2());
 
     // First fetch with benign features.
-    let mut client = PowClient::connect(deployment.server.local_addr()).unwrap();
+    let mut client = connect(deployment.server.local_addr());
     let cheap = client.fetch("/page").unwrap().difficulty.unwrap();
 
     // Reclassify loopback as hostile (as a flow monitor would after
@@ -122,7 +145,7 @@ fn hostile_features_raise_the_price_on_the_wire() {
 #[test]
 fn many_sequential_fetches_never_replay() {
     let deployment = deploy(LinearPolicy::policy1());
-    let mut client = PowClient::connect(deployment.server.local_addr()).unwrap();
+    let mut client = connect(deployment.server.local_addr());
     for i in 0..10 {
         let report = client.fetch("/page").unwrap();
         assert_eq!(report.body, b"content", "fetch {i}");
@@ -140,7 +163,7 @@ fn concurrent_clients_with_dabr_model() {
     let handles: Vec<_> = (0..6)
         .map(|_| {
             std::thread::spawn(move || {
-                let mut client = PowClient::connect(addr).unwrap();
+                let mut client = connect(addr);
                 client.fetch("/page").unwrap().body
             })
         })
@@ -156,7 +179,7 @@ fn stale_challenge_rejected_after_policy_is_irrelevant() {
     // A solution for a nonexistent path still verifies (the puzzle was
     // real) but the resource lookup fails cleanly.
     let deployment = deploy(LinearPolicy::policy1());
-    let mut client = PowClient::connect(deployment.server.local_addr()).unwrap();
+    let mut client = connect(deployment.server.local_addr());
     match client.fetch("/does-not-exist") {
         Err(ClientError::Rejected { code, .. }) => assert_eq!(code, RejectCode::NotFound),
         other => panic!("expected not-found, got {other:?}"),
@@ -194,11 +217,11 @@ fn bypass_threshold_admits_benign_without_work_over_tcp() {
         Arc::clone(&framework),
         features,
         resources,
-        ServerConfig::default(),
+        test_server_config(),
     )
     .unwrap();
 
-    let mut client = PowClient::connect(server.local_addr()).unwrap();
+    let mut client = connect(server.local_addr());
     let report = client.fetch("/fast").unwrap();
     assert_eq!(report.difficulty, None);
     assert_eq!(report.attempts, 0);

@@ -1,0 +1,57 @@
+//! Workspace smoke test: the full Figure 1 pipeline — model scores the
+//! client, policy maps score to difficulty, issuer mints a challenge, the
+//! solver pays for it, the verifier admits exactly once — exercised from
+//! the facade crate at every difficulty from 1 to 12.
+
+use aipow::prelude::*;
+use std::net::{IpAddr, Ipv4Addr};
+
+/// One Figure 1 round trip per difficulty. A `LinearPolicy` with base `d`
+/// at reputation 0 pins the issued difficulty to exactly `d` bits, so each
+/// iteration checks the whole pipeline at a known price point.
+#[test]
+fn figure1_pipeline_at_difficulties_1_through_12() {
+    let trusted = ReputationScore::new(0.0).unwrap();
+
+    for bits in 1u8..=12 {
+        let framework = FrameworkBuilder::new()
+            .master_key([bits; 32])
+            .model(FixedScoreModel::new(trusted))
+            .policy(LinearPolicy::new(format!("smoke-d{bits}"), bits))
+            .build()
+            .unwrap();
+        let client = IpAddr::V4(Ipv4Addr::new(198, 51, 100, bits));
+
+        // Model → policy → issue.
+        let issued = framework
+            .handle_request(client, &FeatureVector::zeros())
+            .challenge()
+            .unwrap_or_else(|| panic!("difficulty {bits}: challenge expected"));
+        assert_eq!(issued.difficulty.bits(), bits, "policy mapping at {bits}");
+
+        // Solve.
+        let report = solve(&issued.challenge, client, &SolverOptions::default())
+            .unwrap_or_else(|e| panic!("difficulty {bits}: solve failed: {e}"));
+        assert!(report.attempts >= 1);
+
+        // Verify: admitted exactly once, at the difficulty that was paid.
+        let token = framework
+            .handle_solution(&report.solution, client)
+            .unwrap_or_else(|e| panic!("difficulty {bits}: verify failed: {e}"));
+        assert_eq!(token.difficulty, issued.difficulty);
+        assert_eq!(token.client_ip, client);
+
+        // Replay-reject: the same solution must not be admitted twice.
+        assert!(
+            framework.handle_solution(&report.solution, client).is_err(),
+            "difficulty {bits}: replay was accepted"
+        );
+
+        // The ledger charged the expected work for this difficulty.
+        let charged = framework.ledger().total(client);
+        assert!(
+            (charged - issued.difficulty.expected_attempts()).abs() < 1e-6,
+            "difficulty {bits}: charged {charged}"
+        );
+    }
+}

@@ -1,0 +1,309 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the two pieces this workspace uses: a bounded MPMC channel
+//! (`crossbeam::channel::{bounded, Sender, Receiver}`) built on
+//! `Mutex` + `Condvar`, and `crossbeam::thread::scope` built on
+//! `std::thread::scope`.
+
+pub mod channel {
+    //! Bounded multi-producer multi-consumer channels.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        cap: usize,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// The sending half of a bounded channel.
+    pub struct Sender<T>(Arc<Chan<T>>);
+
+    /// The receiving half of a bounded channel. Cloneable: messages are
+    /// distributed among receivers, each delivered exactly once.
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and all senders are gone.
+        Disconnected,
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// Creates a bounded channel holding at most `cap` in-flight messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`: real crossbeam's zero-capacity channel is a
+    /// rendezvous (a send succeeds only while a receiver blocks waiting),
+    /// which this stand-in does not implement. Failing loudly beats
+    /// silently buffering one message where none should be buffered.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(
+            cap > 0,
+            "vendored crossbeam does not implement zero-capacity rendezvous channels"
+        );
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(cap.min(1024)),
+                senders: 1,
+                receivers: 1,
+            }),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender(Arc::clone(&chan)), Receiver(chan))
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until there is queue space, then enqueues `value`.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.0.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if st.queue.len() < self.0.cap {
+                    st.queue.push_back(value);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self.0.not_full.wait(st).unwrap();
+            }
+        }
+
+        /// Enqueues `value` if space is available, without blocking.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.0.state.lock().unwrap();
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if st.queue.len() >= self.0.cap {
+                return Err(TrySendError::Full(value));
+            }
+            st.queue.push_back(value);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.0.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.0.not_empty.wait(st).unwrap();
+            }
+        }
+
+        /// Dequeues a message if one is ready, without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.0.state.lock().unwrap();
+            if let Some(v) = st.queue.pop_front() {
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.0.state.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().unwrap().senders += 1;
+            Self(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().unwrap().receivers += 1;
+            Self(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with crossbeam's `Result`-returning API.
+
+    use std::any::Any;
+    use std::thread as stdthread;
+
+    /// A scope in which borrowed-data threads can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned inside a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the
+        /// scope again so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            // std's scoped join already returns the payload on panic.
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.inner.join())) {
+                Ok(r) => r,
+                Err(payload) => Err(payload),
+            }
+        }
+    }
+
+    /// Runs `f` with a thread scope; every spawned thread is joined before
+    /// this returns. Returns `Err` with the panic payload if `f` itself or
+    /// an unjoined child panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            stdthread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channel_roundtrip_multi_consumer() {
+        let (tx, rx) = super::channel::bounded::<u32>(4);
+        let rx2 = rx.clone();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx2.recv().unwrap(), 2);
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn try_send_reports_full() {
+        let (tx, _rx) = super::channel::bounded::<u32>(1);
+        tx.try_send(1).unwrap();
+        assert!(matches!(
+            tx.try_send(2),
+            Err(super::channel::TrySendError::Full(2))
+        ));
+    }
+
+    #[test]
+    fn scope_joins_and_aggregates() {
+        let total = std::sync::atomic::AtomicU64::new(0);
+        let out = super::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for i in 0..4u64 {
+                let total = &total;
+                handles.push(s.spawn(move |_| {
+                    total.fetch_add(i, std::sync::atomic::Ordering::Relaxed);
+                    i
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(out, 6);
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 6);
+    }
+}

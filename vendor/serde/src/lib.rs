@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so
+//! they are ready for real serialization once the genuine crates.io serde
+//! is available, but no code path in the workspace performs serialization
+//! today. This stand-in therefore ships marker traits with blanket impls
+//! plus no-op derive macros, keeping every `#[derive(...)]` and trait
+//! bound compiling without network access.
+
+/// Marker for serializable types. Blanket-implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types. Blanket-implemented for every type.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker, mirroring serde's `DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

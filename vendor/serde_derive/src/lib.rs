@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The vendored [`serde`](../serde) crate implements its traits for every
+//! type via blanket impls, so the derive macros have nothing to generate.
+//! They exist so `#[derive(Serialize, Deserialize)]` continues to compile
+//! exactly as it would against real serde.
+
+use proc_macro::TokenStream;
+
+/// Derives `serde::Serialize` (a no-op: the trait has a blanket impl).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives `serde::Deserialize` (a no-op: the trait has a blanket impl).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
