@@ -6,9 +6,10 @@
 
 use aipow_pow::Difficulty;
 use aipow_reputation::ReputationScore;
-use parking_lot::Mutex;
+use aipow_shard::{default_shard_count, floor_shards, round_shards, Sharded};
 use std::collections::VecDeque;
 use std::net::IpAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// What happened in one admission step.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +51,17 @@ pub struct AuditEvent {
 
 /// A bounded, thread-safe, most-recent-first audit log.
 ///
+/// Internally a *sharded ring*: a global atomic sequence number assigns
+/// each event to a shard round-robin (`seq mod shards`), and each shard
+/// keeps the most recent `ceil(capacity / shards)` of its events in a
+/// ring buffer. Because assignment is round-robin, any window of
+/// `capacity` consecutive sequence numbers places at most the per-shard
+/// quota on each shard — so the union of the shard rings always contains
+/// the last `capacity` events exactly, and [`snapshot`](AuditLog::snapshot)
+/// reconstructs global order by merging on the sequence number.
+/// Concurrent recorders therefore contend only 1-in-`shards` of the time
+/// instead of on every event.
+///
 /// ```
 /// use aipow_core::{AuditLog, AuditKind};
 /// # use std::net::{IpAddr, Ipv4Addr};
@@ -64,45 +76,93 @@ pub struct AuditEvent {
 /// ```
 #[derive(Debug)]
 pub struct AuditLog {
-    inner: Mutex<VecDeque<AuditEvent>>,
+    shards: Sharded<VecDeque<(u64, AuditEvent)>>,
+    /// Next event sequence number; also the total ever recorded.
+    seq: AtomicU64,
     capacity: usize,
+    per_shard: usize,
 }
 
 impl AuditLog {
-    /// Creates a log retaining at most `capacity` events.
+    /// Creates a log retaining at most `capacity` events, with an
+    /// automatically chosen shard count (never more shards than
+    /// capacity).
     ///
     /// # Panics
     ///
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "audit log capacity must be positive");
+        let auto = default_shard_count().min(capacity);
+        Self::with_shards(capacity, floor_shards(auto))
+    }
+
+    /// Creates a log with an explicit shard count (rounded up to a power
+    /// of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_shards(capacity: usize, shard_count: usize) -> Self {
+        assert!(capacity > 0, "audit log capacity must be positive");
+        let shard_count = round_shards(shard_count);
+        let per_shard = capacity.div_ceil(shard_count);
         AuditLog {
-            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+            shards: Sharded::new(shard_count, |_| VecDeque::with_capacity(per_shard)),
+            seq: AtomicU64::new(0),
             capacity,
+            per_shard,
         }
+    }
+
+    /// Number of shards the ring is split over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.shard_count()
     }
 
     /// Appends an event, evicting the oldest if full.
+    ///
+    /// Under contention two recorders may land in the same shard with
+    /// their sequence numbers reversed, in which case a full ring can
+    /// evict an event one slot newer than the strict global oldest; the
+    /// merge in [`snapshot`](AuditLog::snapshot) restores exact order for
+    /// everything retained.
     pub fn record(&self, at_ms: u64, client_ip: IpAddr, kind: AuditKind) {
-        let mut log = self.inner.lock();
-        if log.len() == self.capacity {
-            log.pop_front();
-        }
-        log.push_back(AuditEvent {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let event = AuditEvent {
             at_ms,
             client_ip,
             kind,
+        };
+        self.shards.with_index(seq as usize, |ring| {
+            if ring.len() == self.per_shard {
+                ring.pop_front();
+            }
+            ring.push_back((seq, event));
         });
     }
 
-    /// The retained events, most recent first.
+    /// The retained events, most recent first: shard rings are merged by
+    /// sequence number, restoring the exact global record order.
     pub fn snapshot(&self) -> Vec<AuditEvent> {
-        self.inner.lock().iter().rev().cloned().collect()
+        let mut merged: Vec<(u64, AuditEvent)> = self.shards.fold(Vec::new(), |mut acc, ring| {
+            acc.extend(ring.iter().cloned());
+            acc
+        });
+        merged.sort_by_key(|entry| std::cmp::Reverse(entry.0));
+        merged.truncate(self.capacity);
+        merged.into_iter().map(|(_, event)| event).collect()
     }
 
     /// Number of retained events.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        let total = self.shards.fold(0, |acc, ring| acc + ring.len());
+        total.min(self.capacity)
+    }
+
+    /// Number of events ever recorded (retained or evicted).
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
     }
 
     /// Whether the log is empty.
@@ -165,6 +225,35 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_panics() {
         AuditLog::new(0);
+    }
+
+    #[test]
+    fn sharded_ring_preserves_global_order_on_read() {
+        let log = AuditLog::with_shards(16, 4);
+        assert_eq!(log.shard_count(), 4);
+        for i in 0..40u64 {
+            log.record(
+                i,
+                ip(),
+                AuditKind::SolutionRejected {
+                    reason: "x".into(),
+                },
+            );
+        }
+        assert_eq!(log.len(), 16);
+        assert_eq!(log.recorded(), 40);
+        let events = log.snapshot();
+        // Exactly the last 16 events, most recent first, in exact order.
+        let got: Vec<u64> = events.iter().map(|e| e.at_ms).collect();
+        let want: Vec<u64> = (24..40).rev().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn shard_count_never_exceeds_capacity() {
+        assert_eq!(AuditLog::new(1).shard_count(), 1);
+        assert!(AuditLog::new(2).shard_count() <= 2);
+        assert!(AuditLog::new(1_024).shard_count() >= 1);
     }
 
     #[test]

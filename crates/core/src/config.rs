@@ -45,6 +45,10 @@ pub struct FrameworkConfig {
     pub audit_capacity: usize,
     /// Cost-ledger capacity (clients).
     pub ledger_capacity: usize,
+    /// Shard count for per-client structures (rounded up to a power of
+    /// two); `None` picks an automatic per-structure count from the
+    /// machine's available parallelism.
+    pub shard_count: Option<usize>,
 }
 
 impl Default for FrameworkConfig {
@@ -59,6 +63,7 @@ impl Default for FrameworkConfig {
             bypass_threshold: None,
             audit_capacity: 1_024,
             ledger_capacity: 4_096,
+            shard_count: None,
         }
     }
 }
@@ -78,6 +83,11 @@ pub enum ConfigError {
         /// Which field was zero.
         field: &'static str,
     },
+    /// The shard count was zero or beyond the supported maximum.
+    BadShardCount {
+        /// The rejected count.
+        requested: usize,
+    },
     /// The bypass threshold was not a finite number in `[0, 10]`.
     BadBypassThreshold {
         /// The rejected threshold.
@@ -94,6 +104,13 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroCapacity { field } => {
                 write!(f, "{field} capacity must be positive")
+            }
+            ConfigError::BadShardCount { requested } => {
+                write!(
+                    f,
+                    "shard count {requested} outside [1, {}]",
+                    aipow_shard::MAX_SHARDS
+                )
             }
             ConfigError::BadBypassThreshold { value } => {
                 write!(f, "bypass threshold {value} outside [0, 10]")
@@ -134,6 +151,11 @@ impl FrameworkConfig {
         if self.ledger_capacity == 0 {
             return Err(ConfigError::ZeroCapacity { field: "ledger" });
         }
+        if let Some(shards) = self.shard_count {
+            if shards == 0 || shards > aipow_shard::MAX_SHARDS {
+                return Err(ConfigError::BadShardCount { requested: shards });
+            }
+        }
         if let Some(t) = self.bypass_threshold {
             if !t.is_finite() || !(0.0..=10.0).contains(&t) {
                 return Err(ConfigError::BadBypassThreshold { value: t });
@@ -150,6 +172,9 @@ impl FrameworkConfig {
             .ledger_capacity(self.ledger_capacity);
         if let Some(t) = self.bypass_threshold {
             builder = builder.bypass_threshold(t);
+        }
+        if let Some(shards) = self.shard_count {
+            builder = builder.shard_count(shards);
         }
         Ok(builder)
     }
@@ -262,6 +287,38 @@ mod tests {
             assert_eq!(
                 config.apply().unwrap_err(),
                 ConfigError::ZeroCapacity { field },
+            );
+        }
+    }
+
+    #[test]
+    fn shard_count_threads_through_config() {
+        let config = FrameworkConfig {
+            shard_count: Some(4),
+            ..Default::default()
+        };
+        let fw = config
+            .apply()
+            .unwrap()
+            .model(FixedScoreModel::new(ReputationScore::MIN))
+            .master_key([1u8; 32])
+            .build()
+            .unwrap();
+        assert_eq!(fw.audit().shard_count(), 4);
+        assert_eq!(fw.ledger().shard_count(), 4);
+    }
+
+    #[test]
+    fn out_of_range_shard_counts_rejected() {
+        for requested in [0, aipow_shard::MAX_SHARDS + 1, 1 << 40] {
+            let config = FrameworkConfig {
+                shard_count: Some(requested),
+                ..Default::default()
+            };
+            assert_eq!(
+                config.apply().unwrap_err(),
+                ConfigError::BadShardCount { requested },
+                "shard_count {requested} should be rejected"
             );
         }
     }

@@ -5,14 +5,20 @@
 //! the cumulative *expected work* (hash evaluations) each client has been
 //! charged, which is the quantity the DDoS experiment (claim C5) reports.
 
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use aipow_shard::ShardedMap;
 use std::net::IpAddr;
 
 /// Thread-safe per-IP cumulative work ledger, bounded in entries.
 ///
+/// The ledger is sharded by IP hash: charges for different clients take
+/// different locks, and a single client's account is only ever mutated
+/// under its shard lock, so concurrent charges sum exactly.
+///
 /// When full, the entry with the smallest accumulated cost is evicted —
-/// heavy hitters (the interesting clients) are retained.
+/// heavy hitters (the interesting clients) are retained. The eviction
+/// scan visits shards one at a time; under concurrent insertion the
+/// population may transiently exceed the capacity by at most the number
+/// of racing threads.
 ///
 /// ```
 /// use aipow_core::CostLedger;
@@ -25,22 +31,38 @@ use std::net::IpAddr;
 /// ```
 #[derive(Debug)]
 pub struct CostLedger {
-    inner: Mutex<HashMap<IpAddr, f64>>,
+    costs: ShardedMap<IpAddr, f64>,
     capacity: usize,
 }
 
 impl CostLedger {
-    /// Creates a ledger tracking at most `capacity` clients.
+    /// Creates a ledger tracking at most `capacity` clients, with the
+    /// machine-default shard count.
     ///
     /// # Panics
     ///
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, aipow_shard::default_shard_count())
+    }
+
+    /// Creates a ledger with an explicit shard count (rounded up to a
+    /// power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_shards(capacity: usize, shard_count: usize) -> Self {
         assert!(capacity > 0, "cost ledger capacity must be positive");
         CostLedger {
-            inner: Mutex::new(HashMap::new()),
+            costs: ShardedMap::new(shard_count),
             capacity,
         }
+    }
+
+    /// Number of shards the ledger is split over.
+    pub fn shard_count(&self) -> usize {
+        self.costs.shard_count()
     }
 
     /// Adds `expected_work` (hash evaluations) to `ip`'s account.
@@ -53,28 +75,29 @@ impl CostLedger {
             expected_work.is_finite() && expected_work >= 0.0,
             "expected work must be finite and non-negative"
         );
-        let mut map = self.inner.lock();
-        if !map.contains_key(&ip) && map.len() >= self.capacity {
-            // Evict the cheapest client to stay bounded.
-            if let Some((&evict, _)) = map
-                .iter()
-                .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN costs"))
-            {
-                map.remove(&evict);
-            }
-        }
-        *map.entry(ip).or_insert(0.0) += expected_work;
+        // A full ledger evicts the cheapest account (never `ip`'s own —
+        // see `ShardedMap::update_or_insert_evicting`) to stay bounded.
+        self.costs.update_or_insert_evicting(
+            ip,
+            self.capacity,
+            |cost| *cost,
+            || 0.0,
+            |cost| *cost += expected_work,
+        );
     }
 
     /// Cumulative expected work charged to `ip` (0.0 if unknown).
     pub fn total(&self, ip: IpAddr) -> f64 {
-        self.inner.lock().get(&ip).copied().unwrap_or(0.0)
+        self.costs.get_cloned(&ip).unwrap_or(0.0)
     }
 
     /// The `n` clients with the highest cumulative cost, descending.
     pub fn top(&self, n: usize) -> Vec<(IpAddr, f64)> {
-        let map = self.inner.lock();
-        let mut entries: Vec<(IpAddr, f64)> = map.iter().map(|(k, v)| (*k, *v)).collect();
+        let mut entries: Vec<(IpAddr, f64)> =
+            self.costs.fold(Vec::new(), |mut acc, k, v| {
+                acc.push((*k, *v));
+                acc
+            });
         entries.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN costs"));
         entries.truncate(n);
         entries
@@ -82,7 +105,7 @@ impl CostLedger {
 
     /// Number of tracked clients.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.costs.len()
     }
 
     /// Whether no clients are tracked.
@@ -92,7 +115,7 @@ impl CostLedger {
 
     /// Sum of all tracked costs.
     pub fn grand_total(&self) -> f64 {
-        self.inner.lock().values().sum()
+        self.costs.fold(0.0, |acc, _, v| acc + v)
     }
 }
 
@@ -157,6 +180,18 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_panics() {
         CostLedger::new(0);
+    }
+
+    #[test]
+    fn sharded_ledger_keeps_exact_totals_across_shards() {
+        let ledger = CostLedger::with_shards(256, 8);
+        assert_eq!(ledger.shard_count(), 8);
+        for i in 0..100 {
+            ledger.charge(ip(i), i as f64);
+        }
+        assert_eq!(ledger.len(), 100);
+        assert_eq!(ledger.grand_total(), (0..100).map(f64::from).sum::<f64>());
+        assert_eq!(ledger.top(1), vec![(ip(99), 99.0)]);
     }
 
     #[test]

@@ -12,8 +12,7 @@
 //!   assignment suffices.
 
 use aipow_reputation::FeatureVector;
-use parking_lot::RwLock;
-use std::collections::HashMap;
+use aipow_shard::ShardedMap;
 use std::net::IpAddr;
 
 /// Provides the attribute vector the AI model sees for a client.
@@ -23,6 +22,9 @@ pub trait FeatureSource: Send + Sync {
 }
 
 /// A table of per-IP features with a fallback default.
+///
+/// The table is sharded by IP hash, so concurrent lookups and updates for
+/// different clients do not contend on a single table lock.
 ///
 /// ```
 /// use aipow_core::{FeatureSource, StaticFeatureSource};
@@ -36,31 +38,46 @@ pub trait FeatureSource: Send + Sync {
 #[derive(Debug)]
 pub struct StaticFeatureSource {
     default: FeatureVector,
-    table: RwLock<HashMap<IpAddr, FeatureVector>>,
+    table: ShardedMap<IpAddr, FeatureVector>,
 }
 
 impl StaticFeatureSource {
-    /// Creates a source returning `default` for unregistered IPs.
+    /// Creates a source returning `default` for unregistered IPs, with
+    /// the machine-default shard count.
     pub fn new(default: FeatureVector) -> Self {
         StaticFeatureSource {
             default,
-            table: RwLock::new(HashMap::new()),
+            table: ShardedMap::with_default_shards(),
         }
+    }
+
+    /// Creates a source with an explicit shard count (rounded up to a
+    /// power of two).
+    pub fn with_shards(default: FeatureVector, shard_count: usize) -> Self {
+        StaticFeatureSource {
+            default,
+            table: ShardedMap::new(shard_count),
+        }
+    }
+
+    /// Number of shards the table is split over.
+    pub fn shard_count(&self) -> usize {
+        self.table.shard_count()
     }
 
     /// Registers (or replaces) the features for `ip`.
     pub fn insert(&self, ip: IpAddr, features: FeatureVector) {
-        self.table.write().insert(ip, features);
+        self.table.insert(ip, features);
     }
 
     /// Removes the registration for `ip`, if any.
     pub fn remove(&self, ip: IpAddr) -> Option<FeatureVector> {
-        self.table.write().remove(&ip)
+        self.table.remove(&ip)
     }
 
     /// Number of registered IPs.
     pub fn len(&self) -> usize {
-        self.table.read().len()
+        self.table.len()
     }
 
     /// Whether no IPs are registered.
@@ -71,7 +88,7 @@ impl StaticFeatureSource {
 
 impl FeatureSource for StaticFeatureSource {
     fn features_for(&self, ip: IpAddr) -> FeatureVector {
-        self.table.read().get(&ip).copied().unwrap_or(self.default)
+        self.table.get_cloned(&ip).unwrap_or(self.default)
     }
 }
 
@@ -174,6 +191,19 @@ mod tests {
         let f1 = source.features_for(v6);
         let f2 = source.features_for(v6);
         assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn sharded_table_behaves_like_flat_table() {
+        let source = StaticFeatureSource::with_shards(FeatureVector::zeros(), 8);
+        assert_eq!(source.shard_count(), 8);
+        for last in 0..=255u8 {
+            source.insert(ip(last), FeatureVector::zeros().with(0, last as f64));
+        }
+        assert_eq!(source.len(), 256);
+        for last in 0..=255u8 {
+            assert_eq!(source.features_for(ip(last)).get(0), last as f64);
+        }
     }
 
     #[test]

@@ -91,6 +91,7 @@ pub struct FrameworkBuilder {
     bypass_threshold: Option<f64>,
     audit_capacity: usize,
     ledger_capacity: usize,
+    shard_count: Option<usize>,
 }
 
 impl Default for FrameworkBuilder {
@@ -115,6 +116,7 @@ impl FrameworkBuilder {
             bypass_threshold: None,
             audit_capacity: 1_024,
             ledger_capacity: 4_096,
+            shard_count: None,
         }
     }
 
@@ -210,6 +212,15 @@ impl FrameworkBuilder {
         self
     }
 
+    /// Shard count for every per-client structure (replay guard, audit
+    /// log, cost ledger), rounded up to a power of two. Defaults to an
+    /// automatic per-structure choice: a multiple of the machine's
+    /// available parallelism, reduced for small capacities.
+    pub fn shard_count(mut self, shards: usize) -> Self {
+        self.shard_count = Some(shards);
+        self
+    }
+
     /// Builds the framework.
     ///
     /// # Errors
@@ -221,21 +232,41 @@ impl FrameworkBuilder {
         let policy = self.policy.ok_or(BuildError::MissingPolicy)?;
         let master_key = self.master_key.ok_or(BuildError::MissingMasterKey)?;
 
+        let replay = match self.shard_count {
+            Some(shards) => ReplayGuard::with_shards(self.replay_capacity, shards),
+            None => ReplayGuard::new(self.replay_capacity),
+        };
+        let audit = match self.shard_count {
+            Some(shards) => AuditLog::with_shards(self.audit_capacity, shards),
+            None => AuditLog::new(self.audit_capacity),
+        };
+        let ledger = match self.shard_count {
+            Some(shards) => CostLedger::with_shards(self.ledger_capacity, shards),
+            None => CostLedger::new(self.ledger_capacity),
+        };
+
         let issuer = Issuer::with_clock(&master_key, Arc::clone(&self.clock))
             .with_ttl_ms(self.ttl_ms);
         let verifier = Verifier::with_clock(&master_key, Arc::clone(&self.clock))
-            .with_replay_guard(ReplayGuard::new(self.replay_capacity))
+            .with_replay_guard(replay)
             .with_difficulty_cap(self.difficulty_cap)
             .with_max_skew_ms(self.max_skew_ms);
+
+        let metrics = FrameworkMetrics::new();
+        metrics
+            .replay_shards
+            .set(verifier.replay_guard().shard_count() as i64);
+        metrics.audit_shards.set(audit.shard_count() as i64);
+        metrics.ledger_shards.set(ledger.shard_count() as i64);
 
         Ok(Framework {
             model,
             policy: RwLock::new(policy),
             issuer,
             verifier,
-            metrics: FrameworkMetrics::new(),
-            audit: AuditLog::new(self.audit_capacity),
-            ledger: CostLedger::new(self.ledger_capacity),
+            metrics,
+            audit,
+            ledger,
             clock: self.clock,
             load_millis: AtomicU64::new(0),
             under_attack: AtomicBool::new(false),
@@ -328,7 +359,14 @@ impl Framework {
         claimed_ip: IpAddr,
     ) -> Result<VerifiedToken, VerifyError> {
         let now_ms = self.clock.now_ms();
-        match self.verifier.verify_at(solution, claimed_ip, now_ms) {
+        let outcome = self.verifier.verify_at(solution, claimed_ip, now_ms);
+        // Keep the saturation alarm current on every snapshot path; the
+        // guard's counter is a plain atomic, so this is two relaxed
+        // atomic ops, not a shard sweep.
+        self.metrics
+            .replay_evicted_live
+            .set(self.verifier.replay_guard().live_evictions() as i64);
+        match outcome {
             Ok(token) => {
                 self.metrics.solutions_accepted.inc();
                 self.ledger
@@ -392,6 +430,18 @@ impl Framework {
     /// The pipeline's operational metrics.
     pub fn metrics(&self) -> &FrameworkMetrics {
         &self.metrics
+    }
+
+    /// A metrics snapshot with the saturation gauges freshly synced.
+    /// [`handle_solution`](Self::handle_solution) already syncs the
+    /// replay live-eviction gauge after every verification, so
+    /// `metrics().snapshot()` is equally accurate; this method just
+    /// guarantees freshness when no solution has arrived since.
+    pub fn metrics_snapshot(&self) -> crate::MetricsSnapshot {
+        self.metrics
+            .replay_evicted_live
+            .set(self.verifier.replay_guard().live_evictions() as i64);
+        self.metrics.snapshot()
     }
 
     /// The admission audit log.
@@ -681,6 +731,49 @@ mod tests {
             fw.handle_solution(&report.solution, ip(12)),
             Err(VerifyError::Expired { .. })
         ));
+    }
+
+    #[test]
+    fn shard_count_threads_through_builder_to_metrics() {
+        let fw = FrameworkBuilder::new()
+            .master_key([9u8; 32])
+            .model(FixedScoreModel::new(ReputationScore::MIN))
+            .policy(LinearPolicy::policy2())
+            .shard_count(8)
+            .build()
+            .unwrap();
+        let snap = fw.metrics_snapshot();
+        assert_eq!(snap.replay_shards, 8);
+        assert_eq!(snap.audit_shards, 8);
+        assert_eq!(snap.ledger_shards, 8);
+        assert_eq!(snap.replay_evicted_live, 0);
+        assert_eq!(fw.verifier().replay_guard().shard_count(), 8);
+        assert_eq!(fw.audit().shard_count(), 8);
+        assert_eq!(fw.ledger().shard_count(), 8);
+    }
+
+    #[test]
+    fn metrics_snapshot_surfaces_replay_live_evictions() {
+        // A 1-seed replay guard: the second accepted solution evicts the
+        // first (still-live) entry, which the snapshot must surface.
+        let fw = FrameworkBuilder::new()
+            .master_key([9u8; 32])
+            .model(FixedScoreModel::new(ReputationScore::MIN))
+            .policy(LinearPolicy::policy1())
+            .replay_capacity(1)
+            .build()
+            .unwrap();
+        for last in [1u8, 2] {
+            let client = ip(last);
+            let issued = fw
+                .handle_request(client, &FeatureVector::zeros())
+                .challenge()
+                .unwrap();
+            let report =
+                solver::solve(&issued.challenge, client, &SolverOptions::default()).unwrap();
+            fw.handle_solution(&report.solution, client).unwrap();
+        }
+        assert_eq!(fw.metrics_snapshot().replay_evicted_live, 1);
     }
 
     #[test]

@@ -59,6 +59,15 @@ pub mod cost;
 pub mod features;
 pub mod framework;
 pub mod metrics;
+/// Sharded concurrency primitives backing every per-client structure in
+/// this crate (re-exported from `aipow-shard`, which sits below
+/// `aipow-pow` so the replay guard can share the implementation).
+pub mod sharded {
+    pub use aipow_shard::{
+        default_shard_count, floor_shards, round_shards, Sharded, ShardedMap, MAX_AUTO_SHARDS,
+        MAX_SHARDS,
+    };
+}
 pub mod token_bucket;
 
 pub use audit::{AuditEvent, AuditKind, AuditLog};
@@ -70,4 +79,5 @@ pub use framework::{
     AdmissionDecision, BuildError, Framework, FrameworkBuilder, IssuedChallenge,
 };
 pub use metrics::{FrameworkMetrics, MetricsSnapshot};
+pub use sharded::{Sharded, ShardedMap};
 pub use token_bucket::{RateLimiter, TokenBucket};

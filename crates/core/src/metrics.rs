@@ -1,9 +1,118 @@
 //! Framework-level operational metrics.
 
-use aipow_metrics::{Counter, Histogram};
-use parking_lot::Mutex;
+use aipow_metrics::{Counter, Gauge};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The verifier's stable rejection labels (see
+/// `framework::reason_label`), plus a catch-all. Indexing a fixed array
+/// keeps the rejection path — which an attacker drives at flood rate —
+/// lock-free.
+const REJECT_REASONS: [&str; 10] = [
+    "unsupported_version",
+    "difficulty_too_high",
+    "bad_mac",
+    "client_mismatch",
+    "not_yet_valid",
+    "expired",
+    "replayed",
+    "insufficient_work",
+    "malformed_nonce",
+    "other",
+];
+
+/// Lock-free per-reason rejection tallies.
+#[derive(Debug)]
+struct RejectionCounts {
+    counts: [AtomicU64; REJECT_REASONS.len()],
+}
+
+impl Default for RejectionCounts {
+    fn default() -> Self {
+        RejectionCounts {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl RejectionCounts {
+    fn record(&self, reason: &'static str) {
+        let idx = REJECT_REASONS
+            .iter()
+            .position(|r| *r == reason)
+            .unwrap_or(REJECT_REASONS.len() - 1);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Labels with nonzero counts.
+    fn snapshot(&self) -> HashMap<String, u64> {
+        REJECT_REASONS
+            .iter()
+            .zip(self.counts.iter())
+            .filter_map(|(label, count)| {
+                let n = count.load(Ordering::Relaxed);
+                (n > 0).then(|| (label.to_string(), n))
+            })
+            .collect()
+    }
+}
+
+/// Lock-free distribution of issued difficulties: one atomic bucket per
+/// possible bit count. Difficulty is at most 64 bits, so the exact
+/// distribution fits in a fixed array and the admission hot path never
+/// takes a lock to record it.
+#[derive(Debug)]
+struct DifficultyBuckets {
+    counts: [AtomicU64; 65],
+}
+
+impl Default for DifficultyBuckets {
+    fn default() -> Self {
+        DifficultyBuckets {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl DifficultyBuckets {
+    fn record(&self, bits: u8) {
+        self.counts[(bits as usize).min(64)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Exact lower median of recorded bit counts (0 when empty).
+    fn median(&self) -> u64 {
+        let loaded: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = loaded.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = total.div_ceil(2);
+        let mut cumulative = 0;
+        for (bits, n) in loaded.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target {
+                return bits as u64;
+            }
+        }
+        0
+    }
+
+    /// Highest recorded bit count (0 when empty).
+    fn max(&self) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, c)| c.load(Ordering::Relaxed) > 0)
+            .map(|(bits, _)| bits as u64)
+            .unwrap_or(0)
+    }
+}
 
 /// Live counters for the admission pipeline. Cheap to update from any
 /// worker thread.
@@ -17,10 +126,24 @@ pub struct FrameworkMetrics {
     pub solutions_rejected: Counter,
     /// Requests admitted without a puzzle (bypass threshold).
     pub bypassed: Counter,
-    /// Rejections keyed by the verifier's reason label.
-    rejected_by_reason: Mutex<HashMap<&'static str, u64>>,
-    /// Distribution of issued difficulties (bits).
-    issued_difficulty: Mutex<Histogram>,
+    /// Shard count of the replay guard (set once at build; lock-pressure
+    /// observability — saturation of a structure concentrates on
+    /// `1/shards` of the traffic).
+    pub replay_shards: Gauge,
+    /// Shard count of the audit log (set once at build).
+    pub audit_shards: Gauge,
+    /// Shard count of the cost ledger (set once at build).
+    pub ledger_shards: Gauge,
+    /// Live (unexpired) replay entries evicted by the capacity bound —
+    /// nonzero means the guard is undersized and replays became
+    /// theoretically possible. Synced from the guard after every
+    /// verification and by
+    /// [`Framework::metrics_snapshot`](crate::Framework::metrics_snapshot).
+    pub replay_evicted_live: Gauge,
+    /// Rejections keyed by the verifier's reason label (lock-free).
+    rejected_by_reason: RejectionCounts,
+    /// Distribution of issued difficulties in bits (lock-free).
+    issued_difficulty: DifficultyBuckets,
 }
 
 impl FrameworkMetrics {
@@ -29,34 +152,35 @@ impl FrameworkMetrics {
         Self::default()
     }
 
-    /// Records a rejection under a stable reason label.
+    /// Records a rejection under a stable reason label (lock-free;
+    /// unknown labels tally under `"other"`).
     pub fn record_rejection(&self, reason: &'static str) {
         self.solutions_rejected.inc();
-        *self.rejected_by_reason.lock().entry(reason).or_insert(0) += 1;
+        self.rejected_by_reason.record(reason);
     }
 
-    /// Records the difficulty of an issued challenge.
+    /// Records the difficulty of an issued challenge (lock-free).
     pub fn record_issued_difficulty(&self, bits: u8) {
         self.challenges_issued.inc();
-        self.issued_difficulty.lock().record(bits as u64);
+        self.issued_difficulty.record(bits);
     }
 
-    /// Takes a consistent snapshot for reporting.
+    /// Takes a snapshot for reporting. Each field is an atomic read;
+    /// fields racing with concurrent updates may be offset from each
+    /// other by in-flight operations.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let hist = self.issued_difficulty.lock();
         MetricsSnapshot {
             challenges_issued: self.challenges_issued.get(),
             solutions_accepted: self.solutions_accepted.get(),
             solutions_rejected: self.solutions_rejected.get(),
             bypassed: self.bypassed.get(),
-            rejected_by_reason: self
-                .rejected_by_reason
-                .lock()
-                .iter()
-                .map(|(k, v)| (k.to_string(), *v))
-                .collect(),
-            median_issued_difficulty: hist.median(),
-            max_issued_difficulty: hist.max(),
+            rejected_by_reason: self.rejected_by_reason.snapshot(),
+            median_issued_difficulty: self.issued_difficulty.median(),
+            max_issued_difficulty: self.issued_difficulty.max(),
+            replay_shards: self.replay_shards.get().max(0) as u64,
+            audit_shards: self.audit_shards.get().max(0) as u64,
+            ledger_shards: self.ledger_shards.get().max(0) as u64,
+            replay_evicted_live: self.replay_evicted_live.get().max(0) as u64,
         }
     }
 }
@@ -78,6 +202,14 @@ pub struct MetricsSnapshot {
     pub median_issued_difficulty: u64,
     /// Maximum issued difficulty in bits.
     pub max_issued_difficulty: u64,
+    /// Shard count of the replay guard.
+    pub replay_shards: u64,
+    /// Shard count of the audit log.
+    pub audit_shards: u64,
+    /// Shard count of the cost ledger.
+    pub ledger_shards: u64,
+    /// Live replay entries evicted by the capacity bound (alarm signal).
+    pub replay_evicted_live: u64,
 }
 
 #[cfg(test)]
@@ -110,6 +242,26 @@ mod tests {
         assert_eq!(snap.challenges_issued, 0);
         assert_eq!(snap.median_issued_difficulty, 0);
         assert!(snap.rejected_by_reason.is_empty());
+    }
+
+    #[test]
+    fn unknown_rejection_reasons_tally_under_other() {
+        let m = FrameworkMetrics::new();
+        m.record_rejection("some_future_reason");
+        let snap = m.snapshot();
+        assert_eq!(snap.rejected_by_reason["other"], 1);
+        assert_eq!(snap.solutions_rejected, 1);
+    }
+
+    #[test]
+    fn difficulty_median_is_exact() {
+        let m = FrameworkMetrics::new();
+        for bits in [3u8, 3, 3, 7, 9] {
+            m.record_issued_difficulty(bits);
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.median_issued_difficulty, 3);
+        assert_eq!(snap.max_issued_difficulty, 9);
     }
 
     #[test]

@@ -5,8 +5,7 @@
 //! client cannot spam challenge requests it never intends to solve (each
 //! issued challenge costs the server an HMAC plus a replay-cache slot).
 
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use aipow_shard::ShardedMap;
 use std::net::IpAddr;
 
 /// A single token bucket over a millisecond clock.
@@ -72,15 +71,29 @@ impl TokenBucket {
     pub fn available(&self) -> f64 {
         self.tokens
     }
+
+    /// Timestamp of the last acquisition attempt (the refill clock).
+    /// Drives least-recently-refilled eviction in [`RateLimiter`].
+    pub fn last_refill_ms(&self) -> u64 {
+        self.last_ms
+    }
 }
 
 /// Per-IP token buckets with bounded population.
 ///
-/// When the table is full, the stalest bucket (least-recently used) is
-/// evicted; a returning client simply starts with a fresh, full bucket.
+/// The bucket table is sharded by IP hash, so concurrent admissions from
+/// different clients take different locks; a single client's bucket is
+/// always mutated under its shard lock, so token accounting is exact.
+///
+/// When the table is full, the least-recently-refilled bucket (the
+/// stalest `last_refill_ms`) is evicted rather than the new client being
+/// rejected or silently untracked; a returning evicted client simply
+/// starts with a fresh, full bucket. Under concurrent insertion the
+/// population may transiently exceed `max_clients` by at most the number
+/// of racing threads before the next eviction restores the bound.
 #[derive(Debug)]
 pub struct RateLimiter {
-    buckets: Mutex<HashMap<IpAddr, TokenBucket>>,
+    buckets: ShardedMap<IpAddr, TokenBucket>,
     capacity_per_client: f64,
     refill_per_sec: f64,
     max_clients: usize,
@@ -89,41 +102,70 @@ pub struct RateLimiter {
 impl RateLimiter {
     /// Creates a limiter giving each client a bucket of
     /// `capacity_per_client` tokens refilled at `refill_per_sec`, tracking
-    /// at most `max_clients` clients.
+    /// at most `max_clients` clients, with the machine-default shard
+    /// count.
     ///
     /// # Panics
     ///
     /// Panics if any parameter is non-positive.
     pub fn new(capacity_per_client: f64, refill_per_sec: f64, max_clients: usize) -> Self {
+        Self::with_shards(
+            capacity_per_client,
+            refill_per_sec,
+            max_clients,
+            aipow_shard::default_shard_count(),
+        )
+    }
+
+    /// Creates a limiter with an explicit shard count (rounded up to a
+    /// power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive.
+    pub fn with_shards(
+        capacity_per_client: f64,
+        refill_per_sec: f64,
+        max_clients: usize,
+        shard_count: usize,
+    ) -> Self {
         assert!(max_clients > 0, "max clients must be positive");
         // Bucket constructor validates the rates.
         let _probe = TokenBucket::new(capacity_per_client, refill_per_sec);
         RateLimiter {
-            buckets: Mutex::new(HashMap::new()),
+            buckets: ShardedMap::new(shard_count),
             capacity_per_client,
             refill_per_sec,
             max_clients,
         }
     }
 
-    /// Whether `ip` may proceed at `now_ms`.
+    /// Number of shards the bucket table is split over.
+    pub fn shard_count(&self) -> usize {
+        self.buckets.shard_count()
+    }
+
+    /// Maximum number of tracked clients before eviction kicks in.
+    pub fn max_clients(&self) -> usize {
+        self.max_clients
+    }
+
+    /// Whether `ip` may proceed at `now_ms`. A full table evicts the
+    /// least-recently-refilled bucket (never `ip`'s own — see
+    /// [`ShardedMap::update_or_insert_evicting`]) to make room.
     pub fn allow(&self, ip: IpAddr, now_ms: u64) -> bool {
-        let mut buckets = self.buckets.lock();
-        if !buckets.contains_key(&ip) && buckets.len() >= self.max_clients {
-            // Evict the bucket with the oldest last-use time.
-            if let Some((&stalest, _)) = buckets.iter().min_by_key(|(_, b)| b.last_ms) {
-                buckets.remove(&stalest);
-            }
-        }
-        buckets
-            .entry(ip)
-            .or_insert_with(|| TokenBucket::new(self.capacity_per_client, self.refill_per_sec))
-            .try_acquire(now_ms)
+        self.buckets.update_or_insert_evicting(
+            ip,
+            self.max_clients,
+            |b| b.last_refill_ms(),
+            || TokenBucket::new(self.capacity_per_client, self.refill_per_sec),
+            |b| b.try_acquire(now_ms),
+        )
     }
 
     /// Number of tracked clients.
     pub fn len(&self) -> usize {
-        self.buckets.lock().len()
+        self.buckets.len()
     }
 
     /// Whether no clients are tracked.
@@ -199,6 +241,32 @@ mod tests {
         assert_eq!(limiter.len(), 2);
         // ip(1) returns with a fresh bucket (full burst again).
         assert!(limiter.allow(ip(1), 300));
+    }
+
+    #[test]
+    fn limiter_shard_count_is_configurable() {
+        let limiter = RateLimiter::with_shards(1.0, 1.0, 100, 6);
+        assert_eq!(limiter.shard_count(), 8);
+        assert_eq!(limiter.max_clients(), 100);
+        assert!(RateLimiter::new(1.0, 1.0, 100).shard_count() >= 1);
+    }
+
+    #[test]
+    fn limiter_eviction_works_across_shards() {
+        // Clients land on different shards; eviction must still find the
+        // globally least-recently-refilled bucket.
+        let limiter = RateLimiter::with_shards(5.0, 1.0, 16, 8);
+        for i in 0..16 {
+            assert!(limiter.allow(ip(i), i as u64 * 10));
+        }
+        assert_eq!(limiter.len(), 16);
+        // ip(0) (refilled at t=0) is the stalest; a 17th client evicts it.
+        assert!(limiter.allow(ip(200), 1_000));
+        assert_eq!(limiter.len(), 16);
+        // ip(0) comes back with a fresh full bucket.
+        for _ in 0..5 {
+            assert!(limiter.allow(ip(0), 2_000));
+        }
     }
 
     #[test]

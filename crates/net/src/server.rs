@@ -16,7 +16,9 @@ use std::time::Duration;
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads handling connections.
+    /// Worker threads handling connections. Defaults to the machine's
+    /// available parallelism — with the per-client state sharded, workers
+    /// scale instead of serializing on global locks.
     pub workers: usize,
     /// Per-connection read timeout.
     pub read_timeout: Duration,
@@ -24,6 +26,12 @@ pub struct ServerConfig {
     /// resource requests. Solutions are never rate-limited — the client
     /// already paid for them in hashes.
     pub rate_limit: Option<(f64, f64)>,
+    /// Maximum client IPs the rate limiter tracks; beyond this the
+    /// least-recently-refilled bucket is evicted to make room.
+    pub rate_limit_max_clients: usize,
+    /// Shard count for the rate limiter's bucket table (rounded up to a
+    /// power of two); `None` picks a multiple of available parallelism.
+    pub rate_limit_shards: Option<usize>,
     /// Backlog of accepted-but-unhandled connections.
     pub queue_depth: usize,
 }
@@ -31,16 +39,21 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
-            workers: 4,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
             read_timeout: Duration::from_secs(30),
             rate_limit: None,
+            rate_limit_max_clients: 65_536,
+            rate_limit_shards: None,
             queue_depth: 256,
         }
     }
 }
 
-/// A running server; dropping it without [`shutdown`](PowServer::shutdown)
-/// detaches the threads (they exit when the process does).
+/// A running server. Dropping it triggers the same orderly shutdown as
+/// [`shutdown`](PowServer::shutdown): stop accepting, interrupt in-flight
+/// reads, join every thread.
 #[derive(Debug)]
 pub struct PowServer {
     local_addr: SocketAddr,
@@ -74,11 +87,17 @@ impl PowServer {
 
         let shutdown = Arc::new(AtomicBool::new(false));
         let resources = Arc::new(resources);
-        let limiter = Arc::new(
-            config
-                .rate_limit
-                .map(|(burst, refill)| RateLimiter::new(burst, refill, 65_536)),
-        );
+        let limiter = Arc::new(config.rate_limit.map(|(burst, refill)| {
+            match config.rate_limit_shards {
+                Some(shards) => RateLimiter::with_shards(
+                    burst,
+                    refill,
+                    config.rate_limit_max_clients,
+                    shards,
+                ),
+                None => RateLimiter::new(burst, refill, config.rate_limit_max_clients),
+            }
+        }));
         let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(config.queue_depth);
         let connections: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -90,6 +109,7 @@ impl PowServer {
                 let resources = Arc::clone(&resources);
                 let limiter = Arc::clone(&limiter);
                 let connections = Arc::clone(&connections);
+                let shutdown = Arc::clone(&shutdown);
                 let read_timeout = config.read_timeout;
                 std::thread::spawn(move || {
                     while let Ok(stream) = rx.recv() {
@@ -101,6 +121,15 @@ impl PowServer {
                             // the registry does not grow unboundedly.
                             registry.retain(|s| s.peer_addr().is_ok());
                             registry.push(clone);
+                        }
+                        // A shutdown that drained the registry before this
+                        // stream was registered would otherwise leave the
+                        // coming read blocked for the full timeout; the
+                        // registry mutex above orders this load after the
+                        // shutdown flag store, so one of the two sides
+                        // always closes the stream.
+                        if shutdown.load(Ordering::Relaxed) {
+                            let _ = stream.shutdown(Shutdown::Both);
                         }
                         handle_connection(stream, &framework, &*features, &resources, &limiter);
                     }
@@ -146,6 +175,15 @@ impl PowServer {
     /// Stops accepting, interrupts in-flight connections, and joins all
     /// threads.
     pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+        // Drop then runs on an already-shut-down server, where
+        // `shutdown_in_place` is a no-op.
+    }
+
+    /// The idempotent shutdown body shared by [`shutdown`](Self::shutdown)
+    /// and [`Drop`]: every step consumes the handle it joins, so a second
+    /// call finds nothing to do.
+    fn shutdown_in_place(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
@@ -158,6 +196,15 @@ impl PowServer {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+    }
+}
+
+impl Drop for PowServer {
+    fn drop(&mut self) {
+        // Without this, dropping the server silently detached the
+        // acceptor and worker threads and leaked live connections for the
+        // rest of the process lifetime.
+        self.shutdown_in_place();
     }
 }
 
@@ -354,6 +401,20 @@ mod tests {
             other => panic!("expected not-found, got {other:?}"),
         }
         server.shutdown();
+    }
+
+    #[test]
+    fn drop_joins_threads_and_releases_port() {
+        let server = test_server(0.0, ServerConfig::default());
+        let addr = server.local_addr();
+        // A client is mid-connection when the server is dropped.
+        let stream = TcpStream::connect(addr).unwrap();
+        drop(server);
+        // Shutdown interrupted the live connection...
+        drop(stream);
+        // ...and the listener is gone, so the port can be rebound.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "port still held after drop: {rebound:?}");
     }
 
     #[test]

@@ -16,9 +16,13 @@
 //! - [`engine`] — a deterministic discrete-event queue;
 //! - [`scenario`] — DDoS scenarios over the event engine (claim C5:
 //!   “our approach effectively throttles untrustworthy traffic”);
+//! - [`contended`] — real-thread contended-admission throughput against a
+//!   live [`aipow_core::Framework`] (the sharded-state scaling proof);
 //! - [`report`] — CSV/Markdown rendering for EXPERIMENTS.md.
 //!
-//! Everything is seeded; two runs with the same config are bit-identical.
+//! Everything except [`contended`] is seeded; two runs with the same
+//! config are bit-identical. The contended scenario measures real
+//! wall-clock throughput and is machine-dependent by design.
 //!
 //! # Example
 //!
@@ -34,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod contended;
 pub mod engine;
 pub mod fig2;
 pub mod profile;
@@ -41,6 +46,7 @@ pub mod report;
 pub mod sample;
 pub mod scenario;
 
+pub use contended::{ContendedConfig, ContendedReport, ContendedRow};
 pub use engine::EventQueue;
 pub use fig2::{Fig2Config, Fig2Row, Fig2Table};
 pub use profile::SolverProfile;

@@ -7,15 +7,27 @@
 //! eviction.
 
 use crate::challenge::SEED_LEN;
-use parking_lot::Mutex;
+use aipow_shard::{default_shard_count, floor_shards, round_shards, Sharded};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Default maximum number of remembered seeds.
 pub const DEFAULT_CAPACITY: usize = 1 << 20;
 
+/// Minimum per-shard capacity the automatic shard-count selection will
+/// accept: below this, sharding a small guard would skew the FIFO
+/// eviction bound for no contention win.
+const MIN_SHARD_CAPACITY: usize = 1024;
+
 /// A bounded, TTL-aware set of already-redeemed challenge seeds.
 ///
-/// Thread-safe; one instance is shared by all verifier call sites.
+/// Thread-safe; one instance is shared by all verifier call sites. The
+/// seed set is sharded by seed hash so concurrent redemptions of
+/// *different* seeds rarely contend; each seed maps to exactly one shard,
+/// so redemption of a single seed stays atomic. Each shard runs its own
+/// FIFO eviction over a per-shard slice of the global capacity
+/// (`ceil(capacity / shards)`), preserving the global memory bound: the
+/// guard never remembers more than `capacity + shards − 1` seeds.
 ///
 /// ```
 /// use aipow_pow::ReplayGuard;
@@ -27,7 +39,11 @@ pub const DEFAULT_CAPACITY: usize = 1 << 20;
 /// ```
 #[derive(Debug)]
 pub struct ReplayGuard {
-    inner: Mutex<Inner>,
+    shards: Sharded<Inner>,
+    /// Live entries evicted by the capacity bound, across all shards.
+    /// A plain atomic (not per-shard state) so the alarm signal is a
+    /// lock-free read on any path that wants to surface it.
+    evicted_live: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -37,50 +53,75 @@ struct Inner {
     /// Insertion order for FIFO eviction, with each entry's expiry.
     order: VecDeque<([u8; SEED_LEN], u64)>,
     capacity: usize,
-    evicted_live: u64,
 }
 
 impl ReplayGuard {
-    /// Creates a guard remembering at most `capacity` seeds.
+    /// Creates a guard remembering at most (approximately) `capacity`
+    /// seeds, with an automatically chosen shard count: enough shards to
+    /// spread the machine's parallelism, but never so many that a shard
+    /// holds fewer than 1024 seeds (small guards degrade to a single
+    /// shard and exact FIFO semantics).
     ///
     /// # Panics
     ///
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
+        let auto = default_shard_count().min((capacity / MIN_SHARD_CAPACITY).max(1));
+        // Round *down* to a power of two so auto-selection never shrinks
+        // per-shard capacity below the minimum.
+        Self::with_shards(capacity, floor_shards(auto))
+    }
+
+    /// Creates a guard with an explicit shard count (rounded up to a
+    /// power of two). Each shard gets `ceil(capacity / shards)` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_shards(capacity: usize, shard_count: usize) -> Self {
         assert!(capacity > 0, "replay guard capacity must be positive");
+        let shard_count = round_shards(shard_count);
+        let per_shard = capacity.div_ceil(shard_count);
         ReplayGuard {
-            inner: Mutex::new(Inner {
+            shards: Sharded::new(shard_count, |_| Inner {
                 seen: HashMap::new(),
                 order: VecDeque::new(),
-                capacity,
-                evicted_live: 0,
+                capacity: per_shard,
             }),
+            evicted_live: AtomicU64::new(0),
         }
+    }
+
+    /// Number of shards the seed set is split over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.shard_count()
     }
 
     /// Atomically checks whether `seed` is fresh at `now_ms` and, if so,
     /// records it until `expires_at_ms`. Returns `true` if the seed was
     /// fresh (caller may proceed), `false` if it is a replay.
     pub fn check_and_insert(&self, seed: &[u8; SEED_LEN], expires_at_ms: u64, now_ms: u64) -> bool {
-        let mut inner = self.inner.lock();
-        inner.sweep_expired(now_ms);
+        self.shards.with_key(seed, |inner| {
+            inner.sweep_expired(now_ms);
 
-        match inner.seen.get(seed) {
-            Some(&expiry) if expiry >= now_ms => return false,
-            _ => {}
-        }
+            match inner.seen.get(seed) {
+                Some(&expiry) if expiry >= now_ms => return false,
+                _ => {}
+            }
 
-        if inner.seen.len() >= inner.capacity {
-            inner.evict_oldest(now_ms);
-        }
-        inner.seen.insert(*seed, expires_at_ms);
-        inner.order.push_back((*seed, expires_at_ms));
-        true
+            if inner.seen.len() >= inner.capacity && inner.evict_oldest(now_ms) {
+                self.evicted_live.fetch_add(1, Ordering::Relaxed);
+            }
+            inner.seen.insert(*seed, expires_at_ms);
+            inner.order.push_back((*seed, expires_at_ms));
+            true
+        })
     }
 
-    /// Number of live entries currently remembered.
+    /// Number of live entries currently remembered (sums shards, locking
+    /// one at a time).
     pub fn len(&self) -> usize {
-        self.inner.lock().seen.len()
+        self.shards.fold(0, |acc, inner| acc + inner.seen.len())
     }
 
     /// Whether the guard remembers no seeds.
@@ -89,11 +130,12 @@ impl ReplayGuard {
     }
 
     /// Number of *live* (unexpired) entries evicted due to the capacity
-    /// bound. A nonzero value means the guard was undersized for the
-    /// workload and replays became theoretically possible; operators should
-    /// alarm on it (see ablation A3 in EXPERIMENTS.md).
+    /// bound (a lock-free atomic read). A nonzero value means the guard
+    /// was undersized for the workload and replays became theoretically
+    /// possible; operators should alarm on it (see ablation A3 in
+    /// EXPERIMENTS.md and the `replay_evicted_live` framework metric).
     pub fn live_evictions(&self) -> u64 {
-        self.inner.lock().evicted_live
+        self.evicted_live.load(Ordering::Relaxed)
     }
 }
 
@@ -122,18 +164,17 @@ impl Inner {
         }
     }
 
-    /// Evicts the oldest entry to make room, counting it if it was live.
-    fn evict_oldest(&mut self, now_ms: u64) {
+    /// Evicts the oldest entry to make room; returns whether the evicted
+    /// entry was still live (unexpired).
+    fn evict_oldest(&mut self, now_ms: u64) -> bool {
         while let Some((seed, expiry)) = self.order.pop_front() {
             if self.seen.get(&seed) == Some(&expiry) {
                 self.seen.remove(&seed);
-                if expiry >= now_ms {
-                    self.evicted_live += 1;
-                }
-                return;
+                return expiry >= now_ms;
             }
             // Stale order entry (superseded); keep popping.
         }
+        false
     }
 }
 
@@ -243,6 +284,64 @@ mod tests {
             1_000,
             "each seed must be admitted exactly once across threads"
         );
+    }
+
+    #[test]
+    fn small_guards_collapse_to_one_shard_for_exact_fifo() {
+        // Below 2×1024 capacity there is nothing to shard; semantics stay
+        // identical to the historical single-lock guard.
+        assert_eq!(ReplayGuard::new(16).shard_count(), 1);
+        assert_eq!(ReplayGuard::new(1024).shard_count(), 1);
+        assert!(ReplayGuard::new(DEFAULT_CAPACITY).shard_count() >= 1);
+    }
+
+    #[test]
+    fn explicit_shard_count_rounds_to_power_of_two() {
+        assert_eq!(ReplayGuard::with_shards(1 << 16, 6).shard_count(), 8);
+        assert_eq!(ReplayGuard::with_shards(1 << 16, 1).shard_count(), 1);
+    }
+
+    #[test]
+    fn sharded_guard_admits_each_seed_exactly_once() {
+        use std::sync::Arc;
+        let g = Arc::new(ReplayGuard::with_shards(1 << 16, 8));
+        assert_eq!(g.shard_count(), 8);
+        let accepted = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                let accepted = Arc::clone(&accepted);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        if g.check_and_insert(&seed(i), u64::MAX, 0) {
+                            accepted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            accepted.load(std::sync::atomic::Ordering::Relaxed),
+            2_000,
+            "each seed admitted exactly once even when spread over shards"
+        );
+        assert_eq!(g.len(), 2_000);
+    }
+
+    #[test]
+    fn sharded_eviction_bound_holds() {
+        // 8 shards × 128 slots: inserting 4× the capacity of live seeds
+        // must keep the total at the per-shard bound and count the live
+        // evictions that occurred.
+        let g = ReplayGuard::with_shards(1024, 8);
+        for i in 0..4_096u64 {
+            assert!(g.check_and_insert(&seed(i), u64::MAX, 0));
+        }
+        assert!(g.len() <= 1024, "len {} exceeds capacity bound", g.len());
+        assert_eq!(g.live_evictions(), 4_096 - g.len() as u64);
     }
 
     mod prop {

@@ -1,0 +1,600 @@
+//! Sharded concurrency primitives for per-client hot-path state.
+//!
+//! Every piece of per-client state on the admission path — replay seeds,
+//! feature vectors, token buckets, the cost ledger, the audit log — is
+//! keyed by something that distributes well (an IP, a random seed). A
+//! single global lock over such a map serializes clients that have
+//! nothing to do with each other; under DoS-scale load with a worker per
+//! core, the lock *is* the bottleneck. The standard production answer is
+//! to split the state into `2^k` shards and pick the shard by hashing the
+//! key, so independent clients contend only when they collide on a shard.
+//!
+//! Two layers are provided:
+//!
+//! - [`Sharded<S>`] — a fixed, power-of-two array of mutex-protected
+//!   shard states with keyed-hash shard selection. The shard state `S` is
+//!   arbitrary, so structures with auxiliary per-shard bookkeeping (FIFO
+//!   eviction queues, ring buffers, counters) shard without giving up
+//!   their invariants.
+//! - [`ShardedMap<K, V>`] — the common case: a sharded `HashMap` with a
+//!   lock-free global length counter and `retain`/`fold` support for
+//!   eviction sweeps and metrics.
+//!
+//! This crate sits below `aipow-pow` and `aipow-core` in the dependency
+//! graph so both can share one implementation; `aipow-core` re-exports it
+//! as its public concurrency surface.
+//!
+//! # Example
+//!
+//! ```
+//! use aipow_shard::ShardedMap;
+//!
+//! let map: ShardedMap<u64, u64> = ShardedMap::new(8);
+//! assert_eq!(map.shard_count(), 8);
+//! map.insert(1, 10);
+//! map.insert(2, 20);
+//! map.with_mut(&1, |v| *v += 5);
+//! assert_eq!(map.get_cloned(&1), Some(15));
+//! assert_eq!(map.len(), 2);
+//! assert_eq!(map.fold(0, |acc, _, v| acc + v), 35);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use parking_lot::Mutex;
+use std::collections::hash_map::RandomState;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Upper bound on the automatically chosen shard count. Beyond this the
+/// per-shard win is noise while `fold`/`len` sweeps keep getting slower.
+pub const MAX_AUTO_SHARDS: usize = 256;
+
+/// Hard upper bound on any shard count, automatic or explicit. Shards
+/// cost memory (a cache line each) and sweep time; a count beyond this
+/// is always a configuration mistake, and clamping it keeps a
+/// pathological request (e.g. `1 << 40`) from aborting on allocation or
+/// overflowing `next_power_of_two`.
+pub const MAX_SHARDS: usize = 1 << 16;
+
+/// Pads each shard to its own cache line so neighbouring shard locks do
+/// not false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+/// The default shard count: four times the machine's available
+/// parallelism (so hash collisions rarely stack all workers on one
+/// shard), rounded up to a power of two and clamped to
+/// [`MAX_AUTO_SHARDS`].
+pub fn default_shard_count() -> usize {
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    (parallelism * 4).next_power_of_two().min(MAX_AUTO_SHARDS)
+}
+
+/// Rounds a requested shard count to the nearest power of two at or above
+/// it (minimum 1, maximum [`MAX_SHARDS`]), which keeps shard selection a
+/// mask instead of a division.
+pub fn round_shards(requested: usize) -> usize {
+    requested.clamp(1, MAX_SHARDS).next_power_of_two()
+}
+
+/// Rounds a requested shard count to the nearest power of two at or
+/// *below* it (minimum 1, maximum [`MAX_SHARDS`]). Used by
+/// capacity-bounded structures whose automatic selection must never
+/// shrink per-shard capacity under its floor.
+pub fn floor_shards(requested: usize) -> usize {
+    let requested = requested.clamp(1, MAX_SHARDS);
+    if requested.is_power_of_two() {
+        requested
+    } else {
+        requested.next_power_of_two() / 2
+    }
+}
+
+/// A fixed array of mutex-protected shard states with keyed-hash shard
+/// selection.
+///
+/// The shard count is rounded up to a power of two at construction.
+/// Every key deterministically maps to one shard, so any operation that
+/// touches a single key is atomic with respect to that key. Operations
+/// over all shards (`fold`, `for_each_shard`) lock shards one at a time
+/// and therefore see each shard at a slightly different instant — fine
+/// for metrics and eviction scans, not a consistent global snapshot.
+///
+/// ```
+/// use aipow_shard::Sharded;
+///
+/// // Four shards, each an independent counter.
+/// let counters: Sharded<u64> = Sharded::new(4, |_| 0);
+/// counters.with_key(&"client-a", |c| *c += 1);
+/// assert_eq!(counters.fold(0, |acc, c| acc + *c), 1);
+/// ```
+pub struct Sharded<S> {
+    shards: Box<[CachePadded<Mutex<S>>]>,
+    mask: u64,
+    hasher: RandomState,
+}
+
+impl<S> Sharded<S> {
+    /// Creates `shard_count` shards (rounded up to a power of two), each
+    /// initialized by `init(shard_index)`.
+    pub fn new(shard_count: usize, mut init: impl FnMut(usize) -> S) -> Self {
+        let count = round_shards(shard_count);
+        let shards: Box<[CachePadded<Mutex<S>>]> = (0..count)
+            .map(|i| CachePadded(Mutex::new(init(i))))
+            .collect();
+        Sharded {
+            shards,
+            mask: (count - 1) as u64,
+            hasher: RandomState::new(),
+        }
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `key` maps to. Stable for the lifetime of this
+    /// instance, but *randomly keyed per instance* (like `HashMap`):
+    /// shard keys are often attacker-chosen (source IPs), and a fixed
+    /// hash key would let an attacker precompute keys that all collide
+    /// on one shard, restoring the global-lock convoy sharding exists to
+    /// remove.
+    pub fn shard_index<K: Hash + ?Sized>(&self, key: &K) -> usize {
+        (self.hasher.hash_one(key) & self.mask) as usize
+    }
+
+    /// Locks the shard for `key` and runs `f` on its state.
+    pub fn with_key<K: Hash + ?Sized, R>(&self, key: &K, f: impl FnOnce(&mut S) -> R) -> R {
+        self.with_index(self.shard_index(key), f)
+    }
+
+    /// Locks shard `index` (modulo the shard count) and runs `f`.
+    pub fn with_index<R>(&self, index: usize, f: impl FnOnce(&mut S) -> R) -> R {
+        f(&mut self.shards[index & self.mask as usize].0.lock())
+    }
+
+    /// Folds over all shards, locking them one at a time in index order.
+    pub fn fold<A>(&self, init: A, mut f: impl FnMut(A, &mut S) -> A) -> A {
+        let mut acc = init;
+        for shard in self.shards.iter() {
+            acc = f(acc, &mut shard.0.lock());
+        }
+        acc
+    }
+
+    /// Runs `f` on every shard state, locking one shard at a time.
+    pub fn for_each_shard(&self, mut f: impl FnMut(&mut S)) {
+        for shard in self.shards.iter() {
+            f(&mut shard.0.lock());
+        }
+    }
+}
+
+impl<S: std::fmt::Debug> std::fmt::Debug for Sharded<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sharded")
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A concurrent map sharded over [`Sharded`] `HashMap`s, with a lock-free
+/// global length counter.
+///
+/// Single-key operations lock exactly one shard. `len()` is an atomic
+/// read. Whole-map operations (`retain`, `fold`, `clear`) visit shards
+/// sequentially.
+///
+/// The length counter is exact with respect to completed operations: every
+/// insert/remove adjusts it while still holding the owning shard's lock,
+/// so a quiescent map always reports the true total.
+#[derive(Debug)]
+pub struct ShardedMap<K, V> {
+    inner: Sharded<HashMap<K, V>>,
+    len: AtomicUsize,
+}
+
+impl<K: Hash + Eq, V> ShardedMap<K, V> {
+    /// Creates a map with `shard_count` shards (rounded up to a power of
+    /// two).
+    pub fn new(shard_count: usize) -> Self {
+        ShardedMap {
+            inner: Sharded::new(shard_count, |_| HashMap::new()),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Creates a map with [`default_shard_count`] shards.
+    pub fn with_default_shards() -> Self {
+        Self::new(default_shard_count())
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shard_count()
+    }
+
+    /// Number of entries (atomic read, no locking).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts `value` under `key`, returning any previous value.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        let index = self.inner.shard_index(&key);
+        self.inner.with_index(index, |shard| {
+            let prev = shard.insert(key, value);
+            if prev.is_none() {
+                self.len.fetch_add(1, Ordering::Relaxed);
+            }
+            prev
+        })
+    }
+
+    /// Removes and returns the value under `key`, if any.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.inner.with_key(key, |shard| {
+            let prev = shard.remove(key);
+            if prev.is_some() {
+                self.len.fetch_sub(1, Ordering::Relaxed);
+            }
+            prev
+        })
+    }
+
+    /// Removes `key` only if its current value satisfies `pred`. Returns
+    /// the removed value. Used by evictors to avoid a time-of-check /
+    /// time-of-use race: the predicate re-checks the victim under the
+    /// shard lock.
+    pub fn remove_if(&self, key: &K, pred: impl FnOnce(&V) -> bool) -> Option<V> {
+        self.inner.with_key(key, |shard| {
+            if shard.get(key).is_some_and(pred) {
+                let prev = shard.remove(key);
+                if prev.is_some() {
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+                }
+                prev
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.inner.with_key(key, |shard| shard.contains_key(key))
+    }
+
+    /// A clone of the value under `key`, if any.
+    pub fn get_cloned(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.inner.with_key(key, |shard| shard.get(key).cloned())
+    }
+
+    /// Runs `f` on the value under `key`, if present, holding the shard
+    /// lock for the duration. Returns `None` if the key is absent.
+    pub fn with_mut<R>(&self, key: &K, f: impl FnOnce(&mut V) -> R) -> Option<R> {
+        self.inner.with_key(key, |shard| shard.get_mut(key).map(f))
+    }
+
+    /// Runs `f` on the value under `key`, inserting `init()` first if the
+    /// key is absent. The whole operation holds the shard lock, so
+    /// concurrent callers for the same key serialize and exactly one
+    /// `init` runs.
+    pub fn with_or_insert_with<R>(
+        &self,
+        key: K,
+        init: impl FnOnce() -> V,
+        f: impl FnOnce(&mut V) -> R,
+    ) -> R {
+        let index = self.inner.shard_index(&key);
+        self.inner.with_index(index, |shard| {
+            let value = shard.entry(key).or_insert_with(|| {
+                self.len.fetch_add(1, Ordering::Relaxed);
+                init()
+            });
+            f(value)
+        })
+    }
+
+    /// Runs `update` on the value under `key`, inserting `init()` first
+    /// if absent — evicting the minimum-`score` entry when the insert
+    /// would grow the map past `max_entries`.
+    ///
+    /// This is the shared eviction protocol for capacity-bounded
+    /// per-client tables (rate limiter, cost ledger):
+    ///
+    /// - fast path: if `key` exists, only its shard is locked;
+    /// - the eviction scan locks shards one at a time (never nesting two
+    ///   shard locks) and **skips `key` itself**, so a racing thread's
+    ///   freshly created entry for the same key is never thrown away;
+    /// - the victim is re-checked under its shard lock (`score`
+    ///   unchanged) before removal, so a concurrent update cannot be
+    ///   discarded;
+    /// - eviction loops until the map is back under `max_entries`, so an
+    ///   overshoot left by racing inserts (each at most the number of
+    ///   racing threads) is drained by the next insert at capacity
+    ///   rather than accumulating;
+    /// - the loop gives up after a bounded number of failed victim
+    ///   re-checks (continuous adversarial updates could otherwise spin
+    ///   it), accepting a transient overshoot instead of stalling the
+    ///   caller.
+    ///
+    /// Ties on the minimum score evict the first entry encountered in
+    /// shard-index order.
+    pub fn update_or_insert_evicting<R, S: PartialOrd + Copy>(
+        &self,
+        key: K,
+        max_entries: usize,
+        score: impl Fn(&V) -> S,
+        init: impl FnOnce() -> V,
+        update: impl FnOnce(&mut V) -> R,
+    ) -> R
+    where
+        K: Copy,
+    {
+        // `update` must survive an uncalled fast path, so thread it
+        // through an Option the closure takes from.
+        let mut update = Some(update);
+        if let Some(result) = self.with_mut(&key, |v| (update.take().expect("unused"))(v)) {
+            return result;
+        }
+        let update = update.take().expect("fast path missed without consuming update");
+
+        let mut failed_rechecks = 0;
+        while self.len() >= max_entries && failed_rechecks < 8 {
+            let victim = self.fold(None, |acc: Option<(K, S)>, k, v| {
+                if *k == key {
+                    return acc;
+                }
+                let s = score(v);
+                match acc {
+                    Some((_, best)) if best <= s => acc,
+                    _ => Some((*k, s)),
+                }
+            });
+            match victim {
+                Some((victim, observed)) => {
+                    if self.remove_if(&victim, |v| score(v) == observed).is_none() {
+                        // A racing thread updated or removed the victim
+                        // between the scan and the re-check; rescan.
+                        failed_rechecks += 1;
+                    }
+                }
+                // Nothing evictable but `key` itself: insert anyway
+                // (bounded overshoot beats a lost update).
+                None => break,
+            }
+        }
+        self.with_or_insert_with(key, init, update)
+    }
+
+    /// Keeps only entries for which `f` returns `true`, sweeping shards
+    /// one at a time.
+    pub fn retain(&self, mut f: impl FnMut(&K, &mut V) -> bool) {
+        self.inner.for_each_shard(|shard| {
+            let before = shard.len();
+            shard.retain(|k, v| f(k, v));
+            self.len.fetch_sub(before - shard.len(), Ordering::Relaxed);
+        });
+    }
+
+    /// Folds over every entry, locking shards one at a time in index
+    /// order. Entries within one shard are visited in that shard's
+    /// iteration order; the view is not a consistent global snapshot.
+    pub fn fold<A>(&self, init: A, mut f: impl FnMut(A, &K, &V) -> A) -> A {
+        self.inner.fold(init, |mut acc, shard| {
+            for (k, v) in shard.iter() {
+                acc = f(acc, k, v);
+            }
+            acc
+        })
+    }
+
+    /// Removes all entries.
+    pub fn clear(&self) {
+        self.inner.for_each_shard(|shard| {
+            self.len.fetch_sub(shard.len(), Ordering::Relaxed);
+            shard.clear();
+        });
+    }
+}
+
+impl<K: Hash + Eq, V> Default for ShardedMap<K, V> {
+    fn default() -> Self {
+        Self::with_default_shards()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        for (requested, expect) in [(0, 1), (1, 1), (2, 2), (3, 4), (5, 8), (9, 16), (16, 16)] {
+            assert_eq!(ShardedMap::<u32, u32>::new(requested).shard_count(), expect);
+        }
+    }
+
+    #[test]
+    fn floor_shards_rounds_down() {
+        for (requested, expect) in [(0, 1), (1, 1), (2, 2), (3, 2), (5, 4), (9, 8), (16, 16)] {
+            assert_eq!(floor_shards(requested), expect, "floor_shards({requested})");
+        }
+    }
+
+    #[test]
+    fn default_shard_count_is_power_of_two_and_bounded() {
+        let n = default_shard_count();
+        assert!(n.is_power_of_two());
+        assert!((1..=MAX_AUTO_SHARDS).contains(&n));
+    }
+
+    #[test]
+    fn shard_selection_is_stable() {
+        let map = ShardedMap::<u64, ()>::new(16);
+        for key in 0..100u64 {
+            assert_eq!(map.inner.shard_index(&key), map.inner.shard_index(&key));
+            assert!(map.inner.shard_index(&key) < 16);
+        }
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let sharded: Sharded<u32> = Sharded::new(8, |_| 0);
+        let mut seen = std::collections::HashSet::new();
+        for key in 0..256u64 {
+            seen.insert(sharded.shard_index(&key));
+        }
+        assert!(seen.len() >= 6, "256 keys landed on only {} shards", seen.len());
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let map = ShardedMap::new(4);
+        assert_eq!(map.insert("a", 1), None);
+        assert_eq!(map.insert("a", 2), Some(1));
+        assert_eq!(map.get_cloned(&"a"), Some(2));
+        assert!(map.contains_key(&"a"));
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.remove(&"a"), Some(2));
+        assert_eq!(map.remove(&"a"), None);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn with_or_insert_with_runs_init_once() {
+        let map = ShardedMap::new(4);
+        let r1 = map.with_or_insert_with(7u64, || 100, |v| *v);
+        let r2 = map.with_or_insert_with(7u64, || 999, |v| *v);
+        assert_eq!((r1, r2), (100, 100));
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn remove_if_respects_predicate() {
+        let map = ShardedMap::new(4);
+        map.insert(1u8, 10);
+        assert_eq!(map.remove_if(&1, |v| *v > 50), None);
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.remove_if(&1, |v| *v == 10), Some(10));
+        assert_eq!(map.len(), 0);
+        assert_eq!(map.remove_if(&1, |_| true), None);
+    }
+
+    #[test]
+    fn round_and_floor_clamp_pathological_requests() {
+        assert_eq!(round_shards(usize::MAX), MAX_SHARDS);
+        assert_eq!(round_shards(1 << 40), MAX_SHARDS);
+        assert_eq!(floor_shards(usize::MAX), MAX_SHARDS);
+    }
+
+    #[test]
+    fn update_or_insert_evicting_drops_min_score_entry() {
+        let map = ShardedMap::new(4);
+        map.insert(1u8, 100u64);
+        map.insert(2u8, 5u64);
+        map.insert(3u8, 50u64);
+        // At capacity 3: inserting key 4 evicts key 2 (min score).
+        map.update_or_insert_evicting(4u8, 3, |v| *v, || 7, |v| *v += 1);
+        assert_eq!(map.len(), 3);
+        assert_eq!(map.get_cloned(&2), None);
+        assert_eq!(map.get_cloned(&4), Some(8));
+    }
+
+    #[test]
+    fn update_or_insert_evicting_never_evicts_own_key_or_existing() {
+        let map = ShardedMap::new(4);
+        map.insert(1u8, 0u64);
+        // Existing key takes the fast path: no eviction even at capacity.
+        map.update_or_insert_evicting(1u8, 1, |v| *v, || 99, |v| *v += 10);
+        assert_eq!(map.get_cloned(&1), Some(10));
+        assert_eq!(map.len(), 1);
+        // A sole new key with nothing else to evict still inserts
+        // (bounded overshoot rather than a lost update).
+        let map: ShardedMap<u8, u64> = ShardedMap::new(4);
+        map.update_or_insert_evicting(9u8, 0, |v| *v, || 1, |v| *v);
+        assert_eq!(map.get_cloned(&9), Some(1));
+    }
+
+    #[test]
+    fn retain_updates_len() {
+        let map = ShardedMap::new(8);
+        for i in 0..100u32 {
+            map.insert(i, i);
+        }
+        map.retain(|_, v| *v % 2 == 0);
+        assert_eq!(map.len(), 50);
+        assert_eq!(map.fold(0usize, |acc, _, _| acc + 1), 50);
+    }
+
+    #[test]
+    fn clear_empties_and_resets_len() {
+        let map = ShardedMap::new(8);
+        for i in 0..32u32 {
+            map.insert(i, ());
+        }
+        map.clear();
+        assert_eq!(map.len(), 0);
+        assert_eq!(map.fold(0usize, |acc, _, _| acc + 1), 0);
+    }
+
+    #[test]
+    fn fold_sees_every_entry() {
+        let map = ShardedMap::new(8);
+        for i in 0..50u64 {
+            map.insert(i, i * 2);
+        }
+        let sum = map.fold(0u64, |acc, _, v| acc + v);
+        assert_eq!(sum, (0..50).map(|i| i * 2).sum());
+    }
+
+    #[test]
+    fn sharded_with_index_wraps() {
+        let sharded: Sharded<u32> = Sharded::new(4, |i| i as u32);
+        assert_eq!(sharded.with_index(0, |s| *s), 0);
+        assert_eq!(sharded.with_index(5, |s| *s), 1); // 5 & 3
+    }
+
+    #[test]
+    fn concurrent_len_is_exact() {
+        let map = Arc::new(ShardedMap::new(16));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let map = Arc::clone(&map);
+                std::thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        map.insert(t * 1_000 + i, ());
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(map.len(), 8_000);
+        assert_eq!(map.fold(0usize, |acc, _, _| acc + 1), 8_000);
+    }
+
+    #[test]
+    fn debug_impl_nonempty() {
+        let map: ShardedMap<u8, u8> = ShardedMap::new(2);
+        assert!(!format!("{map:?}").is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! Contended-admission scaling report: the netsim scenario behind
+//! EXPERIMENTS.md §C7.
+//!
+//! ```text
+//! cargo run --release --example contended_scaling
+//! ```
+//!
+//! Drives 1, 4, and 8 real threads of distinct-IP admissions through one
+//! shared `Framework` and prints aggregate ops/sec as a Markdown table.
+//! With the per-client structures sharded, throughput should track the
+//! thread count up to the machine's physical cores; on a single-core
+//! host the table shows (honestly) flat scaling.
+
+use aipow::netsim::contended::{contended_to_markdown, run_contended, ContendedConfig};
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let config = ContendedConfig::default();
+    println!(
+        "contended admission: {} ops/thread, {} distinct IPs/thread, {cores} core(s)\n",
+        config.ops_per_thread, config.ips_per_thread
+    );
+    let report = run_contended(&config);
+    println!("{}", contended_to_markdown(&report));
+    println!("audit-log shards: {}", report.audit_shards);
+}
