@@ -9,8 +9,18 @@
 //! thread count until the physical cores run out. The workload is
 //! `aipow_netsim::contended`'s — the same driver the §C7 scenario
 //! reports on — so the two measurements cannot drift apart.
+//!
+//! Two groups run: the PR 2 baseline (`contended_admission`) and the
+//! same workload with the `aipow-online` behavior recorder tapping every
+//! admission and features served from the blending behavioral source
+//! (`contended_admission_online`). The acceptance bar for the online
+//! loop is that the second group stays within ~10 % of the first — the
+//! recorder adds per-shard work, never a global lock.
+//!
+//! Set `AIPOW_BENCH_JSON=BENCH_contended.json` to append machine-readable
+//! results (see EXPERIMENTS.md §C8).
 
-use aipow_netsim::contended::{contended_path, drive};
+use aipow_netsim::contended::{contended_path_with, drive, AdmissionPath};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::time::Duration;
 
@@ -19,13 +29,12 @@ const OPS_PER_THREAD: usize = 2_000;
 /// Distinct client IPs per thread (cycled).
 const IPS_PER_THREAD: usize = 1_024;
 
-fn contended_admission(c: &mut Criterion) {
-    let mut group = c.benchmark_group("contended_admission");
+fn run_group(c: &mut Criterion, name: &str, path: &AdmissionPath) {
+    let mut group = c.benchmark_group(name);
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(2));
     group.sample_size(10);
 
-    let path = contended_path(None);
     for &threads in &[1usize, 4, 8] {
         group.throughput(Throughput::Elements((threads * OPS_PER_THREAD) as u64));
         group.bench_with_input(
@@ -35,7 +44,6 @@ fn contended_admission(c: &mut Criterion) {
                 b.iter(|| {
                     std::thread::scope(|scope| {
                         for t in 0..threads {
-                            let path = &path;
                             scope.spawn(move || {
                                 drive(path, t, OPS_PER_THREAD, IPS_PER_THREAD)
                             });
@@ -46,6 +54,14 @@ fn contended_admission(c: &mut Criterion) {
         );
     }
     group.finish();
+}
+
+fn contended_admission(c: &mut Criterion) {
+    let baseline = contended_path_with(None, false);
+    run_group(c, "contended_admission", &baseline);
+
+    let online = contended_path_with(None, true);
+    run_group(c, "contended_admission_online", &online);
 }
 
 criterion_group!(benches, contended_admission);

@@ -236,6 +236,131 @@ pub fn train(raw: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `aipow observe` — run a synthetic behavior-shift + redemption load
+/// through a `Framework` with the online recorder attached and print the
+/// per-client score/difficulty trajectory.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad flags.
+pub fn observe(raw: &[String]) -> Result<(), CliError> {
+    use aipow_netsim::behavior::{
+        run_behavior_shift, run_redemption, BehaviorConfig, TrajectoryPoint,
+    };
+
+    let args = Args::parse(
+        raw.iter().cloned(),
+        &[
+            "benign-rps",
+            "flood-rps",
+            "phase-s",
+            "second-phase-s",
+            "half-life-ms",
+            "prior-strength",
+            "rows",
+        ],
+        &[],
+    )?;
+    let defaults = BehaviorConfig::default();
+    let config = BehaviorConfig {
+        benign_rps: args.get_parsed("benign-rps", defaults.benign_rps, "a rate in req/s")?,
+        flood_rps: args.get_parsed("flood-rps", defaults.flood_rps, "a rate in req/s")?,
+        phase_s: args.get_parsed("phase-s", defaults.phase_s, "seconds")?,
+        second_phase_s: args.get_parsed(
+            "second-phase-s",
+            defaults.second_phase_s,
+            "seconds",
+        )?,
+        half_life_ms: args.get_parsed("half-life-ms", defaults.half_life_ms, "milliseconds")?,
+        prior_strength: args.get_parsed(
+            "prior-strength",
+            defaults.prior_strength,
+            "an event count",
+        )?,
+        ..defaults
+    };
+    let rows = args.get_parsed::<usize>("rows", 16, "an integer")?.max(2);
+    // The scenario asserts internally; reject bad knob values here as a
+    // usage error instead of a mid-run panic or a degenerate zero-event
+    // run that exits 0.
+    for (flag, value) in [
+        ("benign-rps", config.benign_rps),
+        ("flood-rps", config.flood_rps),
+        ("phase-s", config.phase_s),
+        ("second-phase-s", config.second_phase_s),
+    ] {
+        if !value.is_finite() || value <= 0.0 {
+            return Err(CliError::usage(format!(
+                "--{flag} must be a positive finite number, got {value}"
+            )));
+        }
+    }
+    aipow_core::OnlineSettings {
+        half_life_ms: config.half_life_ms,
+        prior_strength: config.prior_strength,
+        ..Default::default()
+    }
+    .validate()
+    .map_err(|e| CliError::usage(e.to_string()))?;
+
+    fn print_sampled(label: &str, trajectory: &[TrajectoryPoint], rows: usize) {
+        let stride = (trajectory.len() / rows).max(1);
+        for point in trajectory.iter().step_by(stride) {
+            println!(
+                "  {:>8.1} s  {label:<8}  score {:>5.2}  {}",
+                point.t_ms as f64 / 1_000.0,
+                point.score,
+                point
+                    .bits
+                    .map(|b| format!("difficulty {b:>2}"))
+                    .unwrap_or_else(|| "bypass/quiet".into()),
+            );
+        }
+    }
+
+    println!(
+        "behavior-shift: benign {} rps throughout; shifty client turns {} rps flooder at {} s",
+        config.benign_rps, config.flood_rps, config.phase_s
+    );
+    let shift = run_behavior_shift(&config);
+    println!("\n       t  client    score      difficulty");
+    print_sampled("benign", &shift.benign, rows / 2);
+    print_sampled("shifty", &shift.shifty, rows);
+    println!(
+        "\nshifty: {} → {} bits (+{} within {} flood requests); benign stayed {}–{} bits; \
+         peak tracked {}",
+        shift.baseline_bits,
+        shift.peak_bits,
+        shift.peak_bits.saturating_sub(shift.baseline_bits),
+        shift
+            .requests_to_climb_4
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "∞".into()),
+        shift.benign_min_bits,
+        shift.benign_max_bits,
+        shift.peak_tracked,
+    );
+
+    println!(
+        "\nredemption: flooder quiet after {} s (half-life {} ms, bypass threshold {})",
+        config.phase_s, config.half_life_ms, config.bypass_threshold
+    );
+    let redemption = run_redemption(&config);
+    print_sampled("flooder", &redemption.trajectory, rows);
+    println!(
+        "\npeak score {:.2}; recovered below threshold after {}; bypassed again: {}; \
+         sketch pruned: {}",
+        redemption.peak_score,
+        redemption
+            .recovered_after_half_lives
+            .map(|h| format!("{h:.1} half-lives"))
+            .unwrap_or_else(|| "never".into()),
+        redemption.bypassed_after_recovery,
+        redemption.pruned,
+    );
+    Ok(())
+}
+
 fn parse_key(hex: &str) -> Result<[u8; 32], CliError> {
     let bytes = aipow_crypto::hex::decode(hex)
         .map_err(|e| CliError::usage(format!("--key: {e}")))?;
@@ -266,6 +391,40 @@ mod tests {
     #[test]
     fn train_command_runs() {
         train(&strings(&["--seed", "3"])).unwrap();
+    }
+
+    #[test]
+    fn observe_command_runs() {
+        observe(&strings(&[
+            "--phase-s",
+            "10",
+            "--second-phase-s",
+            "40",
+            "--rows",
+            "6",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn observe_rejects_bad_rate() {
+        let err = observe(&strings(&["--flood-rps", "fast"])).unwrap_err();
+        assert_eq!(err.exit_code, 2);
+    }
+
+    #[test]
+    fn observe_rejects_invalid_settings_as_usage_errors() {
+        for flags in [
+            ["--half-life-ms", "0"],
+            ["--prior-strength", "-1"],
+            ["--flood-rps", "0"],
+            ["--flood-rps", "NaN"],
+            ["--benign-rps", "-3"],
+            ["--phase-s", "0"],
+        ] {
+            let err = observe(&strings(&flags)).unwrap_err();
+            assert_eq!(err.exit_code, 2, "{flags:?}: {err}");
+        }
     }
 
     #[test]

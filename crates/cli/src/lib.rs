@@ -90,6 +90,15 @@ COMMANDS:
     train    train the DAbR model on the synthetic dataset and report quality
              --seed <n>                dataset seed (default 1)
              --overlap <f>             class overlap in [0,1] (default 0.38)
+    observe  run a synthetic behavior-shift + redemption load through the
+             online reputation loop and print score/difficulty trajectories
+             --benign-rps <f>          benign request rate (default 1)
+             --flood-rps <f>           flood request rate (default 100)
+             --phase-s <f>             seconds before the behavior shift (default 30)
+             --second-phase-s <f>      seconds of flood / silence (default 60)
+             --half-life-ms <n>        behavioral decay half-life (default 10000)
+             --prior-strength <f>      events to outweigh the prior (default 16)
+             --rows <n>                trajectory rows to print (default 16)
     help     print this message
 ";
 
@@ -106,6 +115,7 @@ pub fn dispatch(raw: &[String]) -> Result<(), CliError> {
         "fetch" => commands::fetch(rest),
         "solve" => commands::solve(rest),
         "train" => commands::train(rest),
+        "observe" => commands::observe(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -49,6 +49,119 @@ pub struct FrameworkConfig {
     /// two); `None` picks an automatic per-structure count from the
     /// machine's available parallelism.
     pub shard_count: Option<usize>,
+    /// Online behavioral-reputation loop settings; `None` disables the
+    /// loop (the paper's static-feature behaviour). The settings are plain
+    /// data so deployments can version-control them.
+    ///
+    /// **Carried, validated, but not wired by [`apply`](Self::apply)**:
+    /// the loop needs the *built* framework (its tap and clock), which a
+    /// builder cannot provide. After `build()`, pass these settings to
+    /// `aipow_online::OnlineLoop::attach(framework, prior, config.online
+    /// .clone().unwrap())` — or set `aipow_net::ServerConfig::online`,
+    /// which does exactly that.
+    pub online: Option<OnlineSettings>,
+}
+
+/// Tuning for the online behavioral reputation loop (see the
+/// `aipow-online` crate). Lives here, beside the rest of the framework
+/// config, so it can ride inside [`FrameworkConfig`] and
+/// `aipow_net::ServerConfig` as serializable data without `aipow-core`
+/// depending on the online crate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct OnlineSettings {
+    /// Maximum clients the behavior recorder tracks. Enforced per shard
+    /// (`capacity / shard_count` each): a full shard evicts its
+    /// least-recently-seen sketch (cheapest-eviction, like the cost
+    /// ledger) under a single lock, keeping the tap's worst case bounded
+    /// on the admission path.
+    pub capacity: usize,
+    /// Shard count for the recorder's sketch table; `None` picks the
+    /// machine default. Unlike the other sharded structures (which round
+    /// *up* to a power of two), the recorder adjusts the count on both
+    /// sides: raised so no shard holds more than 512 sketches (the
+    /// eviction victim scan runs under the shard lock on the admission
+    /// path and must stay bounded), capped at `capacity`, and floored to
+    /// a power of two — so per-shard capacity stays ≥ 1 and the total
+    /// population bound never exceeds `capacity`.
+    pub shard_count: Option<usize>,
+    /// Half-life of the exponential decay applied to every behavioral
+    /// counter, in milliseconds. Reputation recovers on this timescale
+    /// after a client's behaviour improves.
+    pub half_life_ms: u64,
+    /// Number of observed events at which live behaviour and the prior
+    /// are weighted equally. Cold clients (zero events) score exactly the
+    /// prior; confidence grows as `events / (events + prior_strength)`.
+    pub prior_strength: f64,
+    /// Period of the background decay/rescore sweep, in milliseconds.
+    pub decay_interval_ms: u64,
+    /// Sketches whose decayed event weight falls below this are pruned by
+    /// the sweep (full redemption: the client is forgotten).
+    pub prune_below: f64,
+    /// When set, the decay worker derives `Framework::set_load` from the
+    /// observed aggregate arrival rate: `load = rps / capacity_rps`,
+    /// clamped to `[0, 1]`.
+    pub load_capacity_rps: Option<f64>,
+}
+
+impl Default for OnlineSettings {
+    fn default() -> Self {
+        OnlineSettings {
+            capacity: 65_536,
+            shard_count: None,
+            half_life_ms: 60_000,
+            prior_strength: 16.0,
+            decay_interval_ms: 1_000,
+            prune_below: 0.01,
+            load_capacity_rps: None,
+        }
+    }
+}
+
+impl OnlineSettings {
+    /// Validates the settings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on zero capacities/half-life, bad shard
+    /// counts, or non-finite weights.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.capacity == 0 {
+            return Err(ConfigError::ZeroCapacity { field: "online recorder" });
+        }
+        if self.half_life_ms == 0 {
+            return Err(ConfigError::ZeroDuration { field: "online half-life" });
+        }
+        if self.decay_interval_ms == 0 {
+            return Err(ConfigError::ZeroDuration { field: "online decay interval" });
+        }
+        if let Some(shards) = self.shard_count {
+            if shards == 0 || shards > aipow_shard::MAX_SHARDS {
+                return Err(ConfigError::BadShardCount { requested: shards });
+            }
+        }
+        if !self.prior_strength.is_finite() || self.prior_strength < 0.0 {
+            return Err(ConfigError::BadOnlineWeight {
+                field: "prior_strength",
+                value: self.prior_strength,
+            });
+        }
+        if !self.prune_below.is_finite() || self.prune_below < 0.0 {
+            return Err(ConfigError::BadOnlineWeight {
+                field: "prune_below",
+                value: self.prune_below,
+            });
+        }
+        if let Some(rps) = self.load_capacity_rps {
+            if !rps.is_finite() || rps <= 0.0 {
+                return Err(ConfigError::BadOnlineWeight {
+                    field: "load_capacity_rps",
+                    value: rps,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Default for FrameworkConfig {
@@ -64,6 +177,7 @@ impl Default for FrameworkConfig {
             audit_capacity: 1_024,
             ledger_capacity: 4_096,
             shard_count: None,
+            online: None,
         }
     }
 }
@@ -93,6 +207,18 @@ pub enum ConfigError {
         /// The rejected threshold.
         value: f64,
     },
+    /// A duration field was zero.
+    ZeroDuration {
+        /// Which field was zero.
+        field: &'static str,
+    },
+    /// An online-loop weight was not a finite number in its valid range.
+    BadOnlineWeight {
+        /// Which field was invalid.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -115,6 +241,12 @@ impl fmt::Display for ConfigError {
             ConfigError::BadBypassThreshold { value } => {
                 write!(f, "bypass threshold {value} outside [0, 10]")
             }
+            ConfigError::ZeroDuration { field } => {
+                write!(f, "{field} must be a positive number of milliseconds")
+            }
+            ConfigError::BadOnlineWeight { field, value } => {
+                write!(f, "online setting {field} = {value} is out of range")
+            }
         }
     }
 }
@@ -130,7 +262,11 @@ impl From<registry::SpecError> for ConfigError {
 impl FrameworkConfig {
     /// Validates the config and produces a pre-populated builder. The
     /// caller still supplies the model and master key (neither is sensibly
-    /// expressible as plain data).
+    /// expressible as plain data). Likewise, [`online`](Self::online) is
+    /// validated here but must be wired by the caller after `build()`
+    /// (via `aipow_online::OnlineLoop::attach` or
+    /// `aipow_net::ServerConfig::online`) — a builder cannot construct a
+    /// loop that needs the built framework.
     ///
     /// # Errors
     ///
@@ -160,6 +296,9 @@ impl FrameworkConfig {
             if !t.is_finite() || !(0.0..=10.0).contains(&t) {
                 return Err(ConfigError::BadBypassThreshold { value: t });
             }
+        }
+        if let Some(online) = &self.online {
+            online.validate()?;
         }
 
         let mut builder = FrameworkBuilder::new()
@@ -338,9 +477,61 @@ mod tests {
     }
 
     #[test]
+    fn online_settings_validate_through_config() {
+        let good = FrameworkConfig {
+            online: Some(OnlineSettings::default()),
+            ..Default::default()
+        };
+        assert!(good.apply().is_ok());
+
+        for bad in [
+            OnlineSettings {
+                capacity: 0,
+                ..Default::default()
+            },
+            OnlineSettings {
+                half_life_ms: 0,
+                ..Default::default()
+            },
+            OnlineSettings {
+                decay_interval_ms: 0,
+                ..Default::default()
+            },
+            OnlineSettings {
+                shard_count: Some(0),
+                ..Default::default()
+            },
+            OnlineSettings {
+                prior_strength: f64::NAN,
+                ..Default::default()
+            },
+            OnlineSettings {
+                prune_below: -1.0,
+                ..Default::default()
+            },
+            OnlineSettings {
+                load_capacity_rps: Some(0.0),
+                ..Default::default()
+            },
+        ] {
+            let config = FrameworkConfig {
+                online: Some(bad.clone()),
+                ..Default::default()
+            };
+            assert!(config.apply().is_err(), "settings should be rejected: {bad:?}");
+        }
+    }
+
+    #[test]
     fn errors_display() {
         assert!(!ConfigError::ZeroCapacity { field: "audit" }
             .to_string()
             .is_empty());
+        assert!(ConfigError::BadOnlineWeight {
+            field: "prior_strength",
+            value: -1.0,
+        }
+        .to_string()
+        .contains("prior_strength"));
     }
 }

@@ -3,6 +3,7 @@
 use crate::audit::{AuditKind, AuditLog};
 use crate::cost::CostLedger;
 use crate::metrics::FrameworkMetrics;
+use crate::tap::BehaviorSink;
 use aipow_policy::{Policy, PolicyContext};
 use aipow_pow::{
     Challenge, Difficulty, Issuer, ManualClock, Solution, SystemClock, TimeSource, VerifiedToken,
@@ -14,7 +15,7 @@ use core::fmt;
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::net::IpAddr;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A challenge issued by the pipeline, with its provenance.
 #[derive(Debug, Clone)]
@@ -92,6 +93,7 @@ pub struct FrameworkBuilder {
     audit_capacity: usize,
     ledger_capacity: usize,
     shard_count: Option<usize>,
+    behavior_sink: Option<Arc<dyn BehaviorSink>>,
 }
 
 impl Default for FrameworkBuilder {
@@ -117,6 +119,7 @@ impl FrameworkBuilder {
             audit_capacity: 1_024,
             ledger_capacity: 4_096,
             shard_count: None,
+            behavior_sink: None,
         }
     }
 
@@ -221,6 +224,15 @@ impl FrameworkBuilder {
         self
     }
 
+    /// Attaches a behavioral tap that observes every admission decision
+    /// and verification outcome (see [`crate::tap::BehaviorSink`]). A sink
+    /// can alternatively be attached once after build with
+    /// [`Framework::set_behavior_sink`].
+    pub fn behavior_sink(mut self, sink: Arc<dyn BehaviorSink>) -> Self {
+        self.behavior_sink = Some(sink);
+        self
+    }
+
     /// Builds the framework.
     ///
     /// # Errors
@@ -259,6 +271,11 @@ impl FrameworkBuilder {
         metrics.audit_shards.set(audit.shard_count() as i64);
         metrics.ledger_shards.set(ledger.shard_count() as i64);
 
+        let sink = OnceLock::new();
+        if let Some(s) = self.behavior_sink {
+            let _ = sink.set(s);
+        }
+
         Ok(Framework {
             model,
             policy: RwLock::new(policy),
@@ -271,6 +288,7 @@ impl FrameworkBuilder {
             load_millis: AtomicU64::new(0),
             under_attack: AtomicBool::new(false),
             bypass_threshold: self.bypass_threshold,
+            sink,
         })
     }
 }
@@ -306,6 +324,11 @@ pub struct Framework {
     load_millis: AtomicU64,
     under_attack: AtomicBool,
     bypass_threshold: Option<f64>,
+    /// Behavioral tap. A `OnceLock` keeps the hot-path cost at one atomic
+    /// load when unset, while still allowing post-build attachment (the
+    /// TCP server wires the online recorder to an already-built
+    /// framework).
+    sink: OnceLock<Arc<dyn BehaviorSink>>,
 }
 
 impl Framework {
@@ -320,6 +343,9 @@ impl Framework {
                 self.metrics.bypassed.inc();
                 self.audit
                     .record(now_ms, client_ip, AuditKind::Bypassed { score });
+                if let Some(sink) = self.sink.get() {
+                    sink.on_request(client_ip, now_ms, score, None);
+                }
                 return AdmissionDecision::Admit { score };
             }
         }
@@ -338,6 +364,9 @@ impl Framework {
             client_ip,
             AuditKind::ChallengeIssued { score, difficulty },
         );
+        if let Some(sink) = self.sink.get() {
+            sink.on_request(client_ip, now_ms, score, Some(difficulty));
+        }
 
         AdmissionDecision::Challenge(IssuedChallenge {
             challenge,
@@ -378,6 +407,9 @@ impl Framework {
                         difficulty: token.difficulty,
                     },
                 );
+                if let Some(sink) = self.sink.get() {
+                    sink.on_solution(claimed_ip, now_ms, Ok(token.difficulty));
+                }
                 Ok(token)
             }
             Err(err) => {
@@ -389,6 +421,9 @@ impl Framework {
                         reason: err.to_string(),
                     },
                 );
+                if let Some(sink) = self.sink.get() {
+                    sink.on_solution(claimed_ip, now_ms, Err(&err));
+                }
                 Err(err)
             }
         }
@@ -457,6 +492,35 @@ impl Framework {
     /// The underlying verifier (for replay-guard diagnostics).
     pub fn verifier(&self) -> &Verifier {
         &self.verifier
+    }
+
+    /// The framework's time source (shared with issuer and verifier), so
+    /// companion components — feature sources, decay workers — observe the
+    /// same clock.
+    pub fn clock(&self) -> Arc<dyn TimeSource> {
+        Arc::clone(&self.clock)
+    }
+
+    /// The framework clock's current instant, without cloning the clock
+    /// handle — for per-request call sites (e.g. the server's
+    /// rate-limit rejection path) where a refcount bump per request
+    /// would put a shared atomic on the flood hot path.
+    pub fn now_ms(&self) -> u64 {
+        self.clock.now_ms()
+    }
+
+    /// Attaches the behavioral tap after build. Returns `false` (leaving
+    /// the existing sink in place) if one was already attached, either
+    /// here or via [`FrameworkBuilder::behavior_sink`] — the tap is
+    /// intentionally write-once so the hot path never takes a lock to
+    /// read it.
+    pub fn set_behavior_sink(&self, sink: Arc<dyn BehaviorSink>) -> bool {
+        self.sink.set(sink).is_ok()
+    }
+
+    /// The attached behavioral tap, if any.
+    pub fn behavior_sink(&self) -> Option<&Arc<dyn BehaviorSink>> {
+        self.sink.get()
     }
 }
 
@@ -774,6 +838,106 @@ mod tests {
             fw.handle_solution(&report.solution, client).unwrap();
         }
         assert_eq!(fw.metrics_snapshot().replay_evicted_live, 1);
+    }
+
+    #[test]
+    fn behavior_sink_sees_requests_and_solutions() {
+        use std::sync::atomic::AtomicU64;
+
+        #[derive(Default)]
+        struct Recording {
+            challenged: AtomicU64,
+            bypassed: AtomicU64,
+            accepted: AtomicU64,
+            rejected: AtomicU64,
+        }
+        impl BehaviorSink for Recording {
+            fn on_request(
+                &self,
+                _ip: IpAddr,
+                _now_ms: u64,
+                _score: ReputationScore,
+                difficulty: Option<Difficulty>,
+            ) {
+                match difficulty {
+                    Some(_) => self.challenged.fetch_add(1, Ordering::Relaxed),
+                    None => self.bypassed.fetch_add(1, Ordering::Relaxed),
+                };
+            }
+            fn on_solution(
+                &self,
+                _ip: IpAddr,
+                _now_ms: u64,
+                outcome: Result<Difficulty, &VerifyError>,
+            ) {
+                match outcome {
+                    Ok(_) => self.accepted.fetch_add(1, Ordering::Relaxed),
+                    Err(_) => self.rejected.fetch_add(1, Ordering::Relaxed),
+                };
+            }
+        }
+
+        let sink = Arc::new(Recording::default());
+        let fw = FrameworkBuilder::new()
+            .master_key([9u8; 32])
+            .model(FixedScoreModel::new(ReputationScore::new(3.0).unwrap()))
+            .policy(LinearPolicy::policy1())
+            .bypass_threshold(2.0)
+            .behavior_sink(Arc::clone(&sink) as Arc<dyn BehaviorSink>)
+            .build()
+            .unwrap();
+        // A second attachment is refused: the tap is write-once.
+        assert!(!fw.set_behavior_sink(Arc::clone(&sink) as Arc<dyn BehaviorSink>));
+        assert!(fw.behavior_sink().is_some());
+
+        let issued = fw
+            .handle_request(ip(20), &FeatureVector::zeros())
+            .challenge()
+            .unwrap();
+        let report =
+            solver::solve(&issued.challenge, ip(20), &SolverOptions::default()).unwrap();
+        fw.handle_solution(&report.solution, ip(20)).unwrap();
+        // Wrong-IP submission → rejection event.
+        let _ = fw.handle_solution(&report.solution, ip(21));
+
+        assert_eq!(sink.challenged.load(Ordering::Relaxed), 1);
+        assert_eq!(sink.accepted.load(Ordering::Relaxed), 1);
+        assert_eq!(sink.rejected.load(Ordering::Relaxed), 1);
+        assert_eq!(sink.bypassed.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn behavior_sink_attaches_after_build() {
+        use std::sync::atomic::AtomicU64;
+
+        #[derive(Default)]
+        struct CountReq(AtomicU64);
+        impl BehaviorSink for CountReq {
+            fn on_request(
+                &self,
+                _ip: IpAddr,
+                _now_ms: u64,
+                _score: ReputationScore,
+                _difficulty: Option<Difficulty>,
+            ) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+            fn on_solution(
+                &self,
+                _ip: IpAddr,
+                _now_ms: u64,
+                _outcome: Result<Difficulty, &VerifyError>,
+            ) {
+            }
+        }
+
+        let fw = framework_with_score(1.0);
+        // No sink yet: requests are simply not observed.
+        let _ = fw.handle_request(ip(30), &FeatureVector::zeros());
+        let sink = Arc::new(CountReq::default());
+        assert!(fw.set_behavior_sink(Arc::clone(&sink) as Arc<dyn BehaviorSink>));
+        let _ = fw.handle_request(ip(30), &FeatureVector::zeros());
+        assert_eq!(sink.0.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -68,11 +68,12 @@ pub mod sharded {
         MAX_SHARDS,
     };
 }
+pub mod tap;
 pub mod token_bucket;
 
 pub use audit::{AuditEvent, AuditKind, AuditLog};
 pub use controller::{LoadController, LoadSignal};
-pub use config::FrameworkConfig;
+pub use config::{FrameworkConfig, OnlineSettings};
 pub use cost::CostLedger;
 pub use features::{FeatureSource, StaticFeatureSource, SyntheticFeatureSource};
 pub use framework::{
@@ -80,4 +81,5 @@ pub use framework::{
 };
 pub use metrics::{FrameworkMetrics, MetricsSnapshot};
 pub use sharded::{Sharded, ShardedMap};
+pub use tap::BehaviorSink;
 pub use token_bucket::{RateLimiter, TokenBucket};

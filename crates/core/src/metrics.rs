@@ -140,6 +140,15 @@ pub struct FrameworkMetrics {
     /// verification and by
     /// [`Framework::metrics_snapshot`](crate::Framework::metrics_snapshot).
     pub replay_evicted_live: Gauge,
+    /// Clients currently tracked by the online behavior recorder (0 when
+    /// no online loop is attached; refreshed by the decay worker's
+    /// sweep).
+    pub behavior_tracked: Gauge,
+    /// Decay sweeps the online worker has completed.
+    pub behavior_sweeps: Counter,
+    /// Behavior sketches pruned by decay (clients fully forgotten) or
+    /// evicted by the recorder's capacity bound, cumulative.
+    pub behavior_pruned: Counter,
     /// Rejections keyed by the verifier's reason label (lock-free).
     rejected_by_reason: RejectionCounts,
     /// Distribution of issued difficulties in bits (lock-free).
@@ -181,6 +190,9 @@ impl FrameworkMetrics {
             audit_shards: self.audit_shards.get().max(0) as u64,
             ledger_shards: self.ledger_shards.get().max(0) as u64,
             replay_evicted_live: self.replay_evicted_live.get().max(0) as u64,
+            behavior_tracked: self.behavior_tracked.get().max(0) as u64,
+            behavior_sweeps: self.behavior_sweeps.get(),
+            behavior_pruned: self.behavior_pruned.get(),
         }
     }
 }
@@ -210,6 +222,12 @@ pub struct MetricsSnapshot {
     pub ledger_shards: u64,
     /// Live replay entries evicted by the capacity bound (alarm signal).
     pub replay_evicted_live: u64,
+    /// Clients tracked by the online behavior recorder.
+    pub behavior_tracked: u64,
+    /// Decay sweeps completed by the online worker.
+    pub behavior_sweeps: u64,
+    /// Behavior sketches pruned by decay or capacity eviction.
+    pub behavior_pruned: u64,
 }
 
 #[cfg(test)]
@@ -242,6 +260,21 @@ mod tests {
         assert_eq!(snap.challenges_issued, 0);
         assert_eq!(snap.median_issued_difficulty, 0);
         assert!(snap.rejected_by_reason.is_empty());
+        assert_eq!(snap.behavior_tracked, 0);
+        assert_eq!(snap.behavior_sweeps, 0);
+        assert_eq!(snap.behavior_pruned, 0);
+    }
+
+    #[test]
+    fn behavior_gauges_flow_into_snapshot() {
+        let m = FrameworkMetrics::new();
+        m.behavior_tracked.set(12);
+        m.behavior_sweeps.inc();
+        m.behavior_pruned.add(3);
+        let snap = m.snapshot();
+        assert_eq!(snap.behavior_tracked, 12);
+        assert_eq!(snap.behavior_sweeps, 1);
+        assert_eq!(snap.behavior_pruned, 3);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The challenge-issuing TCP resource server.
 
-use aipow_core::{FeatureSource, Framework, RateLimiter};
+use aipow_core::{FeatureSource, Framework, OnlineSettings, RateLimiter};
+use aipow_online::OnlineLoop;
 use aipow_pow::{Solution, SystemClock, TimeSource};
 use aipow_wire::{read_message, write_message, Message, ReadMessageError, RejectCode};
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -34,6 +35,21 @@ pub struct ServerConfig {
     pub rate_limit_shards: Option<usize>,
     /// Backlog of accepted-but-unhandled connections.
     pub queue_depth: usize,
+    /// Online behavioral-reputation loop. When set, the server attaches a
+    /// behavior recorder to the framework's tap, serves model features
+    /// from the live blending source (the `features` argument to
+    /// [`PowServer::start`] becomes the cold-start prior), and runs the
+    /// background decay/rescore worker for the server's lifetime.
+    ///
+    /// The framework's tap is write-once, so a given `Framework` supports
+    /// **one** online attachment for its lifetime: restarting a server
+    /// with `online` set against the same framework instance fails with
+    /// `InvalidInput` (the first loop's recorder is still attached).
+    /// Build a fresh framework per online-enabled server start — cheap
+    /// via [`aipow_core::FrameworkConfig`] — or wire
+    /// `aipow_online::OnlineLoop` yourself, keep it across restarts, and
+    /// pass its source as `features` with `online: None`.
+    pub online: Option<OnlineSettings>,
 }
 
 impl Default for ServerConfig {
@@ -47,6 +63,7 @@ impl Default for ServerConfig {
             rate_limit_max_clients: 65_536,
             rate_limit_shards: None,
             queue_depth: 256,
+            online: None,
         }
     }
 }
@@ -63,6 +80,9 @@ pub struct PowServer {
     /// Clones of live connection streams so shutdown can interrupt workers
     /// blocked in reads.
     connections: Arc<Mutex<Vec<TcpStream>>>,
+    /// The online reputation loop, when configured; its decay worker is
+    /// stopped on shutdown.
+    online: Option<Arc<OnlineLoop>>,
 }
 
 impl PowServer {
@@ -73,7 +93,11 @@ impl PowServer {
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from binding the listener.
+    /// Returns any I/O error from binding the listener, or an
+    /// [`io::ErrorKind::InvalidInput`] error when
+    /// [`ServerConfig::online`] fails [`OnlineSettings::validate`]
+    /// (version-controlled settings must reject bad values, not panic
+    /// the server).
     pub fn start<A: ToSocketAddrs>(
         addr: A,
         framework: Arc<Framework>,
@@ -87,6 +111,30 @@ impl PowServer {
 
         let shutdown = Arc::new(AtomicBool::new(false));
         let resources = Arc::new(resources);
+
+        // Online loop: the caller's feature source becomes the cold-start
+        // prior, and live features are served from the blending source.
+        // Bad settings and a pre-existing behavior sink both reject the
+        // explicit config loudly — silently serving static features
+        // would defeat the operator's stated intent.
+        let online = match &config.online {
+            Some(settings) => Some(
+                OnlineLoop::attach(
+                    Arc::clone(&framework),
+                    Arc::clone(&features),
+                    settings.clone(),
+                )
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?,
+            ),
+            None => None,
+        };
+        let features: Arc<dyn FeatureSource> = match &online {
+            Some(online_loop) => {
+                online_loop.start();
+                online_loop.source()
+            }
+            None => features,
+        };
         let limiter = Arc::new(config.rate_limit.map(|(burst, refill)| {
             match config.rate_limit_shards {
                 Some(shards) => RateLimiter::with_shards(
@@ -164,12 +212,19 @@ impl PowServer {
             acceptor: Some(acceptor),
             workers,
             connections,
+            online,
         })
     }
 
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The online reputation loop, when the server was configured with
+    /// one (for diagnostics: recorder population, manual sweeps).
+    pub fn online(&self) -> Option<&Arc<OnlineLoop>> {
+        self.online.as_ref()
     }
 
     /// Stops accepting, interrupts in-flight connections, and joins all
@@ -195,6 +250,9 @@ impl PowServer {
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if let Some(online) = self.online.take() {
+            online.stop();
         }
     }
 }
@@ -243,6 +301,15 @@ fn handle_connection(
             Message::RequestResource { path } => {
                 if let Some(limiter) = limiter {
                     if !limiter.allow(peer_ip, SystemClock.now_ms()) {
+                        // The behavior tap still sees the arrival: a
+                        // flooder mostly dying at the limiter must not
+                        // look like a light client to the online loop.
+                        // Stamped with the framework's clock — the same
+                        // timeline every other tap event and the sketch
+                        // decay math live on.
+                        if let Some(sink) = framework.behavior_sink() {
+                            sink.on_rate_limited(peer_ip, framework.now_ms());
+                        }
                         let _ = write_message(
                             &mut stream,
                             &Message::Rejected {
@@ -415,6 +482,108 @@ mod tests {
         // ...and the listener is gone, so the port can be rebound.
         let rebound = TcpListener::bind(addr);
         assert!(rebound.is_ok(), "port still held after drop: {rebound:?}");
+    }
+
+    #[test]
+    fn invalid_online_settings_error_instead_of_panicking() {
+        use aipow_core::OnlineSettings;
+        let framework = Arc::new(
+            FrameworkBuilder::new()
+                .master_key([3u8; 32])
+                .model(FixedScoreModel::new(ReputationScore::MIN))
+                .policy(LinearPolicy::policy1())
+                .build()
+                .unwrap(),
+        );
+        let err = PowServer::start(
+            "127.0.0.1:0",
+            framework,
+            Arc::new(StaticFeatureSource::new(FeatureVector::zeros())),
+            HashMap::new(),
+            ServerConfig {
+                online: Some(OnlineSettings {
+                    capacity: 0,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn online_loop_raises_difficulty_for_abusive_ip() {
+        use crate::client::PowClient;
+        use aipow_core::OnlineSettings;
+        use aipow_pow::{Difficulty, Issuer};
+        use aipow_reputation::baseline::BlocklistHeuristic;
+
+        let framework = Arc::new(
+            FrameworkBuilder::new()
+                .master_key([3u8; 32])
+                .model(BlocklistHeuristic)
+                .policy(LinearPolicy::policy2())
+                .build()
+                .unwrap(),
+        );
+        let mut resources = HashMap::new();
+        resources.insert("/r".to_string(), b"payload".to_vec());
+        let server = PowServer::start(
+            "127.0.0.1:0",
+            framework,
+            Arc::new(StaticFeatureSource::new(FeatureVector::zeros())),
+            resources,
+            ServerConfig {
+                // Two live connections below (honest client + spammer);
+                // on a single-core host the default worker count is 1.
+                workers: 4,
+                online: Some(OnlineSettings {
+                    prior_strength: 4.0,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        let mut client = PowClient::connect(addr).unwrap();
+        let before = client.fetch("/r").unwrap().difficulty.unwrap().bits();
+
+        // Spam garbage solutions (foreign-key challenges fail the MAC).
+        let foreign = Issuer::new(&[0xEE; 32]);
+        let ip = "127.0.0.1".parse().unwrap();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        for _ in 0..40 {
+            let fake = foreign.issue(ip, Difficulty::new(1).unwrap());
+            write_message(
+                &mut stream,
+                &aipow_wire::Message::SubmitSolution {
+                    challenge: fake,
+                    nonce: 0,
+                    width: aipow_pow::NonceWidth::U64,
+                    path: "/r".into(),
+                },
+            )
+            .unwrap();
+            match read_message(&mut stream).unwrap() {
+                aipow_wire::Message::Rejected { code, .. } => {
+                    assert_eq!(code, RejectCode::InvalidSolution)
+                }
+                other => panic!("expected rejection, got {other:?}"),
+            }
+        }
+
+        // The recorder saw the abuse; the model now charges this IP more.
+        let after = client.fetch("/r").unwrap().difficulty.unwrap().bits();
+        assert!(
+            after >= before + 2,
+            "abuse must raise difficulty: before {before}, after {after}"
+        );
+        let online = server.online().expect("online loop configured");
+        assert_eq!(online.recorder().len(), 1);
+        server.shutdown();
     }
 
     #[test]

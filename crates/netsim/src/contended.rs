@@ -27,13 +27,16 @@
 //! ```
 
 use aipow_core::{
-    FeatureSource, Framework, FrameworkBuilder, RateLimiter, StaticFeatureSource,
+    FeatureSource, Framework, FrameworkBuilder, OnlineSettings, RateLimiter,
+    StaticFeatureSource,
 };
+use aipow_online::OnlineLoop;
 use aipow_policy::LinearPolicy;
 use aipow_reputation::model::FixedScoreModel;
 use aipow_reputation::{FeatureVector, ReputationScore};
 use serde::{Deserialize, Serialize};
 use std::net::{IpAddr, Ipv4Addr};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Parameters for the contended-admission measurement.
@@ -50,6 +53,12 @@ pub struct ContendedConfig {
     /// Explicit shard count for the framework's per-client structures;
     /// `None` uses the automatic choice.
     pub shard_count: Option<usize>,
+    /// Attach the online behavior recorder (`aipow-online`) and serve
+    /// features from the blending behavioral source, so the measurement
+    /// covers the full online-loop admission path. The acceptance bar:
+    /// throughput with the recorder enabled stays within ~10 % of the
+    /// recorder-free path (no new global lock).
+    pub online: bool,
 }
 
 impl Default for ContendedConfig {
@@ -59,6 +68,7 @@ impl Default for ContendedConfig {
             ops_per_thread: 50_000,
             ips_per_thread: 1_024,
             shard_count: None,
+            online: false,
         }
     }
 }
@@ -93,21 +103,36 @@ pub struct ContendedReport {
 /// ledger) are not on this path — their concurrent exactness is covered
 /// by `tests/stress_sharded.rs` instead, since driving them here would
 /// mostly measure SHA-256 solving, not lock contention.
-#[derive(Debug)]
 pub struct AdmissionPath {
     /// The composed framework (audit log, metrics, issuer).
-    pub framework: Framework,
+    pub framework: Arc<Framework>,
     /// The server-layer per-IP rate limiter (sized to never deny, so the
     /// measurement stays about contention, not rejection short-circuits).
     pub limiter: RateLimiter,
-    /// The server-layer per-IP feature table.
-    pub features: StaticFeatureSource,
+    /// The server-layer per-IP feature source (the static table, or the
+    /// behavioral source when the online loop is attached).
+    pub features: Arc<dyn FeatureSource>,
+    /// The attached online loop, when measuring the recorder-enabled
+    /// path.
+    pub online: Option<Arc<OnlineLoop>>,
+}
+
+impl std::fmt::Debug for AdmissionPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionPath")
+            .field("framework", &self.framework)
+            .field("online", &self.online.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 /// Builds the admission path under a fixed mid-range score through
 /// Policy 2, so the measured cost is the pipeline itself, not model
-/// inference. Shared by the scenario and the criterion bench.
-pub fn contended_path(shard_count: Option<usize>) -> AdmissionPath {
+/// inference. Shared by the scenario and the criterion bench. With
+/// `online`, the behavior recorder taps every admission and features are
+/// served through the blending behavioral source — the full online-loop
+/// hot path.
+pub fn contended_path_with(shard_count: Option<usize>, online: bool) -> AdmissionPath {
     let mut builder = FrameworkBuilder::new()
         .master_key([0x5Au8; 32])
         .model(FixedScoreModel::new(
@@ -121,15 +146,39 @@ pub fn contended_path(shard_count: Option<usize>) -> AdmissionPath {
         Some(shards) => RateLimiter::with_shards(1e12, 1e6, 1 << 20, shards),
         None => RateLimiter::new(1e12, 1e6, 1 << 20),
     };
-    let features = match shard_count {
+    let table = match shard_count {
         Some(shards) => StaticFeatureSource::with_shards(FeatureVector::zeros(), shards),
         None => StaticFeatureSource::new(FeatureVector::zeros()),
     };
+    let framework = Arc::new(builder.build().expect("framework builds"));
+    let (features, online) = if online {
+        let settings = OnlineSettings {
+            // Room for every distinct IP the drivers cycle through, so
+            // the measurement covers recording, not eviction churn.
+            capacity: 1 << 20,
+            shard_count,
+            ..Default::default()
+        };
+        let online = OnlineLoop::attach(Arc::clone(&framework), Arc::new(table), settings)
+            .expect("fresh framework has no sink");
+        (
+            online.source() as Arc<dyn FeatureSource>,
+            Some(online),
+        )
+    } else {
+        (Arc::new(table) as Arc<dyn FeatureSource>, None)
+    };
     AdmissionPath {
-        framework: builder.build().expect("framework builds"),
+        framework,
         limiter,
         features,
+        online,
     }
+}
+
+/// [`contended_path_with`] without the online loop (the PR 2 baseline).
+pub fn contended_path(shard_count: Option<usize>) -> AdmissionPath {
+    contended_path_with(shard_count, false)
 }
 
 /// The per-thread admission loop: `ops` requests from this thread's
@@ -152,7 +201,7 @@ pub fn drive(path: &AdmissionPath, thread_id: usize, ops: usize, ips: usize) {
 /// Builds a framework and measures aggregate `handle_request` throughput
 /// at each configured thread count.
 pub fn run_contended(config: &ContendedConfig) -> ContendedReport {
-    let path = contended_path(config.shard_count);
+    let path = contended_path_with(config.shard_count, config.online);
     let audit_shards = path.framework.audit().shard_count() as u64;
 
     let rows = config
@@ -208,6 +257,7 @@ mod tests {
             ops_per_thread: 1_000,
             ips_per_thread: 64,
             shard_count: Some(8),
+            online: false,
         }
     }
 
@@ -234,6 +284,24 @@ mod tests {
         let md = contended_to_markdown(&report);
         assert_eq!(md.lines().count(), 3); // header + separator + 1 row
         assert!(md.contains("| 1 | 100 |"));
+    }
+
+    #[test]
+    fn online_path_records_every_admission() {
+        let path = contended_path_with(Some(8), true);
+        drive(&path, 0, 1_000, 64);
+        let online = path.online.as_ref().expect("online loop attached");
+        assert_eq!(online.recorder().total_requests(), 1_000);
+        assert_eq!(online.recorder().len(), 64);
+        // The report runs too, with the recorder on the path.
+        let report = run_contended(&ContendedConfig {
+            threads: vec![1, 4],
+            ops_per_thread: 1_000,
+            online: true,
+            ..tiny()
+        });
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.rows.iter().all(|r| r.ops_per_sec > 0.0));
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! - [`scenario`] — DDoS scenarios over the event engine (claim C5:
 //!   “our approach effectively throttles untrustworthy traffic”);
 //! - [`contended`] — real-thread contended-admission throughput against a
-//!   live [`aipow_core::Framework`] (the sharded-state scaling proof);
+//!   live [`aipow_core::Framework`] (the sharded-state scaling proof),
+//!   with and without the online behavior recorder attached;
+//! - [`behavior`] — the online-reputation-loop scenarios (*behavior-shift*
+//!   and *redemption*): the model's input produced by the system itself;
 //! - [`report`] — CSV/Markdown rendering for EXPERIMENTS.md.
 //!
 //! Everything except [`contended`] is seeded; two runs with the same
@@ -38,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod behavior;
 pub mod contended;
 pub mod engine;
 pub mod fig2;
@@ -46,6 +50,9 @@ pub mod report;
 pub mod sample;
 pub mod scenario;
 
+pub use behavior::{
+    BehaviorConfig, BehaviorShiftOutcome, RedemptionOutcome, TrajectoryPoint,
+};
 pub use contended::{ContendedConfig, ContendedReport, ContendedRow};
 pub use engine::EventQueue;
 pub use fig2::{Fig2Config, Fig2Row, Fig2Table};

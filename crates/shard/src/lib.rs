@@ -383,6 +383,61 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
         self.with_or_insert_with(key, init, update)
     }
 
+    /// Like [`update_or_insert_evicting`](Self::update_or_insert_evicting),
+    /// but the capacity bound and victim scan are **per shard**: an
+    /// insert into a full shard evicts that shard's minimum-`score`
+    /// entry, and the whole operation — existence check, victim scan,
+    /// eviction, insert, update — runs under a single acquisition of the
+    /// key's shard lock.
+    ///
+    /// This trades the global-capacity semantics of the evicting insert
+    /// for a hard hot-path bound: the worst case touches one shard and
+    /// scans at most `max_entries_per_shard` entries, instead of folding
+    /// over every shard with retries. Total population is bounded by
+    /// `max_entries_per_shard × shard_count`; keys hash uniformly, so a
+    /// population at `p` of the bound keeps per-shard occupancy near `p`
+    /// (the same per-shard capacity semantics as the replay guard —
+    /// DESIGN.md §7.3).
+    ///
+    /// Returns the `update` result and whether a victim was evicted
+    /// (exact — the eviction happens under the same lock).
+    pub fn update_or_insert_evicting_in_shard<R, S: PartialOrd + Copy>(
+        &self,
+        key: K,
+        max_entries_per_shard: usize,
+        score: impl Fn(&V) -> S,
+        init: impl FnOnce() -> V,
+        update: impl FnOnce(&mut V) -> R,
+    ) -> (R, bool)
+    where
+        K: Copy,
+    {
+        let index = self.inner.shard_index(&key);
+        self.inner.with_index(index, |shard| {
+            if let Some(value) = shard.get_mut(&key) {
+                return (update(value), false);
+            }
+            let mut evicted = false;
+            if shard.len() >= max_entries_per_shard.max(1) {
+                let victim = shard
+                    .iter()
+                    .map(|(k, v)| (*k, score(v)))
+                    .reduce(|best, cand| if cand.1 < best.1 { cand } else { best })
+                    .map(|(k, _)| k);
+                if let Some(victim) = victim {
+                    shard.remove(&victim);
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+                    evicted = true;
+                }
+            }
+            let value = shard.entry(key).or_insert_with(|| {
+                self.len.fetch_add(1, Ordering::Relaxed);
+                init()
+            });
+            (update(value), evicted)
+        })
+    }
+
     /// Keeps only entries for which `f` returns `true`, sweeping shards
     /// one at a time.
     pub fn retain(&self, mut f: impl FnMut(&K, &mut V) -> bool) {
@@ -531,6 +586,55 @@ mod tests {
         let map: ShardedMap<u8, u64> = ShardedMap::new(4);
         map.update_or_insert_evicting(9u8, 0, |v| *v, || 1, |v| *v);
         assert_eq!(map.get_cloned(&9), Some(1));
+    }
+
+    #[test]
+    fn in_shard_eviction_drops_min_score_within_one_shard() {
+        // One shard makes placement deterministic.
+        let map: ShardedMap<u8, u64> = ShardedMap::new(1);
+        map.insert(1, 100);
+        map.insert(2, 5);
+        map.insert(3, 50);
+        // Shard full at 3: inserting key 4 evicts key 2 (min score).
+        let (result, evicted) =
+            map.update_or_insert_evicting_in_shard(4u8, 3, |v| *v, || 7, |v| {
+                *v += 1;
+                *v
+            });
+        assert_eq!((result, evicted), (8, true));
+        assert_eq!(map.len(), 3);
+        assert_eq!(map.get_cloned(&2), None);
+        assert_eq!(map.get_cloned(&4), Some(8));
+
+        // Existing keys update in place without eviction even when full.
+        let (result, evicted) =
+            map.update_or_insert_evicting_in_shard(1u8, 3, |v| *v, || 0, |v| *v);
+        assert_eq!((result, evicted), (100, false));
+        assert_eq!(map.len(), 3);
+    }
+
+    #[test]
+    fn in_shard_eviction_zero_capacity_still_inserts() {
+        let map: ShardedMap<u8, u64> = ShardedMap::new(1);
+        // A per-shard bound of 0 is clamped to 1: the sole entry keeps
+        // being replaced rather than the insert being lost.
+        let (_, evicted) =
+            map.update_or_insert_evicting_in_shard(1u8, 0, |v| *v, || 1, |v| *v);
+        assert!(!evicted);
+        let (_, evicted) =
+            map.update_or_insert_evicting_in_shard(2u8, 0, |v| *v, || 2, |v| *v);
+        assert!(evicted);
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.get_cloned(&2), Some(2));
+    }
+
+    #[test]
+    fn in_shard_eviction_bounds_total_population() {
+        let map: ShardedMap<u32, u32> = ShardedMap::new(8);
+        for i in 0..10_000u32 {
+            map.update_or_insert_evicting_in_shard(i, 4, |v| *v, || i, |v| *v);
+        }
+        assert!(map.len() <= 4 * 8, "population {} over bound", map.len());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | [`reputation`] | `aipow-reputation` | DAbR-style AI model (§II.1) |
 //! | [`policy`] | `aipow-policy` | score→difficulty policies 1–3 + DSL (§II.2, §III) |
 //! | [`framework`] | `aipow-core` | the composed admission pipeline (Figure 1) |
+//! | [`online`] | `aipow-online` | live behavioral telemetry + online reputation loop |
 //! | [`wire`] | `aipow-wire` | binary protocol for the challenge exchange |
 //! | [`net`] | `aipow-net` | real TCP server/client runtime |
 //! | [`netsim`] | `aipow-netsim` | calibrated evaluation testbed (§III) |
@@ -85,6 +86,13 @@ pub mod framework {
     pub use aipow_core::*;
 }
 
+/// Live behavioral telemetry: the sharded behavior recorder, the
+/// prior-blending behavioral feature source, and the decay/rescore
+/// worker that closes the reputation loop.
+pub mod online {
+    pub use aipow_online::*;
+}
+
 /// Binary wire protocol for the challenge exchange.
 pub mod wire {
     pub use aipow_wire::*;
@@ -109,9 +117,10 @@ pub mod metrics {
 /// The most common imports, for `use aipow::prelude::*`.
 pub mod prelude {
     pub use aipow_core::{
-        AdmissionDecision, Framework, FrameworkBuilder, FrameworkConfig, LoadController,
-        StaticFeatureSource,
+        AdmissionDecision, FeatureSource, Framework, FrameworkBuilder, FrameworkConfig,
+        LoadController, OnlineSettings, StaticFeatureSource,
     };
+    pub use aipow_online::{BehaviorRecorder, BehavioralFeatureSource, OnlineLoop};
     pub use aipow_policy::{
         ErrorRangePolicy, LinearPolicy, Policy, PolicyContext, PowerPolicy, StepPolicy,
     };

@@ -180,6 +180,86 @@ fn abuse_does_not_disturb_honest_clients() {
     server.shutdown();
 }
 
+/// With the online reputation loop attached, invalid-solution spam raises
+/// the spammer's difficulty while a concurrent well-behaved client from a
+/// different IP keeps its baseline. (Driven at the framework layer so the
+/// two clients can present distinct IPs — every TCP connection in this
+/// suite is 127.0.0.1.)
+#[test]
+fn invalid_solution_spam_raises_only_the_spammers_difficulty() {
+    use aipow::framework::OnlineSettings;
+    use aipow::online::OnlineLoop;
+    use aipow::pow::ManualClock;
+    use aipow::reputation::baseline::BlocklistHeuristic;
+
+    let clock = ManualClock::at(0);
+    let framework = Arc::new(
+        FrameworkBuilder::new()
+            .master_key([0xCD; 32])
+            .model(BlocklistHeuristic)
+            .policy(LinearPolicy::policy2())
+            .clock(Arc::new(clock.clone()))
+            .build()
+            .unwrap(),
+    );
+    let online = OnlineLoop::attach(
+        Arc::clone(&framework),
+        Arc::new(StaticFeatureSource::new(FeatureVector::zeros())),
+        OnlineSettings {
+            prior_strength: 4.0,
+            ..Default::default()
+        },
+    )
+    .expect("fresh framework has no sink");
+    let source = online.source();
+
+    let spammer: std::net::IpAddr = "198.51.100.66".parse().unwrap();
+    let honest: std::net::IpAddr = "198.51.100.7".parse().unwrap();
+    let foreign = Issuer::new(&[0xFF; 32]);
+
+    let request = |ip: &std::net::IpAddr| {
+        framework
+            .handle_request(*ip, &source.features_for(*ip))
+            .challenge()
+            .unwrap()
+    };
+
+    let spammer_before = request(&spammer).difficulty.bits();
+    let honest_before = request(&honest).difficulty.bits();
+
+    // Interleave: the spammer submits fabricated solutions (MAC failures)
+    // while the honest client keeps fetching and solving.
+    for round in 0..30u64 {
+        clock.set(round * 200);
+        let fake = foreign.issue(spammer, Difficulty::new(1).unwrap());
+        let garbage = solve(&fake, spammer, &SolverOptions::default())
+            .unwrap()
+            .solution;
+        assert!(framework.handle_solution(&garbage, spammer).is_err());
+
+        let issued = request(&honest);
+        let report = solve(&issued.challenge, honest, &SolverOptions::default()).unwrap();
+        framework.handle_solution(&report.solution, honest).unwrap();
+    }
+
+    clock.set(30 * 200);
+    let spammer_after = request(&spammer).difficulty.bits();
+    let honest_after = request(&honest).difficulty.bits();
+
+    assert!(
+        spammer_after >= spammer_before + 4,
+        "spam must raise the spammer's difficulty: {spammer_before} → {spammer_after}"
+    );
+    assert!(
+        honest_after <= honest_before + 1,
+        "honest client must be unaffected: {honest_before} → {honest_after}"
+    );
+    // The rejections were tallied and both clients are tracked.
+    let snap = framework.metrics_snapshot();
+    assert_eq!(snap.rejected_by_reason["bad_mac"], 30);
+    assert_eq!(online.recorder().len(), 2);
+}
+
 #[test]
 fn oversized_frame_header_is_refused() {
     let (server, _) = deploy();
