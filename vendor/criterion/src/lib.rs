@@ -5,8 +5,23 @@
 //! annotations, `iter`/`iter_batched` — with a simple median-of-samples
 //! timer instead of criterion's full statistical machinery. Reports one
 //! line per benchmark to stdout.
+//!
+//! # Machine-readable output
+//!
+//! When the environment variable `AIPOW_BENCH_JSON` names a file, every
+//! benchmark result is *additionally* appended to it as one JSON object
+//! per line (JSON Lines):
+//!
+//! ```text
+//! {"group":"contended_admission","id":"threads/4","median_ns":38117.2,"throughput":{"unit":"elements","per_iter":8000,"per_sec":209878234.1}}
+//! ```
+//!
+//! The file is appended to, never truncated, so a caller that wants a
+//! fresh file removes it first. This is how the repo's perf trajectory
+//! (`BENCH_contended.json`, see EXPERIMENTS.md) accumulates across PRs.
 
 use std::fmt::Display;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -228,7 +243,51 @@ impl BenchmarkGroup<'_> {
             _ => String::new(),
         };
         println!("bench {label:<40} median {}{rate}", fmt_ns(median_ns));
+        if let Ok(path) = std::env::var("AIPOW_BENCH_JSON") {
+            if !path.is_empty() {
+                // Best-effort: an unwritable path must not fail the bench.
+                let _ = append_json_line(&path, &self.name, id, median_ns, self.throughput);
+            }
+        }
     }
+}
+
+/// Appends one JSON-Lines record for a finished benchmark.
+fn append_json_line(
+    path: &str,
+    group: &str,
+    id: &str,
+    median_ns: f64,
+    throughput: Option<Throughput>,
+) -> std::io::Result<()> {
+    let throughput_json = match throughput {
+        Some(Throughput::Bytes(n)) => format!(
+            ",\"throughput\":{{\"unit\":\"bytes\",\"per_iter\":{n},\"per_sec\":{:.1}}}",
+            if median_ns > 0.0 { n as f64 / median_ns * 1e9 } else { 0.0 }
+        ),
+        Some(Throughput::Elements(n)) => format!(
+            ",\"throughput\":{{\"unit\":\"elements\",\"per_iter\":{n},\"per_sec\":{:.1}}}",
+            if median_ns > 0.0 { n as f64 / median_ns * 1e9 } else { 0.0 }
+        ),
+        None => String::new(),
+    };
+    let line = format!(
+        "{{\"group\":\"{}\",\"id\":\"{}\",\"median_ns\":{:.1}{}}}\n",
+        json_escape(group),
+        json_escape(id),
+        median_ns,
+        throughput_json,
+    );
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    file.write_all(line.as_bytes())
+}
+
+/// Escapes the characters benchmark names could plausibly contain.
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -345,6 +404,29 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_lines_are_well_formed() {
+        let path = std::env::temp_dir().join(format!(
+            "aipow_bench_json_test_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let path_str = path.to_str().unwrap();
+        append_json_line(path_str, "group", "id/1", 123.45, Some(Throughput::Elements(10)))
+            .unwrap();
+        append_json_line(path_str, "grp\"2", "", 0.0, None).unwrap();
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = contents.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"group\":\"group\",\"id\":\"id/1\",\"median_ns\":123.5,\
+             \"throughput\":{\"unit\":\"elements\",\"per_iter\":10,\"per_sec\":81004455.2}}"
+        );
+        assert!(lines[1].starts_with("{\"group\":\"grp\\\"2\""));
+        let _ = std::fs::remove_file(&path);
+    }
 
     #[test]
     fn bencher_records_positive_median() {
