@@ -44,9 +44,7 @@ fn run_group(c: &mut Criterion, name: &str, path: &AdmissionPath) {
                 b.iter(|| {
                     std::thread::scope(|scope| {
                         for t in 0..threads {
-                            scope.spawn(move || {
-                                drive(path, t, OPS_PER_THREAD, IPS_PER_THREAD)
-                            });
+                            scope.spawn(move || drive(path, t, OPS_PER_THREAD, IPS_PER_THREAD));
                         }
                     });
                 });

@@ -23,10 +23,14 @@ fn policy_eval(c: &mut Criterion) {
     let score = ReputationScore::new(6.5).unwrap();
 
     let policy1 = LinearPolicy::policy1();
-    group.bench_function("policy1", |b| b.iter(|| policy1.difficulty_for(score, &ctx)));
+    group.bench_function("policy1", |b| {
+        b.iter(|| policy1.difficulty_for(score, &ctx))
+    });
 
     let policy3 = ErrorRangePolicy::new(2.0, 1);
-    group.bench_function("policy3", |b| b.iter(|| policy3.difficulty_for(score, &ctx)));
+    group.bench_function("policy3", |b| {
+        b.iter(|| policy3.difficulty_for(score, &ctx))
+    });
 
     let step = StepPolicy::builder("step")
         .band_below(2.0, 1)

@@ -6,7 +6,7 @@
 use aipow_bench::fitted_dabr;
 use aipow_reputation::baseline::{BlocklistHeuristic, KnnScorer};
 use aipow_reputation::dabr::{DabrConfig, DabrModel};
-use aipow_reputation::{ReputationModel, synth::DatasetSpec};
+use aipow_reputation::{synth::DatasetSpec, ReputationModel};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::time::Duration;
 

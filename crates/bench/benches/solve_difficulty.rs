@@ -33,9 +33,7 @@ fn solve_scaling(c: &mut Criterion) {
     group.bench_function("strict_u32_d12", |b| {
         b.iter_batched(
             || issued_challenge(12),
-            |challenge| {
-                solver::solve(&challenge, ip, &SolverOptions::strict()).expect("solvable")
-            },
+            |challenge| solver::solve(&challenge, ip, &SolverOptions::strict()).expect("solvable"),
             BatchSize::SmallInput,
         )
     });

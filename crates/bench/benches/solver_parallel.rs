@@ -24,13 +24,8 @@ fn solver_parallel(c: &mut Criterion) {
                 b.iter_batched(
                     || issued_challenge(16),
                     |challenge| {
-                        solver::solve_parallel(
-                            &challenge,
-                            ip,
-                            threads,
-                            &SolverOptions::default(),
-                        )
-                        .expect("solvable")
+                        solver::solve_parallel(&challenge, ip, threads, &SolverOptions::default())
+                            .expect("solvable")
                     },
                     BatchSize::SmallInput,
                 )

@@ -1,0 +1,166 @@
+//! The netsim scenario suite, runnable as one CI step.
+//!
+//! Each scenario family in `aipow-netsim` carries assertions about the
+//! system's behavior — Policy 2's escalation shape (`fig2`), sharded
+//! admission scaling (`contended`), the online reputation loop
+//! (`behavior`), and flat admission cost under an address-cycling flood
+//! (`flood`). `cargo test` exercises them at unit scale; this binary
+//! runs each suite at scenario scale and asserts its documented
+//! invariants, so the claims cannot rot outside the test harness. Any
+//! violated invariant panics, failing the CI step.
+//!
+//! Run with `cargo run --release -p aipow-bench --bin netsim_scenarios`.
+
+use aipow_netsim::behavior::{run_behavior_shift, run_redemption, BehaviorConfig};
+use aipow_netsim::contended::{run_contended, ContendedConfig};
+use aipow_netsim::fig2::{run_paper_policies, Fig2Config};
+use aipow_netsim::flood::{flood_to_markdown, run_flood_pair};
+
+fn fig2_suite() {
+    println!("== fig2: latency vs reputation, Policies 1-3 ==");
+    let table = run_paper_policies(&Fig2Config::default());
+    for policy in ["policy1", "policy2", "policy3"] {
+        assert!(
+            table.median_ms(policy, 0).is_some(),
+            "{policy}: no row at reputation 0"
+        );
+    }
+    // Policy 2 escalates sharply; Policy 1 stays linear and mild.
+    let p2_growth = table.growth_factor("policy2").expect("policy2 rows");
+    let p1_growth = table.growth_factor("policy1").expect("policy1 rows");
+    assert!(p2_growth > 5.0, "policy2 growth {p2_growth:.1} too flat");
+    assert!(
+        p2_growth > p1_growth,
+        "policy2 ({p2_growth:.1}) must escalate faster than policy1 ({p1_growth:.1})"
+    );
+    println!("   policy1 growth {p1_growth:.1}x, policy2 growth {p2_growth:.1}x -- ok");
+}
+
+fn contended_suite() {
+    println!("== contended: sharded admission throughput ==");
+    let report = run_contended(&ContendedConfig {
+        threads: vec![1, 4],
+        ops_per_thread: 20_000,
+        ..Default::default()
+    });
+    assert_eq!(report.rows.len(), 2);
+    for row in &report.rows {
+        assert!(
+            row.ops_per_sec > 0.0,
+            "{} threads: no throughput measured",
+            row.threads
+        );
+        println!(
+            "   {} threads: {:.0} admissions/s",
+            row.threads, row.ops_per_sec
+        );
+    }
+    // No lock convoy: added threads must never *lose* aggregate
+    // throughput outright (they scale on multicore hosts and hold flat
+    // on single-core builders; a global lock loses ~2x to convoying).
+    let t1 = report.rows[0].ops_per_sec;
+    let t4 = report.rows[1].ops_per_sec;
+    assert!(
+        t4 > t1 * 0.5,
+        "4-thread throughput {t4:.0} collapsed vs 1-thread {t1:.0}: lock convoy"
+    );
+    println!("   no convoy (4T/1T = {:.2}) -- ok", t4 / t1);
+}
+
+fn behavior_suite() {
+    println!("== behavior: online reputation loop ==");
+    let config = BehaviorConfig::default();
+    let shift = run_behavior_shift(&config);
+    assert!(
+        shift.peak_bits >= shift.baseline_bits.saturating_add(4),
+        "flooder only climbed {} -> {} bits",
+        shift.baseline_bits,
+        shift.peak_bits
+    );
+    assert!(
+        shift.requests_to_climb_4.is_some(),
+        "flooder never climbed 4 bits"
+    );
+    assert!(
+        shift.benign_max_bits <= shift.benign_min_bits.saturating_add(2),
+        "benign client's difficulty wandered {} -> {}",
+        shift.benign_min_bits,
+        shift.benign_max_bits
+    );
+    println!(
+        "   flooder {} -> {} bits in {:?} requests; benign stayed {}-{} -- ok",
+        shift.baseline_bits,
+        shift.peak_bits,
+        shift.requests_to_climb_4,
+        shift.benign_min_bits,
+        shift.benign_max_bits
+    );
+
+    // A long quiet phase (30 half-lives) so the run covers the whole
+    // redemption arc: recovery below the bypass threshold, genuine
+    // re-bypass, and finally the sketch being pruned (fully forgotten).
+    let redemption = run_redemption(&BehaviorConfig {
+        phase_s: 10.0,
+        second_phase_s: 300.0,
+        ..config
+    });
+    assert!(
+        redemption.recovered_after_ms.is_some(),
+        "flooder never redeemed below the bypass threshold"
+    );
+    assert!(
+        redemption.bypassed_after_recovery,
+        "recovered client was not bypassed again"
+    );
+    assert!(redemption.pruned, "idle sketch was never pruned");
+    println!(
+        "   redemption in {:.1} half-lives, re-bypassed, pruned -- ok",
+        redemption.recovered_after_half_lives.unwrap_or(f64::NAN)
+    );
+}
+
+fn flood_suite() {
+    println!("== flood: bounded eviction under address cycling ==");
+    let pair = run_flood_pair(4_096, 65_536, 20_000);
+    for outcome in [&pair.small, &pair.large] {
+        assert!(
+            outcome.population <= outcome.max_clients,
+            "population {} exceeded max_clients {}",
+            outcome.population,
+            outcome.max_clients
+        );
+        assert_eq!(
+            outcome.global_eviction_folds, 0,
+            "max_clients {}: the admission path folded over the whole table",
+            outcome.max_clients
+        );
+        assert!(
+            outcome.evictions as usize >= outcome.churn.requests,
+            "max_clients {}: the churn phase did not churn",
+            outcome.max_clients
+        );
+    }
+    // The flatness claim: growing the table 16x must not grow the
+    // per-request cost at capacity. Medians are compared tightly; p99
+    // gets headroom for scheduler noise on shared runners.
+    let p50_ratio = pair.churn_p50_ratio();
+    let p99_ratio = pair.churn_p99_ratio();
+    assert!(
+        p50_ratio < 3.0,
+        "churn p50 grew {p50_ratio:.2}x when capacity grew 16x: eviction cost not flat"
+    );
+    assert!(
+        p99_ratio < 6.0,
+        "churn p99 grew {p99_ratio:.2}x when capacity grew 16x: eviction cost not flat"
+    );
+    println!("{}", flood_to_markdown(&pair));
+    println!("   churn p50 ratio {p50_ratio:.2}, p99 ratio {p99_ratio:.2} -- ok");
+}
+
+fn main() {
+    fig2_suite();
+    contended_suite();
+    behavior_suite();
+    flood_suite();
+    println!("netsim scenario suite: all invariants hold");
+}

@@ -223,9 +223,7 @@ fn reputation() {
     println!("== C2: reputation model quality (paper: DAbR ≈ 80 % accuracy) ==");
     let seeds = [11u64, 23, 37, 53, 71];
 
-    let mut csv = String::from(
-        "model,seed,accuracy,precision,recall,f1,score_mae_epsilon\n",
-    );
+    let mut csv = String::from("model,seed,accuracy,precision,recall,f1,score_mae_epsilon\n");
     let mut rows: Vec<(String, Vec<EvalReport>)> = Vec::new();
 
     for model_name in ["dabr", "knn", "heuristic"] {
@@ -258,9 +256,8 @@ fn reputation() {
         let sd = (acc.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>()
             / (acc.len() - 1) as f64)
             .sqrt();
-        let avg = |f: fn(&EvalReport) -> f64| {
-            reports.iter().map(f).sum::<f64>() / reports.len() as f64
-        };
+        let avg =
+            |f: fn(&EvalReport) -> f64| reports.iter().map(f).sum::<f64>() / reports.len() as f64;
         let paper = if name == "dabr" { "≈ 0.80" } else { "—" };
         md.push_str(&format!(
             "| {name} | {mean:.3} ± {sd:.3} | {:.3} | {:.3} | {:.3} | {:.2} | {paper} |\n",
@@ -373,9 +370,7 @@ fn epsilon_sweep() {
             let (lo, hi) = policy.interval(score);
             let median = trials.median().unwrap();
             let iqr = trials.iqr().unwrap();
-            csv.push_str(&format!(
-                "{eps},{band},{median:.1},{iqr:.1},{lo},{hi}\n"
-            ));
+            csv.push_str(&format!("{eps},{band},{median:.1},{iqr:.1},{lo},{hi}\n"));
             cells.push(format!("{median:.0} ms (d∈[{lo},{hi}])"));
         }
         md.push_str(&format!(

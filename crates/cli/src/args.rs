@@ -52,7 +52,10 @@ impl fmt::Display for ArgsError {
                 flag,
                 value,
                 expected,
-            } => write!(f, "invalid value `{value}` for --{flag}: expected {expected}"),
+            } => write!(
+                f,
+                "invalid value `{value}` for --{flag}: expected {expected}"
+            ),
         }
     }
 }
@@ -66,11 +69,7 @@ impl Args {
     /// # Errors
     ///
     /// Returns [`ArgsError`] on unknown flags or missing values.
-    pub fn parse<I, S>(
-        raw: I,
-        accepted: &[&str],
-        boolean_flags: &[&str],
-    ) -> Result<Self, ArgsError>
+    pub fn parse<I, S>(raw: I, accepted: &[&str], boolean_flags: &[&str]) -> Result<Self, ArgsError>
     where
         I: IntoIterator<Item = S>,
         S: Into<String>,
@@ -180,7 +179,10 @@ mod tests {
     #[test]
     fn positional_and_flags_mix() {
         let args = parse(&["serve", "--addr", "x", "extra"]).unwrap();
-        assert_eq!(args.positional(), &["serve".to_string(), "extra".to_string()]);
+        assert_eq!(
+            args.positional(),
+            &["serve".to_string(), "extra".to_string()]
+        );
     }
 
     #[test]
@@ -227,7 +229,8 @@ mod tests {
             Err(ArgsError::Required { .. })
         ));
         assert_eq!(
-            args.get_parsed::<usize>("threads", 1, "an integer").unwrap(),
+            args.get_parsed::<usize>("threads", 1, "an integer")
+                .unwrap(),
             4
         );
         assert_eq!(

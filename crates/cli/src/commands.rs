@@ -25,7 +25,9 @@ use std::sync::Arc;
 pub fn serve(raw: &[String]) -> Result<(), CliError> {
     let args = Args::parse(
         raw.iter().cloned(),
-        &["addr", "policy", "resource", "key", "bypass", "workers", "score"],
+        &[
+            "addr", "policy", "resource", "key", "bypass", "workers", "score",
+        ],
         &[],
     )?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:8471").to_string();
@@ -41,8 +43,8 @@ pub fn serve(raw: &[String]) -> Result<(), CliError> {
     // Until a flow monitor is wired in, the demo server scores every
     // client with a fixed value (configurable for experimentation).
     let score = args.get_parsed::<f64>("score", 5.0, "a score in [0,10]")?;
-    let score = ReputationScore::new(score)
-        .map_err(|e| CliError::usage(format!("--score: {e}")))?;
+    let score =
+        ReputationScore::new(score).map_err(|e| CliError::usage(format!("--score: {e}")))?;
 
     let mut builder = FrameworkBuilder::new()
         .master_key(key)
@@ -95,10 +97,7 @@ pub fn serve(raw: &[String]) -> Result<(), CliError> {
         let snap = framework.metrics().snapshot();
         println!(
             "issued {} accepted {} rejected {} bypassed {}",
-            snap.challenges_issued,
-            snap.solutions_accepted,
-            snap.solutions_rejected,
-            snap.bypassed
+            snap.challenges_issued, snap.solutions_accepted, snap.solutions_rejected, snap.bypassed
         );
     }
 }
@@ -119,8 +118,8 @@ pub fn fetch(raw: &[String]) -> Result<(), CliError> {
     let threads = args.get_parsed::<usize>("threads", 1, "an integer")?;
     let count = args.get_parsed::<u32>("count", 1, "an integer")?;
 
-    let mut client = PowClient::connect(&addr)
-        .map_err(|e| CliError::runtime(format!("connect {addr}: {e}")))?;
+    let mut client =
+        PowClient::connect(&addr).map_err(|e| CliError::runtime(format!("connect {addr}: {e}")))?;
     if args.has("strict") {
         client = client.with_solver_options(SolverOptions::strict());
     }
@@ -154,10 +153,14 @@ pub fn fetch(raw: &[String]) -> Result<(), CliError> {
 ///
 /// Returns [`CliError`] on bad flags or an unsolvable configuration.
 pub fn solve(raw: &[String]) -> Result<(), CliError> {
-    let args = Args::parse(raw.iter().cloned(), &["difficulty", "threads", "trials"], &[])?;
+    let args = Args::parse(
+        raw.iter().cloned(),
+        &["difficulty", "threads", "trials"],
+        &[],
+    )?;
     let bits = args.get_parsed::<u8>("difficulty", 16, "bits in [0,64]")?;
-    let difficulty = Difficulty::new(bits)
-        .map_err(|e| CliError::usage(format!("--difficulty: {e}")))?;
+    let difficulty =
+        Difficulty::new(bits).map_err(|e| CliError::usage(format!("--difficulty: {e}")))?;
     let threads = args.get_parsed::<usize>("threads", 1, "an integer")?;
     let trials = args.get_parsed::<u32>("trials", 5, "an integer")?;
 
@@ -266,11 +269,7 @@ pub fn observe(raw: &[String]) -> Result<(), CliError> {
         benign_rps: args.get_parsed("benign-rps", defaults.benign_rps, "a rate in req/s")?,
         flood_rps: args.get_parsed("flood-rps", defaults.flood_rps, "a rate in req/s")?,
         phase_s: args.get_parsed("phase-s", defaults.phase_s, "seconds")?,
-        second_phase_s: args.get_parsed(
-            "second-phase-s",
-            defaults.second_phase_s,
-            "seconds",
-        )?,
+        second_phase_s: args.get_parsed("second-phase-s", defaults.second_phase_s, "seconds")?,
         half_life_ms: args.get_parsed("half-life-ms", defaults.half_life_ms, "milliseconds")?,
         prior_strength: args.get_parsed(
             "prior-strength",
@@ -362,8 +361,8 @@ pub fn observe(raw: &[String]) -> Result<(), CliError> {
 }
 
 fn parse_key(hex: &str) -> Result<[u8; 32], CliError> {
-    let bytes = aipow_crypto::hex::decode(hex)
-        .map_err(|e| CliError::usage(format!("--key: {e}")))?;
+    let bytes =
+        aipow_crypto::hex::decode(hex).map_err(|e| CliError::usage(format!("--key: {e}")))?;
     bytes
         .try_into()
         .map_err(|_| CliError::usage("--key must be exactly 64 hex characters"))
@@ -471,7 +470,10 @@ mod tests {
         .unwrap();
         let addr = server.local_addr().to_string();
 
-        fetch(&strings(&["--addr", &addr, "--path", "/cli", "--count", "2"])).unwrap();
+        fetch(&strings(&[
+            "--addr", &addr, "--path", "/cli", "--count", "2",
+        ]))
+        .unwrap();
         fetch(&strings(&["--addr", &addr, "--path", "/cli", "--strict"])).unwrap();
         server.shutdown();
     }

@@ -207,13 +207,7 @@ mod tests {
     fn capacity_evicts_oldest() {
         let log = AuditLog::new(3);
         for i in 0..5u64 {
-            log.record(
-                i,
-                ip(),
-                AuditKind::SolutionRejected {
-                    reason: "x".into(),
-                },
-            );
+            log.record(i, ip(), AuditKind::SolutionRejected { reason: "x".into() });
         }
         let events = log.snapshot();
         assert_eq!(events.len(), 3);
@@ -232,13 +226,7 @@ mod tests {
         let log = AuditLog::with_shards(16, 4);
         assert_eq!(log.shard_count(), 4);
         for i in 0..40u64 {
-            log.record(
-                i,
-                ip(),
-                AuditKind::SolutionRejected {
-                    reason: "x".into(),
-                },
-            );
+            log.record(i, ip(), AuditKind::SolutionRejected { reason: "x".into() });
         }
         assert_eq!(log.len(), 16);
         assert_eq!(log.recorded(), 40);

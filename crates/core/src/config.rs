@@ -47,8 +47,18 @@ pub struct FrameworkConfig {
     pub ledger_capacity: usize,
     /// Shard count for per-client structures (rounded up to a power of
     /// two); `None` picks an automatic per-structure count from the
-    /// machine's available parallelism.
+    /// machine's available parallelism. Capacity-evicting structures
+    /// raise the count further so no eviction scan exceeds
+    /// [`eviction_max_scan`](Self::eviction_max_scan).
     pub shard_count: Option<usize>,
+    /// Bound on the entries one capacity-eviction victim scan may visit
+    /// — the worst-case hot-path cost of an insert at capacity, kept
+    /// independent of the table's total capacity by raising the shard
+    /// count (`aipow_shard::ShardLayout::bounded`). Applies to the cost
+    /// ledger. The online recorder's sketch table is bounded separately
+    /// by [`OnlineSettings::max_scan`] (same default), since the online
+    /// settings travel as a self-contained block.
+    pub eviction_max_scan: usize,
     /// Online behavioral-reputation loop settings; `None` disables the
     /// loop (the paper's static-feature behaviour). The settings are plain
     /// data so deployments can version-control them.
@@ -77,14 +87,18 @@ pub struct OnlineSettings {
     /// on the admission path.
     pub capacity: usize,
     /// Shard count for the recorder's sketch table; `None` picks the
-    /// machine default. Unlike the other sharded structures (which round
-    /// *up* to a power of two), the recorder adjusts the count on both
-    /// sides: raised so no shard holds more than 512 sketches (the
-    /// eviction victim scan runs under the shard lock on the admission
-    /// path and must stay bounded), capped at `capacity`, and floored to
-    /// a power of two — so per-shard capacity stays ≥ 1 and the total
-    /// population bound never exceeds `capacity`.
+    /// machine default. Like the other capacity-evicting structures, the
+    /// count is adjusted on both sides
+    /// (`aipow_shard::ShardLayout::bounded`): raised so no shard holds
+    /// more than [`max_scan`](Self::max_scan) sketches (the eviction
+    /// victim scan runs under the shard lock on the admission path and
+    /// must stay bounded), capped at `capacity`, and floored to a power
+    /// of two — so per-shard capacity stays ≥ 1 and the total population
+    /// bound never exceeds `capacity`.
     pub shard_count: Option<usize>,
+    /// Bound on the entries one eviction victim scan may visit in the
+    /// sketch table.
+    pub max_scan: usize,
     /// Half-life of the exponential decay applied to every behavioral
     /// counter, in milliseconds. Reputation recovers on this timescale
     /// after a client's behaviour improves.
@@ -109,6 +123,7 @@ impl Default for OnlineSettings {
         OnlineSettings {
             capacity: 65_536,
             shard_count: None,
+            max_scan: aipow_shard::DEFAULT_MAX_SCAN,
             half_life_ms: 60_000,
             prior_strength: 16.0,
             decay_interval_ms: 1_000,
@@ -127,18 +142,27 @@ impl OnlineSettings {
     /// counts, or non-finite weights.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.capacity == 0 {
-            return Err(ConfigError::ZeroCapacity { field: "online recorder" });
+            return Err(ConfigError::ZeroCapacity {
+                field: "online recorder",
+            });
         }
         if self.half_life_ms == 0 {
-            return Err(ConfigError::ZeroDuration { field: "online half-life" });
+            return Err(ConfigError::ZeroDuration {
+                field: "online half-life",
+            });
         }
         if self.decay_interval_ms == 0 {
-            return Err(ConfigError::ZeroDuration { field: "online decay interval" });
+            return Err(ConfigError::ZeroDuration {
+                field: "online decay interval",
+            });
         }
         if let Some(shards) = self.shard_count {
             if shards == 0 || shards > aipow_shard::MAX_SHARDS {
                 return Err(ConfigError::BadShardCount { requested: shards });
             }
+        }
+        if self.max_scan == 0 {
+            return Err(ConfigError::BadMaxScan { requested: 0 });
         }
         if !self.prior_strength.is_finite() || self.prior_strength < 0.0 {
             return Err(ConfigError::BadOnlineWeight {
@@ -177,6 +201,7 @@ impl Default for FrameworkConfig {
             audit_capacity: 1_024,
             ledger_capacity: 4_096,
             shard_count: None,
+            eviction_max_scan: aipow_shard::DEFAULT_MAX_SCAN,
             online: None,
         }
     }
@@ -200,6 +225,11 @@ pub enum ConfigError {
     /// The shard count was zero or beyond the supported maximum.
     BadShardCount {
         /// The rejected count.
+        requested: usize,
+    },
+    /// The eviction scan bound was zero.
+    BadMaxScan {
+        /// The rejected bound.
         requested: usize,
     },
     /// The bypass threshold was not a finite number in `[0, 10]`.
@@ -238,6 +268,9 @@ impl fmt::Display for ConfigError {
                     aipow_shard::MAX_SHARDS
                 )
             }
+            ConfigError::BadMaxScan { requested } => {
+                write!(f, "eviction scan bound {requested} must be positive")
+            }
             ConfigError::BadBypassThreshold { value } => {
                 write!(f, "bypass threshold {value} outside [0, 10]")
             }
@@ -274,10 +307,11 @@ impl FrameworkConfig {
     /// policy spec.
     pub fn apply(&self) -> Result<FrameworkBuilder, ConfigError> {
         let policy = registry::from_spec(&self.policy_spec, self.policy_seed)?;
-        let cap = Difficulty::new(self.difficulty_cap_bits)
-            .map_err(|_| ConfigError::BadDifficultyCap {
+        let cap = Difficulty::new(self.difficulty_cap_bits).map_err(|_| {
+            ConfigError::BadDifficultyCap {
                 bits: self.difficulty_cap_bits,
-            })?;
+            }
+        })?;
         if self.replay_capacity == 0 {
             return Err(ConfigError::ZeroCapacity { field: "replay" });
         }
@@ -291,6 +325,9 @@ impl FrameworkConfig {
             if shards == 0 || shards > aipow_shard::MAX_SHARDS {
                 return Err(ConfigError::BadShardCount { requested: shards });
             }
+        }
+        if self.eviction_max_scan == 0 {
+            return Err(ConfigError::BadMaxScan { requested: 0 });
         }
         if let Some(t) = self.bypass_threshold {
             if !t.is_finite() || !(0.0..=10.0).contains(&t) {
@@ -308,7 +345,8 @@ impl FrameworkConfig {
             .difficulty_cap(cap)
             .max_skew_ms(self.max_skew_ms)
             .audit_capacity(self.audit_capacity)
-            .ledger_capacity(self.ledger_capacity);
+            .ledger_capacity(self.ledger_capacity)
+            .eviction_max_scan(self.eviction_max_scan);
         if let Some(t) = self.bypass_threshold {
             builder = builder.bypass_threshold(t);
         }
@@ -352,10 +390,7 @@ mod tests {
             .build()
             .unwrap();
         let issued = fw
-            .handle_request(
-                IpAddr::V4(Ipv4Addr::LOCALHOST),
-                &FeatureVector::zeros(),
-            )
+            .handle_request(IpAddr::V4(Ipv4Addr::LOCALHOST), &FeatureVector::zeros())
             .challenge()
             .unwrap();
         assert_eq!(issued.difficulty.bits(), 1);
@@ -444,7 +479,41 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(fw.audit().shard_count(), 4);
-        assert_eq!(fw.ledger().shard_count(), 4);
+        // The ledger raises the requested count so its eviction scan
+        // stays under the default bound: 4096 / 512 = 8 shards minimum.
+        assert_eq!(fw.ledger().shard_count(), 8);
+        assert!(fw.ledger().per_shard_capacity() <= aipow_shard::DEFAULT_MAX_SCAN);
+    }
+
+    #[test]
+    fn eviction_max_scan_threads_through_config() {
+        let config = FrameworkConfig {
+            ledger_capacity: 4_096,
+            eviction_max_scan: 64,
+            shard_count: Some(4),
+            ..Default::default()
+        };
+        let fw = config
+            .apply()
+            .unwrap()
+            .model(FixedScoreModel::new(ReputationScore::MIN))
+            .master_key([1u8; 32])
+            .build()
+            .unwrap();
+        assert!(fw.ledger().per_shard_capacity() <= 64);
+        assert!(fw.ledger().shard_count() >= 4_096 / 64);
+    }
+
+    #[test]
+    fn zero_max_scan_rejected() {
+        let config = FrameworkConfig {
+            eviction_max_scan: 0,
+            ..Default::default()
+        };
+        assert_eq!(
+            config.apply().unwrap_err(),
+            ConfigError::BadMaxScan { requested: 0 }
+        );
     }
 
     #[test]
@@ -502,6 +571,10 @@ mod tests {
                 ..Default::default()
             },
             OnlineSettings {
+                max_scan: 0,
+                ..Default::default()
+            },
+            OnlineSettings {
                 prior_strength: f64::NAN,
                 ..Default::default()
             },
@@ -518,7 +591,10 @@ mod tests {
                 online: Some(bad.clone()),
                 ..Default::default()
             };
-            assert!(config.apply().is_err(), "settings should be rejected: {bad:?}");
+            assert!(
+                config.apply().is_err(),
+                "settings should be rejected: {bad:?}"
+            );
         }
     }
 

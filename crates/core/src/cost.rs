@@ -5,8 +5,25 @@
 //! the cumulative *expected work* (hash evaluations) each client has been
 //! charged, which is the quantity the DDoS experiment (claim C5) reports.
 
-use aipow_shard::ShardedMap;
+use aipow_shard::{EvictionPolicy, ShardLayout, ShardedMap, DEFAULT_MAX_SCAN};
 use std::net::IpAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The ledger's eviction policy: the cheapest account goes first, so
+/// heavy hitters — the clients the DDoS experiment reports on — are
+/// retained. Shared (via [`EvictionPolicy`]) with the limiter's
+/// least-recently-refilled and the recorder's least-recently-seen
+/// policies.
+#[derive(Debug, Clone, Copy)]
+pub struct LowestCost;
+
+impl EvictionPolicy<f64> for LowestCost {
+    type Score = f64;
+
+    fn score(&self, cost: &f64) -> f64 {
+        *cost
+    }
+}
 
 /// Thread-safe per-IP cumulative work ledger, bounded in entries.
 ///
@@ -14,11 +31,15 @@ use std::net::IpAddr;
 /// different locks, and a single client's account is only ever mutated
 /// under its shard lock, so concurrent charges sum exactly.
 ///
-/// When full, the entry with the smallest accumulated cost is evicted —
-/// heavy hitters (the interesting clients) are retained. The eviction
-/// scan visits shards one at a time; under concurrent insertion the
-/// population may transiently exceed the capacity by at most the number
-/// of racing threads.
+/// The capacity is enforced **per shard** ([`ShardLayout::bounded`]
+/// keeps each shard at `capacity / shard_count` accounts, raising the
+/// shard count so no shard exceeds the scan bound): a charge landing in
+/// a full shard evicts that shard's cheapest account ([`LowestCost`])
+/// under the same single lock acquisition as the charge itself, so a
+/// solution-path flood of fresh addresses costs one bounded shard scan
+/// per charge — never the all-shard fold the retired global protocol
+/// performed — and the population can never exceed the capacity, even
+/// transiently.
 ///
 /// ```
 /// use aipow_core::CostLedger;
@@ -33,6 +54,8 @@ use std::net::IpAddr;
 pub struct CostLedger {
     costs: ShardedMap<IpAddr, f64>,
     capacity: usize,
+    per_shard_capacity: usize,
+    evicted: AtomicU64,
 }
 
 impl CostLedger {
@@ -43,26 +66,80 @@ impl CostLedger {
     ///
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
-        Self::with_shards(capacity, aipow_shard::default_shard_count())
+        Self::with_layout(capacity, None, DEFAULT_MAX_SCAN)
     }
 
-    /// Creates a ledger with an explicit shard count (rounded up to a
-    /// power of two).
+    /// Creates a ledger with an explicit shard count. The count is
+    /// adjusted on both sides by [`ShardLayout::bounded`]: raised so no
+    /// eviction scan exceeds the default scan bound, capped at
+    /// `capacity`, and floored to a power of two.
     ///
     /// # Panics
     ///
     /// Panics if `capacity == 0`.
     pub fn with_shards(capacity: usize, shard_count: usize) -> Self {
+        Self::with_layout(capacity, Some(shard_count), DEFAULT_MAX_SCAN)
+    }
+
+    /// Creates a ledger with full control over the eviction layout:
+    /// requested shard count (`None` = machine default) and the maximum
+    /// entries one eviction victim scan may visit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `max_scan == 0`.
+    pub fn with_layout(capacity: usize, shard_count: Option<usize>, max_scan: usize) -> Self {
         assert!(capacity > 0, "cost ledger capacity must be positive");
+        assert!(max_scan > 0, "eviction scan bound must be positive");
+        let layout = ShardLayout::bounded(capacity, shard_count, max_scan);
         CostLedger {
-            costs: ShardedMap::new(shard_count),
-            capacity,
+            costs: ShardedMap::new(layout.shard_count),
+            // The enforced bound, not the requested one (see
+            // `capacity()` for how the two can differ).
+            capacity: layout.population_bound(),
+            per_shard_capacity: layout.per_shard_capacity,
+            evicted: AtomicU64::new(0),
         }
     }
 
     /// Number of shards the ledger is split over.
     pub fn shard_count(&self) -> usize {
         self.costs.shard_count()
+    }
+
+    /// The population bound the table actually enforces
+    /// (`per_shard_capacity × shard_count`). At most the capacity the
+    /// ledger was constructed with; per-shard flooring can make it
+    /// slightly lower, and pathological requests beyond
+    /// `MAX_SHARDS × max_scan` are clamped to that product.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The per-shard account bound — also the worst-case entries one
+    /// charge's eviction scan visits.
+    pub fn per_shard_capacity(&self) -> usize {
+        self.per_shard_capacity
+    }
+
+    /// Accounts evicted by the capacity bound since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Entries examined by eviction victim scans since construction
+    /// (diagnostic; grows by at most
+    /// [`per_shard_capacity`](Self::per_shard_capacity) per charge).
+    pub fn eviction_scan_steps(&self) -> u64 {
+        self.costs.eviction_scan_steps()
+    }
+
+    /// Whole-table victim folds since construction. Always zero: the
+    /// ledger only uses the bounded per-shard eviction path. Exposed so
+    /// tests and the flood scenario can assert the retired global scan
+    /// stays retired.
+    pub fn global_eviction_folds(&self) -> u64 {
+        self.costs.global_eviction_folds()
     }
 
     /// Adds `expected_work` (hash evaluations) to `ip`'s account.
@@ -75,15 +152,20 @@ impl CostLedger {
             expected_work.is_finite() && expected_work >= 0.0,
             "expected work must be finite and non-negative"
         );
-        // A full ledger evicts the cheapest account (never `ip`'s own —
-        // see `ShardedMap::update_or_insert_evicting`) to stay bounded.
-        self.costs.update_or_insert_evicting(
+        // A full shard evicts its cheapest account — never `ip`'s own,
+        // and never by scanning other shards (see
+        // `ShardedMap::update_or_insert_evicting_in_shard`) — to stay
+        // bounded.
+        let (_, evicted) = self.costs.update_or_insert_evicting_in_shard(
             ip,
-            self.capacity,
-            |cost| *cost,
+            self.per_shard_capacity,
+            LowestCost,
             || 0.0,
             |cost| *cost += expected_work,
         );
+        if evicted {
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Cumulative expected work charged to `ip` (0.0 if unknown).
@@ -93,11 +175,10 @@ impl CostLedger {
 
     /// The `n` clients with the highest cumulative cost, descending.
     pub fn top(&self, n: usize) -> Vec<(IpAddr, f64)> {
-        let mut entries: Vec<(IpAddr, f64)> =
-            self.costs.fold(Vec::new(), |mut acc, k, v| {
-                acc.push((*k, *v));
-                acc
-            });
+        let mut entries: Vec<(IpAddr, f64)> = self.costs.fold(Vec::new(), |mut acc, k, v| {
+            acc.push((*k, *v));
+            acc
+        });
         entries.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN costs"));
         entries.truncate(n);
         entries
@@ -152,14 +233,52 @@ mod tests {
 
     #[test]
     fn eviction_drops_cheapest() {
-        let ledger = CostLedger::new(2);
+        // One shard makes placement deterministic: the shard-local
+        // cheapest account is the global cheapest.
+        let ledger = CostLedger::with_shards(2, 1);
+        assert_eq!(ledger.shard_count(), 1);
         ledger.charge(ip(1), 100.0);
         ledger.charge(ip(2), 1.0);
         ledger.charge(ip(3), 10.0); // evicts ip(2)
         assert_eq!(ledger.len(), 2);
+        assert_eq!(ledger.evictions(), 1);
         assert_eq!(ledger.total(ip(2)), 0.0);
         assert_eq!(ledger.total(ip(1)), 100.0);
         assert_eq!(ledger.total(ip(3)), 10.0);
+    }
+
+    #[test]
+    fn population_never_exceeds_capacity_under_address_cycling() {
+        // Solution-path flood: every charge a fresh address, ledger at
+        // capacity. The per-shard bound is hard, so the population can
+        // never exceed the capacity and no charge folds the whole table.
+        let ledger = CostLedger::with_shards(64, 8);
+        for i in 0..4_096u32 {
+            ledger.charge(
+                IpAddr::V4(Ipv4Addr::new(10, (i >> 16) as u8, (i >> 8) as u8, i as u8)),
+                32.0,
+            );
+        }
+        assert!(
+            ledger.len() <= 64,
+            "population {} over capacity",
+            ledger.len()
+        );
+        assert_eq!(ledger.evictions() + ledger.len() as u64, 4_096);
+        assert_eq!(ledger.global_eviction_folds(), 0);
+        assert!(ledger.eviction_scan_steps() <= 4_096 * ledger.per_shard_capacity() as u64);
+    }
+
+    #[test]
+    fn layout_raises_shards_to_bound_the_scan() {
+        // 64 Ki accounts over 2 requested shards would mean a 32 Ki-entry
+        // victim scan per charge; the layout raises the count instead.
+        let ledger = CostLedger::with_shards(1 << 16, 2);
+        assert!(ledger.per_shard_capacity() <= aipow_shard::DEFAULT_MAX_SCAN);
+        assert!(ledger.shard_count() >= (1 << 16) / aipow_shard::DEFAULT_MAX_SCAN);
+        // An explicit tighter scan bound is honored too.
+        let tight = CostLedger::with_layout(1 << 12, Some(1), 64);
+        assert!(tight.per_shard_capacity() <= 64);
     }
 
     #[test]

@@ -119,16 +119,16 @@ impl FeatureSource for SyntheticFeatureSource {
             (z >> 11) as f64 / (1u64 << 53) as f64 // uniform [0, 1)
         };
         FeatureVector::new([
-            lane() * 10.0,  // request_rate
-            lane() * 0.3,   // syn_ratio
-            lane() * 8.0,   // unique_ports
-            3.0 + lane() * 3.0, // payload_entropy
-            lane() * 0.5,   // geo_risk
-            lane() * 0.5,   // asn_risk
+            lane() * 10.0,          // request_rate
+            lane() * 0.3,           // syn_ratio
+            lane() * 8.0,           // unique_ports
+            3.0 + lane() * 3.0,     // payload_entropy
+            lane() * 0.5,           // geo_risk
+            lane() * 0.5,           // asn_risk
             (lane() * 2.0).floor(), // blacklist_hits
-            lane() * 0.2,   // tls_anomaly
-            lane() * 200.0, // interarrival_jitter
-            lane() * 0.1,   // failed_auth_ratio
+            lane() * 0.2,           // tls_anomaly
+            lane() * 200.0,         // interarrival_jitter
+            lane() * 0.1,           // failed_auth_ratio
         ])
     }
 }

@@ -5,16 +5,16 @@ use crate::cost::CostLedger;
 use crate::metrics::FrameworkMetrics;
 use crate::tap::BehaviorSink;
 use aipow_policy::{Policy, PolicyContext};
+use aipow_pow::replay::ReplayGuard;
 use aipow_pow::{
     Challenge, Difficulty, Issuer, ManualClock, Solution, SystemClock, TimeSource, VerifiedToken,
     Verifier, VerifyError,
 };
-use aipow_pow::replay::ReplayGuard;
 use aipow_reputation::{FeatureVector, ReputationModel, ReputationScore};
 use core::fmt;
 use parking_lot::RwLock;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::net::IpAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// A challenge issued by the pipeline, with its provenance.
@@ -93,6 +93,7 @@ pub struct FrameworkBuilder {
     audit_capacity: usize,
     ledger_capacity: usize,
     shard_count: Option<usize>,
+    eviction_max_scan: usize,
     behavior_sink: Option<Arc<dyn BehaviorSink>>,
 }
 
@@ -119,6 +120,7 @@ impl FrameworkBuilder {
             audit_capacity: 1_024,
             ledger_capacity: 4_096,
             shard_count: None,
+            eviction_max_scan: aipow_shard::DEFAULT_MAX_SCAN,
             behavior_sink: None,
         }
     }
@@ -218,9 +220,26 @@ impl FrameworkBuilder {
     /// Shard count for every per-client structure (replay guard, audit
     /// log, cost ledger), rounded up to a power of two. Defaults to an
     /// automatic per-structure choice: a multiple of the machine's
-    /// available parallelism, reduced for small capacities.
+    /// available parallelism, reduced for small capacities. The
+    /// capacity-evicting structures (cost ledger) additionally raise the
+    /// count so no eviction scan exceeds
+    /// [`eviction_max_scan`](Self::eviction_max_scan).
     pub fn shard_count(mut self, shards: usize) -> Self {
         self.shard_count = Some(shards);
+        self
+    }
+
+    /// Bound on the entries one capacity-eviction victim scan may visit
+    /// (the worst-case hot-path cost of an insert at capacity). The
+    /// ledger's shard count is raised as needed to honor it. Defaults to
+    /// [`aipow_shard::DEFAULT_MAX_SCAN`].
+    ///
+    /// # Panics
+    ///
+    /// [`build`](Self::build) panics (via the ledger constructor) if set
+    /// to zero; [`crate::FrameworkConfig`] validates it instead.
+    pub fn eviction_max_scan(mut self, max_scan: usize) -> Self {
+        self.eviction_max_scan = max_scan;
         self
     }
 
@@ -252,13 +271,14 @@ impl FrameworkBuilder {
             Some(shards) => AuditLog::with_shards(self.audit_capacity, shards),
             None => AuditLog::new(self.audit_capacity),
         };
-        let ledger = match self.shard_count {
-            Some(shards) => CostLedger::with_shards(self.ledger_capacity, shards),
-            None => CostLedger::new(self.ledger_capacity),
-        };
+        let ledger = CostLedger::with_layout(
+            self.ledger_capacity,
+            self.shard_count,
+            self.eviction_max_scan,
+        );
 
-        let issuer = Issuer::with_clock(&master_key, Arc::clone(&self.clock))
-            .with_ttl_ms(self.ttl_ms);
+        let issuer =
+            Issuer::with_clock(&master_key, Arc::clone(&self.clock)).with_ttl_ms(self.ttl_ms);
         let verifier = Verifier::with_clock(&master_key, Arc::clone(&self.clock))
             .with_replay_guard(replay)
             .with_difficulty_cap(self.difficulty_cap)
@@ -431,7 +451,11 @@ impl Framework {
 
     /// Publishes the current server load (`[0, 1]`) to adaptive policies.
     pub fn set_load(&self, load: f64) {
-        let clamped = if load.is_nan() { 0.0 } else { load.clamp(0.0, 1.0) };
+        let clamped = if load.is_nan() {
+            0.0
+        } else {
+            load.clamp(0.0, 1.0)
+        };
         self.load_millis
             .store((clamped * 1_000.0) as u64, Ordering::Relaxed);
     }
@@ -578,8 +602,7 @@ mod tests {
             .challenge()
             .unwrap();
         assert_eq!(issued.difficulty.bits(), 8); // 3 + 5
-        let report =
-            solver::solve(&issued.challenge, ip(1), &SolverOptions::default()).unwrap();
+        let report = solver::solve(&issued.challenge, ip(1), &SolverOptions::default()).unwrap();
         let token = fw.handle_solution(&report.solution, ip(1)).unwrap();
         assert_eq!(token.difficulty.bits(), 8);
 
@@ -596,8 +619,7 @@ mod tests {
             .handle_request(ip(2), &FeatureVector::zeros())
             .challenge()
             .unwrap();
-        let report =
-            solver::solve(&issued.challenge, ip(2), &SolverOptions::default()).unwrap();
+        let report = solver::solve(&issued.challenge, ip(2), &SolverOptions::default()).unwrap();
         fw.handle_solution(&report.solution, ip(2)).unwrap();
         assert_eq!(fw.ledger().total(ip(2)), 32.0);
     }
@@ -616,7 +638,10 @@ mod tests {
                 solver::solve(&issued.challenge, ip(3), &SolverOptions::default()).unwrap();
             fw.handle_solution(&report.solution, ip(3)).unwrap();
             let cost = fw.ledger().total(ip(3));
-            assert!(cost > last_cost, "score {score}: cost {cost} <= {last_cost}");
+            assert!(
+                cost > last_cost,
+                "score {score}: cost {cost} <= {last_cost}"
+            );
             last_cost = cost;
         }
     }
@@ -628,8 +653,7 @@ mod tests {
             .handle_request(ip(4), &FeatureVector::zeros())
             .challenge()
             .unwrap();
-        let report =
-            solver::solve(&issued.challenge, ip(4), &SolverOptions::default()).unwrap();
+        let report = solver::solve(&issued.challenge, ip(4), &SolverOptions::default()).unwrap();
         // Submit from the wrong IP.
         let err = fw.handle_solution(&report.solution, ip(5)).unwrap_err();
         assert_eq!(err, VerifyError::ClientMismatch);
@@ -637,10 +661,7 @@ mod tests {
         assert_eq!(snap.solutions_rejected, 1);
         assert_eq!(snap.rejected_by_reason["client_mismatch"], 1);
         let audit = fw.audit().snapshot();
-        assert!(matches!(
-            audit[0].kind,
-            AuditKind::SolutionRejected { .. }
-        ));
+        assert!(matches!(audit[0].kind, AuditKind::SolutionRejected { .. }));
     }
 
     #[test]
@@ -650,8 +671,7 @@ mod tests {
             .handle_request(ip(6), &FeatureVector::zeros())
             .challenge()
             .unwrap();
-        let report =
-            solver::solve(&issued.challenge, ip(6), &SolverOptions::default()).unwrap();
+        let report = solver::solve(&issued.challenge, ip(6), &SolverOptions::default()).unwrap();
         fw.handle_solution(&report.solution, ip(6)).unwrap();
         assert_eq!(
             fw.handle_solution(&report.solution, ip(6)),
@@ -788,8 +808,7 @@ mod tests {
             .handle_request(ip(12), &FeatureVector::zeros())
             .challenge()
             .unwrap();
-        let report =
-            solver::solve(&issued.challenge, ip(12), &SolverOptions::default()).unwrap();
+        let report = solver::solve(&issued.challenge, ip(12), &SolverOptions::default()).unwrap();
         clock.advance(2_000);
         assert!(matches!(
             fw.handle_solution(&report.solution, ip(12)),
@@ -894,8 +913,7 @@ mod tests {
             .handle_request(ip(20), &FeatureVector::zeros())
             .challenge()
             .unwrap();
-        let report =
-            solver::solve(&issued.challenge, ip(20), &SolverOptions::default()).unwrap();
+        let report = solver::solve(&issued.challenge, ip(20), &SolverOptions::default()).unwrap();
         fw.handle_solution(&report.solution, ip(20)).unwrap();
         // Wrong-IP submission → rejection event.
         let _ = fw.handle_solution(&report.solution, ip(21));

@@ -64,22 +64,20 @@ pub mod metrics;
 /// `aipow-pow` so the replay guard can share the implementation).
 pub mod sharded {
     pub use aipow_shard::{
-        default_shard_count, floor_shards, round_shards, Sharded, ShardedMap, MAX_AUTO_SHARDS,
-        MAX_SHARDS,
+        default_shard_count, floor_shards, round_shards, EvictionPolicy, ShardLayout, Sharded,
+        ShardedMap, DEFAULT_MAX_SCAN, MAX_AUTO_SHARDS, MAX_SHARDS,
     };
 }
 pub mod tap;
 pub mod token_bucket;
 
 pub use audit::{AuditEvent, AuditKind, AuditLog};
-pub use controller::{LoadController, LoadSignal};
 pub use config::{FrameworkConfig, OnlineSettings};
-pub use cost::CostLedger;
+pub use controller::{LoadController, LoadSignal};
+pub use cost::{CostLedger, LowestCost};
 pub use features::{FeatureSource, StaticFeatureSource, SyntheticFeatureSource};
-pub use framework::{
-    AdmissionDecision, BuildError, Framework, FrameworkBuilder, IssuedChallenge,
-};
+pub use framework::{AdmissionDecision, BuildError, Framework, FrameworkBuilder, IssuedChallenge};
 pub use metrics::{FrameworkMetrics, MetricsSnapshot};
 pub use sharded::{Sharded, ShardedMap};
 pub use tap::BehaviorSink;
-pub use token_bucket::{RateLimiter, TokenBucket};
+pub use token_bucket::{LeastRecentlyRefilled, RateLimiter, TokenBucket};

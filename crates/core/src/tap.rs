@@ -92,12 +92,7 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<std::sync::Arc<dyn BehaviorSink>>();
         let sink: Box<dyn BehaviorSink> = Box::<CountingSink>::default();
-        sink.on_request(
-            "192.0.2.1".parse().unwrap(),
-            0,
-            ReputationScore::MIN,
-            None,
-        );
+        sink.on_request("192.0.2.1".parse().unwrap(), 0, ReputationScore::MIN, None);
         sink.on_solution("192.0.2.1".parse().unwrap(), 0, Err(&VerifyError::BadMac));
     }
 }

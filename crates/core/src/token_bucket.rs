@@ -5,8 +5,9 @@
 //! client cannot spam challenge requests it never intends to solve (each
 //! issued challenge costs the server an HMAC plus a replay-cache slot).
 
-use aipow_shard::ShardedMap;
+use aipow_shard::{EvictionPolicy, ShardLayout, ShardedMap, DEFAULT_MAX_SCAN};
 use std::net::IpAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A single token bucket over a millisecond clock.
 ///
@@ -79,24 +80,50 @@ impl TokenBucket {
     }
 }
 
+/// The limiter's eviction policy: the stalest refill clock goes first.
+///
+/// A bucket whose `last_refill_ms` is old belongs to a client that has
+/// not attempted an admission recently — the cheapest history to lose.
+/// Shared (via [`EvictionPolicy`]) with the ledger's lowest-cost and the
+/// behavior recorder's least-recently-seen policies.
+#[derive(Debug, Clone, Copy)]
+pub struct LeastRecentlyRefilled;
+
+impl EvictionPolicy<TokenBucket> for LeastRecentlyRefilled {
+    type Score = u64;
+
+    fn score(&self, bucket: &TokenBucket) -> u64 {
+        bucket.last_refill_ms()
+    }
+}
+
 /// Per-IP token buckets with bounded population.
 ///
 /// The bucket table is sharded by IP hash, so concurrent admissions from
 /// different clients take different locks; a single client's bucket is
 /// always mutated under its shard lock, so token accounting is exact.
 ///
-/// When the table is full, the least-recently-refilled bucket (the
-/// stalest `last_refill_ms`) is evicted rather than the new client being
-/// rejected or silently untracked; a returning evicted client simply
-/// starts with a fresh, full bucket. Under concurrent insertion the
-/// population may transiently exceed `max_clients` by at most the number
-/// of racing threads before the next eviction restores the bound.
+/// The population bound is enforced **per shard**
+/// ([`ShardLayout::bounded`] keeps each shard at
+/// `max_clients / shard_count` buckets, raising the shard count so no
+/// shard holds more than the configured scan bound): an insert into a
+/// full shard evicts that shard's least-recently-refilled bucket
+/// ([`LeastRecentlyRefilled`]) under the same single lock acquisition as
+/// the insert and the token debit. A returning evicted client simply
+/// starts with a fresh, full bucket. Because scan, eviction, insert, and
+/// the refill-timestamp update are one critical section, the worst-case
+/// admission cost is a bounded shard scan — independent of `max_clients`
+/// — and an address-cycling flood can no longer drive the O(capacity)
+/// all-shard victim scan the retired global protocol performed. The
+/// population can never exceed `max_clients`, even transiently.
 #[derive(Debug)]
 pub struct RateLimiter {
     buckets: ShardedMap<IpAddr, TokenBucket>,
     capacity_per_client: f64,
     refill_per_sec: f64,
     max_clients: usize,
+    per_shard_clients: usize,
+    evicted: AtomicU64,
 }
 
 impl RateLimiter {
@@ -109,16 +136,19 @@ impl RateLimiter {
     ///
     /// Panics if any parameter is non-positive.
     pub fn new(capacity_per_client: f64, refill_per_sec: f64, max_clients: usize) -> Self {
-        Self::with_shards(
+        Self::with_layout(
             capacity_per_client,
             refill_per_sec,
             max_clients,
-            aipow_shard::default_shard_count(),
+            None,
+            DEFAULT_MAX_SCAN,
         )
     }
 
-    /// Creates a limiter with an explicit shard count (rounded up to a
-    /// power of two).
+    /// Creates a limiter with an explicit shard count. The count is
+    /// adjusted on both sides by [`ShardLayout::bounded`]: raised so no
+    /// eviction scan exceeds the default scan bound, capped at
+    /// `max_clients`, and floored to a power of two.
     ///
     /// # Panics
     ///
@@ -129,14 +159,44 @@ impl RateLimiter {
         max_clients: usize,
         shard_count: usize,
     ) -> Self {
-        assert!(max_clients > 0, "max clients must be positive");
-        // Bucket constructor validates the rates.
-        let _probe = TokenBucket::new(capacity_per_client, refill_per_sec);
-        RateLimiter {
-            buckets: ShardedMap::new(shard_count),
+        Self::with_layout(
             capacity_per_client,
             refill_per_sec,
             max_clients,
+            Some(shard_count),
+            DEFAULT_MAX_SCAN,
+        )
+    }
+
+    /// Creates a limiter with full control over the eviction layout:
+    /// requested shard count (`None` = machine default) and the maximum
+    /// entries one eviction victim scan may visit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_clients`, `max_scan`, or either rate is
+    /// non-positive.
+    pub fn with_layout(
+        capacity_per_client: f64,
+        refill_per_sec: f64,
+        max_clients: usize,
+        shard_count: Option<usize>,
+        max_scan: usize,
+    ) -> Self {
+        assert!(max_clients > 0, "max clients must be positive");
+        assert!(max_scan > 0, "eviction scan bound must be positive");
+        // Bucket constructor validates the rates.
+        let _probe = TokenBucket::new(capacity_per_client, refill_per_sec);
+        let layout = ShardLayout::bounded(max_clients, shard_count, max_scan);
+        RateLimiter {
+            buckets: ShardedMap::new(layout.shard_count),
+            capacity_per_client,
+            refill_per_sec,
+            // The enforced bound, not the requested one (see
+            // `max_clients()` for how the two can differ).
+            max_clients: layout.population_bound(),
+            per_shard_clients: layout.per_shard_capacity,
+            evicted: AtomicU64::new(0),
         }
     }
 
@@ -145,22 +205,61 @@ impl RateLimiter {
         self.buckets.shard_count()
     }
 
-    /// Maximum number of tracked clients before eviction kicks in.
+    /// The population bound the table actually enforces
+    /// (`per_shard_clients × shard_count`). At most the `max_clients`
+    /// the limiter was constructed with; per-shard flooring can make it
+    /// slightly lower, and pathological requests beyond
+    /// `MAX_SHARDS × max_scan` are clamped to that product.
     pub fn max_clients(&self) -> usize {
         self.max_clients
     }
 
-    /// Whether `ip` may proceed at `now_ms`. A full table evicts the
-    /// least-recently-refilled bucket (never `ip`'s own — see
-    /// [`ShardedMap::update_or_insert_evicting`]) to make room.
+    /// The per-shard bucket bound — also the worst-case entries one
+    /// admission's eviction scan visits.
+    pub fn per_shard_clients(&self) -> usize {
+        self.per_shard_clients
+    }
+
+    /// Buckets evicted by the capacity bound since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Entries examined by eviction victim scans since construction
+    /// (diagnostic; grows by at most
+    /// [`per_shard_clients`](Self::per_shard_clients) per admission).
+    pub fn eviction_scan_steps(&self) -> u64 {
+        self.buckets.eviction_scan_steps()
+    }
+
+    /// Whole-table victim folds since construction. Always zero: the
+    /// limiter only uses the bounded per-shard eviction path. Exposed so
+    /// tests and the flood scenario can assert the retired global scan
+    /// stays retired.
+    pub fn global_eviction_folds(&self) -> u64 {
+        self.buckets.global_eviction_folds()
+    }
+
+    /// Whether `ip` may proceed at `now_ms`. A full shard evicts its
+    /// least-recently-refilled bucket — never `ip`'s own, and never by
+    /// scanning other shards (see
+    /// [`ShardedMap::update_or_insert_evicting_in_shard`]) — to make
+    /// room. The token debit and the refill-timestamp (eviction score)
+    /// update happen under the same shard lock as the upsert, so a
+    /// racing admission on the same shard can neither evict this bucket
+    /// mid-charge nor observe its stale score.
     pub fn allow(&self, ip: IpAddr, now_ms: u64) -> bool {
-        self.buckets.update_or_insert_evicting(
+        let (granted, evicted) = self.buckets.update_or_insert_evicting_in_shard(
             ip,
-            self.max_clients,
-            |b| b.last_refill_ms(),
+            self.per_shard_clients,
+            LeastRecentlyRefilled,
             || TokenBucket::new(self.capacity_per_client, self.refill_per_sec),
             |b| b.try_acquire(now_ms),
-        )
+        );
+        if evicted {
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        granted
     }
 
     /// Number of tracked clients.
@@ -234,39 +333,84 @@ mod tests {
 
     #[test]
     fn limiter_evicts_stalest_at_capacity() {
-        let limiter = RateLimiter::new(5.0, 1.0, 2);
+        // One shard makes placement deterministic: the shard-local
+        // minimum is the global minimum.
+        let limiter = RateLimiter::with_layout(5.0, 1.0, 2, Some(1), DEFAULT_MAX_SCAN);
+        assert_eq!(limiter.shard_count(), 1);
         assert!(limiter.allow(ip(1), 0));
         assert!(limiter.allow(ip(2), 100));
         assert!(limiter.allow(ip(3), 200)); // evicts ip(1), the stalest
         assert_eq!(limiter.len(), 2);
+        assert_eq!(limiter.evictions(), 1);
         // ip(1) returns with a fresh bucket (full burst again).
         assert!(limiter.allow(ip(1), 300));
     }
 
     #[test]
+    fn limiter_victim_is_the_shard_local_minimum() {
+        // Single shard, three buckets with distinct refill stamps: the
+        // victim must be the minimum, not merely any resident.
+        let limiter = RateLimiter::with_layout(5.0, 1.0, 3, Some(1), DEFAULT_MAX_SCAN);
+        assert!(limiter.allow(ip(1), 500));
+        assert!(limiter.allow(ip(2), 100)); // the minimum
+        assert!(limiter.allow(ip(3), 900));
+        assert!(limiter.allow(ip(4), 1_000));
+        assert_eq!(limiter.len(), 3);
+        // ip(2) was evicted; the others retain their debited buckets.
+        for spent in [ip(1), ip(3)] {
+            for _ in 0..4 {
+                assert!(limiter.allow(spent, 1_000));
+            }
+            assert!(!limiter.allow(spent, 1_000), "{spent}: bucket was reset");
+        }
+    }
+
+    #[test]
     fn limiter_shard_count_is_configurable() {
+        // 6 requested → floored to 4 (capacity-bounded structures floor,
+        // so the per-shard bound never shrinks below capacity/shards).
         let limiter = RateLimiter::with_shards(1.0, 1.0, 100, 6);
-        assert_eq!(limiter.shard_count(), 8);
+        assert_eq!(limiter.shard_count(), 4);
         assert_eq!(limiter.max_clients(), 100);
+        assert_eq!(limiter.per_shard_clients(), 25);
         assert!(RateLimiter::new(1.0, 1.0, 100).shard_count() >= 1);
     }
 
     #[test]
-    fn limiter_eviction_works_across_shards() {
-        // Clients land on different shards; eviction must still find the
-        // globally least-recently-refilled bucket.
-        let limiter = RateLimiter::with_shards(5.0, 1.0, 16, 8);
-        for i in 0..16 {
-            assert!(limiter.allow(ip(i), i as u64 * 10));
+    fn limiter_raises_shards_to_bound_the_eviction_scan() {
+        // 64 Ki clients over 2 requested shards would mean a 32 Ki-entry
+        // victim scan per insert; the layout raises the count instead.
+        let limiter = RateLimiter::with_shards(1.0, 1.0, 1 << 16, 2);
+        assert!(limiter.per_shard_clients() <= DEFAULT_MAX_SCAN);
+        assert!(limiter.shard_count() >= (1 << 16) / DEFAULT_MAX_SCAN);
+        // An explicit tighter scan bound is honored too.
+        let tight = RateLimiter::with_layout(1.0, 1.0, 1 << 12, Some(1), 64);
+        assert!(tight.per_shard_clients() <= 64);
+    }
+
+    #[test]
+    fn limiter_population_never_exceeds_capacity_under_address_cycling() {
+        // The flood worst case: every request a fresh address, table at
+        // capacity. The per-shard bound is hard (enforced under the
+        // shard lock), so the population can never exceed max_clients —
+        // not even transiently — and no admission ever folds over the
+        // whole table.
+        let limiter = RateLimiter::with_shards(5.0, 1.0, 64, 8);
+        for i in 0..4_096u32 {
+            limiter.allow(ip((i % 250) as u8), i as u64); // reuse 250 addrs
+            limiter.allow(
+                IpAddr::V4(Ipv4Addr::new(192, (i >> 16) as u8, (i >> 8) as u8, i as u8)),
+                i as u64,
+            );
         }
-        assert_eq!(limiter.len(), 16);
-        // ip(0) (refilled at t=0) is the stalest; a 17th client evicts it.
-        assert!(limiter.allow(ip(200), 1_000));
-        assert_eq!(limiter.len(), 16);
-        // ip(0) comes back with a fresh full bucket.
-        for _ in 0..5 {
-            assert!(limiter.allow(ip(0), 2_000));
-        }
+        assert!(
+            limiter.len() <= 64,
+            "population {} over max_clients",
+            limiter.len()
+        );
+        assert_eq!(limiter.global_eviction_folds(), 0);
+        // Each admission scanned at most one shard's worth of entries.
+        assert!(limiter.eviction_scan_steps() <= 8_192 * limiter.per_shard_clients() as u64);
     }
 
     #[test]

@@ -34,7 +34,11 @@ impl std::error::Error for InvalidLengthError {}
 /// An empty `salt` is treated as 32 zero bytes, per the RFC.
 pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
     let zero_salt = [0u8; 32];
-    let salt = if salt.is_empty() { &zero_salt[..] } else { salt };
+    let salt = if salt.is_empty() {
+        &zero_salt[..]
+    } else {
+        salt
+    };
     HmacSha256::mac(salt, ikm).into_bytes()
 }
 

@@ -223,7 +223,19 @@ mod tests {
 
     #[test]
     fn bucket_bounds_contain_their_values() {
-        for &v in &[0u64, 1, 63, 64, 65, 127, 128, 1000, 65_535, 1 << 30, u64::MAX / 2] {
+        for &v in &[
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            127,
+            128,
+            1000,
+            65_535,
+            1 << 30,
+            u64::MAX / 2,
+        ] {
             let idx = bucket_index(v);
             assert!(bucket_low(idx) <= v, "low bound for {v}");
             assert!(v <= bucket_high(idx), "high bound for {v}");

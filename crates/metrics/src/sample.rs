@@ -183,7 +183,9 @@ mod tests {
 
     #[test]
     fn stddev_known_value() {
-        let t: TrialSet = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let t: TrialSet = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         // Sample stddev of this classic set is sqrt(32/7).
         let sd = t.stddev().unwrap();
         assert!((sd - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);

@@ -108,8 +108,7 @@ impl OnlineStats {
         }
         let total = self.n + other.n;
         let delta = other.mean - self.mean;
-        self.m2 +=
-            other.m2 + delta * delta * (self.n as f64 * other.n as f64) / total as f64;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / total as f64;
         self.mean += delta * other.n as f64 / total as f64;
         self.n = total;
         self.min = self.min.min(other.min);

@@ -195,7 +195,12 @@ impl PowClient {
         // address as the server sees it).
         let solve_ip = challenge.client_ip();
         let report = if self.solver_threads > 1 {
-            solver::solve_parallel(&challenge, solve_ip, self.solver_threads, &self.solver_options)
+            solver::solve_parallel(
+                &challenge,
+                solve_ip,
+                self.solver_threads,
+                &self.solver_options,
+            )
         } else {
             solver::solve(&challenge, solve_ip, &self.solver_options)
         }

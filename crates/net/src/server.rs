@@ -27,12 +27,20 @@ pub struct ServerConfig {
     /// resource requests. Solutions are never rate-limited — the client
     /// already paid for them in hashes.
     pub rate_limit: Option<(f64, f64)>,
-    /// Maximum client IPs the rate limiter tracks; beyond this the
-    /// least-recently-refilled bucket is evicted to make room.
+    /// Maximum client IPs the rate limiter tracks; beyond this a full
+    /// shard evicts its least-recently-refilled bucket to make room.
     pub rate_limit_max_clients: usize,
-    /// Shard count for the rate limiter's bucket table (rounded up to a
-    /// power of two); `None` picks a multiple of available parallelism.
+    /// Shard count for the rate limiter's bucket table; `None` picks a
+    /// multiple of available parallelism. Adjusted on both sides
+    /// (`aipow_shard::ShardLayout::bounded`): raised so no eviction scan
+    /// exceeds [`rate_limit_max_scan`](Self::rate_limit_max_scan),
+    /// capped at `rate_limit_max_clients`, floored to a power of two.
     pub rate_limit_shards: Option<usize>,
+    /// Bound on the entries one rate-limiter eviction scan may visit —
+    /// the worst-case per-request cost an address-cycling flood can
+    /// inflict on the admission path, independent of
+    /// `rate_limit_max_clients`.
+    pub rate_limit_max_scan: usize,
     /// Backlog of accepted-but-unhandled connections.
     pub queue_depth: usize,
     /// Online behavioral-reputation loop. When set, the server attaches a
@@ -62,6 +70,7 @@ impl Default for ServerConfig {
             rate_limit: None,
             rate_limit_max_clients: 65_536,
             rate_limit_shards: None,
+            rate_limit_max_scan: aipow_core::sharded::DEFAULT_MAX_SCAN,
             queue_depth: 256,
             online: None,
         }
@@ -136,15 +145,13 @@ impl PowServer {
             None => features,
         };
         let limiter = Arc::new(config.rate_limit.map(|(burst, refill)| {
-            match config.rate_limit_shards {
-                Some(shards) => RateLimiter::with_shards(
-                    burst,
-                    refill,
-                    config.rate_limit_max_clients,
-                    shards,
-                ),
-                None => RateLimiter::new(burst, refill, config.rate_limit_max_clients),
-            }
+            RateLimiter::with_layout(
+                burst,
+                refill,
+                config.rate_limit_max_clients,
+                config.rate_limit_shards,
+                config.rate_limit_max_scan,
+            )
         }));
         let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(config.queue_depth);
         let connections: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
@@ -336,12 +343,10 @@ fn handle_connection(
                         body: resources[&path].clone(),
                         path,
                     },
-                    aipow_core::AdmissionDecision::Challenge(issued) => {
-                        Message::ChallengeIssued {
-                            challenge: issued.challenge,
-                            path,
-                        }
-                    }
+                    aipow_core::AdmissionDecision::Challenge(issued) => Message::ChallengeIssued {
+                        challenge: issued.challenge,
+                        path,
+                    },
                 }
             }
             Message::SubmitSolution {
@@ -598,11 +603,7 @@ mod tests {
         let mut stream = TcpStream::connect(server.local_addr()).unwrap();
         let mut rejected = 0;
         for _ in 0..4 {
-            write_message(
-                &mut stream,
-                &Message::RequestResource { path: "/r".into() },
-            )
-            .unwrap();
+            write_message(&mut stream, &Message::RequestResource { path: "/r".into() }).unwrap();
             if let Message::Rejected { code, .. } = read_message(&mut stream).unwrap() {
                 assert_eq!(code, RejectCode::RateLimited);
                 rejected += 1;

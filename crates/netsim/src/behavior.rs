@@ -27,9 +27,7 @@
 //! shape with the paper's AI component (the `aipow observe` CLI does).
 
 use aipow_core::tap::BehaviorSink;
-use aipow_core::{
-    Framework, FrameworkBuilder, OnlineSettings, StaticFeatureSource,
-};
+use aipow_core::{Framework, FrameworkBuilder, OnlineSettings, StaticFeatureSource};
 use aipow_online::OnlineLoop;
 use aipow_policy::LinearPolicy;
 use aipow_pow::{ManualClock, TimeSource};
@@ -318,10 +316,7 @@ pub fn run_redemption(config: &BehaviorConfig) -> RedemptionOutcome {
     while t <= quiet_end {
         deploy.clock.set(t);
         deploy.online.sweep_now();
-        let score = deploy
-            .model
-            .score(&source.features_at(flooder, t))
-            .value();
+        let score = deploy.model.score(&source.features_at(flooder, t)).value();
         trajectory.push(TrajectoryPoint {
             t_ms: t,
             score,
@@ -335,14 +330,17 @@ pub fn run_redemption(config: &BehaviorConfig) -> RedemptionOutcome {
 
     // Snapshot prune state *before* the final probe request below, which
     // would re-create the sketch through the tap.
-    let pruned = deploy.online.recorder().sketch(flooder, quiet_end).is_none();
+    let pruned = deploy
+        .online
+        .recorder()
+        .sketch(flooder, quiet_end)
+        .is_none();
 
     // After recovery the client is genuinely admitted without work again.
     deploy.clock.set(quiet_end);
-    let final_decision = deploy.framework.handle_request(
-        flooder,
-        &source.features_at(flooder, quiet_end),
-    );
+    let final_decision = deploy
+        .framework
+        .handle_request(flooder, &source.features_at(flooder, quiet_end));
     let final_score = trajectory.last().map(|p| p.score).unwrap_or(peak_score);
 
     RedemptionOutcome {
@@ -492,7 +490,10 @@ mod tests {
             second_phase_s: 300.0, // 30 half-lives
             ..quick()
         });
-        assert!(outcome.pruned, "sketch should be pruned after 30 half-lives");
+        assert!(
+            outcome.pruned,
+            "sketch should be pruned after 30 half-lives"
+        );
     }
 
     /// Scores in the trajectory are monotonically non-increasing during

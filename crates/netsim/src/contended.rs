@@ -27,8 +27,7 @@
 //! ```
 
 use aipow_core::{
-    FeatureSource, Framework, FrameworkBuilder, OnlineSettings, RateLimiter,
-    StaticFeatureSource,
+    FeatureSource, Framework, FrameworkBuilder, OnlineSettings, RateLimiter, StaticFeatureSource,
 };
 use aipow_online::OnlineLoop;
 use aipow_policy::LinearPolicy;
@@ -161,10 +160,7 @@ pub fn contended_path_with(shard_count: Option<usize>, online: bool) -> Admissio
         };
         let online = OnlineLoop::attach(Arc::clone(&framework), Arc::new(table), settings)
             .expect("fresh framework has no sink");
-        (
-            online.source() as Arc<dyn FeatureSource>,
-            Some(online),
-        )
+        (online.source() as Arc<dyn FeatureSource>, Some(online))
     } else {
         (Arc::new(table) as Arc<dyn FeatureSource>, None)
     };

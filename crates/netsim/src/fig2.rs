@@ -143,7 +143,11 @@ pub fn run(policies: &[&dyn Policy], config: &Fig2Config) -> Fig2Table {
             for _ in 0..config.trials {
                 let difficulty = policy.difficulty_for(score, &ctx);
                 difficulty_sum += difficulty.bits() as f64;
-                latencies.record(config.profile.sample_latency_ms(&mut rng, difficulty.bits()));
+                latencies.record(
+                    config
+                        .profile
+                        .sample_latency_ms(&mut rng, difficulty.bits()),
+                );
             }
 
             rows.push(Fig2Row {
@@ -204,7 +208,7 @@ mod tests {
     /// Figure 2 shape: latency increases with reputation score for every
     /// policy (allowing sampling jitter at low difficulties).
     #[test]
-    fn latency_increases_with_reputation()  {
+    fn latency_increases_with_reputation() {
         let t = table();
         for policy in ["policy1", "policy2", "policy3"] {
             let lo = t.median_ms(policy, 0).unwrap();

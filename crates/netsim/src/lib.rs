@@ -21,6 +21,10 @@
 //!   with and without the online behavior recorder attached;
 //! - [`behavior`] — the online-reputation-loop scenarios (*behavior-shift*
 //!   and *redemption*): the model's input produced by the system itself;
+//! - [`flood`] — the address-cycling flood against the capacity-bounded
+//!   admission tables: per-request latency must stay flat while the rate
+//!   limiter and cost ledger churn at capacity (the bounded per-shard
+//!   eviction proof);
 //! - [`report`] — CSV/Markdown rendering for EXPERIMENTS.md.
 //!
 //! Everything except [`contended`] is seeded; two runs with the same
@@ -45,16 +49,16 @@ pub mod behavior;
 pub mod contended;
 pub mod engine;
 pub mod fig2;
+pub mod flood;
 pub mod profile;
 pub mod report;
 pub mod sample;
 pub mod scenario;
 
-pub use behavior::{
-    BehaviorConfig, BehaviorShiftOutcome, RedemptionOutcome, TrajectoryPoint,
-};
+pub use behavior::{BehaviorConfig, BehaviorShiftOutcome, RedemptionOutcome, TrajectoryPoint};
 pub use contended::{ContendedConfig, ContendedReport, ContendedRow};
 pub use engine::EventQueue;
 pub use fig2::{Fig2Config, Fig2Row, Fig2Table};
+pub use flood::{FloodConfig, FloodOutcome, FloodPair};
 pub use profile::SolverProfile;
 pub use scenario::{AttackStrategy, DdosConfig, DdosOutcome};

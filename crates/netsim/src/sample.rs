@@ -92,7 +92,9 @@ mod tests {
     fn median_attempts_near_ln2_fraction() {
         let mut rng = StdRng::seed_from_u64(3);
         let d = 10u8;
-        let mut samples: Vec<u64> = (0..20_001).map(|_| attempts_to_solve(&mut rng, d)).collect();
+        let mut samples: Vec<u64> = (0..20_001)
+            .map(|_| attempts_to_solve(&mut rng, d))
+            .collect();
         samples.sort_unstable();
         let median = samples[samples.len() / 2] as f64;
         let expected = 0.693 * 1024.0;

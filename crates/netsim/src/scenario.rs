@@ -397,10 +397,7 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = quick(short());
-        let b = quick(DdosConfig {
-            seed: 8,
-            ..short()
-        });
+        let b = quick(DdosConfig { seed: 8, ..short() });
         assert_ne!(a, b);
     }
 

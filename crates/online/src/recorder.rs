@@ -27,19 +27,13 @@ use aipow_core::OnlineSettings;
 use aipow_metrics::{Counter, OnlineStats};
 use aipow_pow::{Difficulty, VerifyError};
 use aipow_reputation::ReputationScore;
-use aipow_shard::ShardedMap;
+use aipow_shard::{ShardLayout, ShardedMap};
 use std::net::IpAddr;
 
 /// Smoothing factor for the inter-arrival EWMA: each new gap contributes
 /// 30 %, so a behavior shift dominates the estimate within ~7 requests
 /// while a single outlier gap moves it only modestly.
 const EWMA_ALPHA: f64 = 0.3;
-
-/// Hard bound on sketches per shard: the capacity-eviction victim scan
-/// runs under the shard lock on the admission path, so the shard count
-/// is raised as needed to keep that scan at most this long regardless of
-/// the configured capacity.
-const MAX_SKETCHES_PER_SHARD: usize = 512;
 
 /// The eviction score (smallest = evicted first): conceptually
 /// `last_seen_ms`, but abuse holds the sketch as if it were seen up to
@@ -228,32 +222,21 @@ impl BehaviorRecorder {
     pub fn new(settings: &OnlineSettings) -> Self {
         assert!(settings.capacity > 0, "recorder capacity must be positive");
         assert!(settings.half_life_ms > 0, "half-life must be positive");
-        // The scan bound is only achievable while enough shards exist:
-        // clamp capacity to MAX_SHARDS × 512 (32 Mi sketches, gigabytes
-        // of sketch state — beyond any sane deployment) rather than let
-        // a pathological capacity silently stretch the per-shard scan.
-        let capacity = settings
-            .capacity
-            .min(aipow_shard::MAX_SHARDS * MAX_SKETCHES_PER_SHARD);
-        // Shard-count selection, bounded on both sides: at least
-        // `capacity / MAX_SKETCHES_PER_SHARD` shards so the eviction
-        // victim scan stays O(512) under one lock (raising an explicit
-        // request if necessary), and never more shards than capacity
-        // (floored to a power of two, like the replay guard) so
-        // per-shard capacity stays ≥ 1 and the total population bound
-        // `per_shard × shards` never exceeds the configured capacity.
-        // The scan-bound minimum is rounded *up* to a power of two
-        // before the final floor: flooring a non-power-of-two minimum
-        // (e.g. 586 → 512) would quietly re-break the 512-per-shard
-        // bound.
-        let requested = settings
-            .shard_count
-            .unwrap_or_else(aipow_shard::default_shard_count)
-            .max(aipow_shard::round_shards(
-                capacity.div_ceil(MAX_SKETCHES_PER_SHARD),
-            ));
-        let sketches = ShardedMap::new(aipow_shard::floor_shards(requested.min(capacity)));
-        let per_shard_capacity = (capacity / sketches.shard_count()).max(1);
+        assert!(
+            settings.max_scan > 0,
+            "eviction scan bound must be positive"
+        );
+        // The shared bounded-eviction layout (the recorder was its proof
+        // of concept; the rate limiter and cost ledger now use the same
+        // selection): shard count raised so no victim scan exceeds
+        // `max_scan`, capped at capacity and floored to a power of two
+        // so the population bound never exceeds the configured capacity
+        // — which itself is clamped to what MAX_SHARDS shards can honor
+        // rather than silently stretching the scan.
+        let layout =
+            ShardLayout::bounded(settings.capacity, settings.shard_count, settings.max_scan);
+        let sketches = ShardedMap::new(layout.shard_count);
+        let per_shard_capacity = layout.per_shard_capacity;
         BehaviorRecorder {
             sketches,
             per_shard_capacity,
@@ -317,7 +300,7 @@ impl BehaviorRecorder {
         let (_, evicted) = self.sketches.update_or_insert_evicting_in_shard(
             ip,
             self.per_shard_capacity,
-            |sketch| eviction_score(sketch, half_life),
+            |sketch: &ClientSketch| eviction_score(sketch, half_life),
             || ClientSketch::new(now_ms),
             |sketch| {
                 bump(sketch, now_ms, half_life);
@@ -349,7 +332,8 @@ impl BehaviorRecorder {
     /// Folds over all decayed sketches (shard by shard; not a consistent
     /// global snapshot).
     pub fn fold<A>(&self, init: A, mut f: impl FnMut(A, IpAddr, &ClientSketch) -> A) -> A {
-        self.sketches.fold(init, |acc, ip, sketch| f(acc, *ip, sketch))
+        self.sketches
+            .fold(init, |acc, ip, sketch| f(acc, *ip, sketch))
     }
 }
 
@@ -697,12 +681,7 @@ mod tests {
             ..Default::default()
         });
         for i in 0..2_000u32 {
-            let ip = IpAddr::V4(Ipv4Addr::new(
-                10,
-                (i >> 16) as u8,
-                (i >> 8) as u8,
-                i as u8,
-            ));
+            let ip = IpAddr::V4(Ipv4Addr::new(10, (i >> 16) as u8, (i >> 8) as u8, i as u8));
             r.on_request(ip, i as u64, ReputationScore::MAX, Some(bits(5)));
         }
         assert!(r.len() <= 32, "population {} over capacity", r.len());
@@ -711,14 +690,16 @@ mod tests {
 
     #[test]
     fn small_capacity_caps_shard_count_and_population() {
-        // capacity 8 with 64 requested shards: shards are floored to 8,
-        // per-shard capacity 1, total population never exceeds 8.
+        // capacity 8 with 64 requested shards: the layout collapses to a
+        // single shard holding the whole capacity (the per-shard floor —
+        // one-entry shards would turn eviction into mutual displacement),
+        // and the population never exceeds 8.
         let r = BehaviorRecorder::new(&OnlineSettings {
             capacity: 8,
             shard_count: Some(64),
             ..Default::default()
         });
-        assert_eq!(r.shard_count(), 8);
+        assert_eq!(r.shard_count(), 1);
         for i in 0..100u8 {
             r.on_request(ip(i), i as u64, ReputationScore::MIN, Some(bits(5)));
         }
@@ -747,12 +728,7 @@ mod tests {
                 let r = Arc::clone(&r);
                 std::thread::spawn(move || {
                     for i in 0..1_000u64 {
-                        r.on_request(
-                            ip(t),
-                            i,
-                            ReputationScore::MIN,
-                            Some(bits(5)),
-                        );
+                        r.on_request(ip(t), i, ReputationScore::MIN, Some(bits(5)));
                     }
                 })
             })

@@ -102,8 +102,7 @@ impl BehavioralFeatureSource {
         // intensity).
         let idle_ms = now_ms.saturating_sub(sketch.last_seen_ms) as f64;
         let freshness = 0.5f64.powf(idle_ms / self.recorder.half_life_ms() as f64);
-        let confidence =
-            freshness * sketch.events / (sketch.events + self.prior_strength);
+        let confidence = freshness * sketch.events / (sketch.events + self.prior_strength);
         // NaN (0/0 when both the decayed weight and the prior strength
         // are zero) must fall back to the prior, like zero confidence.
         if confidence.is_nan() || confidence <= 0.0 {
@@ -161,7 +160,10 @@ mod tests {
             .with(8, 120.0)
     }
 
-    fn setup(half_life_ms: u64, prior_strength: f64) -> (Arc<BehaviorRecorder>, BehavioralFeatureSource, ManualClock) {
+    fn setup(
+        half_life_ms: u64,
+        prior_strength: f64,
+    ) -> (Arc<BehaviorRecorder>, BehavioralFeatureSource, ManualClock) {
         let settings = OnlineSettings {
             half_life_ms,
             prior_strength,
@@ -190,7 +192,12 @@ mod tests {
         let (recorder, source, clock) = setup(10_000, 16.0);
         // 100 rps flood, never solving.
         for i in 0..2_000u64 {
-            recorder.on_request(ip(2), i * 10, ReputationScore::MAX, Some(Difficulty::new(5).unwrap()));
+            recorder.on_request(
+                ip(2),
+                i * 10,
+                ReputationScore::MAX,
+                Some(Difficulty::new(5).unwrap()),
+            );
         }
         clock.set(2_000 * 10);
         let f = source.features_for(ip(2));
@@ -206,13 +213,22 @@ mod tests {
         let (recorder, source, clock) = setup(10_000, 8.0);
         // One admitted request creates the sketch (failed solutions
         // alone never do); the spam then accrues against it.
-        recorder.on_request(ip(3), 0, ReputationScore::MAX, Some(Difficulty::new(5).unwrap()));
+        recorder.on_request(
+            ip(3),
+            0,
+            ReputationScore::MAX,
+            Some(Difficulty::new(5).unwrap()),
+        );
         for i in 0..50u64 {
             recorder.on_solution(ip(3), i * 10, Err(&VerifyError::BadMac));
         }
         clock.set(500);
         let f = source.features_for(ip(3));
-        assert!(f.get(6) > prior_vector().get(6) + 10.0, "blocklist lane {}", f.get(6));
+        assert!(
+            f.get(6) > prior_vector().get(6) + 10.0,
+            "blocklist lane {}",
+            f.get(6)
+        );
         assert!(f.get(9) > 0.8, "invalid lane {}", f.get(9));
     }
 
@@ -225,7 +241,12 @@ mod tests {
         let mut last_abandon = f64::NEG_INFINITY;
         for i in 0..500u64 {
             let now = i * 20;
-            recorder.on_request(ip(4), now, ReputationScore::MAX, Some(Difficulty::new(5).unwrap()));
+            recorder.on_request(
+                ip(4),
+                now,
+                ReputationScore::MAX,
+                Some(Difficulty::new(5).unwrap()),
+            );
             let f = source.features_at(ip(4), now);
             assert!(
                 f.get(0) >= last_rate - 1e-9,
@@ -243,7 +264,12 @@ mod tests {
     fn redemption_decays_back_to_the_prior() {
         let (recorder, source, clock) = setup(1_000, 16.0);
         for i in 0..200u64 {
-            recorder.on_request(ip(5), i * 10, ReputationScore::MAX, Some(Difficulty::new(5).unwrap()));
+            recorder.on_request(
+                ip(5),
+                i * 10,
+                ReputationScore::MAX,
+                Some(Difficulty::new(5).unwrap()),
+            );
         }
         clock.set(2_000);
         let hot = source.features_for(ip(5));
@@ -264,7 +290,12 @@ mod tests {
     #[test]
     fn zero_prior_strength_trusts_observation_immediately() {
         let (recorder, source, clock) = setup(10_000, 0.0);
-        recorder.on_request(ip(6), 0, ReputationScore::MIN, Some(Difficulty::new(5).unwrap()));
+        recorder.on_request(
+            ip(6),
+            0,
+            ReputationScore::MIN,
+            Some(Difficulty::new(5).unwrap()),
+        );
         clock.set(1);
         let f = source.features_for(ip(6));
         // confidence = 1 after a single event: lane 1 is fully observed.

@@ -280,7 +280,10 @@ mod tests {
         IpAddr::V4(Ipv4Addr::new(198, 18, 2, last))
     }
 
-    fn deploy(half_life_ms: u64, load_capacity_rps: Option<f64>) -> (Arc<Framework>, Arc<OnlineLoop>, ManualClock) {
+    fn deploy(
+        half_life_ms: u64,
+        load_capacity_rps: Option<f64>,
+    ) -> (Arc<Framework>, Arc<OnlineLoop>, ManualClock) {
         let clock = ManualClock::at(1_000_000);
         let framework = Arc::new(
             FrameworkBuilder::new()
@@ -322,7 +325,10 @@ mod tests {
             OnlineLoop::attach(
                 Arc::clone(&framework),
                 Arc::new(StaticFeatureSource::new(FeatureVector::zeros())),
-                OnlineSettings { capacity: 0, ..Default::default() },
+                OnlineSettings {
+                    capacity: 0,
+                    ..Default::default()
+                },
             ),
             Err(AttachError::InvalidSettings(_))
         ));
@@ -414,8 +420,8 @@ mod tests {
         let _ = framework.handle_request(ip(4), &FeatureVector::zeros());
         online.stop();
         online.stop(); // idempotent
-        // The loop is permanently stopped: a restart is a documented
-        // no-op, not a thread that exits on its first flag check.
+                       // The loop is permanently stopped: a restart is a documented
+                       // no-op, not a thread that exits on its first flag check.
         online.start();
         assert!(online.worker.lock().is_none());
         assert!(!format!("{online:?}").is_empty());

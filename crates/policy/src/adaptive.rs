@@ -80,10 +80,7 @@ mod tests {
         let p = LoadAdaptivePolicy::new(LinearPolicy::policy2(), 6, 4);
         let ctx = PolicyContext::default();
         for band in 0..=10u8 {
-            assert_eq!(
-                p.difficulty_for(score(band as f64), &ctx).bits(),
-                band + 5
-            );
+            assert_eq!(p.difficulty_for(score(band as f64), &ctx).bits(), band + 5);
         }
     }
 
@@ -91,11 +88,13 @@ mod tests {
     fn load_scales_boost() {
         let p = LoadAdaptivePolicy::new(LinearPolicy::policy1(), 8, 0);
         assert_eq!(
-            p.difficulty_for(score(0.0), &PolicyContext::with_load(0.5)).bits(),
+            p.difficulty_for(score(0.0), &PolicyContext::with_load(0.5))
+                .bits(),
             1 + 4
         );
         assert_eq!(
-            p.difficulty_for(score(0.0), &PolicyContext::with_load(0.25)).bits(),
+            p.difficulty_for(score(0.0), &PolicyContext::with_load(0.25))
+                .bits(),
             1 + 2
         );
     }

@@ -31,7 +31,11 @@ impl PolicyContext {
     /// A context with the given load, clamped into `[0, 1]`.
     pub fn with_load(load: f64) -> Self {
         PolicyContext {
-            server_load: if load.is_nan() { 0.0 } else { load.clamp(0.0, 1.0) },
+            server_load: if load.is_nan() {
+                0.0
+            } else {
+                load.clamp(0.0, 1.0)
+            },
             ..Default::default()
         }
     }

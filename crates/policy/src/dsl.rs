@@ -134,9 +134,7 @@ impl Action {
     pub fn apply(&self, score: ReputationScore) -> Difficulty {
         match *self {
             Action::Constant(bits) => Difficulty::saturating(bits as u32),
-            Action::Linear { base } => {
-                Difficulty::saturating(score.band() as u32 + base as u32)
-            }
+            Action::Linear { base } => Difficulty::saturating(score.band() as u32 + base as u32),
             Action::Power { min, max, exponent } => {
                 let fraction = (score.value() / 10.0).powf(exponent);
                 let bits = min as f64 + (max.saturating_sub(min)) as f64 * fraction;
@@ -215,7 +213,11 @@ impl ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}, column {}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "line {}, column {}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -399,22 +401,14 @@ fn lex(source: &str) -> Result<Vec<Spanned>, ParseError> {
                             break;
                         }
                         Some('\n') => {
-                            return Err(ParseError::new(
-                                tline,
-                                tcol,
-                                "unterminated string literal",
-                            ))
+                            return Err(ParseError::new(tline, tcol, "unterminated string literal"))
                         }
                         Some(c) => {
                             col += 1;
                             s.push(c);
                         }
                         None => {
-                            return Err(ParseError::new(
-                                tline,
-                                tcol,
-                                "unterminated string literal",
-                            ))
+                            return Err(ParseError::new(tline, tcol, "unterminated string literal"))
                         }
                     }
                 }
@@ -516,9 +510,7 @@ impl Parser {
                 t.col,
                 format!("expected keyword `{keyword}`, found {}", t.tok),
             )),
-            None => Err(self.err_here(format!(
-                "expected keyword `{keyword}`, found end of input"
-            ))),
+            None => Err(self.err_here(format!("expected keyword `{keyword}`, found end of input"))),
         }
     }
 
@@ -616,9 +608,7 @@ impl Parser {
                     format!("expected `when` or `otherwise`, found {}", t.tok),
                 ))
             }
-            None => {
-                return Err(self.err_here("expected `when` or `otherwise`, found end of input"))
-            }
+            None => return Err(self.err_here("expected `when` or `otherwise`, found end of input")),
         };
         self.expect(&Tok::Arrow, "`=>`")?;
         let action = self.parse_action()?;
@@ -735,7 +725,10 @@ impl Parser {
             Some(t) => Err(ParseError::new(
                 t.line,
                 t.col,
-                format!("expected `difficulty`, `linear`, or `power`, found {}", t.tok),
+                format!(
+                    "expected `difficulty`, `linear`, or `power`, found {}",
+                    t.tok
+                ),
             )),
             None => Err(self.err_here("expected an action, found end of input")),
         }
@@ -759,11 +752,7 @@ fn validate(def: &PolicyDef) -> Result<(), ParseError> {
             ));
         }
         if !is_last && is_otherwise {
-            return Err(ParseError::new(
-                1,
-                1,
-                "`otherwise` must be the final rule",
-            ));
+            return Err(ParseError::new(1, 1, "`otherwise` must be the final rule"));
         }
     }
     Ok(())
@@ -900,10 +889,7 @@ mod tests {
 
     #[test]
     fn missing_otherwise_is_rejected() {
-        let err = parse(
-            r#"policy p { when score < 5.0 => difficulty 1; }"#,
-        )
-        .unwrap_err();
+        let err = parse(r#"policy p { when score < 5.0 => difficulty 1; }"#).unwrap_err();
         assert!(err.message.contains("otherwise"), "{err}");
     }
 
@@ -955,19 +941,15 @@ mod tests {
 
     #[test]
     fn inverted_power_range_rejected() {
-        let err = parse(
-            "policy p { otherwise => power(min = 9, max = 2, exponent = 1.0); }",
-        )
-        .unwrap_err();
+        let err = parse("policy p { otherwise => power(min = 9, max = 2, exponent = 1.0); }")
+            .unwrap_err();
         assert!(err.message.contains("inverted"), "{err}");
     }
 
     #[test]
     fn nonpositive_exponent_rejected() {
-        let err = parse(
-            "policy p { otherwise => power(min = 1, max = 9, exponent = 0.0); }",
-        )
-        .unwrap_err();
+        let err = parse("policy p { otherwise => power(min = 1, max = 9, exponent = 0.0); }")
+            .unwrap_err();
         assert!(err.message.contains("positive"), "{err}");
     }
 
@@ -991,12 +973,12 @@ mod tests {
 
     #[test]
     fn comments_are_ignored() {
-        let p = parse(
-            "# leading comment\npolicy p { # inline\n otherwise => difficulty 4; # end\n }",
-        )
-        .unwrap();
+        let p =
+            parse("# leading comment\npolicy p { # inline\n otherwise => difficulty 4; # end\n }")
+                .unwrap();
         assert_eq!(
-            p.difficulty_for(score(5.0), &PolicyContext::default()).bits(),
+            p.difficulty_for(score(5.0), &PolicyContext::default())
+                .bits(),
             4
         );
     }
@@ -1014,12 +996,11 @@ mod tests {
     fn negative_bounds_parse() {
         // Scores are never negative, but the grammar permits the literal;
         // the rule simply never fires.
-        let p = parse(
-            "policy p { when score < -1.0 => difficulty 0; otherwise => difficulty 2; }",
-        )
-        .unwrap();
+        let p = parse("policy p { when score < -1.0 => difficulty 0; otherwise => difficulty 2; }")
+            .unwrap();
         assert_eq!(
-            p.difficulty_for(score(0.0), &PolicyContext::default()).bits(),
+            p.difficulty_for(score(0.0), &PolicyContext::default())
+                .bits(),
             2
         );
     }

@@ -119,7 +119,8 @@ mod tests {
         // s=3.2: d_i = ceil(4.2) = 5; zero epsilon pins the draw.
         assert_eq!(p.interval(score(3.2)), (5, 5));
         assert_eq!(
-            p.difficulty_for(score(3.2), &PolicyContext::default()).bits(),
+            p.difficulty_for(score(3.2), &PolicyContext::default())
+                .bits(),
             5
         );
     }

@@ -60,7 +60,10 @@ impl fmt::Display for PowerPolicyError {
                 write!(f, "power policy range [{min}, {max}] is invalid")
             }
             PowerPolicyError::BadExponent { exponent } => {
-                write!(f, "power policy exponent {exponent} must be finite and positive")
+                write!(
+                    f,
+                    "power policy exponent {exponent} must be finite and positive"
+                )
             }
         }
     }

@@ -204,6 +204,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(from_spec("nope", 0).unwrap_err().to_string().contains("nope"));
+        assert!(from_spec("nope", 0)
+            .unwrap_err()
+            .to_string()
+            .contains("nope"));
     }
 }

@@ -55,7 +55,10 @@ impl fmt::Display for StepPolicyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StepPolicyError::NonIncreasingBounds { bound } => {
-                write!(f, "step bound {bound} does not increase over the previous band")
+                write!(
+                    f,
+                    "step bound {bound} does not increase over the previous band"
+                )
             }
             StepPolicyError::NonFiniteBound => write!(f, "step bound must be finite"),
             StepPolicyError::BadDifficulty { bits } => {

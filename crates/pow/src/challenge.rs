@@ -279,10 +279,42 @@ mod tests {
         let baseline = base.authenticated_bytes();
 
         let variants = [
-            Challenge::from_parts(2, *base.seed(), 1_000, 30_000, base.difficulty(), ip, [3; 32]),
-            Challenge::from_parts(1, [8; SEED_LEN], 1_000, 30_000, base.difficulty(), ip, [3; 32]),
-            Challenge::from_parts(1, *base.seed(), 1_001, 30_000, base.difficulty(), ip, [3; 32]),
-            Challenge::from_parts(1, *base.seed(), 1_000, 30_001, base.difficulty(), ip, [3; 32]),
+            Challenge::from_parts(
+                2,
+                *base.seed(),
+                1_000,
+                30_000,
+                base.difficulty(),
+                ip,
+                [3; 32],
+            ),
+            Challenge::from_parts(
+                1,
+                [8; SEED_LEN],
+                1_000,
+                30_000,
+                base.difficulty(),
+                ip,
+                [3; 32],
+            ),
+            Challenge::from_parts(
+                1,
+                *base.seed(),
+                1_001,
+                30_000,
+                base.difficulty(),
+                ip,
+                [3; 32],
+            ),
+            Challenge::from_parts(
+                1,
+                *base.seed(),
+                1_000,
+                30_001,
+                base.difficulty(),
+                ip,
+                [3; 32],
+            ),
             Challenge::from_parts(
                 1,
                 *base.seed(),

@@ -239,7 +239,10 @@ mod tests {
         // it rather than evicting the live seed(2).
         assert!(g.check_and_insert(&seed(3), 10_000, 11));
         assert_eq!(g.live_evictions(), 0);
-        assert!(!g.check_and_insert(&seed(2), 10_000, 12), "live entry survived");
+        assert!(
+            !g.check_and_insert(&seed(2), 10_000, 12),
+            "live entry survived"
+        );
     }
 
     #[test]
@@ -247,8 +250,8 @@ mod tests {
         let g = ReplayGuard::new(4);
         assert!(g.check_and_insert(&seed(1), 10, 0));
         assert!(g.check_and_insert(&seed(1), 1_000, 11)); // re-insert after expiry
-        // The stale order entry for the first insertion must not remove the
-        // fresh map entry when swept.
+                                                          // The stale order entry for the first insertion must not remove the
+                                                          // fresh map entry when swept.
         assert!(!g.check_and_insert(&seed(1), 2_000, 12));
         assert_eq!(g.len(), 1);
     }

@@ -266,7 +266,10 @@ pub fn solve_parallel(
                         best = Some(report);
                     }
                 }
-                Err(e @ (SolveError::BudgetExhausted { .. } | SolveError::NonceSpaceExhausted { .. })) => {
+                Err(
+                    e @ (SolveError::BudgetExhausted { .. }
+                    | SolveError::NonceSpaceExhausted { .. }),
+                ) => {
                     if first_err.is_none() {
                         first_err = Some(e);
                     }

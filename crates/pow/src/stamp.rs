@@ -103,12 +103,13 @@ impl Challenge {
             index: 1,
             expected: "hex seed",
         })?;
-        let seed: [u8; SEED_LEN] = seed_bytes
-            .try_into()
-            .map_err(|_| ParseStampError::BadField {
-                index: 1,
-                expected: "a 16-byte hex seed",
-            })?;
+        let seed: [u8; SEED_LEN] =
+            seed_bytes
+                .try_into()
+                .map_err(|_| ParseStampError::BadField {
+                    index: 1,
+                    expected: "a 16-byte hex seed",
+                })?;
         let issued_at_ms =
             u64::from_str_radix(fields[2], 16).map_err(|_| ParseStampError::BadField {
                 index: 2,
@@ -301,7 +302,10 @@ mod tests {
     fn parse_rejects_garbage() {
         assert_eq!(
             Challenge::from_stamp("nonsense"),
-            Err(ParseStampError::BadFieldCount { got: 1, expected: 7 })
+            Err(ParseStampError::BadFieldCount {
+                got: 1,
+                expected: 7
+            })
         );
         assert_eq!(
             Challenge::from_stamp("wrong:aa:1:1:1:127.0.0.1:bb"),
@@ -350,8 +354,11 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(!ParseStampError::BadPrefix.to_string().is_empty());
-        assert!(ParseStampError::BadFieldCount { got: 2, expected: 7 }
-            .to_string()
-            .contains('2'));
+        assert!(ParseStampError::BadFieldCount {
+            got: 2,
+            expected: 7
+        }
+        .to_string()
+        .contains('2'));
     }
 }

@@ -114,11 +114,7 @@ mod tests {
             for i in 0u32..200 {
                 let digest = Sha256::digest(&i.to_be_bytes());
                 let by_bits = digest.leading_zero_bits() >= d as u32;
-                assert_eq!(
-                    t.is_met_by(&digest),
-                    by_bits,
-                    "d={d} i={i} digest={digest}"
-                );
+                assert_eq!(t.is_met_by(&digest), by_bits, "d={d} i={i} digest={digest}");
             }
         }
     }

@@ -81,7 +81,10 @@ impl fmt::Display for VerifyError {
             }
             VerifyError::BadMac => write!(f, "challenge authentication failed"),
             VerifyError::ClientMismatch => {
-                write!(f, "solution submitted from a different client than issued to")
+                write!(
+                    f,
+                    "solution submitted from a different client than issued to"
+                )
             }
             VerifyError::NotYetValid => write!(f, "challenge timestamp is in the future"),
             VerifyError::Expired {
@@ -89,8 +92,14 @@ impl fmt::Display for VerifyError {
                 now_ms,
             } => write!(f, "challenge expired at {expired_at_ms}, now {now_ms}"),
             VerifyError::Replayed => write!(f, "challenge seed already redeemed"),
-            VerifyError::InsufficientWork { got_bits, need_bits } => {
-                write!(f, "solution has {got_bits} leading zero bits, needs {need_bits}")
+            VerifyError::InsufficientWork {
+                got_bits,
+                need_bits,
+            } => {
+                write!(
+                    f,
+                    "solution has {got_bits} leading zero bits, needs {need_bits}"
+                )
             }
             VerifyError::MalformedNonce => write!(f, "nonce does not fit its declared width"),
         }
@@ -245,7 +254,10 @@ impl Verifier {
         let got_bits = solution.digest(claimed_ip).leading_zero_bits();
         let need_bits = challenge.difficulty().bits() as u32;
         if got_bits < need_bits {
-            return Err(VerifyError::InsufficientWork { got_bits, need_bits });
+            return Err(VerifyError::InsufficientWork {
+                got_bits,
+                need_bits,
+            });
         }
 
         if !self
@@ -374,7 +386,10 @@ mod tests {
     fn wrong_client_rejected() {
         let (_, verifier, _, sol) = setup(4);
         let other = IpAddr::V4(Ipv4Addr::new(192, 0, 2, 99));
-        assert_eq!(verifier.verify(&sol, other), Err(VerifyError::ClientMismatch));
+        assert_eq!(
+            verifier.verify(&sol, other),
+            Err(VerifyError::ClientMismatch)
+        );
     }
 
     #[test]
@@ -524,7 +539,10 @@ mod tests {
             width: NonceWidth::U32,
             ..sol
         };
-        assert_eq!(verifier.verify(&forged, ip()), Err(VerifyError::MalformedNonce));
+        assert_eq!(
+            verifier.verify(&forged, ip()),
+            Err(VerifyError::MalformedNonce)
+        );
     }
 
     #[test]

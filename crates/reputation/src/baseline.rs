@@ -108,7 +108,10 @@ mod tests {
 
     #[test]
     fn knn_scores_in_range_and_sane() {
-        let dataset = DatasetSpec::default().with_sizes(400, 400).with_seed(3).generate();
+        let dataset = DatasetSpec::default()
+            .with_sizes(400, 400)
+            .with_seed(3)
+            .generate();
         let (train, test) = dataset.split(0.8, 3);
         let model = KnnScorer::fit(&train, 5);
         for s in test.samples().iter().take(50) {
@@ -121,7 +124,10 @@ mod tests {
 
     #[test]
     fn knn_exact_hit_returns_neighbour_score() {
-        let dataset = DatasetSpec::default().with_sizes(50, 50).with_seed(4).generate();
+        let dataset = DatasetSpec::default()
+            .with_sizes(50, 50)
+            .with_seed(4)
+            .generate();
         let model = KnnScorer::fit(&dataset, 3);
         let sample = &dataset.samples()[0];
         let v = model.score(&sample.features).value();

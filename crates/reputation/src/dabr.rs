@@ -94,8 +94,7 @@ impl DabrModel {
     /// to calibrate the score scale).
     pub fn fit(train: &Dataset, config: &DabrConfig) -> Self {
         assert!(!train.is_empty(), "cannot fit DAbR on an empty dataset");
-        let all_features: Vec<FeatureVector> =
-            train.samples().iter().map(|s| s.features).collect();
+        let all_features: Vec<FeatureVector> = train.samples().iter().map(|s| s.features).collect();
         let normalizer = MinMaxNormalizer::fit(&all_features);
 
         let malicious: Vec<FeatureVector> = train

@@ -81,13 +81,15 @@ mod tests {
         let low = FixedScoreModel::new(ReputationScore::new(4.99).unwrap());
         let high = FixedScoreModel::new(ReputationScore::new(5.0).unwrap());
         assert_eq!(low.classify(&FeatureVector::zeros()), ClassLabel::Benign);
-        assert_eq!(high.classify(&FeatureVector::zeros()), ClassLabel::Malicious);
+        assert_eq!(
+            high.classify(&FeatureVector::zeros()),
+            ClassLabel::Malicious
+        );
     }
 
     #[test]
     fn trait_object_usable() {
-        let m: Box<dyn ReputationModel> =
-            Box::new(FixedScoreModel::new(ReputationScore::MIN));
+        let m: Box<dyn ReputationModel> = Box::new(FixedScoreModel::new(ReputationScore::MIN));
         assert_eq!(m.name(), "fixed");
         assert_eq!(m.score(&FeatureVector::zeros()), ReputationScore::MIN);
     }

@@ -101,14 +101,24 @@ mod tests {
         let norm = MinMaxNormalizer::fit(&data());
         // Feature 1 is constant (0.5) across the fit data.
         assert_eq!(norm.transform(&data()[0]).get(1), 0.0);
-        assert_eq!(norm.transform(&FeatureVector::zeros().with(1, 99.0)).get(1), 0.0);
+        assert_eq!(
+            norm.transform(&FeatureVector::zeros().with(1, 99.0)).get(1),
+            0.0
+        );
     }
 
     #[test]
     fn out_of_range_inputs_clamp() {
         let norm = MinMaxNormalizer::fit(&data());
-        assert_eq!(norm.transform(&FeatureVector::zeros().with(0, -100.0)).get(0), 0.0);
-        assert_eq!(norm.transform(&FeatureVector::zeros().with(0, 1e9)).get(0), 10.0);
+        assert_eq!(
+            norm.transform(&FeatureVector::zeros().with(0, -100.0))
+                .get(0),
+            0.0
+        );
+        assert_eq!(
+            norm.transform(&FeatureVector::zeros().with(0, 1e9)).get(0),
+            10.0
+        );
     }
 
     #[test]

@@ -271,7 +271,8 @@ impl DatasetSpec {
         // same overlap, plus observation noise.
         let mut base = archetype.base_true_score();
         if is_malicious {
-            base = base * (1.0 - self.overlap) + Archetype::Residential.base_true_score() * self.overlap;
+            base = base * (1.0 - self.overlap)
+                + Archetype::Residential.base_true_score() * self.overlap;
         }
         let true_score = (base + 0.7 * gaussian(rng)).clamp(0.0, 10.0);
 
@@ -408,7 +409,10 @@ mod tests {
         for s in d.samples() {
             let f = s.features;
             for idx in [1usize, 4, 5, 7, 9] {
-                assert!((0.0..=1.0).contains(&f.get(idx)), "feature {idx} out of [0,1]");
+                assert!(
+                    (0.0..=1.0).contains(&f.get(idx)),
+                    "feature {idx} out of [0,1]"
+                );
             }
             assert!((0.0..=8.0).contains(&f.get(3)));
             assert!(f.get(0) >= 0.0 && f.get(2) >= 0.0);
@@ -427,7 +431,10 @@ mod tests {
         // At overlap=1 the botnet mean equals the residential mean, so the
         // class means of any single feature should be close relative to
         // their pooled spread.
-        let d = DatasetSpec::default().with_overlap(1.0).with_sizes(2000, 2000).generate();
+        let d = DatasetSpec::default()
+            .with_overlap(1.0)
+            .with_sizes(2000, 2000)
+            .generate();
         let mean = |label: ClassLabel, idx: usize| {
             let vals: Vec<f64> = d
                 .samples()
@@ -460,7 +467,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside (0, 1)")]
     fn split_rejects_bad_fraction() {
-        DatasetSpec::default().with_sizes(10, 10).generate().split(1.0, 0);
+        DatasetSpec::default()
+            .with_sizes(10, 10)
+            .generate()
+            .split(1.0, 0);
     }
 
     #[test]

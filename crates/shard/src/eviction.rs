@@ -1,0 +1,248 @@
+//! The shared bounded-eviction layer for capacity-limited sharded maps.
+//!
+//! Three production tables evict on the admission/solution hot paths —
+//! the rate limiter (least-recently-refilled bucket), the cost ledger
+//! (lowest-cost account), and the online behavior recorder
+//! (least-recently-seen sketch, held forward by abuse weight). All three
+//! used to differ only in their victim *score*, yet two of them ran a
+//! global victim scan folding over every shard per insert: an
+//! O(capacity) amplifier driven by exactly the traffic the framework is
+//! designed to repel (an address-cycling flood inserts a fresh key per
+//! request, at capacity, forever).
+//!
+//! This module is the machinery they now share:
+//!
+//! - [`EvictionPolicy`] names the victim score. Any `Fn(&V) -> S` also
+//!   works via a blanket impl, so one-off call sites and tests need no
+//!   named type.
+//! - [`ShardLayout::bounded`] turns `(capacity, requested shards,
+//!   max_scan)` into a shard count and per-shard capacity such that the
+//!   victim scan — which runs under a single shard lock in
+//!   [`ShardedMap::update_or_insert_evicting_in_shard`] — never visits
+//!   more than `max_scan` entries, while the total population bound
+//!   never exceeds the configured capacity.
+//!
+//! The worst-case insert cost is therefore a constant (`max_scan`,
+//! default [`DEFAULT_MAX_SCAN`]) independent of table size: growing
+//! `max_clients` grows the shard count, not the scan.
+//!
+//! [`ShardedMap::update_or_insert_evicting_in_shard`]: crate::ShardedMap::update_or_insert_evicting_in_shard
+
+/// Default bound on the entries an eviction victim scan may visit, and
+/// therefore on the work one insert-at-capacity can cost while holding a
+/// shard lock. [`ShardLayout::bounded`] raises the shard count as needed
+/// to honor it.
+pub const DEFAULT_MAX_SCAN: usize = 512;
+
+/// Floor on the per-shard capacity [`ShardLayout::bounded`] will
+/// produce (except when `max_scan` is explicitly tighter): the shard
+/// count is *reduced* for small tables rather than letting per-shard
+/// capacity degenerate toward 1. A shard that holds only one or two
+/// entries turns capacity eviction into mutual displacement — two
+/// clients hash-colliding on a shard would evict each other on every
+/// insert, resetting rate-limiter buckets (and their token debits) and
+/// defeating the ledger's heavy-hitter retention. Eight entries keeps
+/// the victim choice meaningful while still letting tiny tables shard.
+pub const MIN_PER_SHARD: usize = 8;
+
+/// Names the victim score for capacity eviction: when a shard is full,
+/// the entry with the **smallest** score is evicted.
+///
+/// Implemented by the production policies (the rate limiter's
+/// least-recently-refilled, the ledger's lowest-cost, the recorder's
+/// least-recently-seen) and, via the blanket impl, by any closure
+/// `Fn(&V) -> S` with `S: PartialOrd + Copy`.
+pub trait EvictionPolicy<V> {
+    /// The comparable score; smallest is evicted first.
+    type Score: PartialOrd + Copy;
+
+    /// Scores one entry. Called under the shard lock during a victim
+    /// scan, so it must be cheap and must not touch other shards.
+    fn score(&self, value: &V) -> Self::Score;
+}
+
+impl<V, S: PartialOrd + Copy, F: Fn(&V) -> S> EvictionPolicy<V> for F {
+    type Score = S;
+
+    fn score(&self, value: &V) -> S {
+        self(value)
+    }
+}
+
+/// A shard count and per-shard capacity satisfying the scan bound.
+///
+/// Produced by [`ShardLayout::bounded`]; consumed by the capacity-bounded
+/// tables when constructing their [`ShardedMap`](crate::ShardedMap) and
+/// enforcing eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardLayout {
+    /// Number of shards (always a power of two).
+    pub shard_count: usize,
+    /// Capacity bound enforced per shard; the victim scan visits at most
+    /// this many entries.
+    pub per_shard_capacity: usize,
+}
+
+impl ShardLayout {
+    /// Chooses a shard count and per-shard capacity for a table of
+    /// `capacity` total entries such that no eviction scan exceeds
+    /// `max_scan` entries.
+    ///
+    /// The selection is bounded on both sides, mirroring what the
+    /// behavior recorder proved out first:
+    ///
+    /// - at least `capacity / max_scan` shards (rounded up to a power of
+    ///   two), raising an explicit request if necessary, so the victim
+    ///   scan stays within `max_scan` under one lock — this bound always
+    ///   wins over the others;
+    /// - at most `capacity / MIN_PER_SHARD` shards (and never more than
+    ///   `capacity`), *reducing* an oversized request or machine default
+    ///   so per-shard capacity does not degenerate toward 1 — a
+    ///   one-entry shard turns eviction into mutual displacement (two
+    ///   colliding clients would evict each other on every insert,
+    ///   resetting rate-limiter buckets mid-debit); the floor relaxes to
+    ///   `max_scan` itself when the caller explicitly asked for a scan
+    ///   tighter than [`MIN_PER_SHARD`];
+    /// - the total population bound `per_shard_capacity × shard_count`
+    ///   never exceeds `capacity`, and `capacity` itself is clamped to
+    ///   what [`MAX_SHARDS`](crate::MAX_SHARDS) shards can honor
+    ///   (`MAX_SHARDS × max_scan`) rather than silently stretching the
+    ///   scan.
+    ///
+    /// `requested_shards = None` starts from the machine default
+    /// ([`default_shard_count`](crate::default_shard_count)); the
+    /// scan-bound minimum is rounded *up* to a power of two before the
+    /// final floor, because flooring a non-power-of-two minimum (e.g.
+    /// 586 → 512) would quietly re-break the bound.
+    ///
+    /// Zero `capacity` or `max_scan` are treated as 1 — layouts must
+    /// always be usable, and the callers' constructors reject zero
+    /// capacities loudly where that is a configuration error.
+    pub fn bounded(capacity: usize, requested_shards: Option<usize>, max_scan: usize) -> Self {
+        let max_scan = max_scan.max(1);
+        let capacity = capacity
+            .max(1)
+            .min(crate::MAX_SHARDS.saturating_mul(max_scan));
+        let scan_min = crate::round_shards(capacity.div_ceil(max_scan));
+        let per_shard_floor = MIN_PER_SHARD.min(max_scan);
+        let floor_cap = (capacity / per_shard_floor).max(1);
+        let requested = requested_shards.unwrap_or_else(crate::default_shard_count);
+        // Order matters: the per-shard floor caps the request, then the
+        // scan bound re-raises it (the scan bound always wins), and the
+        // capacity clamp keeps shards ≤ entries.
+        let shard_count = crate::floor_shards(requested.min(floor_cap).max(scan_min).min(capacity));
+        ShardLayout {
+            shard_count,
+            per_shard_capacity: (capacity / shard_count).max(1),
+        }
+    }
+
+    /// The hard bound on total population this layout enforces
+    /// (`per_shard_capacity × shard_count`); always ≤ the capacity given
+    /// to [`bounded`](Self::bounded).
+    pub fn population_bound(&self) -> usize {
+        self.per_shard_capacity * self.shard_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MAX_AUTO_SHARDS, MAX_SHARDS};
+
+    #[test]
+    fn layout_honors_scan_bound_for_any_capacity() {
+        for capacity in [1usize, 7, 512, 513, 4_096, 65_536, 1_000_000, 100_000_000] {
+            for requested in [None, Some(1), Some(2), Some(64), Some(MAX_SHARDS)] {
+                let layout = ShardLayout::bounded(capacity, requested, DEFAULT_MAX_SCAN);
+                assert!(
+                    layout.per_shard_capacity <= DEFAULT_MAX_SCAN,
+                    "capacity {capacity} requested {requested:?}: scan {}",
+                    layout.per_shard_capacity
+                );
+                assert!(layout.shard_count.is_power_of_two());
+                assert!(layout.population_bound() <= capacity.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn layout_never_outnumbers_capacity_with_shards() {
+        // A tiny table with an oversized shard request collapses to one
+        // shard holding the whole capacity — never to one-entry shards.
+        let layout = ShardLayout::bounded(8, Some(64), DEFAULT_MAX_SCAN);
+        assert_eq!(layout.shard_count, 1);
+        assert_eq!(layout.per_shard_capacity, 8);
+    }
+
+    #[test]
+    fn layout_keeps_per_shard_capacity_above_the_floor() {
+        // Regression: small capacities on many-core hosts (large default
+        // shard counts) must not degenerate to per-shard capacity 1 —
+        // two clients colliding on such a shard would evict each other
+        // on every insert, resetting limiter buckets mid-debit.
+        for (capacity, requested) in [
+            (100, Some(64)),
+            (100, None),
+            (64, Some(256)),
+            (1_000, Some(MAX_SHARDS)),
+        ] {
+            let layout = ShardLayout::bounded(capacity, requested, DEFAULT_MAX_SCAN);
+            assert!(
+                layout.per_shard_capacity >= MIN_PER_SHARD.min(capacity),
+                "capacity {capacity} requested {requested:?}: per-shard {}",
+                layout.per_shard_capacity
+            );
+        }
+        // An explicitly tighter max_scan wins over the floor: the caller
+        // asked for scans that short.
+        let tight = ShardLayout::bounded(100, Some(64), 2);
+        assert!(tight.per_shard_capacity <= 2);
+    }
+
+    #[test]
+    fn layout_raises_shards_to_bound_the_scan() {
+        // 1 Mi entries at max_scan 512 need ≥ 2048 shards even when the
+        // caller asked for 2.
+        let layout = ShardLayout::bounded(1 << 20, Some(2), 512);
+        assert!(layout.shard_count >= 2_048);
+        assert!(layout.per_shard_capacity <= 512);
+    }
+
+    #[test]
+    fn layout_respects_custom_max_scan() {
+        let tight = ShardLayout::bounded(4_096, Some(1), 64);
+        assert!(tight.per_shard_capacity <= 64);
+        assert!(tight.shard_count >= 64);
+        let loose = ShardLayout::bounded(4_096, Some(1), 4_096);
+        assert_eq!(loose.shard_count, 1);
+        assert_eq!(loose.per_shard_capacity, 4_096);
+    }
+
+    #[test]
+    fn layout_clamps_pathological_inputs() {
+        let layout = ShardLayout::bounded(usize::MAX, Some(usize::MAX), usize::MAX);
+        assert!(layout.shard_count <= MAX_SHARDS);
+        let zero = ShardLayout::bounded(0, Some(0), 0);
+        assert_eq!(zero.shard_count, 1);
+        assert_eq!(zero.per_shard_capacity, 1);
+    }
+
+    #[test]
+    fn default_request_stays_modest_for_small_tables() {
+        let layout = ShardLayout::bounded(1 << 20, None, DEFAULT_MAX_SCAN);
+        assert!(layout.shard_count >= (1 << 20) / DEFAULT_MAX_SCAN);
+        // Small tables keep the automatic count, clamped by capacity.
+        let small = ShardLayout::bounded(64, None, DEFAULT_MAX_SCAN);
+        assert!(small.shard_count <= 64);
+        assert!(small.shard_count <= MAX_AUTO_SHARDS);
+    }
+
+    #[test]
+    fn closures_are_eviction_policies() {
+        fn takes_policy<V, P: EvictionPolicy<V>>(policy: P, v: &V) -> P::Score {
+            policy.score(v)
+        }
+        assert_eq!(takes_policy(|v: &u64| *v, &7u64), 7);
+    }
+}

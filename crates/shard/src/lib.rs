@@ -20,6 +20,13 @@
 //!   lock-free global length counter and `retain`/`fold` support for
 //!   eviction sweeps and metrics.
 //!
+//! Capacity-bounded tables layer the [`eviction`] module on top: an
+//! [`EvictionPolicy`] names the victim score, [`ShardLayout::bounded`]
+//! sizes the shard count so no victim scan exceeds the configured
+//! `max_scan`, and
+//! [`ShardedMap::update_or_insert_evicting_in_shard`] runs the whole
+//! upsert-with-eviction under one shard lock.
+//!
 //! This crate sits below `aipow-pow` and `aipow-core` in the dependency
 //! graph so both can share one implementation; `aipow-core` re-exports it
 //! as its public concurrency surface.
@@ -42,11 +49,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod eviction;
+
+pub use eviction::{EvictionPolicy, ShardLayout, DEFAULT_MAX_SCAN};
+
 use parking_lot::Mutex;
 use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Upper bound on the automatically chosen shard count. Beyond this the
 /// per-shard win is noise while `fold`/`len` sweeps keep getting slower.
@@ -199,6 +210,15 @@ impl<S: std::fmt::Debug> std::fmt::Debug for Sharded<S> {
 pub struct ShardedMap<K, V> {
     inner: Sharded<HashMap<K, V>>,
     len: AtomicUsize,
+    /// Entries examined by in-shard eviction victim scans, cumulative.
+    /// An insert storm at capacity advances this by at most the
+    /// per-shard capacity per insert; see
+    /// [`eviction_scan_steps`](Self::eviction_scan_steps).
+    eviction_scanned: AtomicU64,
+    /// Whole-map victim folds performed by the retired global-scan
+    /// eviction path, cumulative. Zero on every production hot path;
+    /// see [`global_eviction_folds`](Self::global_eviction_folds).
+    global_folds: AtomicU64,
 }
 
 impl<K: Hash + Eq, V> ShardedMap<K, V> {
@@ -208,6 +228,8 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
         ShardedMap {
             inner: Sharded::new(shard_count, |_| HashMap::new()),
             len: AtomicUsize::new(0),
+            eviction_scanned: AtomicU64::new(0),
+            global_folds: AtomicU64::new(0),
         }
     }
 
@@ -311,12 +333,27 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
         })
     }
 
+    /// **Retired from production — tests and benchmark baseline only.**
     /// Runs `update` on the value under `key`, inserting `init()` first
-    /// if absent — evicting the minimum-`score` entry when the insert
-    /// would grow the map past `max_entries`.
+    /// if absent — evicting the *globally* minimum-`score` entry when
+    /// the insert would grow the map past `max_entries`.
     ///
-    /// This is the shared eviction protocol for capacity-bounded
-    /// per-client tables (rate limiter, cost ledger):
+    /// This was the original eviction protocol for the capacity-bounded
+    /// per-client tables (rate limiter, cost ledger). Its victim scan
+    /// folds over **every shard** (with up to 8 retries under racing
+    /// updates), so at capacity under an address-cycling flood each
+    /// insert costs O(capacity) — the exact traffic those tables exist
+    /// to repel became a per-request amplifier. Every production call
+    /// site now uses the bounded
+    /// [`update_or_insert_evicting_in_shard`](Self::update_or_insert_evicting_in_shard)
+    /// instead (see `ShardLayout::bounded` for how capacities map onto
+    /// shard counts). The method is kept only so the `eviction_flood`
+    /// benchmark and the parity tests can measure the retired semantics
+    /// against the bounded ones; new code must not call it. Calls are
+    /// counted in [`global_eviction_folds`](Self::global_eviction_folds)
+    /// so tests can assert the production paths never come through here.
+    ///
+    /// Semantics (kept for the parity tests):
     ///
     /// - fast path: if `key` exists, only its shard is locked;
     /// - the eviction scan locks shards one at a time (never nesting two
@@ -325,14 +362,9 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
     /// - the victim is re-checked under its shard lock (`score`
     ///   unchanged) before removal, so a concurrent update cannot be
     ///   discarded;
-    /// - eviction loops until the map is back under `max_entries`, so an
-    ///   overshoot left by racing inserts (each at most the number of
-    ///   racing threads) is drained by the next insert at capacity
-    ///   rather than accumulating;
-    /// - the loop gives up after a bounded number of failed victim
-    ///   re-checks (continuous adversarial updates could otherwise spin
-    ///   it), accepting a transient overshoot instead of stalling the
-    ///   caller.
+    /// - eviction loops until the map is back under `max_entries`, with
+    ///   a bounded number of failed victim re-checks, accepting a
+    ///   transient overshoot instead of stalling the caller.
     ///
     /// Ties on the minimum score evict the first entry encountered in
     /// shard-index order.
@@ -353,10 +385,13 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
         if let Some(result) = self.with_mut(&key, |v| (update.take().expect("unused"))(v)) {
             return result;
         }
-        let update = update.take().expect("fast path missed without consuming update");
+        let update = update
+            .take()
+            .expect("fast path missed without consuming update");
 
         let mut failed_rechecks = 0;
         while self.len() >= max_entries && failed_rechecks < 8 {
+            self.global_folds.fetch_add(1, Ordering::Relaxed);
             let victim = self.fold(None, |acc: Option<(K, S)>, k, v| {
                 if *k == key {
                     return acc;
@@ -383,29 +418,45 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
         self.with_or_insert_with(key, init, update)
     }
 
-    /// Like [`update_or_insert_evicting`](Self::update_or_insert_evicting),
-    /// but the capacity bound and victim scan are **per shard**: an
-    /// insert into a full shard evicts that shard's minimum-`score`
-    /// entry, and the whole operation — existence check, victim scan,
-    /// eviction, insert, update — runs under a single acquisition of the
-    /// key's shard lock.
+    /// The production eviction protocol for capacity-bounded per-client
+    /// tables (rate limiter, cost ledger, behavior recorder): runs
+    /// `update` on the value under `key`, inserting `init()` first if
+    /// absent — and when the insert would grow the key's shard past
+    /// `max_entries_per_shard`, evicts that shard's minimum-score entry
+    /// under `policy`. The whole operation — existence check, victim
+    /// scan, eviction, insert, update — runs under a **single**
+    /// acquisition of the key's shard lock, which makes three guarantees
+    /// structural rather than racy:
     ///
-    /// This trades the global-capacity semantics of the evicting insert
+    /// - the key being upserted is never the victim (an existing key
+    ///   takes the fast path; a fresh key is inserted after the scan,
+    ///   under the same lock — no evict-then-reinsert window);
+    /// - the victim is the shard-local minimum at the instant of
+    ///   eviction (no time-of-check/time-of-use re-check needed);
+    /// - the `update` (which typically advances the entry's score, e.g.
+    ///   the refill timestamp) is atomic with the upsert, so a racing
+    ///   evictor on the same shard can never observe the stale score.
+    ///
+    /// This trades the global-capacity semantics of the retired
+    /// [`update_or_insert_evicting`](Self::update_or_insert_evicting)
     /// for a hard hot-path bound: the worst case touches one shard and
-    /// scans at most `max_entries_per_shard` entries, instead of folding
-    /// over every shard with retries. Total population is bounded by
-    /// `max_entries_per_shard × shard_count`; keys hash uniformly, so a
-    /// population at `p` of the bound keeps per-shard occupancy near `p`
-    /// (the same per-shard capacity semantics as the replay guard —
-    /// DESIGN.md §7.3).
+    /// scans at most `max_entries_per_shard` entries (counted in
+    /// [`eviction_scan_steps`](Self::eviction_scan_steps)), instead of
+    /// folding over every shard with retries. Total population is
+    /// bounded by `max_entries_per_shard × shard_count`; keys hash
+    /// uniformly, so a population at `p` of the bound keeps per-shard
+    /// occupancy near `p` (the same per-shard capacity semantics as the
+    /// replay guard — DESIGN.md §7.3). Use
+    /// [`ShardLayout::bounded`] to pick a shard count that keeps
+    /// `max_entries_per_shard` under the configured scan bound.
     ///
     /// Returns the `update` result and whether a victim was evicted
     /// (exact — the eviction happens under the same lock).
-    pub fn update_or_insert_evicting_in_shard<R, S: PartialOrd + Copy>(
+    pub fn update_or_insert_evicting_in_shard<R, P: EvictionPolicy<V>>(
         &self,
         key: K,
         max_entries_per_shard: usize,
-        score: impl Fn(&V) -> S,
+        policy: P,
         init: impl FnOnce() -> V,
         update: impl FnOnce(&mut V) -> R,
     ) -> (R, bool)
@@ -419,9 +470,11 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
             }
             let mut evicted = false;
             if shard.len() >= max_entries_per_shard.max(1) {
+                self.eviction_scanned
+                    .fetch_add(shard.len() as u64, Ordering::Relaxed);
                 let victim = shard
                     .iter()
-                    .map(|(k, v)| (*k, score(v)))
+                    .map(|(k, v)| (*k, policy.score(v)))
                     .reduce(|best, cand| if cand.1 < best.1 { cand } else { best })
                     .map(|(k, _)| k);
                 if let Some(victim) = victim {
@@ -436,6 +489,23 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
             });
             (update(value), evicted)
         })
+    }
+
+    /// Entries examined by in-shard eviction victim scans since
+    /// construction. With a [`ShardLayout::bounded`] layout this grows
+    /// by at most the layout's `per_shard_capacity` (≤ the configured
+    /// `max_scan`) per insert-at-capacity, independent of total
+    /// capacity — the flat-cost claim the `eviction_flood` bench and the
+    /// regression tests assert.
+    pub fn eviction_scan_steps(&self) -> u64 {
+        self.eviction_scanned.load(Ordering::Relaxed)
+    }
+
+    /// Whole-map victim folds performed by the retired global-scan
+    /// eviction path since construction. Production hot paths keep this
+    /// at exactly zero; the regression tests assert it.
+    pub fn global_eviction_folds(&self) -> u64 {
+        self.global_folds.load(Ordering::Relaxed)
     }
 
     /// Keeps only entries for which `f` returns `true`, sweeping shards
@@ -517,7 +587,11 @@ mod tests {
         for key in 0..256u64 {
             seen.insert(sharded.shard_index(&key));
         }
-        assert!(seen.len() >= 6, "256 keys landed on only {} shards", seen.len());
+        assert!(
+            seen.len() >= 6,
+            "256 keys landed on only {} shards",
+            seen.len()
+        );
     }
 
     #[test]
@@ -596,11 +670,16 @@ mod tests {
         map.insert(2, 5);
         map.insert(3, 50);
         // Shard full at 3: inserting key 4 evicts key 2 (min score).
-        let (result, evicted) =
-            map.update_or_insert_evicting_in_shard(4u8, 3, |v| *v, || 7, |v| {
+        let (result, evicted) = map.update_or_insert_evicting_in_shard(
+            4u8,
+            3,
+            |v: &u64| *v,
+            || 7,
+            |v| {
                 *v += 1;
                 *v
-            });
+            },
+        );
         assert_eq!((result, evicted), (8, true));
         assert_eq!(map.len(), 3);
         assert_eq!(map.get_cloned(&2), None);
@@ -608,7 +687,7 @@ mod tests {
 
         // Existing keys update in place without eviction even when full.
         let (result, evicted) =
-            map.update_or_insert_evicting_in_shard(1u8, 3, |v| *v, || 0, |v| *v);
+            map.update_or_insert_evicting_in_shard(1u8, 3, |v: &u64| *v, || 0, |v| *v);
         assert_eq!((result, evicted), (100, false));
         assert_eq!(map.len(), 3);
     }
@@ -619,10 +698,10 @@ mod tests {
         // A per-shard bound of 0 is clamped to 1: the sole entry keeps
         // being replaced rather than the insert being lost.
         let (_, evicted) =
-            map.update_or_insert_evicting_in_shard(1u8, 0, |v| *v, || 1, |v| *v);
+            map.update_or_insert_evicting_in_shard(1u8, 0, |v: &u64| *v, || 1, |v| *v);
         assert!(!evicted);
         let (_, evicted) =
-            map.update_or_insert_evicting_in_shard(2u8, 0, |v| *v, || 2, |v| *v);
+            map.update_or_insert_evicting_in_shard(2u8, 0, |v: &u64| *v, || 2, |v| *v);
         assert!(evicted);
         assert_eq!(map.len(), 1);
         assert_eq!(map.get_cloned(&2), Some(2));
@@ -632,9 +711,26 @@ mod tests {
     fn in_shard_eviction_bounds_total_population() {
         let map: ShardedMap<u32, u32> = ShardedMap::new(8);
         for i in 0..10_000u32 {
-            map.update_or_insert_evicting_in_shard(i, 4, |v| *v, || i, |v| *v);
+            map.update_or_insert_evicting_in_shard(i, 4, |v: &u32| *v, || i, |v| *v);
         }
         assert!(map.len() <= 4 * 8, "population {} over bound", map.len());
+    }
+
+    #[test]
+    fn scan_counters_track_the_two_eviction_paths() {
+        let map: ShardedMap<u32, u32> = ShardedMap::new(1);
+        // Below capacity: no scans at all.
+        map.update_or_insert_evicting_in_shard(1, 2, |v: &u32| *v, || 1, |v| *v);
+        map.update_or_insert_evicting_in_shard(2, 2, |v: &u32| *v, || 2, |v| *v);
+        assert_eq!(map.eviction_scan_steps(), 0);
+        // At capacity: one bounded scan over the (2-entry) shard.
+        map.update_or_insert_evicting_in_shard(3, 2, |v: &u32| *v, || 3, |v| *v);
+        assert_eq!(map.eviction_scan_steps(), 2);
+        // The bounded path never folds the whole map...
+        assert_eq!(map.global_eviction_folds(), 0);
+        // ...and the retired global path is the only thing that does.
+        map.update_or_insert_evicting(4, 2, |v| *v, || 4, |v| *v);
+        assert_eq!(map.global_eviction_folds(), 1);
     }
 
     #[test]

@@ -85,7 +85,10 @@ impl fmt::Display for DecodeError {
             DecodeError::UnknownMessageType { got } => write!(f, "unknown message type {got}"),
             DecodeError::Truncated => write!(f, "message truncated"),
             DecodeError::PayloadTooLarge { declared } => {
-                write!(f, "declared payload of {declared} bytes exceeds the maximum")
+                write!(
+                    f,
+                    "declared payload of {declared} bytes exceeds the maximum"
+                )
             }
             DecodeError::InvalidUtf8 => write!(f, "string field is not valid utf-8"),
             DecodeError::InvalidIpTag { got } => write!(f, "invalid ip address tag {got}"),
@@ -337,8 +340,10 @@ fn get_challenge(buf: &mut &[u8]) -> Result<Challenge, DecodeError> {
     let issued_at_ms = get_u64(buf)?;
     let ttl_ms = get_u64(buf)?;
     let difficulty_bits = get_u8(buf)?;
-    let difficulty = Difficulty::new(difficulty_bits)
-        .map_err(|_| DecodeError::InvalidDifficulty { got: difficulty_bits })?;
+    let difficulty =
+        Difficulty::new(difficulty_bits).map_err(|_| DecodeError::InvalidDifficulty {
+            got: difficulty_bits,
+        })?;
     let client_ip = get_ip(buf)?;
     if buf.remaining() < 32 {
         return Err(DecodeError::Truncated);
@@ -413,10 +418,8 @@ mod tests {
 
     #[test]
     fn ipv6_challenge_roundtrips() {
-        let c = Issuer::new(&[6u8; 32]).issue(
-            IpAddr::V6(Ipv6Addr::LOCALHOST),
-            Difficulty::new(3).unwrap(),
-        );
+        let c = Issuer::new(&[6u8; 32])
+            .issue(IpAddr::V6(Ipv6Addr::LOCALHOST), Difficulty::new(3).unwrap());
         let msg = Message::ChallengeIssued {
             challenge: c,
             path: "/v6".into(),
@@ -492,7 +495,9 @@ mod tests {
 
     #[test]
     fn invalid_utf8_rejected() {
-        let mut bytes = encode(&Message::RequestResource { path: "abcd".into() });
+        let mut bytes = encode(&Message::RequestResource {
+            path: "abcd".into(),
+        });
         let len = bytes.len();
         bytes[len - 2] = 0xff; // corrupt a path byte into invalid UTF-8
         bytes[len - 1] = 0xfe;
@@ -509,7 +514,10 @@ mod tests {
         // Difficulty byte position: header(8) + version(1) + seed(16) +
         // issued(8) + ttl(8) = offset 41.
         bytes[41] = 99;
-        assert_eq!(decode(&bytes), Err(DecodeError::InvalidDifficulty { got: 99 }));
+        assert_eq!(
+            decode(&bytes),
+            Err(DecodeError::InvalidDifficulty { got: 99 })
+        );
     }
 
     #[test]
@@ -519,7 +527,10 @@ mod tests {
             detail: String::new(),
         });
         bytes[8] = 77;
-        assert_eq!(decode(&bytes), Err(DecodeError::InvalidRejectCode { got: 77 }));
+        assert_eq!(
+            decode(&bytes),
+            Err(DecodeError::InvalidRejectCode { got: 77 })
+        );
     }
 
     #[test]
@@ -534,7 +545,10 @@ mod tests {
         // width byte sits after challenge (1+16+8+8+1+5+32 = 71) + nonce(8)
         // + header(8) = offset 87.
         bytes[87] = 3;
-        assert_eq!(decode(&bytes), Err(DecodeError::InvalidNonceWidth { got: 3 }));
+        assert_eq!(
+            decode(&bytes),
+            Err(DecodeError::InvalidNonceWidth { got: 3 })
+        );
     }
 
     #[test]
@@ -586,14 +600,17 @@ mod tests {
             let path = "[a-z/._-]{0,40}";
             prop_oneof![
                 path.prop_map(|path| Message::RequestResource { path }),
-                (arb_challenge(), path).prop_map(|(challenge, path)| {
-                    Message::ChallengeIssued { challenge, path }
-                }),
+                (arb_challenge(), path)
+                    .prop_map(|(challenge, path)| { Message::ChallengeIssued { challenge, path } }),
                 (arb_challenge(), any::<u64>(), any::<bool>(), path).prop_map(
                     |(challenge, nonce, wide, path)| Message::SubmitSolution {
                         challenge,
                         nonce: if wide { nonce } else { nonce & 0xFFFF_FFFF },
-                        width: if wide { NonceWidth::U64 } else { NonceWidth::U32 },
+                        width: if wide {
+                            NonceWidth::U64
+                        } else {
+                            NonceWidth::U32
+                        },
                         path,
                     }
                 ),

@@ -159,7 +159,9 @@ mod tests {
         let mut cursor = Cursor::new(header);
         assert!(matches!(
             read_message(&mut cursor),
-            Err(ReadMessageError::Decode(DecodeError::PayloadTooLarge { .. }))
+            Err(ReadMessageError::Decode(
+                DecodeError::PayloadTooLarge { .. }
+            ))
         ));
     }
 

@@ -28,7 +28,10 @@ use aipow::reputation::ReputationModel;
 fn main() {
     let config = BehaviorConfig::default();
 
-    println!("=== behavior-shift: benign client turns flooder at t = {} s ===", config.phase_s);
+    println!(
+        "=== behavior-shift: benign client turns flooder at t = {} s ===",
+        config.phase_s
+    );
     let shift = run_behavior_shift(&config);
     println!(
         "shifting client: baseline {} bits → peak {} bits (+{} bits, reached +4 after {} flood requests)",
@@ -45,7 +48,10 @@ fn main() {
         shift.benign_min_bits, shift.benign_max_bits
     );
 
-    println!("\n=== redemption: flooder goes quiet (half-life {} ms) ===", config.half_life_ms);
+    println!(
+        "\n=== redemption: flooder goes quiet (half-life {} ms) ===",
+        config.half_life_ms
+    );
     let redemption = run_redemption(&config);
     for point in redemption.trajectory.iter().step_by(10) {
         println!(
@@ -85,9 +91,7 @@ fn main() {
     let dabr = DabrModel::fit(&train, &Default::default());
     let cold = residential_prior();
     let behavioral_flooder = cold.with(0, 100.0).with(1, 1.0).with(8, 0.0);
-    let full_botnet = FeatureVector::new([
-        42.0, 0.75, 3.0, 6.6, 0.55, 0.50, 2.5, 0.45, 12.0, 0.08,
-    ]);
+    let full_botnet = FeatureVector::new([42.0, 0.75, 3.0, 6.6, 0.55, 0.50, 2.5, 0.45, 12.0, 0.08]);
     println!(
         "dabr scores: cold prior {:.2}, behaviorally-observed flooder {:.2}, \
          full botnet profile {:.2}",

@@ -29,9 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!(
-        "\n=== An operator policy in the DSL: lenient below 2, brutal above 8 ===\n"
-    );
+    println!("\n=== An operator policy in the DSL: lenient below 2, brutal above 8 ===\n");
     let custom = dsl::parse(
         r#"
         policy "lenient-then-brutal" {

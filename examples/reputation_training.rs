@@ -29,8 +29,11 @@ fn main() {
 
     println!("| model     | accuracy | precision | recall | f1    | ϵ (MAE) |");
     println!("|-----------|----------|-----------|--------|-------|---------|");
-    let models: [(&str, &dyn ReputationModel); 3] =
-        [("dabr", &dabr), ("knn k=5", &knn), ("heuristic", &heuristic)];
+    let models: [(&str, &dyn ReputationModel); 3] = [
+        ("dabr", &dabr),
+        ("knn k=5", &knn),
+        ("heuristic", &heuristic),
+    ];
     for (name, model) in models {
         let r = evaluate(model, &test);
         println!(

@@ -158,8 +158,7 @@ fn framework_is_shareable_across_threads() {
                 let ip = parse_ip(&format!("10.4.0.{}", t + 1));
                 for _ in 0..5 {
                     let issued = framework.handle_request(ip, &benign).challenge().unwrap();
-                    let report =
-                        solve(&issued.challenge, ip, &SolverOptions::default()).unwrap();
+                    let report = solve(&issued.challenge, ip, &SolverOptions::default()).unwrap();
                     framework.handle_solution(&report.solution, ip).unwrap();
                 }
             })

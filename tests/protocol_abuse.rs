@@ -58,7 +58,9 @@ fn solution_without_request_is_still_verified_on_its_merits() {
     let foreign_issuer = Issuer::new(&[0xFF; 32]);
     let ip = "127.0.0.1".parse().unwrap();
     let fake = foreign_issuer.issue(ip, Difficulty::new(1).unwrap());
-    let solved = solve(&fake, ip, &SolverOptions::default()).unwrap().solution;
+    let solved = solve(&fake, ip, &SolverOptions::default())
+        .unwrap()
+        .solution;
 
     write_message(
         &mut stream,
@@ -99,7 +101,9 @@ fn replayed_solution_on_second_connection_rejected() {
         other => panic!("expected challenge, got {other:?}"),
     };
     let ip = challenge.client_ip();
-    let solved = solve(&challenge, ip, &SolverOptions::default()).unwrap().solution;
+    let solved = solve(&challenge, ip, &SolverOptions::default())
+        .unwrap()
+        .solution;
 
     for attempt in 0..2 {
         write_message(

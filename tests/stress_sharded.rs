@@ -127,10 +127,7 @@ fn replay_guard_eviction_bound_holds_under_contention() {
     );
     // 80k distinct live seeds through an 8k-slot guard: the overflow is
     // exactly the live-eviction count.
-    assert_eq!(
-        guard.live_evictions(),
-        (THREADS * OPS - guard.len()) as u64
-    );
+    assert_eq!(guard.live_evictions(), (THREADS * OPS - guard.len()) as u64);
 }
 
 /// All threads draining one hot bucket must be granted exactly the burst
@@ -163,9 +160,11 @@ fn rate_limiter_no_token_inflation_under_contention() {
 }
 
 /// A full ledger with threads racing to create the *same* new account
-/// must never evict that account's in-flight charges: the eviction scan
-/// excludes the key being charged, so the hot client's total stays
-/// exact. (Regression test for an evict-then-insert race.)
+/// must never evict that account's in-flight charges: the per-shard
+/// eviction runs scan, eviction, insert, and charge under one shard
+/// lock, so the key being charged can never be the victim and the hot
+/// client's total stays exact. (Regression test for an
+/// evict-then-insert race.)
 #[test]
 fn cost_ledger_racing_charges_to_new_client_at_capacity_sum_exactly() {
     use aipow::framework::CostLedger;
@@ -193,9 +192,12 @@ fn cost_ledger_racing_charges_to_new_client_at_capacity_sum_exactly() {
 }
 
 /// A full limiter with threads racing to create the *same* new bucket —
-/// whose timestamp makes it the global stalest — must never evict that
-/// bucket and refund its debits. (Regression test for an
-/// evict-then-insert race.)
+/// whose timestamp makes it the stalest eviction candidate everywhere —
+/// must never evict that bucket and refund its debits: the
+/// refill-timestamp (eviction score) update is atomic with the upsert
+/// under the single shard lock, so no retry window exists in which a
+/// racing admission could evict-then-reinsert the client being charged.
+/// (Regression test for an evict-then-insert race.)
 #[test]
 fn rate_limiter_racing_inserts_never_refund_own_bucket() {
     const BURST: f64 = 100.0;
@@ -258,4 +260,82 @@ fn rate_limiter_distinct_clients_account_exactly() {
         "per-client burst accounting drifted under contention"
     );
     assert_eq!(limiter.len(), THREADS * 100);
+}
+
+/// Eight threads address-cycling through a full limiter — the flood
+/// worst case the bounded-eviction migration exists for. The per-shard
+/// bound is enforced under the shard lock, so the population must never
+/// exceed `max_clients` (not even transiently, unlike the retired
+/// global-scan protocol), no admission may fold over the whole table,
+/// and the per-admission scan must stay within the per-shard capacity.
+#[test]
+fn rate_limiter_flood_stays_bounded_without_global_scans() {
+    const MAX_CLIENTS: usize = 4_096;
+    let limiter = Arc::new(RateLimiter::with_shards(5.0, 1.0, MAX_CLIENTS, 16));
+    std::thread::scope(|scope| {
+        for t in 0..THREADS as u32 {
+            let limiter = Arc::clone(&limiter);
+            scope.spawn(move || {
+                for i in 0..OPS as u32 {
+                    // A fresh address per request, distinct across threads.
+                    let _ = limiter.allow(ip((t << 24) | i), i as u64);
+                    assert!(
+                        limiter.len() <= MAX_CLIENTS,
+                        "population exceeded max_clients mid-flood"
+                    );
+                }
+            });
+        }
+    });
+    assert!(limiter.len() <= MAX_CLIENTS);
+    assert_eq!(
+        limiter.global_eviction_folds(),
+        0,
+        "an admission used the retired global victim scan"
+    );
+    let admissions = (THREADS * OPS) as u64;
+    assert_eq!(limiter.evictions() + limiter.len() as u64, admissions);
+    assert!(
+        limiter.eviction_scan_steps() <= admissions * limiter.per_shard_clients() as u64,
+        "a victim scan exceeded the per-shard bound"
+    );
+}
+
+/// The same flood through the cost ledger (the solution-path eviction
+/// site): population hard-bounded, cheapest-account eviction, no global
+/// folds, heavy hitters retained.
+#[test]
+fn cost_ledger_flood_stays_bounded_and_keeps_heavy_hitters() {
+    const CAPACITY: usize = 4_096;
+    let ledger = Arc::new(aipow::framework::CostLedger::with_shards(CAPACITY, 16));
+    // Heavy hitters first: large accounts that cheap flood entries must
+    // never displace (the flood inserts score 1.0; victims are always
+    // the shard-local cheapest).
+    let heavy: Vec<IpAddr> = (0..64u32).map(|i| ip(0xFF00_0000 + i)).collect();
+    for &hh in &heavy {
+        ledger.charge(hh, 1_000_000.0);
+    }
+    std::thread::scope(|scope| {
+        for t in 0..THREADS as u32 {
+            let ledger = Arc::clone(&ledger);
+            scope.spawn(move || {
+                for i in 0..OPS as u32 {
+                    ledger.charge(ip((t << 24) | i), 1.0);
+                }
+            });
+        }
+    });
+    assert!(
+        ledger.len() <= CAPACITY,
+        "ledger population {} over capacity",
+        ledger.len()
+    );
+    assert_eq!(ledger.global_eviction_folds(), 0);
+    for &hh in &heavy {
+        assert_eq!(
+            ledger.total(hh),
+            1_000_000.0,
+            "a heavy hitter was displaced by cheap flood accounts"
+        );
+    }
 }

@@ -235,7 +235,10 @@ impl BenchmarkGroup<'_> {
         };
         let rate = match self.throughput {
             Some(Throughput::Bytes(n)) if median_ns > 0.0 => {
-                format!("  {:.1} MiB/s", n as f64 / median_ns * 1e9 / (1024.0 * 1024.0))
+                format!(
+                    "  {:.1} MiB/s",
+                    n as f64 / median_ns * 1e9 / (1024.0 * 1024.0)
+                )
             }
             Some(Throughput::Elements(n)) if median_ns > 0.0 => {
                 format!("  {:.1} Melem/s", n as f64 / median_ns * 1e9 / 1e6)
@@ -263,11 +266,19 @@ fn append_json_line(
     let throughput_json = match throughput {
         Some(Throughput::Bytes(n)) => format!(
             ",\"throughput\":{{\"unit\":\"bytes\",\"per_iter\":{n},\"per_sec\":{:.1}}}",
-            if median_ns > 0.0 { n as f64 / median_ns * 1e9 } else { 0.0 }
+            if median_ns > 0.0 {
+                n as f64 / median_ns * 1e9
+            } else {
+                0.0
+            }
         ),
         Some(Throughput::Elements(n)) => format!(
             ",\"throughput\":{{\"unit\":\"elements\",\"per_iter\":{n},\"per_sec\":{:.1}}}",
-            if median_ns > 0.0 { n as f64 / median_ns * 1e9 } else { 0.0 }
+            if median_ns > 0.0 {
+                n as f64 / median_ns * 1e9
+            } else {
+                0.0
+            }
         ),
         None => String::new(),
     };
@@ -413,8 +424,14 @@ mod tests {
         ));
         let _ = std::fs::remove_file(&path);
         let path_str = path.to_str().unwrap();
-        append_json_line(path_str, "group", "id/1", 123.45, Some(Throughput::Elements(10)))
-            .unwrap();
+        append_json_line(
+            path_str,
+            "group",
+            "id/1",
+            123.45,
+            Some(Throughput::Elements(10)),
+        )
+        .unwrap();
         append_json_line(path_str, "grp\"2", "", 0.0, None).unwrap();
         let contents = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = contents.lines().collect();

@@ -297,10 +297,7 @@ mod tests {
                     i
                 }));
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().unwrap())
-                .sum::<u64>()
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
         })
         .unwrap();
         assert_eq!(out, 6);

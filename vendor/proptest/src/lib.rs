@@ -474,12 +474,7 @@ macro_rules! prop_assert_ne {
     ($lhs:expr, $rhs:expr $(,)?) => {{
         let lhs = $lhs;
         let rhs = $rhs;
-        $crate::prop_assert!(
-            lhs != rhs,
-            "assertion failed: `{:?}` != `{:?}`",
-            lhs,
-            rhs
-        );
+        $crate::prop_assert!(lhs != rhs, "assertion failed: `{:?}` != `{:?}`", lhs, rhs);
     }};
 }
 
