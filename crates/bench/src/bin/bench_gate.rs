@@ -1,9 +1,10 @@
 //! The CI performance-regression gate.
 //!
-//! Runs the two hot-path throughput benches (`contended_admission` and
-//! `eviction_flood`) with `AIPOW_BENCH_JSON` pointed at a scratch file,
-//! then compares every measured median throughput against the committed
-//! baselines (`BENCH_contended.json`, `BENCH_flood.json` at the repo
+//! Runs the hot-path throughput benches (`contended_admission`,
+//! `eviction_flood`, and `admission_batch`) with `AIPOW_BENCH_JSON`
+//! pointed at a scratch file, then compares every measured median
+//! throughput against the committed baselines (`BENCH_contended.json`,
+//! `BENCH_flood.json`, `BENCH_batch.json` at the repo
 //! root). A benchmark whose `per_sec` falls more than the tolerance
 //! below its baseline fails the gate (exit code 1), so a throughput
 //! regression on the admission or eviction hot path cannot merge
@@ -23,6 +24,12 @@
 //!   200-340x and a reintroduced global scan collapses it to ~1 on any
 //!   host, so this check stays meaningful however the runner hardware
 //!   drifts.
+//! - `AIPOW_GATE_MIN_BATCH_SPEEDUP` — floor on the within-run
+//!   batch=32-over-sequential admission throughput ratio at 4 threads,
+//!   default `1.5`. Machine-independent like the eviction ratio: the
+//!   recorded amortization gap is ~3x, and losing it (a per-request
+//!   fixed cost reintroduced inside the batch loop) collapses the ratio
+//!   toward 1 on any host.
 //! - `AIPOW_BENCH_BASELINE_DIR` — where the `BENCH_*.json` baselines
 //!   live; defaults to the workspace root.
 //!
@@ -46,6 +53,8 @@ type Results = BTreeMap<String, f64>;
 fn baseline_file_for(group: &str) -> &'static str {
     if group.starts_with("eviction_flood") {
         "BENCH_flood.json"
+    } else if group.starts_with("admission_batch") {
+        "BENCH_batch.json"
     } else {
         "BENCH_contended.json"
     }
@@ -132,6 +141,8 @@ fn run_benches(out: &Path) {
             "contended_admission",
             "--bench",
             "eviction_flood",
+            "--bench",
+            "admission_batch",
         ])
         .env("AIPOW_BENCH_JSON", out)
         .status()
@@ -153,6 +164,55 @@ fn min_ratio() -> f64 {
         .and_then(|v| v.parse().ok())
         .filter(|r: &f64| r.is_finite() && *r >= 1.0)
         .unwrap_or(10.0)
+}
+
+fn min_batch_speedup() -> f64 {
+    std::env::var("AIPOW_GATE_MIN_BATCH_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|r: &f64| r.is_finite() && *r >= 1.0)
+        .unwrap_or(1.5)
+}
+
+/// The batching acceptance bar, checked within this run (so it is
+/// machine-independent like the eviction ratio): `handle_request_batch`
+/// at batch=32 must beat the sequential path by at least
+/// `min_speedup` at 4 threads. The recorded gap is ~3x; losing the
+/// amortization (a reintroduced per-request clock read, policy lock, or
+/// audit lock inside the batch loop) collapses it toward 1 on any host.
+fn gate_batch_speedup(measured: &Results, min_speedup: f64) -> Vec<String> {
+    let seq_key = "admission_batch_seq/threads/4";
+    let batch_key = "admission_batch/batch32/threads/4";
+    match (measured.get(seq_key), measured.get(batch_key)) {
+        (Some(&seq), Some(&batch)) => {
+            let speedup = if seq > 0.0 {
+                batch / seq
+            } else {
+                f64::INFINITY
+            };
+            let ok = speedup >= min_speedup;
+            println!(
+                "{:<48} {:>14.1} {:>14.1} {:>8.2}  {}",
+                "batch32/sequential speedup (4 threads)",
+                seq,
+                batch,
+                speedup,
+                if ok { "ok" } else { "REGRESSION" }
+            );
+            if ok {
+                Vec::new()
+            } else {
+                vec![format!(
+                    "{batch_key}: only {speedup:.2}x the sequential path within this run \
+                     (floor {min_speedup:.2}x) — the batch amortization has regressed"
+                )]
+            }
+        }
+        (None, None) => Vec::new(), // pre-batching JSON via --check-only
+        _ => vec![format!(
+            "batch speedup gate needs both {seq_key} and {batch_key}; only one was measured"
+        )],
+    }
 }
 
 /// The machine-independent guard: within *this* run, the bounded
@@ -300,7 +360,11 @@ fn main() {
     }
 
     let mut baseline = Results::new();
-    for file in ["BENCH_contended.json", "BENCH_flood.json"] {
+    for file in [
+        "BENCH_contended.json",
+        "BENCH_flood.json",
+        "BENCH_batch.json",
+    ] {
         baseline.extend(read_results(&root.join(file)));
     }
     assert!(
@@ -312,6 +376,7 @@ fn main() {
     let tol = tolerance();
     let mut failures = gate(&baseline, &measured, tol);
     failures.extend(gate_migration_ratio(&measured, min_ratio()));
+    failures.extend(gate_batch_speedup(&measured, min_batch_speedup()));
     if failures.is_empty() {
         println!(
             "perf gate: {} benchmarks within {:.0}% of baseline",

@@ -10,8 +10,13 @@
 //! violated invariant panics, failing the CI step.
 //!
 //! Run with `cargo run --release -p aipow-bench --bin netsim_scenarios`.
+//! Pass `--only <scenario>` (repeatable; one of `fig2`, `contended`,
+//! `behavior`, `flood`, `burst`) to run a single suite — CI shards and
+//! local reproductions can target the suite under investigation without
+//! paying for the rest.
 
 use aipow_netsim::behavior::{run_behavior_shift, run_redemption, BehaviorConfig};
+use aipow_netsim::burst::{burst_to_markdown, run_burst, BurstConfig};
 use aipow_netsim::contended::{run_contended, ContendedConfig};
 use aipow_netsim::fig2::{run_paper_policies, Fig2Config};
 use aipow_netsim::flood::{flood_to_markdown, run_flood_pair};
@@ -157,10 +162,88 @@ fn flood_suite() {
     println!("   churn p50 ratio {p50_ratio:.2}, p99 ratio {p99_ratio:.2} -- ok");
 }
 
+fn burst_suite() {
+    println!("== burst: pipelined batch admission vs sequential ==");
+    let report = run_burst(&BurstConfig::default());
+    assert_eq!(
+        report.mismatches, 0,
+        "batch decisions diverged from the sequential path"
+    );
+    assert!(
+        report.bypassed > 0,
+        "schedule must exercise both decision shapes"
+    );
+    // The amortization claim, stated conservatively for noisy runners:
+    // batching must never make the per-request median *worse* (the
+    // measured effect is a speedup; 1.25x headroom absorbs scheduler
+    // noise), and the tail must stay within the same regime.
+    let p50_ratio = report.batch_p50_ns / report.seq_p50_ns.max(1.0);
+    assert!(
+        p50_ratio < 1.25,
+        "batch p50 {:.0} ns is {p50_ratio:.2}x the sequential p50 {:.0} ns",
+        report.batch_p50_ns,
+        report.seq_p50_ns
+    );
+    let p99_ratio = report.batch_p99_ns / report.seq_p99_ns.max(1.0);
+    assert!(
+        p99_ratio < 2.0,
+        "batch p99 {:.0} ns is {p99_ratio:.2}x the sequential p99 {:.0} ns",
+        report.batch_p99_ns,
+        report.seq_p99_ns
+    );
+    println!("{}", burst_to_markdown(&report));
+    println!(
+        "   {} decisions identical, p50 speedup {:.2}x -- ok",
+        report.requests,
+        report.p50_speedup()
+    );
+}
+
+/// The suite registry: names accepted by `--only`, in run order.
+const SUITES: [(&str, fn()); 5] = [
+    ("fig2", fig2_suite),
+    ("contended", contended_suite),
+    ("behavior", behavior_suite),
+    ("flood", flood_suite),
+    ("burst", burst_suite),
+];
+
 fn main() {
-    fig2_suite();
-    contended_suite();
-    behavior_suite();
-    flood_suite();
-    println!("netsim scenario suite: all invariants hold");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut only: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.strip_prefix("--only") {
+            Some("") => match iter.next() {
+                Some(name) => only.push(name.clone()),
+                None => panic!("--only requires a scenario name"),
+            },
+            Some(rest) => only.push(
+                rest.strip_prefix('=')
+                    .unwrap_or_else(|| panic!("unknown argument `{arg}`"))
+                    .to_string(),
+            ),
+            None => panic!("unknown argument `{arg}` (expected --only <scenario>)"),
+        }
+    }
+    for name in &only {
+        assert!(
+            SUITES.iter().any(|(known, _)| known == name),
+            "unknown scenario `{name}`; expected one of: {}",
+            SUITES
+                .iter()
+                .map(|(known, _)| *known)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+
+    let mut ran = 0;
+    for (name, suite) in SUITES {
+        if only.is_empty() || only.iter().any(|o| o == name) {
+            suite();
+            ran += 1;
+        }
+    }
+    println!("netsim scenario suite: all invariants hold ({ran} suites)");
 }

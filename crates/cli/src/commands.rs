@@ -26,7 +26,14 @@ pub fn serve(raw: &[String]) -> Result<(), CliError> {
     let args = Args::parse(
         raw.iter().cloned(),
         &[
-            "addr", "policy", "resource", "key", "bypass", "workers", "score",
+            "addr",
+            "policy",
+            "resource",
+            "key",
+            "bypass",
+            "workers",
+            "score",
+            "max-batch",
         ],
         &[],
     )?;
@@ -74,6 +81,14 @@ pub fn serve(raw: &[String]) -> Result<(), CliError> {
     }
 
     let workers = args.get_parsed::<usize>("workers", 4, "an integer")?;
+    let max_batch = args.get_parsed::<usize>(
+        "max-batch",
+        aipow_core::DEFAULT_MAX_BATCH,
+        "a positive integer",
+    )?;
+    if max_batch == 0 {
+        return Err(CliError::usage("--max-batch must be at least 1"));
+    }
     let server = PowServer::start(
         &addr,
         Arc::clone(&framework),
@@ -81,6 +96,7 @@ pub fn serve(raw: &[String]) -> Result<(), CliError> {
         resources,
         ServerConfig {
             workers,
+            max_batch,
             ..Default::default()
         },
     )

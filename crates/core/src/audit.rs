@@ -142,6 +142,38 @@ impl AuditLog {
         });
     }
 
+    /// Appends a batch of events in order, reserving the whole sequence
+    /// range with **one** atomic add and taking each shard's lock **once**
+    /// for the batch. Round-robin assignment places consecutive sequence
+    /// numbers on consecutive shards, so a batch of `n` events touches
+    /// `min(n, shards)` shards with `⌈n / shards⌉` appends each — the
+    /// per-event lock acquisition the sequential path pays is amortized
+    /// away. Retention and ordering semantics are identical to `n` calls
+    /// to [`record`](AuditLog::record).
+    pub fn record_batch(&self, events: Vec<AuditEvent>) {
+        let n = events.len();
+        if n == 0 {
+            return;
+        }
+        let base = self.seq.fetch_add(n as u64, Ordering::Relaxed);
+        let shards = self.shards.shard_count();
+        let mut events: Vec<Option<AuditEvent>> = events.into_iter().map(Some).collect();
+        for offset in 0..shards.min(n) {
+            self.shards
+                .with_index((base as usize).wrapping_add(offset), |ring| {
+                    let mut i = offset;
+                    while i < n {
+                        if ring.len() == self.per_shard {
+                            ring.pop_front();
+                        }
+                        let event = events[i].take().expect("each slot visited once");
+                        ring.push_back((base + i as u64, event));
+                        i += shards;
+                    }
+                });
+        }
+    }
+
     /// The retained events, most recent first: shard rings are merged by
     /// sequence number, restoring the exact global record order.
     pub fn snapshot(&self) -> Vec<AuditEvent> {
@@ -235,6 +267,51 @@ mod tests {
         let got: Vec<u64> = events.iter().map(|e| e.at_ms).collect();
         let want: Vec<u64> = (24..40).rev().collect();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn record_batch_matches_sequential_records_exactly() {
+        // Same events through both paths: identical retention, order,
+        // and sequence accounting.
+        let single = AuditLog::with_shards(16, 4);
+        let batched = AuditLog::with_shards(16, 4);
+        let events: Vec<AuditEvent> = (0..40u64)
+            .map(|i| AuditEvent {
+                at_ms: i,
+                client_ip: ip(),
+                kind: AuditKind::SolutionRejected {
+                    reason: format!("r{i}"),
+                },
+            })
+            .collect();
+        for e in &events {
+            single.record(e.at_ms, e.client_ip, e.kind.clone());
+        }
+        // Mixed batch sizes covering n < shards, n == shards, n > shards.
+        let mut rest = events;
+        for take in [1usize, 3, 4, 9, 23] {
+            let chunk: Vec<AuditEvent> = rest.drain(..take).collect();
+            batched.record_batch(chunk);
+        }
+        batched.record_batch(Vec::new()); // no-op
+        assert_eq!(batched.recorded(), single.recorded());
+        assert_eq!(batched.len(), single.len());
+        assert_eq!(batched.snapshot(), single.snapshot());
+    }
+
+    #[test]
+    fn record_batch_larger_than_capacity_keeps_the_tail() {
+        let log = AuditLog::with_shards(4, 2);
+        let events: Vec<AuditEvent> = (0..10u64)
+            .map(|i| AuditEvent {
+                at_ms: i,
+                client_ip: ip(),
+                kind: AuditKind::SolutionRejected { reason: "x".into() },
+            })
+            .collect();
+        log.record_batch(events);
+        let got: Vec<u64> = log.snapshot().iter().map(|e| e.at_ms).collect();
+        assert_eq!(got, vec![9, 8, 7, 6]);
     }
 
     #[test]

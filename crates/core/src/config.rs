@@ -59,6 +59,13 @@ pub struct FrameworkConfig {
     /// by [`OnlineSettings::max_scan`] (same default), since the online
     /// settings travel as a self-contained block.
     pub eviction_max_scan: usize,
+    /// Ceiling on the group size the framework's batch entry points
+    /// (`handle_request_batch`, `handle_solution_batch`) process per
+    /// pipeline pass — bounds how long one batch holds the policy
+    /// read-lock, the seed-DRBG lock, and each audit/ledger shard lock.
+    /// The TCP server drains up to this many pipelined frames per
+    /// connection wakeup. Must be at least 1.
+    pub max_batch: usize,
     /// Online behavioral-reputation loop settings; `None` disables the
     /// loop (the paper's static-feature behaviour). The settings are plain
     /// data so deployments can version-control them.
@@ -202,6 +209,7 @@ impl Default for FrameworkConfig {
             ledger_capacity: 4_096,
             shard_count: None,
             eviction_max_scan: aipow_shard::DEFAULT_MAX_SCAN,
+            max_batch: crate::framework::DEFAULT_MAX_BATCH,
             online: None,
         }
     }
@@ -230,6 +238,11 @@ pub enum ConfigError {
     /// The eviction scan bound was zero.
     BadMaxScan {
         /// The rejected bound.
+        requested: usize,
+    },
+    /// The batch-size ceiling was zero.
+    BadMaxBatch {
+        /// The rejected ceiling.
         requested: usize,
     },
     /// The bypass threshold was not a finite number in `[0, 10]`.
@@ -270,6 +283,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::BadMaxScan { requested } => {
                 write!(f, "eviction scan bound {requested} must be positive")
+            }
+            ConfigError::BadMaxBatch { requested } => {
+                write!(f, "batch ceiling {requested} must be at least 1")
             }
             ConfigError::BadBypassThreshold { value } => {
                 write!(f, "bypass threshold {value} outside [0, 10]")
@@ -329,6 +345,9 @@ impl FrameworkConfig {
         if self.eviction_max_scan == 0 {
             return Err(ConfigError::BadMaxScan { requested: 0 });
         }
+        if self.max_batch == 0 {
+            return Err(ConfigError::BadMaxBatch { requested: 0 });
+        }
         if let Some(t) = self.bypass_threshold {
             if !t.is_finite() || !(0.0..=10.0).contains(&t) {
                 return Err(ConfigError::BadBypassThreshold { value: t });
@@ -346,7 +365,8 @@ impl FrameworkConfig {
             .max_skew_ms(self.max_skew_ms)
             .audit_capacity(self.audit_capacity)
             .ledger_capacity(self.ledger_capacity)
-            .eviction_max_scan(self.eviction_max_scan);
+            .eviction_max_scan(self.eviction_max_scan)
+            .max_batch(self.max_batch);
         if let Some(t) = self.bypass_threshold {
             builder = builder.bypass_threshold(t);
         }
@@ -502,6 +522,38 @@ mod tests {
             .unwrap();
         assert!(fw.ledger().per_shard_capacity() <= 64);
         assert!(fw.ledger().shard_count() >= 4_096 / 64);
+    }
+
+    #[test]
+    fn max_batch_threads_through_config() {
+        let config = FrameworkConfig {
+            max_batch: 128,
+            ..Default::default()
+        };
+        let fw = config
+            .apply()
+            .unwrap()
+            .model(FixedScoreModel::new(ReputationScore::MIN))
+            .master_key([1u8; 32])
+            .build()
+            .unwrap();
+        assert_eq!(fw.max_batch(), 128);
+        assert_eq!(FrameworkConfig::default().max_batch, 32);
+    }
+
+    #[test]
+    fn zero_max_batch_rejected() {
+        let config = FrameworkConfig {
+            max_batch: 0,
+            ..Default::default()
+        };
+        assert_eq!(
+            config.apply().unwrap_err(),
+            ConfigError::BadMaxBatch { requested: 0 }
+        );
+        assert!(ConfigError::BadMaxBatch { requested: 0 }
+            .to_string()
+            .contains("batch"));
     }
 
     #[test]

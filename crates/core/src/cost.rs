@@ -168,6 +168,41 @@ impl CostLedger {
         }
     }
 
+    /// Charges a batch of `(ip, expected_work)` entries, taking each
+    /// touched shard's lock **once per batch** instead of once per charge
+    /// ([`ShardedMap::with_shards_grouped`]). Eviction and accumulation
+    /// semantics are identical to calling [`charge`](Self::charge) per
+    /// entry in order: same-key charges apply in batch order, and a full
+    /// shard evicts its cheapest account per inserted key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `expected_work` is negative or NaN.
+    pub fn charge_batch(&self, charges: Vec<(IpAddr, f64)>) {
+        for &(_, work) in &charges {
+            assert!(
+                work.is_finite() && work >= 0.0,
+                "expected work must be finite and non-negative"
+            );
+        }
+        let mut evictions = 0u64;
+        self.costs.with_shards_grouped(charges, |shard, ip, work| {
+            let (_, evicted) = shard.update_or_insert_evicting(
+                ip,
+                self.per_shard_capacity,
+                LowestCost,
+                || 0.0,
+                |cost| *cost += work,
+            );
+            if evicted {
+                evictions += 1;
+            }
+        });
+        if evictions > 0 {
+            self.evicted.fetch_add(evictions, Ordering::Relaxed);
+        }
+    }
+
     /// Cumulative expected work charged to `ip` (0.0 if unknown).
     pub fn total(&self, ip: IpAddr) -> f64 {
         self.costs.get_cloned(&ip).unwrap_or(0.0)
@@ -279,6 +314,42 @@ mod tests {
         // An explicit tighter scan bound is honored too.
         let tight = CostLedger::with_layout(1 << 12, Some(1), 64);
         assert!(tight.per_shard_capacity() <= 64);
+    }
+
+    #[test]
+    fn batch_charges_match_sequential_charges_exactly() {
+        let single = CostLedger::with_shards(64, 8);
+        let batched = CostLedger::with_shards(64, 8);
+        let charges: Vec<(IpAddr, f64)> = (0..50u8)
+            .flat_map(|i| [(ip(i % 10), i as f64), (ip(i % 10), 1.0)])
+            .collect();
+        for &(client, work) in &charges {
+            single.charge(client, work);
+        }
+        batched.charge_batch(charges.clone());
+        batched.charge_batch(Vec::new()); // no-op
+        assert_eq!(batched.len(), single.len());
+        assert_eq!(batched.grand_total(), single.grand_total());
+        for i in 0..10u8 {
+            assert_eq!(batched.total(ip(i)), single.total(ip(i)), "client {i}");
+        }
+    }
+
+    #[test]
+    fn batch_charges_evict_at_capacity_and_count_evictions() {
+        let ledger = CostLedger::with_shards(2, 1);
+        ledger.charge_batch(vec![(ip(1), 100.0), (ip(2), 1.0), (ip(3), 10.0)]);
+        assert_eq!(ledger.len(), 2);
+        assert_eq!(ledger.evictions(), 1);
+        assert_eq!(ledger.total(ip(2)), 0.0, "cheapest account evicted");
+        assert_eq!(ledger.total(ip(1)), 100.0);
+        assert_eq!(ledger.global_eviction_folds(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn batch_negative_charge_panics_before_mutating() {
+        CostLedger::new(4).charge_batch(vec![(ip(1), 1.0), (ip(2), -1.0)]);
     }
 
     #[test]

@@ -59,13 +59,14 @@ pub mod cost;
 pub mod features;
 pub mod framework;
 pub mod metrics;
+pub mod pipeline;
 /// Sharded concurrency primitives backing every per-client structure in
 /// this crate (re-exported from `aipow-shard`, which sits below
 /// `aipow-pow` so the replay guard can share the implementation).
 pub mod sharded {
     pub use aipow_shard::{
-        default_shard_count, floor_shards, round_shards, EvictionPolicy, ShardLayout, Sharded,
-        ShardedMap, DEFAULT_MAX_SCAN, MAX_AUTO_SHARDS, MAX_SHARDS,
+        default_shard_count, floor_shards, round_shards, EvictionPolicy, ShardHandle, ShardLayout,
+        Sharded, ShardedMap, DEFAULT_MAX_SCAN, MAX_AUTO_SHARDS, MAX_SHARDS,
     };
 }
 pub mod tap;
@@ -76,8 +77,11 @@ pub use config::{FrameworkConfig, OnlineSettings};
 pub use controller::{LoadController, LoadSignal};
 pub use cost::{CostLedger, LowestCost};
 pub use features::{FeatureSource, StaticFeatureSource, SyntheticFeatureSource};
-pub use framework::{AdmissionDecision, BuildError, Framework, FrameworkBuilder, IssuedChallenge};
-pub use metrics::{FrameworkMetrics, MetricsSnapshot};
+pub use framework::{
+    AdmissionDecision, BuildError, Framework, FrameworkBuilder, IssuedChallenge, DEFAULT_MAX_BATCH,
+};
+pub use metrics::{FrameworkMetrics, MetricsSnapshot, StageTiming};
+pub use pipeline::{AdmissionStage, RequestCtx, SolutionCtx};
 pub use sharded::{Sharded, ShardedMap};
-pub use tap::BehaviorSink;
+pub use tap::{BehaviorSink, RequestObservation, SolutionObservation};
 pub use token_bucket::{LeastRecentlyRefilled, RateLimiter, TokenBucket};

@@ -58,6 +58,88 @@ impl RejectionCounts {
     }
 }
 
+/// The admission pipeline's stages, in chain order: the request chain
+/// (`score → bypass → policy → issue → request_telemetry`) followed by
+/// the solution chain (`verify → charge → solution_telemetry`). Indexes
+/// into the per-stage latency counters; `aipow_core::pipeline` assigns
+/// each stage its slot.
+pub const STAGE_NAMES: [&str; 8] = [
+    "score",
+    "bypass",
+    "policy",
+    "issue",
+    "request_telemetry",
+    "verify",
+    "charge",
+    "solution_telemetry",
+];
+
+/// Lock-free per-stage latency counters: every run of a pipeline stage
+/// (over a batch of one on the sequential path, a group on the batch
+/// path) adds its wall-clock nanoseconds, the count of items it
+/// *actually processed* (contexts a stage skips — bypassed requests at
+/// the issue stage, rejected solutions at the charge stage — are
+/// excluded), and one batch to its stage's slot. `total_ns / items` is
+/// therefore an honest amortized per-item stage cost; `items / batches`
+/// the achieved batching factor.
+#[derive(Debug)]
+struct StageTimers {
+    batches: [AtomicU64; STAGE_NAMES.len()],
+    items: [AtomicU64; STAGE_NAMES.len()],
+    nanos: [AtomicU64; STAGE_NAMES.len()],
+}
+
+impl Default for StageTimers {
+    fn default() -> Self {
+        StageTimers {
+            batches: std::array::from_fn(|_| AtomicU64::new(0)),
+            items: std::array::from_fn(|_| AtomicU64::new(0)),
+            nanos: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl StageTimers {
+    fn record(&self, stage: usize, items: u64, nanos: u64) {
+        let idx = stage.min(STAGE_NAMES.len() - 1);
+        self.batches[idx].fetch_add(1, Ordering::Relaxed);
+        self.items[idx].fetch_add(items, Ordering::Relaxed);
+        self.nanos[idx].fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Stages that have run at least once, in chain order.
+    fn snapshot(&self) -> Vec<StageTiming> {
+        STAGE_NAMES
+            .iter()
+            .enumerate()
+            .filter_map(|(i, name)| {
+                let batches = self.batches[i].load(Ordering::Relaxed);
+                (batches > 0).then(|| StageTiming {
+                    stage: name.to_string(),
+                    batches,
+                    items: self.items[i].load(Ordering::Relaxed),
+                    total_ns: self.nanos[i].load(Ordering::Relaxed),
+                })
+            })
+            .collect()
+    }
+}
+
+/// One pipeline stage's accumulated latency, as reported in
+/// [`MetricsSnapshot::stage_timings`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Stage name (one of [`STAGE_NAMES`]).
+    pub stage: String,
+    /// Stage invocations (one per batch, of any size).
+    pub batches: u64,
+    /// Requests/solutions the stage actually processed across all
+    /// batches (skipped contexts excluded).
+    pub items: u64,
+    /// Total wall-clock nanoseconds spent in the stage.
+    pub total_ns: u64,
+}
+
 /// Lock-free distribution of issued difficulties: one atomic bucket per
 /// possible bit count. Difficulty is at most 64 bits, so the exact
 /// distribution fits in a fixed array and the admission hot path never
@@ -153,6 +235,8 @@ pub struct FrameworkMetrics {
     rejected_by_reason: RejectionCounts,
     /// Distribution of issued difficulties in bits (lock-free).
     issued_difficulty: DifficultyBuckets,
+    /// Per-stage pipeline latency (lock-free).
+    stage_timers: StageTimers,
 }
 
 impl FrameworkMetrics {
@@ -174,6 +258,27 @@ impl FrameworkMetrics {
         self.issued_difficulty.record(bits);
     }
 
+    /// Records a batch of issued difficulties: one add to the issue
+    /// counter for the whole group, one bucket update per challenge.
+    pub fn record_issued_difficulties(&self, bits: impl IntoIterator<Item = u8>) {
+        let mut n = 0u64;
+        for b in bits {
+            self.issued_difficulty.record(b);
+            n += 1;
+        }
+        if n > 0 {
+            self.challenges_issued.add(n);
+        }
+    }
+
+    /// Adds one stage run to the per-stage latency counters: `stage`
+    /// indexes [`STAGE_NAMES`], `items` is how many contexts the stage
+    /// actually processed, `nanos` the stage's wall-clock cost for the
+    /// batch.
+    pub fn record_stage(&self, stage: usize, items: u64, nanos: u64) {
+        self.stage_timers.record(stage, items, nanos);
+    }
+
     /// Takes a snapshot for reporting. Each field is an atomic read;
     /// fields racing with concurrent updates may be offset from each
     /// other by in-flight operations.
@@ -193,6 +298,7 @@ impl FrameworkMetrics {
             behavior_tracked: self.behavior_tracked.get().max(0) as u64,
             behavior_sweeps: self.behavior_sweeps.get(),
             behavior_pruned: self.behavior_pruned.get(),
+            stage_timings: self.stage_timers.snapshot(),
         }
     }
 }
@@ -228,6 +334,11 @@ pub struct MetricsSnapshot {
     pub behavior_sweeps: u64,
     /// Behavior sketches pruned by decay or capacity eviction.
     pub behavior_pruned: u64,
+    /// Per-stage pipeline latency, in chain order, for stages that have
+    /// run (wall-clock totals — two runs of the same workload report
+    /// different nanosecond counts, so equality comparisons of whole
+    /// snapshots should expect that).
+    pub stage_timings: Vec<StageTiming>,
 }
 
 #[cfg(test)]
@@ -301,5 +412,38 @@ mod tests {
     fn metrics_are_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<FrameworkMetrics>();
+    }
+
+    #[test]
+    fn batched_difficulty_recording_matches_singles() {
+        let single = FrameworkMetrics::new();
+        let batched = FrameworkMetrics::new();
+        for bits in [3u8, 3, 7, 9] {
+            single.record_issued_difficulty(bits);
+        }
+        batched.record_issued_difficulties([3u8, 3, 7, 9]);
+        batched.record_issued_difficulties([]);
+        let (a, b) = (single.snapshot(), batched.snapshot());
+        assert_eq!(a.challenges_issued, b.challenges_issued);
+        assert_eq!(a.median_issued_difficulty, b.median_issued_difficulty);
+        assert_eq!(a.max_issued_difficulty, b.max_issued_difficulty);
+    }
+
+    #[test]
+    fn stage_timers_accumulate_per_stage() {
+        let m = FrameworkMetrics::new();
+        assert!(m.snapshot().stage_timings.is_empty());
+        m.record_stage(0, 1, 100); // score, sequential
+        m.record_stage(0, 32, 900); // score, batched
+        m.record_stage(3, 32, 5_000); // issue
+        m.record_stage(usize::MAX, 1, 1); // out of range → last slot
+        let timings = m.snapshot().stage_timings;
+        assert_eq!(timings.len(), 3);
+        assert_eq!(timings[0].stage, "score");
+        assert_eq!(timings[0].batches, 2);
+        assert_eq!(timings[0].items, 33);
+        assert_eq!(timings[0].total_ns, 1_000);
+        assert_eq!(timings[1].stage, "issue");
+        assert_eq!(timings[2].stage, "solution_telemetry");
     }
 }

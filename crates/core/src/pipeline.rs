@@ -1,0 +1,736 @@
+//! The admission pipeline as an explicit, composable stage chain.
+//!
+//! The paper's Figure-1 loop (score → policy → issue → verify → charge)
+//! used to live as two monolithic functions on [`Framework`], each paying
+//! its fixed costs — a clock reading, a policy read-lock, an audit
+//! append, a metrics update, a sink notification — once **per request**.
+//! This module decomposes the loop into named [`AdmissionStage`]s over a
+//! typed per-request context, with two consequences:
+//!
+//! - **Observability**: every stage records its wall-clock latency into
+//!   [`crate::FrameworkMetrics`]'s per-stage counters (reported as
+//!   [`crate::MetricsSnapshot::stage_timings`]), so an operator can see
+//!   *where* admission time goes, not just that it went.
+//! - **Amortization**: a stage runs over a *batch* of contexts (the
+//!   sequential entry points pass a batch of one), so the batch entry
+//!   points ([`Framework::handle_request_batch`],
+//!   [`Framework::handle_solution_batch`]) pay each fixed cost once per
+//!   group: one clock reading, one policy read-lock, one DRBG lock for
+//!   all seeds, one audit-shard lock acquisition per shard, one grouped
+//!   ledger charge, one batched sink notification.
+//!
+//! The chains are:
+//!
+//! ```text
+//! request:  Score → Bypass → Policy → Issue → Telemetry
+//! solution: Verify → Charge → Telemetry
+//! ```
+//!
+//! A stage that settles a context (the bypass admit) simply fills its
+//! `decision`; later stages skip settled contexts. The terminal telemetry
+//! stage replaces the old triple audit+metrics+sink fan-out and observes
+//! *every* context, settled or not.
+//!
+//! # Batching invariants
+//!
+//! Batched admission is equivalent to sequential admission with two
+//! documented relaxations, both consequences of reading shared inputs
+//! once per batch instead of once per request:
+//!
+//! 1. every context in a batch observes the same clock instant (the
+//!    batch's one reading) — on a fixed clock the two paths are
+//!    bit-equivalent, which is what `tests/batch_equivalence.rs` proves;
+//! 2. every context in a batch observes the same policy, load, and
+//!    attack flag (a concurrent [`Framework::swap_policy`] lands between
+//!    batches, never inside one);
+//! 3. callers that derive features from live state sample them once per
+//!    batch — the TCP server looks features up once per pipelined run,
+//!    so with the online loop attached a burst is scored on the
+//!    client's pre-burst reputation and the burst's own tap events land
+//!    *after* its decisions. A flooder can thereby defer its own
+//!    difficulty escalation by at most one batch (≤ `max_batch`
+//!    requests per connection wakeup) — bounded, and bounded precisely
+//!    by the knob that controls batching.
+//!
+//! Under those inputs, decision *values*, issued tokens, ledger
+//! balances, audit records, and their order are identical between the
+//! two paths.
+
+use crate::framework::{AdmissionDecision, Framework, IssuedChallenge};
+use crate::tap::{RequestObservation, SolutionObservation};
+use crate::AuditKind;
+use aipow_policy::PolicyContext;
+use aipow_pow::{Difficulty, Solution, VerifiedToken, VerifyError};
+use aipow_reputation::{FeatureVector, ReputationScore};
+use std::net::IpAddr;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+/// Slots into [`crate::metrics::STAGE_NAMES`] for the request chain.
+const SLOT_SCORE: usize = 0;
+const SLOT_BYPASS: usize = 1;
+const SLOT_POLICY: usize = 2;
+const SLOT_ISSUE: usize = 3;
+const SLOT_REQUEST_TELEMETRY: usize = 4;
+/// Slots for the solution chain.
+const SLOT_VERIFY: usize = 5;
+const SLOT_CHARGE: usize = 6;
+const SLOT_SOLUTION_TELEMETRY: usize = 7;
+
+/// One in-flight resource request, as it moves down the request chain.
+#[derive(Debug)]
+pub struct RequestCtx<'a> {
+    /// The requesting client.
+    pub client_ip: IpAddr,
+    /// The feature vector the model scores.
+    pub features: &'a FeatureVector,
+    /// The model's score (filled by the score stage).
+    pub score: ReputationScore,
+    /// The policy's difficulty decision (filled by the policy stage for
+    /// contexts the bypass stage did not settle).
+    pub difficulty: Option<Difficulty>,
+    /// The final decision; a context is *settled* once this is filled.
+    pub decision: Option<AdmissionDecision>,
+}
+
+impl<'a> RequestCtx<'a> {
+    /// A fresh context at the head of the chain.
+    pub fn new(client_ip: IpAddr, features: &'a FeatureVector) -> Self {
+        RequestCtx {
+            client_ip,
+            features,
+            score: ReputationScore::MIN,
+            difficulty: None,
+            decision: None,
+        }
+    }
+}
+
+/// One in-flight solution submission, as it moves down the solution
+/// chain.
+#[derive(Debug)]
+pub struct SolutionCtx<'a> {
+    /// The submitted solution.
+    pub solution: &'a Solution,
+    /// The address it was submitted from.
+    pub claimed_ip: IpAddr,
+    /// The verifier's outcome (filled by the verify stage).
+    pub outcome: Option<Result<VerifiedToken, VerifyError>>,
+}
+
+impl<'a> SolutionCtx<'a> {
+    /// A fresh context at the head of the chain.
+    pub fn new(solution: &'a Solution, claimed_ip: IpAddr) -> Self {
+        SolutionCtx {
+            solution,
+            claimed_ip,
+            outcome: None,
+        }
+    }
+}
+
+/// One stage of an admission chain. Stages are stateless (per-request
+/// state lives in the context); `run` processes the whole batch so
+/// implementations can hoist per-batch work out of the item loop.
+pub trait AdmissionStage<Ctx>: Send + Sync {
+    /// The stage's name, as it appears in
+    /// [`crate::metrics::STAGE_NAMES`].
+    fn name(&self) -> &'static str;
+
+    /// The stage's slot in the per-stage latency counters.
+    fn slot(&self) -> usize;
+
+    /// Processes the batch and returns how many contexts it actually
+    /// worked on — settled contexts a stage skips (bypassed requests at
+    /// the issue stage, rejected solutions at the charge stage) are
+    /// excluded, so the recorded `total_ns / items` stays an honest
+    /// amortized per-item cost. `now_ms` is the batch's one clock
+    /// reading.
+    fn run(&self, fw: &Framework, now_ms: u64, batch: &mut [Ctx]) -> usize;
+}
+
+/// Runs a chain over a batch, recording each stage's wall-clock latency.
+/// One `Instant` reading per stage boundary (N+1 readings for N stages),
+/// so the sequential path pays a fixed, small observability overhead and
+/// the batch path amortizes it along with everything else.
+fn run_chain<Ctx>(
+    fw: &Framework,
+    now_ms: u64,
+    stages: &[&dyn AdmissionStage<Ctx>],
+    batch: &mut [Ctx],
+) {
+    let mut boundary = Instant::now();
+    for stage in stages {
+        let items = stage.run(fw, now_ms, batch);
+        let next = Instant::now();
+        fw.metrics().record_stage(
+            stage.slot(),
+            items as u64,
+            (next - boundary).as_nanos() as u64,
+        );
+        boundary = next;
+    }
+}
+
+/// Runs the request chain (Score → Bypass → Policy → Issue → Telemetry)
+/// over `batch`. Every context leaves settled.
+pub(crate) fn run_request_chain(fw: &Framework, now_ms: u64, batch: &mut [RequestCtx<'_>]) {
+    run_chain(
+        fw,
+        now_ms,
+        &[
+            &ScoreStage,
+            &BypassStage,
+            &PolicyStage,
+            &IssueStage,
+            &RequestTelemetryStage,
+        ],
+        batch,
+    );
+}
+
+/// Runs the solution chain (Verify → Charge → Telemetry) over `batch`.
+/// Every context leaves with an outcome.
+pub(crate) fn run_solution_chain(fw: &Framework, now_ms: u64, batch: &mut [SolutionCtx<'_>]) {
+    run_chain(
+        fw,
+        now_ms,
+        &[&VerifyStage, &ChargeStage, &SolutionTelemetryStage],
+        batch,
+    );
+}
+
+/// Figure-1 step 2: the AI model scores each request's features.
+struct ScoreStage;
+
+impl AdmissionStage<RequestCtx<'_>> for ScoreStage {
+    fn name(&self) -> &'static str {
+        "score"
+    }
+
+    fn slot(&self) -> usize {
+        SLOT_SCORE
+    }
+
+    fn run(&self, fw: &Framework, _now_ms: u64, batch: &mut [RequestCtx<'_>]) -> usize {
+        for ctx in batch.iter_mut() {
+            ctx.score = fw.model.score(ctx.features);
+        }
+        batch.len()
+    }
+}
+
+/// The bypass extension: scores strictly under the configured threshold
+/// are admitted without a puzzle (settling the context).
+struct BypassStage;
+
+impl AdmissionStage<RequestCtx<'_>> for BypassStage {
+    fn name(&self) -> &'static str {
+        "bypass"
+    }
+
+    fn slot(&self) -> usize {
+        SLOT_BYPASS
+    }
+
+    fn run(&self, fw: &Framework, _now_ms: u64, batch: &mut [RequestCtx<'_>]) -> usize {
+        let Some(threshold) = fw.bypass_threshold else {
+            return 0;
+        };
+        for ctx in batch.iter_mut() {
+            if ctx.score.value() < threshold {
+                ctx.decision = Some(AdmissionDecision::Admit { score: ctx.score });
+            }
+        }
+        batch.len()
+    }
+}
+
+/// Figure-1 step 3: the policy maps scores to difficulties. The policy
+/// read-lock is taken once and the policy context (load, attack flag,
+/// clock) built once **per batch**.
+struct PolicyStage;
+
+impl AdmissionStage<RequestCtx<'_>> for PolicyStage {
+    fn name(&self) -> &'static str {
+        "policy"
+    }
+
+    fn slot(&self) -> usize {
+        SLOT_POLICY
+    }
+
+    fn run(&self, fw: &Framework, now_ms: u64, batch: &mut [RequestCtx<'_>]) -> usize {
+        if batch.iter().all(|ctx| ctx.decision.is_some()) {
+            return 0;
+        }
+        let policy_ctx = PolicyContext {
+            server_load: fw.load(),
+            under_attack: fw.under_attack.load(Ordering::Relaxed),
+            now_ms,
+        };
+        let policy = fw.policy.read();
+        let mut evaluated = 0;
+        for ctx in batch.iter_mut().filter(|ctx| ctx.decision.is_none()) {
+            ctx.difficulty = Some(policy.difficulty_for(ctx.score, &policy_ctx));
+            evaluated += 1;
+        }
+        evaluated
+    }
+}
+
+/// Figure-1 step 4: the issuer mints authenticated challenges. A batch
+/// takes the seed DRBG's lock once for all seeds
+/// ([`aipow_pow::Issuer::issue_batch_at`]).
+struct IssueStage;
+
+impl AdmissionStage<RequestCtx<'_>> for IssueStage {
+    fn name(&self) -> &'static str {
+        "issue"
+    }
+
+    fn slot(&self) -> usize {
+        SLOT_ISSUE
+    }
+
+    fn run(&self, fw: &Framework, now_ms: u64, batch: &mut [RequestCtx<'_>]) -> usize {
+        let pending = batch.iter().filter(|ctx| ctx.decision.is_none()).count();
+        match pending {
+            0 => {}
+            1 => {
+                // The sequential path and nearly-all-bypassed batches:
+                // no seed-buffer allocation, just the single mint.
+                let ctx = batch
+                    .iter_mut()
+                    .find(|ctx| ctx.decision.is_none())
+                    .expect("one pending context");
+                let difficulty = ctx.difficulty.expect("policy stage ran");
+                let challenge = fw.issuer.issue_at(ctx.client_ip, difficulty, now_ms);
+                ctx.decision = Some(AdmissionDecision::Challenge(IssuedChallenge {
+                    challenge,
+                    score: ctx.score,
+                    difficulty,
+                }));
+            }
+            _ => {
+                let requests: Vec<(IpAddr, Difficulty)> = batch
+                    .iter()
+                    .filter(|ctx| ctx.decision.is_none())
+                    .map(|ctx| (ctx.client_ip, ctx.difficulty.expect("policy stage ran")))
+                    .collect();
+                let challenges = fw.issuer.issue_batch_at(&requests, now_ms);
+                let mut challenges = challenges.into_iter();
+                for ctx in batch.iter_mut().filter(|ctx| ctx.decision.is_none()) {
+                    let challenge = challenges.next().expect("one challenge per pending");
+                    let difficulty = ctx.difficulty.expect("policy stage ran");
+                    ctx.decision = Some(AdmissionDecision::Challenge(IssuedChallenge {
+                        challenge,
+                        score: ctx.score,
+                        difficulty,
+                    }));
+                }
+            }
+        }
+        pending
+    }
+}
+
+/// The one observation point of the request chain, replacing the old
+/// per-request audit+metrics+sink fan-out. A batch aggregates the
+/// metrics adds, appends all audit events with one shard-lock
+/// acquisition per shard, and delivers one
+/// [`BehaviorSink::on_request_batch`][crate::BehaviorSink::on_request_batch]
+/// call.
+struct RequestTelemetryStage;
+
+impl AdmissionStage<RequestCtx<'_>> for RequestTelemetryStage {
+    fn name(&self) -> &'static str {
+        "request_telemetry"
+    }
+
+    fn slot(&self) -> usize {
+        SLOT_REQUEST_TELEMETRY
+    }
+
+    fn run(&self, fw: &Framework, now_ms: u64, batch: &mut [RequestCtx<'_>]) -> usize {
+        if let [ctx] = batch {
+            // Sequential fast path: no observation buffers.
+            match ctx.decision.as_ref().expect("chain settles every request") {
+                AdmissionDecision::Admit { score } => {
+                    fw.metrics().bypassed.inc();
+                    fw.audit()
+                        .record(now_ms, ctx.client_ip, AuditKind::Bypassed { score: *score });
+                    if let Some(sink) = fw.behavior_sink() {
+                        sink.on_request(ctx.client_ip, now_ms, *score, None);
+                    }
+                }
+                AdmissionDecision::Challenge(issued) => {
+                    fw.metrics()
+                        .record_issued_difficulty(issued.difficulty.bits());
+                    fw.audit().record(
+                        now_ms,
+                        ctx.client_ip,
+                        AuditKind::ChallengeIssued {
+                            score: issued.score,
+                            difficulty: issued.difficulty,
+                        },
+                    );
+                    if let Some(sink) = fw.behavior_sink() {
+                        sink.on_request(
+                            ctx.client_ip,
+                            now_ms,
+                            issued.score,
+                            Some(issued.difficulty),
+                        );
+                    }
+                }
+            }
+            return 1;
+        }
+
+        let mut bypassed = 0u64;
+        let mut audit_events = Vec::with_capacity(batch.len());
+        let mut observations = Vec::with_capacity(batch.len());
+        let mut issued_bits: Vec<u8> = Vec::with_capacity(batch.len());
+        for ctx in batch.iter() {
+            match ctx.decision.as_ref().expect("chain settles every request") {
+                AdmissionDecision::Admit { score } => {
+                    bypassed += 1;
+                    audit_events.push(crate::AuditEvent {
+                        at_ms: now_ms,
+                        client_ip: ctx.client_ip,
+                        kind: AuditKind::Bypassed { score: *score },
+                    });
+                    observations.push(RequestObservation {
+                        ip: ctx.client_ip,
+                        score: *score,
+                        difficulty: None,
+                    });
+                }
+                AdmissionDecision::Challenge(issued) => {
+                    issued_bits.push(issued.difficulty.bits());
+                    audit_events.push(crate::AuditEvent {
+                        at_ms: now_ms,
+                        client_ip: ctx.client_ip,
+                        kind: AuditKind::ChallengeIssued {
+                            score: issued.score,
+                            difficulty: issued.difficulty,
+                        },
+                    });
+                    observations.push(RequestObservation {
+                        ip: ctx.client_ip,
+                        score: issued.score,
+                        difficulty: Some(issued.difficulty),
+                    });
+                }
+            }
+        }
+        if bypassed > 0 {
+            fw.metrics().bypassed.add(bypassed);
+        }
+        fw.metrics().record_issued_difficulties(issued_bits);
+        fw.audit().record_batch(audit_events);
+        if let Some(sink) = fw.behavior_sink() {
+            sink.on_request_batch(now_ms, &observations);
+        }
+        batch.len()
+    }
+}
+
+/// Figure-1 step 6: the verifier checks each solution. The per-batch
+/// fixed costs (clock reading, skew window) are hoisted through
+/// [`aipow_pow::Verifier::prepare_at`]; the HMAC key schedule is hoisted
+/// all the way to verifier construction.
+struct VerifyStage;
+
+impl AdmissionStage<SolutionCtx<'_>> for VerifyStage {
+    fn name(&self) -> &'static str {
+        "verify"
+    }
+
+    fn slot(&self) -> usize {
+        SLOT_VERIFY
+    }
+
+    fn run(&self, fw: &Framework, now_ms: u64, batch: &mut [SolutionCtx<'_>]) -> usize {
+        let prepared = fw.verifier().prepare_at(now_ms);
+        for ctx in batch.iter_mut() {
+            ctx.outcome = Some(prepared.verify_one(ctx.solution, ctx.claimed_ip));
+        }
+        // Keep the saturation alarm current once per batch; the guard's
+        // counter is a plain atomic, so this is two relaxed atomic ops,
+        // not a shard sweep.
+        fw.metrics()
+            .replay_evicted_live
+            .set(fw.verifier().replay_guard().live_evictions() as i64);
+        batch.len()
+    }
+}
+
+/// Figure-1 step 7's accounting: accepted solutions charge the cost
+/// ledger. A batch groups charges by shard
+/// ([`crate::CostLedger::charge_batch`]), one lock acquisition per shard.
+struct ChargeStage;
+
+impl AdmissionStage<SolutionCtx<'_>> for ChargeStage {
+    fn name(&self) -> &'static str {
+        "charge"
+    }
+
+    fn slot(&self) -> usize {
+        SLOT_CHARGE
+    }
+
+    fn run(&self, fw: &Framework, _now_ms: u64, batch: &mut [SolutionCtx<'_>]) -> usize {
+        let mut accepted = batch.iter().filter_map(|ctx| {
+            ctx.outcome
+                .as_ref()
+                .expect("verify stage ran")
+                .as_ref()
+                .ok()
+                .map(|token| (ctx.claimed_ip, token.difficulty.expected_attempts()))
+        });
+        let Some(first) = accepted.next() else {
+            return 0;
+        };
+        match accepted.next() {
+            // Sequential fast path / single acceptance: no charge buffer.
+            None => {
+                fw.ledger().charge(first.0, first.1);
+                1
+            }
+            Some(second) => {
+                let mut charges = Vec::with_capacity(batch.len());
+                charges.push(first);
+                charges.push(second);
+                charges.extend(accepted);
+                let charged = charges.len();
+                fw.ledger().charge_batch(charges);
+                charged
+            }
+        }
+    }
+}
+
+/// The one observation point of the solution chain: metrics, audit, and
+/// sink delivery for every outcome, batched like the request telemetry.
+struct SolutionTelemetryStage;
+
+impl AdmissionStage<SolutionCtx<'_>> for SolutionTelemetryStage {
+    fn name(&self) -> &'static str {
+        "solution_telemetry"
+    }
+
+    fn slot(&self) -> usize {
+        SLOT_SOLUTION_TELEMETRY
+    }
+
+    fn run(&self, fw: &Framework, now_ms: u64, batch: &mut [SolutionCtx<'_>]) -> usize {
+        if let [ctx] = batch {
+            match ctx.outcome.as_ref().expect("verify stage ran") {
+                Ok(token) => {
+                    fw.metrics().solutions_accepted.inc();
+                    fw.audit().record(
+                        now_ms,
+                        ctx.claimed_ip,
+                        AuditKind::SolutionAccepted {
+                            difficulty: token.difficulty,
+                        },
+                    );
+                    if let Some(sink) = fw.behavior_sink() {
+                        sink.on_solution(ctx.claimed_ip, now_ms, Ok(token.difficulty));
+                    }
+                }
+                Err(err) => {
+                    fw.metrics().record_rejection(reason_label(err));
+                    fw.audit().record(
+                        now_ms,
+                        ctx.claimed_ip,
+                        AuditKind::SolutionRejected {
+                            reason: err.to_string(),
+                        },
+                    );
+                    if let Some(sink) = fw.behavior_sink() {
+                        sink.on_solution(ctx.claimed_ip, now_ms, Err(err));
+                    }
+                }
+            }
+            return 1;
+        }
+
+        let mut accepted = 0u64;
+        let mut audit_events = Vec::with_capacity(batch.len());
+        let mut observations = Vec::with_capacity(batch.len());
+        for ctx in batch.iter() {
+            match ctx.outcome.as_ref().expect("verify stage ran") {
+                Ok(token) => {
+                    accepted += 1;
+                    audit_events.push(crate::AuditEvent {
+                        at_ms: now_ms,
+                        client_ip: ctx.claimed_ip,
+                        kind: AuditKind::SolutionAccepted {
+                            difficulty: token.difficulty,
+                        },
+                    });
+                    observations.push(SolutionObservation {
+                        ip: ctx.claimed_ip,
+                        outcome: Ok(token.difficulty),
+                    });
+                }
+                Err(err) => {
+                    fw.metrics().record_rejection(reason_label(err));
+                    audit_events.push(crate::AuditEvent {
+                        at_ms: now_ms,
+                        client_ip: ctx.claimed_ip,
+                        kind: AuditKind::SolutionRejected {
+                            reason: err.to_string(),
+                        },
+                    });
+                    observations.push(SolutionObservation {
+                        ip: ctx.claimed_ip,
+                        outcome: Err(err),
+                    });
+                }
+            }
+        }
+        if accepted > 0 {
+            fw.metrics().solutions_accepted.add(accepted);
+        }
+        fw.audit().record_batch(audit_events);
+        if let Some(sink) = fw.behavior_sink() {
+            sink.on_solution_batch(now_ms, &observations);
+        }
+        batch.len()
+    }
+}
+
+/// Stable labels for rejection metrics.
+pub(crate) fn reason_label(err: &VerifyError) -> &'static str {
+    match err {
+        VerifyError::UnsupportedVersion { .. } => "unsupported_version",
+        VerifyError::DifficultyTooHigh { .. } => "difficulty_too_high",
+        VerifyError::BadMac => "bad_mac",
+        VerifyError::ClientMismatch => "client_mismatch",
+        VerifyError::NotYetValid => "not_yet_valid",
+        VerifyError::Expired { .. } => "expired",
+        VerifyError::Replayed => "replayed",
+        VerifyError::InsufficientWork { .. } => "insufficient_work",
+        VerifyError::MalformedNonce => "malformed_nonce",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::FrameworkBuilder;
+    use crate::metrics::STAGE_NAMES;
+    use aipow_policy::LinearPolicy;
+    use aipow_reputation::model::FixedScoreModel;
+    use std::net::Ipv4Addr;
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(198, 51, 100, last))
+    }
+
+    #[test]
+    fn stage_slots_agree_with_metric_names() {
+        let request: [(&dyn AdmissionStage<RequestCtx<'_>>, usize); 5] = [
+            (&ScoreStage, SLOT_SCORE),
+            (&BypassStage, SLOT_BYPASS),
+            (&PolicyStage, SLOT_POLICY),
+            (&IssueStage, SLOT_ISSUE),
+            (&RequestTelemetryStage, SLOT_REQUEST_TELEMETRY),
+        ];
+        for (stage, slot) in request {
+            assert_eq!(stage.slot(), slot);
+            assert_eq!(STAGE_NAMES[slot], stage.name());
+        }
+        let solution: [(&dyn AdmissionStage<SolutionCtx<'_>>, usize); 3] = [
+            (&VerifyStage, SLOT_VERIFY),
+            (&ChargeStage, SLOT_CHARGE),
+            (&SolutionTelemetryStage, SLOT_SOLUTION_TELEMETRY),
+        ];
+        for (stage, slot) in solution {
+            assert_eq!(stage.slot(), slot);
+            assert_eq!(STAGE_NAMES[slot], stage.name());
+        }
+    }
+
+    #[test]
+    fn every_request_stage_records_latency() {
+        let fw = FrameworkBuilder::new()
+            .master_key([9u8; 32])
+            .model(FixedScoreModel::new(ReputationScore::new(3.0).unwrap()))
+            .policy(LinearPolicy::policy2())
+            .build()
+            .unwrap();
+        let _ = fw.handle_request(ip(1), &FeatureVector::zeros());
+        let timings = fw.metrics_snapshot().stage_timings;
+        let names: Vec<&str> = timings.iter().map(|t| t.stage.as_str()).collect();
+        assert_eq!(
+            names,
+            ["score", "bypass", "policy", "issue", "request_telemetry"]
+        );
+        for t in &timings {
+            assert_eq!(t.batches, 1, "{}", t.stage);
+            // No bypass threshold is configured, so the bypass stage
+            // examined nothing; every other stage processed the request.
+            let expected_items = if t.stage == "bypass" { 0 } else { 1 };
+            assert_eq!(t.items, expected_items, "{}", t.stage);
+        }
+    }
+
+    #[test]
+    fn stage_items_exclude_contexts_the_stage_skipped() {
+        use aipow_reputation::ReputationModel;
+
+        struct LaneModel;
+        impl ReputationModel for LaneModel {
+            fn score(&self, features: &FeatureVector) -> ReputationScore {
+                ReputationScore::new(features.get(0)).unwrap()
+            }
+            fn name(&self) -> &'static str {
+                "lane0"
+            }
+        }
+        let fw = FrameworkBuilder::new()
+            .master_key([9u8; 32])
+            .model(LaneModel)
+            .policy(LinearPolicy::policy1())
+            .bypass_threshold(2.0)
+            .build()
+            .unwrap();
+        let low = FeatureVector::zeros().with(0, 1.0); // bypassed
+        let high = FeatureVector::zeros().with(0, 5.0); // challenged
+        let requests: Vec<(IpAddr, &FeatureVector)> =
+            vec![(ip(1), &low), (ip(2), &low), (ip(3), &low), (ip(4), &high)];
+        let _ = fw.handle_request_batch(&requests);
+        let timings = fw.metrics_snapshot().stage_timings;
+        let items = |name: &str| timings.iter().find(|t| t.stage == name).unwrap().items;
+        // Score and bypass examine all four; policy and issue only the
+        // one context the bypass did not settle; telemetry observes all.
+        assert_eq!(items("score"), 4);
+        assert_eq!(items("bypass"), 4);
+        assert_eq!(items("policy"), 1);
+        assert_eq!(items("issue"), 1);
+        assert_eq!(items("request_telemetry"), 4);
+    }
+
+    #[test]
+    fn batched_stages_record_group_sizes() {
+        let fw = FrameworkBuilder::new()
+            .master_key([9u8; 32])
+            .model(FixedScoreModel::new(ReputationScore::new(3.0).unwrap()))
+            .policy(LinearPolicy::policy2())
+            .build()
+            .unwrap();
+        let features = FeatureVector::zeros();
+        let requests: Vec<(IpAddr, &FeatureVector)> = (0..8).map(|i| (ip(i), &features)).collect();
+        let decisions = fw.handle_request_batch(&requests);
+        assert_eq!(decisions.len(), 8);
+        let timings = fw.metrics_snapshot().stage_timings;
+        let issue = timings.iter().find(|t| t.stage == "issue").unwrap();
+        assert_eq!(issue.batches, 1);
+        assert_eq!(issue.items, 8);
+    }
+}

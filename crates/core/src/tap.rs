@@ -24,6 +24,28 @@ use aipow_pow::{Difficulty, VerifyError};
 use aipow_reputation::ReputationScore;
 use std::net::IpAddr;
 
+/// One scored request, as delivered to
+/// [`BehaviorSink::on_request_batch`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestObservation {
+    /// The client that requested.
+    pub ip: IpAddr,
+    /// The model's score for the client.
+    pub score: ReputationScore,
+    /// The issued puzzle difficulty, or `None` for a bypass admission.
+    pub difficulty: Option<Difficulty>,
+}
+
+/// One verification outcome, as delivered to
+/// [`BehaviorSink::on_solution_batch`].
+#[derive(Debug, Clone, Copy)]
+pub struct SolutionObservation<'a> {
+    /// The client that submitted.
+    pub ip: IpAddr,
+    /// `Ok` with the solved difficulty, or the verifier's rejection.
+    pub outcome: Result<Difficulty, &'a VerifyError>,
+}
+
 /// Observes admission events emitted by [`Framework`](crate::Framework).
 ///
 /// Implementations must be cheap and non-blocking: the framework calls
@@ -53,6 +75,28 @@ pub trait BehaviorSink: Send + Sync {
     /// whose requests mostly die at the limiter, and a tap blind to them
     /// would score them *better* than moderate clients.
     fn on_rate_limited(&self, _ip: IpAddr, _now_ms: u64) {}
+
+    /// A batch of scored requests, all observed at `now_ms` (the batch
+    /// admission path reads the clock once per group). The default
+    /// delivers each observation through [`on_request`](Self::on_request)
+    /// in order, so sinks that never override see identical events from
+    /// both paths; sinks with sharded state (the `aipow-online` recorder)
+    /// override this to take each shard lock once per batch instead of
+    /// once per event.
+    fn on_request_batch(&self, now_ms: u64, batch: &[RequestObservation]) {
+        for obs in batch {
+            self.on_request(obs.ip, now_ms, obs.score, obs.difficulty);
+        }
+    }
+
+    /// A batch of verification outcomes, all observed at `now_ms`. Same
+    /// contract as [`on_request_batch`](Self::on_request_batch): the
+    /// default loops over [`on_solution`](Self::on_solution) in order.
+    fn on_solution_batch(&self, now_ms: u64, batch: &[SolutionObservation<'_>]) {
+        for obs in batch {
+            self.on_solution(obs.ip, now_ms, obs.outcome);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -94,5 +138,37 @@ mod tests {
         let sink: Box<dyn BehaviorSink> = Box::<CountingSink>::default();
         sink.on_request("192.0.2.1".parse().unwrap(), 0, ReputationScore::MIN, None);
         sink.on_solution("192.0.2.1".parse().unwrap(), 0, Err(&VerifyError::BadMac));
+    }
+
+    #[test]
+    fn default_batch_methods_deliver_every_observation() {
+        let sink = CountingSink::default();
+        let ip: IpAddr = "192.0.2.1".parse().unwrap();
+        sink.on_request_batch(
+            7,
+            &[
+                RequestObservation {
+                    ip,
+                    score: ReputationScore::MIN,
+                    difficulty: None,
+                },
+                RequestObservation {
+                    ip,
+                    score: ReputationScore::MAX,
+                    difficulty: aipow_pow::Difficulty::new(5).ok(),
+                },
+            ],
+        );
+        let err = VerifyError::BadMac;
+        sink.on_solution_batch(
+            7,
+            &[SolutionObservation {
+                ip,
+                outcome: Err(&err),
+            }],
+        );
+        sink.on_solution_batch(7, &[]);
+        assert_eq!(sink.requests.load(Ordering::Relaxed), 2);
+        assert_eq!(sink.solutions.load(Ordering::Relaxed), 1);
     }
 }

@@ -84,6 +84,84 @@ impl HmacSha256 {
     }
 }
 
+/// A key with its HMAC-SHA-256 schedule precomputed, for call sites that
+/// MAC or verify many short messages under one key (the challenge issuer
+/// and verifier sit on the admission hot path and do exactly that).
+///
+/// [`HmacSha256::mac`] pays the key schedule on every call: zero-pad the
+/// key, derive the ipad/opad blocks, and compress one block for each.
+/// This type runs that schedule once and keeps both pad-absorbed SHA-256
+/// states; each subsequent [`mac`](HmacKey::mac) clones the states and
+/// absorbs only the message and the inner digest — for the ~60-byte
+/// challenge encoding that cuts the per-call compression count roughly in
+/// half. Produces bit-identical tags to [`HmacSha256`].
+///
+/// ```
+/// use aipow_crypto::hmac::{HmacKey, HmacSha256};
+/// let key = HmacKey::new(b"key");
+/// assert_eq!(key.mac(b"message"), HmacSha256::mac(b"key", b"message"));
+/// assert!(key.verify(b"message", key.mac(b"message").as_bytes()));
+/// ```
+#[derive(Clone)]
+pub struct HmacKey {
+    /// SHA-256 state with the ipad block already absorbed.
+    inner_base: Sha256,
+    /// SHA-256 state with the opad block already absorbed.
+    outer_base: Sha256,
+}
+
+impl HmacKey {
+    /// Runs the key schedule once. Keys longer than the block size are
+    /// pre-hashed per the HMAC specification.
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let d = Sha256::digest(key);
+            key_block[..32].copy_from_slice(d.as_bytes());
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad_block = [0u8; BLOCK_LEN];
+        let mut opad_block = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad_block[i] = key_block[i] ^ 0x36;
+            opad_block[i] = key_block[i] ^ 0x5c;
+        }
+
+        let mut inner_base = Sha256::new();
+        inner_base.update(&ipad_block);
+        let mut outer_base = Sha256::new();
+        outer_base.update(&opad_block);
+        HmacKey {
+            inner_base,
+            outer_base,
+        }
+    }
+
+    /// `HMAC(key, data)` without re-running the key schedule.
+    pub fn mac(&self, data: &[u8]) -> Digest {
+        let mut inner = self.inner_base.clone();
+        inner.update(data);
+        let inner_digest = inner.finalize();
+        let mut outer = self.outer_base.clone();
+        outer.update(inner_digest.as_bytes());
+        outer.finalize()
+    }
+
+    /// Verifies `tag` against `HMAC(key, data)` in constant time.
+    pub fn verify(&self, data: &[u8], tag: &[u8]) -> bool {
+        crate::ct::eq(self.mac(data).as_bytes(), tag)
+    }
+}
+
+impl core::fmt::Debug for HmacKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never print key-derived state.
+        f.write_str("HmacKey{..}")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +257,25 @@ mod tests {
     #[test]
     fn distinct_keys_yield_distinct_tags() {
         assert_ne!(HmacSha256::mac(b"a", b"m"), HmacSha256::mac(b"b", b"m"));
+    }
+
+    #[test]
+    fn prepared_key_matches_oneshot_for_all_key_and_message_shapes() {
+        for key_len in [0usize, 1, 32, 63, 64, 65, 131] {
+            let key: Vec<u8> = (0..key_len).map(|i| i as u8).collect();
+            let prepared = HmacKey::new(&key);
+            for msg_len in [0usize, 1, 55, 56, 62, 64, 100, 300] {
+                let msg: Vec<u8> = (0..msg_len).map(|i| (i * 7) as u8).collect();
+                let expect = HmacSha256::mac(&key, &msg);
+                assert_eq!(prepared.mac(&msg), expect, "key {key_len} msg {msg_len}");
+                assert!(prepared.verify(&msg, expect.as_bytes()));
+                let mut forged = *expect.as_bytes();
+                forged[0] ^= 1;
+                assert!(!prepared.verify(&msg, &forged));
+                assert!(!prepared.verify(&msg, &expect.as_bytes()[..31]));
+            }
+        }
+        assert_eq!(format!("{:?}", HmacKey::new(b"k")), "HmacKey{..}");
     }
 
     mod prop {

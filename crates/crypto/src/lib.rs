@@ -47,5 +47,5 @@ pub mod hmac;
 pub mod sha256;
 
 pub use drbg::HmacDrbg;
-pub use hmac::HmacSha256;
+pub use hmac::{HmacKey, HmacSha256};
 pub use sha256::{Digest, Sha224, Sha256};

@@ -43,6 +43,15 @@ pub struct ServerConfig {
     pub rate_limit_max_scan: usize,
     /// Backlog of accepted-but-unhandled connections.
     pub queue_depth: usize,
+    /// Maximum pipelined frames one connection wakeup drains and
+    /// dispatches through the framework's batch admission path
+    /// (`handle_request_batch` / `handle_solution_batch`). A client that
+    /// writes k requests back-to-back gets them admitted in one pipeline
+    /// pass — one clock reading, one policy read-lock, one audit
+    /// shard-lock acquisition per shard — instead of k. Replies are
+    /// written in frame order either way; 1 disables batching (every
+    /// frame dispatched alone). Clamped to a minimum of 1.
+    pub max_batch: usize,
     /// Online behavioral-reputation loop. When set, the server attaches a
     /// behavior recorder to the framework's tap, serves model features
     /// from the live blending source (the `features` argument to
@@ -72,6 +81,7 @@ impl Default for ServerConfig {
             rate_limit_shards: None,
             rate_limit_max_scan: aipow_core::sharded::DEFAULT_MAX_SCAN,
             queue_depth: 256,
+            max_batch: aipow_core::framework::DEFAULT_MAX_BATCH,
             online: None,
         }
     }
@@ -166,6 +176,7 @@ impl PowServer {
                 let connections = Arc::clone(&connections);
                 let shutdown = Arc::clone(&shutdown);
                 let read_timeout = config.read_timeout;
+                let max_batch = config.max_batch.max(1);
                 std::thread::spawn(move || {
                     while let Ok(stream) = rx.recv() {
                         let _ = stream.set_read_timeout(Some(read_timeout));
@@ -186,7 +197,9 @@ impl PowServer {
                         if shutdown.load(Ordering::Relaxed) {
                             let _ = stream.shutdown(Shutdown::Both);
                         }
-                        handle_connection(stream, &framework, &*features, &resources, &limiter);
+                        handle_connection(
+                            stream, &framework, &*features, &resources, &limiter, max_batch,
+                        );
                     }
                 })
             })
@@ -195,18 +208,33 @@ impl PowServer {
         let acceptor = {
             let shutdown = Arc::clone(&shutdown);
             std::thread::spawn(move || {
+                // Errors other than WouldBlock back off exponentially
+                // (capped), so a persistent condition like EMFILE — which
+                // `accept` reports on *every* call until descriptors free
+                // up — parks the thread instead of spinning a retry loop
+                // at poll frequency. Any successful accept resets the
+                // backoff.
+                let mut backoff = ACCEPT_BACKOFF_FLOOR;
                 while !shutdown.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _)) => {
+                            backoff = ACCEPT_BACKOFF_FLOOR;
                             // A full queue sheds load by dropping the
                             // connection — the PoW layer is the defense,
                             // not an unbounded buffer.
                             let _ = tx.try_send(stream);
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            // Idle poll: a short fixed nap keeps shutdown
+                            // latency low; no escalation (nothing is
+                            // wrong).
+                            backoff = ACCEPT_BACKOFF_FLOOR;
                             std::thread::sleep(Duration::from_millis(2));
                         }
-                        Err(_) => break,
+                        Err(_) => {
+                            std::thread::sleep(backoff);
+                            backoff = next_accept_backoff(backoff);
+                        }
                     }
                 }
                 // Dropping `tx` lets workers drain and exit.
@@ -273,13 +301,134 @@ impl Drop for PowServer {
     }
 }
 
-/// Serves one connection until the peer closes or errors.
+/// Initial nap after an `accept()` error.
+const ACCEPT_BACKOFF_FLOOR: Duration = Duration::from_millis(2);
+/// Ceiling on the accept-error backoff: long enough that a persistent
+/// EMFILE costs ~2 wakeups/second instead of 500, short enough that
+/// recovery (descriptors freed) is noticed promptly and shutdown is
+/// never blocked on a long sleep.
+const ACCEPT_BACKOFF_CAP: Duration = Duration::from_millis(500);
+
+/// Doubles the accept-error backoff, capped at [`ACCEPT_BACKOFF_CAP`].
+fn next_accept_backoff(current: Duration) -> Duration {
+    (current * 2).min(ACCEPT_BACKOFF_CAP)
+}
+
+/// What draining one connection wakeup produced: the pipelined frames
+/// read so far, and the event that ended the drain.
+enum DrainEnd {
+    /// No more buffered frames (or the batch ceiling was reached);
+    /// process the batch and keep serving.
+    MoreLater,
+    /// The peer closed or the stream failed; process the batch, then
+    /// hang up.
+    Hangup,
+    /// A frame failed to decode; process the batch, send the rejection,
+    /// then hang up (the stream offset is unrecoverable).
+    Malformed(String),
+}
+
+/// What a nonblocking peek found buffered on the stream.
+enum Buffered {
+    /// A complete frame (or an invalid header whose error `read_message`
+    /// will surface without blocking) is fully buffered.
+    CompleteFrame,
+    /// Nothing, or only part of a frame: a read now could block, so the
+    /// batch must be processed first.
+    Incomplete,
+    /// The peer closed.
+    Eof,
+    /// The stream failed.
+    Broken,
+}
+
+/// Ceiling on the bytes one completeness peek inspects (and therefore
+/// on the frame size eligible for batching). Client-to-server frames —
+/// requests, solutions, pings — are ~100 bytes encoded, far under this;
+/// a larger frame is simply not batched: the drain processes the
+/// current batch and the next wakeup's ordinary blocking read takes the
+/// big frame, exactly as the sequential path would have.
+const PEEK_CAP: usize = 4096;
+
+/// Checks — without blocking and without consuming — whether the next
+/// frame is *entirely* buffered: one bounded peek covering the header
+/// and (for frames up to [`PEEK_CAP`]) the declared payload. Only a
+/// complete frame may join the current batch; a partial one would turn
+/// the drain's next read into a blocking wait while fully-received
+/// frames sit unanswered (the sequential path replied to each frame
+/// before blocking again). The peek buffer is a small stack array — no
+/// allocation, and never a copy proportional to `MAX_PAYLOAD_LEN`.
+fn peek_complete_frame(stream: &mut TcpStream) -> Buffered {
+    if stream.set_nonblocking(true).is_err() {
+        return Buffered::Broken;
+    }
+    let mut buffered = [0u8; PEEK_CAP];
+    let result = match stream.peek(&mut buffered) {
+        Ok(0) => Buffered::Eof,
+        Ok(n) if n < 8 => Buffered::Incomplete,
+        Ok(n) => {
+            let declared = u32::from_be_bytes(buffered[4..8].try_into().expect("4 bytes")) as usize;
+            if declared > aipow_wire::MAX_PAYLOAD_LEN {
+                // read_message rejects the header before reading the
+                // body, so surfacing the error cannot block.
+                Buffered::CompleteFrame
+            } else if declared + 8 <= n {
+                Buffered::CompleteFrame
+            } else {
+                // Partially buffered, or complete but bigger than the
+                // peek window — either way, not batched.
+                Buffered::Incomplete
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => Buffered::Incomplete,
+        Err(_) => Buffered::Broken,
+    };
+    if stream.set_nonblocking(false).is_err() {
+        return Buffered::Broken;
+    }
+    result
+}
+
+/// Reads every already-buffered frame (up to `max_batch`) without
+/// blocking beyond the first. The first read blocks as before — an idle
+/// connection parks here — and each subsequent frame is read only when
+/// a nonblocking peek confirms it is *completely* buffered, so a client
+/// that pipelines k frames gets all k into one batch while a partial
+/// trailing frame never delays replies to the complete ones before it.
+fn drain_frames(stream: &mut TcpStream, max_batch: usize) -> (Vec<Message>, DrainEnd) {
+    let mut frames = Vec::new();
+    let end = loop {
+        if frames.len() >= max_batch {
+            break DrainEnd::MoreLater;
+        }
+        if !frames.is_empty() {
+            match peek_complete_frame(stream) {
+                Buffered::CompleteFrame => {}
+                Buffered::Incomplete => break DrainEnd::MoreLater,
+                Buffered::Eof | Buffered::Broken => break DrainEnd::Hangup,
+            }
+        }
+        match read_message(&mut *stream) {
+            Ok(msg) => frames.push(msg),
+            Err(ReadMessageError::Closed) => break DrainEnd::Hangup,
+            Err(ReadMessageError::Decode(e)) => break DrainEnd::Malformed(e.to_string()),
+            Err(ReadMessageError::Io(_)) => break DrainEnd::Hangup,
+        }
+    };
+    (frames, end)
+}
+
+/// Serves one connection until the peer closes or errors. Each wakeup
+/// drains up to `max_batch` pipelined frames and dispatches consecutive
+/// runs of same-kind frames through the framework's batch admission
+/// path; replies are written in frame order.
 fn handle_connection(
     mut stream: TcpStream,
     framework: &Framework,
     features: &dyn FeatureSource,
     resources: &HashMap<String, Vec<u8>>,
     limiter: &Option<RateLimiter>,
+    max_batch: usize,
 ) {
     let peer_ip = match stream.peer_addr() {
         Ok(addr) => addr.ip(),
@@ -287,25 +436,125 @@ fn handle_connection(
     };
 
     loop {
-        let msg = match read_message(&mut stream) {
-            Ok(msg) => msg,
-            Err(ReadMessageError::Closed) => return,
-            Err(ReadMessageError::Decode(e)) => {
+        let (frames, end) = drain_frames(&mut stream, max_batch);
+        if !frames.is_empty() {
+            let replies = process_frames(frames, peer_ip, framework, features, resources, limiter);
+            for reply in replies {
+                if write_message(&mut stream, &reply).is_err() {
+                    return;
+                }
+            }
+        }
+        match end {
+            DrainEnd::MoreLater => {}
+            DrainEnd::Hangup => return,
+            DrainEnd::Malformed(detail) => {
                 let _ = write_message(
                     &mut stream,
                     &Message::Rejected {
                         code: RejectCode::Malformed,
-                        detail: e.to_string(),
+                        detail,
                     },
                 );
                 return;
             }
-            Err(ReadMessageError::Io(_)) => return,
-        };
+        }
+    }
+}
 
-        let reply = match msg {
-            Message::Ping { token } => Message::Pong { token },
+/// One admissible request frame, held with its slot in the reply order
+/// while a same-kind run accumulates.
+struct PendingRequest {
+    reply_slot: usize,
+    path: String,
+}
+
+/// One solution frame, likewise.
+struct PendingSolution {
+    reply_slot: usize,
+    solution: Solution,
+    path: String,
+}
+
+/// Turns a drained frame batch into replies, one per frame, in order.
+/// Consecutive `RequestResource` frames that pass the rate limiter and
+/// path check are admitted through one `handle_request_batch` call;
+/// consecutive `SubmitSolution` frames through one
+/// `handle_solution_batch` call. Runs are flushed whenever the frame
+/// kind changes, so the decision order any sequential interleaving would
+/// produce is preserved exactly.
+fn process_frames(
+    frames: Vec<Message>,
+    peer_ip: std::net::IpAddr,
+    framework: &Framework,
+    features: &dyn FeatureSource,
+    resources: &HashMap<String, Vec<u8>>,
+    limiter: &Option<RateLimiter>,
+) -> Vec<Message> {
+    let mut replies: Vec<Option<Message>> = (0..frames.len()).map(|_| None).collect();
+    let mut pending_requests: Vec<PendingRequest> = Vec::new();
+    let mut pending_solutions: Vec<PendingSolution> = Vec::new();
+
+    let flush_requests = |pending: &mut Vec<PendingRequest>, replies: &mut Vec<Option<Message>>| {
+        if pending.is_empty() {
+            return;
+        }
+        // One feature lookup per run: every frame in it is from this
+        // connection's peer, and the batch path samples features once
+        // per group by design (the batching invariant).
+        let fv = features.features_for(peer_ip);
+        let requests: Vec<_> = pending.iter().map(|_| (peer_ip, &fv)).collect();
+        let decisions = framework.handle_request_batch(&requests);
+        for (req, decision) in pending.drain(..).zip(decisions) {
+            let reply = match decision {
+                aipow_core::AdmissionDecision::Admit { .. } => Message::ResourceGranted {
+                    body: resources[&req.path].clone(),
+                    path: req.path,
+                },
+                aipow_core::AdmissionDecision::Challenge(issued) => Message::ChallengeIssued {
+                    challenge: issued.challenge,
+                    path: req.path,
+                },
+            };
+            replies[req.reply_slot] = Some(reply);
+        }
+    };
+    let flush_solutions = |pending: &mut Vec<PendingSolution>,
+                           replies: &mut Vec<Option<Message>>| {
+        if pending.is_empty() {
+            return;
+        }
+        let submissions: Vec<(&Solution, std::net::IpAddr)> =
+            pending.iter().map(|p| (&p.solution, peer_ip)).collect();
+        let outcomes = framework.handle_solution_batch(&submissions);
+        for (sub, outcome) in pending.drain(..).zip(outcomes) {
+            let reply = match outcome {
+                Ok(_token) => match resources.get(&sub.path) {
+                    Some(body) => Message::ResourceGranted {
+                        body: body.clone(),
+                        path: sub.path,
+                    },
+                    None => Message::Rejected {
+                        code: RejectCode::NotFound,
+                        detail: sub.path,
+                    },
+                },
+                Err(e) => Message::Rejected {
+                    code: RejectCode::InvalidSolution,
+                    detail: e.to_string(),
+                },
+            };
+            replies[sub.reply_slot] = Some(reply);
+        }
+    };
+
+    for (slot, msg) in frames.into_iter().enumerate() {
+        match msg {
             Message::RequestResource { path } => {
+                flush_solutions(&mut pending_solutions, &mut replies);
+                // The limiter debits per frame, in frame order — a
+                // pipelined burst draws down the bucket exactly as a
+                // sequential one.
                 if let Some(limiter) = limiter {
                     if !limiter.allow(peer_ip, SystemClock.now_ms()) {
                         // The behavior tap still sees the arrival: a
@@ -313,41 +562,33 @@ fn handle_connection(
                         // look like a light client to the online loop.
                         // Stamped with the framework's clock — the same
                         // timeline every other tap event and the sketch
-                        // decay math live on.
+                        // decay math live on. Earlier same-batch
+                        // requests flush first so the sink sees events
+                        // in frame order — a denied arrival must land on
+                        // the sketch those requests may have just
+                        // created, exactly as it would sequentially.
+                        flush_requests(&mut pending_requests, &mut replies);
                         if let Some(sink) = framework.behavior_sink() {
                             sink.on_rate_limited(peer_ip, framework.now_ms());
                         }
-                        let _ = write_message(
-                            &mut stream,
-                            &Message::Rejected {
-                                code: RejectCode::RateLimited,
-                                detail: "request rate exceeded".into(),
-                            },
-                        );
+                        replies[slot] = Some(Message::Rejected {
+                            code: RejectCode::RateLimited,
+                            detail: "request rate exceeded".into(),
+                        });
                         continue;
                     }
                 }
                 if !resources.contains_key(&path) {
-                    let _ = write_message(
-                        &mut stream,
-                        &Message::Rejected {
-                            code: RejectCode::NotFound,
-                            detail: path,
-                        },
-                    );
+                    replies[slot] = Some(Message::Rejected {
+                        code: RejectCode::NotFound,
+                        detail: path,
+                    });
                     continue;
                 }
-                let fv = features.features_for(peer_ip);
-                match framework.handle_request(peer_ip, &fv) {
-                    aipow_core::AdmissionDecision::Admit { .. } => Message::ResourceGranted {
-                        body: resources[&path].clone(),
-                        path,
-                    },
-                    aipow_core::AdmissionDecision::Challenge(issued) => Message::ChallengeIssued {
-                        challenge: issued.challenge,
-                        path,
-                    },
-                }
+                pending_requests.push(PendingRequest {
+                    reply_slot: slot,
+                    path,
+                });
             }
             Message::SubmitSolution {
                 challenge,
@@ -355,47 +596,48 @@ fn handle_connection(
                 width,
                 path,
             } => {
-                let solution = Solution {
-                    challenge,
-                    nonce,
-                    width,
-                };
-                match framework.handle_solution(&solution, peer_ip) {
-                    Ok(_token) => match resources.get(&path) {
-                        Some(body) => Message::ResourceGranted {
-                            body: body.clone(),
-                            path,
-                        },
-                        None => Message::Rejected {
-                            code: RejectCode::NotFound,
-                            detail: path,
-                        },
+                flush_requests(&mut pending_requests, &mut replies);
+                pending_solutions.push(PendingSolution {
+                    reply_slot: slot,
+                    solution: Solution {
+                        challenge,
+                        nonce,
+                        width,
                     },
-                    Err(e) => Message::Rejected {
-                        code: RejectCode::InvalidSolution,
-                        detail: e.to_string(),
-                    },
-                }
+                    path,
+                });
+            }
+            Message::Ping { token } => {
+                flush_requests(&mut pending_requests, &mut replies);
+                flush_solutions(&mut pending_solutions, &mut replies);
+                replies[slot] = Some(Message::Pong { token });
             }
             // Server-to-client message types arriving at the server.
             Message::ChallengeIssued { .. }
             | Message::ResourceGranted { .. }
             | Message::Rejected { .. }
-            | Message::Pong { .. } => Message::Rejected {
-                code: RejectCode::Malformed,
-                detail: "unexpected message direction".into(),
-            },
+            | Message::Pong { .. } => {
+                replies[slot] = Some(Message::Rejected {
+                    code: RejectCode::Malformed,
+                    detail: "unexpected message direction".into(),
+                });
+            }
             // Future message types (enum is non_exhaustive).
-            _ => Message::Rejected {
-                code: RejectCode::Malformed,
-                detail: "unsupported message".into(),
-            },
-        };
-
-        if write_message(&mut stream, &reply).is_err() {
-            return;
+            _ => {
+                replies[slot] = Some(Message::Rejected {
+                    code: RejectCode::Malformed,
+                    detail: "unsupported message".into(),
+                });
+            }
         }
     }
+    flush_requests(&mut pending_requests, &mut replies);
+    flush_solutions(&mut pending_solutions, &mut replies);
+
+    replies
+        .into_iter()
+        .map(|reply| reply.expect("every frame produced a reply"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -588,6 +830,168 @@ mod tests {
         );
         let online = server.online().expect("online loop configured");
         assert_eq!(online.recorder().len(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn accept_backoff_doubles_and_caps() {
+        let mut backoff = ACCEPT_BACKOFF_FLOOR;
+        let mut total = Duration::ZERO;
+        for _ in 0..20 {
+            total += backoff;
+            backoff = next_accept_backoff(backoff);
+        }
+        assert_eq!(backoff, ACCEPT_BACKOFF_CAP);
+        // 20 consecutive failures cost ~10 naps totalling seconds, not a
+        // 500 Hz spin: the first few double (2,4,8,...) then park at the
+        // cap.
+        assert!(total >= Duration::from_secs(5));
+        assert!(next_accept_backoff(ACCEPT_BACKOFF_CAP) == ACCEPT_BACKOFF_CAP);
+    }
+
+    #[test]
+    fn pipelined_frames_are_batched_and_replied_in_order() {
+        use std::io::Write;
+        let server = test_server(
+            0.0,
+            ServerConfig {
+                max_batch: 8,
+                ..Default::default()
+            },
+        );
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // Write a pipelined burst in one TCP segment: 3 requests, a
+        // ping, and a not-found, without reading between writes.
+        let mut burst = Vec::new();
+        for _ in 0..3 {
+            burst.extend(aipow_wire::encode(&Message::RequestResource {
+                path: "/r".into(),
+            }));
+        }
+        burst.extend(aipow_wire::encode(&Message::Ping { token: 42 }));
+        burst.extend(aipow_wire::encode(&Message::RequestResource {
+            path: "/missing".into(),
+        }));
+        stream.write_all(&burst).unwrap();
+
+        for i in 0..3 {
+            match read_message(&mut stream).unwrap() {
+                Message::ChallengeIssued { path, .. } => assert_eq!(path, "/r", "frame {i}"),
+                other => panic!("frame {i}: expected challenge, got {other:?}"),
+            }
+        }
+        match read_message(&mut stream).unwrap() {
+            Message::Pong { token } => assert_eq!(token, 42),
+            other => panic!("expected pong, got {other:?}"),
+        }
+        match read_message(&mut stream).unwrap() {
+            Message::Rejected { code, .. } => assert_eq!(code, RejectCode::NotFound),
+            other => panic!("expected not-found, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_solutions_verify_through_the_batch_path() {
+        use aipow_pow::solver::{self, SolverOptions};
+        use std::io::Write;
+        let server = test_server(0.0, ServerConfig::default());
+        let addr = server.local_addr();
+        let client_ip = "127.0.0.1".parse().unwrap();
+
+        // Fetch two challenges (pipelined), solve both, submit both
+        // pipelined; both must grant.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut burst = Vec::new();
+        for _ in 0..2 {
+            burst.extend(aipow_wire::encode(&Message::RequestResource {
+                path: "/r".into(),
+            }));
+        }
+        stream.write_all(&burst).unwrap();
+        let mut challenges = Vec::new();
+        for _ in 0..2 {
+            match read_message(&mut stream).unwrap() {
+                Message::ChallengeIssued { challenge, .. } => challenges.push(challenge),
+                other => panic!("expected challenge, got {other:?}"),
+            }
+        }
+        let mut burst = Vec::new();
+        for challenge in challenges {
+            let report = solver::solve(&challenge, client_ip, &SolverOptions::default()).unwrap();
+            burst.extend(aipow_wire::encode(&Message::SubmitSolution {
+                challenge: report.solution.challenge,
+                nonce: report.solution.nonce,
+                width: report.solution.width,
+                path: "/r".into(),
+            }));
+        }
+        stream.write_all(&burst).unwrap();
+        for i in 0..2 {
+            match read_message(&mut stream).unwrap() {
+                Message::ResourceGranted { body, .. } => {
+                    assert_eq!(body, b"payload", "solution {i}")
+                }
+                other => panic!("solution {i}: expected grant, got {other:?}"),
+            }
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn partial_trailing_frame_does_not_delay_earlier_replies() {
+        use std::io::Write;
+        use std::time::Instant;
+        // A complete ping plus the first bytes of a second frame: the
+        // drain must answer the ping immediately instead of blocking in
+        // a read for the partial successor until the read timeout.
+        let server = test_server(
+            0.0,
+            ServerConfig {
+                read_timeout: Duration::from_secs(20),
+                ..Default::default()
+            },
+        );
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut burst = aipow_wire::encode(&Message::Ping { token: 11 });
+        let second = aipow_wire::encode(&Message::Ping { token: 12 });
+        burst.extend_from_slice(&second[..5]); // header fragment only
+        stream.write_all(&burst).unwrap();
+        let start = Instant::now();
+        match read_message(&mut stream).unwrap() {
+            Message::Pong { token } => assert_eq!(token, 11),
+            other => panic!("expected pong, got {other:?}"),
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "first reply was held behind the partial frame for {:?}",
+            start.elapsed()
+        );
+        // Completing the fragment gets the second reply.
+        stream.write_all(&second[5..]).unwrap();
+        match read_message(&mut stream).unwrap() {
+            Message::Pong { token } => assert_eq!(token, 12),
+            other => panic!("expected pong, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_frame_mid_batch_still_answers_earlier_frames() {
+        use std::io::Write;
+        let server = test_server(0.0, ServerConfig::default());
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut burst = aipow_wire::encode(&Message::Ping { token: 7 });
+        burst.extend_from_slice(b"\xFF\xFFgarbage");
+        stream.write_all(&burst).unwrap();
+        match read_message(&mut stream).unwrap() {
+            Message::Pong { token } => assert_eq!(token, 7),
+            other => panic!("expected pong, got {other:?}"),
+        }
+        match read_message(&mut stream).unwrap() {
+            Message::Rejected { code, .. } => assert_eq!(code, RejectCode::Malformed),
+            other => panic!("expected malformed rejection, got {other:?}"),
+        }
         server.shutdown();
     }
 

@@ -25,6 +25,9 @@
 //!   admission tables: per-request latency must stay flat while the rate
 //!   limiter and cost ledger churn at capacity (the bounded per-shard
 //!   eviction proof);
+//! - [`burst`] — pipelined bursts of `k` requests through the batch
+//!   admission path, asserting decision equivalence with the sequential
+//!   path and that per-request latency holds as fixed costs amortize;
 //! - [`report`] — CSV/Markdown rendering for EXPERIMENTS.md.
 //!
 //! Everything except [`contended`] is seeded; two runs with the same
@@ -46,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod behavior;
+pub mod burst;
 pub mod contended;
 pub mod engine;
 pub mod fig2;
@@ -56,6 +60,7 @@ pub mod sample;
 pub mod scenario;
 
 pub use behavior::{BehaviorConfig, BehaviorShiftOutcome, RedemptionOutcome, TrajectoryPoint};
+pub use burst::{BurstConfig, BurstReport};
 pub use contended::{ContendedConfig, ContendedReport, ContendedRow};
 pub use engine::EventQueue;
 pub use fig2::{Fig2Config, Fig2Row, Fig2Table};

@@ -22,7 +22,7 @@
 //! case — costs one bounded shard scan per request, never an all-shard
 //! sweep.
 
-use aipow_core::tap::BehaviorSink;
+use aipow_core::tap::{BehaviorSink, RequestObservation, SolutionObservation};
 use aipow_core::OnlineSettings;
 use aipow_metrics::{Counter, OnlineStats};
 use aipow_pow::{Difficulty, VerifyError};
@@ -360,6 +360,38 @@ fn note_request_arrival(sketch: &mut ClientSketch, now_ms: u64) {
     sketch.last_request_ms = Some(now_ms);
 }
 
+/// Applies one scored-request observation to a sketch (the body shared
+/// by the single-event tap and the batched override).
+fn apply_request(sketch: &mut ClientSketch, now_ms: u64, difficulty: Option<Difficulty>) {
+    note_request_arrival(sketch, now_ms);
+    match difficulty {
+        Some(_) => {
+            sketch.challenged += 1.0;
+            sketch.last_challenge_ms = Some(now_ms);
+        }
+        None => sketch.bypassed += 1.0,
+    }
+}
+
+/// Applies one accepted-solution observation to a sketch.
+fn apply_accepted(sketch: &mut ClientSketch, now_ms: u64) {
+    sketch.accepted += 1.0;
+    if let Some(issued) = sketch.last_challenge_ms.take() {
+        sketch.solve_ms.push(now_ms.saturating_sub(issued) as f64);
+    }
+}
+
+/// Applies one rejected-solution observation to a sketch (see the
+/// [`BehaviorSink::on_solution`] impl for why expiry and clock skew are
+/// not counted as abuse).
+fn apply_rejected(sketch: &mut ClientSketch, err: &VerifyError) {
+    match err {
+        VerifyError::Replayed => sketch.replayed += 1.0,
+        VerifyError::Expired { .. } | VerifyError::NotYetValid => {}
+        _ => sketch.invalid += 1.0,
+    }
+}
+
 impl BehaviorSink for BehaviorRecorder {
     fn on_request(
         &self,
@@ -370,14 +402,7 @@ impl BehaviorSink for BehaviorRecorder {
     ) {
         self.total_requests.inc();
         self.touch(ip, now_ms, |sketch| {
-            note_request_arrival(sketch, now_ms);
-            match difficulty {
-                Some(_) => {
-                    sketch.challenged += 1.0;
-                    sketch.last_challenge_ms = Some(now_ms);
-                }
-                None => sketch.bypassed += 1.0,
-            }
+            apply_request(sketch, now_ms, difficulty);
         });
     }
 
@@ -403,12 +428,7 @@ impl BehaviorSink for BehaviorRecorder {
             // An accepted solution may create a sketch: admission was
             // *paid for* in hashes, so this is not a spammable
             // state-creation primitive.
-            Ok(_) => self.touch(ip, now_ms, |sketch| {
-                sketch.accepted += 1.0;
-                if let Some(issued) = sketch.last_challenge_ms.take() {
-                    sketch.solve_ms.push(now_ms.saturating_sub(issued) as f64);
-                }
-            }),
+            Ok(_) => self.touch(ip, now_ms, |sketch| apply_accepted(sketch, now_ms)),
             // Failed solutions update only *existing* sketches.
             // SubmitSolution is not rate-limited (the client supposedly
             // already paid), so letting a garbage solution create a
@@ -416,27 +436,85 @@ impl BehaviorSink for BehaviorRecorder {
             // would let an address-cycling attacker fill the table with
             // junk that displaces idle honest clients' history for free.
             // A pure solution-spammer with no admitted request leaves no
-            // state; the verifier already rejects it cheaply.
+            // state; the verifier already rejects it cheaply. (Expiry
+            // and clock skew are not abuse — see `apply_rejected`: an
+            // honest-but-slow client must read as abandonment, or slow
+            // clients spiral toward max difficulty.)
             Err(e) => {
                 let half_life = self.half_life_ms;
                 self.sketches.with_mut(&ip, |sketch| {
                     bump(sketch, now_ms, half_life);
-                    match e {
-                        VerifyError::Replayed => sketch.replayed += 1.0,
-                        // An expired solve is an honest-but-slow client
-                        // (it did the work, too late) and NotYetValid is
-                        // clock skew — neither is protocol abuse.
-                        // Counting them as `invalid` would feed a
-                        // positive difficulty spiral: slow client →
-                        // harder puzzle → more expiries → scored worse →
-                        // harder still. They already show up as
-                        // abandonment (challenged but never accepted),
-                        // which is the right-sized signal.
-                        VerifyError::Expired { .. } | VerifyError::NotYetValid => {}
-                        _ => sketch.invalid += 1.0,
-                    }
+                    apply_rejected(sketch, e);
                 });
             }
+        }
+    }
+
+    fn on_request_batch(&self, now_ms: u64, batch: &[RequestObservation]) {
+        self.total_requests.add(batch.len() as u64);
+        let half_life = self.half_life_ms;
+        let mut evicted_count = 0u64;
+        let items: Vec<(IpAddr, Option<Difficulty>)> =
+            batch.iter().map(|obs| (obs.ip, obs.difficulty)).collect();
+        // One lock acquisition per recorder shard per batch; within a
+        // shard, observations apply in their original batch order.
+        self.sketches
+            .with_shards_grouped(items, |shard, ip, difficulty| {
+                let (_, evicted) = shard.update_or_insert_evicting(
+                    ip,
+                    self.per_shard_capacity,
+                    |sketch: &ClientSketch| eviction_score(sketch, half_life),
+                    || ClientSketch::new(now_ms),
+                    |sketch| {
+                        bump(sketch, now_ms, half_life);
+                        apply_request(sketch, now_ms, difficulty);
+                    },
+                );
+                if evicted {
+                    evicted_count += 1;
+                }
+            });
+        if evicted_count > 0 {
+            self.evicted.add(evicted_count);
+        }
+    }
+
+    fn on_solution_batch(&self, now_ms: u64, batch: &[SolutionObservation<'_>]) {
+        let half_life = self.half_life_ms;
+        let mut evicted_count = 0u64;
+        let items: Vec<(IpAddr, Result<Difficulty, &VerifyError>)> =
+            batch.iter().map(|obs| (obs.ip, obs.outcome)).collect();
+        self.sketches
+            .with_shards_grouped(items, |shard, ip, outcome| {
+                match outcome {
+                    // Accepted solutions may create sketches (paid for in
+                    // hashes), exactly as the single-event tap.
+                    Ok(_) => {
+                        let (_, evicted) = shard.update_or_insert_evicting(
+                            ip,
+                            self.per_shard_capacity,
+                            |sketch: &ClientSketch| eviction_score(sketch, half_life),
+                            || ClientSketch::new(now_ms),
+                            |sketch| {
+                                bump(sketch, now_ms, half_life);
+                                apply_accepted(sketch, now_ms);
+                            },
+                        );
+                        if evicted {
+                            evicted_count += 1;
+                        }
+                    }
+                    // Failed solutions update only existing sketches.
+                    Err(e) => {
+                        if let Some(sketch) = shard.get_mut(&ip) {
+                            bump(sketch, now_ms, half_life);
+                            apply_rejected(sketch, e);
+                        }
+                    }
+                }
+            });
+        if evicted_count > 0 {
+            self.evicted.add(evicted_count);
         }
     }
 }
@@ -744,6 +822,80 @@ mod tests {
             let s = r.sketch(ip(t), 1_000).unwrap();
             assert!(s.requests > 990.0, "client {t}: {}", s.requests);
         }
+    }
+
+    #[test]
+    fn batched_taps_produce_identical_sketches_to_single_taps() {
+        let single = BehaviorRecorder::new(&settings(10_000));
+        let batched = BehaviorRecorder::new(&settings(10_000));
+        let err = VerifyError::BadMac;
+
+        // A mixed burst: requests for three clients, then solutions
+        // (accepted, rejected, and rejected-for-unknown-client).
+        let requests: Vec<RequestObservation> = (0..12u8)
+            .map(|i| RequestObservation {
+                ip: ip(i % 3),
+                score: ReputationScore::MIN,
+                difficulty: if i % 4 == 0 { None } else { Some(bits(5)) },
+            })
+            .collect();
+        let solutions = [
+            SolutionObservation {
+                ip: ip(0),
+                outcome: Ok(bits(5)),
+            },
+            SolutionObservation {
+                ip: ip(1),
+                outcome: Err(&err),
+            },
+            SolutionObservation {
+                ip: ip(99), // never requested: must not create state
+                outcome: Err(&err),
+            },
+        ];
+
+        for obs in &requests {
+            single.on_request(obs.ip, 1_000, obs.score, obs.difficulty);
+        }
+        for obs in &solutions {
+            single.on_solution(obs.ip, 1_500, obs.outcome);
+        }
+        batched.on_request_batch(1_000, &requests);
+        batched.on_solution_batch(1_500, &solutions);
+        batched.on_request_batch(1_500, &[]);
+
+        assert_eq!(batched.total_requests(), single.total_requests());
+        assert_eq!(batched.len(), single.len());
+        assert_eq!(batched.len(), 3, "unknown client created no sketch");
+        for i in 0..3u8 {
+            let a = single.sketch(ip(i), 2_000).unwrap();
+            let b = batched.sketch(ip(i), 2_000).unwrap();
+            assert_eq!(a, b, "client {i} sketch diverged");
+        }
+    }
+
+    #[test]
+    fn batched_taps_respect_capacity_eviction() {
+        let r = BehaviorRecorder::new(&OnlineSettings {
+            capacity: 3,
+            shard_count: Some(1),
+            ..Default::default()
+        });
+        let burst: Vec<RequestObservation> = (1..=4u8)
+            .map(|i| RequestObservation {
+                ip: ip(i),
+                score: ReputationScore::MIN,
+                difficulty: Some(bits(5)),
+            })
+            .collect();
+        // Observations carry increasing recency within the batch via
+        // order; all share one timestamp, so the eviction victim is the
+        // shard's least-recently-seen — ip(1..3) tie on last_seen, and
+        // exactly one of them is displaced by ip(4).
+        r.on_request_batch(100, &burst);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.evicted(), 1);
+        assert!(r.sketch(ip(4), 100).is_some(), "newest client retained");
     }
 
     #[test]

@@ -59,4 +59,4 @@ pub use replay::ReplayGuard;
 pub use solver::{SolveReport, SolverOptions};
 pub use target::Target;
 pub use time::{ManualClock, SystemClock, TimeSource};
-pub use verifier::{VerifiedToken, Verifier, VerifyError};
+pub use verifier::{PreparedVerify, VerifiedToken, Verifier, VerifyError};

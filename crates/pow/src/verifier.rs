@@ -14,7 +14,7 @@ use crate::difficulty::Difficulty;
 use crate::replay::ReplayGuard;
 use crate::time::{SystemClock, TimeSource};
 use aipow_crypto::hkdf;
-use aipow_crypto::hmac::HmacSha256;
+use aipow_crypto::hmac::HmacKey;
 use core::fmt;
 use std::net::IpAddr;
 use std::sync::Arc;
@@ -139,7 +139,10 @@ pub struct VerifiedToken {
 /// assert_eq!(verifier.verify(&sol, ip), Err(VerifyError::Replayed));
 /// ```
 pub struct Verifier {
-    mac_key: [u8; 32],
+    /// The challenge-MAC key with its HMAC schedule precomputed: every
+    /// verification authenticates under the same key, so the schedule
+    /// runs once here instead of once per solution.
+    mac_key: HmacKey,
     replay: ReplayGuard,
     clock: Arc<dyn TimeSource>,
     max_skew_ms: u64,
@@ -157,7 +160,7 @@ impl Verifier {
     /// Creates a verifier with an explicit time source.
     pub fn with_clock(master_key: &[u8; 32], clock: Arc<dyn TimeSource>) -> Self {
         Verifier {
-            mac_key: hkdf::derive_key32(master_key, "aipow/challenge-mac"),
+            mac_key: HmacKey::new(&hkdf::derive_key32(master_key, "aipow/challenge-mac")),
             replay: ReplayGuard::default(),
             clock,
             max_skew_ms: DEFAULT_MAX_SKEW_MS,
@@ -213,33 +216,96 @@ impl Verifier {
         claimed_ip: IpAddr,
         now_ms: u64,
     ) -> Result<VerifiedToken, VerifyError> {
+        self.prepare_at(now_ms).verify_one(solution, claimed_ip)
+    }
+
+    /// Hoists the per-call verification context — the clock reading and
+    /// the derived skew window — out of a loop over many solutions. The
+    /// returned handle verifies each solution as if
+    /// [`verify_at`](Self::verify_at) were called at `now_ms` (the HMAC
+    /// key schedule is hoisted further still, to construction).
+    pub fn prepare_at(&self, now_ms: u64) -> PreparedVerify<'_> {
+        PreparedVerify {
+            verifier: self,
+            now_ms,
+            not_before_horizon: now_ms.saturating_add(self.max_skew_ms),
+        }
+    }
+
+    /// Verifies a batch of `(solution, claimed_ip)` submissions at the
+    /// current time, reading the clock and building the skew window once
+    /// for the whole batch. Outcomes are returned in submission order;
+    /// replay marking happens in that same order, so duplicate seeds
+    /// within one batch behave exactly as sequential submissions (first
+    /// valid redemption wins, the rest are [`VerifyError::Replayed`]).
+    pub fn verify_batch(
+        &self,
+        submissions: &[(Solution, IpAddr)],
+    ) -> Vec<Result<VerifiedToken, VerifyError>> {
+        let prepared = self.prepare_at(self.clock.now_ms());
+        submissions
+            .iter()
+            .map(|(solution, ip)| prepared.verify_one(solution, *ip))
+            .collect()
+    }
+}
+
+/// A verification context with the per-call fixed costs hoisted: one
+/// clock reading and one skew-window computation shared by every
+/// solution verified through it. Produced by [`Verifier::prepare_at`].
+#[derive(Debug, Clone, Copy)]
+pub struct PreparedVerify<'a> {
+    verifier: &'a Verifier,
+    now_ms: u64,
+    /// `now_ms + max_skew_ms`, precomputed: challenges issued later than
+    /// this are not yet valid.
+    not_before_horizon: u64,
+}
+
+impl PreparedVerify<'_> {
+    /// The instant this context verifies at.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Verifies one solution under the prepared context.
+    ///
+    /// # Errors
+    ///
+    /// As [`Verifier::verify`].
+    pub fn verify_one(
+        &self,
+        solution: &Solution,
+        claimed_ip: IpAddr,
+    ) -> Result<VerifiedToken, VerifyError> {
         let challenge = &solution.challenge;
+        let now_ms = self.now_ms;
 
         if challenge.version() != CHALLENGE_VERSION {
             return Err(VerifyError::UnsupportedVersion {
                 got: challenge.version(),
             });
         }
-        if challenge.difficulty() > self.difficulty_cap {
+        if challenge.difficulty() > self.verifier.difficulty_cap {
             return Err(VerifyError::DifficultyTooHigh {
                 got: challenge.difficulty(),
-                cap: self.difficulty_cap,
+                cap: self.verifier.difficulty_cap,
             });
         }
         if !solution.width.fits(solution.nonce) {
             return Err(VerifyError::MalformedNonce);
         }
-        if !HmacSha256::verify(
-            &self.mac_key,
-            &challenge.authenticated_bytes(),
-            challenge.tag(),
-        ) {
+        if !self
+            .verifier
+            .mac_key
+            .verify(&challenge.authenticated_bytes(), challenge.tag())
+        {
             return Err(VerifyError::BadMac);
         }
         if challenge.client_ip() != claimed_ip {
             return Err(VerifyError::ClientMismatch);
         }
-        if challenge.issued_at_ms() > now_ms.saturating_add(self.max_skew_ms) {
+        if challenge.issued_at_ms() > self.not_before_horizon {
             return Err(VerifyError::NotYetValid);
         }
         if challenge.is_expired(now_ms) {
@@ -260,10 +326,11 @@ impl Verifier {
             });
         }
 
-        if !self
-            .replay
-            .check_and_insert(challenge.seed(), challenge.expires_at_ms(), now_ms)
-        {
+        if !self.verifier.replay.check_and_insert(
+            challenge.seed(),
+            challenge.expires_at_ms(),
+            now_ms,
+        ) {
             return Err(VerifyError::Replayed);
         }
 
@@ -325,6 +392,55 @@ mod tests {
         let (_, verifier, _, sol) = setup(4);
         verifier.verify(&sol, ip()).unwrap();
         assert_eq!(verifier.verify(&sol, ip()), Err(VerifyError::Replayed));
+    }
+
+    #[test]
+    fn batch_verify_matches_sequential_and_marks_replays_in_order() {
+        let clock = ManualClock::at(1_000_000);
+        let issuer = Issuer::with_clock(&KEY, Arc::new(clock.clone()));
+        let verifier = Verifier::with_clock(&KEY, Arc::new(clock));
+        let other = IpAddr::V4(Ipv4Addr::new(192, 0, 2, 99));
+
+        let solve = |d: u8| {
+            let c = issuer.issue(ip(), Difficulty::new(d).unwrap());
+            solver::solve(&c, ip(), &SolverOptions::default())
+                .unwrap()
+                .solution
+        };
+        let a = solve(4);
+        let b = solve(2);
+        // valid, wrong-ip, valid, duplicate-of-first (intra-batch replay).
+        let submissions = vec![
+            (a.clone(), ip()),
+            (b.clone(), other),
+            (b.clone(), ip()),
+            (a.clone(), ip()),
+        ];
+        let outcomes = verifier.verify_batch(&submissions);
+        assert_eq!(outcomes.len(), 4);
+        let token = outcomes[0].as_ref().unwrap();
+        assert_eq!(token.client_ip, ip());
+        assert_eq!(token.verified_at_ms, 1_000_000);
+        assert_eq!(outcomes[1], Err(VerifyError::ClientMismatch));
+        assert!(outcomes[2].is_ok());
+        assert_eq!(outcomes[3], Err(VerifyError::Replayed));
+        // The batch consumed both seeds: later singles see replays.
+        assert_eq!(verifier.verify(&a, ip()), Err(VerifyError::Replayed));
+        assert_eq!(verifier.verify(&b, ip()), Err(VerifyError::Replayed));
+        // Empty batches are fine.
+        assert!(verifier.verify_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn prepared_verify_pins_the_clock_reading() {
+        let (_, verifier, clock, sol) = setup(2);
+        let prepared = verifier.prepare_at(clock.now_ms());
+        assert_eq!(prepared.now_ms(), 1_000_000);
+        // The wall clock races ahead past the TTL mid-batch; the prepared
+        // context still verifies at its pinned instant.
+        clock.advance(crate::issuer::DEFAULT_TTL_MS + 1);
+        let token = prepared.verify_one(&sol, ip()).unwrap();
+        assert_eq!(token.verified_at_ms, 1_000_000);
     }
 
     #[test]

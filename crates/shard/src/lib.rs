@@ -418,6 +418,47 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
         self.with_or_insert_with(key, init, update)
     }
 
+    /// Visits `items` grouped by shard, locking each touched shard
+    /// **once per call** regardless of how many items land on it — the
+    /// batched counterpart of the single-key operations, used by the
+    /// batch admission paths to amortize lock acquisitions across a
+    /// request group. Items are stably grouped, so two items for the
+    /// same key are visited in their original relative order; `f`
+    /// receives a [`ShardHandle`] exposing the same per-entry protocols
+    /// as the single-key methods (mutate-if-present, bounded-eviction
+    /// upsert) with the map's length and scan bookkeeping intact.
+    ///
+    /// Shards are locked one at a time (never two together), in
+    /// ascending shard-index order — the same no-nesting discipline as
+    /// every other operation on this map.
+    pub fn with_shards_grouped<T>(
+        &self,
+        items: Vec<(K, T)>,
+        mut f: impl FnMut(&mut ShardHandle<'_, K, V>, K, T),
+    ) {
+        let mut tagged: Vec<(usize, K, T)> = items
+            .into_iter()
+            .map(|(key, item)| (self.inner.shard_index(&key), key, item))
+            .collect();
+        // Stable: same-shard items keep their original relative order.
+        tagged.sort_by_key(|(index, _, _)| *index);
+        let mut iter = tagged.into_iter().peekable();
+        while let Some((index, key, item)) = iter.next() {
+            self.inner.with_index(index, |shard| {
+                let mut handle = ShardHandle {
+                    shard,
+                    len: &self.len,
+                    eviction_scanned: &self.eviction_scanned,
+                };
+                f(&mut handle, key, item);
+                while iter.peek().is_some_and(|(next, _, _)| *next == index) {
+                    let (_, key, item) = iter.next().expect("peeked");
+                    f(&mut handle, key, item);
+                }
+            });
+        }
+    }
+
     /// The production eviction protocol for capacity-bounded per-client
     /// tables (rate limiter, cost ledger, behavior recorder): runs
     /// `update` on the value under `key`, inserting `init()` first if
@@ -465,29 +506,12 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
     {
         let index = self.inner.shard_index(&key);
         self.inner.with_index(index, |shard| {
-            if let Some(value) = shard.get_mut(&key) {
-                return (update(value), false);
-            }
-            let mut evicted = false;
-            if shard.len() >= max_entries_per_shard.max(1) {
-                self.eviction_scanned
-                    .fetch_add(shard.len() as u64, Ordering::Relaxed);
-                let victim = shard
-                    .iter()
-                    .map(|(k, v)| (*k, policy.score(v)))
-                    .reduce(|best, cand| if cand.1 < best.1 { cand } else { best })
-                    .map(|(k, _)| k);
-                if let Some(victim) = victim {
-                    shard.remove(&victim);
-                    self.len.fetch_sub(1, Ordering::Relaxed);
-                    evicted = true;
-                }
-            }
-            let value = shard.entry(key).or_insert_with(|| {
-                self.len.fetch_add(1, Ordering::Relaxed);
-                init()
-            });
-            (update(value), evicted)
+            let mut handle = ShardHandle {
+                shard,
+                len: &self.len,
+                eviction_scanned: &self.eviction_scanned,
+            };
+            handle.update_or_insert_evicting(key, max_entries_per_shard, policy, init, update)
         })
     }
 
@@ -542,6 +566,67 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
 impl<K: Hash + Eq, V> Default for ShardedMap<K, V> {
     fn default() -> Self {
         Self::with_default_shards()
+    }
+}
+
+/// One locked shard of a [`ShardedMap`], handed to the callback of
+/// [`ShardedMap::with_shards_grouped`]. Exposes the per-entry protocols
+/// of the single-key methods while keeping the map's global length and
+/// scan counters exact — callers never touch the raw `HashMap`, so the
+/// bookkeeping invariants cannot be broken from outside.
+#[derive(Debug)]
+pub struct ShardHandle<'a, K, V> {
+    shard: &'a mut HashMap<K, V>,
+    len: &'a AtomicUsize,
+    eviction_scanned: &'a AtomicU64,
+}
+
+impl<K: Hash + Eq, V> ShardHandle<'_, K, V> {
+    /// Mutable access to the value under `key`, if present in this
+    /// shard. The batched counterpart of [`ShardedMap::with_mut`].
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.shard.get_mut(key)
+    }
+
+    /// The bounded-eviction upsert of
+    /// [`ShardedMap::update_or_insert_evicting_in_shard`], against this
+    /// already-locked shard: same victim choice, same own-key guarantee,
+    /// same scan accounting — minus the per-item lock acquisition.
+    pub fn update_or_insert_evicting<R, P: EvictionPolicy<V>>(
+        &mut self,
+        key: K,
+        max_entries_per_shard: usize,
+        policy: P,
+        init: impl FnOnce() -> V,
+        update: impl FnOnce(&mut V) -> R,
+    ) -> (R, bool)
+    where
+        K: Clone,
+    {
+        if let Some(value) = self.shard.get_mut(&key) {
+            return (update(value), false);
+        }
+        let mut evicted = false;
+        if self.shard.len() >= max_entries_per_shard.max(1) {
+            self.eviction_scanned
+                .fetch_add(self.shard.len() as u64, Ordering::Relaxed);
+            let victim = self
+                .shard
+                .iter()
+                .map(|(k, v)| (k, policy.score(v)))
+                .reduce(|best, cand| if cand.1 < best.1 { cand } else { best })
+                .map(|(k, _)| K::clone(k));
+            if let Some(victim) = victim {
+                self.shard.remove(&victim);
+                self.len.fetch_sub(1, Ordering::Relaxed);
+                evicted = true;
+            }
+        }
+        let value = self.shard.entry(key).or_insert_with(|| {
+            self.len.fetch_add(1, Ordering::Relaxed);
+            init()
+        });
+        (update(value), evicted)
     }
 }
 
@@ -731,6 +816,78 @@ mod tests {
         // ...and the retired global path is the only thing that does.
         map.update_or_insert_evicting(4, 2, |v| *v, || 4, |v| *v);
         assert_eq!(map.global_eviction_folds(), 1);
+    }
+
+    #[test]
+    fn grouped_visit_locks_each_shard_once_and_preserves_key_order() {
+        let map: ShardedMap<u32, Vec<u32>> = ShardedMap::new(4);
+        // Three items for key 7 interleaved with other keys: the stable
+        // grouping must apply them in original order.
+        let items: Vec<(u32, u32)> = vec![(7, 1), (3, 10), (7, 2), (5, 20), (7, 3)];
+        map.with_shards_grouped(items, |handle, key, item| {
+            let (_, evicted) = handle.update_or_insert_evicting(
+                key,
+                usize::MAX,
+                |_: &Vec<u32>| 0u64,
+                Vec::new,
+                |v| v.push(item),
+            );
+            assert!(!evicted);
+        });
+        assert_eq!(map.get_cloned(&7), Some(vec![1, 2, 3]));
+        assert_eq!(map.get_cloned(&3), Some(vec![10]));
+        assert_eq!(map.get_cloned(&5), Some(vec![20]));
+        assert_eq!(map.len(), 3);
+    }
+
+    #[test]
+    fn grouped_eviction_matches_single_key_semantics() {
+        // One shard: grouped upserts at capacity evict the minimum-score
+        // entry exactly as the single-key protocol does, and the length
+        // and scan counters stay exact.
+        let map: ShardedMap<u8, u64> = ShardedMap::new(1);
+        map.insert(1, 100);
+        map.insert(2, 5);
+        map.insert(3, 50);
+        let mut evictions = 0;
+        map.with_shards_grouped(vec![(4u8, 7u64), (1u8, 1u64)], |handle, key, value| {
+            let (_, evicted) =
+                handle.update_or_insert_evicting(key, 3, |v: &u64| *v, || value, |v| *v += value);
+            if evicted {
+                evictions += 1;
+            }
+        });
+        assert_eq!(evictions, 1);
+        assert_eq!(map.len(), 3);
+        assert_eq!(map.get_cloned(&2), None, "minimum-score entry evicted");
+        assert_eq!(map.get_cloned(&4), Some(14));
+        assert_eq!(
+            map.get_cloned(&1),
+            Some(101),
+            "existing key updated in place"
+        );
+        assert_eq!(map.eviction_scan_steps(), 3);
+        assert_eq!(map.global_eviction_folds(), 0);
+    }
+
+    #[test]
+    fn grouped_get_mut_updates_only_existing_entries() {
+        let map: ShardedMap<u8, u64> = ShardedMap::new(2);
+        map.insert(1, 10);
+        let mut missing = 0;
+        map.with_shards_grouped(vec![(1u8, ()), (9u8, ())], |handle, key, ()| {
+            match handle.get_mut(&key) {
+                Some(v) => *v += 1,
+                None => missing += 1,
+            }
+        });
+        assert_eq!(map.get_cloned(&1), Some(11));
+        assert_eq!(missing, 1);
+        assert_eq!(map.len(), 1);
+        // An empty batch is a no-op.
+        map.with_shards_grouped(Vec::<(u8, ())>::new(), |_, _, ()| {
+            panic!("callback on empty batch")
+        });
     }
 
     #[test]
