@@ -1,0 +1,156 @@
+//! `aipow-analyze` — the workspace invariant lint and model-checker
+//! self-test CLI. See `lib.rs` for the rules and DESIGN.md §11 for the
+//! rationale.
+//!
+//! Modes:
+//! - `--check` (default): scan the workspace, subtract the committed
+//!   baseline, exit non-zero on any new violation;
+//! - `--update-baseline`: rewrite `crates/analyze/baseline.txt` from
+//!   the current findings;
+//! - `--self-test`: re-apply the PR 4 and PR 5 concurrency regressions
+//!   against the vendored model checker and require it to find both;
+//! - `--root <dir>`: override the workspace root (defaults to this
+//!   crate's grandparent directory).
+
+#![forbid(unsafe_code)]
+
+use aipow_analyze::{scan_workspace, selftest, Baseline};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const BASELINE_REL: &str = "crates/analyze/baseline.txt";
+
+enum Mode {
+    Check,
+    UpdateBaseline,
+    SelfTest,
+}
+
+fn main() -> ExitCode {
+    let mut mode = Mode::Check;
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => mode = Mode::Check,
+            "--update-baseline" => mode = Mode::UpdateBaseline,
+            "--self-test" => mode = Mode::SelfTest,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("aipow-analyze: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "aipow-analyze: unknown argument `{other}`\n\
+                     usage: aipow-analyze [--check | --update-baseline | --self-test] \
+                     [--root <dir>]"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.canonicalize() {
+        Ok(root) => root,
+        Err(err) => {
+            eprintln!(
+                "aipow-analyze: cannot resolve root {}: {err}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    match mode {
+        Mode::SelfTest => {
+            loom::install_panic_hook();
+            let cases = selftest::run();
+            let mut failed = 0usize;
+            for case in &cases {
+                let verdict = if case.ok { "ok" } else { "FAILED" };
+                println!("self-test: {:<36} {verdict}", case.name);
+                for line in case.detail.lines() {
+                    println!("    {line}");
+                }
+                if !case.ok {
+                    failed += 1;
+                }
+            }
+            if failed > 0 {
+                eprintln!(
+                    "aipow-analyze: self-test FAILED — the model checker missed \
+                     {failed} seeded regression(s)"
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "aipow-analyze: self-test passed — {} case(s), both seeded \
+                 regressions found, both fixed protocols exhaustively verified",
+                cases.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Mode::UpdateBaseline => {
+            let violations = match scan_workspace(&root) {
+                Ok(violations) => violations,
+                Err(err) => {
+                    eprintln!("aipow-analyze: scan failed: {err}");
+                    return ExitCode::from(2);
+                }
+            };
+            let baseline_path = root.join(BASELINE_REL);
+            if let Err(err) = std::fs::write(&baseline_path, Baseline::render(&violations)) {
+                eprintln!(
+                    "aipow-analyze: cannot write {}: {err}",
+                    baseline_path.display()
+                );
+                return ExitCode::from(2);
+            }
+            println!(
+                "aipow-analyze: baseline updated — {} accepted violation(s) written to {}",
+                violations.len(),
+                BASELINE_REL
+            );
+            ExitCode::SUCCESS
+        }
+        Mode::Check => {
+            let violations = match scan_workspace(&root) {
+                Ok(violations) => violations,
+                Err(err) => {
+                    eprintln!("aipow-analyze: scan failed: {err}");
+                    return ExitCode::from(2);
+                }
+            };
+            let baseline = match std::fs::read_to_string(root.join(BASELINE_REL)) {
+                Ok(content) => Baseline::parse(&content),
+                Err(_) => Baseline::default(),
+            };
+            let total = violations.len();
+            let (fresh, suppressed, stale) = baseline.apply(violations);
+            if stale > 0 {
+                eprintln!(
+                    "aipow-analyze: warning: {stale} stale baseline entr(y/ies) no longer \
+                     match any finding — run --update-baseline to prune"
+                );
+            }
+            if fresh.is_empty() {
+                println!(
+                    "aipow-analyze: clean — {total} finding(s), {suppressed} baselined, 0 new"
+                );
+                return ExitCode::SUCCESS;
+            }
+            for violation in &fresh {
+                println!("{violation}");
+            }
+            eprintln!(
+                "aipow-analyze: {} new violation(s) ({suppressed} baselined). Fix them, \
+                 justify inline with `// lint:allow(<rule>) <reason>`, or (for accepted \
+                 debt) run --update-baseline.",
+                fresh.len()
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

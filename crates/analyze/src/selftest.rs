@@ -1,0 +1,248 @@
+//! Mutation self-test for the concurrency model checker.
+//!
+//! The lint can only be trusted if the model checker it leans on
+//! actually finds the bugs this repo has historically shipped. This
+//! module re-applies two of them as in-memory protocol mutations built
+//! directly on the vendored `loom` shims, and asserts the checker
+//! reports each — alongside the fixed protocol passing with a complete
+//! (exhaustive) exploration:
+//!
+//! - **PR 4** evict/refund race: the retired global-scan eviction
+//!   checked `len() >= max_entries` *outside* the shard lock, so two
+//!   racing inserters could both pass the check and overshoot the
+//!   capacity bound. The fix holds check + evict + insert under one
+//!   lock.
+//! - **PR 5** batch sequence reservation: reserving a batch's audit
+//!   sequence range with a `load` followed by a `store` hands two
+//!   racing batches the same base, producing duplicate sequence
+//!   numbers. The fix reserves with a single `fetch_add(n)`.
+//!
+//! Built on the shims directly — NOT via the production crates'
+//! `loom-model` features — so depending on `aipow-analyze` never
+//! feature-unifies the shims into production builds (see this crate's
+//! Cargo.toml).
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One self-test case's outcome.
+#[derive(Debug)]
+pub struct CaseResult {
+    /// Case label, e.g. `pr4-evict-race (buggy)`.
+    pub name: &'static str,
+    /// Whether the checker behaved as required (found the seeded bug,
+    /// or exhaustively passed the fixed protocol).
+    pub ok: bool,
+    /// What happened, including the interleaving trace for found bugs.
+    pub detail: String,
+}
+
+/// A small bounded map mirroring the shape of `ShardedMap`'s eviction:
+/// entries under a mutex, a lock-free length counter beside it.
+struct BoundedMap {
+    entries: Mutex<HashMap<u8, u64>>,
+    len: AtomicU64,
+    capacity: u64,
+}
+
+impl BoundedMap {
+    fn new(capacity: u64) -> Self {
+        BoundedMap {
+            entries: Mutex::new(HashMap::new()),
+            len: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    fn len(&self) -> u64 {
+        // relaxed: the model treats every ordering as SeqCst; this
+        // mirrors the production counter's ordering.
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// The PR 4 bug, re-applied: capacity check on the lock-free
+    /// counter BEFORE taking the lock — two racing inserters can both
+    /// pass it.
+    fn insert_buggy(&self, key: u8, value: u64) {
+        if self.len() >= self.capacity {
+            let mut entries = self.entries.lock();
+            if let Some(victim) = entries.keys().next().copied() {
+                entries.remove(&victim);
+                self.len.fetch_sub(1, Ordering::Relaxed); // relaxed: SeqCst in the model
+            }
+            entries.insert(key, value);
+            self.len.fetch_add(1, Ordering::Relaxed); // relaxed: SeqCst in the model
+        } else {
+            // Both racers take this arm: the check above ran before
+            // either had inserted.
+            self.entries.lock().insert(key, value);
+            self.len.fetch_add(1, Ordering::Relaxed); // relaxed: SeqCst in the model
+        }
+    }
+
+    /// The PR 4 fix: check, evict, and insert under one lock; the
+    /// counter is only ever adjusted while holding it.
+    fn insert_fixed(&self, key: u8, value: u64) {
+        let mut entries = self.entries.lock();
+        if entries.len() as u64 >= self.capacity {
+            if let Some(victim) = entries.keys().next().copied() {
+                entries.remove(&victim);
+                self.len.fetch_sub(1, Ordering::Relaxed); // relaxed: SeqCst in the model
+            }
+        }
+        entries.insert(key, value);
+        self.len.fetch_add(1, Ordering::Relaxed); // relaxed: SeqCst in the model
+    }
+}
+
+fn run_bounded_map_case(
+    name: &'static str,
+    expect_bug: bool,
+    insert: fn(&BoundedMap, u8, u64),
+) -> CaseResult {
+    let result = loom::Builder::new().try_check(move || {
+        let map = Arc::new(BoundedMap::new(1));
+        let other = Arc::clone(&map);
+        let racer = loom::thread::spawn(move || insert(&other, 2, 20));
+        insert(&map, 1, 10);
+        racer.join().expect("model thread join: invariant");
+        let len = map.entries.lock().len() as u64;
+        assert!(len <= 1, "capacity overshoot: {len} entries, bound 1");
+        assert_eq!(map.len(), len, "length counter drifted from contents");
+    });
+    grade(name, expect_bug, result)
+}
+
+/// A minimal audit-log sequence reservation: each batch of `n` events
+/// reserves `n` consecutive sequence numbers.
+fn reserve_buggy(seq: &AtomicU64, n: u64) -> u64 {
+    // The PR 5 bug, re-applied: load-then-store lets two racing
+    // batches read the same base.
+    // relaxed: the model treats every ordering as SeqCst.
+    let base = seq.load(Ordering::Relaxed);
+    seq.store(base + n, Ordering::Relaxed); // relaxed: SeqCst in the model
+    base
+}
+
+fn reserve_fixed(seq: &AtomicU64, n: u64) -> u64 {
+    // relaxed: the model treats every ordering as SeqCst.
+    seq.fetch_add(n, Ordering::Relaxed)
+}
+
+fn run_seq_case(
+    name: &'static str,
+    expect_bug: bool,
+    reserve: fn(&AtomicU64, u64) -> u64,
+) -> CaseResult {
+    let result = loom::Builder::new().try_check(move || {
+        let seq = Arc::new(AtomicU64::new(0));
+        let other = Arc::clone(&seq);
+        let racer = loom::thread::spawn(move || reserve(&other, 2));
+        let mine = reserve(&seq, 2);
+        let theirs = racer.join().expect("model thread join: invariant");
+        let mut seqs = vec![mine, mine + 1, theirs, theirs + 1];
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(
+            seqs.len(),
+            4,
+            "duplicate sequence numbers across racing batches \
+             (bases {mine} and {theirs})"
+        );
+        // relaxed: the model treats every ordering as SeqCst.
+        assert_eq!(seq.load(Ordering::Relaxed), 4, "reservations lost");
+    });
+    grade(name, expect_bug, result)
+}
+
+fn grade(
+    name: &'static str,
+    expect_bug: bool,
+    result: Result<loom::Report, loom::Failure>,
+) -> CaseResult {
+    match (expect_bug, result) {
+        (true, Err(failure)) => CaseResult {
+            name,
+            ok: true,
+            detail: format!(
+                "checker found the seeded bug after {} schedule(s):\n{}",
+                failure.iterations, failure.message
+            ),
+        },
+        (true, Ok(report)) => CaseResult {
+            name,
+            ok: false,
+            detail: format!(
+                "checker MISSED the seeded bug ({} schedules explored, complete={})",
+                report.iterations, report.complete
+            ),
+        },
+        (false, Ok(report)) => CaseResult {
+            name,
+            ok: report.complete,
+            detail: if report.complete {
+                format!(
+                    "fixed protocol passed all {} schedules (exhaustive)",
+                    report.iterations
+                )
+            } else {
+                format!(
+                    "fixed protocol passed {} schedules but exploration was \
+                     truncated — raise the iteration cap",
+                    report.iterations
+                )
+            },
+        },
+        (false, Err(failure)) => CaseResult {
+            name,
+            ok: false,
+            detail: format!("fixed protocol unexpectedly failed:\n{failure}"),
+        },
+    }
+}
+
+/// Runs all self-test cases. Returns the per-case outcomes; the CLI
+/// fails if any `ok` is false.
+pub fn run() -> Vec<CaseResult> {
+    vec![
+        run_bounded_map_case(
+            "pr4-evict-race (buggy protocol)",
+            true,
+            BoundedMap::insert_buggy,
+        ),
+        run_bounded_map_case(
+            "pr4-evict-race (fixed protocol)",
+            false,
+            BoundedMap::insert_fixed,
+        ),
+        run_seq_case("pr5-seq-reservation (buggy protocol)", true, reserve_buggy),
+        run_seq_case("pr5-seq-reservation (fixed protocol)", false, reserve_fixed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_cases_pass() {
+        for case in run() {
+            assert!(case.ok, "{}: {}", case.name, case.detail);
+        }
+    }
+
+    #[test]
+    fn buggy_cases_report_interleaving_traces() {
+        let cases = run();
+        for case in cases.iter().filter(|c| c.name.contains("buggy")) {
+            assert!(
+                case.detail.contains("interleaving:"),
+                "{} detail missing trace:\n{}",
+                case.name,
+                case.detail
+            );
+        }
+    }
+}

@@ -1,6 +1,8 @@
 //! The `aipow` command-line binary; logic lives in the library so it stays
 //! unit-testable.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if let Err(e) = aipow_cli::dispatch(&raw) {

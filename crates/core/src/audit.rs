@@ -4,12 +4,12 @@
 //! they were. The log keeps the most recent `capacity` events in memory;
 //! persistence is the embedder's concern.
 
+use crate::sync::{AtomicU64, Ordering};
 use aipow_pow::Difficulty;
 use aipow_reputation::ReputationScore;
 use aipow_shard::{default_shard_count, floor_shards, round_shards, Sharded};
 use std::collections::VecDeque;
 use std::net::IpAddr;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// What happened in one admission step.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,7 +128,9 @@ impl AuditLog {
     /// merge in [`snapshot`](AuditLog::snapshot) restores exact order for
     /// everything retained.
     pub fn record(&self, at_ms: u64, client_ip: IpAddr, kind: AuditKind) {
-        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        // AcqRel: reservations form one total order; pairs with the
+        // Acquire in recorded() so a observed count covers its events
+        let seq = self.seq.fetch_add(1, Ordering::AcqRel);
         let event = AuditEvent {
             at_ms,
             client_ip,
@@ -155,7 +157,8 @@ impl AuditLog {
         if n == 0 {
             return;
         }
-        let base = self.seq.fetch_add(n as u64, Ordering::Relaxed);
+        // AcqRel: see record() — one RMW reserves the whole batch range
+        let base = self.seq.fetch_add(n as u64, Ordering::AcqRel);
         let shards = self.shards.shard_count();
         let mut events: Vec<Option<AuditEvent>> = events.into_iter().map(Some).collect();
         for offset in 0..shards.min(n) {
@@ -166,7 +169,9 @@ impl AuditLog {
                         if ring.len() == self.per_shard {
                             ring.pop_front();
                         }
-                        let event = events[i].take().expect("each slot visited once");
+                        let event = events[i]
+                            .take()
+                            .expect("batch invariant: each slot is visited exactly once");
                         ring.push_back((base + i as u64, event));
                         i += shards;
                     }
@@ -194,7 +199,8 @@ impl AuditLog {
 
     /// Number of events ever recorded (retained or evicted).
     pub fn recorded(&self) -> u64 {
-        self.seq.load(Ordering::Relaxed)
+        // Acquire: pairs with the AcqRel seq reservations
+        self.seq.load(Ordering::Acquire)
     }
 
     /// Whether the log is empty.

@@ -5,9 +5,9 @@
 //! the cumulative *expected work* (hash evaluations) each client has been
 //! charged, which is the quantity the DDoS experiment (claim C5) reports.
 
+use crate::sync::{AtomicU64, Ordering};
 use aipow_shard::{EvictionPolicy, ShardLayout, ShardedMap, DEFAULT_MAX_SCAN};
 use std::net::IpAddr;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The ledger's eviction policy: the cheapest account goes first, so
 /// heavy hitters — the clients the DDoS experiment reports on — are
@@ -124,6 +124,8 @@ impl CostLedger {
 
     /// Accounts evicted by the capacity bound since construction.
     pub fn evictions(&self) -> u64 {
+        // relaxed: monitoring read of a stats counter; freshness not
+        // required
         self.evicted.load(Ordering::Relaxed)
     }
 
@@ -164,6 +166,8 @@ impl CostLedger {
             |cost| *cost += expected_work,
         );
         if evicted {
+            // relaxed: monotonic stats counter; incremented under the
+            // shard lock
             self.evicted.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -199,6 +203,8 @@ impl CostLedger {
             }
         });
         if evictions > 0 {
+            // relaxed: monotonic stats counter; incremented under the
+            // shard lock
             self.evicted.fetch_add(evictions, Ordering::Relaxed);
         }
     }
@@ -214,7 +220,10 @@ impl CostLedger {
             acc.push((*k, *v));
             acc
         });
-        entries.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN costs"));
+        entries.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("cost invariant: ledger costs are never NaN")
+        });
         entries.truncate(n);
         entries
     }

@@ -105,8 +105,10 @@ impl FeatureSource for SyntheticFeatureSource {
             IpAddr::V4(v4) => u32::from(v4) as u64,
             IpAddr::V6(v6) => {
                 let o = v6.octets();
-                u64::from_be_bytes(o[..8].try_into().expect("8 bytes"))
-                    ^ u64::from_be_bytes(o[8..].try_into().expect("8 bytes"))
+                u64::from_be_bytes(o[..8].try_into().expect("slice-length invariant: 8 bytes"))
+                    ^ u64::from_be_bytes(
+                        o[8..].try_into().expect("slice-length invariant: 8 bytes"),
+                    )
             }
         };
         let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);

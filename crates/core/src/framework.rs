@@ -4,6 +4,7 @@ use crate::audit::AuditLog;
 use crate::cost::CostLedger;
 use crate::metrics::FrameworkMetrics;
 use crate::pipeline::{self, RequestCtx, SolutionCtx};
+use crate::sync::{AtomicBool, AtomicU64, OnceLock, Ordering, RwLock};
 use crate::tap::BehaviorSink;
 use aipow_policy::Policy;
 use aipow_pow::replay::ReplayGuard;
@@ -13,10 +14,8 @@ use aipow_pow::{
 };
 use aipow_reputation::{FeatureVector, ReputationModel, ReputationScore};
 use core::fmt;
-use parking_lot::RwLock;
 use std::net::IpAddr;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 /// A challenge issued by the pipeline, with its provenance.
 #[derive(Debug, Clone)]
@@ -385,7 +384,7 @@ impl Framework {
         batch[0]
             .decision
             .take()
-            .expect("chain settles every request")
+            .expect("pipeline invariant: the request chain settles every ctx")
     }
 
     /// The batched form of [`handle_request`](Self::handle_request):
@@ -414,11 +413,10 @@ impl Framework {
                 .map(|&(ip, features)| RequestCtx::new(ip, features))
                 .collect();
             pipeline::run_request_chain(self, now_ms, &mut batch);
-            decisions.extend(
-                batch
-                    .into_iter()
-                    .map(|ctx| ctx.decision.expect("chain settles every request")),
-            );
+            decisions.extend(batch.into_iter().map(|ctx| {
+                ctx.decision
+                    .expect("pipeline invariant: the request chain settles every ctx")
+            }));
         }
         decisions
     }
@@ -440,7 +438,10 @@ impl Framework {
         let now_ms = self.clock.now_ms();
         let mut batch = [SolutionCtx::new(solution, claimed_ip)];
         pipeline::run_solution_chain(self, now_ms, &mut batch);
-        batch[0].outcome.take().expect("verify stage ran")
+        batch[0]
+            .outcome
+            .take()
+            .expect("pipeline invariant: the verify stage settles every solution")
     }
 
     /// The batched form of [`handle_solution`](Self::handle_solution):
@@ -463,11 +464,10 @@ impl Framework {
                 .map(|&(solution, ip)| SolutionCtx::new(solution, ip))
                 .collect();
             pipeline::run_solution_chain(self, now_ms, &mut batch);
-            outcomes.extend(
-                batch
-                    .into_iter()
-                    .map(|ctx| ctx.outcome.expect("verify stage ran")),
-            );
+            outcomes.extend(batch.into_iter().map(|ctx| {
+                ctx.outcome
+                    .expect("pipeline invariant: the verify stage settles every solution")
+            }));
         }
         outcomes
     }
@@ -486,27 +486,32 @@ impl Framework {
             load.clamp(0.0, 1.0)
         };
         self.load_millis
-            .store((clamped * 1_000.0) as u64, Ordering::Relaxed);
+            // Release: publishes the gauge to concurrent admission reads
+            .store((clamped * 1_000.0) as u64, Ordering::Release);
     }
 
     /// The last published load.
     pub fn load(&self) -> f64 {
-        self.load_millis.load(Ordering::Relaxed) as f64 / 1_000.0
+        // Acquire: pairs with the Release in set_load()
+        self.load_millis.load(Ordering::Acquire) as f64 / 1_000.0
     }
 
     /// Declares (or clears) an active attack for adaptive policies.
     pub fn set_under_attack(&self, attacked: bool) {
-        self.under_attack.store(attacked, Ordering::Relaxed);
+        // Release: publishes the flag to concurrent pipeline snapshots
+        self.under_attack.store(attacked, Ordering::Release);
     }
 
     /// Replaces the policy at runtime (paper property 2: the inflicted
     /// work is tunable).
     pub fn swap_policy(&self, policy: Box<dyn Policy>) {
+        // lint:allow(admission-lock) read-mostly global policy swap, not per-client state
         *self.policy.write() = policy;
     }
 
     /// Name of the active policy.
     pub fn policy_name(&self) -> String {
+        // lint:allow(admission-lock) read-mostly global policy, not per-client state
         self.policy.read().name().to_string()
     }
 
@@ -581,6 +586,7 @@ impl fmt::Debug for Framework {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Framework")
             .field("model", &self.model.name())
+            // lint:allow(admission-lock) read-mostly global policy, Debug only
             .field("policy", &self.policy.read().name())
             .field("load", &self.load())
             .finish_non_exhaustive()

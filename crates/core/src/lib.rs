@@ -72,6 +72,23 @@ pub mod sharded {
 pub mod tap;
 pub mod token_bucket;
 
+/// The crate's synchronization primitives. Under the `loom-model`
+/// feature (tests only, never production builds) they swap to the
+/// vendored `loom` shims so the model checker can explore the
+/// interleavings of the admission path's atomics, the policy
+/// `RwLock`, and the write-once sink publication.
+#[cfg(not(feature = "loom-model"))]
+pub(crate) mod sync {
+    pub(crate) use parking_lot::RwLock;
+    pub(crate) use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    pub(crate) use std::sync::OnceLock;
+}
+#[cfg(feature = "loom-model")]
+pub(crate) mod sync {
+    pub(crate) use loom::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    pub(crate) use loom::sync::{OnceLock, RwLock};
+}
+
 pub use audit::{AuditEvent, AuditKind, AuditLog};
 pub use config::{FrameworkConfig, OnlineSettings};
 pub use controller::{LoadController, LoadSignal};

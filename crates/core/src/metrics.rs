@@ -1,9 +1,9 @@
 //! Framework-level operational metrics.
 
+use crate::sync::{AtomicU64, Ordering};
 use aipow_metrics::{Counter, Gauge};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The verifier's stable rejection labels (see
 /// `framework::reason_label`), plus a catch-all. Indexing a fixed array
@@ -42,6 +42,8 @@ impl RejectionCounts {
             .iter()
             .position(|r| *r == reason)
             .unwrap_or(REJECT_REASONS.len() - 1);
+        // relaxed: monotonic stats counter; snapshot tolerates cross-
+        // counter skew
         self.counts[idx].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -51,6 +53,7 @@ impl RejectionCounts {
             .iter()
             .zip(self.counts.iter())
             .filter_map(|(label, count)| {
+                // relaxed: monitoring read; counters are independent
                 let n = count.load(Ordering::Relaxed);
                 (n > 0).then(|| (label.to_string(), n))
             })
@@ -102,9 +105,11 @@ impl Default for StageTimers {
 impl StageTimers {
     fn record(&self, stage: usize, items: u64, nanos: u64) {
         let idx = stage.min(STAGE_NAMES.len() - 1);
+        // relaxed: monotonic stats counters; snapshot tolerates cross-
+        // counter skew
         self.batches[idx].fetch_add(1, Ordering::Relaxed);
-        self.items[idx].fetch_add(items, Ordering::Relaxed);
-        self.nanos[idx].fetch_add(nanos, Ordering::Relaxed);
+        self.items[idx].fetch_add(items, Ordering::Relaxed); // relaxed: as above
+        self.nanos[idx].fetch_add(nanos, Ordering::Relaxed); // relaxed: as above
     }
 
     /// Stages that have run at least once, in chain order.
@@ -113,12 +118,14 @@ impl StageTimers {
             .iter()
             .enumerate()
             .filter_map(|(i, name)| {
+                // relaxed: monitoring reads; a snapshot is allowed to
+                // straddle updates
                 let batches = self.batches[i].load(Ordering::Relaxed);
                 (batches > 0).then(|| StageTiming {
                     stage: name.to_string(),
                     batches,
-                    items: self.items[i].load(Ordering::Relaxed),
-                    total_ns: self.nanos[i].load(Ordering::Relaxed),
+                    items: self.items[i].load(Ordering::Relaxed), // relaxed: as above
+                    total_ns: self.nanos[i].load(Ordering::Relaxed), // relaxed: as above
                 })
             })
             .collect()
@@ -159,6 +166,7 @@ impl Default for DifficultyBuckets {
 
 impl DifficultyBuckets {
     fn record(&self, bits: u8) {
+        // relaxed: monotonic histogram bucket; readers tolerate lag
         self.counts[(bits as usize).min(64)].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -167,6 +175,7 @@ impl DifficultyBuckets {
         let loaded: Vec<u64> = self
             .counts
             .iter()
+            // relaxed: monitoring read; buckets are independent
             .map(|c| c.load(Ordering::Relaxed))
             .collect();
         let total: u64 = loaded.iter().sum();
@@ -190,6 +199,7 @@ impl DifficultyBuckets {
             .iter()
             .enumerate()
             .rev()
+            // relaxed: monitoring read; buckets are independent
             .find(|(_, c)| c.load(Ordering::Relaxed) > 0)
             .map(|(bits, _)| bits as u64)
             .unwrap_or(0)

@@ -57,13 +57,13 @@
 //! two paths.
 
 use crate::framework::{AdmissionDecision, Framework, IssuedChallenge};
+use crate::sync::Ordering;
 use crate::tap::{RequestObservation, SolutionObservation};
 use crate::AuditKind;
 use aipow_policy::PolicyContext;
 use aipow_pow::{Difficulty, Solution, VerifiedToken, VerifyError};
 use aipow_reputation::{FeatureVector, ReputationScore};
 use std::net::IpAddr;
-use std::sync::atomic::Ordering;
 use std::time::Instant;
 
 /// Slots into [`crate::metrics::STAGE_NAMES`] for the request chain.
@@ -266,9 +266,11 @@ impl AdmissionStage<RequestCtx<'_>> for PolicyStage {
         }
         let policy_ctx = PolicyContext {
             server_load: fw.load(),
-            under_attack: fw.under_attack.load(Ordering::Relaxed),
+            // Acquire: pairs with the Release in set_under_attack()
+            under_attack: fw.under_attack.load(Ordering::Acquire),
             now_ms,
         };
+        // lint:allow(admission-lock) one read of the read-mostly global policy per batch
         let policy = fw.policy.read();
         let mut evaluated = 0;
         for ctx in batch.iter_mut().filter(|ctx| ctx.decision.is_none()) {
@@ -303,8 +305,10 @@ impl AdmissionStage<RequestCtx<'_>> for IssueStage {
                 let ctx = batch
                     .iter_mut()
                     .find(|ctx| ctx.decision.is_none())
-                    .expect("one pending context");
-                let difficulty = ctx.difficulty.expect("policy stage ran");
+                    .expect("batch invariant: one pending context remains");
+                let difficulty = ctx
+                    .difficulty
+                    .expect("stage-order invariant: the policy stage ran first");
                 let challenge = fw.issuer.issue_at(ctx.client_ip, difficulty, now_ms);
                 ctx.decision = Some(AdmissionDecision::Challenge(IssuedChallenge {
                     challenge,
@@ -316,13 +320,23 @@ impl AdmissionStage<RequestCtx<'_>> for IssueStage {
                 let requests: Vec<(IpAddr, Difficulty)> = batch
                     .iter()
                     .filter(|ctx| ctx.decision.is_none())
-                    .map(|ctx| (ctx.client_ip, ctx.difficulty.expect("policy stage ran")))
+                    .map(|ctx| {
+                        (
+                            ctx.client_ip,
+                            ctx.difficulty
+                                .expect("stage-order invariant: the policy stage ran first"),
+                        )
+                    })
                     .collect();
                 let challenges = fw.issuer.issue_batch_at(&requests, now_ms);
                 let mut challenges = challenges.into_iter();
                 for ctx in batch.iter_mut().filter(|ctx| ctx.decision.is_none()) {
-                    let challenge = challenges.next().expect("one challenge per pending");
-                    let difficulty = ctx.difficulty.expect("policy stage ran");
+                    let challenge = challenges
+                        .next()
+                        .expect("issuer invariant: one challenge per pending request");
+                    let difficulty = ctx
+                        .difficulty
+                        .expect("stage-order invariant: the policy stage ran first");
                     ctx.decision = Some(AdmissionDecision::Challenge(IssuedChallenge {
                         challenge,
                         score: ctx.score,
@@ -355,7 +369,11 @@ impl AdmissionStage<RequestCtx<'_>> for RequestTelemetryStage {
     fn run(&self, fw: &Framework, now_ms: u64, batch: &mut [RequestCtx<'_>]) -> usize {
         if let [ctx] = batch {
             // Sequential fast path: no observation buffers.
-            match ctx.decision.as_ref().expect("chain settles every request") {
+            match ctx
+                .decision
+                .as_ref()
+                .expect("pipeline invariant: the request chain settles every ctx")
+            {
                 AdmissionDecision::Admit { score } => {
                     fw.metrics().bypassed.inc();
                     fw.audit()
@@ -393,7 +411,11 @@ impl AdmissionStage<RequestCtx<'_>> for RequestTelemetryStage {
         let mut observations = Vec::with_capacity(batch.len());
         let mut issued_bits: Vec<u8> = Vec::with_capacity(batch.len());
         for ctx in batch.iter() {
-            match ctx.decision.as_ref().expect("chain settles every request") {
+            match ctx
+                .decision
+                .as_ref()
+                .expect("pipeline invariant: the request chain settles every ctx")
+            {
                 AdmissionDecision::Admit { score } => {
                     bypassed += 1;
                     audit_events.push(crate::AuditEvent {
@@ -485,7 +507,7 @@ impl AdmissionStage<SolutionCtx<'_>> for ChargeStage {
         let mut accepted = batch.iter().filter_map(|ctx| {
             ctx.outcome
                 .as_ref()
-                .expect("verify stage ran")
+                .expect("pipeline invariant: the verify stage settles every solution")
                 .as_ref()
                 .ok()
                 .map(|token| (ctx.claimed_ip, token.difficulty.expected_attempts()))
@@ -527,7 +549,11 @@ impl AdmissionStage<SolutionCtx<'_>> for SolutionTelemetryStage {
 
     fn run(&self, fw: &Framework, now_ms: u64, batch: &mut [SolutionCtx<'_>]) -> usize {
         if let [ctx] = batch {
-            match ctx.outcome.as_ref().expect("verify stage ran") {
+            match ctx
+                .outcome
+                .as_ref()
+                .expect("pipeline invariant: the verify stage settles every solution")
+            {
                 Ok(token) => {
                     fw.metrics().solutions_accepted.inc();
                     fw.audit().record(
@@ -562,7 +588,11 @@ impl AdmissionStage<SolutionCtx<'_>> for SolutionTelemetryStage {
         let mut audit_events = Vec::with_capacity(batch.len());
         let mut observations = Vec::with_capacity(batch.len());
         for ctx in batch.iter() {
-            match ctx.outcome.as_ref().expect("verify stage ran") {
+            match ctx
+                .outcome
+                .as_ref()
+                .expect("pipeline invariant: the verify stage settles every solution")
+            {
                 Ok(token) => {
                     accepted += 1;
                     audit_events.push(crate::AuditEvent {

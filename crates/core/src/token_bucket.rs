@@ -5,9 +5,9 @@
 //! client cannot spam challenge requests it never intends to solve (each
 //! issued challenge costs the server an HMAC plus a replay-cache slot).
 
+use crate::sync::{AtomicU64, Ordering};
 use aipow_shard::{EvictionPolicy, ShardLayout, ShardedMap, DEFAULT_MAX_SCAN};
 use std::net::IpAddr;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A single token bucket over a millisecond clock.
 ///
@@ -222,6 +222,8 @@ impl RateLimiter {
 
     /// Buckets evicted by the capacity bound since construction.
     pub fn evictions(&self) -> u64 {
+        // relaxed: monitoring read of a stats counter; freshness not
+        // required
         self.evicted.load(Ordering::Relaxed)
     }
 
@@ -257,6 +259,8 @@ impl RateLimiter {
             |b| b.try_acquire(now_ms),
         );
         if evicted {
+            // relaxed: monotonic stats counter; incremented under the
+            // shard lock
             self.evicted.fetch_add(1, Ordering::Relaxed);
         }
         granted

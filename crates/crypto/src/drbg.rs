@@ -81,7 +81,7 @@ impl HmacDrbg {
     pub fn generate_seed16(&mut self) -> [u8; 16] {
         self.generate(16)
             .try_into()
-            .expect("generate returned exactly 16 bytes")
+            .expect("DRBG invariant: generate(16) returns exactly 16 bytes")
     }
 
     /// Produces `n` 16-byte seeds from a single generate request.
@@ -99,14 +99,22 @@ impl HmacDrbg {
         let bytes = self.generate(16 * n);
         bytes
             .chunks_exact(16)
-            .map(|chunk| chunk.try_into().expect("16-byte chunk"))
+            .map(|chunk| {
+                chunk
+                    .try_into()
+                    .expect("chunks_exact invariant: every chunk is 16 bytes")
+            })
             .collect()
     }
 
     /// Produces a u64, useful for deriving per-stream RNG seeds.
     pub fn generate_u64(&mut self) -> u64 {
         let bytes = self.generate(8);
-        u64::from_be_bytes(bytes.try_into().expect("8 bytes"))
+        u64::from_be_bytes(
+            bytes
+                .try_into()
+                .expect("DRBG invariant: generate(8) returns exactly 8 bytes"),
+        )
     }
 }
 

@@ -93,8 +93,9 @@ pub fn derive(
 /// for the common key-separation case.
 pub fn derive_key32(master: &[u8], label: &str) -> [u8; 32] {
     let prk = extract(b"aipow/v1", master);
-    let out = expand(&prk, label.as_bytes(), 32).expect("32 <= MAX_OUTPUT_LEN");
-    out.try_into().expect("expand returned exactly 32 bytes")
+    let out = expand(&prk, label.as_bytes(), 32).expect("length invariant: 32 <= MAX_OUTPUT_LEN");
+    out.try_into()
+        .expect("HKDF invariant: expand(.., 32) returns exactly 32 bytes")
 }
 
 #[cfg(test)]

@@ -157,7 +157,11 @@ impl Digest {
     /// fractional-difficulty ("target") extension of the puzzle module, where
     /// a solution must satisfy `prefix_u64 <= target`.
     pub fn prefix_u64(&self) -> u64 {
-        u64::from_be_bytes(self.0[..8].try_into().expect("32 >= 8"))
+        u64::from_be_bytes(
+            self.0[..8]
+                .try_into()
+                .expect("digest-length invariant: 32 >= 8"),
+        )
     }
 
     /// Lowercase hex representation (64 characters).
@@ -269,7 +273,12 @@ impl Sha256 {
         // Whole blocks straight from the input.
         while rest.len() >= 64 {
             let (block, tail) = rest.split_at(64);
-            compress(&mut self.state, block.try_into().expect("64-byte block"));
+            compress(
+                &mut self.state,
+                block
+                    .try_into()
+                    .expect("split_at invariant: the block is exactly 64 bytes"),
+            );
             rest = tail;
         }
 
@@ -354,7 +363,9 @@ impl Sha224 {
     /// Completes the hash, consuming the hasher.
     pub fn finalize(self) -> [u8; 28] {
         let full = self.inner.finalize();
-        full.0[..28].try_into().expect("28 <= 32")
+        full.0[..28]
+            .try_into()
+            .expect("digest-length invariant: 28 <= 32")
     }
 }
 
@@ -363,7 +374,11 @@ fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
     // Message schedule.
     let mut w = [0u32; 64];
     for (i, chunk) in block.chunks_exact(4).enumerate() {
-        w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+        w[i] = u32::from_be_bytes(
+            chunk
+                .try_into()
+                .expect("chunks_exact invariant: every chunk is 4 bytes"),
+        );
     }
     for i in 16..64 {
         let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);

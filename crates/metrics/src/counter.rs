@@ -34,11 +34,13 @@ impl Counter {
 
     /// Increments by `n`.
     pub fn add(&self, n: u64) {
+        // relaxed: monotonic counter primitive; carries no dependent data
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // relaxed: monitoring read; freshness not required
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -67,21 +69,25 @@ impl Gauge {
 
     /// Increments by one.
     pub fn inc(&self) {
+        // relaxed: gauge adjustment; carries no dependent data
         self.value.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Decrements by one.
     pub fn dec(&self) {
+        // relaxed: gauge adjustment; carries no dependent data
         self.value.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Sets an absolute value.
     pub fn set(&self, v: i64) {
+        // relaxed: gauge overwrite; carries no dependent data
         self.value.store(v, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> i64 {
+        // relaxed: monitoring read; freshness not required
         self.value.load(Ordering::Relaxed)
     }
 }

@@ -73,7 +73,10 @@ impl TrialSet {
             return None;
         }
         let mut sorted = self.values.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+        sorted.sort_by(|a, b| {
+            a.partial_cmp(b)
+                .expect("sample invariant: NaN is never recorded")
+        });
         let pos = q * (sorted.len() - 1) as f64;
         let lo = pos.floor() as usize;
         let hi = pos.ceil() as usize;
@@ -95,7 +98,9 @@ impl TrialSet {
         if self.values.len() < 2 {
             return None;
         }
-        let mean = self.mean().expect("nonempty");
+        let mean = self
+            .mean()
+            .expect("guard invariant: the empty case returned above");
         let var = self
             .values
             .iter()

@@ -194,7 +194,9 @@ impl PowServer {
                         // registry mutex above orders this load after the
                         // shutdown flag store, so one of the two sides
                         // always closes the stream.
-                        if shutdown.load(Ordering::Relaxed) {
+                        // Acquire: pairs with the Release in
+                        // shutdown_in_place()
+                        if shutdown.load(Ordering::Acquire) {
                             let _ = stream.shutdown(Shutdown::Both);
                         }
                         handle_connection(
@@ -215,7 +217,8 @@ impl PowServer {
                 // at poll frequency. Any successful accept resets the
                 // backoff.
                 let mut backoff = ACCEPT_BACKOFF_FLOOR;
-                while !shutdown.load(Ordering::Relaxed) {
+                // Acquire: pairs with the Release in shutdown_in_place()
+                while !shutdown.load(Ordering::Acquire) {
                     match listener.accept() {
                         Ok((stream, _)) => {
                             backoff = ACCEPT_BACKOFF_FLOOR;
@@ -274,7 +277,8 @@ impl PowServer {
     /// and [`Drop`]: every step consumes the handle it joins, so a second
     /// call finds nothing to do.
     fn shutdown_in_place(&mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
+        // Release: publishes the shutdown request to acceptor and workers
+        self.shutdown.store(true, Ordering::Release);
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
@@ -367,7 +371,11 @@ fn peek_complete_frame(stream: &mut TcpStream) -> Buffered {
         Ok(0) => Buffered::Eof,
         Ok(n) if n < 8 => Buffered::Incomplete,
         Ok(n) => {
-            let declared = u32::from_be_bytes(buffered[4..8].try_into().expect("4 bytes")) as usize;
+            let declared = u32::from_be_bytes(
+                buffered[4..8]
+                    .try_into()
+                    .expect("slice-length invariant: [4..8] is 4 bytes"),
+            ) as usize;
             if declared > aipow_wire::MAX_PAYLOAD_LEN {
                 // read_message rejects the header before reading the
                 // body, so surfacing the error cannot block.
@@ -636,7 +644,7 @@ fn process_frames(
 
     replies
         .into_iter()
-        .map(|reply| reply.expect("every frame produced a reply"))
+        .map(|reply| reply.expect("framing invariant: every parsed frame produced a reply"))
         .collect()
 }
 

@@ -71,6 +71,21 @@ pub mod recorder;
 pub mod source;
 pub mod worker;
 
+/// The crate's synchronization primitives. Under the `loom-model`
+/// feature (tests only) they swap to the vendored `loom` shims; the
+/// recorder's sharded state is shimmed transitively through
+/// `aipow-shard`.
+#[cfg(not(feature = "loom-model"))]
+pub(crate) mod sync {
+    pub(crate) use parking_lot::Mutex;
+    pub(crate) use std::sync::atomic::{AtomicBool, Ordering};
+}
+#[cfg(feature = "loom-model")]
+pub(crate) mod sync {
+    pub(crate) use loom::sync::atomic::{AtomicBool, Ordering};
+    pub(crate) use loom::sync::Mutex;
+}
+
 pub use recorder::{BehaviorRecorder, ClientSketch};
 pub use source::BehavioralFeatureSource;
 pub use worker::{AttachError, OnlineLoop, SweepReport};

@@ -23,10 +23,9 @@
 
 use crate::recorder::BehaviorRecorder;
 use crate::source::BehavioralFeatureSource;
+use crate::sync::{AtomicBool, Mutex, Ordering};
 use aipow_core::tap::BehaviorSink;
 use aipow_core::{FeatureSource, Framework, OnlineSettings};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -213,16 +212,19 @@ impl OnlineLoop {
     /// [`Weak`]: std::sync::Weak
     pub fn start(self: &Arc<Self>) {
         let mut guard = self.worker.lock();
-        if guard.is_some() || self.stop.load(Ordering::Relaxed) {
+        // Acquire: pairs with the Release in stop()
+        if guard.is_some() || self.stop.load(Ordering::Acquire) {
             return;
         }
         let this = Arc::downgrade(self);
         let stop = Arc::clone(&self.stop);
         let interval = Duration::from_millis(self.settings.decay_interval_ms.max(1));
         *guard = Some(std::thread::spawn(move || {
-            while !stop.load(Ordering::Relaxed) {
+            // Acquire: pairs with the Release in stop()
+            while !stop.load(Ordering::Acquire) {
                 std::thread::park_timeout(interval);
-                if stop.load(Ordering::Relaxed) {
+                // Acquire: pairs with the Release in stop()
+                if stop.load(Ordering::Acquire) {
                     break;
                 }
                 // The loop is being (or has been) dropped: exit so the
@@ -235,7 +237,8 @@ impl OnlineLoop {
 
     /// Stops and joins the sweeper thread (idempotent; also run on drop).
     pub fn stop(&self) {
-        self.stop.store(true, Ordering::Relaxed);
+        // Release: latches the stop request before unparking the sweeper
+        self.stop.store(true, Ordering::Release);
         if let Some(handle) = self.worker.lock().take() {
             handle.thread().unpark();
             // If the *sweeper itself* dropped the last strong handle

@@ -793,7 +793,8 @@ impl Policy for DslPolicy {
                 return rule.action.apply(score);
             }
         }
-        // Unreachable: validation guarantees a final `otherwise`.
+        // lint:allow(no-unwrap) validation invariant: a validated
+        // policy always ends in `otherwise`, so the loop returns.
         unreachable!("validated policy must have a total rule set")
     }
 }

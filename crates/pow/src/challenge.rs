@@ -183,7 +183,8 @@ impl NonceWidth {
     pub fn encode(&self, nonce: u64) -> Vec<u8> {
         match self {
             NonceWidth::U32 => {
-                let n32 = u32::try_from(nonce).expect("nonce exceeds u32 width");
+                let n32 = u32::try_from(nonce)
+                    .expect("width invariant: U32-width stamps carry u32-range nonces");
                 n32.to_be_bytes().to_vec()
             }
             NonceWidth::U64 => nonce.to_be_bytes().to_vec(),
@@ -380,7 +381,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "u32 width")]
+    #[should_panic(expected = "width invariant")]
     fn nonce_width_u32_panics_on_overflow() {
         NonceWidth::U32.encode(u64::MAX);
     }

@@ -84,6 +84,7 @@ impl ReplayGuard {
         let per_shard = capacity.div_ceil(shard_count);
         ReplayGuard {
             shards: Sharded::new(shard_count, |_| Inner {
+                // lint:allow(raw-keyed-state) bounded by this shard's capacity/order ring
                 seen: HashMap::new(),
                 order: VecDeque::new(),
                 capacity: per_shard,
@@ -110,6 +111,8 @@ impl ReplayGuard {
             }
 
             if inner.seen.len() >= inner.capacity && inner.evict_oldest(now_ms) {
+                // relaxed: monotonic stats counter; incremented under the
+                // shard lock
                 self.evicted_live.fetch_add(1, Ordering::Relaxed);
             }
             inner.seen.insert(*seed, expires_at_ms);
@@ -135,6 +138,8 @@ impl ReplayGuard {
     /// possible; operators should alarm on it (see ablation A3 in
     /// EXPERIMENTS.md and the `replay_evicted_live` framework metric).
     pub fn live_evictions(&self) -> u64 {
+        // relaxed: monitoring read of a stats counter; freshness not
+        // required
         self.evicted_live.load(Ordering::Relaxed)
     }
 }

@@ -168,6 +168,8 @@ pub fn solve_cancellable(
                 return Err(SolveError::BudgetExhausted { attempts });
             }
         }
+        // relaxed: pure cancellation flag; results travel through the
+        // scoped join
         if attempts.is_multiple_of(1024) && cancel.load(Ordering::Relaxed) {
             return Err(SolveError::Cancelled { attempts });
         }
@@ -241,7 +243,11 @@ pub fn solve_parallel(
                 let out = solve_cancellable(challenge, client_ip, &options, found);
                 match &out {
                     Ok(report) => {
+                        // relaxed: advisory stop signal; the solution is
+                        // returned via join
                         found.store(true, Ordering::Relaxed);
+                        // relaxed: RMW sum; read only after every worker
+                        // has joined
                         total_attempts.fetch_add(report.attempts, Ordering::Relaxed);
                     }
                     Err(
@@ -249,6 +255,8 @@ pub fn solve_parallel(
                         | SolveError::NonceSpaceExhausted { attempts }
                         | SolveError::Cancelled { attempts },
                     ) => {
+                        // relaxed: RMW sum; read only after every worker
+                        // has joined
                         total_attempts.fetch_add(*attempts, Ordering::Relaxed);
                     }
                 }
@@ -259,7 +267,10 @@ pub fn solve_parallel(
         let mut best: Option<SolveReport> = None;
         let mut first_err: Option<SolveError> = None;
         for handle in handles {
-            match handle.join().expect("solver worker panicked") {
+            match handle
+                .join()
+                .expect("join invariant: solver workers do not panic")
+            {
                 Ok(report) => {
                     // Keep the first reported solution.
                     if best.is_none() {
@@ -279,16 +290,18 @@ pub fn solve_parallel(
         }
         (best, first_err)
     })
-    .expect("solver scope panicked");
+    .expect("scope invariant: solver workers do not panic");
 
     match result {
         (Some(mut report), _) => {
+            // relaxed: workers have joined; no concurrent writers remain
             report.attempts = total_attempts.load(Ordering::Relaxed);
             report.elapsed = start.elapsed();
             Ok(report)
         }
         (None, Some(err)) => Err(err),
         (None, None) => Err(SolveError::Cancelled {
+            // relaxed: workers have joined; no concurrent writers remain
             attempts: total_attempts.load(Ordering::Relaxed),
         }),
     }

@@ -165,7 +165,7 @@ impl Solution {
         let challenge_stamp = self.challenge.to_stamp();
         let body = challenge_stamp
             .strip_prefix(CHALLENGE_PREFIX)
-            .expect("challenge stamp carries its prefix");
+            .expect("issuer invariant: challenge stamps carry their prefix");
         let width = match self.width {
             NonceWidth::U32 => 4,
             NonceWidth::U64 => 8,

@@ -23,7 +23,7 @@ impl TimeSource for SystemClock {
     fn now_ms(&self) -> u64 {
         SystemTime::now()
             .duration_since(UNIX_EPOCH)
-            .expect("system clock before Unix epoch")
+            .expect("clock invariant: system time is after the Unix epoch")
             .as_millis() as u64
     }
 }

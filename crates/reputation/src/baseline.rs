@@ -60,7 +60,10 @@ impl ReputationModel for KnnScorer {
             .iter()
             .map(|(nf, ns)| (x.distance(nf), *ns))
             .collect();
-        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN distances"));
+        dists.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("distance invariant: feature distances are never NaN")
+        });
         let k = self.k.min(dists.len());
 
         // Inverse-distance weighting; an exact hit dominates.

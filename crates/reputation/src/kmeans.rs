@@ -102,10 +102,11 @@ pub fn kmeans(data: &[FeatureVector], config: &KMeansConfig) -> KMeansResult {
                     .max_by(|(_, a), (_, b)| {
                         let da = nearest(a, std::slice::from_ref(centroid)).1;
                         let db = nearest(b, std::slice::from_ref(centroid)).1;
-                        da.partial_cmp(&db).expect("no NaN distances")
+                        da.partial_cmp(&db)
+                            .expect("distance invariant: feature distances are never NaN")
                     })
                     .map(|(i, _)| i)
-                    .expect("nonempty data");
+                    .expect("loop invariant: clusters are only formed over data");
                 movement += centroid.distance(&data[far]);
                 *centroid = data[far];
                 continue;

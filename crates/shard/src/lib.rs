@@ -53,11 +53,41 @@ pub mod eviction;
 
 pub use eviction::{EvictionPolicy, ShardLayout, DEFAULT_MAX_SCAN};
 
-use parking_lot::Mutex;
-use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// The crate's synchronization and hashing primitives. Under the
+/// `loom-model` feature they swap to the vendored `loom` shims, whose
+/// scheduler explores the interleavings of every access — and hashing
+/// becomes deterministic, because the model checker replays schedules
+/// and randomized shard selection would make replay diverge.
+#[cfg(not(feature = "loom-model"))]
+mod sync {
+    pub(crate) use parking_lot::Mutex;
+    pub(crate) use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    /// Keyed hasher for shard selection: randomly seeded per instance
+    /// (see [`Sharded::shard_index`](crate::Sharded::shard_index)).
+    pub(crate) type SelectState = std::collections::hash_map::RandomState;
+    /// Hasher state for the per-shard `HashMap`s.
+    pub(crate) type MapState = std::collections::hash_map::RandomState;
+}
+#[cfg(feature = "loom-model")]
+mod sync {
+    pub(crate) use loom::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    pub(crate) use loom::sync::Mutex;
+    /// Deterministic (fixed-seed) hashers: model replay requires
+    /// identical shard selection and iteration order on every run.
+    pub(crate) type SelectState =
+        std::hash::BuildHasherDefault<std::collections::hash_map::DefaultHasher>;
+    pub(crate) type MapState =
+        std::hash::BuildHasherDefault<std::collections::hash_map::DefaultHasher>;
+}
+
+use sync::{AtomicU64, AtomicUsize, Mutex, Ordering};
+
+/// The per-shard table type (deterministically hashed under
+/// `loom-model`; std's randomly-seeded `HashMap` otherwise).
+type Shard<K, V> = HashMap<K, V, sync::MapState>;
 
 /// Upper bound on the automatically chosen shard count. Beyond this the
 /// per-shard win is noise while `fold`/`len` sweeps keep getting slower.
@@ -128,7 +158,7 @@ pub fn floor_shards(requested: usize) -> usize {
 pub struct Sharded<S> {
     shards: Box<[CachePadded<Mutex<S>>]>,
     mask: u64,
-    hasher: RandomState,
+    hasher: sync::SelectState,
 }
 
 impl<S> Sharded<S> {
@@ -142,7 +172,7 @@ impl<S> Sharded<S> {
         Sharded {
             shards,
             mask: (count - 1) as u64,
-            hasher: RandomState::new(),
+            hasher: sync::SelectState::default(),
         }
     }
 
@@ -208,7 +238,7 @@ impl<S: std::fmt::Debug> std::fmt::Debug for Sharded<S> {
 /// so a quiescent map always reports the true total.
 #[derive(Debug)]
 pub struct ShardedMap<K, V> {
-    inner: Sharded<HashMap<K, V>>,
+    inner: Sharded<Shard<K, V>>,
     len: AtomicUsize,
     /// Entries examined by in-shard eviction victim scans, cumulative.
     /// An insert storm at capacity advances this by at most the
@@ -226,7 +256,7 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
     /// two).
     pub fn new(shard_count: usize) -> Self {
         ShardedMap {
-            inner: Sharded::new(shard_count, |_| HashMap::new()),
+            inner: Sharded::new(shard_count, |_| Shard::default()),
             len: AtomicUsize::new(0),
             eviction_scanned: AtomicU64::new(0),
             global_folds: AtomicU64::new(0),
@@ -245,6 +275,8 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
 
     /// Number of entries (atomic read, no locking).
     pub fn len(&self) -> usize {
+        // relaxed: point-in-time read; adjustments are serialized per
+        // shard lock
         self.len.load(Ordering::Relaxed)
     }
 
@@ -259,6 +291,8 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
         self.inner.with_index(index, |shard| {
             let prev = shard.insert(key, value);
             if prev.is_none() {
+                // relaxed: adjusted under the owning shard's lock, which
+                // publishes it
                 self.len.fetch_add(1, Ordering::Relaxed);
             }
             prev
@@ -270,6 +304,8 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
         self.inner.with_key(key, |shard| {
             let prev = shard.remove(key);
             if prev.is_some() {
+                // relaxed: adjusted under the owning shard's lock, which
+                // publishes it
                 self.len.fetch_sub(1, Ordering::Relaxed);
             }
             prev
@@ -285,6 +321,8 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
             if shard.get(key).is_some_and(pred) {
                 let prev = shard.remove(key);
                 if prev.is_some() {
+                    // relaxed: adjusted under the owning shard's lock,
+                    // which publishes it
                     self.len.fetch_sub(1, Ordering::Relaxed);
                 }
                 prev
@@ -326,6 +364,8 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
         let index = self.inner.shard_index(&key);
         self.inner.with_index(index, |shard| {
             let value = shard.entry(key).or_insert_with(|| {
+                // relaxed: adjusted under the owning shard's lock, which
+                // publishes it
                 self.len.fetch_add(1, Ordering::Relaxed);
                 init()
             });
@@ -382,15 +422,20 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
         // `update` must survive an uncalled fast path, so thread it
         // through an Option the closure takes from.
         let mut update = Some(update);
-        if let Some(result) = self.with_mut(&key, |v| (update.take().expect("unused"))(v)) {
+        if let Some(result) = self.with_mut(&key, |v| {
+            (update
+                .take()
+                .expect("single-call invariant: update is taken at most once"))(v)
+        }) {
             return result;
         }
         let update = update
             .take()
-            .expect("fast path missed without consuming update");
+            .expect("fast-path invariant: a miss leaves update unconsumed");
 
         let mut failed_rechecks = 0;
         while self.len() >= max_entries && failed_rechecks < 8 {
+            // relaxed: monotonic stats counter; readers tolerate lag
             self.global_folds.fetch_add(1, Ordering::Relaxed);
             let victim = self.fold(None, |acc: Option<(K, S)>, k, v| {
                 if *k == key {
@@ -452,7 +497,9 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
                 };
                 f(&mut handle, key, item);
                 while iter.peek().is_some_and(|(next, _, _)| *next == index) {
-                    let (_, key, item) = iter.next().expect("peeked");
+                    let (_, key, item) = iter
+                        .next()
+                        .expect("iterator invariant: peek guaranteed a next item");
                     f(&mut handle, key, item);
                 }
             });
@@ -522,6 +569,8 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
     /// capacity — the flat-cost claim the `eviction_flood` bench and the
     /// regression tests assert.
     pub fn eviction_scan_steps(&self) -> u64 {
+        // relaxed: monitoring read of a stats counter; freshness not
+        // required
         self.eviction_scanned.load(Ordering::Relaxed)
     }
 
@@ -529,6 +578,8 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
     /// eviction path since construction. Production hot paths keep this
     /// at exactly zero; the regression tests assert it.
     pub fn global_eviction_folds(&self) -> u64 {
+        // relaxed: monitoring read of a stats counter; freshness not
+        // required
         self.global_folds.load(Ordering::Relaxed)
     }
 
@@ -538,6 +589,8 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
         self.inner.for_each_shard(|shard| {
             let before = shard.len();
             shard.retain(|k, v| f(k, v));
+            // relaxed: adjusted under the owning shard's lock, which
+            // publishes it
             self.len.fetch_sub(before - shard.len(), Ordering::Relaxed);
         });
     }
@@ -557,6 +610,8 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
     /// Removes all entries.
     pub fn clear(&self) {
         self.inner.for_each_shard(|shard| {
+            // relaxed: adjusted under the owning shard's lock, which
+            // publishes it
             self.len.fetch_sub(shard.len(), Ordering::Relaxed);
             shard.clear();
         });
@@ -576,7 +631,7 @@ impl<K: Hash + Eq, V> Default for ShardedMap<K, V> {
 /// bookkeeping invariants cannot be broken from outside.
 #[derive(Debug)]
 pub struct ShardHandle<'a, K, V> {
-    shard: &'a mut HashMap<K, V>,
+    shard: &'a mut Shard<K, V>,
     len: &'a AtomicUsize,
     eviction_scanned: &'a AtomicU64,
 }
@@ -609,6 +664,7 @@ impl<K: Hash + Eq, V> ShardHandle<'_, K, V> {
         let mut evicted = false;
         if self.shard.len() >= max_entries_per_shard.max(1) {
             self.eviction_scanned
+                // relaxed: monotonic stats counter; readers tolerate lag
                 .fetch_add(self.shard.len() as u64, Ordering::Relaxed);
             let victim = self
                 .shard
@@ -618,11 +674,15 @@ impl<K: Hash + Eq, V> ShardHandle<'_, K, V> {
                 .map(|(k, _)| K::clone(k));
             if let Some(victim) = victim {
                 self.shard.remove(&victim);
+                // relaxed: adjusted under the held shard lock, which
+                // publishes it
                 self.len.fetch_sub(1, Ordering::Relaxed);
                 evicted = true;
             }
         }
         let value = self.shard.entry(key).or_insert_with(|| {
+            // relaxed: adjusted under the held shard lock, which publishes
+            // it
             self.len.fetch_add(1, Ordering::Relaxed);
             init()
         });

@@ -1,0 +1,126 @@
+//! Bounded-interleaving model tests for the sharded primitives.
+//!
+//! Run with `cargo test -p aipow-shard --features loom-model`. The
+//! vendored `loom` stand-in explores every schedule (up to 2
+//! preemptions) of each closure; an assert that fails in *any*
+//! interleaving fails the test with the interleaving trace.
+//!
+//! The centerpiece re-litigates the PR 4 evict/refund race: the
+//! production in-shard eviction protocol must hold its capacity bound
+//! in every schedule, while the retired global-scan protocol — whose
+//! check-then-act on the length counter caused the original bug — is
+//! *shown* to overshoot under the same workload. Reverting the PR 4
+//! fix (routing production calls back through the global-scan path)
+//! turns the first test red.
+
+#![cfg(feature = "loom-model")]
+
+use aipow_shard::ShardedMap;
+use std::sync::Arc;
+
+/// Two racing upserts of fresh keys into a single-shard map with
+/// per-shard capacity 1: the in-shard protocol holds the existence
+/// check, victim scan, eviction, and insert under one shard lock, so
+/// the population can never exceed the bound — in any interleaving.
+#[test]
+fn in_shard_upsert_never_overshoots_capacity() {
+    loom::model(|| {
+        let map = Arc::new(ShardedMap::<u8, u64>::new(1));
+        let other = Arc::clone(&map);
+        let racer = loom::thread::spawn(move || {
+            other.update_or_insert_evicting_in_shard(2u8, 1, |v: &u64| *v, || 20, |v| *v);
+        });
+        map.update_or_insert_evicting_in_shard(1u8, 1, |v: &u64| *v, || 10, |v| *v);
+        racer.join().expect("model thread join: invariant");
+        assert!(
+            map.len() <= 1,
+            "per-shard capacity bound violated: len={}",
+            map.len()
+        );
+        // The lock-free length counter agrees with the actual content.
+        assert_eq!(map.fold(0usize, |acc, _, _| acc + 1), map.len());
+    });
+}
+
+/// The same workload through the **retired** global-scan protocol must
+/// overshoot in some schedule: both threads pass the `len() >=
+/// max_entries` check before either inserts — the check-then-act race
+/// PR 4 removed from production. This is the proof that the checker
+/// has teeth: if the in-shard fix were reverted, the model would find
+/// this exact schedule in the test above.
+#[test]
+fn retired_global_scan_protocol_overshoots_in_some_schedule() {
+    let failure = loom::Builder::new()
+        .try_check(|| {
+            let map = Arc::new(ShardedMap::<u8, u64>::new(1));
+            let other = Arc::clone(&map);
+            let racer = loom::thread::spawn(move || {
+                other.update_or_insert_evicting(2u8, 1, |v| *v, || 20, |v| *v);
+            });
+            map.update_or_insert_evicting(1u8, 1, |v| *v, || 10, |v| *v);
+            racer.join().expect("model thread join: invariant");
+            assert!(map.len() <= 1, "capacity overshoot: len={}", map.len());
+        })
+        .expect_err("the retired check-then-act protocol must overshoot somewhere");
+    assert!(
+        failure.message.contains("capacity overshoot"),
+        "unexpected failure: {failure}"
+    );
+    assert!(
+        failure.message.contains("interleaving:"),
+        "failure must carry its interleaving trace: {failure}"
+    );
+}
+
+/// Exactly one initializer runs when two threads race
+/// `with_or_insert_with` on the same key.
+#[test]
+fn with_or_insert_with_runs_exactly_one_init_under_race() {
+    loom::model(|| {
+        let map = Arc::new(ShardedMap::<u8, u64>::new(1));
+        // Untracked counter: counts init runs without adding schedule
+        // points of its own.
+        let inits = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let (other, other_inits) = (Arc::clone(&map), Arc::clone(&inits));
+        let racer = loom::thread::spawn(move || {
+            other.with_or_insert_with(
+                7u8,
+                || {
+                    other_inits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    5
+                },
+                |v| *v,
+            );
+        });
+        map.with_or_insert_with(
+            7u8,
+            || {
+                inits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                5
+            },
+            |v| *v,
+        );
+        racer.join().expect("model thread join: invariant");
+        assert_eq!(inits.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(map.len(), 1);
+    });
+}
+
+/// The lock-free length counter stays exact across a racing insert and
+/// remove: every adjustment happens under the owning shard's lock.
+#[test]
+fn len_is_exact_across_racing_insert_and_remove() {
+    loom::model(|| {
+        let map = Arc::new(ShardedMap::<u8, u64>::new(1));
+        let other = Arc::clone(&map);
+        let racer = loom::thread::spawn(move || {
+            other.insert(2u8, 20);
+            other.remove(&2u8);
+        });
+        map.insert(1u8, 10);
+        racer.join().expect("model thread join: invariant");
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.get_cloned(&1u8), Some(10));
+        assert_eq!(map.fold(0usize, |acc, _, _| acc + 1), 1);
+    });
+}

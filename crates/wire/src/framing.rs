@@ -79,7 +79,11 @@ pub fn read_message<R: Read>(mut reader: R) -> Result<Message, ReadMessageError>
         n => reader.read_exact(&mut header[n..])?,
     }
 
-    let declared = u32::from_be_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+    let declared = u32::from_be_bytes(
+        header[4..8]
+            .try_into()
+            .expect("slice-length invariant: [4..8] is 4 bytes"),
+    ) as usize;
     if declared > MAX_PAYLOAD_LEN {
         return Err(ReadMessageError::Decode(DecodeError::PayloadTooLarge {
             declared,

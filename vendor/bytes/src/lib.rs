@@ -4,6 +4,8 @@
 //! covering the wire codec's needs. Reads panic on underflow exactly like
 //! the real crate, so callers must check `remaining()` first.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Deref, DerefMut};
 
 /// Read cursor over a contiguous byte source (big-endian accessors).

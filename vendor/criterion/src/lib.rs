@@ -20,6 +20,8 @@
 //! fresh file removes it first. This is how the repo's perf trajectory
 //! (`BENCH_contended.json`, see EXPERIMENTS.md) accumulates across PRs.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::io::Write;
 use std::time::{Duration, Instant};

@@ -5,6 +5,8 @@
 //! `Mutex` + `Condvar`, and `crossbeam::thread::scope` built on
 //! `std::thread::scope`.
 
+#![forbid(unsafe_code)]
+
 pub mod channel {
     //! Bounded multi-producer multi-consumer channels.
 

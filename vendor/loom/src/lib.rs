@@ -1,0 +1,388 @@
+//! Offline stand-in for [loom](https://github.com/tokio-rs/loom): a
+//! bounded-preemption deterministic concurrency model checker.
+//!
+//! # What this is
+//!
+//! A small API-subset re-implementation of loom's *permutation testing*
+//! idea, vendored so the workspace stays offline (the same approach as
+//! the other `vendor/` crates). [`model`] runs a closure many times,
+//! deterministically enumerating the interleavings of every *visible
+//! operation* — accesses through [`sync::atomic`] types, acquisitions
+//! of [`sync::Mutex`]/[`sync::RwLock`], [`sync::OnceLock`]
+//! initialization, and [`thread`] spawn/join — until either every
+//! schedule (up to the preemption bound) has been explored or one of
+//! them fails.
+//!
+//! ```
+//! use loom::sync::atomic::{AtomicU64, Ordering};
+//! use loom::sync::Arc;
+//!
+//! loom::model(|| {
+//!     let n = Arc::new(AtomicU64::new(0));
+//!     let n2 = n.clone();
+//!     let t = loom::thread::spawn(move || {
+//!         n2.fetch_add(1, Ordering::Relaxed);
+//!     });
+//!     n.fetch_add(1, Ordering::Relaxed);
+//!     t.join().expect("model thread join: invariant");
+//!     assert_eq!(n.load(Ordering::Relaxed), 2);
+//! });
+//! ```
+//!
+//! # How it differs from real loom
+//!
+//! - **Sequentially consistent memory model.** Every shimmed operation
+//!   is globally ordered by the scheduler; `Ordering` arguments are
+//!   accepted but not weakened. Real loom additionally explores
+//!   store-buffer effects of `Relaxed`/`Acquire`/`Release`. This
+//!   stand-in therefore catches *interleaving* bugs (lost updates,
+//!   check-then-act races, deadlocks, double-init) but not
+//!   *reordering* bugs. The `aipow-analyze` lint compensates by
+//!   requiring a written justification for every `Relaxed`.
+//! - **Non-poisoning locks.** `Mutex::lock` returns the guard
+//!   directly, mirroring the `parking_lot` stand-in the production
+//!   crates use, so `cfg`-switched call sites stay identical.
+//! - **Bounded preemption, not partial-order reduction.** Schedules
+//!   are pruned by limiting *preemptive* context switches (default 2),
+//!   the classic CHESS result: almost all real concurrency bugs
+//!   manifest within two preemptions.
+//!
+//! # Fallback behavior
+//!
+//! Outside [`model`] every shim delegates straight to `std`, so a test
+//! binary compiled with the `loom-model` feature can freely mix model
+//! tests and ordinary tests.
+
+#![forbid(unsafe_code)]
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+use rt::{Choice, Execution, ThreadCtx, MAIN_TID};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+/// Environment variable capping the number of explored interleavings
+/// per [`model`] call (CI keeps the model suite bounded with this).
+pub const MAX_ITERS_ENV: &str = "AIPOW_LOOM_MAX_ITERS";
+
+const DEFAULT_MAX_ITERATIONS: usize = 100_000;
+const DEFAULT_PREEMPTION_BOUND: usize = 2;
+
+/// Exploration statistics for a passing model run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Interleavings executed.
+    pub iterations: usize,
+    /// `true` if the bounded schedule space was exhausted; `false` if
+    /// exploration stopped at the iteration cap.
+    pub complete: bool,
+}
+
+/// A failing interleaving: the first schedule on which the model
+/// closure panicked, deadlocked, or double-acquired a lock.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong, including the interleaving trace.
+    pub message: String,
+    /// Interleavings executed up to and including the failing one.
+    pub iterations: usize,
+    /// The failing interleaving as `tN:op` steps.
+    pub trace: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model failed after {} interleaving(s): {}",
+            self.iterations, self.message
+        )
+    }
+}
+
+/// Configures a model-checking run.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Maximum preemptive context switches per interleaving.
+    pub preemption_bound: usize,
+    /// Maximum interleavings to explore (also settable via the
+    /// [`MAX_ITERS_ENV`] environment variable, which takes precedence
+    /// at construction time).
+    pub max_iterations: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Builder {
+    /// A builder with the default preemption bound (2) and the
+    /// iteration cap from [`MAX_ITERS_ENV`] if set.
+    pub fn new() -> Self {
+        let max_iterations = std::env::var(MAX_ITERS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(DEFAULT_MAX_ITERATIONS);
+        Builder {
+            preemption_bound: DEFAULT_PREEMPTION_BOUND,
+            max_iterations,
+        }
+    }
+
+    /// Explores `f`'s interleavings, panicking on the first failing
+    /// one with its trace.
+    pub fn check<F: Fn()>(&self, f: F) {
+        if let Err(failure) = self.try_check(f) {
+            panic!("{failure}");
+        }
+    }
+
+    /// Explores `f`'s interleavings and reports the outcome instead of
+    /// panicking — the hook `aipow-analyze --self-test` uses to assert
+    /// that seeded bugs *are* caught.
+    pub fn try_check<F: Fn()>(&self, f: F) -> Result<Report, Failure> {
+        install_panic_hook();
+        let mut path: Vec<Choice> = Vec::new();
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            let exec = Execution::new(path, self.preemption_bound);
+            rt::set_ctx(Some(ThreadCtx {
+                exec: Arc::clone(&exec),
+                tid: MAIN_TID,
+            }));
+            match catch_unwind(AssertUnwindSafe(&f)) {
+                Ok(()) => exec.finish_main(),
+                Err(payload) => exec.abort_from_main(rt::payload_msg(payload.as_ref())),
+            }
+            rt::set_ctx(None);
+            let (new_path, failure, trace) = exec.take_results();
+            if let Some(message) = failure {
+                return Err(Failure {
+                    message,
+                    iterations,
+                    trace,
+                });
+            }
+            path = new_path;
+            if !advance_path(&mut path) {
+                return Ok(Report {
+                    iterations,
+                    complete: true,
+                });
+            }
+            if iterations >= self.max_iterations {
+                return Ok(Report {
+                    iterations,
+                    complete: false,
+                });
+            }
+        }
+    }
+}
+
+use std::sync::Arc;
+
+/// Depth-first backtracking: advance the deepest decision node that
+/// still has an unexplored alternative, discarding the (now invalid)
+/// deeper suffix. Returns `false` when the whole space is exhausted.
+fn advance_path(path: &mut Vec<Choice>) -> bool {
+    while let Some(last) = path.last_mut() {
+        if last.advance() {
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+/// Explores every interleaving of `f` (up to the default bounds),
+/// panicking on the first failure. See the crate docs for an example.
+pub fn model<F: Fn()>(f: F) {
+    Builder::new().check(f);
+}
+
+/// Silences the default panic printer for the internal abort sentinel:
+/// when one interleaving fails, every other model thread is unwound
+/// via a sentinel panic that is expected and already accounted for.
+/// `check`/`try_check` install it automatically; binaries that drive
+/// the checker directly may call it up front for quieter output.
+pub fn install_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let is_abort = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|s| *s == rt::ABORT_MSG);
+            // Panics on model-registered threads are caught and
+            // re-reported by the checker with their interleaving
+            // trace; printing them here would duplicate the report.
+            if !is_abort && !rt::in_model() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::atomic::{AtomicU64, Ordering};
+    use crate::sync::{Arc, Mutex, OnceLock};
+
+    #[test]
+    fn finds_lost_update_from_load_then_store() {
+        // Classic read-modify-write race: both threads load 0, both
+        // store 1; the final value 1 (instead of 2) must be found.
+        let failure = Builder::new()
+            .try_check(|| {
+                let n = Arc::new(AtomicU64::new(0));
+                let n2 = Arc::clone(&n);
+                let t = crate::thread::spawn(move || {
+                    let v = n2.load(Ordering::Relaxed);
+                    n2.store(v + 1, Ordering::Relaxed);
+                });
+                let v = n.load(Ordering::Relaxed);
+                n.store(v + 1, Ordering::Relaxed);
+                t.join().expect("join: invariant");
+                assert_eq!(n.load(Ordering::Relaxed), 2, "lost update");
+            })
+            .expect_err("the lost update must be discoverable");
+        assert!(failure.message.contains("lost update"), "{failure}");
+    }
+
+    #[test]
+    fn fetch_add_is_atomic_and_space_is_exhausted() {
+        let report = Builder::new()
+            .try_check(|| {
+                let n = Arc::new(AtomicU64::new(0));
+                let n2 = Arc::clone(&n);
+                let t = crate::thread::spawn(move || {
+                    n2.fetch_add(1, Ordering::Relaxed);
+                });
+                n.fetch_add(1, Ordering::Relaxed);
+                t.join().expect("join: invariant");
+                assert_eq!(n.load(Ordering::Relaxed), 2);
+            })
+            .expect("fetch_add must never lose an update");
+        assert!(report.complete, "small model must exhaust its space");
+        assert!(report.iterations > 1, "must explore > 1 interleaving");
+    }
+
+    #[test]
+    fn detects_lock_order_deadlock() {
+        let failure = Builder::new()
+            .try_check(|| {
+                let a = Arc::new(Mutex::new(0u32));
+                let b = Arc::new(Mutex::new(0u32));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let t = crate::thread::spawn(move || {
+                    let _ga = a2.lock();
+                    let _gb = b2.lock();
+                });
+                let _gb = b.lock();
+                let _ga = a.lock();
+                drop((_gb, _ga));
+                t.join().expect("join: invariant");
+            })
+            .expect_err("AB/BA lock order must deadlock in some schedule");
+        assert!(failure.message.contains("deadlock"), "{failure}");
+    }
+
+    #[test]
+    fn oncelock_set_succeeds_exactly_once() {
+        let report = Builder::new()
+            .try_check(|| {
+                let cell = Arc::new(OnceLock::new());
+                let cell2 = Arc::clone(&cell);
+                let t = crate::thread::spawn(move || cell2.set(2u32).is_ok());
+                let mine = cell.set(1u32).is_ok();
+                let theirs = t.join().expect("join: invariant");
+                assert!(
+                    mine ^ theirs,
+                    "exactly one of two concurrent set()s must win"
+                );
+                let v = *cell.get().expect("a winner published: invariant");
+                assert!(v == 1 || v == 2);
+            })
+            .expect("write-once cell must never double-publish");
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn mutex_guards_critical_section() {
+        Builder::new().check(|| {
+            let n = Arc::new(Mutex::new(0u64));
+            let n2 = Arc::clone(&n);
+            let t = crate::thread::spawn(move || {
+                let mut g = n2.lock();
+                let v = *g;
+                *g = v + 1;
+            });
+            {
+                let mut g = n.lock();
+                let v = *g;
+                *g = v + 1;
+            }
+            t.join().expect("join: invariant");
+            assert_eq!(*n.lock(), 2);
+        });
+    }
+
+    #[test]
+    fn self_deadlock_is_reported() {
+        let failure = Builder::new()
+            .try_check(|| {
+                let m = Mutex::new(0u32);
+                let _g1 = m.lock();
+                let _g2 = m.lock();
+            })
+            .expect_err("recursive lock must be reported");
+        assert!(failure.message.contains("self-deadlock"), "{failure}");
+    }
+
+    #[test]
+    fn iteration_cap_stops_exploration_incomplete() {
+        let report = Builder {
+            preemption_bound: 2,
+            max_iterations: 2,
+        }
+        .try_check(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let n2 = Arc::clone(&n);
+            let t = crate::thread::spawn(move || {
+                n2.fetch_add(1, Ordering::Relaxed);
+                n2.fetch_add(1, Ordering::Relaxed);
+            });
+            n.fetch_add(1, Ordering::Relaxed);
+            n.fetch_add(1, Ordering::Relaxed);
+            t.join().expect("join: invariant");
+        })
+        .expect("capped run must still pass");
+        assert_eq!(report.iterations, 2);
+        assert!(!report.complete);
+    }
+
+    #[test]
+    fn shims_fall_back_to_std_outside_model() {
+        // No `model()` wrapper: every shim must behave like std.
+        let n = AtomicU64::new(41);
+        assert_eq!(n.fetch_add(1, Ordering::SeqCst), 41);
+        assert_eq!(n.load(Ordering::SeqCst), 42);
+        let m = Mutex::new(7u32);
+        assert_eq!(*m.lock(), 7);
+        let cell = OnceLock::new();
+        assert!(cell.set(3u32).is_ok());
+        assert!(cell.set(4u32).is_err());
+        assert_eq!(cell.get_or_init(|| 9), &3);
+        let t = crate::thread::spawn(|| 5u32);
+        assert_eq!(t.join().expect("join: invariant"), 5);
+    }
+}

@@ -1,0 +1,507 @@
+//! The execution engine behind [`crate::model`].
+//!
+//! One *execution* runs the model closure once under a cooperative
+//! scheduler: every shimmed operation (atomic access, lock acquire,
+//! thread spawn/join) is a *schedule point* where the scheduler decides
+//! which registered thread runs next. Threads are real OS threads, but
+//! exactly one is ever released at a time, so the interleaving of
+//! visible operations is fully determined by the sequence of scheduling
+//! choices. The driver in `lib.rs` re-runs the closure, depth-first
+//! enumerating every choice sequence (up to the preemption bound), so a
+//! failing interleaving is found deterministically rather than by luck.
+//!
+//! Threads that are not registered with an execution (no model running
+//! on this thread) fall through every shim unchanged, so code compiled
+//! with the `loom-model` feature still behaves normally outside
+//! `loom::model`.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Thread id of the thread that calls [`crate::model`].
+pub(crate) const MAIN_TID: usize = 0;
+
+/// Panic payload used to unwind model threads out of user code when the
+/// execution is aborted (first failure wins; everyone else gets this).
+pub(crate) const ABORT_MSG: &str = "loom-model: execution aborted";
+
+thread_local! {
+    static CTX: RefCell<Option<ThreadCtx>> = const { RefCell::new(None) };
+}
+
+/// The calling thread's registration with a running execution.
+#[derive(Clone)]
+pub(crate) struct ThreadCtx {
+    pub(crate) exec: Arc<Execution>,
+    pub(crate) tid: usize,
+}
+
+pub(crate) fn current_ctx() -> Option<ThreadCtx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(ctx: Option<ThreadCtx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Whether the calling thread is registered with a model execution.
+/// Used by the panic hook: panics inside a model are caught, recorded
+/// with their interleaving trace, and re-reported by the checker, so
+/// the default printer would only duplicate them.
+pub(crate) fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// Schedule point for a plain visible operation (atomic access,
+/// `OnceLock::get`, `yield_now`). No-op outside a model or during a
+/// panic unwind (shim guards may touch primitives while unwinding).
+pub(crate) fn schedule_op(op: &'static str) {
+    if std::thread::panicking() {
+        return;
+    }
+    if let Some(ctx) = current_ctx() {
+        ctx.exec.schedule(ctx.tid, op);
+    }
+}
+
+/// Model-level exclusive acquire (mutex, rwlock writer, oncelock init).
+pub(crate) fn acquire_exclusive(addr: usize, op: &'static str) {
+    if std::thread::panicking() {
+        return;
+    }
+    if let Some(ctx) = current_ctx() {
+        ctx.exec.acquire(ctx.tid, addr, false, op);
+    }
+}
+
+/// Model-level shared acquire (rwlock reader).
+pub(crate) fn acquire_shared(addr: usize, op: &'static str) {
+    if std::thread::panicking() {
+        return;
+    }
+    if let Some(ctx) = current_ctx() {
+        ctx.exec.acquire(ctx.tid, addr, true, op);
+    }
+}
+
+/// Model-level release. Must never panic: it runs from guard `Drop`
+/// impls, possibly during unwinding.
+pub(crate) fn release(addr: usize, shared: bool) {
+    if let Some(ctx) = current_ctx() {
+        ctx.exec.release(addr, shared);
+    }
+}
+
+/// Best-effort extraction of a panic payload message.
+pub(crate) fn payload_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// What a registered thread is currently allowed to do.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Run {
+    Runnable,
+    Blocked(Resource),
+    Finished,
+}
+
+/// What a blocked thread is waiting for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Resource {
+    /// A model-level lock, keyed by the primitive's address.
+    Lock(usize),
+    /// Another thread's termination.
+    Join(usize),
+}
+
+/// Model-level state of one lock (mutex: `writer` only; rwlock: both).
+#[derive(Default)]
+struct LockState {
+    writer: Option<usize>,
+    readers: usize,
+}
+
+/// One scheduling decision: the threads that were explorable at this
+/// point and which of them the current run takes.
+#[derive(Clone, Debug)]
+pub(crate) struct Choice {
+    explorable: Vec<usize>,
+    next: usize,
+}
+
+impl Choice {
+    /// Advances to this node's next unexplored alternative, if any.
+    pub(crate) fn advance(&mut self) -> bool {
+        if self.next + 1 < self.explorable.len() {
+            self.next += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+struct SchedState {
+    runs: Vec<Run>,
+    current: usize,
+    /// The exploration path: replayed prefix plus this run's extensions.
+    path: Vec<Choice>,
+    /// Index of the next path node to consume.
+    depth: usize,
+    /// Preemptive (away-from-a-runnable-thread) switches taken so far.
+    preemptions: usize,
+    locks: HashMap<usize, LockState>,
+    /// `(tid, op)` per schedule point, for failure reports.
+    trace: Vec<(usize, &'static str)>,
+    failure: Option<String>,
+    aborted: bool,
+    /// Registered threads not yet finished.
+    live: usize,
+}
+
+impl SchedState {
+    fn enabled(&self) -> Vec<usize> {
+        self.runs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r == Run::Runnable)
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    fn format_trace(&self) -> String {
+        let steps: Vec<String> = self
+            .trace
+            .iter()
+            .map(|(tid, op)| format!("t{tid}:{op}"))
+            .collect();
+        steps.join(" -> ")
+    }
+
+    fn fail(&mut self, message: String) {
+        if self.failure.is_none() {
+            let trace = self.format_trace();
+            self.failure = Some(format!("{message}\n  interleaving: [{trace}]"));
+        }
+        self.aborted = true;
+    }
+}
+
+/// One run of the model closure under the scheduler.
+pub(crate) struct Execution {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    preemption_bound: usize,
+}
+
+impl Execution {
+    pub(crate) fn new(path: Vec<Choice>, preemption_bound: usize) -> Arc<Self> {
+        Arc::new(Execution {
+            state: Mutex::new(SchedState {
+                runs: vec![Run::Runnable],
+                current: MAIN_TID,
+                path,
+                depth: 0,
+                preemptions: 0,
+                locks: HashMap::new(),
+                trace: Vec::new(),
+                failure: None,
+                aborted: false,
+                live: 1,
+            }),
+            cv: Condvar::new(),
+            preemption_bound,
+        })
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Blocks until this thread is the scheduled one (or the execution
+    /// aborts, in which case it unwinds with [`ABORT_MSG`]).
+    fn wait_for_turn<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, SchedState>,
+        tid: usize,
+    ) -> MutexGuard<'a, SchedState> {
+        loop {
+            if st.aborted {
+                drop(st);
+                panic!("{ABORT_MSG}");
+            }
+            if st.current == tid {
+                return st;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// The set of threads explorable at a fresh decision point: the
+    /// running thread first (so depth-first search tries the
+    /// switch-free schedule before any preemption), then every other
+    /// runnable thread — unless the preemption budget is spent, in
+    /// which case the running thread must continue.
+    fn explorable(&self, st: &SchedState, me: usize, enabled: &[usize]) -> Vec<usize> {
+        let me_enabled = enabled.contains(&me);
+        if me_enabled && st.preemptions >= self.preemption_bound {
+            vec![me]
+        } else if me_enabled {
+            let mut v = vec![me];
+            v.extend(enabled.iter().copied().filter(|&t| t != me));
+            v
+        } else {
+            enabled.to_vec()
+        }
+    }
+
+    /// Consumes (or creates) the decision node for this schedule point
+    /// and returns the chosen thread.
+    fn choose(&self, st: &mut SchedState, me: usize, op: &'static str) -> usize {
+        let enabled = st.enabled();
+        let explorable = self.explorable(st, me, &enabled);
+        let chosen = if explorable.len() == 1 {
+            // No alternative: not a branching node, consume no depth.
+            explorable[0]
+        } else {
+            let d = st.depth;
+            st.depth += 1;
+            if d < st.path.len() {
+                let node = &st.path[d];
+                if node.explorable != explorable {
+                    let expected = node.explorable.clone();
+                    st.fail(format!(
+                        "nondeterministic execution: replay expected choices \
+                         {expected:?} at step {d} but found {explorable:?} — \
+                         model closures must be deterministic (no wall clocks, \
+                         no random hashing)"
+                    ));
+                    self.cv.notify_all();
+                    // Unwinds with the guard held; the poison is cleared by
+                    // every other locker via `into_inner`.
+                    panic!("{ABORT_MSG}");
+                }
+                st.path[d].explorable[st.path[d].next]
+            } else {
+                let first = explorable[0];
+                st.path.push(Choice {
+                    explorable,
+                    next: 0,
+                });
+                first
+            }
+        };
+        st.trace.push((chosen, op));
+        chosen
+    }
+
+    /// Schedule point for a runnable thread: decide who runs next, and
+    /// if it is not the caller, hand over and wait to be rescheduled.
+    pub(crate) fn schedule(&self, tid: usize, op: &'static str) {
+        let mut st = self.lock_state();
+        if st.aborted {
+            drop(st);
+            panic!("{ABORT_MSG}");
+        }
+        let chosen = self.choose(&mut st, tid, op);
+        if chosen != tid {
+            // The caller could have continued: this is a preemption.
+            st.preemptions += 1;
+            st.current = chosen;
+            self.cv.notify_all();
+            st = self.wait_for_turn(st, tid);
+        }
+        drop(st);
+    }
+
+    /// Parks the caller on `res` and schedules another thread. Returns
+    /// once the caller has been woken *and* scheduled again.
+    fn block(&self, tid: usize, res: Resource, op: &'static str) {
+        let mut st = self.lock_state();
+        if st.aborted {
+            drop(st);
+            panic!("{ABORT_MSG}");
+        }
+        st.runs[tid] = Run::Blocked(res);
+        if st.enabled().is_empty() {
+            st.fail("deadlock: every live thread is blocked".to_string());
+            self.cv.notify_all();
+            drop(st);
+            panic!("{ABORT_MSG}");
+        }
+        let chosen = self.choose(&mut st, tid, op);
+        st.current = chosen;
+        self.cv.notify_all();
+        st = self.wait_for_turn(st, tid);
+        drop(st);
+    }
+
+    fn wake(st: &mut SchedState, res: Resource) {
+        for run in st.runs.iter_mut() {
+            if *run == Run::Blocked(res) {
+                *run = Run::Runnable;
+            }
+        }
+    }
+
+    /// Model-level lock acquire: a schedule point, then take the lock
+    /// or park until its holder releases it.
+    pub(crate) fn acquire(&self, tid: usize, addr: usize, shared: bool, op: &'static str) {
+        loop {
+            self.schedule(tid, op);
+            let mut st = self.lock_state();
+            let entry = st.locks.entry(addr).or_default();
+            if entry.writer == Some(tid) {
+                st.fail(format!(
+                    "thread {tid} acquired a lock it already holds (self-deadlock)"
+                ));
+                self.cv.notify_all();
+                drop(st);
+                panic!("{ABORT_MSG}");
+            }
+            let free = if shared {
+                entry.writer.is_none()
+            } else {
+                entry.writer.is_none() && entry.readers == 0
+            };
+            if free {
+                if shared {
+                    entry.readers += 1;
+                } else {
+                    entry.writer = Some(tid);
+                }
+                return;
+            }
+            drop(st);
+            self.block(tid, Resource::Lock(addr), op);
+        }
+    }
+
+    /// Model-level release. Never panics: runs from guard drops,
+    /// possibly during unwinding.
+    pub(crate) fn release(&self, addr: usize, shared: bool) {
+        let mut st = self.lock_state();
+        if st.aborted {
+            return;
+        }
+        let entry = st.locks.entry(addr).or_default();
+        if shared {
+            entry.readers = entry.readers.saturating_sub(1);
+            if entry.readers > 0 {
+                return;
+            }
+        } else {
+            entry.writer = None;
+        }
+        Self::wake(&mut st, Resource::Lock(addr));
+    }
+
+    /// Registers a new model thread; it starts runnable but only runs
+    /// once scheduled.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.lock_state();
+        let tid = st.runs.len();
+        st.runs.push(Run::Runnable);
+        st.live += 1;
+        tid
+    }
+
+    /// First wait of a freshly spawned model thread.
+    pub(crate) fn wait_until_scheduled(&self, tid: usize) {
+        let st = self.lock_state();
+        let st = self.wait_for_turn(st, tid);
+        drop(st);
+    }
+
+    /// Marks `tid` finished (optionally with a panic message), wakes
+    /// joiners, and hands the schedule to a remaining thread.
+    pub(crate) fn thread_finished(&self, tid: usize, panicked: Option<String>) {
+        let mut st = self.lock_state();
+        st.runs[tid] = Run::Finished;
+        st.live -= 1;
+        if st.aborted {
+            self.cv.notify_all();
+            return;
+        }
+        if let Some(msg) = panicked {
+            if msg != ABORT_MSG {
+                st.fail(format!("thread {tid} panicked: {msg}"));
+            }
+            st.aborted = true;
+            self.cv.notify_all();
+            return;
+        }
+        Self::wake(&mut st, Resource::Join(tid));
+        let enabled = st.enabled();
+        if enabled.is_empty() {
+            if st.live > 0 {
+                st.fail("deadlock: every live thread is blocked".to_string());
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let chosen = self.choose(&mut st, tid, "thread-exit");
+        st.current = chosen;
+        self.cv.notify_all();
+    }
+
+    /// Model-level join: parks until `target` finishes.
+    pub(crate) fn join_thread(&self, tid: usize, target: usize) {
+        loop {
+            self.schedule(tid, "join");
+            let st = self.lock_state();
+            if st.runs[target] == Run::Finished {
+                return;
+            }
+            drop(st);
+            self.block(tid, Resource::Join(target), "join");
+        }
+    }
+
+    /// Called by the model driver after the closure returns: finishes
+    /// the main thread, keeps scheduling the remaining threads, and
+    /// returns once every registered thread has finished.
+    pub(crate) fn finish_main(&self) {
+        self.thread_finished(MAIN_TID, None);
+        let mut st = self.lock_state();
+        while st.live > 0 {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Records a main-thread panic (unless it is the abort sentinel),
+    /// aborts every remaining thread, and waits for them to unwind.
+    pub(crate) fn abort_from_main(&self, msg: String) {
+        {
+            let mut st = self.lock_state();
+            st.runs[MAIN_TID] = Run::Finished;
+            st.live -= 1;
+            if msg != ABORT_MSG {
+                st.fail(format!("model closure panicked: {msg}"));
+            }
+            st.aborted = true;
+            self.cv.notify_all();
+        }
+        let mut st = self.lock_state();
+        while st.live > 0 {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Consumes the run's results: the (possibly extended) path, the
+    /// failure if any, and the trace of the final interleaving.
+    pub(crate) fn take_results(&self) -> (Vec<Choice>, Option<String>, String) {
+        let mut st = self.lock_state();
+        let path = std::mem::take(&mut st.path);
+        let failure = st.failure.take();
+        let trace = st.format_trace();
+        (path, failure, trace)
+    }
+}

@@ -1,0 +1,269 @@
+//! Model-checked stand-ins for the workspace's synchronization
+//! primitives.
+//!
+//! Inside [`crate::model`], every acquisition is a schedule point and
+//! mutual exclusion is enforced at the *model* level (the scheduler
+//! parks contending threads), so the checker explores who wins each
+//! race. Outside a model, everything delegates to `std`.
+//!
+//! The lock APIs are non-poisoning and mirror the `parking_lot`
+//! stand-in the production crates use (`lock()` returns the guard
+//! directly), so a `cfg`-switched facade can re-export either without
+//! touching call sites. [`OnceLock`] mirrors `std::sync::OnceLock`.
+
+pub use std::sync::Arc;
+
+pub mod atomic;
+
+use crate::rt;
+use std::fmt;
+use std::sync::PoisonError;
+
+/// The model-level identity of a primitive is its address: stable for
+/// the lifetime of the model run, and shims never move while locked.
+fn addr_of<T>(v: &T) -> usize {
+    v as *const T as *const () as usize
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// A model-checked mutual-exclusion lock (non-poisoning API).
+#[derive(Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex::lock`]; releases the model-level lock on
+/// drop.
+pub struct MutexGuard<'a, T> {
+    inner: std::sync::MutexGuard<'a, T>,
+    addr: usize,
+}
+
+impl<T> Mutex<T> {
+    /// Creates an unlocked mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, parking this model thread until the holder
+    /// releases it. Self-acquisition is reported as a model failure.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let addr = addr_of(self);
+        rt::acquire_exclusive(addr, "mutex-lock");
+        MutexGuard {
+            // The model level already guarantees exclusivity; this
+            // never contends inside a model. Outside one it *is* the
+            // lock.
+            inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+            addr,
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consumes the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Model release first: it only marks waiters runnable — none
+        // can *run* until our next schedule point, by which time the
+        // inner std guard (dropped right after this body) is gone.
+        rt::release(self.addr, false);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// A model-checked readers-writer lock (non-poisoning API).
+#[derive(Default)]
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+}
+
+/// Shared-access guard from [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+    addr: usize,
+}
+
+/// Exclusive-access guard from [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+    addr: usize,
+}
+
+impl<T> RwLock<T> {
+    /// Creates an unlocked lock.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Acquires shared access; parks while a writer holds the lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let addr = addr_of(self);
+        rt::acquire_shared(addr, "rwlock-read");
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+            addr,
+        }
+    }
+
+    /// Acquires exclusive access; parks while any guard is live.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let addr = addr_of(self);
+        rt::acquire_exclusive(addr, "rwlock-write");
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+            addr,
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        rt::release(self.addr, true);
+    }
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        rt::release(self.addr, false);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OnceLock
+// ---------------------------------------------------------------------------
+
+/// A model-checked write-once cell mirroring `std::sync::OnceLock`.
+///
+/// In a model, [`set`](Self::set) and [`get_or_init`](Self::get_or_init)
+/// serialize through a model-level init lock so the checker explores
+/// which racer publishes; [`get`](Self::get) is a plain schedule point
+/// (one atomic load on the real hot path).
+#[derive(Default)]
+pub struct OnceLock<T> {
+    inner: std::sync::OnceLock<T>,
+}
+
+impl<T> OnceLock<T> {
+    /// Creates an empty cell.
+    pub const fn new() -> Self {
+        OnceLock {
+            inner: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Returns the published value, if any.
+    pub fn get(&self) -> Option<&T> {
+        rt::schedule_op("oncelock-get");
+        self.inner.get()
+    }
+
+    /// Publishes `value` if the cell is empty; returns it back in
+    /// `Err` if another publisher won.
+    pub fn set(&self, value: T) -> Result<(), T> {
+        let addr = addr_of(self);
+        rt::acquire_exclusive(addr, "oncelock-set");
+        let result = self.inner.set(value);
+        rt::release(addr, false);
+        result
+    }
+
+    /// Returns the published value, initializing it with `f` if empty.
+    /// Exactly one racing initializer runs.
+    pub fn get_or_init<F: FnOnce() -> T>(&self, f: F) -> &T {
+        if let Some(v) = self.get() {
+            return v;
+        }
+        let addr = addr_of(self);
+        rt::acquire_exclusive(addr, "oncelock-init");
+        // Inside a model the init lock serializes racers, so std's own
+        // blocking path is never exercised there; outside one it is
+        // the real synchronization.
+        let v = self.inner.get_or_init(f);
+        rt::release(addr, false);
+        v
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for OnceLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("OnceLock").field(&self.inner.get()).finish()
+    }
+}

@@ -1,0 +1,153 @@
+//! Model-checked atomic integers and booleans.
+//!
+//! Each operation is a single schedule point, so the scheduler
+//! explores every interleaving of atomic accesses while the operation
+//! itself stays indivisible (delegated to the real `std` atomic). The
+//! memory model is sequentially consistent: `Ordering` arguments are
+//! accepted for API compatibility but never weakened — see the crate
+//! docs for why, and what the `aipow-analyze` lint covers instead.
+
+pub use std::sync::atomic::Ordering;
+
+use crate::rt;
+
+macro_rules! atomic_int {
+    ($name:ident, $std:ty, $int:ty, $op:literal) => {
+        /// Model-checked drop-in for the `std` atomic of the same
+        /// name: every access is a schedule point inside a model and a
+        /// plain delegation outside one.
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            /// Creates an atomic with the given initial value.
+            pub const fn new(value: $int) -> Self {
+                Self {
+                    inner: <$std>::new(value),
+                }
+            }
+
+            /// Loads the current value.
+            pub fn load(&self, order: Ordering) -> $int {
+                rt::schedule_op(concat!($op, "-load"));
+                self.inner.load(order)
+            }
+
+            /// Stores `value`.
+            pub fn store(&self, value: $int, order: Ordering) {
+                rt::schedule_op(concat!($op, "-store"));
+                self.inner.store(value, order)
+            }
+
+            /// Replaces the value, returning the previous one.
+            pub fn swap(&self, value: $int, order: Ordering) -> $int {
+                rt::schedule_op(concat!($op, "-swap"));
+                self.inner.swap(value, order)
+            }
+
+            /// Adds, returning the previous value.
+            pub fn fetch_add(&self, value: $int, order: Ordering) -> $int {
+                rt::schedule_op(concat!($op, "-fetch_add"));
+                self.inner.fetch_add(value, order)
+            }
+
+            /// Subtracts, returning the previous value.
+            pub fn fetch_sub(&self, value: $int, order: Ordering) -> $int {
+                rt::schedule_op(concat!($op, "-fetch_sub"));
+                self.inner.fetch_sub(value, order)
+            }
+
+            /// Stores the maximum of the current and given values,
+            /// returning the previous value.
+            pub fn fetch_max(&self, value: $int, order: Ordering) -> $int {
+                rt::schedule_op(concat!($op, "-fetch_max"));
+                self.inner.fetch_max(value, order)
+            }
+
+            /// Stores `new` if the current value is `current`.
+            pub fn compare_exchange(
+                &self,
+                current: $int,
+                new: $int,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$int, $int> {
+                rt::schedule_op(concat!($op, "-cas"));
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+
+            /// Mutable access without synchronization (requires
+            /// `&mut self`).
+            pub fn get_mut(&mut self) -> &mut $int {
+                self.inner.get_mut()
+            }
+
+            /// Consumes the atomic, returning the value.
+            pub fn into_inner(self) -> $int {
+                self.inner.into_inner()
+            }
+        }
+    };
+}
+
+atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64, "u64");
+atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize, "usize");
+atomic_int!(AtomicU32, std::sync::atomic::AtomicU32, u32, "u32");
+atomic_int!(AtomicI64, std::sync::atomic::AtomicI64, i64, "i64");
+
+/// Model-checked drop-in for `std::sync::atomic::AtomicBool`.
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates an atomic with the given initial value.
+    pub const fn new(value: bool) -> Self {
+        Self {
+            inner: std::sync::atomic::AtomicBool::new(value),
+        }
+    }
+
+    /// Loads the current value.
+    pub fn load(&self, order: Ordering) -> bool {
+        rt::schedule_op("bool-load");
+        self.inner.load(order)
+    }
+
+    /// Stores `value`.
+    pub fn store(&self, value: bool, order: Ordering) {
+        rt::schedule_op("bool-store");
+        self.inner.store(value, order)
+    }
+
+    /// Replaces the value, returning the previous one.
+    pub fn swap(&self, value: bool, order: Ordering) -> bool {
+        rt::schedule_op("bool-swap");
+        self.inner.swap(value, order)
+    }
+
+    /// Stores `new` if the current value is `current`.
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        rt::schedule_op("bool-cas");
+        self.inner.compare_exchange(current, new, success, failure)
+    }
+
+    /// Mutable access without synchronization (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut bool {
+        self.inner.get_mut()
+    }
+
+    /// Consumes the atomic, returning the value.
+    pub fn into_inner(self) -> bool {
+        self.inner.into_inner()
+    }
+}

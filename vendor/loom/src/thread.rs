@@ -1,0 +1,93 @@
+//! Model-checked thread spawn/join.
+//!
+//! Model threads are real OS threads, but the scheduler in `rt` only
+//! ever lets one run at a time, so the interleaving of their visible
+//! operations is exactly the scheduler's choice sequence. Outside a
+//! model, [`spawn`] is `std::thread::spawn`.
+
+use crate::rt::{self, ThreadCtx};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Handle to a spawned thread; `join` is a schedule point in a model.
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<Option<T>>,
+    /// `Some((execution, tid))` when spawned inside a model.
+    model: Option<(std::sync::Arc<crate::rt::Execution>, usize)>,
+}
+
+/// Spawns a thread. Inside a model, the child registers with the
+/// running execution and only executes when scheduled; a panic in the
+/// child is reported as a model failure.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::current_ctx() {
+        None => JoinHandle {
+            inner: std::thread::spawn(move || Some(f())),
+            model: None,
+        },
+        Some(ctx) => {
+            let tid = ctx.exec.register_thread();
+            let exec = std::sync::Arc::clone(&ctx.exec);
+            let inner = std::thread::spawn(move || {
+                rt::set_ctx(Some(ThreadCtx {
+                    exec: std::sync::Arc::clone(&exec),
+                    tid,
+                }));
+                exec.wait_until_scheduled(tid);
+                match catch_unwind(AssertUnwindSafe(f)) {
+                    Ok(value) => {
+                        exec.thread_finished(tid, None);
+                        Some(value)
+                    }
+                    Err(payload) => {
+                        exec.thread_finished(tid, Some(rt::payload_msg(payload.as_ref())));
+                        None
+                    }
+                }
+            });
+            // Schedule point: the child is now a choice, so schedules
+            // where it runs ahead of the parent are explored.
+            ctx.exec.schedule(ctx.tid, "spawn");
+            JoinHandle {
+                inner,
+                model: Some((ctx.exec, tid)),
+            }
+        }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// In a model this parks the caller at the scheduler until the
+    /// target has run to completion (or unwinds if the execution
+    /// aborts), then collects the OS thread.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((exec, target)) = &self.model {
+            if let Some(ctx) = rt::current_ctx() {
+                exec.join_thread(ctx.tid, *target);
+            }
+        }
+        match self.inner.join() {
+            Ok(Some(value)) => Ok(value),
+            // Only reachable when a model child panicked but the
+            // joiner was not unwound (the execution had already been
+            // aborted by the time the child finished).
+            Ok(None) => Err(Box::new(rt::ABORT_MSG.to_string())),
+            Err(payload) => Err(payload),
+        }
+    }
+}
+
+/// A schedule point with no visible effect; outside a model, a real
+/// `std::thread::yield_now`.
+pub fn yield_now() {
+    if rt::current_ctx().is_some() {
+        rt::schedule_op("yield");
+    } else {
+        std::thread::yield_now();
+    }
+}

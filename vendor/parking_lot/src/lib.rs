@@ -4,6 +4,8 @@
 //! Poisoning is translated by ignoring it (`into_inner` on the poison
 //! error), matching parking_lot's semantics of not poisoning on panic.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync;

@@ -11,6 +11,8 @@
 //! so failures reproduce across runs. There is no shrinking: a failing
 //! case reports the case index and message and panics immediately.
 
+#![forbid(unsafe_code)]
+
 use std::marker::PhantomData;
 use std::ops::{Range, RangeInclusive};
 

@@ -5,6 +5,8 @@
 //! `SeedableRng::seed_from_u64`, `Rng::gen_range` over integer and float
 //! ranges, and `rand::random()` seeded from OS time for one-off keys.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level uniform random source.

@@ -7,6 +7,8 @@
 //! plus no-op derive macros, keeping every `#[derive(...)]` and trait
 //! bound compiling without network access.
 
+#![forbid(unsafe_code)]
+
 /// Marker for serializable types. Blanket-implemented for every type.
 pub trait Serialize {}
 impl<T: ?Sized> Serialize for T {}

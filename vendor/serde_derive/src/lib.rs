@@ -5,6 +5,8 @@
 //! They exist so `#[derive(Serialize, Deserialize)]` continues to compile
 //! exactly as it would against real serde.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// Derives `serde::Serialize` (a no-op: the trait has a blanket impl).
