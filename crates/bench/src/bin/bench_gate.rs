@@ -1,10 +1,11 @@
 //! The CI performance-regression gate.
 //!
 //! Runs the hot-path throughput benches (`contended_admission`,
-//! `eviction_flood`, and `admission_batch`) with `AIPOW_BENCH_JSON`
-//! pointed at a scratch file, then compares every measured median
-//! throughput against the committed baselines (`BENCH_contended.json`,
-//! `BENCH_flood.json`, `BENCH_batch.json` at the repo
+//! `eviction_flood`, `admission_batch`, and `verify_kernel`) with
+//! `AIPOW_BENCH_JSON` pointed at a scratch file, then compares every
+//! measured median throughput against the committed baselines
+//! (`BENCH_contended.json`, `BENCH_flood.json`, `BENCH_batch.json`,
+//! `BENCH_verify.json` at the repo
 //! root). A benchmark whose `per_sec` falls more than the tolerance
 //! below its baseline fails the gate (exit code 1), so a throughput
 //! regression on the admission or eviction hot path cannot merge
@@ -30,6 +31,17 @@
 //!   recorded amortization gap is ~3x, and losing it (a per-request
 //!   fixed cost reintroduced inside the batch loop) collapses the ratio
 //!   toward 1 on any host.
+//! - `AIPOW_GATE_MIN_WIDE_SPEEDUP` — floor on the within-run
+//!   wide-over-scalar `verify_batch` throughput ratio at batch=32,
+//!   default `2`. Machine-independent: the multi-buffer kernel's
+//!   recorded gap is 3-5x with vector units engaged, and a kernel that
+//!   stops vectorizing (or a verifier that stops batching MAC/work
+//!   digests through it) collapses the ratio toward 1 on any host.
+//! - `AIPOW_BENCH_TARGET_CPU` — the `-C target-cpu` value appended to
+//!   `RUSTFLAGS` for the bench run, default `native`. The portable wide
+//!   kernel only reaches full width when the compiler may use the host's
+//!   vector ISA (baseline x86-64 SSE2 caps it around 1.5x). Set to the
+//!   empty string to benchmark at the default target.
 //! - `AIPOW_BENCH_BASELINE_DIR` — where the `BENCH_*.json` baselines
 //!   live; defaults to the workspace root.
 //!
@@ -55,6 +67,8 @@ fn baseline_file_for(group: &str) -> &'static str {
         "BENCH_flood.json"
     } else if group.starts_with("admission_batch") {
         "BENCH_batch.json"
+    } else if group.starts_with("verify_kernel") {
+        "BENCH_verify.json"
     } else {
         "BENCH_contended.json"
     }
@@ -129,24 +143,40 @@ fn workspace_root() -> PathBuf {
 }
 
 /// Runs the gated benches with `AIPOW_BENCH_JSON` pointed at `out`.
+///
+/// The bench subprocess gets `-C target-cpu=<AIPOW_BENCH_TARGET_CPU>`
+/// (default `native`) appended to `RUSTFLAGS`: the wide-kernel gate
+/// measures what the verifier can do with the host's vector ISA, not
+/// the portable baseline. Note this recompiles the workspace under a
+/// distinct codegen fingerprint from a plain `cargo bench`.
 fn run_benches(out: &Path) {
     let _ = std::fs::remove_file(out);
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
-    let status = Command::new(cargo)
-        .args([
-            "bench",
-            "-p",
-            "aipow-bench",
-            "--bench",
-            "contended_admission",
-            "--bench",
-            "eviction_flood",
-            "--bench",
-            "admission_batch",
-        ])
-        .env("AIPOW_BENCH_JSON", out)
-        .status()
-        .expect("failed to spawn cargo bench");
+    let mut cmd = Command::new(cargo);
+    cmd.args([
+        "bench",
+        "-p",
+        "aipow-bench",
+        "--bench",
+        "contended_admission",
+        "--bench",
+        "eviction_flood",
+        "--bench",
+        "admission_batch",
+        "--bench",
+        "verify_kernel",
+    ])
+    .env("AIPOW_BENCH_JSON", out);
+    let cpu = std::env::var("AIPOW_BENCH_TARGET_CPU").unwrap_or_else(|_| "native".to_string());
+    if !cpu.is_empty() {
+        let mut rustflags = std::env::var("RUSTFLAGS").unwrap_or_default();
+        if !rustflags.is_empty() {
+            rustflags.push(' ');
+        }
+        rustflags.push_str(&format!("-C target-cpu={cpu}"));
+        cmd.env("RUSTFLAGS", rustflags);
+    }
+    let status = cmd.status().expect("failed to spawn cargo bench");
     assert!(status.success(), "cargo bench failed");
 }
 
@@ -172,6 +202,14 @@ fn min_batch_speedup() -> f64 {
         .and_then(|v| v.parse().ok())
         .filter(|r: &f64| r.is_finite() && *r >= 1.0)
         .unwrap_or(1.5)
+}
+
+fn min_wide_speedup() -> f64 {
+    std::env::var("AIPOW_GATE_MIN_WIDE_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|r: &f64| r.is_finite() && *r >= 1.0)
+        .unwrap_or(2.0)
 }
 
 /// The batching acceptance bar, checked within this run (so it is
@@ -211,6 +249,48 @@ fn gate_batch_speedup(measured: &Results, min_speedup: f64) -> Vec<String> {
         (None, None) => Vec::new(), // pre-batching JSON via --check-only
         _ => vec![format!(
             "batch speedup gate needs both {seq_key} and {batch_key}; only one was measured"
+        )],
+    }
+}
+
+/// The wide-kernel acceptance bar, checked within this run like the
+/// batch gate: `verify_batch` at batch=32 with `verify_lanes=8` must
+/// beat the scalar (`verify_lanes=1`) path by at least `min_speedup`.
+/// With the vector ISA engaged (see `AIPOW_BENCH_TARGET_CPU`) the
+/// recorded gap is ~3x end-to-end; a kernel that silently stops
+/// vectorizing, or a verifier that stops routing MAC/work digests
+/// through the multi-buffer path, collapses it toward 1 on any host.
+fn gate_wide_speedup(measured: &Results, min_speedup: f64) -> Vec<String> {
+    let scalar_key = "verify_kernel_batch/scalar/32";
+    let wide_key = "verify_kernel_batch/wide/32";
+    match (measured.get(scalar_key), measured.get(wide_key)) {
+        (Some(&scalar), Some(&wide)) => {
+            let speedup = if scalar > 0.0 {
+                wide / scalar
+            } else {
+                f64::INFINITY
+            };
+            let ok = speedup >= min_speedup;
+            println!(
+                "{:<48} {:>14.1} {:>14.1} {:>8.2}  {}",
+                "wide/scalar verify speedup (batch 32)",
+                scalar,
+                wide,
+                speedup,
+                if ok { "ok" } else { "REGRESSION" }
+            );
+            if ok {
+                Vec::new()
+            } else {
+                vec![format!(
+                    "{wide_key}: only {speedup:.2}x the scalar verify path within this run \
+                     (floor {min_speedup:.2}x) — the multi-lane kernel has regressed"
+                )]
+            }
+        }
+        (None, None) => Vec::new(), // pre-wide-kernel JSON via --check-only
+        _ => vec![format!(
+            "wide speedup gate needs both {scalar_key} and {wide_key}; only one was measured"
         )],
     }
 }
@@ -364,6 +444,7 @@ fn main() {
         "BENCH_contended.json",
         "BENCH_flood.json",
         "BENCH_batch.json",
+        "BENCH_verify.json",
     ] {
         baseline.extend(read_results(&root.join(file)));
     }
@@ -377,6 +458,7 @@ fn main() {
     let mut failures = gate(&baseline, &measured, tol);
     failures.extend(gate_migration_ratio(&measured, min_ratio()));
     failures.extend(gate_batch_speedup(&measured, min_batch_speedup()));
+    failures.extend(gate_wide_speedup(&measured, min_wide_speedup()));
     if failures.is_empty() {
         println!(
             "perf gate: {} benchmarks within {:.0}% of baseline",

@@ -11,7 +11,8 @@
 //!
 //! Run with `cargo run --release -p aipow-bench --bin netsim_scenarios`.
 //! Pass `--only <scenario>` (repeatable; one of `fig2`, `contended`,
-//! `behavior`, `flood`, `burst`) to run a single suite — CI shards and
+//! `behavior`, `flood`, `burst`, `lanes`) to run a single suite — CI
+//! shards and
 //! local reproductions can target the suite under investigation without
 //! paying for the rest.
 
@@ -20,6 +21,7 @@ use aipow_netsim::burst::{burst_to_markdown, run_burst, BurstConfig};
 use aipow_netsim::contended::{run_contended, ContendedConfig};
 use aipow_netsim::fig2::{run_paper_policies, Fig2Config};
 use aipow_netsim::flood::{flood_to_markdown, run_flood_pair};
+use aipow_netsim::lanes::{lanes_to_markdown, run_lanes, LanesConfig};
 
 fn fig2_suite() {
     println!("== fig2: latency vs reputation, Policies 1-3 ==");
@@ -199,13 +201,52 @@ fn burst_suite() {
     );
 }
 
+fn lanes_suite() {
+    println!("== lanes: multi-buffer verify vs scalar ==");
+    let report = run_lanes(&LanesConfig::default());
+    assert_eq!(
+        report.mismatches, 0,
+        "wide-lane verdicts diverged from the scalar path"
+    );
+    assert!(report.accepted > 0, "schedule must exercise accepts");
+    assert!(report.rejected > 0, "schedule must exercise rejections");
+    assert!(report.wide_lanes > 1, "wide framework must be wide");
+    // The throughput claim, stated for the build actually running: the
+    // wide path must never make the verify stage *slower* (1.15x
+    // headroom absorbs scheduler noise), and when the compiler was
+    // allowed a 256-bit vector ISA the kernel must win decisively (the
+    // measured end-to-end gap under AVX2 is ~2.5-3x; 1.5x leaves room
+    // for noisy runners). Baseline x86-64 (SSE2) caps the kernel near
+    // 1.5x, so the strict bound only applies with AVX2 compiled in.
+    let speedup = report.verify_speedup();
+    assert!(
+        speedup > 1.0 / 1.15,
+        "wide verify stage is {:.2}x the scalar cost ({:.0} vs {:.0} ns/item)",
+        1.0 / speedup,
+        report.wide_ns_per_item,
+        report.scalar_ns_per_item
+    );
+    if cfg!(target_feature = "avx2") {
+        assert!(
+            speedup >= 1.5,
+            "AVX2 build: verify speedup {speedup:.2}x under the 1.5x floor"
+        );
+    }
+    println!("{}", lanes_to_markdown(&report));
+    println!(
+        "   {} verdicts identical, verify speedup {:.2}x -- ok",
+        report.submissions, speedup
+    );
+}
+
 /// The suite registry: names accepted by `--only`, in run order.
-const SUITES: [(&str, fn()); 5] = [
+const SUITES: [(&str, fn()); 6] = [
     ("fig2", fig2_suite),
     ("contended", contended_suite),
     ("behavior", behavior_suite),
     ("flood", flood_suite),
     ("burst", burst_suite),
+    ("lanes", lanes_suite),
 ];
 
 fn main() {

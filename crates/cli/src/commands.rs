@@ -34,6 +34,7 @@ pub fn serve(raw: &[String]) -> Result<(), CliError> {
             "workers",
             "score",
             "max-batch",
+            "verify-lanes",
         ],
         &[],
     )?;
@@ -89,6 +90,21 @@ pub fn serve(raw: &[String]) -> Result<(), CliError> {
     if max_batch == 0 {
         return Err(CliError::usage("--max-batch must be at least 1"));
     }
+    let verify_lanes = match args.get("verify-lanes") {
+        Some(raw) => {
+            let lanes: usize = raw
+                .parse()
+                .map_err(|_| CliError::usage("--verify-lanes expects an integer in [1,8]"))?;
+            if lanes == 0 || lanes > aipow_crypto::MAX_LANES {
+                return Err(CliError::usage(format!(
+                    "--verify-lanes must be within [1,{}]",
+                    aipow_crypto::MAX_LANES
+                )));
+            }
+            Some(lanes)
+        }
+        None => None,
+    };
     let server = PowServer::start(
         &addr,
         Arc::clone(&framework),
@@ -97,15 +113,17 @@ pub fn serve(raw: &[String]) -> Result<(), CliError> {
         ServerConfig {
             workers,
             max_batch,
+            verify_lanes,
             ..Default::default()
         },
     )
     .map_err(|e| CliError::runtime(format!("bind {addr}: {e}")))?;
 
     println!(
-        "serving on {} with policy `{}` (fixed client score {score}); Ctrl-C to stop",
+        "serving on {} with policy `{}` (fixed client score {score}, {} verify lanes); Ctrl-C to stop",
         server.local_addr(),
         framework.policy_name(),
+        framework.verifier().verify_lanes(),
     );
     // Serve until the process is killed; print a metrics line every 10 s.
     loop {
@@ -171,7 +189,7 @@ pub fn fetch(raw: &[String]) -> Result<(), CliError> {
 pub fn solve(raw: &[String]) -> Result<(), CliError> {
     let args = Args::parse(
         raw.iter().cloned(),
-        &["difficulty", "threads", "trials"],
+        &["difficulty", "threads", "trials", "lanes"],
         &[],
     )?;
     let bits = args.get_parsed::<u8>("difficulty", 16, "bits in [0,64]")?;
@@ -179,18 +197,32 @@ pub fn solve(raw: &[String]) -> Result<(), CliError> {
         Difficulty::new(bits).map_err(|e| CliError::usage(format!("--difficulty: {e}")))?;
     let threads = args.get_parsed::<usize>("threads", 1, "an integer")?;
     let trials = args.get_parsed::<u32>("trials", 5, "an integer")?;
+    // Default to the hardware-detected kernel width; --lanes 1 forces the
+    // scalar search for comparison.
+    let lanes =
+        args.get_parsed::<usize>("lanes", aipow_crypto::auto_lanes(), "an integer in [1,8]")?;
+    if lanes == 0 || lanes > aipow_crypto::MAX_LANES {
+        return Err(CliError::usage(format!(
+            "--lanes must be within [1,{}]",
+            aipow_crypto::MAX_LANES
+        )));
+    }
+    let options = SolverOptions {
+        lanes,
+        ..Default::default()
+    };
 
     let issuer = Issuer::new(&[0xC1u8; 32]);
     let ip = IpAddr::V4(Ipv4Addr::new(203, 0, 113, 1));
-    println!("solving {trials} × {difficulty} puzzles with {threads} thread(s)");
+    println!("solving {trials} × {difficulty} puzzles with {threads} thread(s), {lanes} lane(s)");
     let mut total_attempts = 0u64;
     let mut total_secs = 0f64;
     for i in 0..trials {
         let challenge = issuer.issue(ip, difficulty);
         let report = if threads > 1 {
-            solver::solve_parallel(&challenge, ip, threads, &SolverOptions::default())
+            solver::solve_parallel(&challenge, ip, threads, &options)
         } else {
-            solver::solve(&challenge, ip, &SolverOptions::default())
+            solver::solve(&challenge, ip, &options)
         }
         .map_err(|e| CliError::runtime(e.to_string()))?;
         println!(
@@ -398,9 +430,32 @@ mod tests {
     }
 
     #[test]
+    fn solve_command_runs_at_explicit_lane_widths() {
+        for lanes in ["1", "4", "8"] {
+            solve(&strings(&[
+                "--difficulty",
+                "8",
+                "--trials",
+                "1",
+                "--lanes",
+                lanes,
+            ]))
+            .unwrap();
+        }
+    }
+
+    #[test]
     fn solve_rejects_bad_difficulty() {
         let err = solve(&strings(&["--difficulty", "90"])).unwrap_err();
         assert_eq!(err.exit_code, 2);
+    }
+
+    #[test]
+    fn solve_rejects_bad_lane_widths() {
+        for lanes in ["0", "9", "wide"] {
+            let err = solve(&strings(&["--lanes", lanes])).unwrap_err();
+            assert_eq!(err.exit_code, 2, "--lanes {lanes}");
+        }
     }
 
     #[test]

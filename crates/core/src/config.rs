@@ -66,6 +66,13 @@ pub struct FrameworkConfig {
     /// The TCP server drains up to this many pipelined frames per
     /// connection wakeup. Must be at least 1.
     pub max_batch: usize,
+    /// Lane width for the verifier's multi-buffer SHA-256 kernel — how
+    /// many challenge MACs / work digests batched verification hashes
+    /// per compression loop. `None` (the default) auto-detects
+    /// ([`aipow_crypto::auto_lanes`]); explicit values must be in
+    /// `[1, 8]`, with 1 forcing the scalar path. Purely a performance
+    /// knob: every width computes identical outcomes.
+    pub verify_lanes: Option<usize>,
     /// Online behavioral-reputation loop settings; `None` disables the
     /// loop (the paper's static-feature behaviour). The settings are plain
     /// data so deployments can version-control them.
@@ -210,6 +217,7 @@ impl Default for FrameworkConfig {
             shard_count: None,
             eviction_max_scan: aipow_shard::DEFAULT_MAX_SCAN,
             max_batch: crate::framework::DEFAULT_MAX_BATCH,
+            verify_lanes: None,
             online: None,
         }
     }
@@ -243,6 +251,11 @@ pub enum ConfigError {
     /// The batch-size ceiling was zero.
     BadMaxBatch {
         /// The rejected ceiling.
+        requested: usize,
+    },
+    /// The verification lane width was outside `[1, 8]`.
+    BadVerifyLanes {
+        /// The rejected width.
         requested: usize,
     },
     /// The bypass threshold was not a finite number in `[0, 10]`.
@@ -286,6 +299,13 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::BadMaxBatch { requested } => {
                 write!(f, "batch ceiling {requested} must be at least 1")
+            }
+            ConfigError::BadVerifyLanes { requested } => {
+                write!(
+                    f,
+                    "verification lane width {requested} outside [1, {}]",
+                    aipow_crypto::MAX_LANES
+                )
             }
             ConfigError::BadBypassThreshold { value } => {
                 write!(f, "bypass threshold {value} outside [0, 10]")
@@ -348,6 +368,11 @@ impl FrameworkConfig {
         if self.max_batch == 0 {
             return Err(ConfigError::BadMaxBatch { requested: 0 });
         }
+        if let Some(lanes) = self.verify_lanes {
+            if lanes == 0 || lanes > aipow_crypto::MAX_LANES {
+                return Err(ConfigError::BadVerifyLanes { requested: lanes });
+            }
+        }
         if let Some(t) = self.bypass_threshold {
             if !t.is_finite() || !(0.0..=10.0).contains(&t) {
                 return Err(ConfigError::BadBypassThreshold { value: t });
@@ -372,6 +397,9 @@ impl FrameworkConfig {
         }
         if let Some(shards) = self.shard_count {
             builder = builder.shard_count(shards);
+        }
+        if let Some(lanes) = self.verify_lanes {
+            builder = builder.verify_lanes(lanes);
         }
         Ok(builder)
     }
@@ -539,6 +567,50 @@ mod tests {
             .unwrap();
         assert_eq!(fw.max_batch(), 128);
         assert_eq!(FrameworkConfig::default().max_batch, 32);
+    }
+
+    #[test]
+    fn verify_lanes_threads_through_config() {
+        let config = FrameworkConfig {
+            verify_lanes: Some(4),
+            ..Default::default()
+        };
+        let fw = config
+            .apply()
+            .unwrap()
+            .model(FixedScoreModel::new(ReputationScore::MIN))
+            .master_key([1u8; 32])
+            .build()
+            .unwrap();
+        assert_eq!(fw.verifier().verify_lanes(), 4);
+        // The default defers to hardware detection: always a valid width.
+        assert_eq!(FrameworkConfig::default().verify_lanes, None);
+        let auto = FrameworkConfig::default()
+            .apply()
+            .unwrap()
+            .model(FixedScoreModel::new(ReputationScore::MIN))
+            .master_key([1u8; 32])
+            .build()
+            .unwrap();
+        assert!((1..=aipow_crypto::MAX_LANES).contains(&auto.verifier().verify_lanes()));
+    }
+
+    #[test]
+    fn out_of_range_verify_lanes_rejected() {
+        for requested in [0, 9, 64] {
+            let config = FrameworkConfig {
+                verify_lanes: Some(requested),
+                ..Default::default()
+            };
+            assert_eq!(
+                config.apply().unwrap_err(),
+                ConfigError::BadVerifyLanes { requested },
+                "verify_lanes {requested} should be rejected"
+            );
+        }
+        assert!(ConfigError::BadVerifyLanes { requested: 9 }
+            .to_string()
+            .contains("lane"));
     }
 
     #[test]

@@ -96,6 +96,7 @@ pub struct FrameworkBuilder {
     eviction_max_scan: usize,
     behavior_sink: Option<Arc<dyn BehaviorSink>>,
     max_batch: usize,
+    verify_lanes: Option<usize>,
 }
 
 /// Default ceiling on the group size the batch entry points process per
@@ -128,6 +129,7 @@ impl FrameworkBuilder {
             eviction_max_scan: aipow_shard::DEFAULT_MAX_SCAN,
             behavior_sink: None,
             max_batch: DEFAULT_MAX_BATCH,
+            verify_lanes: None,
         }
     }
 
@@ -261,6 +263,18 @@ impl FrameworkBuilder {
         self
     }
 
+    /// Lane width for the verifier's multi-buffer SHA-256 kernel: how
+    /// many challenge MACs / work digests batched verification hashes
+    /// per compression loop (clamped to 1..=8; 1 forces the scalar
+    /// path). Purely a performance knob — every width computes identical
+    /// outcomes. Defaults to auto-detection
+    /// ([`aipow_crypto::auto_lanes`]): 8 where the build can use 256-bit
+    /// vectors, else 4.
+    pub fn verify_lanes(mut self, lanes: usize) -> Self {
+        self.verify_lanes = Some(lanes);
+        self
+    }
+
     /// Attaches a behavioral tap that observes every admission decision
     /// and verification outcome (see [`crate::tap::BehaviorSink`]). A sink
     /// can alternatively be attached once after build with
@@ -297,10 +311,13 @@ impl FrameworkBuilder {
 
         let issuer =
             Issuer::with_clock(&master_key, Arc::clone(&self.clock)).with_ttl_ms(self.ttl_ms);
-        let verifier = Verifier::with_clock(&master_key, Arc::clone(&self.clock))
+        let mut verifier = Verifier::with_clock(&master_key, Arc::clone(&self.clock))
             .with_replay_guard(replay)
             .with_difficulty_cap(self.difficulty_cap)
             .with_max_skew_ms(self.max_skew_ms);
+        if let Some(lanes) = self.verify_lanes {
+            verifier = verifier.with_verify_lanes(lanes);
+        }
 
         let metrics = FrameworkMetrics::new();
         metrics

@@ -462,7 +462,9 @@ impl AdmissionStage<RequestCtx<'_>> for RequestTelemetryStage {
 /// Figure-1 step 6: the verifier checks each solution. The per-batch
 /// fixed costs (clock reading, skew window) are hoisted through
 /// [`aipow_pow::Verifier::prepare_at`]; the HMAC key schedule is hoisted
-/// all the way to verifier construction.
+/// all the way to verifier construction; and the hash-bound checks run
+/// through the multi-buffer SHA-256 kernel at the verifier's configured
+/// lane width ([`aipow_pow::verifier::PreparedVerify::verify_many`]).
 struct VerifyStage;
 
 impl AdmissionStage<SolutionCtx<'_>> for VerifyStage {
@@ -476,8 +478,12 @@ impl AdmissionStage<SolutionCtx<'_>> for VerifyStage {
 
     fn run(&self, fw: &Framework, now_ms: u64, batch: &mut [SolutionCtx<'_>]) -> usize {
         let prepared = fw.verifier().prepare_at(now_ms);
-        for ctx in batch.iter_mut() {
-            ctx.outcome = Some(prepared.verify_one(ctx.solution, ctx.claimed_ip));
+        let submissions: Vec<_> = batch
+            .iter()
+            .map(|ctx| (ctx.solution, ctx.claimed_ip))
+            .collect();
+        for (ctx, outcome) in batch.iter_mut().zip(prepared.verify_many(&submissions)) {
+            ctx.outcome = Some(outcome);
         }
         // Keep the saturation alarm current once per batch; the guard's
         // counter is a plain atomic, so this is two relaxed atomic ops,

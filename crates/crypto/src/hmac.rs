@@ -153,6 +153,38 @@ impl HmacKey {
     pub fn verify(&self, data: &[u8], tag: &[u8]) -> bool {
         crate::ct::eq(self.mac(data).as_bytes(), tag)
     }
+
+    /// MACs many messages under this key through the multi-buffer
+    /// SHA-256 kernel, `max_lanes` wide at most (see
+    /// [`crate::sha256_wide`]). `out[i]` is `HMAC(key, msgs[i])`,
+    /// bit-identical to [`mac`](HmacKey::mac).
+    ///
+    /// Both HMAC passes run wide: the inner pass groups messages of
+    /// equal length into lanes (ragged tails fall back to the scalar
+    /// path), and the outer pass is always fully packed because every
+    /// inner digest is exactly 32 bytes. Both passes start from the
+    /// hoisted pad-absorbed midstates, so the key schedule costs
+    /// nothing per message.
+    pub fn mac_batch(&self, msgs: &[&[u8]], max_lanes: usize) -> Vec<Digest> {
+        let inner: Vec<Digest> =
+            crate::sha256_wide::digest_batch_from(&self.inner_base, msgs, max_lanes);
+        let inner_refs: Vec<&[u8]> = inner.iter().map(|d| d.as_bytes().as_slice()).collect();
+        crate::sha256_wide::digest_batch_from(&self.outer_base, &inner_refs, max_lanes)
+    }
+
+    /// Verifies `tags[i]` against `HMAC(key, msgs[i])` for a whole
+    /// batch, each comparison in constant time via [`crate::ct::eq`].
+    /// The MACs are computed through [`mac_batch`](HmacKey::mac_batch);
+    /// the comparisons stay per-item so one forged tag cannot shadow a
+    /// valid neighbour.
+    pub fn verify_batch(&self, msgs: &[&[u8]], tags: &[&[u8]], max_lanes: usize) -> Vec<bool> {
+        assert_eq!(msgs.len(), tags.len(), "batch-shape invariant");
+        self.mac_batch(msgs, max_lanes)
+            .iter()
+            .zip(tags)
+            .map(|(expect, tag)| crate::ct::eq(expect.as_bytes(), tag))
+            .collect()
+    }
 }
 
 impl core::fmt::Debug for HmacKey {
@@ -276,6 +308,35 @@ mod tests {
             }
         }
         assert_eq!(format!("{:?}", HmacKey::new(b"k")), "HmacKey{..}");
+    }
+
+    #[test]
+    fn mac_batch_matches_scalar_mac_for_mixed_shapes() {
+        let key = HmacKey::new(b"batch-key");
+        // Lengths chosen to produce full 8-lane groups, a 4-lane group,
+        // and ragged scalar tails.
+        let msgs: Vec<Vec<u8>> = (0..21u8)
+            .map(|i| vec![i; [0usize, 17, 17, 64, 64, 64, 64][i as usize % 7]])
+            .collect();
+        let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+        for lanes in 1..=8 {
+            let tags = key.mac_batch(&refs, lanes);
+            for (i, msg) in msgs.iter().enumerate() {
+                assert_eq!(tags[i], key.mac(msg), "lanes={lanes} index={i}");
+            }
+        }
+        assert!(key.mac_batch(&[], 8).is_empty());
+    }
+
+    #[test]
+    fn verify_batch_flags_each_tag_independently() {
+        let key = HmacKey::new(b"vb-key");
+        let msgs: [&[u8]; 3] = [b"one", b"two", b"three"];
+        let good: Vec<Digest> = msgs.iter().map(|m| key.mac(m)).collect();
+        let mut forged = *good[1].as_bytes();
+        forged[5] ^= 0x80;
+        let tags: [&[u8]; 3] = [good[0].as_bytes(), &forged, good[2].as_bytes()];
+        assert_eq!(key.verify_batch(&msgs, &tags, 8), vec![true, false, true]);
     }
 
     mod prop {

@@ -8,6 +8,8 @@
 //! scratch and validated against the official test vectors:
 //!
 //! - [`sha256`] — FIPS 180-4 SHA-256 and SHA-224 (streaming and one-shot),
+//! - [`sha256_wide`] — lane-interleaved multi-buffer SHA-256 (4/8 independent
+//!   blocks per round loop, written for autovectorization),
 //! - [`hmac`] — RFC 2104 / FIPS 198-1 HMAC-SHA-256,
 //! - [`hkdf`] — RFC 5869 HKDF-SHA-256 (extract / expand),
 //! - [`drbg`] — an HMAC-DRBG (SP 800-90A style) deterministic byte generator,
@@ -45,7 +47,9 @@ pub mod hex;
 pub mod hkdf;
 pub mod hmac;
 pub mod sha256;
+pub mod sha256_wide;
 
 pub use drbg::HmacDrbg;
 pub use hmac::{HmacKey, HmacSha256};
 pub use sha256::{Digest, Sha224, Sha256};
+pub use sha256_wide::{auto_lanes, WideHasher, MAX_LANES};

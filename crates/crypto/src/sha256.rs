@@ -12,8 +12,9 @@
 use core::fmt;
 
 /// SHA-256 round constants: the first 32 bits of the fractional parts of the
-/// cube roots of the first 64 primes (FIPS 180-4 §4.2.2).
-const K: [u32; 64] = [
+/// cube roots of the first 64 primes (FIPS 180-4 §4.2.2). Shared with the
+/// lane-interleaved kernel in [`crate::sha256_wide`].
+pub(crate) const K: [u32; 64] = [
     0x428a_2f98,
     0x7137_4491,
     0xb5c0_fbcf,
@@ -81,7 +82,7 @@ const K: [u32; 64] = [
 ];
 
 /// SHA-256 initial hash value (FIPS 180-4 §5.3.3).
-const H256: [u32; 8] = [
+pub(crate) const H256: [u32; 8] = [
     0x6a09_e667,
     0xbb67_ae85,
     0x3c6e_f372,
@@ -219,13 +220,13 @@ impl From<[u8; 32]> for Digest {
 /// ```
 #[derive(Clone)]
 pub struct Sha256 {
-    state: [u32; 8],
+    pub(crate) state: [u32; 8],
     /// Partial input block awaiting compression.
-    buf: [u8; 64],
-    buf_len: usize,
+    pub(crate) buf: [u8; 64],
+    pub(crate) buf_len: usize,
     /// Total message length in bytes (message limit 2^61 bytes, far beyond
     /// anything this workspace hashes).
-    total_len: u64,
+    pub(crate) total_len: u64,
 }
 
 impl Default for Sha256 {

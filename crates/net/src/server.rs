@@ -52,6 +52,13 @@ pub struct ServerConfig {
     /// written in frame order either way; 1 disables batching (every
     /// frame dispatched alone). Clamped to a minimum of 1.
     pub max_batch: usize,
+    /// Lane width for the verifier's multi-buffer SHA-256 kernel, applied
+    /// to the framework at server start (`Verifier::set_verify_lanes`).
+    /// `None` (the default) leaves the framework's setting — normally
+    /// hardware auto-detection — untouched; explicit values are clamped
+    /// to `[1, 8]`, with 1 forcing scalar verification. Purely a
+    /// performance knob: every width computes identical outcomes.
+    pub verify_lanes: Option<usize>,
     /// Online behavioral-reputation loop. When set, the server attaches a
     /// behavior recorder to the framework's tap, serves model features
     /// from the live blending source (the `features` argument to
@@ -82,6 +89,7 @@ impl Default for ServerConfig {
             rate_limit_max_scan: aipow_core::sharded::DEFAULT_MAX_SCAN,
             queue_depth: 256,
             max_batch: aipow_core::framework::DEFAULT_MAX_BATCH,
+            verify_lanes: None,
             online: None,
         }
     }
@@ -130,6 +138,10 @@ impl PowServer {
 
         let shutdown = Arc::new(AtomicBool::new(false));
         let resources = Arc::new(resources);
+
+        if let Some(lanes) = config.verify_lanes {
+            framework.verifier().set_verify_lanes(lanes);
+        }
 
         // Online loop: the caller's feature source becomes the cold-start
         // prior, and live features are served from the blending source.
@@ -676,6 +688,31 @@ mod tests {
         let server = test_server(0.0, ServerConfig::default());
         let addr = server.local_addr();
         assert_ne!(addr.port(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn verify_lanes_config_is_applied_at_start() {
+        let framework = Arc::new(
+            FrameworkBuilder::new()
+                .master_key([3u8; 32])
+                .model(FixedScoreModel::new(ReputationScore::MIN))
+                .policy(LinearPolicy::policy1())
+                .build()
+                .unwrap(),
+        );
+        let server = PowServer::start(
+            "127.0.0.1:0",
+            Arc::clone(&framework),
+            Arc::new(StaticFeatureSource::new(FeatureVector::zeros())),
+            HashMap::new(),
+            ServerConfig {
+                verify_lanes: Some(4),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(framework.verifier().verify_lanes(), 4);
         server.shutdown();
     }
 

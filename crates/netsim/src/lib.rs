@@ -54,6 +54,7 @@ pub mod contended;
 pub mod engine;
 pub mod fig2;
 pub mod flood;
+pub mod lanes;
 pub mod profile;
 pub mod report;
 pub mod sample;

@@ -8,10 +8,15 @@
 //!
 //! The preimage prefix is fixed, so the solver pre-hashes it once and clones
 //! the midstate per attempt — the per-nonce cost is one block-sized SHA-256
-//! update plus finalization.
+//! update plus finalization. With [`SolverOptions::lanes`] above 1 the
+//! solver broadcasts that midstate into the multi-buffer kernel and tries
+//! 4 or 8 nonces per compression loop, falling back to scalar stepping
+//! near budget and nonce-space boundaries so the attempt accounting and
+//! the found nonce are identical to a scalar run.
 
 use crate::challenge::{Challenge, NonceWidth, Solution};
 use aipow_crypto::sha256::Sha256;
+use aipow_crypto::sha256_wide::{WideHasher, MAX_LANES};
 use core::fmt;
 use std::net::IpAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -31,6 +36,13 @@ pub struct SolverOptions {
     pub start_nonce: u64,
     /// Step between successive nonces (1 for serial solving).
     pub nonce_step: u64,
+    /// Nonces hashed per multi-buffer kernel round (clamped to
+    /// 1..=[`MAX_LANES`]). 8 and above selects 8-wide rounds, 4..=7
+    /// selects 4-wide, below 4 the scalar path. The search order,
+    /// attempt count, and found nonce are identical at every width; the
+    /// default of 1 keeps single calls scalar — pass
+    /// [`aipow_crypto::auto_lanes`] for full throughput.
+    pub lanes: usize,
 }
 
 impl Default for SolverOptions {
@@ -40,6 +52,7 @@ impl Default for SolverOptions {
             strict_u32: false,
             start_nonce: 0,
             nonce_step: 1,
+            lanes: 1,
         }
     }
 }
@@ -153,6 +166,7 @@ pub fn solve_cancellable(
     let width = options.width();
     let need_bits = challenge.difficulty().bits() as u32;
     let prefix = challenge.preimage_prefix(client_ip);
+    let lanes = options.lanes.clamp(1, MAX_LANES);
 
     let mut midstate = Sha256::new();
     midstate.update(&prefix);
@@ -174,30 +188,87 @@ pub fn solve_cancellable(
             return Err(SolveError::Cancelled { attempts });
         }
 
-        let mut hasher = midstate.clone();
-        hasher.update(&width.encode(nonce));
-        attempts += 1;
+        // Pick the widest round the remaining budget and nonce space
+        // allow; ragged tails drop to scalar so attempt accounting and
+        // exhaustion points match a scalar run exactly.
+        let remaining = options.max_attempts.map_or(u64::MAX, |b| b - attempts);
+        let round = if lanes >= 8 && remaining >= 8 && stripe_fits(nonce, step, 8, width) {
+            8usize
+        } else if lanes >= 4 && remaining >= 4 && stripe_fits(nonce, step, 4, width) {
+            4
+        } else {
+            1
+        };
+        let hit = match round {
+            8 => wide_round::<8>(&midstate, width, nonce, step, need_bits),
+            4 => wide_round::<4>(&midstate, width, nonce, step, need_bits),
+            _ => {
+                let mut hasher = midstate.clone();
+                hasher.update(&width.encode(nonce));
+                (hasher.finalize().leading_zero_bits() >= need_bits).then_some(0)
+            }
+        };
 
-        if hasher.finalize().leading_zero_bits() >= need_bits {
-            return Ok(SolveReport {
-                solution: Solution {
-                    challenge: challenge.clone(),
-                    nonce,
-                    width,
-                },
-                attempts,
-                elapsed: start.elapsed(),
-            });
+        match hit {
+            Some(lane) => {
+                // A scalar run would have stopped at this lane's nonce
+                // after hashing the lanes before it.
+                attempts += lane as u64 + 1;
+                return Ok(SolveReport {
+                    solution: Solution {
+                        challenge: challenge.clone(),
+                        nonce: nonce + lane as u64 * step,
+                        width,
+                    },
+                    attempts,
+                    elapsed: start.elapsed(),
+                });
+            }
+            None => {
+                attempts += round as u64;
+                // Advance; detect exhaustion of the width-limited space
+                // (u64 wrap or stepping past the u32 ceiling in strict
+                // mode).
+                let next = step
+                    .checked_mul(round as u64)
+                    .and_then(|span| nonce.checked_add(span))
+                    .filter(|n| width.fits(*n));
+                match next {
+                    Some(n) => nonce = n,
+                    None => return Err(SolveError::NonceSpaceExhausted { attempts }),
+                }
+            }
         }
-
-        // Advance; detect exhaustion of the width-limited space (u64 wrap
-        // or stepping past the u32 ceiling in strict mode).
-        let next = nonce.wrapping_add(step);
-        if next < nonce || !width.fits(next) {
-            return Err(SolveError::NonceSpaceExhausted { attempts });
-        }
-        nonce = next;
     }
+}
+
+/// Whether all `l` striped nonces starting at `base` stay inside the
+/// width-limited nonce space (no u64 wrap, no u32 overflow in strict
+/// mode).
+fn stripe_fits(base: u64, step: u64, l: u64, width: NonceWidth) -> bool {
+    step.checked_mul(l - 1)
+        .and_then(|span| base.checked_add(span))
+        .is_some_and(|last| width.fits(last))
+}
+
+/// Hashes the `L` striped nonces `base, base+step, ..` through one
+/// multi-buffer round from the shared midstate and returns the first
+/// lane meeting the difficulty, mirroring scalar search order.
+fn wide_round<const L: usize>(
+    midstate: &Sha256,
+    width: NonceWidth,
+    base: u64,
+    step: u64,
+    need_bits: u32,
+) -> Option<usize> {
+    let encodings: [Vec<u8>; L] = core::array::from_fn(|l| width.encode(base + l as u64 * step));
+    let suffixes: [&[u8]; L] = core::array::from_fn(|l| encodings[l].as_slice());
+    let mut hasher = WideHasher::<L>::from_midstate(midstate);
+    hasher.update(suffixes);
+    hasher
+        .finalize()
+        .iter()
+        .position(|digest| digest.leading_zero_bits() >= need_bits)
 }
 
 /// Solves using `threads` worker threads with striped nonce ranges. The
@@ -238,6 +309,7 @@ pub fn solve_parallel(
                 // Split any attempt budget across workers.
                 max_attempts: options.max_attempts.map(|b| b.div_ceil(threads as u64)),
                 strict_u32: options.strict_u32,
+                lanes: options.lanes,
             };
             handles.push(scope.spawn(move |_| {
                 let out = solve_cancellable(challenge, client_ip, &options, found);
@@ -312,14 +384,34 @@ pub fn solve_parallel(
 /// preimage. Used to calibrate simulation profiles and report native
 /// numbers in EXPERIMENTS.md.
 pub fn measure_hash_rate(samples: u64) -> f64 {
+    measure_hash_rate_lanes(samples, 1)
+}
+
+/// As [`measure_hash_rate`], but evaluating `lanes` nonces per
+/// multi-buffer kernel round (clamped to 1..=[`MAX_LANES`]; below 4 the
+/// scalar path is timed). The lane-sweep example and `aipow solve` use
+/// this to report the throughput each width actually achieves.
+pub fn measure_hash_rate_lanes(samples: u64, lanes: usize) -> f64 {
+    let lanes = lanes.clamp(1, MAX_LANES);
     let mut midstate = Sha256::new();
     midstate.update(b"aipow hash-rate calibration preimage / 203.0.113.7");
     let start = Instant::now();
     let mut acc = 0u32;
-    for nonce in 0..samples {
-        let mut h = midstate.clone();
-        h.update(&nonce.to_be_bytes());
-        acc ^= h.finalize().leading_zero_bits();
+    let mut nonce = 0u64;
+    while nonce < samples {
+        let left = samples - nonce;
+        if lanes >= 8 && left >= 8 {
+            acc ^= measure_round::<8>(&midstate, nonce);
+            nonce += 8;
+        } else if lanes >= 4 && left >= 4 {
+            acc ^= measure_round::<4>(&midstate, nonce);
+            nonce += 4;
+        } else {
+            let mut h = midstate.clone();
+            h.update(&nonce.to_be_bytes());
+            acc ^= h.finalize().leading_zero_bits();
+            nonce += 1;
+        }
     }
     let elapsed = start.elapsed().as_secs_f64();
     // Fold `acc` into the result decision so the loop cannot be optimized out.
@@ -328,6 +420,17 @@ pub fn measure_hash_rate(samples: u64) -> f64 {
         return samples as f64 / denom - 1.0;
     }
     samples as f64 / denom
+}
+
+fn measure_round<const L: usize>(midstate: &Sha256, base: u64) -> u32 {
+    let encodings: [[u8; 8]; L] = core::array::from_fn(|l| (base + l as u64).to_be_bytes());
+    let suffixes: [&[u8]; L] = core::array::from_fn(|l| encodings[l].as_slice());
+    let mut hasher = WideHasher::<L>::from_midstate(midstate);
+    hasher.update(suffixes);
+    hasher
+        .finalize()
+        .iter()
+        .fold(0, |acc, digest| acc ^ digest.leading_zero_bits())
 }
 
 #[cfg(test)]
@@ -459,6 +562,105 @@ mod tests {
     fn hash_rate_measurement_is_positive() {
         let rate = measure_hash_rate(20_000);
         assert!(rate > 10_000.0, "implausibly slow hash rate {rate}");
+        for lanes in [4, 8] {
+            let rate = measure_hash_rate_lanes(20_000, lanes);
+            assert!(rate > 10_000.0, "implausibly slow {lanes}-lane rate {rate}");
+        }
+    }
+
+    #[test]
+    fn wide_search_finds_the_same_nonce_with_the_same_attempt_count() {
+        for d in [0u8, 3, 6, 9] {
+            let c = issue(d);
+            let scalar = solve(&c, ip(), &SolverOptions::default()).unwrap();
+            for lanes in [2, 4, 7, 8] {
+                let wide = solve(
+                    &c,
+                    ip(),
+                    &SolverOptions {
+                        lanes,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    wide.solution.nonce, scalar.solution.nonce,
+                    "lanes {lanes} difficulty {d}"
+                );
+                assert_eq!(wide.attempts, scalar.attempts);
+                assert!(wide.solution.meets_difficulty(ip()));
+            }
+        }
+    }
+
+    #[test]
+    fn wide_striped_search_respects_the_stripe() {
+        let c = issue(5);
+        let opts = SolverOptions {
+            start_nonce: 3,
+            nonce_step: 4,
+            lanes: 8,
+            ..Default::default()
+        };
+        let report = solve(&c, ip(), &opts).unwrap();
+        assert_eq!(report.solution.nonce % 4, 3);
+        let scalar = solve(
+            &c,
+            ip(),
+            &SolverOptions {
+                lanes: 1,
+                ..opts.clone()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.solution.nonce, scalar.solution.nonce);
+        assert_eq!(report.attempts, scalar.attempts);
+    }
+
+    #[test]
+    fn wide_budget_exhaustion_is_exact_on_ragged_budgets() {
+        // 103 is not a multiple of 4 or 8: the tail must fall back to
+        // scalar stepping so the budget trips at exactly 103 attempts.
+        let c = issue(64);
+        for lanes in [4, 8] {
+            let opts = SolverOptions {
+                max_attempts: Some(103),
+                lanes,
+                ..Default::default()
+            };
+            match solve(&c, ip(), &opts) {
+                Err(SolveError::BudgetExhausted { attempts }) => assert_eq!(attempts, 103),
+                other => panic!("expected budget exhaustion, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn wide_strict_u32_exhausts_exactly_at_the_ceiling() {
+        // 11 nonces remain before the u32 ceiling: one 8-wide round fits,
+        // the rest must go scalar, matching the scalar attempt count.
+        let c = issue(64);
+        let opts = SolverOptions {
+            strict_u32: true,
+            start_nonce: u32::MAX as u64 - 10,
+            lanes: 8,
+            ..Default::default()
+        };
+        match solve(&c, ip(), &opts) {
+            Err(SolveError::NonceSpaceExhausted { attempts }) => assert_eq!(attempts, 11),
+            other => panic!("expected nonce-space exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wide_parallel_solution_verifies() {
+        let c = issue(10);
+        let opts = SolverOptions {
+            lanes: 8,
+            ..Default::default()
+        };
+        let report = solve_parallel(&c, ip(), 4, &opts).unwrap();
+        assert!(report.solution.meets_difficulty(ip()));
     }
 
     #[test]

@@ -15,8 +15,10 @@ use crate::replay::ReplayGuard;
 use crate::time::{SystemClock, TimeSource};
 use aipow_crypto::hkdf;
 use aipow_crypto::hmac::HmacKey;
+use aipow_crypto::{ct, sha256_wide};
 use core::fmt;
 use std::net::IpAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Default tolerated forward clock skew between issuance and verification
@@ -147,6 +149,12 @@ pub struct Verifier {
     clock: Arc<dyn TimeSource>,
     max_skew_ms: u64,
     difficulty_cap: Difficulty,
+    /// Lane width for batched hash work (MACs and work digests) in
+    /// [`PreparedVerify::verify_many`]: 1 forces the scalar path, 4/8
+    /// select the multi-buffer kernel width. Atomic so a server can
+    /// apply configuration to an already-shared verifier; it is a
+    /// performance knob only — every width computes identical results.
+    verify_lanes: AtomicUsize,
 }
 
 impl Verifier {
@@ -165,6 +173,7 @@ impl Verifier {
             clock,
             max_skew_ms: DEFAULT_MAX_SKEW_MS,
             difficulty_cap: Difficulty::saturating(40),
+            verify_lanes: AtomicUsize::new(sha256_wide::auto_lanes()),
         }
     }
 
@@ -184,6 +193,28 @@ impl Verifier {
     pub fn with_max_skew_ms(mut self, skew: u64) -> Self {
         self.max_skew_ms = skew;
         self
+    }
+
+    /// Sets the batched-verification lane width (clamped to
+    /// 1..=[`sha256_wide::MAX_LANES`]); 1 disables the wide kernel.
+    pub fn with_verify_lanes(mut self, lanes: usize) -> Self {
+        *self.verify_lanes.get_mut() = lanes.clamp(1, sha256_wide::MAX_LANES);
+        self
+    }
+
+    /// Adjusts the lane width on a live (possibly shared) verifier.
+    pub fn set_verify_lanes(&self, lanes: usize) {
+        let clamped = lanes.clamp(1, sha256_wide::MAX_LANES);
+        // relaxed: an independent perf knob — no other memory depends on
+        // it, every width computes identical results, and stale reads
+        // merely run one batch at the previous width.
+        self.verify_lanes.store(clamped, Ordering::Relaxed);
+    }
+
+    /// The current batched-verification lane width.
+    pub fn verify_lanes(&self) -> usize {
+        // relaxed: see `set_verify_lanes`.
+        self.verify_lanes.load(Ordering::Relaxed)
     }
 
     /// Access to the replay guard (for metrics/ablation).
@@ -243,10 +274,11 @@ impl Verifier {
         submissions: &[(Solution, IpAddr)],
     ) -> Vec<Result<VerifiedToken, VerifyError>> {
         let prepared = self.prepare_at(self.clock.now_ms());
-        submissions
+        let refs: Vec<(&Solution, IpAddr)> = submissions
             .iter()
-            .map(|(solution, ip)| prepared.verify_one(solution, *ip))
-            .collect()
+            .map(|(solution, ip)| (solution, *ip))
+            .collect();
+        prepared.verify_many(&refs)
     }
 }
 
@@ -341,6 +373,146 @@ impl PreparedVerify<'_> {
             verified_at_ms: now_ms,
         })
     }
+
+    /// Verifies a batch of submissions under the prepared context,
+    /// routing the two hash-bound checks — challenge MACs and work
+    /// digests — through the multi-buffer SHA-256 kernel at the
+    /// verifier's configured lane width.
+    ///
+    /// Observably identical to calling [`verify_one`](Self::verify_one)
+    /// on each submission in order: checks are staged (cheap shape
+    /// checks, then batched MACs, then binding/freshness, then batched
+    /// work digests, then replay marking) but each submission still
+    /// fails with the error its *first* failing check would report, and
+    /// replay marking happens in submission order as the final step, so
+    /// duplicate seeds within one batch behave exactly as sequential
+    /// submissions. The staging is sound because the MAC and work checks
+    /// read no mutable verifier state.
+    ///
+    /// Same-length preimages are grouped into full 8- or 4-wide lanes by
+    /// the kernel; ragged tails and odd shapes fall back to scalar
+    /// hashing per message. A lane width of 1 (or a batch of fewer than
+    /// two live submissions) takes the scalar path outright.
+    pub fn verify_many(
+        &self,
+        submissions: &[(&Solution, IpAddr)],
+    ) -> Vec<Result<VerifiedToken, VerifyError>> {
+        let lanes = self.verifier.verify_lanes();
+        if lanes <= 1 || submissions.len() < 2 {
+            return submissions
+                .iter()
+                .map(|(solution, ip)| self.verify_one(solution, *ip))
+                .collect();
+        }
+
+        let cap = self.verifier.difficulty_cap;
+        let mut out: Vec<Option<Result<VerifiedToken, VerifyError>>> =
+            vec![None; submissions.len()];
+
+        // Stage 1: cheap per-item shape checks.
+        let mut live: Vec<usize> = Vec::with_capacity(submissions.len());
+        for (i, (solution, _)) in submissions.iter().enumerate() {
+            let challenge = &solution.challenge;
+            if challenge.version() != CHALLENGE_VERSION {
+                out[i] = Some(Err(VerifyError::UnsupportedVersion {
+                    got: challenge.version(),
+                }));
+            } else if challenge.difficulty() > cap {
+                out[i] = Some(Err(VerifyError::DifficultyTooHigh {
+                    got: challenge.difficulty(),
+                    cap,
+                }));
+            } else if !solution.width.fits(solution.nonce) {
+                out[i] = Some(Err(VerifyError::MalformedNonce));
+            } else {
+                live.push(i);
+            }
+        }
+
+        // Stage 2: challenge MACs for all survivors, hashed wide.
+        let auth: Vec<Vec<u8>> = live
+            .iter()
+            .map(|&i| submissions[i].0.challenge.authenticated_bytes())
+            .collect();
+        let msgs: Vec<&[u8]> = auth.iter().map(Vec::as_slice).collect();
+        let macs = self.verifier.mac_key.mac_batch(&msgs, lanes);
+        let mut bound: Vec<usize> = Vec::with_capacity(live.len());
+        for (expect, &i) in macs.iter().zip(&live) {
+            let challenge = &submissions[i].0.challenge;
+            if !ct::eq(expect.as_bytes(), challenge.tag()) {
+                out[i] = Some(Err(VerifyError::BadMac));
+            } else {
+                bound.push(i);
+            }
+        }
+
+        // Stage 3: client binding and freshness.
+        let mut workable: Vec<usize> = Vec::with_capacity(bound.len());
+        for &i in &bound {
+            let (solution, claimed_ip) = &submissions[i];
+            let challenge = &solution.challenge;
+            if challenge.client_ip() != *claimed_ip {
+                out[i] = Some(Err(VerifyError::ClientMismatch));
+            } else if challenge.issued_at_ms() > self.not_before_horizon {
+                out[i] = Some(Err(VerifyError::NotYetValid));
+            } else if challenge.is_expired(self.now_ms) {
+                out[i] = Some(Err(VerifyError::Expired {
+                    expired_at_ms: challenge.expires_at_ms(),
+                    now_ms: self.now_ms,
+                }));
+            } else {
+                workable.push(i);
+            }
+        }
+
+        // Stage 4: work digests, hashed wide over the full preimages.
+        let preimages: Vec<Vec<u8>> = workable
+            .iter()
+            .map(|&i| {
+                let (solution, claimed_ip) = &submissions[i];
+                let mut preimage = solution.challenge.preimage_prefix(*claimed_ip);
+                preimage.extend_from_slice(&solution.width.encode(solution.nonce));
+                preimage
+            })
+            .collect();
+        let msgs: Vec<&[u8]> = preimages.iter().map(Vec::as_slice).collect();
+        let digests = sha256_wide::digest_batch(&msgs, lanes);
+
+        // Stage 5: judge work, then mark replays in submission order.
+        // `workable` is ascending, so this preserves first-wins semantics
+        // for duplicate seeds within the batch.
+        for (digest, &i) in digests.iter().zip(&workable) {
+            let (solution, claimed_ip) = &submissions[i];
+            let challenge = &solution.challenge;
+            let got_bits = digest.leading_zero_bits();
+            let need_bits = challenge.difficulty().bits() as u32;
+            out[i] = Some(if got_bits < need_bits {
+                Err(VerifyError::InsufficientWork {
+                    got_bits,
+                    need_bits,
+                })
+            } else if !self.verifier.replay.check_and_insert(
+                challenge.seed(),
+                challenge.expires_at_ms(),
+                self.now_ms,
+            ) {
+                Err(VerifyError::Replayed)
+            } else {
+                Ok(VerifiedToken {
+                    client_ip: *claimed_ip,
+                    difficulty: challenge.difficulty(),
+                    seed: *challenge.seed(),
+                    verified_at_ms: self.now_ms,
+                })
+            });
+        }
+
+        out.into_iter()
+            .map(|o| {
+                o.expect("staging invariant: every submission is resolved by exactly one stage")
+            })
+            .collect()
+    }
 }
 
 impl core::fmt::Debug for Verifier {
@@ -348,6 +520,7 @@ impl core::fmt::Debug for Verifier {
         f.debug_struct("Verifier")
             .field("max_skew_ms", &self.max_skew_ms)
             .field("difficulty_cap", &self.difficulty_cap)
+            .field("verify_lanes", &self.verify_lanes())
             .finish_non_exhaustive()
     }
 }
@@ -429,6 +602,141 @@ mod tests {
         assert_eq!(verifier.verify(&b, ip()), Err(VerifyError::Replayed));
         // Empty batches are fine.
         assert!(verifier.verify_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn wide_batch_outcomes_match_scalar_for_every_error_class() {
+        // One submission per check outcome, mixed V4/V6 clients so the
+        // kernel sees ragged preimage lengths, verified at every lane
+        // width. All widths must agree with the scalar (lanes = 1) path
+        // item for item, including intra-batch replay ordering.
+        let build = |lanes: usize| {
+            let clock = ManualClock::at(1_000_000);
+            let issuer = Issuer::with_clock(&KEY, Arc::new(clock.clone()));
+            let verifier = Verifier::with_clock(&KEY, Arc::new(clock)).with_verify_lanes(lanes);
+            (issuer, verifier)
+        };
+        let v6 = IpAddr::V6("2001:db8::7".parse().unwrap());
+        let other = IpAddr::V4(Ipv4Addr::new(192, 0, 2, 99));
+        let (issuer, _) = build(1);
+        let solve = |ip: IpAddr, d: u8| {
+            let c = issuer.issue(ip, Difficulty::new(d).unwrap());
+            solver::solve(&c, ip, &SolverOptions::default())
+                .unwrap()
+                .solution
+        };
+
+        let good4 = solve(ip(), 4);
+        let good6 = solve(v6, 3);
+        let c = &good4.challenge;
+        let mut tag = *c.tag();
+        tag[7] ^= 0x80;
+        let bad_mac = Solution {
+            challenge: Challenge::from_parts(
+                c.version(),
+                *c.seed(),
+                c.issued_at_ms(),
+                c.ttl_ms(),
+                c.difficulty(),
+                c.client_ip(),
+                tag,
+            ),
+            ..good4.clone()
+        };
+        let bad_version = Solution {
+            challenge: Challenge::from_parts(
+                99,
+                *c.seed(),
+                c.issued_at_ms(),
+                c.ttl_ms(),
+                c.difficulty(),
+                c.client_ip(),
+                *c.tag(),
+            ),
+            ..good4.clone()
+        };
+        let bad_width = Solution {
+            nonce: u32::MAX as u64 + 1,
+            width: NonceWidth::U32,
+            ..good4.clone()
+        };
+        let expired = {
+            let c = issuer.issue_at(ip(), Difficulty::ZERO, 1_000);
+            solver::solve(&c, ip(), &SolverOptions::default())
+                .unwrap()
+                .solution
+        };
+        let future = {
+            let c = issuer.issue_at(ip(), Difficulty::ZERO, 1_010_000);
+            solver::solve(&c, ip(), &SolverOptions::default())
+                .unwrap()
+                .solution
+        };
+        let weak = {
+            let c = issuer.issue(ip(), Difficulty::new(20).unwrap());
+            let mut nonce = 0u64;
+            loop {
+                let cand = Solution {
+                    challenge: c.clone(),
+                    nonce,
+                    width: NonceWidth::U64,
+                };
+                if !cand.meets_difficulty(ip()) {
+                    break cand;
+                }
+                nonce += 1;
+            }
+        };
+
+        let submissions = vec![
+            (good4.clone(), ip()),
+            (bad_version, ip()),
+            (good6.clone(), v6),
+            (bad_mac, ip()),
+            (good6.clone(), other), // ClientMismatch
+            (bad_width, ip()),
+            (expired, ip()),
+            (future, ip()),
+            (weak, ip()),
+            (good4.clone(), ip()), // intra-batch replay
+        ];
+
+        let (_, scalar) = build(1);
+        let want = scalar.verify_batch(&submissions);
+        assert!(want[0].is_ok());
+        assert!(matches!(
+            want[1],
+            Err(VerifyError::UnsupportedVersion { got: 99 })
+        ));
+        assert!(want[2].is_ok());
+        assert_eq!(want[3], Err(VerifyError::BadMac));
+        assert_eq!(want[4], Err(VerifyError::ClientMismatch));
+        assert_eq!(want[5], Err(VerifyError::MalformedNonce));
+        assert!(matches!(want[6], Err(VerifyError::Expired { .. })));
+        assert_eq!(want[7], Err(VerifyError::NotYetValid));
+        assert!(matches!(want[8], Err(VerifyError::InsufficientWork { .. })));
+        assert_eq!(want[9], Err(VerifyError::Replayed));
+
+        for lanes in 2..=sha256_wide::MAX_LANES {
+            let (_, wide) = build(lanes);
+            assert_eq!(wide.verify_lanes(), lanes);
+            assert_eq!(
+                wide.verify_batch(&submissions),
+                want,
+                "lane width {lanes} diverged from scalar"
+            );
+        }
+    }
+
+    #[test]
+    fn verify_lanes_is_clamped_and_runtime_settable() {
+        let (_, verifier, _, _) = setup(0);
+        let verifier = verifier.with_verify_lanes(0);
+        assert_eq!(verifier.verify_lanes(), 1);
+        verifier.set_verify_lanes(64);
+        assert_eq!(verifier.verify_lanes(), sha256_wide::MAX_LANES);
+        verifier.set_verify_lanes(4);
+        assert_eq!(verifier.verify_lanes(), 4);
     }
 
     #[test]

@@ -79,13 +79,22 @@ fn wrong_ip() -> IpAddr {
 /// Builds one framework (fixed low score → tiny puzzles, solver cost
 /// negligible) with its lockstep clock.
 fn build(max_batch: usize) -> (Framework, ManualClock) {
-    let (builder, clock) = FrameworkBuilder::new()
+    build_with_lanes(max_batch, None)
+}
+
+/// As [`build`], with an explicit verifier lane width (`None` keeps the
+/// hardware-detected default).
+fn build_with_lanes(max_batch: usize, lanes: Option<usize>) -> (Framework, ManualClock) {
+    let (mut builder, clock) = FrameworkBuilder::new()
         .master_key([0x11u8; 32])
         .model(FixedScoreModel::new(ReputationScore::new(0.0).unwrap()))
         .policy(LinearPolicy::policy1()) // score 0 → 1 bit
         .ttl_ms(2_000) // short TTL so Advance can expire challenges
         .max_batch(max_batch)
         .manual_clock(1_000_000);
+    if let Some(lanes) = lanes {
+        builder = builder.verify_lanes(lanes);
+    }
     (builder.build().unwrap(), clock)
 }
 
@@ -216,7 +225,12 @@ fn run_sequential(ops: &[Op]) -> (Vec<Observed>, Framework) {
 /// solution-like ops one `handle_solution_batch` call; `Advance`
 /// flushes.
 fn run_batched(ops: &[Op]) -> (Vec<Observed>, Framework) {
-    let (fw, clock) = build(4);
+    run_batched_lanes(ops, None)
+}
+
+/// As [`run_batched`], with an explicit verifier lane width.
+fn run_batched_lanes(ops: &[Op], lanes: Option<usize>) -> (Vec<Observed>, Framework) {
+    let (fw, clock) = build_with_lanes(4, lanes);
     let mut states: [ClientState; 4] = Default::default();
     let features = FeatureVector::zeros();
     let mut observed: Vec<Observed> = Vec::with_capacity(ops.len());
@@ -343,6 +357,28 @@ proptest! {
             seq_snap.median_issued_difficulty,
             batch_snap.median_issued_difficulty
         );
+    }
+
+    /// The multi-buffer verification kernel is a pure perf knob: the
+    /// batch path at every wide lane width produces exactly what the
+    /// scalar-forced (lanes = 1) batch path produces — decisions,
+    /// outcomes, skips, audit records, and counters.
+    #[test]
+    fn verify_lane_width_is_observationally_invisible(
+        ops in proptest::collection::vec(op_strategy(), 1..40)
+    ) {
+        let (scalar_observed, scalar_fw) = run_batched_lanes(&ops, Some(1));
+        for lanes in [2usize, 4, 8] {
+            let (wide_observed, wide_fw) = run_batched_lanes(&ops, Some(lanes));
+            prop_assert_eq!(&scalar_observed, &wide_observed, "lanes {}", lanes);
+            prop_assert_eq!(audit_view(&scalar_fw), audit_view(&wide_fw));
+            prop_assert_eq!(scalar_fw.ledger().len(), wide_fw.ledger().len());
+            let scalar_snap = scalar_fw.metrics_snapshot();
+            let wide_snap = wide_fw.metrics_snapshot();
+            prop_assert_eq!(scalar_snap.solutions_accepted, wide_snap.solutions_accepted);
+            prop_assert_eq!(scalar_snap.solutions_rejected, wide_snap.solutions_rejected);
+            prop_assert_eq!(scalar_snap.rejected_by_reason, wide_snap.rejected_by_reason);
+        }
     }
 
     /// Chunking ceilings never change results, only group sizes: the
