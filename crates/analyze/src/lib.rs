@@ -16,6 +16,10 @@
 //! - **`raw-keyed-state`**: admission-path modules build no raw
 //!   `HashMap`/`BTreeMap` (per-client keyed state must go through the
 //!   bounded `aipow-shard` APIs);
+//! - **`trace-blocking`**: the tracer's span-emission hot files acquire
+//!   no blocking lock (`.lock()`/`.read()`/`.write()`) — emission must
+//!   stay `try_lock`-or-drop so tracing can never stall the admission
+//!   path it observes (snapshot/dump paths opt out explicitly);
 //! - **`forbid-unsafe`**: every crate root carries
 //!   `#![forbid(unsafe_code)]` (or forbids it via `[lints.rust]`).
 //!
@@ -51,6 +55,14 @@ pub const ADMISSION_PATH_FILES: &[&str] = &[
     "crates/online/src/recorder.rs",
     "crates/pow/src/replay.rs",
 ];
+
+/// Files on the span-emission hot path of `aipow-trace`: a blocking lock
+/// here turns the observability layer into a stall source for the very
+/// pipeline it instruments, so rule `trace-blocking` bans `.lock()` /
+/// `.read()` / `.write()` outright (the `try_lock`-and-drop idiom does
+/// not match). Snapshot/dump code opts out with
+/// `// lint:allow(trace-blocking) <reason>`.
+pub const TRACE_HOT_FILES: &[&str] = &["crates/trace/src/tracer.rs", "crates/trace/src/ring.rs"];
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -238,6 +250,9 @@ pub struct FileContext {
     /// File is production source (`no-unwrap` applies). False for
     /// tests/, benches/, examples/, build scripts, and vendor code.
     pub production: bool,
+    /// File is on the tracer's span-emission hot path (rule
+    /// `trace-blocking` applies).
+    pub trace_hot: bool,
 }
 
 /// Scans one file's content. `rel` is the repo-relative path used in
@@ -390,6 +405,26 @@ pub fn scan_file(rel: &str, content: &str, ctx: FileContext) -> Vec<Violation> {
             }
         }
 
+        // trace-blocking ---------------------------------------------
+        if ctx.trace_hot && !has_allow(comment, &hanging_comment, "trace-blocking") {
+            for token in [".lock()", ".read()", ".write()"] {
+                if code.contains(token) {
+                    violations.push(Violation {
+                        rule: "trace-blocking",
+                        path: rel.to_string(),
+                        line: lineno,
+                        excerpt: excerpt.clone(),
+                        message: format!(
+                            "blocking `{token}` in a span-emission hot file — tracing must \
+                             be try_lock-or-drop so it can never stall the admission path \
+                             (snapshot/dump code may justify with \
+                             `// lint:allow(trace-blocking) <reason>`)"
+                        ),
+                    });
+                }
+            }
+        }
+
         // raw-keyed-state --------------------------------------------
         if ctx.admission_path && !has_allow(comment, &hanging_comment, "raw-keyed-state") {
             for token in ["HashMap::new(", "HashMap::with_capacity(", "BTreeMap::new("] {
@@ -534,6 +569,7 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
             let ctx = FileContext {
                 admission_path: ADMISSION_PATH_FILES.contains(&rel.as_str()),
                 production: true,
+                trace_hot: TRACE_HOT_FILES.contains(&rel.as_str()),
             };
             violations.extend(scan_file(&rel, &content, ctx));
         }
@@ -616,10 +652,17 @@ mod tests {
     const PROD: FileContext = FileContext {
         admission_path: false,
         production: true,
+        trace_hot: false,
     };
     const ADMISSION: FileContext = FileContext {
         admission_path: true,
         production: true,
+        trace_hot: false,
+    };
+    const TRACE_HOT: FileContext = FileContext {
+        admission_path: false,
+        production: true,
+        trace_hot: true,
     };
 
     fn rules(violations: &[Violation]) -> Vec<&'static str> {
@@ -760,6 +803,32 @@ mod tests {
     fn io_style_read_write_with_args_do_not_fire() {
         let src = "file.write(buf); reader.read(&mut buf);\n";
         assert!(scan_file("x.rs", src, ADMISSION).is_empty());
+    }
+
+    #[test]
+    fn trace_blocking_fires_only_on_trace_hot_files() {
+        let src = "let g = self.slots.lock();\n";
+        assert!(scan_file("x.rs", src, PROD).is_empty());
+        let v = scan_file("x.rs", src, TRACE_HOT);
+        assert_eq!(rules(&v), ["trace-blocking"]);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn trace_blocking_permits_try_lock_and_allow_escape() {
+        // The emission idiom: try_lock-or-drop never blocks.
+        let src = "match self.slots.try_lock() { Some(mut g) => g.push(s), None => drop(s) }\n";
+        assert!(scan_file("x.rs", src, TRACE_HOT).is_empty());
+        // Snapshot/dump paths opt out explicitly.
+        let src = "// lint:allow(trace-blocking) dump path, not a span emission site\n\
+                   let all = self.slots.lock().clone();\n";
+        assert!(scan_file("x.rs", src, TRACE_HOT).is_empty());
+        // A blocking RwLock read fires too.
+        let src = "let view = self.index.read();\n";
+        assert_eq!(
+            rules(&scan_file("x.rs", src, TRACE_HOT)),
+            ["trace-blocking"]
+        );
     }
 
     #[test]

@@ -10,12 +10,18 @@
 //!   audit shard lock, and the per-stage timers itself);
 //! - `admission_batch` — the same request stream pushed through
 //!   `handle_request_batch` in groups of 1/8/32/128, which pays each of
-//!   those fixed costs once per group.
+//!   those fixed costs once per group;
+//! - `admission_batch_traced` — batch=32 again, but with an
+//!   `aipow-trace` tracer attached at the default 1-in-64 sampling: the
+//!   cost of the per-context sampled-check branch plus the occasional
+//!   span ring append.
 //!
-//! The acceptance bar (enforced by `bench_gate` within-run, so it is
+//! The acceptance bars (enforced by `bench_gate` within-run, so they are
 //! machine-independent): batch=32 at 4 threads ≥ 1.5× the sequential
-//! path at 4 threads. `batch1` rides along as the degenerate case — it
-//! measures the batch plumbing's overhead at group size one.
+//! path at 4 threads, and the traced batch=32 at 4 threads within
+//! `AIPOW_GATE_MAX_TRACE_OVERHEAD` (default 5 %) of the untraced run.
+//! `batch1` rides along as the degenerate case — it measures the batch
+//! plumbing's overhead at group size one.
 //!
 //! Set `AIPOW_BENCH_JSON=BENCH_batch.json` to append machine-readable
 //! results.
@@ -43,6 +49,23 @@ fn build_framework() -> Framework {
         ))
         .policy(LinearPolicy::policy2())
         .max_batch(*BATCHES.iter().max().expect("nonempty"))
+        .build()
+        .expect("framework builds")
+}
+
+/// The traced twin: identical configuration plus a tracer at the
+/// production default (1-in-64 sampling, default ring capacity).
+fn build_traced_framework() -> Framework {
+    FrameworkBuilder::new()
+        .master_key([0x5Au8; 32])
+        .model(FixedScoreModel::new(
+            ReputationScore::new(5.0).expect("score in range"),
+        ))
+        .policy(LinearPolicy::policy2())
+        .max_batch(*BATCHES.iter().max().expect("nonempty"))
+        .tracer(std::sync::Arc::new(aipow_trace::Tracer::new(
+            aipow_trace::TraceConfig::default(),
+        )))
         .build()
         .expect("framework builds")
 }
@@ -120,6 +143,33 @@ fn admission_batch(c: &mut Criterion) {
                 },
             );
         }
+    }
+    group.finish();
+
+    // The traced twin of admission_batch/batch32: same stream, tracer
+    // attached at default sampling. Gated against the untraced run by
+    // bench_gate's AIPOW_GATE_MAX_TRACE_OVERHEAD (default 5 %).
+    let traced = build_traced_framework();
+    let mut group = c.benchmark_group("admission_batch_traced");
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for &threads in &THREADS {
+        group.throughput(Throughput::Elements((threads * OPS_PER_THREAD) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("batch32/threads", threads),
+            &threads,
+            |b, &n| {
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        for t in 0..n {
+                            let (fw, features) = (&traced, &features);
+                            scope.spawn(move || drive_batched(fw, t, features, 32));
+                        }
+                    });
+                });
+            },
+        );
     }
     group.finish();
 }

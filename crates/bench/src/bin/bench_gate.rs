@@ -31,6 +31,14 @@
 //!   recorded amortization gap is ~3x, and losing it (a per-request
 //!   fixed cost reintroduced inside the batch loop) collapses the ratio
 //!   toward 1 on any host.
+//! - `AIPOW_GATE_MAX_TRACE_OVERHEAD` — ceiling on the within-run
+//!   fractional throughput cost of running `admission_batch` at
+//!   batch=32 / 4 threads with a tracer attached at default sampling,
+//!   default `0.05` (traced must stay within 5 % of untraced).
+//!   Machine-independent like the other ratios: the steady-state cost
+//!   of 1-in-64 sampling is one predictable branch per context, and a
+//!   blocking lock or allocation smuggled onto the emission path shows
+//!   up as a collapse of this ratio on any host.
 //! - `AIPOW_GATE_MIN_WIDE_SPEEDUP` — floor on the within-run
 //!   wide-over-scalar `verify_batch` throughput ratio at batch=32,
 //!   default `2`. Machine-independent: the multi-buffer kernel's
@@ -204,6 +212,14 @@ fn min_batch_speedup() -> f64 {
         .unwrap_or(1.5)
 }
 
+fn max_trace_overhead() -> f64 {
+    std::env::var("AIPOW_GATE_MAX_TRACE_OVERHEAD")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|r: &f64| r.is_finite() && (0.0..1.0).contains(r))
+        .unwrap_or(0.05)
+}
+
 fn min_wide_speedup() -> f64 {
     std::env::var("AIPOW_GATE_MIN_WIDE_SPEEDUP")
         .ok()
@@ -249,6 +265,51 @@ fn gate_batch_speedup(measured: &Results, min_speedup: f64) -> Vec<String> {
         (None, None) => Vec::new(), // pre-batching JSON via --check-only
         _ => vec![format!(
             "batch speedup gate needs both {seq_key} and {batch_key}; only one was measured"
+        )],
+    }
+}
+
+/// The tracing acceptance bar, checked within this run like the batch
+/// gate: `admission_batch_traced` (tracer attached, default 1-in-64
+/// sampling) at batch=32 / 4 threads must hold at least
+/// `1 - max_overhead` of the untraced `admission_batch` throughput.
+/// Observability that taxes the admission path more than a few percent
+/// is not "always-on" — it gets turned off, and then nobody has data
+/// when the flood arrives.
+fn gate_trace_overhead(measured: &Results, max_overhead: f64) -> Vec<String> {
+    let untraced_key = "admission_batch/batch32/threads/4";
+    let traced_key = "admission_batch_traced/batch32/threads/4";
+    match (measured.get(untraced_key), measured.get(traced_key)) {
+        (Some(&untraced), Some(&traced)) => {
+            let retained = if untraced > 0.0 {
+                traced / untraced
+            } else {
+                f64::INFINITY
+            };
+            let ok = retained >= 1.0 - max_overhead;
+            println!(
+                "{:<48} {:>14.1} {:>14.1} {:>8.3}  {}",
+                "traced/untraced admission (batch 32, 4T)",
+                untraced,
+                traced,
+                retained,
+                if ok { "ok" } else { "REGRESSION" }
+            );
+            if ok {
+                Vec::new()
+            } else {
+                vec![format!(
+                    "{traced_key}: tracing retains only {:.1}% of untraced throughput within \
+                     this run (floor {:.1}%) — the sampled-off emission path has grown a cost",
+                    retained * 100.0,
+                    (1.0 - max_overhead) * 100.0
+                )]
+            }
+        }
+        (None, None) => Vec::new(), // pre-tracing JSON via --check-only
+        _ => vec![format!(
+            "trace overhead gate needs both {untraced_key} and {traced_key}; \
+             only one was measured"
         )],
     }
 }
@@ -458,6 +519,7 @@ fn main() {
     let mut failures = gate(&baseline, &measured, tol);
     failures.extend(gate_migration_ratio(&measured, min_ratio()));
     failures.extend(gate_batch_speedup(&measured, min_batch_speedup()));
+    failures.extend(gate_trace_overhead(&measured, max_trace_overhead()));
     failures.extend(gate_wide_speedup(&measured, min_wide_speedup()));
     if failures.is_empty() {
         println!(

@@ -11,10 +11,11 @@
 //!
 //! Run with `cargo run --release -p aipow-bench --bin netsim_scenarios`.
 //! Pass `--only <scenario>` (repeatable; one of `fig2`, `contended`,
-//! `behavior`, `flood`, `burst`, `lanes`) to run a single suite — CI
-//! shards and
-//! local reproductions can target the suite under investigation without
-//! paying for the rest.
+//! `behavior`, `flood`, `burst`, `lanes`, `tracefire`) to run a single
+//! suite — CI shards and local reproductions can target the suite under
+//! investigation without paying for the rest. `--list` prints the suite
+//! names and exits; an unknown `--only` name is echoed on stderr with a
+//! non-zero exit instead of a panic.
 
 use aipow_netsim::behavior::{run_behavior_shift, run_redemption, BehaviorConfig};
 use aipow_netsim::burst::{burst_to_markdown, run_burst, BurstConfig};
@@ -22,6 +23,7 @@ use aipow_netsim::contended::{run_contended, ContendedConfig};
 use aipow_netsim::fig2::{run_paper_policies, Fig2Config};
 use aipow_netsim::flood::{flood_to_markdown, run_flood_pair};
 use aipow_netsim::lanes::{lanes_to_markdown, run_lanes, LanesConfig};
+use aipow_netsim::tracefire::{run_tracefire, tracefire_to_markdown, TracefireConfig};
 
 fn fig2_suite() {
     println!("== fig2: latency vs reputation, Policies 1-3 ==");
@@ -239,44 +241,90 @@ fn lanes_suite() {
     );
 }
 
+fn tracefire_suite() {
+    println!("== tracefire: flight recorder under a rejection flood ==");
+    let report = run_tracefire(&TracefireConfig::default());
+    assert!(
+        report.tripped,
+        "the flood never tripped the flight recorder"
+    );
+    assert_eq!(
+        report.reason, "rejection_rate",
+        "wrong trigger fired: {report:?}"
+    );
+    assert!(
+        report.complete_flooder_chains >= 1,
+        "no complete flooder span chain in the frozen dump: {report:?}"
+    );
+    assert_eq!(
+        report.broken_orderings, 0,
+        "a trace's spans left the rings out of stage order: {report:?}"
+    );
+    println!("{}", tracefire_to_markdown(&report));
+    println!(
+        "   tripped on `{}`; {} spans frozen, {} complete flooder chains, 0 broken -- ok",
+        report.reason, report.dump_spans, report.complete_flooder_chains
+    );
+}
+
 /// The suite registry: names accepted by `--only`, in run order.
-const SUITES: [(&str, fn()); 6] = [
+const SUITES: [(&str, fn()); 7] = [
     ("fig2", fig2_suite),
     ("contended", contended_suite),
     ("behavior", behavior_suite),
     ("flood", flood_suite),
     ("burst", burst_suite),
     ("lanes", lanes_suite),
+    ("tracefire", tracefire_suite),
 ];
+
+fn suite_names() -> String {
+    SUITES
+        .iter()
+        .map(|(known, _)| *known)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// A bad invocation: echo the problem on stderr and exit non-zero, so a
+/// CI shard that names a suite wrong fails loudly instead of silently
+/// running nothing (or panicking with a backtrace).
+fn usage_error(message: &str) -> ! {
+    eprintln!("netsim_scenarios: {message}");
+    eprintln!("usage: netsim_scenarios [--list] [--only <scenario>]...");
+    eprintln!("scenarios: {}", suite_names());
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut only: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
+        if arg == "--list" {
+            for (name, _) in SUITES {
+                println!("{name}");
+            }
+            return;
+        }
         match arg.strip_prefix("--only") {
             Some("") => match iter.next() {
                 Some(name) => only.push(name.clone()),
-                None => panic!("--only requires a scenario name"),
+                None => usage_error("--only requires a scenario name"),
             },
-            Some(rest) => only.push(
-                rest.strip_prefix('=')
-                    .unwrap_or_else(|| panic!("unknown argument `{arg}`"))
-                    .to_string(),
-            ),
-            None => panic!("unknown argument `{arg}` (expected --only <scenario>)"),
+            Some(rest) => match rest.strip_prefix('=') {
+                Some(name) => only.push(name.to_string()),
+                None => usage_error(&format!("unknown argument `{arg}`")),
+            },
+            None => usage_error(&format!(
+                "unknown argument `{arg}` (expected --list or --only <scenario>)"
+            )),
         }
     }
     for name in &only {
-        assert!(
-            SUITES.iter().any(|(known, _)| known == name),
-            "unknown scenario `{name}`; expected one of: {}",
-            SUITES
-                .iter()
-                .map(|(known, _)| *known)
-                .collect::<Vec<_>>()
-                .join(", ")
-        );
+        if !SUITES.iter().any(|(known, _)| known == name) {
+            usage_error(&format!("unknown scenario `{name}`"));
+        }
     }
 
     let mut ran = 0;

@@ -35,6 +35,8 @@ pub fn serve(raw: &[String]) -> Result<(), CliError> {
             "score",
             "max-batch",
             "verify-lanes",
+            "trace-sample",
+            "flight-capacity",
         ],
         &[],
     )?;
@@ -63,6 +65,26 @@ pub fn serve(raw: &[String]) -> Result<(), CliError> {
             .parse()
             .map_err(|_| CliError::usage("--bypass expects a number"))?;
         builder = builder.bypass_threshold(threshold);
+    }
+    // Tracing defaults ON for the server: 1-in-64 sampling keeps the
+    // telemetry endpoint's stage histograms and the flight recorder live
+    // with negligible overhead. `--trace-sample 0` disables it.
+    let trace_sample = args.get_parsed::<u64>("trace-sample", 64, "an integer (0 disables)")?;
+    let flight_capacity =
+        args.get_parsed::<usize>("flight-capacity", 4096, "a positive integer")?;
+    if trace_sample > 0 {
+        if flight_capacity == 0 {
+            return Err(CliError::usage(
+                "--flight-capacity must be at least 1 when tracing is enabled",
+            ));
+        }
+        builder = builder.tracer(Arc::new(aipow_trace::Tracer::new(
+            aipow_trace::TraceConfig {
+                sample_every: trace_sample,
+                ring_capacity: flight_capacity,
+                ..aipow_trace::TraceConfig::default()
+            },
+        )));
     }
     let framework = Arc::new(
         builder
@@ -120,10 +142,15 @@ pub fn serve(raw: &[String]) -> Result<(), CliError> {
     .map_err(|e| CliError::runtime(format!("bind {addr}: {e}")))?;
 
     println!(
-        "serving on {} with policy `{}` (fixed client score {score}, {} verify lanes); Ctrl-C to stop",
+        "serving on {} with policy `{}` (fixed client score {score}, {} verify lanes, {}); Ctrl-C to stop",
         server.local_addr(),
         framework.policy_name(),
         framework.verifier().verify_lanes(),
+        if trace_sample > 0 {
+            format!("tracing 1-in-{trace_sample}")
+        } else {
+            "tracing off".to_string()
+        },
     );
     // Serve until the process is killed; print a metrics line every 10 s.
     loop {
@@ -309,9 +336,22 @@ pub fn observe(raw: &[String]) -> Result<(), CliError> {
             "half-life-ms",
             "prior-strength",
             "rows",
+            "remote",
+            "poll",
+            "poll-interval-s",
         ],
         &[],
     )?;
+    if let Some(addr) = args.get("remote") {
+        let polls = args.get_parsed::<u32>("poll", 1, "an integer")?.max(1);
+        let interval = args.get_parsed::<f64>("poll-interval-s", 2.0, "seconds")?;
+        if !interval.is_finite() || interval < 0.0 {
+            return Err(CliError::usage(
+                "--poll-interval-s must be a non-negative finite number",
+            ));
+        }
+        return observe_remote(addr, polls, interval);
+    }
     let defaults = BehaviorConfig::default();
     let config = BehaviorConfig {
         benign_rps: args.get_parsed("benign-rps", defaults.benign_rps, "a rate in req/s")?,
@@ -406,6 +446,115 @@ pub fn observe(raw: &[String]) -> Result<(), CliError> {
         redemption.pruned,
     );
     Ok(())
+}
+
+/// `aipow observe --remote` — poll a live server's telemetry endpoint and
+/// print headline counters plus a per-stage p50/p99 latency table.
+fn observe_remote(addr: &str, polls: u32, interval_s: f64) -> Result<(), CliError> {
+    let mut client =
+        PowClient::connect(addr).map_err(|e| CliError::runtime(format!("connect {addr}: {e}")))?;
+    for poll in 0..polls {
+        if poll > 0 && interval_s > 0.0 {
+            std::thread::sleep(std::time::Duration::from_secs_f64(interval_s));
+        }
+        let snap = client
+            .telemetry()
+            .map_err(|e| CliError::runtime(format!("telemetry: {e}")))?;
+        print_remote_snapshot(addr, poll, &snap.prometheus);
+    }
+    Ok(())
+}
+
+fn print_remote_snapshot(addr: &str, poll: u32, prometheus: &str) {
+    let scalar = |name: &str| {
+        prom_samples(prometheus, name)
+            .first()
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    };
+    println!(
+        "[{poll}] {addr}: issued {} accepted {} rejected {} bypassed {} ({:.1} rej/s)",
+        scalar("aipow_challenges_issued") as u64,
+        scalar("aipow_solutions_accepted") as u64,
+        scalar("aipow_solutions_rejected") as u64,
+        scalar("aipow_bypassed") as u64,
+        scalar("aipow_rejections_per_s"),
+    );
+    let p50 = prom_samples(prometheus, "aipow_stage_p50_ns");
+    let p99 = prom_samples(prometheus, "aipow_stage_p99_ns");
+    let items = prom_samples(prometheus, "aipow_stage_items");
+    if p50.is_empty() {
+        println!("  (no stage timings yet — has the server admitted a request?)");
+        return;
+    }
+    println!(
+        "  {:<18} {:>8} {:>12} {:>12}",
+        "stage", "items", "p50", "p99"
+    );
+    for (stage, p50_ns) in &p50 {
+        let find = |samples: &[(String, f64)]| {
+            samples
+                .iter()
+                .find(|(s, _)| s == stage)
+                .map(|(_, v)| *v)
+                .unwrap_or(0.0)
+        };
+        println!(
+            "  {:<18} {:>8} {:>12} {:>12}",
+            stage,
+            find(&items) as u64,
+            format_ns(*p50_ns),
+            format_ns(find(&p99)),
+        );
+    }
+}
+
+/// Extracts `(label-or-empty, value)` pairs for one metric family from
+/// Prometheus text exposition. Matches `name value` and
+/// `name{key="label"} value` lines; comments and other families are
+/// skipped.
+fn prom_samples(text: &str, name: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let Some(rest) = line.strip_prefix(name) else {
+            continue;
+        };
+        let (label, value) = match rest.strip_prefix('{') {
+            Some(labeled) => {
+                let Some((labels, value)) = labeled.split_once("} ") else {
+                    continue;
+                };
+                // One label per family in our exposition: key="value".
+                let label = labels
+                    .split_once('"')
+                    .and_then(|(_, v)| v.split('"').next())
+                    .unwrap_or(labels);
+                (label.to_string(), value)
+            }
+            None => match rest.strip_prefix(' ') {
+                Some(value) => (String::new(), value),
+                // A longer family name sharing this prefix.
+                None => continue,
+            },
+        };
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.push((label, v));
+        }
+    }
+    out
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
 }
 
 fn parse_key(hex: &str) -> Result<[u8; 32], CliError> {
@@ -513,6 +662,109 @@ mod tests {
         assert!(parse_key(&"ab".repeat(32)).is_ok());
         assert!(parse_key("abcd").is_err());
         assert!(parse_key(&"zz".repeat(32)).is_err());
+    }
+
+    #[test]
+    fn serve_rejects_bad_trace_flags() {
+        // serve() loops forever on success, so only the error paths are
+        // reachable from a unit test.
+        for flags in [["--trace-sample", "lots"], ["--flight-capacity", "0"]] {
+            let err = serve(&strings(&flags)).unwrap_err();
+            assert_eq!(err.exit_code, 2, "{flags:?}: {err}");
+        }
+        let err = serve(&strings(&["--trace-sample", "8", "--flight-capacity", "0"])).unwrap_err();
+        assert_eq!(err.exit_code, 2);
+        assert!(err.message.contains("--flight-capacity"));
+    }
+
+    #[test]
+    fn observe_rejects_bad_remote_flags() {
+        for flags in [
+            ["--remote", "127.0.0.1:1", "--poll", "two"],
+            ["--remote", "127.0.0.1:1", "--poll-interval-s", "-1"],
+        ] {
+            let err = observe(&strings(&flags)).unwrap_err();
+            assert_eq!(err.exit_code, 2, "{flags:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn prom_samples_parses_plain_and_labeled_lines() {
+        let text = "# TYPE aipow_x counter\n\
+                    aipow_x 3\n\
+                    aipow_x_per_s 0.5\n\
+                    aipow_stage_p50_ns{stage=\"score\"} 1200\n\
+                    aipow_stage_p50_ns{stage=\"verify\"} 3400\n";
+        assert_eq!(prom_samples(text, "aipow_x"), vec![(String::new(), 3.0)]);
+        assert_eq!(
+            prom_samples(text, "aipow_x_per_s"),
+            vec![(String::new(), 0.5)]
+        );
+        assert_eq!(
+            prom_samples(text, "aipow_stage_p50_ns"),
+            vec![
+                ("score".to_string(), 1200.0),
+                ("verify".to_string(), 3400.0)
+            ]
+        );
+        assert!(prom_samples(text, "aipow_missing").is_empty());
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert_eq!(format_ns(750.0), "750 ns");
+        assert_eq!(format_ns(1_500.0), "1.50 µs");
+        assert_eq!(format_ns(2_500_000.0), "2.50 ms");
+    }
+
+    /// observe --remote against a live traced server: the table must carry
+    /// per-stage p50/p99 rows once a request has flowed through.
+    #[test]
+    fn observe_remote_prints_stage_quantiles() {
+        let tracer = Arc::new(aipow_trace::Tracer::new(aipow_trace::TraceConfig {
+            sample_every: 1,
+            ..aipow_trace::TraceConfig::default()
+        }));
+        let framework = Arc::new(
+            FrameworkBuilder::new()
+                .master_key([2u8; 32])
+                .model(FixedScoreModel::new(ReputationScore::new(2.0).unwrap()))
+                .policy(aipow_policy::LinearPolicy::policy1())
+                .tracer(tracer)
+                .build()
+                .unwrap(),
+        );
+        let mut resources = HashMap::new();
+        resources.insert("/t".to_string(), b"traced".to_vec());
+        let server = PowServer::start(
+            "127.0.0.1:0",
+            Arc::clone(&framework),
+            Arc::new(StaticFeatureSource::new(FeatureVector::zeros())),
+            resources,
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+
+        fetch(&strings(&["--addr", &addr, "--path", "/t"])).unwrap();
+        observe(&strings(&[
+            "--remote",
+            &addr,
+            "--poll",
+            "2",
+            "--poll-interval-s",
+            "0",
+        ]))
+        .unwrap();
+
+        // The same snapshot the command printed must carry stage quantiles.
+        let mut client = PowClient::connect(&addr).unwrap();
+        let snap = client.telemetry().unwrap();
+        let p50 = prom_samples(&snap.prometheus, "aipow_stage_p50_ns");
+        let p99 = prom_samples(&snap.prometheus, "aipow_stage_p99_ns");
+        assert!(!p50.is_empty(), "no p50 stage rows:\n{}", snap.prometheus);
+        assert_eq!(p50.len(), p99.len());
+        server.shutdown();
     }
 
     /// serve+fetch end-to-end through the command layer, using a thread

@@ -77,6 +77,8 @@ COMMANDS:
              --key <hex32>             master key, 64 hex chars (default: random)
              --bypass <score>          admit scores below this without work
              --workers <n>             worker threads (default 4)
+             --trace-sample <n>        trace 1-in-n requests, 0 disables (default 64)
+             --flight-capacity <n>     flight-recorder ring capacity (default 4096)
     fetch    request a resource, solving the puzzle
              --addr <ip:port>          server address (required)
              --path <path>             resource path (default /)
@@ -99,6 +101,11 @@ COMMANDS:
              --half-life-ms <n>        behavioral decay half-life (default 10000)
              --prior-strength <f>      events to outweigh the prior (default 16)
              --rows <n>                trajectory rows to print (default 16)
+             --remote <ip:port>        poll a live server's telemetry endpoint
+                                       instead of simulating; prints headline
+                                       counters and per-stage p50/p99 latency
+             --poll <n>                telemetry polls before exiting (default 1)
+             --poll-interval-s <f>     seconds between polls (default 2)
     help     print this message
 ";
 

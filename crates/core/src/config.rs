@@ -7,8 +7,10 @@
 use crate::framework::FrameworkBuilder;
 use aipow_policy::registry;
 use aipow_pow::Difficulty;
+use aipow_trace::{TraceConfig, Tracer};
 use core::fmt;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Serializable framework settings.
 ///
@@ -73,6 +75,16 @@ pub struct FrameworkConfig {
     /// `[1, 8]`, with 1 forcing the scalar path. Purely a performance
     /// knob: every width computes identical outcomes.
     pub verify_lanes: Option<usize>,
+    /// Request-trace sampling rate: trace 1 in `trace_sample_rate`
+    /// admissions through the `aipow-trace` span layer. 0 (the default)
+    /// disables tracing entirely — no tracer is attached and the hot path
+    /// pays nothing. 1 traces every request (tests and simulations).
+    pub trace_sample_rate: u64,
+    /// Total span capacity of the tracer's ring buffers — the flight
+    /// recorder's look-back window when an anomaly trigger freezes a
+    /// dump. Ignored when [`trace_sample_rate`](Self::trace_sample_rate)
+    /// is 0; must be positive otherwise.
+    pub flight_recorder_capacity: usize,
     /// Online behavioral-reputation loop settings; `None` disables the
     /// loop (the paper's static-feature behaviour). The settings are plain
     /// data so deployments can version-control them.
@@ -218,6 +230,8 @@ impl Default for FrameworkConfig {
             eviction_max_scan: aipow_shard::DEFAULT_MAX_SCAN,
             max_batch: crate::framework::DEFAULT_MAX_BATCH,
             verify_lanes: None,
+            trace_sample_rate: 0,
+            flight_recorder_capacity: TraceConfig::default().ring_capacity,
             online: None,
         }
     }
@@ -378,6 +392,11 @@ impl FrameworkConfig {
                 return Err(ConfigError::BadBypassThreshold { value: t });
             }
         }
+        if self.trace_sample_rate > 0 && self.flight_recorder_capacity == 0 {
+            return Err(ConfigError::ZeroCapacity {
+                field: "flight recorder",
+            });
+        }
         if let Some(online) = &self.online {
             online.validate()?;
         }
@@ -400,6 +419,13 @@ impl FrameworkConfig {
         }
         if let Some(lanes) = self.verify_lanes {
             builder = builder.verify_lanes(lanes);
+        }
+        if self.trace_sample_rate > 0 {
+            builder = builder.tracer(Arc::new(Tracer::new(TraceConfig {
+                sample_every: self.trace_sample_rate,
+                ring_capacity: self.flight_recorder_capacity,
+                ..TraceConfig::default()
+            })));
         }
         Ok(builder)
     }
@@ -720,6 +746,57 @@ mod tests {
                 "settings should be rejected: {bad:?}"
             );
         }
+    }
+
+    #[test]
+    fn trace_sampling_threads_through_config() {
+        // Default: off — no tracer attached, hot path pays nothing.
+        let off = FrameworkConfig::default()
+            .apply()
+            .unwrap()
+            .model(FixedScoreModel::new(ReputationScore::MIN))
+            .master_key([1u8; 32])
+            .build()
+            .unwrap();
+        assert!(off.tracer().is_none());
+
+        let on = FrameworkConfig {
+            trace_sample_rate: 1,
+            flight_recorder_capacity: 256,
+            ..Default::default()
+        }
+        .apply()
+        .unwrap()
+        .model(FixedScoreModel::new(ReputationScore::MIN))
+        .master_key([1u8; 32])
+        .build()
+        .unwrap();
+        let tracer = on.tracer().expect("tracer attached via config");
+        assert_eq!(tracer.sample_every(), 1);
+        on.handle_request(IpAddr::V4(Ipv4Addr::LOCALHOST), &FeatureVector::zeros());
+        assert!(tracer.recorded() > 0);
+    }
+
+    #[test]
+    fn zero_flight_recorder_capacity_rejected_when_tracing() {
+        let config = FrameworkConfig {
+            trace_sample_rate: 64,
+            flight_recorder_capacity: 0,
+            ..Default::default()
+        };
+        assert_eq!(
+            config.apply().unwrap_err(),
+            ConfigError::ZeroCapacity {
+                field: "flight recorder"
+            }
+        );
+        // With tracing off the capacity field is inert.
+        let off = FrameworkConfig {
+            trace_sample_rate: 0,
+            flight_recorder_capacity: 0,
+            ..Default::default()
+        };
+        assert!(off.apply().is_ok());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use aipow_pow::{
     Verifier, VerifyError,
 };
 use aipow_reputation::{FeatureVector, ReputationModel, ReputationScore};
+use aipow_trace::{Tracer, TriggerStats};
 use core::fmt;
 use std::net::IpAddr;
 use std::sync::Arc;
@@ -97,6 +98,7 @@ pub struct FrameworkBuilder {
     behavior_sink: Option<Arc<dyn BehaviorSink>>,
     max_batch: usize,
     verify_lanes: Option<usize>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 /// Default ceiling on the group size the batch entry points process per
@@ -130,6 +132,7 @@ impl FrameworkBuilder {
             behavior_sink: None,
             max_batch: DEFAULT_MAX_BATCH,
             verify_lanes: None,
+            tracer: None,
         }
     }
 
@@ -284,6 +287,15 @@ impl FrameworkBuilder {
         self
     }
 
+    /// Attaches a request tracer: sampled requests get trace IDs and each
+    /// pipeline stage emits a span (see [`aipow_trace::Tracer`]). Off by
+    /// default. Can alternatively be attached once after build with
+    /// [`Framework::set_tracer`].
+    pub fn tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
     /// Builds the framework.
     ///
     /// # Errors
@@ -330,6 +342,10 @@ impl FrameworkBuilder {
         if let Some(s) = self.behavior_sink {
             let _ = sink.set(s);
         }
+        let tracer = OnceLock::new();
+        if let Some(t) = self.tracer {
+            let _ = tracer.set(t);
+        }
 
         Ok(Framework {
             model,
@@ -345,6 +361,7 @@ impl FrameworkBuilder {
             bypass_threshold: self.bypass_threshold,
             max_batch: self.max_batch.max(1),
             sink,
+            tracer,
         })
     }
 }
@@ -387,6 +404,9 @@ pub struct Framework {
     /// TCP server wires the online recorder to an already-built
     /// framework).
     sink: OnceLock<Arc<dyn BehaviorSink>>,
+    /// Request tracer, same write-once discipline as the tap: one atomic
+    /// load on the hot path when unset.
+    tracer: OnceLock<Arc<Tracer>>,
 }
 
 impl Framework {
@@ -397,6 +417,9 @@ impl Framework {
     pub fn handle_request(&self, client_ip: IpAddr, features: &FeatureVector) -> AdmissionDecision {
         let now_ms = self.clock.now_ms();
         let mut batch = [RequestCtx::new(client_ip, features)];
+        if let Some(tracer) = self.tracer() {
+            batch[0].trace_id = tracer.begin_trace();
+        }
         pipeline::run_request_chain(self, now_ms, &mut batch);
         batch[0]
             .decision
@@ -429,6 +452,11 @@ impl Framework {
                 .iter()
                 .map(|&(ip, features)| RequestCtx::new(ip, features))
                 .collect();
+            if let Some(tracer) = self.tracer() {
+                for ctx in &mut batch {
+                    ctx.trace_id = tracer.begin_trace();
+                }
+            }
             pipeline::run_request_chain(self, now_ms, &mut batch);
             decisions.extend(batch.into_iter().map(|ctx| {
                 ctx.decision
@@ -454,6 +482,9 @@ impl Framework {
     ) -> Result<VerifiedToken, VerifyError> {
         let now_ms = self.clock.now_ms();
         let mut batch = [SolutionCtx::new(solution, claimed_ip)];
+        if let Some(tracer) = self.tracer() {
+            batch[0].trace_id = tracer.begin_trace();
+        }
         pipeline::run_solution_chain(self, now_ms, &mut batch);
         batch[0]
             .outcome
@@ -480,6 +511,11 @@ impl Framework {
                 .iter()
                 .map(|&(solution, ip)| SolutionCtx::new(solution, ip))
                 .collect();
+            if let Some(tracer) = self.tracer() {
+                for ctx in &mut batch {
+                    ctx.trace_id = tracer.begin_trace();
+                }
+            }
             pipeline::run_solution_chain(self, now_ms, &mut batch);
             outcomes.extend(batch.into_iter().map(|ctx| {
                 ctx.outcome
@@ -513,10 +549,19 @@ impl Framework {
         self.load_millis.load(Ordering::Acquire) as f64 / 1_000.0
     }
 
-    /// Declares (or clears) an active attack for adaptive policies.
+    /// Declares (or clears) an active attack for adaptive policies. The
+    /// false→true flip also trips the attached tracer's flight recorder
+    /// (if any): the ring contents at that moment are the forensic record
+    /// of how the attack looked as it was recognized.
     pub fn set_under_attack(&self, attacked: bool) {
-        // Release: publishes the flag to concurrent pipeline snapshots
-        self.under_attack.store(attacked, Ordering::Release);
+        // Release: publishes the flag to concurrent pipeline snapshots;
+        // the swap also makes the flip edge-triggered for the recorder.
+        let was = self.under_attack.swap(attacked, Ordering::AcqRel);
+        if attacked && !was {
+            if let Some(tracer) = self.tracer() {
+                tracer.trip_flight_recorder("under_attack");
+            }
+        }
     }
 
     /// Replaces the policy at runtime (paper property 2: the inflicted
@@ -547,11 +592,27 @@ impl Framework {
     /// replay live-eviction gauge after every verification, so
     /// `metrics().snapshot()` is equally accurate; this method just
     /// guarantees freshness when no solution has arrived since.
+    /// A snapshot also feeds the tracer's anomaly triggers: the derived
+    /// rejection rate and worst stage p99 are handed to
+    /// [`Tracer::check_triggers`], so whoever polls telemetry is also the
+    /// heartbeat that can trip the flight recorder.
     pub fn metrics_snapshot(&self) -> crate::MetricsSnapshot {
         self.metrics
             .replay_evicted_live
             .set(self.verifier.replay_guard().live_evictions() as i64);
-        self.metrics.snapshot()
+        let snap = self.metrics.snapshot_at(self.clock.now_ms());
+        if let Some(tracer) = self.tracer() {
+            tracer.check_triggers(&TriggerStats {
+                rejections_per_s: snap.rejections_per_s,
+                worst_stage_p99_ns: snap
+                    .stage_timings
+                    .iter()
+                    .map(|t| t.p99_ns)
+                    .max()
+                    .unwrap_or(0),
+            });
+        }
+        snap
     }
 
     /// The admission audit log.
@@ -597,6 +658,19 @@ impl Framework {
     pub fn behavior_sink(&self) -> Option<&Arc<dyn BehaviorSink>> {
         self.sink.get()
     }
+
+    /// Attaches the request tracer after build. Same write-once
+    /// discipline as the behavioral tap: returns `false` (keeping the
+    /// existing tracer) if one was already attached, so the hot path
+    /// reads it with a single atomic load and no lock.
+    pub fn set_tracer(&self, tracer: Arc<Tracer>) -> bool {
+        self.tracer.set(tracer).is_ok()
+    }
+
+    /// The attached request tracer, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.get()
+    }
 }
 
 impl fmt::Debug for Framework {
@@ -630,6 +704,79 @@ mod tests {
             .policy(LinearPolicy::policy2())
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn tracer_is_write_once_and_attaches_after_build() {
+        use aipow_trace::{TraceConfig, Tracer};
+        let fw = framework_with_score(3.0);
+        assert!(fw.tracer().is_none());
+        let tracer = Arc::new(Tracer::new(TraceConfig {
+            sample_every: 1,
+            ..TraceConfig::default()
+        }));
+        assert!(fw.set_tracer(Arc::clone(&tracer)));
+        assert!(!fw.set_tracer(Arc::clone(&tracer)), "second attach refused");
+        fw.handle_request(ip(7), &FeatureVector::zeros());
+        assert!(
+            tracer.recorded() > 0,
+            "a sampled request must emit pipeline spans"
+        );
+    }
+
+    #[test]
+    fn under_attack_flip_trips_flight_recorder_once() {
+        use aipow_trace::{TraceConfig, Tracer};
+        let fw = framework_with_score(3.0);
+        let tracer = Arc::new(Tracer::new(TraceConfig {
+            sample_every: 1,
+            ..TraceConfig::default()
+        }));
+        assert!(fw.set_tracer(Arc::clone(&tracer)));
+        fw.handle_request(ip(8), &FeatureVector::zeros());
+        fw.set_under_attack(false); // no-op: not a false→true edge
+        assert!(!tracer.flight_tripped());
+        fw.set_under_attack(true);
+        let dump = tracer.flight_dump().expect("flip must freeze a dump");
+        assert_eq!(dump.reason, "under_attack");
+        assert!(dump.spans > 0, "dump should hold the pre-attack spans");
+        fw.set_under_attack(true); // already attacked: edge-triggered, no re-trip
+        assert!(tracer.flight_tripped());
+    }
+
+    #[test]
+    fn snapshot_rejection_rate_feeds_triggers() {
+        use aipow_trace::{TraceConfig, Tracer, TriggerConfig};
+        let clock = ManualClock::at(5_000);
+        let fw = FrameworkBuilder::new()
+            .master_key([9u8; 32])
+            .model(FixedScoreModel::new(ReputationScore::new(3.0).unwrap()))
+            .policy(LinearPolicy::policy2())
+            .clock(Arc::new(clock.clone()) as Arc<dyn TimeSource>)
+            .tracer(Arc::new(Tracer::new(TraceConfig {
+                sample_every: 1,
+                triggers: TriggerConfig {
+                    max_rejections_per_s: 5.0,
+                    max_stage_p99_ns: 0,
+                },
+                ..TraceConfig::default()
+            })))
+            .build()
+            .unwrap();
+        fw.metrics_snapshot(); // establish the rate window
+        for _ in 0..20 {
+            fw.metrics().rate_limited.inc();
+        }
+        clock.advance(1_000);
+        let snap = fw.metrics_snapshot();
+        assert!(
+            snap.rejections_per_s >= 19.0,
+            "rate was {}",
+            snap.rejections_per_s
+        );
+        let tracer = fw.tracer().unwrap();
+        assert!(tracer.flight_tripped(), "rate spike should trip recorder");
+        assert_eq!(tracer.flight_dump().unwrap().reason, "rejection_rate");
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod audit;
 pub mod config;
 pub mod controller;
 pub mod cost;
+pub mod export;
 pub mod features;
 pub mod framework;
 pub mod metrics;
@@ -93,6 +94,7 @@ pub use audit::{AuditEvent, AuditKind, AuditLog};
 pub use config::{FrameworkConfig, OnlineSettings};
 pub use controller::{LoadController, LoadSignal};
 pub use cost::{CostLedger, LowestCost};
+pub use export::{snapshot_json, snapshot_prometheus};
 pub use features::{FeatureSource, StaticFeatureSource, SyntheticFeatureSource};
 pub use framework::{
     AdmissionDecision, BuildError, Framework, FrameworkBuilder, IssuedChallenge, DEFAULT_MAX_BATCH,

@@ -1,7 +1,7 @@
 //! Framework-level operational metrics.
 
 use crate::sync::{AtomicU64, Ordering};
-use aipow_metrics::{Counter, Gauge};
+use aipow_metrics::{AtomicHistogram, Counter, Gauge};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -47,6 +47,16 @@ impl RejectionCounts {
         self.counts[idx].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Current tally for one reason label (0 for unknown labels).
+    fn count_for(&self, reason: &str) -> u64 {
+        REJECT_REASONS
+            .iter()
+            .position(|r| *r == reason)
+            // relaxed: monitoring read of one independent counter
+            .map(|idx| self.counts[idx].load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
     /// Labels with nonzero counts.
     fn snapshot(&self) -> HashMap<String, u64> {
         REJECT_REASONS
@@ -90,6 +100,9 @@ struct StageTimers {
     batches: [AtomicU64; STAGE_NAMES.len()],
     items: [AtomicU64; STAGE_NAMES.len()],
     nanos: [AtomicU64; STAGE_NAMES.len()],
+    /// Per-item amortized latency distribution per stage (lock-free; a
+    /// batch of `k` items records `k` observations of `nanos / k`).
+    latency: [AtomicHistogram; STAGE_NAMES.len()],
 }
 
 impl Default for StageTimers {
@@ -98,6 +111,7 @@ impl Default for StageTimers {
             batches: std::array::from_fn(|_| AtomicU64::new(0)),
             items: std::array::from_fn(|_| AtomicU64::new(0)),
             nanos: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency: std::array::from_fn(|_| AtomicHistogram::new()),
         }
     }
 }
@@ -110,6 +124,7 @@ impl StageTimers {
         self.batches[idx].fetch_add(1, Ordering::Relaxed);
         self.items[idx].fetch_add(items, Ordering::Relaxed); // relaxed: as above
         self.nanos[idx].fetch_add(nanos, Ordering::Relaxed); // relaxed: as above
+        self.latency[idx].record_n(nanos / items.max(1), items);
     }
 
     /// Stages that have run at least once, in chain order.
@@ -121,11 +136,16 @@ impl StageTimers {
                 // relaxed: monitoring reads; a snapshot is allowed to
                 // straddle updates
                 let batches = self.batches[i].load(Ordering::Relaxed);
-                (batches > 0).then(|| StageTiming {
-                    stage: name.to_string(),
-                    batches,
-                    items: self.items[i].load(Ordering::Relaxed), // relaxed: as above
-                    total_ns: self.nanos[i].load(Ordering::Relaxed), // relaxed: as above
+                (batches > 0).then(|| {
+                    let latency = self.latency[i].snapshot();
+                    StageTiming {
+                        stage: name.to_string(),
+                        batches,
+                        items: self.items[i].load(Ordering::Relaxed), // relaxed: as above
+                        total_ns: self.nanos[i].load(Ordering::Relaxed), // relaxed: as above
+                        p50_ns: latency.value_at_quantile(0.5),
+                        p99_ns: latency.value_at_quantile(0.99),
+                    }
                 })
             })
             .collect()
@@ -145,6 +165,12 @@ pub struct StageTiming {
     pub items: u64,
     /// Total wall-clock nanoseconds spent in the stage.
     pub total_ns: u64,
+    /// Median amortized per-item stage latency in nanoseconds (≤ 1.6 %
+    /// bucket error; a batch of `k` contributes `k` samples of its
+    /// per-item average).
+    pub p50_ns: u64,
+    /// 99th-percentile amortized per-item stage latency in nanoseconds.
+    pub p99_ns: u64,
 }
 
 /// Lock-free distribution of issued difficulties: one atomic bucket per
@@ -241,12 +267,37 @@ pub struct FrameworkMetrics {
     /// Behavior sketches pruned by decay (clients fully forgotten) or
     /// evicted by the recorder's capacity bound, cumulative.
     pub behavior_pruned: Counter,
+    /// `accept()` errors the TCP acceptor has absorbed (EMFILE and
+    /// friends). Before this counter an fd-exhaustion event was invisible:
+    /// the acceptor backed off silently.
+    pub accept_errors: Counter,
+    /// The acceptor's current accept-error backoff in milliseconds (0
+    /// while accepting normally; climbs toward the 500 ms cap while
+    /// `accept()` keeps failing).
+    pub accept_backoff_ms: Gauge,
+    /// Requests refused by the per-client rate limiter before reaching
+    /// the framework (the limiter sits in front of the pipeline, so these
+    /// are *not* in `solutions_rejected` or `rejected_by_reason`).
+    pub rate_limited: Counter,
     /// Rejections keyed by the verifier's reason label (lock-free).
     rejected_by_reason: RejectionCounts,
     /// Distribution of issued difficulties in bits (lock-free).
     issued_difficulty: DifficultyBuckets,
     /// Per-stage pipeline latency (lock-free).
     stage_timers: StageTimers,
+    /// State for per-second rate derivation between timed snapshots.
+    rate_window: RateWindow,
+}
+
+/// Remembers the totals seen by the previous timed snapshot so
+/// [`FrameworkMetrics::snapshot_at`] can report rejection *rates*, not
+/// just monotonic totals.
+#[derive(Debug, Default)]
+struct RateWindow {
+    last_ms: AtomicU64,
+    last_replayed: AtomicU64,
+    last_rate_limited: AtomicU64,
+    last_rejected: AtomicU64,
 }
 
 impl FrameworkMetrics {
@@ -289,9 +340,47 @@ impl FrameworkMetrics {
         self.stage_timers.record(stage, items, nanos);
     }
 
+    /// Takes a timed snapshot: like [`FrameworkMetrics::snapshot`], plus
+    /// per-second rejection rates derived against the previous
+    /// `snapshot_at` call (the first call, and calls with a non-advancing
+    /// clock, report 0.0 rates). Concurrent callers race benignly over
+    /// the shared rate window — each computes rates against *some* recent
+    /// reading, which is all a monitoring rate needs.
+    pub fn snapshot_at(&self, now_ms: u64) -> MetricsSnapshot {
+        let mut snap = self.snapshot();
+        let replayed = self.rejected_by_reason.count_for("replayed");
+        let rate_limited = self.rate_limited.get();
+        let rejected = self.solutions_rejected.get();
+        // relaxed: the window cells are monitoring state; swaps make each
+        // delta consumed by exactly one reader, and skew between cells
+        // only perturbs one reported rate sample.
+        let prev_ms = self.rate_window.last_ms.swap(now_ms, Ordering::Relaxed);
+        let prev_replayed = self
+            .rate_window
+            .last_replayed
+            .swap(replayed, Ordering::Relaxed); // relaxed: as above
+        let prev_rate_limited = self
+            .rate_window
+            .last_rate_limited
+            .swap(rate_limited, Ordering::Relaxed); // relaxed: as above
+        let prev_rejected = self
+            .rate_window
+            .last_rejected
+            .swap(rejected, Ordering::Relaxed); // relaxed: as above
+        if prev_ms > 0 && now_ms > prev_ms {
+            let dt_s = (now_ms - prev_ms) as f64 / 1_000.0;
+            snap.replay_rejects_per_s = replayed.saturating_sub(prev_replayed) as f64 / dt_s;
+            snap.rate_limited_per_s = rate_limited.saturating_sub(prev_rate_limited) as f64 / dt_s;
+            snap.rejections_per_s =
+                rejected.saturating_sub(prev_rejected) as f64 / dt_s + snap.rate_limited_per_s;
+        }
+        snap
+    }
+
     /// Takes a snapshot for reporting. Each field is an atomic read;
     /// fields racing with concurrent updates may be offset from each
-    /// other by in-flight operations.
+    /// other by in-flight operations. Per-second rates are 0.0 here; use
+    /// [`FrameworkMetrics::snapshot_at`] to derive them.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             challenges_issued: self.challenges_issued.get(),
@@ -308,6 +397,12 @@ impl FrameworkMetrics {
             behavior_tracked: self.behavior_tracked.get().max(0) as u64,
             behavior_sweeps: self.behavior_sweeps.get(),
             behavior_pruned: self.behavior_pruned.get(),
+            accept_errors: self.accept_errors.get(),
+            accept_backoff_ms: self.accept_backoff_ms.get().max(0) as u64,
+            rate_limited: self.rate_limited.get(),
+            replay_rejects_per_s: 0.0,
+            rate_limited_per_s: 0.0,
+            rejections_per_s: 0.0,
             stage_timings: self.stage_timers.snapshot(),
         }
     }
@@ -344,6 +439,20 @@ pub struct MetricsSnapshot {
     pub behavior_sweeps: u64,
     /// Behavior sketches pruned by decay or capacity eviction.
     pub behavior_pruned: u64,
+    /// TCP `accept()` errors absorbed by the acceptor's backoff loop.
+    pub accept_errors: u64,
+    /// The acceptor's current accept-error backoff (ms; 0 = healthy).
+    pub accept_backoff_ms: u64,
+    /// Requests refused by the per-client rate limiter (total).
+    pub rate_limited: u64,
+    /// Replay rejections per second over the last snapshot window (0.0
+    /// outside [`FrameworkMetrics::snapshot_at`]).
+    pub replay_rejects_per_s: f64,
+    /// Rate-limiter refusals per second over the last snapshot window.
+    pub rate_limited_per_s: f64,
+    /// All rejections per second (verifier rejections + rate-limiter
+    /// refusals) over the last snapshot window.
+    pub rejections_per_s: f64,
     /// Per-stage pipeline latency, in chain order, for stages that have
     /// run (wall-clock totals — two runs of the same workload report
     /// different nanosecond counts, so equality comparisons of whole
@@ -437,6 +546,88 @@ mod tests {
         assert_eq!(a.challenges_issued, b.challenges_issued);
         assert_eq!(a.median_issued_difficulty, b.median_issued_difficulty);
         assert_eq!(a.max_issued_difficulty, b.max_issued_difficulty);
+    }
+
+    #[test]
+    fn stage_quantiles_reflect_per_item_cost() {
+        let m = FrameworkMetrics::new();
+        // 49 cheap batches and one slow one: p50 tracks the common case,
+        // p99 the outlier (within the histogram's 1.6 % bucket error).
+        for _ in 0..49 {
+            m.record_stage(0, 1, 1_000);
+        }
+        m.record_stage(0, 1, 1_000_000);
+        let timing = &m.snapshot().stage_timings[0];
+        assert!(
+            (980..=1_020).contains(&timing.p50_ns),
+            "p50 was {}",
+            timing.p50_ns
+        );
+        assert!(
+            timing.p99_ns >= 900_000,
+            "p99 {} missed the outlier",
+            timing.p99_ns
+        );
+        // Batched recording amortizes: a 32-item batch at 32_000 ns is 32
+        // observations of ~1_000 ns each.
+        let m2 = FrameworkMetrics::new();
+        m2.record_stage(0, 32, 32_000);
+        let timing = &m2.snapshot().stage_timings[0];
+        assert!(
+            (980..=1_020).contains(&timing.p50_ns),
+            "batched p50 was {}",
+            timing.p50_ns
+        );
+    }
+
+    #[test]
+    fn acceptor_health_flows_into_snapshot() {
+        let m = FrameworkMetrics::new();
+        m.accept_errors.add(3);
+        m.accept_backoff_ms.set(250);
+        let snap = m.snapshot();
+        assert_eq!(snap.accept_errors, 3);
+        assert_eq!(snap.accept_backoff_ms, 250);
+    }
+
+    #[test]
+    fn snapshot_at_derives_per_second_rates() {
+        let m = FrameworkMetrics::new();
+        // First timed snapshot establishes the window: rates are 0.
+        let first = m.snapshot_at(10_000);
+        assert_eq!(first.replay_rejects_per_s, 0.0);
+
+        for _ in 0..20 {
+            m.record_rejection("replayed");
+        }
+        for _ in 0..10 {
+            m.rate_limited.inc();
+        }
+        m.record_rejection("expired");
+
+        // 2 seconds later: 20 replays → 10/s, 10 rate-limits → 5/s,
+        // 21 verifier rejections + 10 refusals → 15.5/s total.
+        let snap = m.snapshot_at(12_000);
+        assert_eq!(snap.replay_rejects_per_s, 10.0);
+        assert_eq!(snap.rate_limited_per_s, 5.0);
+        assert_eq!(snap.rejections_per_s, 15.5);
+        assert_eq!(snap.rate_limited, 10);
+
+        // A quiet window reports rates back at zero.
+        let quiet = m.snapshot_at(13_000);
+        assert_eq!(quiet.rejections_per_s, 0.0);
+
+        // Untimed snapshots never fabricate rates.
+        assert_eq!(m.snapshot().replay_rejects_per_s, 0.0);
+    }
+
+    #[test]
+    fn snapshot_at_with_stalled_clock_is_safe() {
+        let m = FrameworkMetrics::new();
+        m.snapshot_at(5_000);
+        m.record_rejection("replayed");
+        let snap = m.snapshot_at(5_000); // dt = 0: no division
+        assert_eq!(snap.replay_rejects_per_s, 0.0);
     }
 
     #[test]

@@ -63,6 +63,7 @@ use crate::AuditKind;
 use aipow_policy::PolicyContext;
 use aipow_pow::{Difficulty, Solution, VerifiedToken, VerifyError};
 use aipow_reputation::{FeatureVector, ReputationScore};
+use aipow_trace::SpanEvent;
 use std::net::IpAddr;
 use std::time::Instant;
 
@@ -91,10 +92,14 @@ pub struct RequestCtx<'a> {
     pub difficulty: Option<Difficulty>,
     /// The final decision; a context is *settled* once this is filled.
     pub decision: Option<AdmissionDecision>,
+    /// Request-scoped trace ID; 0 (the default) means unsampled, and the
+    /// chain emits no spans for this context. The framework's entry
+    /// points assign IDs from the attached tracer's sampler.
+    pub trace_id: u64,
 }
 
 impl<'a> RequestCtx<'a> {
-    /// A fresh context at the head of the chain.
+    /// A fresh, unsampled context at the head of the chain.
     pub fn new(client_ip: IpAddr, features: &'a FeatureVector) -> Self {
         RequestCtx {
             client_ip,
@@ -102,6 +107,7 @@ impl<'a> RequestCtx<'a> {
             score: ReputationScore::MIN,
             difficulty: None,
             decision: None,
+            trace_id: 0,
         }
     }
 }
@@ -116,15 +122,76 @@ pub struct SolutionCtx<'a> {
     pub claimed_ip: IpAddr,
     /// The verifier's outcome (filled by the verify stage).
     pub outcome: Option<Result<VerifiedToken, VerifyError>>,
+    /// Request-scoped trace ID; 0 (the default) means unsampled.
+    pub trace_id: u64,
 }
 
 impl<'a> SolutionCtx<'a> {
-    /// A fresh context at the head of the chain.
+    /// A fresh, unsampled context at the head of the chain.
     pub fn new(solution: &'a Solution, claimed_ip: IpAddr) -> Self {
         SolutionCtx {
             solution,
             claimed_ip,
             outcome: None,
+            trace_id: 0,
+        }
+    }
+}
+
+/// How a context presents itself to the tracer after each stage: who it
+/// belongs to, what difficulty is attached so far, and the verdict as
+/// known at this point in the chain.
+pub(crate) trait Traceable {
+    fn trace_id(&self) -> u64;
+    fn trace_client_ip(&self) -> IpAddr;
+    fn trace_difficulty_bits(&self) -> i16;
+    fn trace_verdict(&self) -> &'static str;
+}
+
+impl Traceable for RequestCtx<'_> {
+    fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    fn trace_client_ip(&self) -> IpAddr {
+        self.client_ip
+    }
+
+    fn trace_difficulty_bits(&self) -> i16 {
+        match (&self.decision, self.difficulty) {
+            (Some(AdmissionDecision::Challenge(issued)), _) => issued.difficulty.bits() as i16,
+            (_, Some(difficulty)) => difficulty.bits() as i16,
+            _ => -1,
+        }
+    }
+
+    fn trace_verdict(&self) -> &'static str {
+        match &self.decision {
+            None => "pending",
+            Some(AdmissionDecision::Admit { .. }) => "bypass",
+            Some(AdmissionDecision::Challenge(_)) => "challenge",
+        }
+    }
+}
+
+impl Traceable for SolutionCtx<'_> {
+    fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    fn trace_client_ip(&self) -> IpAddr {
+        self.claimed_ip
+    }
+
+    fn trace_difficulty_bits(&self) -> i16 {
+        self.solution.challenge.difficulty().bits() as i16
+    }
+
+    fn trace_verdict(&self) -> &'static str {
+        match &self.outcome {
+            None => "pending",
+            Some(Ok(_)) => "accept",
+            Some(Err(err)) => reason_label(err),
         }
     }
 }
@@ -153,21 +220,43 @@ pub trait AdmissionStage<Ctx>: Send + Sync {
 /// One `Instant` reading per stage boundary (N+1 readings for N stages),
 /// so the sequential path pays a fixed, small observability overhead and
 /// the batch path amortizes it along with everything else.
-fn run_chain<Ctx>(
+///
+/// When a tracer is attached, each stage additionally emits one span per
+/// *sampled* context (`trace_id != 0`). The per-stage cost with nothing
+/// sampled — the steady state at 1-in-N sampling — is one predictable
+/// branch per context; span recording itself is a `try_lock` ring append
+/// that drops on contention rather than blocking the admission path.
+fn run_chain<Ctx: Traceable>(
     fw: &Framework,
     now_ms: u64,
     stages: &[&dyn AdmissionStage<Ctx>],
     batch: &mut [Ctx],
 ) {
+    let tracer = fw.tracer();
     let mut boundary = Instant::now();
     for stage in stages {
         let items = stage.run(fw, now_ms, batch);
         let next = Instant::now();
-        fw.metrics().record_stage(
-            stage.slot(),
-            items as u64,
-            (next - boundary).as_nanos() as u64,
-        );
+        let nanos = (next - boundary).as_nanos() as u64;
+        fw.metrics().record_stage(stage.slot(), items as u64, nanos);
+        if let Some(tracer) = tracer {
+            for ctx in batch.iter() {
+                let trace_id = ctx.trace_id();
+                if trace_id != 0 {
+                    tracer.record(SpanEvent {
+                        trace_id,
+                        client_ip: ctx.trace_client_ip(),
+                        stage: stage.name(),
+                        slot: stage.slot() as u8,
+                        batch_len: batch.len() as u32,
+                        start_ns: tracer.ns_since_epoch(boundary),
+                        duration_ns: nanos,
+                        difficulty_bits: ctx.trace_difficulty_bits(),
+                        verdict: ctx.trace_verdict(),
+                    });
+                }
+            }
+        }
         boundary = next;
     }
 }
@@ -750,6 +839,108 @@ mod tests {
         assert_eq!(items("policy"), 1);
         assert_eq!(items("issue"), 1);
         assert_eq!(items("request_telemetry"), 4);
+    }
+
+    #[test]
+    fn sampled_requests_emit_one_span_per_stage_in_order() {
+        use aipow_trace::{TraceConfig, Tracer};
+        use std::sync::Arc;
+
+        let tracer = Arc::new(Tracer::new(TraceConfig {
+            sample_every: 1,
+            ..TraceConfig::default()
+        }));
+        let fw = FrameworkBuilder::new()
+            .master_key([9u8; 32])
+            .model(FixedScoreModel::new(ReputationScore::new(3.0).unwrap()))
+            .policy(LinearPolicy::policy2())
+            .tracer(Arc::clone(&tracer))
+            .build()
+            .unwrap();
+        let _ = fw.handle_request(ip(1), &FeatureVector::zeros());
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 5, "one span per request stage");
+        let slots: Vec<u8> = spans.iter().map(|s| s.slot).collect();
+        assert_eq!(slots, vec![0, 1, 2, 3, 4]);
+        let ids: Vec<u64> = spans.iter().map(|s| s.trace_id).collect();
+        assert!(ids.iter().all(|&id| id == ids[0] && id != 0));
+        assert!(spans.iter().all(|s| s.client_ip == ip(1)));
+        // Early stages saw no verdict; the chain's tail settled it.
+        assert_eq!(spans[0].verdict, "pending");
+        assert_eq!(spans[4].verdict, "challenge");
+        assert!(spans[4].difficulty_bits >= 0);
+    }
+
+    #[test]
+    fn untraced_framework_emits_nothing_and_sampling_skips() {
+        use aipow_trace::{TraceConfig, Tracer};
+        use std::sync::Arc;
+
+        // No tracer attached: nothing to emit, trace IDs stay 0.
+        let fw = FrameworkBuilder::new()
+            .master_key([9u8; 32])
+            .model(FixedScoreModel::new(ReputationScore::new(3.0).unwrap()))
+            .policy(LinearPolicy::policy2())
+            .build()
+            .unwrap();
+        let _ = fw.handle_request(ip(1), &FeatureVector::zeros());
+
+        // Tracer attached but sampling 1-in-1000: a single request is
+        // sampled (the sampler's first tick), the following ones are not.
+        let tracer = Arc::new(Tracer::new(TraceConfig {
+            sample_every: 1_000,
+            ..TraceConfig::default()
+        }));
+        let fw = FrameworkBuilder::new()
+            .master_key([9u8; 32])
+            .model(FixedScoreModel::new(ReputationScore::new(3.0).unwrap()))
+            .policy(LinearPolicy::policy2())
+            .tracer(Arc::clone(&tracer))
+            .build()
+            .unwrap();
+        for i in 0..10 {
+            let _ = fw.handle_request(ip(i), &FeatureVector::zeros());
+        }
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 5, "only the first request was sampled");
+        assert!(spans.iter().all(|s| s.client_ip == ip(0)));
+    }
+
+    #[test]
+    fn solution_spans_carry_the_rejection_verdict() {
+        use aipow_pow::NonceWidth;
+        use aipow_trace::{TraceConfig, Tracer};
+        use std::sync::Arc;
+
+        let tracer = Arc::new(Tracer::new(TraceConfig {
+            sample_every: 1,
+            ..TraceConfig::default()
+        }));
+        let fw = FrameworkBuilder::new()
+            .master_key([9u8; 32])
+            .model(FixedScoreModel::new(ReputationScore::new(3.0).unwrap()))
+            .policy(LinearPolicy::policy2())
+            .tracer(Arc::clone(&tracer))
+            .build()
+            .unwrap();
+        let decision = fw.handle_request(ip(1), &FeatureVector::zeros());
+        let AdmissionDecision::Challenge(issued) = decision else {
+            panic!("expected a challenge");
+        };
+        let bogus = Solution {
+            challenge: issued.challenge,
+            nonce: u64::MAX, // almost surely not a qualifying nonce
+            width: NonceWidth::U64,
+        };
+        let outcome = fw.handle_solution(&bogus, ip(1));
+        assert!(outcome.is_err());
+        let spans = tracer.spans();
+        let solution_spans: Vec<_> = spans.iter().filter(|s| s.slot >= 5).collect();
+        assert_eq!(solution_spans.len(), 3, "verify, charge, telemetry");
+        let tail = solution_spans.last().unwrap();
+        assert_ne!(tail.verdict, "pending");
+        assert_ne!(tail.verdict, "accept");
+        assert!(tail.difficulty_bits >= 0, "challenge difficulty attached");
     }
 
     #[test]

@@ -56,13 +56,20 @@ impl Histogram {
     }
 
     /// Records `n` observations of the same value.
+    ///
+    /// Counts saturate instead of wrapping: a histogram that has absorbed
+    /// `u64::MAX` observations of one bucket stays pinned there rather than
+    /// silently restarting from zero mid-flood.
     pub fn record_n(&mut self, value: u64, n: u64) {
         if n == 0 {
             return;
         }
-        self.counts[bucket_index(value)] += n;
-        self.count += n;
-        self.sum += value as u128 * n as u128;
+        let bucket = &mut self.counts[bucket_index(value)];
+        *bucket = bucket.saturating_add(n);
+        self.count = self.count.saturating_add(n);
+        self.sum = self
+            .sum
+            .saturating_add((value as u128).saturating_mul(n as u128));
         self.min = self.min.min(value);
         self.max = self.max.max(value);
     }
@@ -127,13 +134,14 @@ impl Histogram {
         self.value_at_quantile(0.5)
     }
 
-    /// Merges another histogram into this one.
+    /// Merges another histogram into this one. Counts saturate like
+    /// [`Histogram::record_n`].
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.count += other.count;
-        self.sum += other.sum;
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
         if other.count > 0 {
             self.min = self.min.min(other.min);
             self.max = self.max.max(other.max);
@@ -159,6 +167,121 @@ impl core::fmt::Debug for Histogram {
             .field("p99", &self.value_at_quantile(0.99))
             .field("max", &self.max)
             .finish()
+    }
+}
+
+/// A concurrently writable [`Histogram`]: same bucket layout, every slot an
+/// atomic, so many recorder threads can feed one histogram without locks.
+///
+/// Reads go through [`AtomicHistogram::snapshot`], which materializes a
+/// plain [`Histogram`] for quantile queries. The snapshot is not an atomic
+/// cut across buckets — concurrent recording can leave `count` off by the
+/// in-flight observations — which is the standard (and here acceptable)
+/// monitoring trade-off.
+///
+/// ```
+/// use aipow_metrics::AtomicHistogram;
+/// let h = AtomicHistogram::new();
+/// h.record(250);
+/// h.record_n(500, 3);
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count(), 4);
+/// assert_eq!(snap.max(), 500);
+/// ```
+pub struct AtomicHistogram {
+    counts: Vec<core::sync::atomic::AtomicU64>,
+    count: core::sync::atomic::AtomicU64,
+    sum: core::sync::atomic::AtomicU64,
+    min: core::sync::atomic::AtomicU64,
+    max: core::sync::atomic::AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// Creates an empty atomic histogram (~30 KiB of zeroed slots).
+    pub fn new() -> Self {
+        use core::sync::atomic::AtomicU64;
+        AtomicHistogram {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` observations of the same value.
+    ///
+    /// Each field is its own atomic; cross-field consistency is only
+    /// eventual, matching the snapshot contract above.
+    pub fn record_n(&self, value: u64, n: u64) {
+        use core::sync::atomic::Ordering::Relaxed; // relaxed: justified per use below
+        if n == 0 {
+            return;
+        }
+        // relaxed: independent monitoring cells; no cross-cell ordering is
+        // consumed, snapshot() tolerates torn reads by contract.
+        self.counts[bucket_index(value)].fetch_add(n, Relaxed);
+        self.count.fetch_add(n, Relaxed);
+        self.sum.fetch_add(value.saturating_mul(n), Relaxed);
+        self.min.fetch_min(value, Relaxed);
+        self.max.fetch_max(value, Relaxed);
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        // relaxed: monitoring read, no ordering consumed.
+        self.count.load(core::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Materializes the current contents as a plain [`Histogram`].
+    pub fn snapshot(&self) -> Histogram {
+        use core::sync::atomic::Ordering::Relaxed; // relaxed: justified per use below
+        let mut h = Histogram::new();
+        // relaxed: per-bucket monitoring reads; the snapshot contract
+        // allows being off by concurrently in-flight observations.
+        for (slot, bucket) in h.counts.iter_mut().zip(self.counts.iter()) {
+            *slot = bucket.load(Relaxed);
+        }
+        h.count = self.count.load(Relaxed);
+        h.sum = self.sum.load(Relaxed) as u128;
+        h.min = self.min.load(Relaxed);
+        h.max = self.max.load(Relaxed);
+        // Rebuild invariants a torn snapshot could have violated: the
+        // derived count must cover every copied bucket so quantile scans
+        // terminate inside the populated range.
+        let bucket_total: u64 = h.counts.iter().fold(0, |acc, &c| acc.saturating_add(c));
+        h.count = h.count.max(bucket_total);
+        h
+    }
+
+    /// Clears all recorded data.
+    pub fn reset(&self) {
+        use core::sync::atomic::Ordering::Relaxed; // relaxed: justified per use below
+                                                   // relaxed: reset is quiescent-time maintenance, not synchronization.
+        for bucket in &self.counts {
+            bucket.store(0, Relaxed);
+        }
+        self.count.store(0, Relaxed);
+        self.sum.store(0, Relaxed);
+        self.min.store(u64::MAX, Relaxed);
+        self.max.store(0, Relaxed);
+    }
+}
+
+impl core::fmt::Debug for AtomicHistogram {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        self.snapshot().fmt(f)
     }
 }
 
@@ -312,6 +435,128 @@ mod tests {
         h.reset();
         assert_eq!(h.count(), 0);
         assert_eq!(h.value_at_quantile(0.99), 0);
+    }
+
+    #[test]
+    fn merge_of_empty_histograms_stays_empty() {
+        let mut a = Histogram::new();
+        let b = Histogram::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.min(), 0);
+        assert_eq!(a.max(), 0);
+        assert_eq!(a.value_at_quantile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_empty_into_populated_is_identity() {
+        let mut a = Histogram::new();
+        a.record_n(42, 7);
+        let before = (a.count(), a.min(), a.max(), a.median());
+        a.merge(&Histogram::new());
+        assert_eq!((a.count(), a.min(), a.max(), a.median()), before);
+    }
+
+    #[test]
+    fn single_bucket_quantiles_are_flat() {
+        let mut h = Histogram::new();
+        h.record_n(37, 1_000);
+        // Every quantile of a single-bucket histogram is that value.
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.value_at_quantile(q), 37, "q={q}");
+        }
+        assert_eq!(h.min(), 37);
+        assert_eq!(h.max(), 37);
+    }
+
+    #[test]
+    fn saturating_counts_never_wrap() {
+        let mut h = Histogram::new();
+        h.record_n(5, u64::MAX);
+        h.record_n(5, u64::MAX); // would wrap to small with +=
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.value_at_quantile(0.5), 5);
+
+        let mut other = Histogram::new();
+        other.record_n(5, u64::MAX);
+        h.merge(&other); // merge saturates too
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.value_at_quantile(1.0), 5);
+    }
+
+    #[test]
+    fn merge_of_disjoint_ranges_keeps_both_tails() {
+        let mut low = Histogram::new();
+        let mut high = Histogram::new();
+        for v in 1..=100u64 {
+            low.record(v);
+        }
+        for v in 1_000_000..1_000_100u64 {
+            high.record(v);
+        }
+        low.merge(&high);
+        assert_eq!(low.count(), 200);
+        assert_eq!(low.min(), 1);
+        assert_eq!(low.max(), 1_000_099);
+        // The median (rank 100 of 200) sits at the top of the low cluster,
+        // not interpolated into the empty gap between the clusters.
+        let p50 = low.value_at_quantile(0.5);
+        assert!((95..=105).contains(&p50), "p50 was {p50}");
+        // p99 lands inside the high cluster (within bucket error).
+        let p99 = low.value_at_quantile(0.99);
+        assert!(
+            (990_000..=1_000_099).contains(&p99),
+            "p99 was {p99}, expected the high cluster"
+        );
+    }
+
+    #[test]
+    fn atomic_histogram_matches_plain_recording() {
+        let atomic = AtomicHistogram::new();
+        let mut plain = Histogram::new();
+        for v in [1u64, 63, 64, 999, 100_000, 1 << 40] {
+            atomic.record(v);
+            plain.record(v);
+        }
+        atomic.record_n(777, 10);
+        plain.record_n(777, 10);
+        let snap = atomic.snapshot();
+        assert_eq!(snap.count(), plain.count());
+        assert_eq!(snap.min(), plain.min());
+        assert_eq!(snap.max(), plain.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(snap.value_at_quantile(q), plain.value_at_quantile(q));
+        }
+    }
+
+    #[test]
+    fn atomic_histogram_concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let h = Arc::new(AtomicHistogram::new());
+        let threads = 4;
+        let per_thread = 10_000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        h.record(t * 1_000 + (i % 100));
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), threads * per_thread);
+    }
+
+    #[test]
+    fn atomic_histogram_reset_clears_everything() {
+        let h = AtomicHistogram::new();
+        h.record_n(12345, 10);
+        h.reset();
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 0);
+        assert_eq!(snap.value_at_quantile(0.99), 0);
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod timeseries;
 pub mod welford;
 
 pub use counter::{Counter, Gauge};
-pub use histogram::Histogram;
+pub use histogram::{AtomicHistogram, Histogram};
 pub use sample::TrialSet;
 pub use summary::Summary;
 pub use timeseries::TimeSeries;

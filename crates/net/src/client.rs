@@ -86,6 +86,18 @@ pub struct FetchReport {
     pub total_time: Duration,
 }
 
+/// A live telemetry snapshot fetched from a server, pre-rendered by the
+/// server in both expositions (see
+/// [`PowClient::telemetry`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// The snapshot as one JSON object
+    /// (`aipow_core::export::snapshot_json` shape).
+    pub json: String,
+    /// The snapshot in Prometheus text exposition format.
+    pub prometheus: String,
+}
+
 /// A blocking client for [`PowServer`](crate::PowServer).
 ///
 /// One TCP connection, reusable across any number of fetches.
@@ -237,6 +249,29 @@ impl PowClient {
         }
     }
 
+    /// Fetches the server's live telemetry snapshot — the same metrics an
+    /// operator sees locally via `Framework::metrics_snapshot`, rendered
+    /// server-side as JSON and Prometheus text. Polling this endpoint is
+    /// also the server's trigger heartbeat: each snapshot feeds the
+    /// tracer's flight-recorder thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on transport failure, server rejection, or
+    /// an out-of-protocol reply.
+    pub fn telemetry(&mut self) -> Result<TelemetrySnapshot, ClientError> {
+        write_message(&mut self.stream, &Message::TelemetryRequest)?;
+        match read_message(&mut self.stream)? {
+            Message::TelemetryReply { json, prometheus } => {
+                Ok(TelemetrySnapshot { json, prometheus })
+            }
+            Message::Rejected { code, detail } => Err(ClientError::Rejected { code, detail }),
+            other => Err(ClientError::UnexpectedMessage {
+                got: format!("{other:?}"),
+            }),
+        }
+    }
+
     /// Round-trip liveness probe.
     ///
     /// # Errors
@@ -372,6 +407,45 @@ mod tests {
             assert_eq!(h.join().unwrap(), 128);
         }
         assert_eq!(framework.metrics().snapshot().solutions_accepted, 8);
+        server.shutdown();
+    }
+
+    #[test]
+    fn telemetry_endpoint_serves_parsable_snapshots() {
+        let (server, framework) = spawn_server(2.0, None);
+        let mut client = PowClient::connect(server.local_addr()).unwrap();
+        client.fetch("/data").unwrap();
+        let snap = client.telemetry().unwrap();
+
+        // The JSON body reflects the fetch we just made.
+        assert!(snap.json.starts_with('{') && snap.json.ends_with('}'));
+        assert!(
+            snap.json.contains("\"challenges_issued\":1"),
+            "{}",
+            snap.json
+        );
+        assert!(snap.json.contains("\"solutions_accepted\":1"));
+        assert!(snap.json.contains("\"stage_timings\":["));
+
+        // The Prometheus exposition parses line by line: every line is a
+        // `# TYPE` comment or `name[{labels}] value` with a numeric value.
+        let mut samples = 0;
+        for line in snap.prometheus.lines() {
+            if line.starts_with('#') {
+                assert!(line.starts_with("# TYPE aipow_"), "bad comment: {line}");
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line}");
+            assert!(series.starts_with("aipow_"), "bad series in {line}");
+            samples += 1;
+        }
+        assert!(samples >= 20, "thin exposition: {samples} samples");
+        assert!(snap.prometheus.contains("aipow_solutions_accepted 1"));
+        assert!(snap
+            .prometheus
+            .contains("aipow_stage_p99_ns{stage=\"score\"}"));
+        let _ = framework;
         server.shutdown();
     }
 

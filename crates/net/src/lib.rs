@@ -47,5 +47,5 @@
 pub mod client;
 pub mod server;
 
-pub use client::{ClientError, FetchReport, PowClient};
+pub use client::{ClientError, FetchReport, PowClient, TelemetrySnapshot};
 pub use server::{PowServer, ServerConfig};

@@ -221,6 +221,7 @@ impl PowServer {
 
         let acceptor = {
             let shutdown = Arc::clone(&shutdown);
+            let framework = Arc::clone(&framework);
             std::thread::spawn(move || {
                 // Errors other than WouldBlock back off exponentially
                 // (capped), so a persistent condition like EMFILE — which
@@ -234,6 +235,7 @@ impl PowServer {
                     match listener.accept() {
                         Ok((stream, _)) => {
                             backoff = ACCEPT_BACKOFF_FLOOR;
+                            framework.metrics().accept_backoff_ms.set(0);
                             // A full queue sheds load by dropping the
                             // connection — the PoW layer is the defense,
                             // not an unbounded buffer.
@@ -244,9 +246,19 @@ impl PowServer {
                             // latency low; no escalation (nothing is
                             // wrong).
                             backoff = ACCEPT_BACKOFF_FLOOR;
+                            framework.metrics().accept_backoff_ms.set(0);
                             std::thread::sleep(Duration::from_millis(2));
                         }
                         Err(_) => {
+                            // Surface acceptor distress (EMFILE and kin)
+                            // in telemetry: the error count and the
+                            // current backoff plateau say whether the
+                            // listener is healthy, degraded, or parked.
+                            framework.metrics().accept_errors.inc();
+                            framework
+                                .metrics()
+                                .accept_backoff_ms
+                                .set(backoff.as_millis() as i64);
                             std::thread::sleep(backoff);
                             backoff = next_accept_backoff(backoff);
                         }
@@ -588,6 +600,7 @@ fn process_frames(
                         // the sketch those requests may have just
                         // created, exactly as it would sequentially.
                         flush_requests(&mut pending_requests, &mut replies);
+                        framework.metrics().rate_limited.inc();
                         if let Some(sink) = framework.behavior_sink() {
                             sink.on_rate_limited(peer_ip, framework.now_ms());
                         }
@@ -632,11 +645,24 @@ fn process_frames(
                 flush_solutions(&mut pending_solutions, &mut replies);
                 replies[slot] = Some(Message::Pong { token });
             }
+            Message::TelemetryRequest => {
+                // Flush both pending runs first: a snapshot taken after a
+                // pipelined burst must reflect that burst's admissions,
+                // exactly as a sequential interleaving would.
+                flush_requests(&mut pending_requests, &mut replies);
+                flush_solutions(&mut pending_solutions, &mut replies);
+                let snap = framework.metrics_snapshot();
+                replies[slot] = Some(Message::TelemetryReply {
+                    json: aipow_core::export::snapshot_json(&snap),
+                    prometheus: aipow_core::export::snapshot_prometheus(&snap),
+                });
+            }
             // Server-to-client message types arriving at the server.
             Message::ChallengeIssued { .. }
             | Message::ResourceGranted { .. }
             | Message::Rejected { .. }
-            | Message::Pong { .. } => {
+            | Message::Pong { .. }
+            | Message::TelemetryReply { .. } => {
                 replies[slot] = Some(Message::Rejected {
                     code: RejectCode::Malformed,
                     detail: "unexpected message direction".into(),

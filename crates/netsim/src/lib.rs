@@ -28,6 +28,9 @@
 //! - [`burst`] — pipelined bursts of `k` requests through the batch
 //!   admission path, asserting decision equivalence with the sequential
 //!   path and that per-request latency holds as fixed costs amortize;
+//! - [`tracefire`] — the observability proof: a flood trips the flight
+//!   recorder's rejection-rate trigger and the frozen JSONL dump is
+//!   hand-parsed for complete, correctly-ordered span chains;
 //! - [`report`] — CSV/Markdown rendering for EXPERIMENTS.md.
 //!
 //! Everything except [`contended`] is seeded; two runs with the same
@@ -59,6 +62,7 @@ pub mod profile;
 pub mod report;
 pub mod sample;
 pub mod scenario;
+pub mod tracefire;
 
 pub use behavior::{BehaviorConfig, BehaviorShiftOutcome, RedemptionOutcome, TrajectoryPoint};
 pub use burst::{BurstConfig, BurstReport};
@@ -68,3 +72,4 @@ pub use fig2::{Fig2Config, Fig2Row, Fig2Table};
 pub use flood::{FloodConfig, FloodOutcome, FloodPair};
 pub use profile::SolverProfile;
 pub use scenario::{AttackStrategy, DdosConfig, DdosOutcome};
+pub use tracefire::{TracefireConfig, TracefireReport};

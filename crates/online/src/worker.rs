@@ -147,8 +147,13 @@ impl OnlineLoop {
     }
 
     /// Runs one decay/rescore sweep at the framework clock's current
-    /// instant: prune, derive load, refresh gauges.
+    /// instant: prune, derive load, refresh gauges. When the framework
+    /// carries a tracer, each sweep also emits one always-recorded span
+    /// (stage `online_sweep`, slot 255) so flight-recorder dumps show the
+    /// online loop's decisions interleaved with the admissions they
+    /// influenced.
     pub fn sweep_now(&self) -> SweepReport {
+        let sweep_started = std::time::Instant::now();
         let now_ms = self.framework.clock().now_ms();
         let pruned = self.recorder.prune(now_ms, self.settings.prune_below);
         let tracked = self.recorder.len();
@@ -188,6 +193,20 @@ impl OnlineLoop {
         metrics.behavior_tracked.set(tracked as i64);
         metrics.behavior_sweeps.inc();
         metrics.behavior_pruned.add(pruned as u64 + new_evictions);
+
+        if let Some(tracer) = self.framework.tracer() {
+            let mut span = aipow_trace::SpanEvent::empty();
+            // Forced, not sampled: sweeps are rare (one per decay
+            // interval) and each one is an online-loop decision worth
+            // keeping in the flight-recorder window.
+            span.trace_id = tracer.begin_trace_forced();
+            span.stage = "online_sweep";
+            span.batch_len = tracked as u32;
+            span.start_ns = tracer.ns_since_epoch(sweep_started);
+            span.duration_ns = sweep_started.elapsed().as_nanos() as u64;
+            span.verdict = if pruned > 0 { "pruned" } else { "swept" };
+            tracer.record(span);
+        }
 
         SweepReport {
             tracked,
@@ -403,6 +422,51 @@ mod tests {
         assert_eq!(snap.behavior_tracked, 0);
         assert_eq!(snap.behavior_sweeps, 2);
         assert_eq!(snap.behavior_pruned, 1);
+    }
+
+    #[test]
+    fn sweeps_emit_forced_spans_when_traced() {
+        use aipow_trace::{TraceConfig, Tracer};
+        let clock = ManualClock::at(1_000_000);
+        let framework = Arc::new(
+            FrameworkBuilder::new()
+                .master_key([7u8; 32])
+                .model(FixedScoreModel::new(ReputationScore::new(1.0).unwrap()))
+                .policy(LinearPolicy::policy2())
+                .clock(Arc::new(clock.clone()))
+                // sample_every 0: only forced traces record, proving the
+                // sweep span does not ride the request sampler.
+                .tracer(Arc::new(Tracer::new(TraceConfig {
+                    sample_every: 0,
+                    ..TraceConfig::default()
+                })))
+                .build()
+                .unwrap(),
+        );
+        let online = OnlineLoop::attach(
+            Arc::clone(&framework),
+            Arc::new(StaticFeatureSource::new(FeatureVector::zeros())),
+            OnlineSettings {
+                shard_count: Some(4),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let _ = framework.handle_request(ip(5), &FeatureVector::zeros());
+        clock.advance(1_000);
+        online.sweep_now();
+        let tracer = framework.tracer().unwrap();
+        let spans = tracer.spans();
+        let sweep_spans: Vec<_> = spans.iter().filter(|s| s.stage == "online_sweep").collect();
+        assert_eq!(sweep_spans.len(), 1);
+        assert_eq!(sweep_spans[0].slot, 255, "non-pipeline site");
+        assert_eq!(sweep_spans[0].batch_len, 1, "one tracked client");
+        assert_eq!(sweep_spans[0].verdict, "swept");
+        assert_eq!(
+            spans.len(),
+            1,
+            "request spans must not record at sample_every 0"
+        );
     }
 
     #[test]

@@ -1,0 +1,48 @@
+//! Request-scoped tracing for the admission pipeline.
+//!
+//! The framework's aggregate counters say *how much* happened; this crate
+//! says *what happened to one request*. Three pieces:
+//!
+//! - [`SpanEvent`] — a 64-byte `Copy` record of one pipeline stage's work
+//!   on one request: trace ID, client, stage, difficulty, verdict,
+//!   nanosecond timing.
+//! - [`Tracer`] — allots request-scoped trace IDs (1-in-N sampled, so the
+//!   steady-state overhead is a `fetch_add` and a branch per request) and
+//!   records spans into sharded bounded rings. The emission path never
+//!   blocks: shards are selected by trace ID, appended under `try_lock`,
+//!   and a lost race drops the span and bumps a counter.
+//! - The **flight recorder** — a one-shot latch that freezes the rings
+//!   into a JSON-lines dump when an anomaly trigger fires: the framework's
+//!   under-attack flip, a rejection-rate spike, or a stage-p99 breach
+//!   ([`TriggerConfig`]).
+//!
+//! Like every dependency in this workspace, there are no external crates
+//! behind this: the ring, sampler, and JSONL renderer are self-contained.
+//!
+//! # Example
+//!
+//! ```
+//! use aipow_trace::{SpanEvent, TraceConfig, Tracer};
+//!
+//! let tracer = Tracer::new(TraceConfig { sample_every: 1, ..TraceConfig::default() });
+//! let id = tracer.begin_trace();
+//! assert_ne!(id, 0);
+//! let mut span = SpanEvent::empty();
+//! span.trace_id = id;
+//! span.stage = "score";
+//! span.slot = 0;
+//! tracer.record(span);
+//! assert_eq!(tracer.recorded(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod recorder;
+mod ring;
+pub mod span;
+pub mod tracer;
+
+pub use recorder::{FlightDump, TriggerConfig, TriggerStats};
+pub use span::SpanEvent;
+pub use tracer::{TraceConfig, Tracer};

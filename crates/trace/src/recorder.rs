@@ -1,0 +1,215 @@
+//! The anomaly flight recorder: trigger thresholds, the trip latch, and
+//! the frozen JSON-lines dump.
+
+use crate::span::SpanEvent;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Thresholds that trip the flight recorder automatically.
+///
+/// The under-attack flip is wired directly by the framework and needs no
+/// threshold; the two rate-shaped triggers are evaluated against these
+/// bounds every time trigger stats are fed in (typically once per metrics
+/// snapshot).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TriggerConfig {
+    /// Trip when total rejections per second exceed this. 0.0 disables.
+    pub max_rejections_per_s: f64,
+    /// Trip when any stage's p99 latency exceeds this many nanoseconds.
+    /// 0 disables.
+    pub max_stage_p99_ns: u64,
+}
+
+impl Default for TriggerConfig {
+    fn default() -> Self {
+        TriggerConfig {
+            max_rejections_per_s: 50.0,
+            max_stage_p99_ns: 0,
+        }
+    }
+}
+
+/// A point-in-time reading of the signals the triggers watch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TriggerStats {
+    /// Total solution rejections per second (replay + rate-limit + verify
+    /// failures) since the previous reading.
+    pub rejections_per_s: f64,
+    /// The worst per-stage p99 latency in the current snapshot.
+    pub worst_stage_p99_ns: u64,
+}
+
+/// The frozen forensic record produced when a trigger fires.
+#[derive(Clone, Debug)]
+pub struct FlightDump {
+    /// Which trigger fired (`under_attack`, `rejection_rate`, `stage_p99`,
+    /// or a caller-supplied reason).
+    pub reason: String,
+    /// One JSON object per line, one line per span, in per-shard emission
+    /// order — the contents of every ring at trip time.
+    pub jsonl: String,
+    /// Number of spans captured in `jsonl`.
+    pub spans: usize,
+}
+
+/// One-shot trip latch plus the dump store.
+///
+/// The first trigger to fire wins; later trips are ignored so the dump
+/// always describes the *onset* of the anomaly, not its aftermath. Only
+/// the trip/dump paths lock — both are off the admission path.
+pub(crate) struct FlightRecorder {
+    tripped: AtomicBool,
+    dump: Mutex<Option<FlightDump>>,
+    triggers: TriggerConfig,
+}
+
+impl FlightRecorder {
+    pub(crate) fn new(triggers: TriggerConfig) -> Self {
+        FlightRecorder {
+            tripped: AtomicBool::new(false),
+            dump: Mutex::new(None),
+            triggers,
+        }
+    }
+
+    pub(crate) fn tripped(&self) -> bool {
+        // relaxed: monitoring read; dump() acquires the mutex, which
+        // orders the actual payload.
+        self.tripped.load(Ordering::Relaxed)
+    }
+
+    /// Latches the recorder and freezes `spans` into the dump. Returns
+    /// `false` if a previous trip already holds the latch.
+    pub(crate) fn trip(&self, reason: &str, spans: &[SpanEvent]) -> bool {
+        if self.tripped.swap(true, Ordering::AcqRel) {
+            return false;
+        }
+        let mut jsonl = String::with_capacity(spans.len() * 160);
+        for span in spans {
+            jsonl.push_str(&span.to_jsonl());
+            jsonl.push('\n');
+        }
+        *self.dump.lock() = Some(FlightDump {
+            reason: reason.to_string(),
+            jsonl,
+            spans: spans.len(),
+        });
+        true
+    }
+
+    /// Evaluates the threshold triggers; returns the reason that should
+    /// trip, if any. The caller owns collecting spans and calling
+    /// [`FlightRecorder::trip`] (it has ring access; we do not).
+    pub(crate) fn breached(&self, stats: &TriggerStats) -> Option<&'static str> {
+        if self.tripped() {
+            return None;
+        }
+        let t = &self.triggers;
+        if t.max_rejections_per_s > 0.0 && stats.rejections_per_s > t.max_rejections_per_s {
+            return Some("rejection_rate");
+        }
+        if t.max_stage_p99_ns > 0 && stats.worst_stage_p99_ns > t.max_stage_p99_ns {
+            return Some("stage_p99");
+        }
+        None
+    }
+
+    pub(crate) fn dump(&self) -> Option<FlightDump> {
+        self.dump.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_trip_wins() {
+        let rec = FlightRecorder::new(TriggerConfig::default());
+        let span = SpanEvent::empty();
+        assert!(rec.trip("under_attack", &[span]));
+        assert!(!rec.trip("rejection_rate", &[span, span]));
+        let dump = rec.dump().expect("dump present after trip");
+        assert_eq!(dump.reason, "under_attack");
+        assert_eq!(dump.spans, 1);
+    }
+
+    #[test]
+    fn rejection_rate_threshold_breaches() {
+        let rec = FlightRecorder::new(TriggerConfig {
+            max_rejections_per_s: 10.0,
+            max_stage_p99_ns: 0,
+        });
+        assert_eq!(
+            rec.breached(&TriggerStats {
+                rejections_per_s: 5.0,
+                worst_stage_p99_ns: u64::MAX,
+            }),
+            None,
+            "disabled p99 trigger must not fire"
+        );
+        assert_eq!(
+            rec.breached(&TriggerStats {
+                rejections_per_s: 11.0,
+                worst_stage_p99_ns: 0,
+            }),
+            Some("rejection_rate")
+        );
+    }
+
+    #[test]
+    fn stage_p99_threshold_breaches() {
+        let rec = FlightRecorder::new(TriggerConfig {
+            max_rejections_per_s: 0.0,
+            max_stage_p99_ns: 1_000,
+        });
+        assert_eq!(
+            rec.breached(&TriggerStats {
+                rejections_per_s: f64::MAX,
+                worst_stage_p99_ns: 999,
+            }),
+            None,
+            "disabled rejection trigger must not fire"
+        );
+        assert_eq!(
+            rec.breached(&TriggerStats {
+                rejections_per_s: 0.0,
+                worst_stage_p99_ns: 1_001,
+            }),
+            Some("stage_p99")
+        );
+    }
+
+    #[test]
+    fn breached_goes_quiet_after_trip() {
+        let rec = FlightRecorder::new(TriggerConfig {
+            max_rejections_per_s: 1.0,
+            max_stage_p99_ns: 0,
+        });
+        let stats = TriggerStats {
+            rejections_per_s: 100.0,
+            worst_stage_p99_ns: 0,
+        };
+        assert!(rec.breached(&stats).is_some());
+        rec.trip("rejection_rate", &[]);
+        assert_eq!(rec.breached(&stats), None);
+    }
+
+    #[test]
+    fn dump_is_one_json_object_per_line() {
+        let rec = FlightRecorder::new(TriggerConfig::default());
+        let mut a = SpanEvent::empty();
+        a.trace_id = 1;
+        a.stage = "score";
+        let mut b = SpanEvent::empty();
+        b.trace_id = 2;
+        b.stage = "verify";
+        rec.trip("under_attack", &[a, b]);
+        let dump = rec.dump().expect("dump");
+        let lines: Vec<&str> = dump.jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+}

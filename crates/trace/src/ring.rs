@@ -1,0 +1,90 @@
+//! Bounded per-shard span storage.
+//!
+//! Each shard is a mutex-guarded ring, but the *emission* path only ever
+//! uses `try_lock`: a recorder that loses the race drops the span and bumps
+//! a counter instead of blocking the admission path. Spans for one trace
+//! all hash to the same shard, so within-shard order is exactly emission
+//! order — which is what makes flight-recorder dumps correlatable.
+
+use crate::span::SpanEvent;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// One bounded ring of spans. The oldest span is evicted on overflow.
+pub(crate) struct SpanRing {
+    slots: Mutex<VecDeque<SpanEvent>>,
+    capacity: usize,
+}
+
+impl SpanRing {
+    pub(crate) fn new(capacity: usize) -> Self {
+        SpanRing {
+            slots: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Attempts to append without blocking. Returns `false` (span dropped)
+    /// if the shard is momentarily contended.
+    pub(crate) fn try_push(&self, span: SpanEvent) -> bool {
+        match self.slots.try_lock() {
+            Some(mut slots) => {
+                if slots.len() >= self.capacity {
+                    slots.pop_front();
+                }
+                slots.push_back(span);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Copies the current contents in emission order. Blocking is fine
+    /// here: snapshots serve dumps and tests, never the admission path.
+    pub(crate) fn snapshot(&self) -> Vec<SpanEvent> {
+        // lint:allow(trace-blocking) dump/snapshot path, not a span emission site
+        self.slots.lock().iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace_id: u64, slot: u8) -> SpanEvent {
+        let mut s = SpanEvent::empty();
+        s.trace_id = trace_id;
+        s.slot = slot;
+        s
+    }
+
+    #[test]
+    fn ring_evicts_oldest_on_overflow() {
+        let ring = SpanRing::new(3);
+        for i in 1..=5u64 {
+            assert!(ring.try_push(span(i, 0)));
+        }
+        let spans = ring.snapshot();
+        assert_eq!(
+            spans.iter().map(|s| s.trace_id).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn ring_preserves_emission_order() {
+        let ring = SpanRing::new(16);
+        for slot in 0..5u8 {
+            ring.try_push(span(7, slot));
+        }
+        let slots: Vec<u8> = ring.snapshot().iter().map(|s| s.slot).collect();
+        assert_eq!(slots, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let ring = SpanRing::new(0);
+        assert!(ring.try_push(span(1, 0)));
+        assert_eq!(ring.snapshot().len(), 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! The structured event every instrumented site emits.
+
+use std::net::{IpAddr, Ipv4Addr};
+
+/// One stage of one request's journey through the pipeline.
+///
+/// A span is a plain `Copy` struct — no allocation on the emission path.
+/// The stage name and verdict are `&'static str` because every emission
+/// site names a compile-time-known stage and outcome; this keeps the event
+/// 64 bytes and the ring buffer allocation-free after startup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Request-scoped trace identifier (never 0 for a recorded span;
+    /// 0 marks an unsampled context and is dropped by the tracer).
+    pub trace_id: u64,
+    /// The client the framework attributed this work to.
+    pub client_ip: IpAddr,
+    /// Pipeline stage name (one of `aipow_core::STAGE_NAMES`, or a
+    /// non-pipeline site such as `online_sweep`).
+    pub stage: &'static str,
+    /// Pipeline slot index; 255 for non-pipeline emission sites.
+    pub slot: u8,
+    /// Number of contexts in the batch this stage invocation processed.
+    pub batch_len: u32,
+    /// Stage start, nanoseconds since the tracer's epoch.
+    pub start_ns: u64,
+    /// Stage duration in nanoseconds (whole-batch wall time).
+    pub duration_ns: u64,
+    /// Difficulty bits attached to the context, if decided yet (-1 = none).
+    pub difficulty_bits: i16,
+    /// Outcome as known after this stage: `pending`, `bypass`,
+    /// `challenge`, `accept`, or a rejection reason label.
+    pub verdict: &'static str,
+}
+
+impl SpanEvent {
+    /// A placeholder event for buffer pre-sizing and tests.
+    pub fn empty() -> Self {
+        SpanEvent {
+            trace_id: 0,
+            client_ip: IpAddr::V4(Ipv4Addr::UNSPECIFIED),
+            stage: "",
+            slot: 255,
+            batch_len: 0,
+            start_ns: 0,
+            duration_ns: 0,
+            difficulty_bits: -1,
+            verdict: "pending",
+        }
+    }
+
+    /// Renders the span as one JSON object on one line (the flight-dump
+    /// format). Hand-rolled: every field is numeric, an IP address, or a
+    /// static identifier, so no string escaping is required.
+    pub fn to_jsonl(&self) -> String {
+        let mut line = String::with_capacity(160);
+        line.push_str("{\"trace_id\":");
+        line.push_str(&self.trace_id.to_string());
+        line.push_str(",\"ip\":\"");
+        line.push_str(&self.client_ip.to_string());
+        line.push_str("\",\"stage\":\"");
+        line.push_str(self.stage);
+        line.push_str("\",\"slot\":");
+        line.push_str(&self.slot.to_string());
+        line.push_str(",\"batch\":");
+        line.push_str(&self.batch_len.to_string());
+        line.push_str(",\"start_ns\":");
+        line.push_str(&self.start_ns.to_string());
+        line.push_str(",\"duration_ns\":");
+        line.push_str(&self.duration_ns.to_string());
+        line.push_str(",\"difficulty\":");
+        if self.difficulty_bits >= 0 {
+            line.push_str(&self.difficulty_bits.to_string());
+        } else {
+            line.push_str("null");
+        }
+        line.push_str(",\"verdict\":\"");
+        line.push_str(self.verdict);
+        line.push_str("\"}");
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_round_trips_key_fields() {
+        let mut span = SpanEvent::empty();
+        span.trace_id = 42;
+        span.client_ip = IpAddr::V4(Ipv4Addr::new(203, 0, 113, 9));
+        span.stage = "score";
+        span.slot = 0;
+        span.batch_len = 32;
+        span.start_ns = 123;
+        span.duration_ns = 456;
+        span.difficulty_bits = 8;
+        span.verdict = "challenge";
+        let line = span.to_jsonl();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"trace_id\":42"));
+        assert!(line.contains("\"ip\":\"203.0.113.9\""));
+        assert!(line.contains("\"stage\":\"score\""));
+        assert!(line.contains("\"difficulty\":8"));
+        assert!(line.contains("\"verdict\":\"challenge\""));
+    }
+
+    #[test]
+    fn missing_difficulty_renders_null() {
+        let line = SpanEvent::empty().to_jsonl();
+        assert!(line.contains("\"difficulty\":null"));
+    }
+}

@@ -137,6 +137,11 @@ pub fn encode(msg: &Message) -> Vec<u8> {
         }
         Message::Ping { token } => payload.put_u64(*token),
         Message::Pong { token } => payload.put_u64(*token),
+        Message::TelemetryRequest => {}
+        Message::TelemetryReply { json, prometheus } => {
+            put_str(&mut payload, json);
+            put_str(&mut payload, prometheus);
+        }
     }
 
     let mut frame = BytesMut::with_capacity(8 + payload.len());
@@ -233,6 +238,11 @@ fn decode_payload(msg_type: u8, buf: &mut &[u8]) -> Result<Message, DecodeError>
         }),
         7 => Ok(Message::Pong {
             token: get_u64(buf)?,
+        }),
+        8 => Ok(Message::TelemetryRequest),
+        9 => Ok(Message::TelemetryReply {
+            json: get_str(buf)?,
+            prometheus: get_str(buf)?,
         }),
         got => Err(DecodeError::UnknownMessageType { got }),
     }
@@ -404,6 +414,12 @@ mod tests {
             },
             Message::Ping { token: 7 },
             Message::Pong { token: 7 },
+            Message::TelemetryRequest,
+            Message::TelemetryReply {
+                json: "{\"challenges_issued\":3}".into(),
+                prometheus: "# TYPE aipow_challenges_issued counter\naipow_challenges_issued 3\n"
+                    .into(),
+            },
         ]
     }
 
@@ -622,6 +638,10 @@ mod tests {
                 }),
                 any::<u64>().prop_map(|token| Message::Ping { token }),
                 any::<u64>().prop_map(|token| Message::Pong { token }),
+                Just(Message::TelemetryRequest),
+                ("[ -~]{0,200}", "[ -~]{0,200}").prop_map(|(json, prometheus)| {
+                    Message::TelemetryReply { json, prometheus }
+                }),
             ]
         }
 

@@ -111,6 +111,21 @@ pub enum Message {
         /// Echoed token.
         token: u64,
     },
+    /// Client → server: ask for a live telemetry snapshot (empty
+    /// payload). Served by the framework's metrics layer; costs the
+    /// server one snapshot render, so it rides the same per-connection
+    /// rate budget as resource requests.
+    TelemetryRequest,
+    /// Server → client: the snapshot, pre-rendered in both supported
+    /// expositions so thin clients need no JSON parser.
+    TelemetryReply {
+        /// The snapshot as a single JSON object
+        /// (`aipow_core::export::snapshot_json`).
+        json: String,
+        /// The snapshot in Prometheus text format
+        /// (`aipow_core::export::snapshot_prometheus`).
+        prometheus: String,
+    },
 }
 
 impl Message {
@@ -124,6 +139,8 @@ impl Message {
             Message::Rejected { .. } => 5,
             Message::Ping { .. } => 6,
             Message::Pong { .. } => 7,
+            Message::TelemetryRequest => 8,
+            Message::TelemetryReply { .. } => 9,
         }
     }
 }
@@ -162,10 +179,28 @@ mod tests {
             },
             Message::Ping { token: 0 },
             Message::Pong { token: 0 },
+            Message::TelemetryRequest,
+            Message::TelemetryReply {
+                json: "{}".into(),
+                prometheus: String::new(),
+            },
         ];
         let mut seen = std::collections::HashSet::new();
         for m in &msgs {
             assert!(seen.insert(m.type_byte()));
         }
+    }
+
+    #[test]
+    fn telemetry_type_bytes_are_stable() {
+        assert_eq!(Message::TelemetryRequest.type_byte(), 8);
+        assert_eq!(
+            Message::TelemetryReply {
+                json: String::new(),
+                prometheus: String::new(),
+            }
+            .type_byte(),
+            9
+        );
     }
 }

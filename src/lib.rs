@@ -23,6 +23,7 @@
 //! | [`net`] | `aipow-net` | real TCP server/client runtime |
 //! | [`netsim`] | `aipow-netsim` | calibrated evaluation testbed (§III) |
 //! | [`metrics`] | `aipow-metrics` | measurement substrate |
+//! | [`trace`] | `aipow-trace` | request-scoped tracing + anomaly flight recorder |
 //!
 //! # Quickstart
 //!
@@ -112,6 +113,12 @@ pub mod netsim {
 /// Measurement substrate: histograms, trial sets, online statistics.
 pub mod metrics {
     pub use aipow_metrics::*;
+}
+
+/// Request-scoped tracing: the sampled span tracer, per-shard bounded
+/// rings, and the anomaly flight recorder.
+pub mod trace {
+    pub use aipow_trace::*;
 }
 
 /// The most common imports, for `use aipow::prelude::*`.

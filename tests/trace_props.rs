@@ -1,0 +1,113 @@
+//! Cross-crate properties of the tracing layer through the facade: for
+//! arbitrary batch shapes, every sampled request gets its own trace and
+//! every trace's spans walk the stage chain in order.
+
+use aipow::prelude::*;
+use aipow::trace::{TraceConfig, Tracer};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::net::{IpAddr, Ipv4Addr};
+use std::sync::Arc;
+
+fn traced_framework(sample_every: u64) -> (Framework, Arc<Tracer>) {
+    let tracer = Arc::new(Tracer::new(TraceConfig {
+        sample_every,
+        ..TraceConfig::default()
+    }));
+    let framework = FrameworkBuilder::new()
+        .master_key([0x42; 32])
+        .model(FixedScoreModel::new(ReputationScore::new(5.0).unwrap()))
+        .policy(LinearPolicy::policy2())
+        .tracer(Arc::clone(&tracer))
+        .build()
+        .unwrap();
+    (framework, tracer)
+}
+
+/// The request chain's stage slots, in pipeline order.
+const REQUEST_SLOTS: [u8; 5] = [0, 1, 2, 3, 4];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// At 1-in-1 sampling, N batched requests produce exactly N distinct
+    /// trace IDs, each with one complete request chain whose slots run
+    /// `score → bypass → policy → issue → request_telemetry` in order.
+    #[test]
+    fn batched_requests_carry_distinct_ordered_traces(
+        n in 1usize..=96,
+        chunking in 1usize..=8,
+        base_octet in 1u8..=200,
+    ) {
+        let (framework, tracer) = traced_framework(1);
+        let features = FeatureVector::zeros();
+        let ips: Vec<IpAddr> = (0..n)
+            .map(|i| IpAddr::V4(Ipv4Addr::new(10, base_octet, (i / 256) as u8, (i % 256) as u8)))
+            .collect();
+
+        // Arbitrary chunking must not change the per-request guarantees.
+        for chunk in ips.chunks(chunking) {
+            let requests: Vec<(IpAddr, &FeatureVector)> =
+                chunk.iter().map(|&ip| (ip, &features)).collect();
+            let decisions = framework.handle_request_batch(&requests);
+            prop_assert_eq!(decisions.len(), chunk.len());
+        }
+
+        let spans = tracer.spans();
+        let mut chains: HashMap<u64, Vec<u8>> = HashMap::new();
+        for span in &spans {
+            prop_assert!(span.trace_id != 0, "recorded span without a trace");
+            chains.entry(span.trace_id).or_default().push(span.slot);
+        }
+
+        // Exactly N distinct trace IDs: one per request, no sharing, no
+        // dropped assignments at default ring capacity.
+        prop_assert_eq!(chains.len(), n);
+
+        // Every chain is the full request chain, in stage order.
+        for (trace_id, slots) in &chains {
+            prop_assert_eq!(
+                slots.as_slice(),
+                REQUEST_SLOTS.as_slice(),
+                "trace {} walked slots {:?}",
+                trace_id,
+                slots
+            );
+        }
+    }
+
+    /// Sampling 1-in-N traces roughly n/N of a batch and never corrupts
+    /// the chains it does record.
+    #[test]
+    fn sampled_traces_stay_complete(sample_every in 2u64..=16) {
+        let (framework, tracer) = traced_framework(sample_every);
+        let features = FeatureVector::zeros();
+        let requests: Vec<(IpAddr, &FeatureVector)> = (0..64u32)
+            .map(|i| {
+                (
+                    IpAddr::V4(Ipv4Addr::from(0x0A64_0000 + i)),
+                    &features,
+                )
+            })
+            .collect();
+        framework.handle_request_batch(&requests);
+
+        let spans = tracer.spans();
+        let mut chains: HashMap<u64, Vec<u8>> = HashMap::new();
+        for span in &spans {
+            chains.entry(span.trace_id).or_default().push(span.slot);
+        }
+        let expected = 64 / sample_every as usize;
+        // The deterministic 1-in-N tick makes the count exact modulo the
+        // phase of the first tick.
+        prop_assert!(
+            chains.len() >= expected.saturating_sub(1) && chains.len() <= expected + 1,
+            "{} chains at 1-in-{} sampling of 64",
+            chains.len(),
+            sample_every
+        );
+        for slots in chains.values() {
+            prop_assert_eq!(slots.as_slice(), REQUEST_SLOTS.as_slice());
+        }
+    }
+}
