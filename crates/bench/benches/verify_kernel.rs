@@ -22,7 +22,9 @@ use aipow_crypto::sha256::Sha256;
 use aipow_crypto::sha256_wide::digest_batch;
 use aipow_pow::solver::{self, SolverOptions};
 use aipow_pow::time::TimeSource;
-use aipow_pow::{Difficulty, Issuer, ManualClock, Solution, Verifier};
+use aipow_pow::{
+    BackendId, BackendRegistry, Difficulty, Issuer, ManualClock, Solution, Verifier,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::net::IpAddr;
 use std::sync::Arc;
@@ -149,5 +151,105 @@ fn verify_batch_kernel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, digest_kernel, verify_batch_kernel);
+/// The memory-hard arena for the backend-asymmetry measurement: the
+/// smallest valid size keeps the bench quick while the solve/verify
+/// asymmetry it gates is already orders of magnitude.
+const BACKEND_ARENA_MIB: u8 = 1;
+
+/// Pre-solved valid submissions on an explicit backend.
+fn solved_backend_batch(
+    clock: &Arc<dyn TimeSource>,
+    n: usize,
+    backend: BackendId,
+) -> Vec<(Solution, IpAddr)> {
+    let issuer = Issuer::with_clock(&BENCH_MASTER_KEY, Arc::clone(clock))
+        .with_backend_param(BackendId::MEMORY_HARD, BACKEND_ARENA_MIB);
+    let ip = bench_client_ip();
+    let difficulty = Difficulty::new(0).expect("zero difficulty");
+    (0..n)
+        .map(|_| {
+            let challenge = issuer.issue_backend(ip, difficulty, backend);
+            let report =
+                solver::solve(&challenge, ip, &SolverOptions::default()).expect("d=0 solvable");
+            (report.solution, ip)
+        })
+        .collect()
+}
+
+/// Nonce probes per solve-cost iteration: enough that the per-attempt
+/// marginal cost dominates the loop scaffolding.
+const SOLVE_ATTEMPTS: u64 = 64;
+
+/// Experiment C13: the backend cost asymmetry the router trades on.
+///
+/// - `verify/<backend>/32`: `Verifier::verify_batch` over 32 same-backend
+///   submissions. SHA-256 runs with scalar lanes — the baseline the gate
+///   names — while memory-hard runs its production path (8 lanes, so its
+///   independent walks interleave through the wide kernel). `bench_gate`
+///   asserts memory-hard verify stays within
+///   `AIPOW_GATE_MAX_MEMHARD_VERIFY_RATIO` (default 2x) of the SHA-256
+///   scalar cost, so routing floods to memory-hard never meaningfully
+///   taxes the server.
+/// - `solve/<backend>/64`: 64 nonce probes through the backend's
+///   [`aipow_pow::SolveCursor`] with the cursor hoisted (as in a real
+///   solve run, where its setup amortizes over ~2^d attempts), measuring
+///   the marginal per-attempt cost — `bench_gate` asserts a memory-hard
+///   attempt costs at least `AIPOW_GATE_MIN_MEMHARD_SOLVE_RATIO`
+///   (default 10x) a SHA-256 attempt, the asymmetry that makes routing
+///   punitive.
+fn backend_kernel(c: &mut Criterion) {
+    let clock: Arc<dyn TimeSource> = Arc::new(ManualClock::at(1_000_000));
+    let registry = BackendRegistry::standard();
+    let issuer = Issuer::with_clock(&BENCH_MASTER_KEY, Arc::clone(&clock))
+        .with_backend_param(BackendId::MEMORY_HARD, BACKEND_ARENA_MIB);
+    let ip = bench_client_ip();
+
+    let mut group = c.benchmark_group("verify_kernel_backend");
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+
+    for (label, backend, lanes) in [
+        ("sha256", BackendId::SHA256, 1usize),
+        ("memhard", BackendId::MEMORY_HARD, 8),
+    ] {
+        let submissions = solved_backend_batch(&clock, 32, backend);
+        let verifier =
+            Verifier::with_clock(&BENCH_MASTER_KEY, Arc::clone(&clock)).with_verify_lanes(lanes);
+        group.throughput(Throughput::Elements(32));
+        group.bench_with_input(
+            BenchmarkId::new(format!("verify/{label}"), 32),
+            &submissions[..],
+            |b, subs| {
+                // As in `verify_kernel_batch`: after the first redemption
+                // every iteration rejects as `Replayed`, but replay is the
+                // last staged check, so the measured work matches the
+                // accept path.
+                b.iter(|| {
+                    verifier
+                        .verify_batch(subs)
+                        .iter()
+                        .filter(|outcome| outcome.is_err())
+                        .count()
+                })
+            },
+        );
+
+        let challenge = issuer.issue_backend(ip, Difficulty::new(0).expect("d=0"), backend);
+        let prefix = challenge.preimage_prefix(ip);
+        let puzzle = registry.get(backend).expect("standard backend");
+        group.throughput(Throughput::Elements(SOLVE_ATTEMPTS));
+        group.bench_function(BenchmarkId::new(format!("solve/{label}"), SOLVE_ATTEMPTS), |b| {
+            let mut cursor = puzzle.solve_cursor(challenge.backend_param(), &prefix);
+            b.iter(|| {
+                (0..SOLVE_ATTEMPTS).fold(0u8, |acc, nonce| {
+                    acc ^ cursor.attempt(&nonce.to_be_bytes()).as_bytes()[0]
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, digest_kernel, verify_batch_kernel, backend_kernel);
 criterion_main!(benches);

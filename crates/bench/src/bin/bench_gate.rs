@@ -45,6 +45,21 @@
 //!   recorded gap is 3-5x with vector units engaged, and a kernel that
 //!   stops vectorizing (or a verifier that stops batching MAC/work
 //!   digests through it) collapses the ratio toward 1 on any host.
+//! - `AIPOW_GATE_MAX_MEMHARD_VERIFY_RATIO` — ceiling on the within-run
+//!   SHA-256-over-memory-hard scalar `verify_batch` throughput ratio at
+//!   batch=32, default `2`. The memory-hard puzzle only works as a
+//!   routing target if *verification* stays cheap: the router sends
+//!   suspected flooders there precisely because the server pays nearly
+//!   nothing extra to check their stamps. A memory-hard verify that
+//!   drifts past 2x the SHA-256 cost would let a flood tax the verifier
+//!   through the very backend meant to tax the flooder.
+//! - `AIPOW_GATE_MIN_MEMHARD_SOLVE_RATIO` — floor on the within-run
+//!   memory-hard-over-SHA-256 per-attempt *solve* cost ratio, default
+//!   `10`. This is the other half of the asymmetry: one memory-hard
+//!   attempt (arena fill + mix walk) must cost at least 10x a SHA-256
+//!   attempt, or routing a flooder to the memory-hard backend stops
+//!   being punitive. The recorded gap is orders of magnitude; a
+//!   shortcut that skips the arena work collapses it on any host.
 //! - `AIPOW_BENCH_TARGET_CPU` — the `-C target-cpu` value appended to
 //!   `RUSTFLAGS` for the bench run, default `native`. The portable wide
 //!   kernel only reaches full width when the compiler may use the host's
@@ -228,6 +243,22 @@ fn min_wide_speedup() -> f64 {
         .unwrap_or(2.0)
 }
 
+fn max_memhard_verify_ratio() -> f64 {
+    std::env::var("AIPOW_GATE_MAX_MEMHARD_VERIFY_RATIO")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|r: &f64| r.is_finite() && *r >= 1.0)
+        .unwrap_or(2.0)
+}
+
+fn min_memhard_solve_ratio() -> f64 {
+    std::env::var("AIPOW_GATE_MIN_MEMHARD_SOLVE_RATIO")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|r: &f64| r.is_finite() && *r >= 1.0)
+        .unwrap_or(10.0)
+}
+
 /// The batching acceptance bar, checked within this run (so it is
 /// machine-independent like the eviction ratio): `handle_request_batch`
 /// at batch=32 must beat the sequential path by at least
@@ -272,12 +303,15 @@ fn gate_batch_speedup(measured: &Results, min_speedup: f64) -> Vec<String> {
 /// The tracing acceptance bar, checked within this run like the batch
 /// gate: `admission_batch_traced` (tracer attached, default 1-in-64
 /// sampling) at batch=32 / 4 threads must hold at least
-/// `1 - max_overhead` of the untraced `admission_batch` throughput.
-/// Observability that taxes the admission path more than a few percent
-/// is not "always-on" — it gets turned off, and then nobody has data
-/// when the flood arrives.
+/// `1 - max_overhead` of the untraced throughput. The untraced side is
+/// the `batch32_untraced` twin measured immediately before the traced
+/// cell in the same group — ratioing adjacent cells keeps clock and
+/// thermal drift across the long four-binary bench run out of a 5 %
+/// bar. Observability that taxes the admission path more than a few
+/// percent is not "always-on" — it gets turned off, and then nobody
+/// has data when the flood arrives.
 fn gate_trace_overhead(measured: &Results, max_overhead: f64) -> Vec<String> {
-    let untraced_key = "admission_batch/batch32/threads/4";
+    let untraced_key = "admission_batch_traced/batch32_untraced/threads/4";
     let traced_key = "admission_batch_traced/batch32/threads/4";
     match (measured.get(untraced_key), measured.get(traced_key)) {
         (Some(&untraced), Some(&traced)) => {
@@ -354,6 +388,90 @@ fn gate_wide_speedup(measured: &Results, min_speedup: f64) -> Vec<String> {
             "wide speedup gate needs both {scalar_key} and {wide_key}; only one was measured"
         )],
     }
+}
+
+/// The backend-asymmetry acceptance bar, checked within this run like
+/// the wide-kernel gate (`verify_kernel_backend` group):
+///
+/// - verify side: SHA-256 *scalar* batch-32 verify throughput may
+///   exceed the memory-hard backend's (measured on its production
+///   wide-lane path, where independent walks interleave through the
+///   multi-buffer kernel) by at most `max_verify_ratio` — verification
+///   must stay cheap on the very backend the router sends floods to;
+/// - solve side: SHA-256 per-attempt solve throughput (cursor hoisted,
+///   marginal cost per nonce probe) must exceed the memory-hard
+///   backend's by at least `min_solve_ratio` — the serialized
+///   data-dependent walk is the cost the router imposes on suspicious
+///   clients, and a shortcut that skips it collapses this ratio on any
+///   host.
+fn gate_backend_asymmetry(
+    measured: &Results,
+    max_verify_ratio: f64,
+    min_solve_ratio: f64,
+) -> Vec<String> {
+    let sha_verify_key = "verify_kernel_backend/verify/sha256/32";
+    let mh_verify_key = "verify_kernel_backend/verify/memhard/32";
+    let sha_solve_key = "verify_kernel_backend/solve/sha256/64";
+    let mh_solve_key = "verify_kernel_backend/solve/memhard/64";
+    let mut failures = Vec::new();
+
+    match (measured.get(sha_verify_key), measured.get(mh_verify_key)) {
+        (Some(&sha), Some(&mh)) => {
+            // Cost ratio: how many times more expensive one memory-hard
+            // verification is than one SHA-256 verification.
+            let ratio = if mh > 0.0 { sha / mh } else { f64::INFINITY };
+            let ok = ratio <= max_verify_ratio;
+            println!(
+                "{:<48} {:>14.1} {:>14.1} {:>8.2}  {}",
+                "memhard/sha256 verify cost (batch 32)",
+                sha,
+                mh,
+                ratio,
+                if ok { "ok" } else { "REGRESSION" }
+            );
+            if !ok {
+                failures.push(format!(
+                    "{mh_verify_key}: memory-hard verify costs {ratio:.2}x the SHA-256 \
+                     scalar verify within this run (ceiling {max_verify_ratio:.2}x) — \
+                     the cheap-verify half of the backend asymmetry has regressed"
+                ));
+            }
+        }
+        (None, None) => {} // pre-backend-seam JSON via --check-only
+        _ => failures.push(format!(
+            "backend verify gate needs both {sha_verify_key} and {mh_verify_key}; \
+             only one was measured"
+        )),
+    }
+
+    match (measured.get(sha_solve_key), measured.get(mh_solve_key)) {
+        (Some(&sha), Some(&mh)) => {
+            let ratio = if mh > 0.0 { sha / mh } else { f64::INFINITY };
+            let ok = ratio >= min_solve_ratio;
+            println!(
+                "{:<48} {:>14.1} {:>14.1} {:>8.1}  {}",
+                "memhard/sha256 solve cost (per attempt)",
+                sha,
+                mh,
+                ratio,
+                if ok { "ok" } else { "REGRESSION" }
+            );
+            if !ok {
+                failures.push(format!(
+                    "{mh_solve_key}: a memory-hard attempt costs only {ratio:.1}x a \
+                     SHA-256 attempt within this run (floor {min_solve_ratio:.0}x) — \
+                     the expensive-solve half of the backend asymmetry has regressed"
+                ));
+            }
+        }
+        (None, None) => {} // pre-backend-seam JSON via --check-only
+        _ => failures.push(format!(
+            "backend solve gate needs both {sha_solve_key} and {mh_solve_key}; \
+             only one was measured"
+        )),
+    }
+
+    failures
 }
 
 /// The machine-independent guard: within *this* run, the bounded
@@ -521,6 +639,11 @@ fn main() {
     failures.extend(gate_batch_speedup(&measured, min_batch_speedup()));
     failures.extend(gate_trace_overhead(&measured, max_trace_overhead()));
     failures.extend(gate_wide_speedup(&measured, min_wide_speedup()));
+    failures.extend(gate_backend_asymmetry(
+        &measured,
+        max_memhard_verify_ratio(),
+        min_memhard_solve_ratio(),
+    ));
     if failures.is_empty() {
         println!(
             "perf gate: {} benchmarks within {:.0}% of baseline",

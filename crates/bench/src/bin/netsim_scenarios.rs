@@ -11,12 +11,13 @@
 //!
 //! Run with `cargo run --release -p aipow-bench --bin netsim_scenarios`.
 //! Pass `--only <scenario>` (repeatable; one of `fig2`, `contended`,
-//! `behavior`, `flood`, `burst`, `lanes`, `tracefire`) to run a single
+//! `behavior`, `flood`, `burst`, `lanes`, `backends`, `tracefire`) to run a single
 //! suite — CI shards and local reproductions can target the suite under
 //! investigation without paying for the rest. `--list` prints the suite
 //! names and exits; an unknown `--only` name is echoed on stderr with a
 //! non-zero exit instead of a panic.
 
+use aipow_netsim::backends::{backends_to_markdown, run_backends, BackendsConfig};
 use aipow_netsim::behavior::{run_behavior_shift, run_redemption, BehaviorConfig};
 use aipow_netsim::burst::{burst_to_markdown, run_burst, BurstConfig};
 use aipow_netsim::contended::{run_contended, ContendedConfig};
@@ -241,6 +242,51 @@ fn lanes_suite() {
     );
 }
 
+fn backends_suite() {
+    println!("== backends: policy-routed memory-hard puzzles ==");
+    let report = run_backends(&BackendsConfig::default());
+    // The router's contract is exact: every benign challenge on SHA-256,
+    // every flooder challenge on memory-hard, nothing misrouted.
+    assert_eq!(
+        report.routing_violations, 0,
+        "the router issued challenges on the wrong backend"
+    );
+    assert!(
+        report.benign_sha_challenges > 0 && report.flooder_memhard_challenges > 0,
+        "schedule must exercise both routes: {report:?}"
+    );
+    // The asymmetry the router exists for: routing the flood to
+    // memory-hard must multiply its aggregate solve cost (the memmix
+    // arena walk dominates the SHA-256 preimage search)...
+    let flood_ratio = report.flood_cost_ratio();
+    assert!(
+        flood_ratio >= 5.0,
+        "flood solve cost only rose {flood_ratio:.1}x under memory-hard routing (need ≥ 5x)"
+    );
+    // ...while benign clients, still on SHA-256, must not feel it. 2x
+    // headroom absorbs scheduler noise in a wall-clock p99 on shared
+    // runners; the real effect is ≈ 1x.
+    let benign_ratio = report.benign_p99_ratio();
+    assert!(
+        benign_ratio < 2.0,
+        "benign p99 grew {benign_ratio:.2}x under backend routing (must stay flat)"
+    );
+    // The seam claim: scalar-lane and wide-lane verdicts identical over
+    // a mixed SHA/memory-hard schedule with staged corruptions.
+    assert_eq!(
+        report.verdict_mismatches, 0,
+        "scalar and wide lanes diverged through the backend seam"
+    );
+    assert!(report.accepted > 0, "schedule must exercise accepts");
+    assert!(report.rejected > 0, "schedule must exercise rejections");
+    println!("{}", backends_to_markdown(&report));
+    println!(
+        "   routing exact, flood cost {flood_ratio:.1}x, benign p99 {benign_ratio:.2}x, \
+         {} verdicts identical -- ok",
+        report.verify_submissions
+    );
+}
+
 fn tracefire_suite() {
     println!("== tracefire: flight recorder under a rejection flood ==");
     let report = run_tracefire(&TracefireConfig::default());
@@ -268,13 +314,14 @@ fn tracefire_suite() {
 }
 
 /// The suite registry: names accepted by `--only`, in run order.
-const SUITES: [(&str, fn()); 7] = [
+const SUITES: [(&str, fn()); 8] = [
     ("fig2", fig2_suite),
     ("contended", contended_suite),
     ("behavior", behavior_suite),
     ("flood", flood_suite),
     ("burst", burst_suite),
     ("lanes", lanes_suite),
+    ("backends", backends_suite),
     ("tracefire", tracefire_suite),
 ];
 

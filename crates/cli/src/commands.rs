@@ -34,7 +34,10 @@ pub fn serve(raw: &[String]) -> Result<(), CliError> {
             "workers",
             "score",
             "max-batch",
+            "lanes",
             "verify-lanes",
+            "memory-hard-above",
+            "arena-mib",
             "trace-sample",
             "flight-capacity",
         ],
@@ -65,6 +68,32 @@ pub fn serve(raw: &[String]) -> Result<(), CliError> {
             .parse()
             .map_err(|_| CliError::usage("--bypass expects a number"))?;
         builder = builder.bypass_threshold(threshold);
+    }
+    // Backend routing: clients scoring past the threshold are issued
+    // memory-hard puzzles instead of SHA-256 preimages.
+    if let Some(threshold) = args.get("memory-hard-above") {
+        let threshold: f64 = threshold
+            .parse()
+            .map_err(|_| CliError::usage("--memory-hard-above expects a number"))?;
+        if !threshold.is_finite() || !(0.0..=10.0).contains(&threshold) {
+            return Err(CliError::usage(
+                "--memory-hard-above must be a score in [0,10]",
+            ));
+        }
+        builder = builder.route_memory_hard_above(threshold);
+    }
+    if let Some(mib) = args.get("arena-mib") {
+        let mib: u8 = mib
+            .parse()
+            .map_err(|_| CliError::usage("--arena-mib expects an integer MiB count"))?;
+        if !aipow_crypto::memmix::validate_arena_mib(mib) {
+            return Err(CliError::usage(format!(
+                "--arena-mib must be within [{},{}]",
+                aipow_crypto::memmix::MIN_ARENA_MIB,
+                aipow_crypto::memmix::MAX_ARENA_MIB
+            )));
+        }
+        builder = builder.memory_hard_arena_mib(mib);
     }
     // Tracing defaults ON for the server: 1-in-64 sampling keeps the
     // telemetry endpoint's stage histograms and the flight recorder live
@@ -112,21 +141,7 @@ pub fn serve(raw: &[String]) -> Result<(), CliError> {
     if max_batch == 0 {
         return Err(CliError::usage("--max-batch must be at least 1"));
     }
-    let verify_lanes = match args.get("verify-lanes") {
-        Some(raw) => {
-            let lanes: usize = raw
-                .parse()
-                .map_err(|_| CliError::usage("--verify-lanes expects an integer in [1,8]"))?;
-            if lanes == 0 || lanes > aipow_crypto::MAX_LANES {
-                return Err(CliError::usage(format!(
-                    "--verify-lanes must be within [1,{}]",
-                    aipow_crypto::MAX_LANES
-                )));
-            }
-            Some(lanes)
-        }
-        None => None,
-    };
+    let lanes = lanes_flag(&args)?;
     let server = PowServer::start(
         &addr,
         Arc::clone(&framework),
@@ -135,7 +150,7 @@ pub fn serve(raw: &[String]) -> Result<(), CliError> {
         ServerConfig {
             workers,
             max_batch,
-            verify_lanes,
+            lanes,
             ..Default::default()
         },
     )
@@ -216,7 +231,7 @@ pub fn fetch(raw: &[String]) -> Result<(), CliError> {
 pub fn solve(raw: &[String]) -> Result<(), CliError> {
     let args = Args::parse(
         raw.iter().cloned(),
-        &["difficulty", "threads", "trials", "lanes"],
+        &["difficulty", "threads", "trials", "lanes", "backend", "arena-mib"],
         &[],
     )?;
     let bits = args.get_parsed::<u8>("difficulty", 16, "bits in [0,64]")?;
@@ -238,14 +253,45 @@ pub fn solve(raw: &[String]) -> Result<(), CliError> {
         lanes,
         ..Default::default()
     };
+    // --backend picks the puzzle family; memory-hard puzzles take an
+    // optional arena size so the microbenchmark can sweep the cost knob.
+    let backend = match args.get("backend").unwrap_or("sha256") {
+        "sha256" | "sha-256" => aipow_pow::BackendId::SHA256,
+        "memory-hard" | "memhard" => aipow_pow::BackendId::MEMORY_HARD,
+        other => {
+            return Err(CliError::usage(format!(
+                "--backend must be `sha256` or `memory-hard`, got `{other}`"
+            )))
+        }
+    };
+    let arena_mib = args.get_parsed::<u8>(
+        "arena-mib",
+        aipow_crypto::memmix::DEFAULT_ARENA_MIB,
+        "an integer MiB count",
+    )?;
+    if !aipow_crypto::memmix::validate_arena_mib(arena_mib) {
+        return Err(CliError::usage(format!(
+            "--arena-mib must be within [{},{}]",
+            aipow_crypto::memmix::MIN_ARENA_MIB,
+            aipow_crypto::memmix::MAX_ARENA_MIB
+        )));
+    }
 
-    let issuer = Issuer::new(&[0xC1u8; 32]);
+    let issuer =
+        Issuer::new(&[0xC1u8; 32]).with_backend_param(aipow_pow::BackendId::MEMORY_HARD, arena_mib);
     let ip = IpAddr::V4(Ipv4Addr::new(203, 0, 113, 1));
-    println!("solving {trials} × {difficulty} puzzles with {threads} thread(s), {lanes} lane(s)");
+    println!(
+        "solving {trials} × {difficulty} {} puzzles with {threads} thread(s), {lanes} lane(s)",
+        if backend == aipow_pow::BackendId::MEMORY_HARD {
+            format!("memory-hard ({arena_mib} MiB arena)")
+        } else {
+            "sha256".to_string()
+        },
+    );
     let mut total_attempts = 0u64;
     let mut total_secs = 0f64;
     for i in 0..trials {
-        let challenge = issuer.issue(ip, difficulty);
+        let challenge = issuer.issue_backend(ip, difficulty, backend);
         let report = if threads > 1 {
             solver::solve_parallel(&challenge, ip, threads, &options)
         } else {
@@ -557,6 +603,37 @@ fn format_ns(ns: f64) -> String {
     }
 }
 
+/// Reads the verification lane-count knob. The documented flag is
+/// `--lanes` (one name across config, CLI, and `SolverOptions`);
+/// `--verify-lanes` remains accepted as a deprecated alias. When both are
+/// given they must agree.
+fn lanes_flag(args: &Args) -> Result<Option<usize>, CliError> {
+    let parse = |flag: &str, raw: &str| -> Result<usize, CliError> {
+        let lanes: usize = raw
+            .parse()
+            .map_err(|_| CliError::usage(format!("--{flag} expects an integer in [1,8]")))?;
+        if lanes == 0 || lanes > aipow_crypto::MAX_LANES {
+            return Err(CliError::usage(format!(
+                "--{flag} must be within [1,{}]",
+                aipow_crypto::MAX_LANES
+            )));
+        }
+        Ok(lanes)
+    };
+    let canonical = args.get("lanes").map(|raw| parse("lanes", raw)).transpose()?;
+    let alias = args
+        .get("verify-lanes")
+        .map(|raw| parse("verify-lanes", raw))
+        .transpose()?;
+    match (canonical, alias) {
+        (Some(a), Some(b)) if a != b => Err(CliError::usage(
+            "--lanes and --verify-lanes (deprecated alias) disagree; pass only --lanes",
+        )),
+        (Some(a), _) => Ok(Some(a)),
+        (None, alias) => Ok(alias),
+    }
+}
+
 fn parse_key(hex: &str) -> Result<[u8; 32], CliError> {
     let bytes =
         aipow_crypto::hex::decode(hex).map_err(|e| CliError::usage(format!("--key: {e}")))?;
@@ -590,6 +667,89 @@ mod tests {
                 lanes,
             ]))
             .unwrap();
+        }
+    }
+
+    #[test]
+    fn solve_command_runs_memory_hard_backend() {
+        solve(&strings(&[
+            "--difficulty",
+            "4",
+            "--trials",
+            "1",
+            "--backend",
+            "memory-hard",
+            "--arena-mib",
+            "1",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn solve_rejects_bad_backend_flags() {
+        for flags in [
+            ["--backend", "scrypt"],
+            ["--arena-mib", "0"],
+            ["--arena-mib", "200"],
+        ] {
+            let err = solve(&strings(&flags)).unwrap_err();
+            assert_eq!(err.exit_code, 2, "{flags:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn lanes_flag_parses_under_both_names() {
+        // Satellite knob unification: `--lanes` is the documented name;
+        // `--verify-lanes` stays accepted as a deprecated alias.
+        for flag in ["--lanes", "--verify-lanes"] {
+            let args = Args::parse(
+                strings(&[flag, "4"]).into_iter(),
+                &["lanes", "verify-lanes"],
+                &[],
+            )
+            .unwrap();
+            assert_eq!(lanes_flag(&args).unwrap(), Some(4), "{flag}");
+        }
+        let agree = Args::parse(
+            strings(&["--lanes", "2", "--verify-lanes", "2"]).into_iter(),
+            &["lanes", "verify-lanes"],
+            &[],
+        )
+        .unwrap();
+        assert_eq!(lanes_flag(&agree).unwrap(), Some(2));
+        let disagree = Args::parse(
+            strings(&["--lanes", "2", "--verify-lanes", "8"]).into_iter(),
+            &["lanes", "verify-lanes"],
+            &[],
+        )
+        .unwrap();
+        let err = lanes_flag(&disagree).unwrap_err();
+        assert_eq!(err.exit_code, 2);
+        assert!(err.message.contains("disagree"), "{}", err.message);
+    }
+
+    #[test]
+    fn serve_rejects_bad_lane_flags_under_both_names() {
+        for flag in ["--lanes", "--verify-lanes"] {
+            for bad in ["0", "9", "wide"] {
+                let err = serve(&strings(&[flag, bad])).unwrap_err();
+                assert_eq!(err.exit_code, 2, "{flag} {bad}: {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn serve_rejects_bad_backend_routing_flags() {
+        for flags in [
+            ["--memory-hard-above", "11"],
+            ["--memory-hard-above", "NaN"],
+            ["--memory-hard-above", "-1"],
+            ["--arena-mib", "0"],
+            ["--arena-mib", "65"],
+            ["--arena-mib", "big"],
+        ] {
+            let err = serve(&strings(&flags)).unwrap_err();
+            assert_eq!(err.exit_code, 2, "{flags:?}: {err}");
         }
     }
 

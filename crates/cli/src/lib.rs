@@ -77,6 +77,11 @@ COMMANDS:
              --key <hex32>             master key, 64 hex chars (default: random)
              --bypass <score>          admit scores below this without work
              --workers <n>             worker threads (default 4)
+             --score <f>               fixed client reputation score (default 5.0)
+             --max-batch <n>           admission batch-drain cap
+             --lanes <n>               verify lanes: 1, 4, or 8 (alias --verify-lanes)
+             --memory-hard-above <f>   route scores above this to the memory-hard puzzle
+             --arena-mib <n>           memory-hard arena MiB, 1..=64 (default 8)
              --trace-sample <n>        trace 1-in-n requests, 0 disables (default 64)
              --flight-capacity <n>     flight-recorder ring capacity (default 4096)
     fetch    request a resource, solving the puzzle
@@ -89,6 +94,9 @@ COMMANDS:
              --difficulty <bits>       leading zero bits (default 16)
              --threads <n>             solver threads (default 1)
              --trials <n>              number of puzzles (default 5)
+             --lanes <n>               digest lanes: 1, 4, or 8 (default 8)
+             --backend <name>          sha256 | memory-hard (default sha256)
+             --arena-mib <n>           memory-hard arena MiB, 1..=64 (default 8)
     train    train the DAbR model on the synthetic dataset and report quality
              --seed <n>                dataset seed (default 1)
              --overlap <f>             class overlap in [0,1] (default 0.38)

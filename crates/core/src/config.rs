@@ -74,7 +74,24 @@ pub struct FrameworkConfig {
     /// ([`aipow_crypto::auto_lanes`]); explicit values must be in
     /// `[1, 8]`, with 1 forcing the scalar path. Purely a performance
     /// knob: every width computes identical outcomes.
-    pub verify_lanes: Option<usize>,
+    ///
+    /// This knob was previously named `verify_lanes`; configs using the
+    /// old name still deserialize (it is a serde alias), matching the
+    /// solver's `--lanes` flag and `SolverOptions::lanes`.
+    #[serde(alias = "verify_lanes")]
+    pub lanes: Option<usize>,
+    /// Reputation score at or above which clients are routed to the
+    /// memory-hard puzzle backend instead of SHA-256 (see
+    /// [`aipow_policy::ThresholdRouter`]; higher score = more
+    /// suspicious). `None` (the default) keeps every client on the
+    /// SHA-256 backend. Must be a finite number in `[0, 10]`.
+    pub memory_hard_above: Option<f64>,
+    /// Arena size in MiB minted into memory-hard challenges. `None`
+    /// uses the backend default
+    /// ([`aipow_crypto::memmix::DEFAULT_ARENA_MIB`]); explicit values
+    /// must lie in `[aipow_crypto::memmix::MIN_ARENA_MIB,
+    /// aipow_crypto::memmix::MAX_ARENA_MIB]`.
+    pub memory_hard_arena_mib: Option<u8>,
     /// Request-trace sampling rate: trace 1 in `trace_sample_rate`
     /// admissions through the `aipow-trace` span layer. 0 (the default)
     /// disables tracing entirely — no tracer is attached and the hot path
@@ -229,7 +246,9 @@ impl Default for FrameworkConfig {
             shard_count: None,
             eviction_max_scan: aipow_shard::DEFAULT_MAX_SCAN,
             max_batch: crate::framework::DEFAULT_MAX_BATCH,
-            verify_lanes: None,
+            lanes: None,
+            memory_hard_above: None,
+            memory_hard_arena_mib: None,
             trace_sample_rate: 0,
             flight_recorder_capacity: TraceConfig::default().ring_capacity,
             online: None,
@@ -277,6 +296,17 @@ pub enum ConfigError {
         /// The rejected threshold.
         value: f64,
     },
+    /// The memory-hard routing threshold was not a finite number in
+    /// `[0, 10]`.
+    BadRoutingThreshold {
+        /// The rejected threshold.
+        value: f64,
+    },
+    /// The memory-hard arena size was outside the supported MiB range.
+    BadArenaMib {
+        /// The rejected size in MiB.
+        requested: u8,
+    },
     /// A duration field was zero.
     ZeroDuration {
         /// Which field was zero.
@@ -323,6 +353,17 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::BadBypassThreshold { value } => {
                 write!(f, "bypass threshold {value} outside [0, 10]")
+            }
+            ConfigError::BadRoutingThreshold { value } => {
+                write!(f, "memory-hard routing threshold {value} outside [0, 10]")
+            }
+            ConfigError::BadArenaMib { requested } => {
+                write!(
+                    f,
+                    "memory-hard arena size {requested} MiB outside [{}, {}]",
+                    aipow_crypto::memmix::MIN_ARENA_MIB,
+                    aipow_crypto::memmix::MAX_ARENA_MIB
+                )
             }
             ConfigError::ZeroDuration { field } => {
                 write!(f, "{field} must be a positive number of milliseconds")
@@ -382,7 +423,7 @@ impl FrameworkConfig {
         if self.max_batch == 0 {
             return Err(ConfigError::BadMaxBatch { requested: 0 });
         }
-        if let Some(lanes) = self.verify_lanes {
+        if let Some(lanes) = self.lanes {
             if lanes == 0 || lanes > aipow_crypto::MAX_LANES {
                 return Err(ConfigError::BadVerifyLanes { requested: lanes });
             }
@@ -390,6 +431,16 @@ impl FrameworkConfig {
         if let Some(t) = self.bypass_threshold {
             if !t.is_finite() || !(0.0..=10.0).contains(&t) {
                 return Err(ConfigError::BadBypassThreshold { value: t });
+            }
+        }
+        if let Some(t) = self.memory_hard_above {
+            if !t.is_finite() || !(0.0..=10.0).contains(&t) {
+                return Err(ConfigError::BadRoutingThreshold { value: t });
+            }
+        }
+        if let Some(mib) = self.memory_hard_arena_mib {
+            if !aipow_crypto::memmix::validate_arena_mib(mib) {
+                return Err(ConfigError::BadArenaMib { requested: mib });
             }
         }
         if self.trace_sample_rate > 0 && self.flight_recorder_capacity == 0 {
@@ -417,8 +468,14 @@ impl FrameworkConfig {
         if let Some(shards) = self.shard_count {
             builder = builder.shard_count(shards);
         }
-        if let Some(lanes) = self.verify_lanes {
-            builder = builder.verify_lanes(lanes);
+        if let Some(lanes) = self.lanes {
+            builder = builder.lanes(lanes);
+        }
+        if let Some(t) = self.memory_hard_above {
+            builder = builder.route_memory_hard_above(t);
+        }
+        if let Some(mib) = self.memory_hard_arena_mib {
+            builder = builder.memory_hard_arena_mib(mib);
         }
         if self.trace_sample_rate > 0 {
             builder = builder.tracer(Arc::new(Tracer::new(TraceConfig {
@@ -596,9 +653,9 @@ mod tests {
     }
 
     #[test]
-    fn verify_lanes_threads_through_config() {
+    fn lanes_threads_through_config() {
         let config = FrameworkConfig {
-            verify_lanes: Some(4),
+            lanes: Some(4),
             ..Default::default()
         };
         let fw = config
@@ -610,7 +667,7 @@ mod tests {
             .unwrap();
         assert_eq!(fw.verifier().verify_lanes(), 4);
         // The default defers to hardware detection: always a valid width.
-        assert_eq!(FrameworkConfig::default().verify_lanes, None);
+        assert_eq!(FrameworkConfig::default().lanes, None);
         let auto = FrameworkConfig::default()
             .apply()
             .unwrap()
@@ -622,21 +679,91 @@ mod tests {
     }
 
     #[test]
-    fn out_of_range_verify_lanes_rejected() {
+    fn out_of_range_lanes_rejected() {
         for requested in [0, 9, 64] {
             let config = FrameworkConfig {
-                verify_lanes: Some(requested),
+                lanes: Some(requested),
                 ..Default::default()
             };
             assert_eq!(
                 config.apply().unwrap_err(),
                 ConfigError::BadVerifyLanes { requested },
-                "verify_lanes {requested} should be rejected"
+                "lanes {requested} should be rejected"
             );
         }
         assert!(ConfigError::BadVerifyLanes { requested: 9 }
             .to_string()
             .contains("lane"));
+    }
+
+    #[test]
+    fn memory_hard_routing_threads_through_config() {
+        let config = FrameworkConfig {
+            memory_hard_above: Some(6.0),
+            memory_hard_arena_mib: Some(1),
+            ..Default::default()
+        };
+        let fw = config
+            .apply()
+            .unwrap()
+            .model(FixedScoreModel::new(ReputationScore::MAX))
+            .master_key([1u8; 32])
+            .build()
+            .unwrap();
+        // Score 10 ≥ 6: the issued challenge must be memory-hard, with
+        // the configured arena parameter.
+        let issued = fw
+            .handle_request(IpAddr::V4(Ipv4Addr::LOCALHOST), &FeatureVector::zeros())
+            .challenge()
+            .unwrap();
+        assert_eq!(issued.challenge.backend(), aipow_pow::BackendId::MEMORY_HARD);
+        assert_eq!(issued.challenge.backend_param(), 1);
+    }
+
+    #[test]
+    fn bad_routing_threshold_rejected() {
+        for value in [-1.0, 11.0, f64::NAN] {
+            let config = FrameworkConfig {
+                memory_hard_above: Some(value),
+                ..Default::default()
+            };
+            assert!(
+                matches!(
+                    config.apply(),
+                    Err(ConfigError::BadRoutingThreshold { .. })
+                ),
+                "threshold {value} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_arena_mib_rejected() {
+        for requested in [0, aipow_crypto::memmix::MAX_ARENA_MIB + 1, u8::MAX] {
+            let config = FrameworkConfig {
+                memory_hard_arena_mib: Some(requested),
+                ..Default::default()
+            };
+            assert_eq!(
+                config.apply().unwrap_err(),
+                ConfigError::BadArenaMib { requested },
+                "arena size {requested} should be rejected"
+            );
+        }
+        // The bounds themselves are accepted.
+        for requested in [
+            aipow_crypto::memmix::MIN_ARENA_MIB,
+            aipow_crypto::memmix::MAX_ARENA_MIB,
+        ] {
+            let config = FrameworkConfig {
+                memory_hard_arena_mib: Some(requested),
+                ..Default::default()
+            };
+            assert!(config.apply().is_ok(), "arena size {requested} is valid");
+        }
+        assert!(ConfigError::BadArenaMib { requested: 0 }
+            .to_string()
+            .contains("MiB"));
     }
 
     #[test]

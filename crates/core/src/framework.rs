@@ -6,11 +6,11 @@ use crate::metrics::FrameworkMetrics;
 use crate::pipeline::{self, RequestCtx, SolutionCtx};
 use crate::sync::{AtomicBool, AtomicU64, OnceLock, Ordering, RwLock};
 use crate::tap::BehaviorSink;
-use aipow_policy::Policy;
+use aipow_policy::{BackendRouter, Policy, Sha256Router, ThresholdRouter};
 use aipow_pow::replay::ReplayGuard;
 use aipow_pow::{
-    Challenge, Difficulty, Issuer, ManualClock, Solution, SystemClock, TimeSource, VerifiedToken,
-    Verifier, VerifyError,
+    BackendId, Challenge, Difficulty, Issuer, ManualClock, Solution, SystemClock, TimeSource,
+    VerifiedToken, Verifier, VerifyError,
 };
 use aipow_reputation::{FeatureVector, ReputationModel, ReputationScore};
 use aipow_trace::{Tracer, TriggerStats};
@@ -97,7 +97,9 @@ pub struct FrameworkBuilder {
     eviction_max_scan: usize,
     behavior_sink: Option<Arc<dyn BehaviorSink>>,
     max_batch: usize,
-    verify_lanes: Option<usize>,
+    lanes: Option<usize>,
+    router: Option<Arc<dyn BackendRouter>>,
+    memory_hard_arena_mib: Option<u8>,
     tracer: Option<Arc<Tracer>>,
 }
 
@@ -131,7 +133,9 @@ impl FrameworkBuilder {
             eviction_max_scan: aipow_shard::DEFAULT_MAX_SCAN,
             behavior_sink: None,
             max_batch: DEFAULT_MAX_BATCH,
-            verify_lanes: None,
+            lanes: None,
+            router: None,
+            memory_hard_arena_mib: None,
             tracer: None,
         }
     }
@@ -273,8 +277,51 @@ impl FrameworkBuilder {
     /// outcomes. Defaults to auto-detection
     /// ([`aipow_crypto::auto_lanes`]): 8 where the build can use 256-bit
     /// vectors, else 4.
-    pub fn verify_lanes(mut self, lanes: usize) -> Self {
-        self.verify_lanes = Some(lanes);
+    ///
+    /// `lanes` is the one name for this knob across the API surface
+    /// (this builder, `FrameworkConfig::lanes`, `ServerConfig::lanes`,
+    /// the `--lanes` CLI flag, `SolverOptions::lanes`); the former
+    /// builder name survives as the deprecated
+    /// [`verify_lanes`](Self::verify_lanes) alias.
+    pub fn lanes(mut self, lanes: usize) -> Self {
+        self.lanes = Some(lanes);
+        self
+    }
+
+    /// Deprecated spelling of [`lanes`](Self::lanes).
+    #[deprecated(note = "renamed to `lanes`; the knob has one name across the API surface")]
+    pub fn verify_lanes(self, lanes: usize) -> Self {
+        self.lanes(lanes)
+    }
+
+    /// Routes each client to a puzzle backend by reputation score (see
+    /// [`aipow_policy::BackendRouter`]). Defaults to
+    /// [`Sha256Router`]: every client gets the SHA-256 preimage puzzle,
+    /// the pre-routing behavior.
+    pub fn backend_router(mut self, router: Arc<dyn BackendRouter>) -> Self {
+        self.router = Some(router);
+        self
+    }
+
+    /// Convenience for the common routing rule: clients scoring at or
+    /// above `threshold` (higher = more suspicious) get the memory-hard
+    /// puzzle; everyone else keeps SHA-256. Equivalent to
+    /// `backend_router(Arc::new(ThresholdRouter::new(threshold)))`.
+    pub fn route_memory_hard_above(self, threshold: f64) -> Self {
+        self.backend_router(Arc::new(ThresholdRouter::new(threshold)))
+    }
+
+    /// Arena size in MiB minted into memory-hard challenges. Defaults to
+    /// the backend default
+    /// ([`aipow_crypto::memmix::DEFAULT_ARENA_MIB`]).
+    ///
+    /// # Panics
+    ///
+    /// [`build`](Self::build) panics (via the issuer) on an
+    /// out-of-bounds size; [`crate::FrameworkConfig`] validates it with
+    /// a typed error instead.
+    pub fn memory_hard_arena_mib(mut self, mib: u8) -> Self {
+        self.memory_hard_arena_mib = Some(mib);
         self
     }
 
@@ -321,13 +368,16 @@ impl FrameworkBuilder {
             self.eviction_max_scan,
         );
 
-        let issuer =
+        let mut issuer =
             Issuer::with_clock(&master_key, Arc::clone(&self.clock)).with_ttl_ms(self.ttl_ms);
+        if let Some(mib) = self.memory_hard_arena_mib {
+            issuer = issuer.with_backend_param(BackendId::MEMORY_HARD, mib);
+        }
         let mut verifier = Verifier::with_clock(&master_key, Arc::clone(&self.clock))
             .with_replay_guard(replay)
             .with_difficulty_cap(self.difficulty_cap)
             .with_max_skew_ms(self.max_skew_ms);
-        if let Some(lanes) = self.verify_lanes {
+        if let Some(lanes) = self.lanes {
             verifier = verifier.with_verify_lanes(lanes);
         }
 
@@ -350,6 +400,7 @@ impl FrameworkBuilder {
         Ok(Framework {
             model,
             policy: RwLock::new(policy),
+            router: self.router.unwrap_or_else(|| Arc::new(Sha256Router)),
             issuer,
             verifier,
             metrics,
@@ -387,6 +438,9 @@ pub fn random_master_key() -> [u8; 32] {
 pub struct Framework {
     pub(crate) model: Arc<dyn ReputationModel>,
     pub(crate) policy: RwLock<Box<dyn Policy>>,
+    /// Per-score puzzle-backend routing; consulted by the issue stage
+    /// alongside the difficulty policy.
+    pub(crate) router: Arc<dyn BackendRouter>,
     pub(crate) issuer: Issuer,
     verifier: Verifier,
     metrics: FrameworkMetrics,
@@ -580,6 +634,11 @@ impl Framework {
     /// Name of the reputation model.
     pub fn model_name(&self) -> &str {
         self.model.name()
+    }
+
+    /// Name of the active backend router.
+    pub fn router_name(&self) -> &str {
+        self.router.name()
     }
 
     /// The pipeline's operational metrics.
@@ -1349,6 +1408,114 @@ mod tests {
                 "req 198.51.100.2 Some(5)",
                 "sol 198.51.100.1 true",
                 "sol 198.51.100.2 true",
+            ]
+        );
+    }
+
+    #[test]
+    fn deprecated_lanes_alias_still_builds() {
+        #[allow(deprecated)]
+        let fw = FrameworkBuilder::new()
+            .master_key([9u8; 32])
+            .model(FixedScoreModel::new(ReputationScore::MIN))
+            .policy(LinearPolicy::policy1())
+            .verify_lanes(4)
+            .build()
+            .unwrap();
+        assert_eq!(fw.verifier().verify_lanes(), 4);
+        let canonical = FrameworkBuilder::new()
+            .master_key([9u8; 32])
+            .model(FixedScoreModel::new(ReputationScore::MIN))
+            .policy(LinearPolicy::policy1())
+            .lanes(4)
+            .build()
+            .unwrap();
+        assert_eq!(canonical.verifier().verify_lanes(), 4);
+    }
+
+    #[test]
+    fn default_router_keeps_every_client_on_sha256() {
+        let fw = framework_with_score(10.0);
+        assert_eq!(fw.router_name(), "sha256");
+        let issued = fw
+            .handle_request(ip(40), &FeatureVector::zeros())
+            .challenge()
+            .unwrap();
+        assert_eq!(issued.challenge.backend(), BackendId::SHA256);
+    }
+
+    #[test]
+    fn threshold_routing_issues_memory_hard_to_suspicious_clients() {
+        let build = |score: f64| {
+            FrameworkBuilder::new()
+                .master_key([9u8; 32])
+                .model(FixedScoreModel::new(ReputationScore::new(score).unwrap()))
+                .policy(LinearPolicy::policy1())
+                .route_memory_hard_above(6.0)
+                .memory_hard_arena_mib(1)
+                .build()
+                .unwrap()
+        };
+        let suspicious = build(8.0);
+        assert_eq!(suspicious.router_name(), "memory-hard-above");
+        let issued = suspicious
+            .handle_request(ip(41), &FeatureVector::zeros())
+            .challenge()
+            .unwrap();
+        assert_eq!(issued.challenge.backend(), BackendId::MEMORY_HARD);
+        assert_eq!(issued.challenge.backend_param(), 1);
+        // The routed challenge round-trips through solve and verify.
+        let report =
+            solver::solve(&issued.challenge, ip(41), &SolverOptions::default()).unwrap();
+        suspicious.handle_solution(&report.solution, ip(41)).unwrap();
+
+        let benign = build(3.0);
+        let issued = benign
+            .handle_request(ip(42), &FeatureVector::zeros())
+            .challenge()
+            .unwrap();
+        assert_eq!(issued.challenge.backend(), BackendId::SHA256);
+    }
+
+    #[test]
+    fn batch_requests_route_per_client_score() {
+        struct LaneModel;
+        impl ReputationModel for LaneModel {
+            fn score(&self, features: &FeatureVector) -> ReputationScore {
+                ReputationScore::new(features.get(0)).unwrap()
+            }
+            fn name(&self) -> &'static str {
+                "lane0"
+            }
+        }
+        let fw = FrameworkBuilder::new()
+            .master_key([9u8; 32])
+            .model(LaneModel)
+            .policy(LinearPolicy::policy1())
+            .route_memory_hard_above(6.0)
+            .memory_hard_arena_mib(1)
+            .build()
+            .unwrap();
+        let benign = FeatureVector::zeros().with(0, 2.0);
+        let suspicious = FeatureVector::zeros().with(0, 9.0);
+        let requests: Vec<(IpAddr, &FeatureVector)> = vec![
+            (ip(1), &benign),
+            (ip(2), &suspicious),
+            (ip(3), &benign),
+            (ip(4), &suspicious),
+        ];
+        let backends: Vec<BackendId> = fw
+            .handle_request_batch(&requests)
+            .into_iter()
+            .map(|d| d.challenge().unwrap().challenge.backend())
+            .collect();
+        assert_eq!(
+            backends,
+            vec![
+                BackendId::SHA256,
+                BackendId::MEMORY_HARD,
+                BackendId::SHA256,
+                BackendId::MEMORY_HARD,
             ]
         );
     }

@@ -370,9 +370,12 @@ impl AdmissionStage<RequestCtx<'_>> for PolicyStage {
     }
 }
 
-/// Figure-1 step 4: the issuer mints authenticated challenges. A batch
-/// takes the seed DRBG's lock once for all seeds
-/// ([`aipow_pow::Issuer::issue_batch_at`]).
+/// Figure-1 step 4: the issuer mints authenticated challenges. The
+/// framework's [`BackendRouter`](aipow_policy::BackendRouter) picks each
+/// client's puzzle backend from its score (suspicious clients can be
+/// routed to the memory-hard puzzle), then a batch takes the seed DRBG's
+/// lock once for all seeds
+/// ([`aipow_pow::Issuer::issue_batch_backend_at`]).
 struct IssueStage;
 
 impl AdmissionStage<RequestCtx<'_>> for IssueStage {
@@ -386,8 +389,21 @@ impl AdmissionStage<RequestCtx<'_>> for IssueStage {
 
     fn run(&self, fw: &Framework, now_ms: u64, batch: &mut [RequestCtx<'_>]) -> usize {
         let pending = batch.iter().filter(|ctx| ctx.decision.is_none()).count();
+        if pending == 0 {
+            return 0;
+        }
+        // One router context per batch, mirroring the policy stage's
+        // one-lock-one-context discipline.
+        let route_ctx = PolicyContext {
+            server_load: fw.load(),
+            // Acquire: pairs with the Release in set_under_attack()
+            under_attack: fw.under_attack.load(Ordering::Acquire),
+            now_ms,
+        };
         match pending {
-            0 => {}
+            // lint:allow(no-unwrap) staging invariant: the pending == 0
+            // case returned before the policy lock was taken
+            0 => unreachable!("handled above"),
             1 => {
                 // The sequential path and nearly-all-bypassed batches:
                 // no seed-buffer allocation, just the single mint.
@@ -398,7 +414,10 @@ impl AdmissionStage<RequestCtx<'_>> for IssueStage {
                 let difficulty = ctx
                     .difficulty
                     .expect("stage-order invariant: the policy stage ran first");
-                let challenge = fw.issuer.issue_at(ctx.client_ip, difficulty, now_ms);
+                let backend = fw.router.route(ctx.score, &route_ctx);
+                let challenge = fw
+                    .issuer
+                    .issue_backend_at(ctx.client_ip, difficulty, backend, now_ms);
                 ctx.decision = Some(AdmissionDecision::Challenge(IssuedChallenge {
                     challenge,
                     score: ctx.score,
@@ -406,7 +425,7 @@ impl AdmissionStage<RequestCtx<'_>> for IssueStage {
                 }));
             }
             _ => {
-                let requests: Vec<(IpAddr, Difficulty)> = batch
+                let requests: Vec<(IpAddr, Difficulty, aipow_pow::BackendId)> = batch
                     .iter()
                     .filter(|ctx| ctx.decision.is_none())
                     .map(|ctx| {
@@ -414,10 +433,11 @@ impl AdmissionStage<RequestCtx<'_>> for IssueStage {
                             ctx.client_ip,
                             ctx.difficulty
                                 .expect("stage-order invariant: the policy stage ran first"),
+                            fw.router.route(ctx.score, &route_ctx),
                         )
                     })
                     .collect();
-                let challenges = fw.issuer.issue_batch_at(&requests, now_ms);
+                let challenges = fw.issuer.issue_batch_backend_at(&requests, now_ms);
                 let mut challenges = challenges.into_iter();
                 for ctx in batch.iter_mut().filter(|ctx| ctx.decision.is_none()) {
                     let challenge = challenges
@@ -741,6 +761,9 @@ pub(crate) fn reason_label(err: &VerifyError) -> &'static str {
         VerifyError::Replayed => "replayed",
         VerifyError::InsufficientWork { .. } => "insufficient_work",
         VerifyError::MalformedNonce => "malformed_nonce",
+        VerifyError::UnknownBackend { .. } => "unknown_backend",
+        VerifyError::BackendMismatch { .. } => "backend_mismatch",
+        VerifyError::InvalidBackendParam { .. } => "invalid_backend_param",
     }
 }
 
@@ -928,6 +951,7 @@ mod tests {
             panic!("expected a challenge");
         };
         let bogus = Solution {
+            backend: issued.challenge.backend(),
             challenge: issued.challenge,
             nonce: u64::MAX, // almost surely not a qualifying nonce
             width: NonceWidth::U64,

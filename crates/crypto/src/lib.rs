@@ -13,6 +13,8 @@
 //! - [`hmac`] — RFC 2104 / FIPS 198-1 HMAC-SHA-256,
 //! - [`hkdf`] — RFC 5869 HKDF-SHA-256 (extract / expand),
 //! - [`drbg`] — an HMAC-DRBG (SP 800-90A style) deterministic byte generator,
+//! - [`memmix`] — an Argon2-style memory-hard fill/mix arena (the work
+//!   function behind the memory-hard puzzle backend),
 //! - [`hex`] — hex encoding/decoding,
 //! - [`ct`] — constant-time equality for MAC comparison.
 //!
@@ -46,6 +48,7 @@ pub mod drbg;
 pub mod hex;
 pub mod hkdf;
 pub mod hmac;
+pub mod memmix;
 pub mod sha256;
 pub mod sha256_wide;
 

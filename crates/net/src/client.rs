@@ -22,6 +22,13 @@ pub enum ClientError {
         /// Human-readable detail from the server.
         detail: String,
     },
+    /// The server speaks an incompatible protocol version. Surfaced
+    /// apart from [`ClientError::Rejected`] so callers can distinguish
+    /// "upgrade the client" from per-request refusals.
+    ProtocolMismatch {
+        /// The server's explanation (usually names its version).
+        detail: String,
+    },
     /// The local solver gave up (budget or nonce space exhausted).
     Solve(SolveError),
     /// The server sent a message that does not fit the protocol state.
@@ -38,6 +45,13 @@ impl fmt::Display for ClientError {
             ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
             ClientError::Rejected { code, detail } => {
                 write!(f, "server rejected request: {code}: {detail}")
+            }
+            ClientError::ProtocolMismatch { detail } => {
+                write!(
+                    f,
+                    "incompatible protocol version (client speaks {}): {detail}",
+                    aipow_wire::PROTOCOL_VERSION
+                )
             }
             ClientError::Solve(e) => write!(f, "solver failed: {e}"),
             ClientError::UnexpectedMessage { got } => {
@@ -66,7 +80,25 @@ impl From<io::Error> for ClientError {
 
 impl From<ReadMessageError> for ClientError {
     fn from(e: ReadMessageError) -> Self {
+        // A version-byte mismatch in a received frame is the same
+        // condition as a ProtocolMismatch rejection: the peers disagree
+        // on the protocol revision.
+        if let ReadMessageError::Decode(aipow_wire::DecodeError::UnsupportedVersion { got }) = &e {
+            return ClientError::ProtocolMismatch {
+                detail: format!("server frame carries protocol version {got}"),
+            };
+        }
         ClientError::Protocol(e)
+    }
+}
+
+/// Maps a server `Rejected` frame to the client error, peeling the
+/// protocol-mismatch code out into its dedicated variant.
+fn rejected(code: RejectCode, detail: String) -> ClientError {
+    if code == RejectCode::ProtocolMismatch {
+        ClientError::ProtocolMismatch { detail }
+    } else {
+        ClientError::Rejected { code, detail }
     }
 }
 
@@ -114,20 +146,42 @@ impl PowClient {
     /// of hanging the caller (and CI) forever.
     pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
 
-    /// Connects to a server with [`Self::DEFAULT_READ_TIMEOUT`].
+    /// Connects to a server with [`Self::DEFAULT_READ_TIMEOUT`] and
+    /// performs the version handshake: a [`Message::Hello`] carrying
+    /// [`aipow_wire::PROTOCOL_VERSION`] opens every connection, so a
+    /// version skew surfaces here as [`ClientError::ProtocolMismatch`]
+    /// instead of as a confusing mid-exchange failure.
     ///
     /// # Errors
     ///
-    /// Propagates connection failures.
-    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+    /// Propagates connection failures; returns
+    /// [`ClientError::ProtocolMismatch`] when the server speaks a
+    /// different protocol revision.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(Self::DEFAULT_READ_TIMEOUT))?;
-        Ok(PowClient {
+        let mut client = PowClient {
             stream,
             solver_options: SolverOptions::default(),
             solver_threads: 1,
-        })
+        };
+        write_message(
+            &mut client.stream,
+            &Message::Hello {
+                version: aipow_wire::PROTOCOL_VERSION,
+            },
+        )?;
+        match read_message(&mut client.stream)? {
+            Message::Hello { version } if version == aipow_wire::PROTOCOL_VERSION => Ok(client),
+            Message::Hello { version } => Err(ClientError::ProtocolMismatch {
+                detail: format!("server answered hello with protocol version {version}"),
+            }),
+            Message::Rejected { code, detail } => Err(rejected(code, detail)),
+            other => Err(ClientError::UnexpectedMessage {
+                got: format!("{other:?}"),
+            }),
+        }
     }
 
     /// Bounds how long each read waits for the server (`None` disables
@@ -193,9 +247,7 @@ impl PowClient {
                     total_time: start.elapsed(),
                 });
             }
-            Message::Rejected { code, detail } => {
-                return Err(ClientError::Rejected { code, detail })
-            }
+            Message::Rejected { code, detail } => return Err(rejected(code, detail)),
             other => {
                 return Err(ClientError::UnexpectedMessage {
                     got: format!("{other:?}"),
@@ -223,6 +275,7 @@ impl PowClient {
             challenge,
             nonce,
             width,
+            backend,
         } = report.solution;
         write_message(
             &mut self.stream,
@@ -230,6 +283,7 @@ impl PowClient {
                 challenge,
                 nonce,
                 width,
+                backend,
                 path: echoed_path,
             },
         )?;
@@ -242,7 +296,7 @@ impl PowClient {
                 solve_time: report.elapsed,
                 total_time: start.elapsed(),
             }),
-            Message::Rejected { code, detail } => Err(ClientError::Rejected { code, detail }),
+            Message::Rejected { code, detail } => Err(rejected(code, detail)),
             other => Err(ClientError::UnexpectedMessage {
                 got: format!("{other:?}"),
             }),
@@ -265,7 +319,7 @@ impl PowClient {
             Message::TelemetryReply { json, prometheus } => {
                 Ok(TelemetrySnapshot { json, prometheus })
             }
-            Message::Rejected { code, detail } => Err(ClientError::Rejected { code, detail }),
+            Message::Rejected { code, detail } => Err(rejected(code, detail)),
             other => Err(ClientError::UnexpectedMessage {
                 got: format!("{other:?}"),
             }),
@@ -446,6 +500,73 @@ mod tests {
             .prometheus
             .contains("aipow_stage_p99_ns{stage=\"score\"}"));
         let _ = framework;
+        server.shutdown();
+    }
+
+    #[test]
+    fn connect_performs_version_handshake() {
+        let (server, _) = spawn_server(0.0, None);
+        // connect() already exchanged hellos; the connection is still
+        // usable for a normal fetch afterwards.
+        let mut client = PowClient::connect(server.local_addr()).unwrap();
+        assert_eq!(client.fetch("/data").unwrap().body.len(), 128);
+        server.shutdown();
+    }
+
+    #[test]
+    fn version_skew_surfaces_as_protocol_mismatch() {
+        use std::io::{Read, Write};
+        // A fake "old server": accepts one connection, swallows the
+        // client hello, answers with a hello naming a different version.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let fake = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 256];
+            let _ = stream.read(&mut buf);
+            let reply = aipow_wire::encode(&Message::Hello { version: 1 });
+            stream.write_all(&reply).unwrap();
+        });
+        match PowClient::connect(addr) {
+            Err(ClientError::ProtocolMismatch { detail }) => {
+                assert!(detail.contains('1'), "detail: {detail}");
+            }
+            other => panic!("expected protocol mismatch, got {other:?}"),
+        }
+        fake.join().unwrap();
+    }
+
+    #[test]
+    fn memory_hard_challenge_fetches_end_to_end() {
+        // A suspicious score plus a low routing threshold sends this
+        // client a memory-hard puzzle; the whole Figure 1 exchange must
+        // still complete through the backend seam.
+        let framework = Arc::new(
+            FrameworkBuilder::new()
+                .master_key([4u8; 32])
+                .model(FixedScoreModel::new(ReputationScore::new(9.0).unwrap()))
+                .policy(LinearPolicy::policy1())
+                .route_memory_hard_above(5.0)
+                .memory_hard_arena_mib(1)
+                .build()
+                .unwrap(),
+        );
+        let features = Arc::new(StaticFeatureSource::new(FeatureVector::zeros()));
+        let mut resources = HashMap::new();
+        resources.insert("/data".to_string(), vec![7u8; 32]);
+        let server = PowServer::start(
+            "127.0.0.1:0",
+            Arc::clone(&framework),
+            features,
+            resources,
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let mut client = PowClient::connect(server.local_addr()).unwrap();
+        let report = client.fetch("/data").unwrap();
+        assert_eq!(report.body, vec![7u8; 32]);
+        assert!(report.attempts >= 1);
+        assert_eq!(framework.metrics().snapshot().solutions_accepted, 1);
         server.shutdown();
     }
 

@@ -58,7 +58,12 @@ pub struct ServerConfig {
     /// hardware auto-detection — untouched; explicit values are clamped
     /// to `[1, 8]`, with 1 forcing scalar verification. Purely a
     /// performance knob: every width computes identical outcomes.
-    pub verify_lanes: Option<usize>,
+    ///
+    /// Formerly named `verify_lanes`; `lanes` is the one name for this
+    /// knob across the API surface (`FrameworkConfig::lanes`,
+    /// `FrameworkBuilder::lanes`, the `--lanes` CLI flag,
+    /// `SolverOptions::lanes`).
+    pub lanes: Option<usize>,
     /// Online behavioral-reputation loop. When set, the server attaches a
     /// behavior recorder to the framework's tap, serves model features
     /// from the live blending source (the `features` argument to
@@ -89,7 +94,7 @@ impl Default for ServerConfig {
             rate_limit_max_scan: aipow_core::sharded::DEFAULT_MAX_SCAN,
             queue_depth: 256,
             max_batch: aipow_core::framework::DEFAULT_MAX_BATCH,
-            verify_lanes: None,
+            lanes: None,
             online: None,
         }
     }
@@ -139,7 +144,7 @@ impl PowServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let resources = Arc::new(resources);
 
-        if let Some(lanes) = config.verify_lanes {
+        if let Some(lanes) = config.lanes {
             framework.verifier().set_verify_lanes(lanes);
         }
 
@@ -352,8 +357,12 @@ enum DrainEnd {
     /// hang up.
     Hangup,
     /// A frame failed to decode; process the batch, send the rejection,
-    /// then hang up (the stream offset is unrecoverable).
-    Malformed(String),
+    /// then hang up (the stream offset is unrecoverable). The code
+    /// distinguishes a protocol-version mismatch
+    /// ([`RejectCode::ProtocolMismatch`]) from plain garbage
+    /// ([`RejectCode::Malformed`]) so old-version peers get a typed,
+    /// actionable error.
+    Malformed(RejectCode, String),
 }
 
 /// What a nonblocking peek found buffered on the stream.
@@ -443,7 +452,15 @@ fn drain_frames(stream: &mut TcpStream, max_batch: usize) -> (Vec<Message>, Drai
         match read_message(&mut *stream) {
             Ok(msg) => frames.push(msg),
             Err(ReadMessageError::Closed) => break DrainEnd::Hangup,
-            Err(ReadMessageError::Decode(e)) => break DrainEnd::Malformed(e.to_string()),
+            Err(ReadMessageError::Decode(e)) => {
+                let code = match e {
+                    aipow_wire::DecodeError::UnsupportedVersion { .. } => {
+                        RejectCode::ProtocolMismatch
+                    }
+                    _ => RejectCode::Malformed,
+                };
+                break DrainEnd::Malformed(code, e.to_string());
+            }
             Err(ReadMessageError::Io(_)) => break DrainEnd::Hangup,
         }
     };
@@ -480,14 +497,8 @@ fn handle_connection(
         match end {
             DrainEnd::MoreLater => {}
             DrainEnd::Hangup => return,
-            DrainEnd::Malformed(detail) => {
-                let _ = write_message(
-                    &mut stream,
-                    &Message::Rejected {
-                        code: RejectCode::Malformed,
-                        detail,
-                    },
-                );
+            DrainEnd::Malformed(code, detail) => {
+                let _ = write_message(&mut stream, &Message::Rejected { code, detail });
                 return;
             }
         }
@@ -627,15 +638,20 @@ fn process_frames(
                 challenge,
                 nonce,
                 width,
+                backend,
                 path,
             } => {
                 flush_requests(&mut pending_requests, &mut replies);
                 pending_solutions.push(PendingSolution {
                     reply_slot: slot,
+                    // The backend byte is carried through verbatim; the
+                    // verifier rejects ids that disagree with the
+                    // challenge or name no registered backend.
                     solution: Solution {
                         challenge,
                         nonce,
                         width,
+                        backend,
                     },
                     path,
                 });
@@ -644,6 +660,26 @@ fn process_frames(
                 flush_requests(&mut pending_requests, &mut replies);
                 flush_solutions(&mut pending_solutions, &mut replies);
                 replies[slot] = Some(Message::Pong { token });
+            }
+            Message::Hello { version } => {
+                // Flushing first keeps replies aligned with any
+                // sequential interleaving, though a well-behaved client
+                // sends the hello before anything else.
+                flush_requests(&mut pending_requests, &mut replies);
+                flush_solutions(&mut pending_solutions, &mut replies);
+                replies[slot] = Some(if version == aipow_wire::PROTOCOL_VERSION {
+                    Message::Hello {
+                        version: aipow_wire::PROTOCOL_VERSION,
+                    }
+                } else {
+                    Message::Rejected {
+                        code: RejectCode::ProtocolMismatch,
+                        detail: format!(
+                            "server speaks protocol version {}, peer sent {version}",
+                            aipow_wire::PROTOCOL_VERSION
+                        ),
+                    }
+                });
             }
             Message::TelemetryRequest => {
                 // Flush both pending runs first: a snapshot taken after a
@@ -718,7 +754,7 @@ mod tests {
     }
 
     #[test]
-    fn verify_lanes_config_is_applied_at_start() {
+    fn lanes_config_is_applied_at_start() {
         let framework = Arc::new(
             FrameworkBuilder::new()
                 .master_key([3u8; 32])
@@ -733,7 +769,7 @@ mod tests {
             Arc::new(StaticFeatureSource::new(FeatureVector::zeros())),
             HashMap::new(),
             ServerConfig {
-                verify_lanes: Some(4),
+                lanes: Some(4),
                 ..Default::default()
             },
         )
@@ -878,6 +914,7 @@ mod tests {
             write_message(
                 &mut stream,
                 &aipow_wire::Message::SubmitSolution {
+                    backend: fake.backend(),
                     challenge: fake,
                     nonce: 0,
                     width: aipow_pow::NonceWidth::U64,
@@ -991,6 +1028,7 @@ mod tests {
         for challenge in challenges {
             let report = solver::solve(&challenge, client_ip, &SolverOptions::default()).unwrap();
             burst.extend(aipow_wire::encode(&Message::SubmitSolution {
+                backend: report.solution.backend,
                 challenge: report.solution.challenge,
                 nonce: report.solution.nonce,
                 width: report.solution.width,
@@ -1005,6 +1043,99 @@ mod tests {
                 }
                 other => panic!("solution {i}: expected grant, got {other:?}"),
             }
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn hello_handshake_echoes_server_version() {
+        let server = test_server(0.0, ServerConfig::default());
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write_message(
+            &mut stream,
+            &Message::Hello {
+                version: aipow_wire::PROTOCOL_VERSION,
+            },
+        )
+        .unwrap();
+        match read_message(&mut stream).unwrap() {
+            Message::Hello { version } => assert_eq!(version, aipow_wire::PROTOCOL_VERSION),
+            other => panic!("expected hello echo, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn hello_version_mismatch_gets_typed_protocol_rejection() {
+        let server = test_server(0.0, ServerConfig::default());
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write_message(
+            &mut stream,
+            &Message::Hello {
+                version: aipow_wire::PROTOCOL_VERSION + 1,
+            },
+        )
+        .unwrap();
+        match read_message(&mut stream).unwrap() {
+            Message::Rejected { code, detail } => {
+                assert_eq!(code, RejectCode::ProtocolMismatch);
+                assert!(detail.contains("version"), "detail: {detail}");
+            }
+            other => panic!("expected protocol-mismatch rejection, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn stale_frame_version_byte_gets_typed_protocol_rejection() {
+        use std::io::Write;
+        let server = test_server(0.0, ServerConfig::default());
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // Corrupt the frame-header version byte (magic(2) ‖ version(1) ‖ …)
+        // to emulate an old-protocol peer: the reject must be the typed
+        // ProtocolMismatch, not generic Malformed.
+        let mut frame = aipow_wire::encode(&Message::Ping { token: 5 });
+        frame[2] = aipow_wire::PROTOCOL_VERSION.wrapping_add(1);
+        stream.write_all(&frame).unwrap();
+        match read_message(&mut stream).unwrap() {
+            Message::Rejected { code, .. } => assert_eq!(code, RejectCode::ProtocolMismatch),
+            other => panic!("expected protocol-mismatch rejection, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_backend_id_in_solution_frame_is_rejected() {
+        use aipow_pow::solver::{self, SolverOptions};
+        let server = test_server(0.0, ServerConfig::default());
+        let client_ip = "127.0.0.1".parse().unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write_message(&mut stream, &Message::RequestResource { path: "/r".into() }).unwrap();
+        let challenge = match read_message(&mut stream).unwrap() {
+            Message::ChallengeIssued { challenge, .. } => challenge,
+            other => panic!("expected challenge, got {other:?}"),
+        };
+        // Solve honestly, then claim an unregistered backend id in the
+        // submission frame: the verifier must refuse it as a typed
+        // invalid solution rather than granting or crashing.
+        let report = solver::solve(&challenge, client_ip, &SolverOptions::default()).unwrap();
+        write_message(
+            &mut stream,
+            &Message::SubmitSolution {
+                backend: aipow_pow::BackendId(99),
+                challenge: report.solution.challenge,
+                nonce: report.solution.nonce,
+                width: report.solution.width,
+                path: "/r".into(),
+            },
+        )
+        .unwrap();
+        match read_message(&mut stream).unwrap() {
+            Message::Rejected { code, detail } => {
+                assert_eq!(code, RejectCode::InvalidSolution);
+                assert!(detail.contains("backend"), "detail: {detail}");
+            }
+            other => panic!("expected invalid-solution rejection, got {other:?}"),
         }
         server.shutdown();
     }

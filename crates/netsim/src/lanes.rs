@@ -95,7 +95,7 @@ fn build_framework(lanes: usize, max_batch: usize) -> Framework {
         ))
         .policy(LinearPolicy::policy2())
         .max_batch(max_batch)
-        .verify_lanes(lanes)
+        .lanes(lanes)
         .build()
         .expect("scenario invariant: the fixed framework config is valid")
 }
@@ -108,8 +108,10 @@ fn client_ip(client: usize) -> IpAddr {
 fn forge_tag(challenge: &Challenge) -> Challenge {
     let mut tag = *challenge.tag();
     tag[0] ^= 0x01;
-    Challenge::from_parts(
+    Challenge::from_parts_backend(
         challenge.version(),
+        challenge.backend(),
+        challenge.backend_param(),
         *challenge.seed(),
         challenge.issued_at_ms(),
         challenge.ttl_ms(),

@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backends;
 pub mod behavior;
 pub mod burst;
 pub mod contended;
@@ -64,6 +65,7 @@ pub mod sample;
 pub mod scenario;
 pub mod tracefire;
 
+pub use backends::{BackendsConfig, BackendsReport};
 pub use behavior::{BehaviorConfig, BehaviorShiftOutcome, RedemptionOutcome, TrajectoryPoint};
 pub use burst::{BurstConfig, BurstReport};
 pub use contended::{ContendedConfig, ContendedReport, ContendedRow};

@@ -172,6 +172,7 @@ pub fn run_tracefire(config: &TracefireConfig) -> TracefireReport {
             .challenge()
         {
             let garbage = Solution {
+                backend: issued.challenge.backend(),
                 challenge: issued.challenge,
                 nonce: 0,
                 width: NonceWidth::U64,

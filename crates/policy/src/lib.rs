@@ -18,7 +18,10 @@
 //! - an administrator **rule DSL** ([`dsl`]) so policies can be specified
 //!   as text in configuration, exactly as the paper envisions;
 //! - a [`registry`] resolving textual policy specs (`"policy2"`,
-//!   `"policy3:eps=2.5"`, or full DSL source) into boxed policies.
+//!   `"policy3:eps=2.5"`, or full DSL source) into boxed policies;
+//! - [`routing`]: a [`BackendRouter`] picks which *puzzle backend* a
+//!   client gets (score past a threshold → the memory-hard puzzle),
+//!   complementing the difficulty mapping.
 //!
 //! # Example
 //!
@@ -44,6 +47,7 @@ pub mod error_range;
 pub mod linear;
 pub mod power;
 pub mod registry;
+pub mod routing;
 pub mod step;
 
 pub use adaptive::LoadAdaptivePolicy;
@@ -51,6 +55,7 @@ pub use context::PolicyContext;
 pub use error_range::ErrorRangePolicy;
 pub use linear::LinearPolicy;
 pub use power::PowerPolicy;
+pub use routing::{BackendRouter, Sha256Router, ThresholdRouter};
 pub use step::StepPolicy;
 
 use aipow_pow::Difficulty;

@@ -1,0 +1,134 @@
+//! Backend routing: which *kind* of puzzle a client gets.
+//!
+//! Difficulty scaling alone leaves the work function fixed; a flooder
+//! with a wide SHA-256 pipeline pays difficulty increases at its peak
+//! hash rate. Routing suspicious clients to the memory-hard backend
+//! changes the *currency*: their per-attempt cost serializes on memory
+//! latency, while benign clients keep the cheap SHA-256 puzzle and flat
+//! admission latency. A [`BackendRouter`] is consulted alongside the
+//! [`Policy`](crate::Policy) at issue time — score in, backend id out.
+
+use crate::context::PolicyContext;
+use aipow_pow::BackendId;
+use aipow_reputation::ReputationScore;
+
+/// A rule-based strategy mapping a reputation score to the puzzle
+/// backend the client must solve.
+///
+/// Mirrors [`Policy`](crate::Policy): one shared instance serves the
+/// whole admission pipeline, so implementations must be thread-safe.
+pub trait BackendRouter: Send + Sync + core::fmt::Debug {
+    /// A short, stable identifier for reports and configuration.
+    fn name(&self) -> &str;
+
+    /// Picks the puzzle backend for a client scoring `score` under
+    /// server conditions `ctx`.
+    fn route(&self, score: ReputationScore, ctx: &PolicyContext) -> BackendId;
+}
+
+impl<R: BackendRouter + ?Sized> BackendRouter for Box<R> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn route(&self, score: ReputationScore, ctx: &PolicyContext) -> BackendId {
+        (**self).route(score, ctx)
+    }
+}
+
+impl<R: BackendRouter + ?Sized> BackendRouter for std::sync::Arc<R> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn route(&self, score: ReputationScore, ctx: &PolicyContext) -> BackendId {
+        (**self).route(score, ctx)
+    }
+}
+
+/// Routes every client to the SHA-256 backend — the pre-routing
+/// behavior, and the default when no threshold is configured.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sha256Router;
+
+impl BackendRouter for Sha256Router {
+    fn name(&self) -> &str {
+        "sha256"
+    }
+
+    fn route(&self, _score: ReputationScore, _ctx: &PolicyContext) -> BackendId {
+        BackendId::SHA256
+    }
+}
+
+/// Sends clients whose reputation score has climbed to `threshold` or
+/// beyond (higher score = more suspicious) to the memory-hard backend;
+/// everyone else keeps SHA-256.
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdRouter {
+    threshold: f64,
+}
+
+impl ThresholdRouter {
+    /// Routes scores `>= threshold` to the memory-hard backend.
+    pub fn new(threshold: f64) -> Self {
+        ThresholdRouter { threshold }
+    }
+
+    /// The configured score threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl BackendRouter for ThresholdRouter {
+    fn name(&self) -> &str {
+        "memory-hard-above"
+    }
+
+    fn route(&self, score: ReputationScore, _ctx: &PolicyContext) -> BackendId {
+        if score.value() >= self.threshold {
+            BackendId::MEMORY_HARD
+        } else {
+            BackendId::SHA256
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(v: f64) -> ReputationScore {
+        ReputationScore::new(v).unwrap()
+    }
+
+    #[test]
+    fn sha256_router_is_constant() {
+        let ctx = PolicyContext::default();
+        for v in [0.0, 5.0, 10.0] {
+            assert_eq!(Sha256Router.route(score(v), &ctx), BackendId::SHA256);
+        }
+    }
+
+    #[test]
+    fn threshold_router_splits_at_the_threshold() {
+        let router = ThresholdRouter::new(6.0);
+        let ctx = PolicyContext::default();
+        assert_eq!(router.route(score(0.0), &ctx), BackendId::SHA256);
+        assert_eq!(router.route(score(5.9), &ctx), BackendId::SHA256);
+        assert_eq!(router.route(score(6.0), &ctx), BackendId::MEMORY_HARD);
+        assert_eq!(router.route(score(10.0), &ctx), BackendId::MEMORY_HARD);
+        assert_eq!(router.threshold(), 6.0);
+    }
+
+    #[test]
+    fn boxed_and_arc_routers_delegate() {
+        let ctx = PolicyContext::default();
+        let boxed: Box<dyn BackendRouter> = Box::new(ThresholdRouter::new(1.0));
+        assert_eq!(boxed.name(), "memory-hard-above");
+        assert_eq!(boxed.route(score(2.0), &ctx), BackendId::MEMORY_HARD);
+        let arced: std::sync::Arc<dyn BackendRouter> = std::sync::Arc::new(Sha256Router);
+        assert_eq!(arced.route(score(2.0), &ctx), BackendId::SHA256);
+    }
+}

@@ -6,8 +6,9 @@
 //! an HMAC tag so the verifier can recognize its own challenges without
 //! storing them.
 
+use crate::backend::{BackendId, BackendRegistry};
 use crate::difficulty::Difficulty;
-use aipow_crypto::sha256::{Digest, Sha256};
+use aipow_crypto::sha256::Digest;
 use serde::{Deserialize, Serialize};
 use std::net::IpAddr;
 
@@ -35,6 +36,8 @@ pub const SEED_LEN: usize = 16;
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Challenge {
     version: u8,
+    backend: BackendId,
+    backend_param: u8,
     seed: [u8; SEED_LEN],
     issued_at_ms: u64,
     ttl_ms: u64,
@@ -44,9 +47,10 @@ pub struct Challenge {
 }
 
 impl Challenge {
-    /// Assembles a challenge from parts. Intended for the issuer and for
-    /// wire decoding; ordinary callers obtain challenges from
-    /// [`Issuer::issue`](crate::Issuer::issue).
+    /// Assembles a SHA-256-backend challenge from parts — the historical
+    /// constructor, kept for the default backend; backend-qualified callers
+    /// (the issuer, wire decoding) use
+    /// [`from_parts_backend`](Self::from_parts_backend).
     #[allow(clippy::too_many_arguments)]
     pub fn from_parts(
         version: u8,
@@ -57,8 +61,38 @@ impl Challenge {
         client_ip: IpAddr,
         tag: [u8; 32],
     ) -> Self {
+        Self::from_parts_backend(
+            version,
+            BackendId::SHA256,
+            0,
+            seed,
+            issued_at_ms,
+            ttl_ms,
+            difficulty,
+            client_ip,
+            tag,
+        )
+    }
+
+    /// Assembles a challenge from parts, including its puzzle backend id
+    /// and backend parameter (the memory-hard arena size in MiB; 0 for the
+    /// SHA-256 backend).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts_backend(
+        version: u8,
+        backend: BackendId,
+        backend_param: u8,
+        seed: [u8; SEED_LEN],
+        issued_at_ms: u64,
+        ttl_ms: u64,
+        difficulty: Difficulty,
+        client_ip: IpAddr,
+        tag: [u8; 32],
+    ) -> Self {
         Challenge {
             version,
+            backend,
+            backend_param,
             seed,
             issued_at_ms,
             ttl_ms,
@@ -71,6 +105,18 @@ impl Challenge {
     /// Format version of this challenge.
     pub fn version(&self) -> u8 {
         self.version
+    }
+
+    /// The puzzle backend this challenge must be solved with.
+    pub fn backend(&self) -> BackendId {
+        self.backend
+    }
+
+    /// The backend parameter (arena MiB for the memory-hard backend, 0
+    /// for the SHA-256 backend). MAC-covered, so a client cannot shrink
+    /// a memory-hard arena any more than it can lower the difficulty.
+    pub fn backend_param(&self) -> u8 {
+        self.backend_param
     }
 
     /// The unique anti-precomputation seed.
@@ -119,10 +165,16 @@ impl Challenge {
     }
 
     /// Canonical byte encoding of the fields covered by the issuer's MAC:
-    /// `version ‖ seed ‖ issued_at ‖ ttl ‖ difficulty ‖ ip`, all big-endian.
+    /// `version ‖ backend ‖ backend_param ‖ seed ‖ issued_at ‖ ttl ‖
+    /// difficulty ‖ ip`, all big-endian. Covering the backend id and its
+    /// parameter is what makes backend selection non-negotiable: a client
+    /// downgrading a memory-hard challenge to SHA-256 (or shrinking its
+    /// arena) invalidates the tag.
     pub fn authenticated_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(1 + SEED_LEN + 8 + 8 + 1 + 17);
+        let mut out = Vec::with_capacity(1 + 2 + SEED_LEN + 8 + 8 + 1 + 17);
         out.push(self.version);
+        out.push(self.backend.as_u8());
+        out.push(self.backend_param);
         out.extend_from_slice(&self.seed);
         out.extend_from_slice(&self.issued_at_ms.to_be_bytes());
         out.extend_from_slice(&self.ttl_ms.to_be_bytes());
@@ -208,7 +260,10 @@ impl NonceWidth {
     }
 }
 
-/// A candidate solution: the challenge it answers plus the found nonce.
+/// A candidate solution: the challenge it answers plus the found nonce,
+/// and the backend the client actually solved with. The verifier rejects a
+/// declared backend that disagrees with the challenge's
+/// ([`VerifyError::BackendMismatch`](crate::VerifyError)).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Solution {
     /// The challenge being answered (echoed back to the verifier).
@@ -217,15 +272,46 @@ pub struct Solution {
     pub nonce: u64,
     /// Width at which the nonce was hashed.
     pub width: NonceWidth,
+    /// The backend whose work function the client evaluated.
+    pub backend: BackendId,
 }
 
 impl Solution {
-    /// Computes the solution digest for a claimed client IP.
+    /// Builds a solution for `challenge`, declaring the challenge's own
+    /// backend (the only declaration a verifier accepts).
+    pub fn new(challenge: Challenge, nonce: u64, width: NonceWidth) -> Self {
+        let backend = challenge.backend();
+        Solution {
+            challenge,
+            nonce,
+            width,
+            backend,
+        }
+    }
+
+    /// Computes the solution digest for a claimed client IP, dispatching
+    /// the work function through `registry`. Returns `None` when the
+    /// challenge's backend id is not registered.
+    pub fn digest_with(&self, client_ip: IpAddr, registry: &BackendRegistry) -> Option<Digest> {
+        let backend = registry.get(self.challenge.backend())?;
+        let mut preimage = self.challenge.preimage_prefix(client_ip);
+        preimage.extend_from_slice(&self.width.encode(self.nonce));
+        Some(backend.work_digest(self.challenge.backend_param(), &preimage))
+    }
+
+    /// Computes the solution digest for a claimed client IP via the
+    /// process-wide standard registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the challenge carries an unregistered backend id; the
+    /// verifier never reaches this (it resolves the backend first and
+    /// rejects unknown ids with a typed error), so this is for trusted
+    /// locally-built solutions. Untrusted paths use
+    /// [`digest_with`](Self::digest_with).
     pub fn digest(&self, client_ip: IpAddr) -> Digest {
-        let mut hasher = Sha256::new();
-        hasher.update(&self.challenge.preimage_prefix(client_ip));
-        hasher.update(&self.width.encode(self.nonce));
-        hasher.finalize()
+        self.digest_with(client_ip, BackendRegistry::global())
+            .expect("backend invariant: locally built solutions use registered backends")
     }
 
     /// Whether the digest for `client_ip` meets the challenge difficulty.
@@ -334,6 +420,28 @@ mod tests {
                 IpAddr::V4(Ipv4Addr::new(10, 0, 0, 2)),
                 [3; 32],
             ),
+            Challenge::from_parts_backend(
+                1,
+                BackendId::MEMORY_HARD,
+                0,
+                *base.seed(),
+                1_000,
+                30_000,
+                base.difficulty(),
+                ip,
+                [3; 32],
+            ),
+            Challenge::from_parts_backend(
+                1,
+                BackendId::SHA256,
+                8,
+                *base.seed(),
+                1_000,
+                30_000,
+                base.difficulty(),
+                ip,
+                [3; 32],
+            ),
         ];
         for (i, v) in variants.iter().enumerate() {
             assert_ne!(
@@ -390,21 +498,9 @@ mod tests {
     fn solution_digest_depends_on_nonce_and_width() {
         let ip = IpAddr::V4(Ipv4Addr::LOCALHOST);
         let c = sample_challenge(ip);
-        let s1 = Solution {
-            challenge: c.clone(),
-            nonce: 1,
-            width: NonceWidth::U64,
-        };
-        let s2 = Solution {
-            challenge: c.clone(),
-            nonce: 2,
-            width: NonceWidth::U64,
-        };
-        let s3 = Solution {
-            challenge: c,
-            nonce: 1,
-            width: NonceWidth::U32,
-        };
+        let s1 = Solution::new(c.clone(), 1, NonceWidth::U64);
+        let s2 = Solution::new(c.clone(), 2, NonceWidth::U64);
+        let s3 = Solution::new(c, 1, NonceWidth::U32);
         assert_ne!(s1.digest(ip), s2.digest(ip));
         assert_ne!(s1.digest(ip), s3.digest(ip));
     }
@@ -414,11 +510,7 @@ mod tests {
         let ip = IpAddr::V4(Ipv4Addr::LOCALHOST);
         let mut c = sample_challenge(ip);
         c.difficulty = Difficulty::ZERO;
-        let s = Solution {
-            challenge: c,
-            nonce: 12345,
-            width: NonceWidth::U64,
-        };
+        let s = Solution::new(c, 12345, NonceWidth::U64);
         assert!(s.meets_difficulty(ip));
     }
 
@@ -426,5 +518,58 @@ mod tests {
     fn challenge_id_is_seed_hex() {
         let c = sample_challenge(IpAddr::V4(Ipv4Addr::LOCALHOST));
         assert_eq!(c.id(), "09".repeat(SEED_LEN));
+    }
+
+    #[test]
+    fn legacy_constructor_defaults_to_the_sha256_backend() {
+        let c = sample_challenge(IpAddr::V4(Ipv4Addr::LOCALHOST));
+        assert_eq!(c.backend(), BackendId::SHA256);
+        assert_eq!(c.backend_param(), 0);
+        let s = Solution::new(c, 0, NonceWidth::U64);
+        assert_eq!(s.backend, BackendId::SHA256);
+    }
+
+    #[test]
+    fn memory_hard_digest_dispatches_through_the_backend() {
+        let ip = IpAddr::V4(Ipv4Addr::LOCALHOST);
+        let c = Challenge::from_parts_backend(
+            CHALLENGE_VERSION,
+            BackendId::MEMORY_HARD,
+            1,
+            [9u8; SEED_LEN],
+            1_000,
+            30_000,
+            Difficulty::new(4).unwrap(),
+            ip,
+            [3u8; 32],
+        );
+        let s = Solution::new(c.clone(), 42, NonceWidth::U64);
+        let mut preimage = c.preimage_prefix(ip);
+        preimage.extend_from_slice(&NonceWidth::U64.encode(42));
+        let want = aipow_crypto::memmix::shared_arena(1).walk(&preimage);
+        assert_eq!(s.digest(ip), want);
+        assert_ne!(
+            s.digest(ip),
+            aipow_crypto::sha256::Sha256::digest(&preimage),
+            "memory-hard digests are not plain SHA-256"
+        );
+    }
+
+    #[test]
+    fn unknown_backend_digest_is_none_not_panic() {
+        let ip = IpAddr::V4(Ipv4Addr::LOCALHOST);
+        let c = Challenge::from_parts_backend(
+            CHALLENGE_VERSION,
+            BackendId(77),
+            0,
+            [9u8; SEED_LEN],
+            1_000,
+            30_000,
+            Difficulty::ZERO,
+            ip,
+            [3u8; 32],
+        );
+        let s = Solution::new(c, 0, NonceWidth::U64);
+        assert!(s.digest_with(ip, BackendRegistry::global()).is_none());
     }
 }

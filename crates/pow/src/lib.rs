@@ -7,10 +7,15 @@
 //!   attacks), a timestamp, and the difficulty chosen by the policy module —
 //!   and authenticates the bundle with HMAC so verification stays stateless;
 //! - the **solver** ([`solver`]) concatenates the challenge data with the
-//!   client's IP address, appends a nonce, and evaluates SHA-256 until the
-//!   digest carries at least `d` leading zero **bits**;
+//!   client's IP address, appends a nonce, and evaluates the puzzle's work
+//!   function until the digest carries at least `d` leading zero **bits**;
 //! - the **verifier** ([`Verifier`]) is the lightweight block: one HMAC, one
-//!   SHA-256, an expiry window, and a replay guard.
+//!   work-function evaluation, an expiry window, and a replay guard.
+//!
+//! The work function itself is pluggable behind the [`backend`] seam: every
+//! challenge names a [`PuzzleBackend`] by id ([`BackendId`]), and two ship —
+//! the paper's SHA-256 preimage puzzle (default) and a memory-hard
+//! fill/mix puzzle whose per-attempt cost serializes on memory latency.
 //!
 //! # Example
 //!
@@ -42,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod challenge;
 pub mod difficulty;
 pub mod issuer;
@@ -52,6 +58,9 @@ pub mod target;
 pub mod time;
 pub mod verifier;
 
+pub use backend::{
+    BackendId, BackendRegistry, MemoryHardBackend, PuzzleBackend, Sha256Backend, SolveCursor,
+};
 pub use challenge::{Challenge, NonceWidth, Solution};
 pub use difficulty::Difficulty;
 pub use issuer::Issuer;

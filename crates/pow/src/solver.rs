@@ -6,14 +6,19 @@
 //! function evaluation. The client performs evaluations on this input until
 //! it finds an output with a prefix of d zeros.”
 //!
-//! The preimage prefix is fixed, so the solver pre-hashes it once and clones
-//! the midstate per attempt — the per-nonce cost is one block-sized SHA-256
-//! update plus finalization. With [`SolverOptions::lanes`] above 1 the
-//! solver broadcasts that midstate into the multi-buffer kernel and tries
-//! 4 or 8 nonces per compression loop, falling back to scalar stepping
-//! near budget and nonce-space boundaries so the attempt accounting and
-//! the found nonce are identical to a scalar run.
+//! The solver dispatches the work function through the challenge's
+//! [`PuzzleBackend`](crate::PuzzleBackend): each backend prepares a
+//! [`SolveCursor`](crate::SolveCursor) once per challenge (the SHA-256
+//! cursor holds the absorbed-prefix midstate, the memory-hard cursor its
+//! arena handle) and is asked for one digest per nonce. For the SHA-256
+//! backend with [`SolverOptions::lanes`] above 1 the solver additionally
+//! broadcasts the midstate into the multi-buffer kernel and tries 4 or 8
+//! nonces per compression loop, falling back to scalar stepping near budget
+//! and nonce-space boundaries so the attempt accounting and the found nonce
+//! are identical to a scalar run. Other backends always step scalar — the
+//! memory-hard walk's loads are data-dependent and do not batch.
 
+use crate::backend::{BackendId, BackendRegistry};
 use crate::challenge::{Challenge, NonceWidth, Solution};
 use aipow_crypto::sha256::Sha256;
 use aipow_crypto::sha256_wide::{WideHasher, MAX_LANES};
@@ -93,6 +98,12 @@ pub enum SolveError {
         /// Attempts performed before cancellation.
         attempts: u64,
     },
+    /// The challenge names a puzzle backend this solver has no
+    /// implementation for.
+    UnknownBackend {
+        /// The unrecognized backend id.
+        id: BackendId,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -106,6 +117,9 @@ impl fmt::Display for SolveError {
             }
             SolveError::Cancelled { attempts } => {
                 write!(f, "solve cancelled after {attempts} attempts")
+            }
+            SolveError::UnknownBackend { id } => {
+                write!(f, "challenge names unknown puzzle backend {id}")
             }
         }
     }
@@ -168,8 +182,21 @@ pub fn solve_cancellable(
     let prefix = challenge.preimage_prefix(client_ip);
     let lanes = options.lanes.clamp(1, MAX_LANES);
 
-    let mut midstate = Sha256::new();
-    midstate.update(&prefix);
+    let backend = BackendRegistry::global()
+        .get(challenge.backend())
+        .ok_or(SolveError::UnknownBackend {
+            id: challenge.backend(),
+        })?;
+    let mut cursor = backend.solve_cursor(challenge.backend_param(), &prefix);
+
+    // The multi-buffer fast path is SHA-256-specific: it broadcasts the
+    // absorbed-prefix midstate across lanes. Other backends step scalar
+    // through their cursor.
+    let midstate = (challenge.backend() == BackendId::SHA256 && lanes >= 4).then(|| {
+        let mut midstate = Sha256::new();
+        midstate.update(&prefix);
+        midstate
+    });
 
     let start = Instant::now();
     let mut attempts: u64 = 0;
@@ -192,20 +219,17 @@ pub fn solve_cancellable(
         // allow; ragged tails drop to scalar so attempt accounting and
         // exhaustion points match a scalar run exactly.
         let remaining = options.max_attempts.map_or(u64::MAX, |b| b - attempts);
-        let round = if lanes >= 8 && remaining >= 8 && stripe_fits(nonce, step, 8, width) {
-            8usize
-        } else if lanes >= 4 && remaining >= 4 && stripe_fits(nonce, step, 4, width) {
-            4
-        } else {
-            1
+        let round = match &midstate {
+            Some(_) if lanes >= 8 && remaining >= 8 && stripe_fits(nonce, step, 8, width) => 8usize,
+            Some(_) if lanes >= 4 && remaining >= 4 && stripe_fits(nonce, step, 4, width) => 4,
+            _ => 1,
         };
-        let hit = match round {
-            8 => wide_round::<8>(&midstate, width, nonce, step, need_bits),
-            4 => wide_round::<4>(&midstate, width, nonce, step, need_bits),
+        let hit = match (round, &midstate) {
+            (8, Some(mid)) => wide_round::<8>(mid, width, nonce, step, need_bits),
+            (4, Some(mid)) => wide_round::<4>(mid, width, nonce, step, need_bits),
             _ => {
-                let mut hasher = midstate.clone();
-                hasher.update(&width.encode(nonce));
-                (hasher.finalize().leading_zero_bits() >= need_bits).then_some(0)
+                let digest = cursor.attempt(&width.encode(nonce));
+                (digest.leading_zero_bits() >= need_bits).then_some(0)
             }
         };
 
@@ -215,11 +239,11 @@ pub fn solve_cancellable(
                 // after hashing the lanes before it.
                 attempts += lane as u64 + 1;
                 return Ok(SolveReport {
-                    solution: Solution {
-                        challenge: challenge.clone(),
-                        nonce: nonce + lane as u64 * step,
+                    solution: Solution::new(
+                        challenge.clone(),
+                        nonce + lane as u64 * step,
                         width,
-                    },
+                    ),
                     attempts,
                     elapsed: start.elapsed(),
                 });
@@ -331,6 +355,7 @@ pub fn solve_parallel(
                         // has joined
                         total_attempts.fetch_add(*attempts, Ordering::Relaxed);
                     }
+                    Err(SolveError::UnknownBackend { .. }) => {}
                 }
                 out
             }));
@@ -351,7 +376,8 @@ pub fn solve_parallel(
                 }
                 Err(
                     e @ (SolveError::BudgetExhausted { .. }
-                    | SolveError::NonceSpaceExhausted { .. }),
+                    | SolveError::NonceSpaceExhausted { .. }
+                    | SolveError::UnknownBackend { .. }),
                 ) => {
                     if first_err.is_none() {
                         first_err = Some(e);
@@ -678,6 +704,38 @@ mod tests {
         assert!(SolveError::Cancelled { attempts: 0 }
             .to_string()
             .contains("cancelled"));
+        assert!(SolveError::UnknownBackend { id: BackendId(77) }
+            .to_string()
+            .contains("backend#77"));
+    }
+
+    #[test]
+    fn memory_hard_challenge_solves_through_the_backend_seam() {
+        let issuer = Issuer::new(&[11u8; 32])
+            .with_backend_param(BackendId::MEMORY_HARD, 1);
+        let c = issuer.issue_backend(ip(), Difficulty::new(6).unwrap(), BackendId::MEMORY_HARD);
+        let report = solve(&c, ip(), &SolverOptions::default()).expect("solvable");
+        assert_eq!(report.solution.backend, BackendId::MEMORY_HARD);
+        assert!(report.solution.meets_difficulty(ip()));
+    }
+
+    #[test]
+    fn unknown_backend_is_a_terminal_solve_error() {
+        let c = Challenge::from_parts_backend(
+            1,
+            BackendId(99),
+            0,
+            [3u8; 16],
+            1_000,
+            30_000,
+            Difficulty::new(4).unwrap(),
+            ip(),
+            [0u8; 32],
+        );
+        let err = solve(&c, ip(), &SolverOptions::default()).unwrap_err();
+        assert_eq!(err, SolveError::UnknownBackend { id: BackendId(99) });
+        let err = solve_parallel(&c, ip(), 2, &SolverOptions::default()).unwrap_err();
+        assert_eq!(err, SolveError::UnknownBackend { id: BackendId(99) });
     }
 
     mod prop {

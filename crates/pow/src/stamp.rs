@@ -6,15 +6,20 @@
 //! paper's reference \[2\]). A stamp is a single printable token:
 //!
 //! ```text
-//! aipow1:<seed>:<issued_at>:<ttl>:<difficulty>:<client_ip>:<tag>
-//! aipow1s:<challenge-stamp-fields>:<width>:<nonce>
+//! aipow1:<seed>:<issued_at>:<ttl>:<difficulty>:<backend>:<param>:<client_ip>:<tag>
+//! aipow1s:<challenge-stamp-fields>:<backend>:<width>:<nonce>
 //! ```
 //!
 //! Fields are lowercase hex (integers big-endian, minimal width is not
-//! required); the IP is its standard textual form. Stamps round-trip
-//! exactly: the MAC is computed over the decoded fields, so a tampered
-//! stamp fails verification just like a tampered frame.
+//! required); the IP is its standard textual form. `<backend>` is the
+//! puzzle-backend id byte and `<param>` its parameter byte (e.g. the
+//! memory-hard arena size in MiB); the solution repeats the backend id it
+//! solved so a verifier can reject challenge/solution disagreements.
+//! Stamps round-trip exactly: the MAC is computed over the decoded fields
+//! (backend bytes included), so a tampered stamp fails verification just
+//! like a tampered frame.
 
+use crate::backend::BackendId;
 use crate::challenge::{Challenge, NonceWidth, Solution, SEED_LEN};
 use crate::difficulty::Difficulty;
 use aipow_crypto::hex;
@@ -68,11 +73,13 @@ impl Challenge {
     /// Renders the challenge as a printable stamp.
     pub fn to_stamp(&self) -> String {
         format!(
-            "{CHALLENGE_PREFIX}:{}:{:x}:{:x}:{:x}:{}:{}",
+            "{CHALLENGE_PREFIX}:{}:{:x}:{:x}:{:x}:{:x}:{:x}:{}:{}",
             hex::encode(self.seed()),
             self.issued_at_ms(),
             self.ttl_ms(),
             self.difficulty().bits(),
+            self.backend().as_u8(),
+            self.backend_param(),
             self.client_ip(),
             hex::encode(self.tag()),
         )
@@ -87,12 +94,12 @@ impl Challenge {
     /// verifier's MAC check.
     pub fn from_stamp(stamp: &str) -> Result<Self, ParseStampError> {
         let fields: Vec<&str> = stamp.split(':').collect();
-        // IPv6 textual form contains ':'; fields beyond the fixed six are
-        // the IP's internal colons, so split from both ends instead.
-        if fields.len() < 7 {
+        // IPv6 textual form contains ':'; fields beyond the fixed eight
+        // are the IP's internal colons, so split from both ends instead.
+        if fields.len() < 9 {
             return Err(ParseStampError::BadFieldCount {
                 got: fields.len(),
-                expected: 7,
+                expected: 9,
             });
         }
         if fields[0] != CHALLENGE_PREFIX {
@@ -127,28 +134,41 @@ impl Challenge {
             index: 4,
             expected: "a difficulty of at most 64 bits",
         })?;
-
-        // The IP occupies fields[5..len-1] re-joined (IPv6 colons).
-        let tag_field = fields[fields.len() - 1];
-        let ip_text = fields[5..fields.len() - 1].join(":");
-        let client_ip: IpAddr = ip_text.parse().map_err(|_| ParseStampError::BadField {
+        // Any backend byte parses; an id the verifier has not registered
+        // is rejected there, not here.
+        let backend = u8::from_str_radix(fields[5], 16).map_err(|_| ParseStampError::BadField {
             index: 5,
+            expected: "a hex backend id",
+        })?;
+        let backend_param =
+            u8::from_str_radix(fields[6], 16).map_err(|_| ParseStampError::BadField {
+                index: 6,
+                expected: "a hex backend parameter",
+            })?;
+
+        // The IP occupies fields[7..len-1] re-joined (IPv6 colons).
+        let tag_field = fields[fields.len() - 1];
+        let ip_text = fields[7..fields.len() - 1].join(":");
+        let client_ip: IpAddr = ip_text.parse().map_err(|_| ParseStampError::BadField {
+            index: 7,
             expected: "an ip address",
         })?;
 
         let tag_bytes = hex::decode(tag_field).map_err(|_| ParseStampError::BadField {
-            index: 6,
+            index: 8,
             expected: "a hex tag",
         })?;
         let tag: [u8; 32] = tag_bytes
             .try_into()
             .map_err(|_| ParseStampError::BadField {
-                index: 6,
+                index: 8,
                 expected: "a 32-byte hex tag",
             })?;
 
-        Ok(Challenge::from_parts(
+        Ok(Challenge::from_parts_backend(
             crate::challenge::CHALLENGE_VERSION,
+            BackendId(backend),
+            backend_param,
             seed,
             issued_at_ms,
             ttl_ms,
@@ -170,7 +190,11 @@ impl Solution {
             NonceWidth::U32 => 4,
             NonceWidth::U64 => 8,
         };
-        format!("{SOLUTION_PREFIX}{body}:{width:x}:{:x}", self.nonce)
+        format!(
+            "{SOLUTION_PREFIX}{body}:{:x}:{width:x}:{:x}",
+            self.backend.as_u8(),
+            self.nonce
+        )
     }
 
     /// Parses a stamp produced by [`Solution::to_stamp`].
@@ -182,40 +206,49 @@ impl Solution {
         let body = stamp
             .strip_prefix(SOLUTION_PREFIX)
             .ok_or(ParseStampError::BadPrefix)?;
-        // Split the trailing `:width:nonce` off, the rest is a challenge
-        // stamp body.
-        let mut parts = body.rsplitn(3, ':');
+        // Split the trailing `:backend:width:nonce` off, the rest is a
+        // challenge stamp body.
+        let mut parts = body.rsplitn(4, ':');
         let nonce_text = parts.next().ok_or(ParseStampError::BadFieldCount {
             got: 0,
-            expected: 9,
+            expected: 12,
         })?;
         let width_text = parts.next().ok_or(ParseStampError::BadFieldCount {
             got: 1,
-            expected: 9,
+            expected: 12,
+        })?;
+        let backend_text = parts.next().ok_or(ParseStampError::BadFieldCount {
+            got: 2,
+            expected: 12,
         })?;
         let challenge_body = parts.next().ok_or(ParseStampError::BadFieldCount {
-            got: 2,
-            expected: 9,
+            got: 3,
+            expected: 12,
         })?;
 
         let challenge = Challenge::from_stamp(&format!("{CHALLENGE_PREFIX}{challenge_body}"))?;
+        let backend =
+            u8::from_str_radix(backend_text, 16).map_err(|_| ParseStampError::BadField {
+                index: 9,
+                expected: "a hex backend id",
+            })?;
         let width = match width_text {
             "4" => NonceWidth::U32,
             "8" => NonceWidth::U64,
             _ => {
                 return Err(ParseStampError::BadField {
-                    index: 7,
+                    index: 10,
                     expected: "nonce width 4 or 8",
                 })
             }
         };
         let nonce = u64::from_str_radix(nonce_text, 16).map_err(|_| ParseStampError::BadField {
-            index: 8,
+            index: 11,
             expected: "a hex nonce",
         })?;
         if !width.fits(nonce) {
             return Err(ParseStampError::BadField {
-                index: 8,
+                index: 11,
                 expected: "a nonce fitting its width",
             });
         }
@@ -224,6 +257,7 @@ impl Solution {
             challenge,
             nonce,
             width,
+            backend: BackendId(backend),
         })
     }
 }
@@ -304,20 +338,28 @@ mod tests {
             Challenge::from_stamp("nonsense"),
             Err(ParseStampError::BadFieldCount {
                 got: 1,
-                expected: 7
+                expected: 9
             })
         );
         assert_eq!(
-            Challenge::from_stamp("wrong:aa:1:1:1:127.0.0.1:bb"),
+            Challenge::from_stamp("wrong:aa:1:1:1:0:8:127.0.0.1:bb"),
             Err(ParseStampError::BadPrefix)
         );
         assert!(matches!(
-            Challenge::from_stamp("aipow1:zz:1:1:1:127.0.0.1:bb"),
+            Challenge::from_stamp("aipow1:zz:1:1:1:0:8:127.0.0.1:bb"),
             Err(ParseStampError::BadField { index: 1, .. })
         ));
         assert!(matches!(
-            Challenge::from_stamp("aipow1:00112233445566778899aabbccddeeff:1:1:99:127.0.0.1:bb"),
+            Challenge::from_stamp(
+                "aipow1:00112233445566778899aabbccddeeff:1:1:99:0:8:127.0.0.1:bb"
+            ),
             Err(ParseStampError::BadField { index: 4, .. })
+        ));
+        assert!(matches!(
+            Challenge::from_stamp(
+                "aipow1:00112233445566778899aabbccddeeff:1:1:4:zz:8:127.0.0.1:bb"
+            ),
+            Err(ParseStampError::BadField { index: 5, .. })
         ));
         assert_eq!(
             Solution::from_stamp("aipow1:not-a-solution"),
@@ -328,18 +370,32 @@ mod tests {
     #[test]
     fn solution_stamp_rejects_overflowing_u32_nonce() {
         let c = Issuer::new(&[6u8; 32]).issue(ip4(), Difficulty::ZERO);
-        let solution = Solution {
-            challenge: c,
-            nonce: 7,
-            width: NonceWidth::U64,
-        };
+        let solution = Solution::new(c, 7, NonceWidth::U64);
         let stamp = solution.to_stamp();
         // Swap the width marker to 4 while keeping a >u32 nonce.
         let stamp = stamp.replace(":8:7", &format!(":4:{:x}", u64::MAX));
         assert!(matches!(
             Solution::from_stamp(&stamp),
-            Err(ParseStampError::BadField { index: 8, .. })
+            Err(ParseStampError::BadField { index: 11, .. })
         ));
+    }
+
+    #[test]
+    fn memory_hard_stamp_roundtrip_and_verify() {
+        let key = [8u8; 32];
+        let issuer = Issuer::new(&key).with_backend_param(BackendId::MEMORY_HARD, 1);
+        let c = issuer.issue_backend(ip4(), Difficulty::new(4).unwrap(), BackendId::MEMORY_HARD);
+        let parsed = Challenge::from_stamp(&c.to_stamp()).unwrap();
+        assert_eq!(parsed, c);
+        assert_eq!(parsed.backend(), BackendId::MEMORY_HARD);
+        assert_eq!(parsed.backend_param(), 1);
+        let solution = solver::solve(&c, ip4(), &SolverOptions::default())
+            .unwrap()
+            .solution;
+        let parsed = Solution::from_stamp(&solution.to_stamp()).unwrap();
+        assert_eq!(parsed, solution);
+        assert_eq!(parsed.backend, BackendId::MEMORY_HARD);
+        assert!(Verifier::new(&key).verify(&parsed, ip4()).is_ok());
     }
 
     #[test]

@@ -3,18 +3,23 @@
 //! “Puzzle verification is \[a\] light weight block used to verify the
 //! client's solution and offer response if correct solution is returned.”
 //!
-//! Verification performs, in order: version check, difficulty-cap check,
-//! MAC authentication (constant-time), client binding, freshness window,
-//! replay check, and finally the single SHA-256 evaluation that checks the
-//! work itself. Total cost is two hash-block pipelines regardless of the
-//! puzzle difficulty — measured in bench `verify_cost` (claim C6).
+//! Verification performs, in order: version check, backend checks (known
+//! id, challenge/solution agreement, parameter bounds), difficulty-cap
+//! check, MAC authentication (constant-time), client binding, freshness
+//! window, replay check, and finally the single work-function evaluation
+//! that checks the work itself — dispatched through the challenge's
+//! [`PuzzleBackend`](crate::backend::PuzzleBackend). For the default
+//! SHA-256 backend total cost is two hash-block pipelines regardless of
+//! the puzzle difficulty — measured in bench `verify_cost` (claim C6).
 
+use crate::backend::{BackendId, BackendRegistry};
 use crate::challenge::{Solution, CHALLENGE_VERSION};
 use crate::difficulty::Difficulty;
 use crate::replay::ReplayGuard;
 use crate::time::{SystemClock, TimeSource};
 use aipow_crypto::hkdf;
 use aipow_crypto::hmac::HmacKey;
+use aipow_crypto::sha256::Digest;
 use aipow_crypto::{ct, sha256_wide};
 use core::fmt;
 use std::net::IpAddr;
@@ -32,6 +37,26 @@ pub enum VerifyError {
     /// The challenge version is unknown to this verifier.
     UnsupportedVersion {
         /// Version found in the challenge.
+        got: u8,
+    },
+    /// The challenge names a puzzle backend this verifier has not
+    /// registered.
+    UnknownBackend {
+        /// Backend id found in the challenge.
+        got: BackendId,
+    },
+    /// The solution claims a different puzzle backend than the challenge
+    /// it answers (a client solved the wrong work function).
+    BackendMismatch {
+        /// Backend the challenge was issued for.
+        challenge: BackendId,
+        /// Backend the solution claims to have solved.
+        solution: BackendId,
+    },
+    /// The challenge carries a backend parameter the backend rejects
+    /// (e.g. a memory-hard arena size outside its bounds).
+    InvalidBackendParam {
+        /// Parameter byte found in the challenge.
         got: u8,
     },
     /// The challenge difficulty exceeds the verifier's acceptance cap
@@ -77,6 +102,21 @@ impl fmt::Display for VerifyError {
         match self {
             VerifyError::UnsupportedVersion { got } => {
                 write!(f, "unsupported challenge version {got}")
+            }
+            VerifyError::UnknownBackend { got } => {
+                write!(f, "challenge names unregistered puzzle backend {got}")
+            }
+            VerifyError::BackendMismatch {
+                challenge,
+                solution,
+            } => {
+                write!(
+                    f,
+                    "solution solved backend {solution} but the challenge was issued for {challenge}"
+                )
+            }
+            VerifyError::InvalidBackendParam { got } => {
+                write!(f, "backend rejects challenge parameter {got}")
             }
             VerifyError::DifficultyTooHigh { got, cap } => {
                 write!(f, "challenge difficulty {got} exceeds verifier cap {cap}")
@@ -149,6 +189,9 @@ pub struct Verifier {
     clock: Arc<dyn TimeSource>,
     max_skew_ms: u64,
     difficulty_cap: Difficulty,
+    /// Puzzle backends this verifier accepts; challenges naming any other
+    /// id are rejected with [`VerifyError::UnknownBackend`].
+    registry: Arc<BackendRegistry>,
     /// Lane width for batched hash work (MACs and work digests) in
     /// [`PreparedVerify::verify_many`]: 1 forces the scalar path, 4/8
     /// select the multi-buffer kernel width. Atomic so a server can
@@ -173,8 +216,17 @@ impl Verifier {
             clock,
             max_skew_ms: DEFAULT_MAX_SKEW_MS,
             difficulty_cap: Difficulty::saturating(40),
+            registry: Arc::new(BackendRegistry::standard()),
             verify_lanes: AtomicUsize::new(sha256_wide::auto_lanes()),
         }
+    }
+
+    /// Replaces the accepted puzzle-backend registry (defaults to the
+    /// standard registry: SHA-256 and memory-hard). Must cover every
+    /// backend the paired [`Issuer`](crate::Issuer) routes to.
+    pub fn with_backends(mut self, registry: Arc<BackendRegistry>) -> Self {
+        self.registry = registry;
+        self
     }
 
     /// Replaces the replay guard (e.g. to size its capacity).
@@ -318,6 +370,24 @@ impl PreparedVerify<'_> {
                 got: challenge.version(),
             });
         }
+        let backend = self
+            .verifier
+            .registry
+            .get(challenge.backend())
+            .ok_or(VerifyError::UnknownBackend {
+                got: challenge.backend(),
+            })?;
+        if solution.backend != challenge.backend() {
+            return Err(VerifyError::BackendMismatch {
+                challenge: challenge.backend(),
+                solution: solution.backend,
+            });
+        }
+        if !backend.validate_param(challenge.backend_param()) {
+            return Err(VerifyError::InvalidBackendParam {
+                got: challenge.backend_param(),
+            });
+        }
         if challenge.difficulty() > self.verifier.difficulty_cap {
             return Err(VerifyError::DifficultyTooHigh {
                 got: challenge.difficulty(),
@@ -349,7 +419,11 @@ impl PreparedVerify<'_> {
 
         // The work check precedes replay marking so that invalid work does
         // not consume the seed.
-        let got_bits = solution.digest(claimed_ip).leading_zero_bits();
+        let mut preimage = challenge.preimage_prefix(claimed_ip);
+        preimage.extend_from_slice(&solution.width.encode(solution.nonce));
+        let got_bits = backend
+            .work_digest(challenge.backend_param(), &preimage)
+            .leading_zero_bits();
         let need_bits = challenge.difficulty().bits() as u32;
         if got_bits < need_bits {
             return Err(VerifyError::InsufficientWork {
@@ -417,6 +491,26 @@ impl PreparedVerify<'_> {
                 out[i] = Some(Err(VerifyError::UnsupportedVersion {
                     got: challenge.version(),
                 }));
+            } else if let Some(err) = {
+                match self.verifier.registry.get(challenge.backend()) {
+                    None => Some(VerifyError::UnknownBackend {
+                        got: challenge.backend(),
+                    }),
+                    Some(_) if solution.backend != challenge.backend() => {
+                        Some(VerifyError::BackendMismatch {
+                            challenge: challenge.backend(),
+                            solution: solution.backend,
+                        })
+                    }
+                    Some(backend) if !backend.validate_param(challenge.backend_param()) => {
+                        Some(VerifyError::InvalidBackendParam {
+                            got: challenge.backend_param(),
+                        })
+                    }
+                    Some(_) => None,
+                }
+            } {
+                out[i] = Some(Err(err));
             } else if challenge.difficulty() > cap {
                 out[i] = Some(Err(VerifyError::DifficultyTooHigh {
                     got: challenge.difficulty(),
@@ -465,7 +559,10 @@ impl PreparedVerify<'_> {
             }
         }
 
-        // Stage 4: work digests, hashed wide over the full preimages.
+        // Stage 4: work digests, dispatched per backend. Each backend
+        // hashes its own group through its batched hook — the SHA-256
+        // backend routes to the wide kernel, others take their scalar
+        // path — and results scatter back into `workable` order.
         let preimages: Vec<Vec<u8>> = workable
             .iter()
             .map(|&i| {
@@ -475,8 +572,35 @@ impl PreparedVerify<'_> {
                 preimage
             })
             .collect();
-        let msgs: Vec<&[u8]> = preimages.iter().map(Vec::as_slice).collect();
-        let digests = sha256_wide::digest_batch(&msgs, lanes);
+        let mut groups: Vec<(BackendId, Vec<usize>)> = Vec::new();
+        for (pos, &i) in workable.iter().enumerate() {
+            let id = submissions[i].0.challenge.backend();
+            match groups.iter_mut().find(|(group_id, _)| *group_id == id) {
+                Some((_, positions)) => positions.push(pos),
+                None => groups.push((id, vec![pos])),
+            }
+        }
+        let mut digests: Vec<Option<Digest>> = vec![None; workable.len()];
+        for (id, positions) in &groups {
+            let backend = self
+                .verifier
+                .registry
+                .get(*id)
+                .expect("staging invariant: unknown backends were rejected in stage 1");
+            let params: Vec<u8> = positions
+                .iter()
+                .map(|&pos| submissions[workable[pos]].0.challenge.backend_param())
+                .collect();
+            let msgs: Vec<&[u8]> = positions.iter().map(|&pos| preimages[pos].as_slice()).collect();
+            let group_digests = backend.work_digest_batch(&params, &msgs, lanes);
+            for (digest, &pos) in group_digests.into_iter().zip(positions) {
+                digests[pos] = Some(digest);
+            }
+        }
+        let digests: Vec<Digest> = digests
+            .into_iter()
+            .map(|d| d.expect("staging invariant: every workable submission is hashed"))
+            .collect();
 
         // Stage 5: judge work, then mark replays in submission order.
         // `workable` is ascending, so this preserves first-wins semantics
@@ -612,7 +736,8 @@ mod tests {
         // item for item, including intra-batch replay ordering.
         let build = |lanes: usize| {
             let clock = ManualClock::at(1_000_000);
-            let issuer = Issuer::with_clock(&KEY, Arc::new(clock.clone()));
+            let issuer = Issuer::with_clock(&KEY, Arc::new(clock.clone()))
+                .with_backend_param(crate::backend::BackendId::MEMORY_HARD, 1);
             let verifier = Verifier::with_clock(&KEY, Arc::new(clock)).with_verify_lanes(lanes);
             (issuer, verifier)
         };
@@ -676,16 +801,56 @@ mod tests {
             let c = issuer.issue(ip(), Difficulty::new(20).unwrap());
             let mut nonce = 0u64;
             loop {
-                let cand = Solution {
-                    challenge: c.clone(),
-                    nonce,
-                    width: NonceWidth::U64,
-                };
+                let cand = Solution::new(c.clone(), nonce, NonceWidth::U64);
                 if !cand.meets_difficulty(ip()) {
                     break cand;
                 }
                 nonce += 1;
             }
+        };
+        // Backend-seam outcomes: a valid memory-hard solution, an unknown
+        // backend id, a challenge/solution backend disagreement, and an
+        // out-of-bounds arena parameter.
+        use crate::backend::BackendId;
+        let good_mh = {
+            let c = issuer.issue_backend(ip(), Difficulty::new(3).unwrap(), BackendId::MEMORY_HARD);
+            solver::solve(&c, ip(), &SolverOptions::default())
+                .unwrap()
+                .solution
+        };
+        let unknown_backend = Solution {
+            challenge: Challenge::from_parts_backend(
+                c.version(),
+                BackendId(77),
+                0,
+                *c.seed(),
+                c.issued_at_ms(),
+                c.ttl_ms(),
+                c.difficulty(),
+                c.client_ip(),
+                *c.tag(),
+            ),
+            backend: BackendId(77),
+            ..good4.clone()
+        };
+        let mismatch = Solution {
+            backend: BackendId::MEMORY_HARD,
+            ..good4.clone()
+        };
+        let bad_param = Solution {
+            challenge: Challenge::from_parts_backend(
+                c.version(),
+                BackendId::MEMORY_HARD,
+                200,
+                *c.seed(),
+                c.issued_at_ms(),
+                c.ttl_ms(),
+                c.difficulty(),
+                c.client_ip(),
+                *c.tag(),
+            ),
+            backend: BackendId::MEMORY_HARD,
+            ..good4.clone()
         };
 
         let submissions = vec![
@@ -699,6 +864,10 @@ mod tests {
             (future, ip()),
             (weak, ip()),
             (good4.clone(), ip()), // intra-batch replay
+            (good_mh, ip()),
+            (unknown_backend, ip()),
+            (mismatch, ip()),
+            (bad_param, ip()),
         ];
 
         let (_, scalar) = build(1);
@@ -716,6 +885,19 @@ mod tests {
         assert_eq!(want[7], Err(VerifyError::NotYetValid));
         assert!(matches!(want[8], Err(VerifyError::InsufficientWork { .. })));
         assert_eq!(want[9], Err(VerifyError::Replayed));
+        assert!(want[10].is_ok(), "memory-hard solution through the seam");
+        assert_eq!(
+            want[11],
+            Err(VerifyError::UnknownBackend { got: BackendId(77) })
+        );
+        assert_eq!(
+            want[12],
+            Err(VerifyError::BackendMismatch {
+                challenge: BackendId::SHA256,
+                solution: BackendId::MEMORY_HARD,
+            })
+        );
+        assert_eq!(want[13], Err(VerifyError::InvalidBackendParam { got: 200 }));
 
         for lanes in 2..=sha256_wide::MAX_LANES {
             let (_, wide) = build(lanes);
@@ -834,6 +1016,7 @@ mod tests {
             challenge: tampered,
             nonce: sol.nonce,
             width: sol.width,
+            backend: sol.backend,
         };
         assert_eq!(verifier.verify(&forged, ip()), Err(VerifyError::BadMac));
     }
@@ -856,6 +1039,7 @@ mod tests {
             ),
             nonce: sol.nonce,
             width: sol.width,
+            backend: sol.backend,
         };
         assert_eq!(verifier.verify(&forged, ip()), Err(VerifyError::BadMac));
     }
@@ -881,11 +1065,7 @@ mod tests {
         let c = issuer.issue(ip(), Difficulty::new(20).unwrap());
         let mut nonce = 0u64;
         let bogus = loop {
-            let candidate = Solution {
-                challenge: c.clone(),
-                nonce,
-                width: NonceWidth::U64,
-            };
+            let candidate = Solution::new(c.clone(), nonce, NonceWidth::U64);
             if !candidate.meets_difficulty(ip()) {
                 break candidate;
             }
@@ -920,11 +1100,7 @@ mod tests {
         let clock = ManualClock::at(1_000_000);
         let issuer = Issuer::with_clock(&KEY, Arc::new(clock));
         let c = issuer.issue(ip(), Difficulty::new(11).unwrap());
-        let sol = Solution {
-            challenge: c,
-            nonce: 0,
-            width: NonceWidth::U64,
-        };
+        let sol = Solution::new(c, 0, NonceWidth::U64);
         match verifier.verify(&sol, ip()) {
             Err(VerifyError::DifficultyTooHigh { .. }) => {}
             other => panic!("expected difficulty cap, got {other:?}"),
@@ -948,6 +1124,7 @@ mod tests {
             challenge: odd,
             nonce: sol.nonce,
             width: sol.width,
+            backend: sol.backend,
         };
         assert_eq!(
             verifier.verify(&forged, ip()),
@@ -970,6 +1147,95 @@ mod tests {
     }
 
     #[test]
+    fn memory_hard_roundtrip_and_replay() {
+        use crate::backend::BackendId;
+        let clock = ManualClock::at(1_000_000);
+        let issuer = Issuer::with_clock(&KEY, Arc::new(clock.clone()))
+            .with_backend_param(BackendId::MEMORY_HARD, 1);
+        let verifier = Verifier::with_clock(&KEY, Arc::new(clock));
+        let c = issuer.issue_backend(ip(), Difficulty::new(5).unwrap(), BackendId::MEMORY_HARD);
+        let sol = solver::solve(&c, ip(), &SolverOptions::default())
+            .unwrap()
+            .solution;
+        let token = verifier.verify(&sol, ip()).unwrap();
+        assert_eq!(token.difficulty.bits(), 5);
+        assert_eq!(verifier.verify(&sol, ip()), Err(VerifyError::Replayed));
+    }
+
+    #[test]
+    fn unknown_backend_rejected_before_mac() {
+        use crate::backend::BackendId;
+        let (_, verifier, _, sol) = setup(0);
+        let c = &sol.challenge;
+        // A garbage tag would fail the MAC, but the unknown-backend check
+        // comes first (and must, since the backend defines the work).
+        let forged = Solution {
+            challenge: Challenge::from_parts_backend(
+                c.version(),
+                BackendId(200),
+                0,
+                *c.seed(),
+                c.issued_at_ms(),
+                c.ttl_ms(),
+                c.difficulty(),
+                c.client_ip(),
+                [0u8; 32],
+            ),
+            backend: BackendId(200),
+            ..sol.clone()
+        };
+        assert_eq!(
+            verifier.verify(&forged, ip()),
+            Err(VerifyError::UnknownBackend {
+                got: BackendId(200)
+            })
+        );
+    }
+
+    #[test]
+    fn backend_mismatch_rejected() {
+        use crate::backend::BackendId;
+        let (_, verifier, _, sol) = setup(4);
+        let forged = Solution {
+            backend: BackendId::MEMORY_HARD,
+            ..sol
+        };
+        assert_eq!(
+            verifier.verify(&forged, ip()),
+            Err(VerifyError::BackendMismatch {
+                challenge: BackendId::SHA256,
+                solution: BackendId::MEMORY_HARD,
+            })
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_arena_param_rejected() {
+        use crate::backend::BackendId;
+        let (_, verifier, _, sol) = setup(0);
+        let c = &sol.challenge;
+        let forged = Solution {
+            challenge: Challenge::from_parts_backend(
+                c.version(),
+                BackendId::MEMORY_HARD,
+                0, // below MIN_ARENA_MIB
+                *c.seed(),
+                c.issued_at_ms(),
+                c.ttl_ms(),
+                c.difficulty(),
+                c.client_ip(),
+                [0u8; 32],
+            ),
+            backend: BackendId::MEMORY_HARD,
+            ..sol.clone()
+        };
+        assert_eq!(
+            verifier.verify(&forged, ip()),
+            Err(VerifyError::InvalidBackendParam { got: 0 })
+        );
+    }
+
+    #[test]
     fn strict_u32_solutions_verify() {
         let clock = ManualClock::at(1_000_000);
         let issuer = Issuer::with_clock(&KEY, Arc::new(clock.clone()));
@@ -985,6 +1251,14 @@ mod tests {
     fn error_displays_are_informative() {
         let errors: Vec<VerifyError> = vec![
             VerifyError::UnsupportedVersion { got: 2 },
+            VerifyError::UnknownBackend {
+                got: crate::backend::BackendId(7),
+            },
+            VerifyError::BackendMismatch {
+                challenge: crate::backend::BackendId::SHA256,
+                solution: crate::backend::BackendId::MEMORY_HARD,
+            },
+            VerifyError::InvalidBackendParam { got: 200 },
             VerifyError::BadMac,
             VerifyError::ClientMismatch,
             VerifyError::NotYetValid,
@@ -1049,6 +1323,7 @@ mod tests {
                     ),
                     nonce: sol.nonce,
                     width: sol.width,
+                    backend: sol.backend,
                 };
                 prop_assert_eq!(verifier.verify(&forged, client), Err(VerifyError::BadMac));
             }

@@ -408,6 +408,12 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
     ///
     /// Ties on the minimum score evict the first entry encountered in
     /// shard-index order.
+    ///
+    /// Compiled only for this crate's own tests and under the
+    /// `bench-baselines` feature (enabled by `aipow-bench` for the
+    /// `eviction_flood` baseline), so production dependents cannot link
+    /// against the retired scan at all.
+    #[cfg(any(test, feature = "bench-baselines"))]
     pub fn update_or_insert_evicting<R, S: PartialOrd + Copy>(
         &self,
         key: K,

@@ -127,6 +127,9 @@ fn address_cycling_storm_never_folds_across_shards() {
 
 /// The same storm through the retired global path, as contrast: it is
 /// counted, which is how the production tables prove they never use it.
+/// The retired scan itself only compiles under `bench-baselines`
+/// (`cargo test -p aipow-shard --features bench-baselines`).
+#[cfg(feature = "bench-baselines")]
 #[test]
 fn global_path_is_counted_for_contrast() {
     let map: ShardedMap<u32, u64> = ShardedMap::new(4);

@@ -48,6 +48,7 @@ fn in_shard_upsert_never_overshoots_capacity() {
 /// PR 4 removed from production. This is the proof that the checker
 /// has teeth: if the in-shard fix were reverted, the model would find
 /// this exact schedule in the test above.
+#[cfg(feature = "bench-baselines")]
 #[test]
 fn retired_global_scan_protocol_overshoots_in_some_schedule() {
     let failure = loom::Builder::new()

@@ -5,7 +5,7 @@
 //! the whole payload is capped at [`MAX_PAYLOAD_LEN`].
 
 use crate::message::{Message, RejectCode};
-use aipow_pow::{Challenge, Difficulty, NonceWidth};
+use aipow_pow::{BackendId, Challenge, Difficulty, NonceWidth};
 use bytes::{Buf, BufMut, BytesMut};
 use core::fmt;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
@@ -14,7 +14,12 @@ use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 pub const MAGIC: u16 = 0xA1F0;
 
 /// Protocol version encoded in every frame.
-pub const PROTOCOL_VERSION: u8 = 1;
+///
+/// Version 2 added the puzzle-backend id and parameter bytes to encoded
+/// challenges and solutions, plus the [`Message::Hello`] handshake. A v1
+/// peer is rejected at decode with [`DecodeError::UnsupportedVersion`];
+/// servers translate that into a [`RejectCode::ProtocolMismatch`] reply.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Upper bound on an encoded payload. Challenges and solutions are tiny;
 /// resource bodies dominate. 1 MiB bounds per-connection memory.
@@ -117,6 +122,7 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             challenge,
             nonce,
             width,
+            backend,
             path,
         } => {
             put_challenge(&mut payload, challenge);
@@ -125,6 +131,7 @@ pub fn encode(msg: &Message) -> Vec<u8> {
                 NonceWidth::U32 => 4,
                 NonceWidth::U64 => 8,
             });
+            payload.put_u8(backend.as_u8());
             put_str(&mut payload, path);
         }
         Message::ResourceGranted { path, body } => {
@@ -142,6 +149,7 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             put_str(&mut payload, json);
             put_str(&mut payload, prometheus);
         }
+        Message::Hello { version } => payload.put_u8(*version),
     }
 
     let mut frame = BytesMut::with_capacity(8 + payload.len());
@@ -212,11 +220,15 @@ fn decode_payload(msg_type: u8, buf: &mut &[u8]) -> Result<Message, DecodeError>
                 8 => NonceWidth::U64,
                 got => return Err(DecodeError::InvalidNonceWidth { got }),
             };
+            // Any backend byte decodes; unregistered ids are rejected by
+            // the verifier, not the codec.
+            let backend = BackendId(get_u8(buf)?);
             let path = get_str(buf)?;
             Ok(Message::SubmitSolution {
                 challenge,
                 nonce,
                 width,
+                backend,
                 path,
             })
         }
@@ -243,6 +255,9 @@ fn decode_payload(msg_type: u8, buf: &mut &[u8]) -> Result<Message, DecodeError>
         9 => Ok(Message::TelemetryReply {
             json: get_str(buf)?,
             prometheus: get_str(buf)?,
+        }),
+        10 => Ok(Message::Hello {
+            version: get_u8(buf)?,
         }),
         got => Err(DecodeError::UnknownMessageType { got }),
     }
@@ -275,6 +290,8 @@ fn put_ip(buf: &mut BytesMut, ip: IpAddr) {
 
 fn put_challenge(buf: &mut BytesMut, c: &Challenge) {
     buf.put_u8(c.version());
+    buf.put_u8(c.backend().as_u8());
+    buf.put_u8(c.backend_param());
     buf.put_slice(c.seed());
     buf.put_u64(c.issued_at_ms());
     buf.put_u64(c.ttl_ms());
@@ -342,6 +359,8 @@ fn get_ip(buf: &mut &[u8]) -> Result<IpAddr, DecodeError> {
 
 fn get_challenge(buf: &mut &[u8]) -> Result<Challenge, DecodeError> {
     let version = get_u8(buf)?;
+    let backend = BackendId(get_u8(buf)?);
+    let backend_param = get_u8(buf)?;
     if buf.remaining() < 16 {
         return Err(DecodeError::Truncated);
     }
@@ -360,8 +379,10 @@ fn get_challenge(buf: &mut &[u8]) -> Result<Challenge, DecodeError> {
     }
     let mut tag = [0u8; 32];
     buf.copy_to_slice(&mut tag);
-    Ok(Challenge::from_parts(
+    Ok(Challenge::from_parts_backend(
         version,
+        backend,
+        backend_param,
         seed,
         issued_at_ms,
         ttl_ms,
@@ -383,6 +404,16 @@ mod tests {
         )
     }
 
+    fn sample_memory_hard_challenge() -> Challenge {
+        Issuer::new(&[5u8; 32])
+            .with_backend_param(BackendId::MEMORY_HARD, 2)
+            .issue_backend(
+                IpAddr::V4(Ipv4Addr::new(203, 0, 113, 9)),
+                Difficulty::new(7).unwrap(),
+                BackendId::MEMORY_HARD,
+            )
+    }
+
     fn all_messages() -> Vec<Message> {
         vec![
             Message::RequestResource {
@@ -392,16 +423,22 @@ mod tests {
                 challenge: sample_challenge(),
                 path: "/a".into(),
             },
+            Message::ChallengeIssued {
+                challenge: sample_memory_hard_challenge(),
+                path: "/mh".into(),
+            },
             Message::SubmitSolution {
                 challenge: sample_challenge(),
                 nonce: 0xdead_beef_cafe,
                 width: NonceWidth::U64,
+                backend: BackendId::SHA256,
                 path: "/a".into(),
             },
             Message::SubmitSolution {
-                challenge: sample_challenge(),
+                challenge: sample_memory_hard_challenge(),
                 nonce: 42,
                 width: NonceWidth::U32,
+                backend: BackendId::MEMORY_HARD,
                 path: String::new(),
             },
             Message::ResourceGranted {
@@ -419,6 +456,9 @@ mod tests {
                 json: "{\"challenges_issued\":3}".into(),
                 prometheus: "# TYPE aipow_challenges_issued counter\naipow_challenges_issued 3\n"
                     .into(),
+            },
+            Message::Hello {
+                version: PROTOCOL_VERSION,
             },
         ]
     }
@@ -476,6 +516,7 @@ mod tests {
             challenge: sample_challenge(),
             nonce: 1,
             width: NonceWidth::U64,
+            backend: BackendId::SHA256,
             path: "/p".into(),
         });
         for cut in 0..bytes.len() {
@@ -527,9 +568,9 @@ mod tests {
             path: String::new(),
         };
         let mut bytes = encode(&msg);
-        // Difficulty byte position: header(8) + version(1) + seed(16) +
-        // issued(8) + ttl(8) = offset 41.
-        bytes[41] = 99;
+        // Difficulty byte position: header(8) + version(1) + backend(1) +
+        // param(1) + seed(16) + issued(8) + ttl(8) = offset 43.
+        bytes[43] = 99;
         assert_eq!(
             decode(&bytes),
             Err(DecodeError::InvalidDifficulty { got: 99 })
@@ -555,12 +596,13 @@ mod tests {
             challenge: sample_challenge(),
             nonce: 1,
             width: NonceWidth::U64,
+            backend: BackendId::SHA256,
             path: String::new(),
         };
         let mut bytes = encode(&msg);
-        // width byte sits after challenge (1+16+8+8+1+5+32 = 71) + nonce(8)
-        // + header(8) = offset 87.
-        bytes[87] = 3;
+        // width byte sits after challenge (1+1+1+16+8+8+1+5+32 = 73) +
+        // nonce(8) + header(8) = offset 89.
+        bytes[89] = 3;
         assert_eq!(
             decode(&bytes),
             Err(DecodeError::InvalidNonceWidth { got: 3 })
@@ -587,6 +629,8 @@ mod tests {
         prop_compose! {
             fn arb_challenge()(
                 version in any::<u8>(),
+                backend in any::<u8>(),
+                backend_param in any::<u8>(),
                 seed in any::<[u8; 16]>(),
                 issued_at_ms in any::<u64>(),
                 ttl_ms in any::<u64>(),
@@ -600,8 +644,10 @@ mod tests {
                 } else {
                     IpAddr::V4(Ipv4Addr::new(octets[0], octets[1], octets[2], octets[3]))
                 };
-                Challenge::from_parts(
+                Challenge::from_parts_backend(
                     version,
+                    BackendId(backend),
+                    backend_param,
                     seed,
                     issued_at_ms,
                     ttl_ms,
@@ -618,8 +664,8 @@ mod tests {
                 path.prop_map(|path| Message::RequestResource { path }),
                 (arb_challenge(), path)
                     .prop_map(|(challenge, path)| { Message::ChallengeIssued { challenge, path } }),
-                (arb_challenge(), any::<u64>(), any::<bool>(), path).prop_map(
-                    |(challenge, nonce, wide, path)| Message::SubmitSolution {
+                (arb_challenge(), any::<u64>(), any::<bool>(), any::<u8>(), path).prop_map(
+                    |(challenge, nonce, wide, backend, path)| Message::SubmitSolution {
                         challenge,
                         nonce: if wide { nonce } else { nonce & 0xFFFF_FFFF },
                         width: if wide {
@@ -627,12 +673,13 @@ mod tests {
                         } else {
                             NonceWidth::U32
                         },
+                        backend: BackendId(backend),
                         path,
                     }
                 ),
                 (path, proptest::collection::vec(any::<u8>(), 0..256))
                     .prop_map(|(path, body)| Message::ResourceGranted { path, body }),
-                (1u8..=5, path).prop_map(|(c, detail)| Message::Rejected {
+                (1u8..=6, path).prop_map(|(c, detail)| Message::Rejected {
                     code: RejectCode::from_u8(c).unwrap(),
                     detail,
                 }),
@@ -642,6 +689,7 @@ mod tests {
                 ("[ -~]{0,200}", "[ -~]{0,200}").prop_map(|(json, prometheus)| {
                     Message::TelemetryReply { json, prometheus }
                 }),
+                any::<u8>().prop_map(|version| Message::Hello { version }),
             ]
         }
 

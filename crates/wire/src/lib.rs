@@ -34,6 +34,6 @@ pub mod codec;
 pub mod framing;
 pub mod message;
 
-pub use codec::{decode, encode, DecodeError, MAX_PAYLOAD_LEN};
+pub use codec::{decode, encode, DecodeError, MAX_PAYLOAD_LEN, PROTOCOL_VERSION};
 pub use framing::{read_message, write_message, ReadMessageError};
 pub use message::{Message, RejectCode};

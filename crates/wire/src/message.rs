@@ -1,6 +1,6 @@
 //! Protocol message types.
 
-use aipow_pow::{Challenge, NonceWidth};
+use aipow_pow::{BackendId, Challenge, NonceWidth};
 
 /// Why the server rejected a request or solution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -17,6 +17,9 @@ pub enum RejectCode {
     Malformed,
     /// Internal server error.
     Internal,
+    /// The peer speaks an incompatible protocol version (sent in reply
+    /// to a [`Message::Hello`] whose version the server cannot serve).
+    ProtocolMismatch,
 }
 
 impl RejectCode {
@@ -28,6 +31,7 @@ impl RejectCode {
             RejectCode::NotFound => 3,
             RejectCode::Malformed => 4,
             RejectCode::Internal => 5,
+            RejectCode::ProtocolMismatch => 6,
         }
     }
 
@@ -39,6 +43,7 @@ impl RejectCode {
             3 => RejectCode::NotFound,
             4 => RejectCode::Malformed,
             5 => RejectCode::Internal,
+            6 => RejectCode::ProtocolMismatch,
             _ => return None,
         })
     }
@@ -52,6 +57,7 @@ impl core::fmt::Display for RejectCode {
             RejectCode::NotFound => "resource not found",
             RejectCode::Malformed => "malformed message",
             RejectCode::Internal => "internal server error",
+            RejectCode::ProtocolMismatch => "incompatible protocol version",
         };
         f.write_str(text)
     }
@@ -84,6 +90,9 @@ pub enum Message {
         nonce: u64,
         /// Width the nonce was hashed at.
         width: NonceWidth,
+        /// The puzzle backend the client solved (must match the
+        /// challenge's; the verifier rejects disagreements).
+        backend: BackendId,
         /// The path originally requested.
         path: String,
     },
@@ -126,6 +135,17 @@ pub enum Message {
         /// (`aipow_core::export::snapshot_prometheus`).
         prometheus: String,
     },
+    /// Version handshake (either direction). A client opens with its
+    /// protocol version; the server echoes its own on agreement or
+    /// replies [`Message::Rejected`] with
+    /// [`RejectCode::ProtocolMismatch`]. Servers tolerate clients that
+    /// skip the hello (pre-v2 peers cannot send one), but every frame
+    /// still carries the version byte, so a skipped hello only defers
+    /// the mismatch error to the first real frame.
+    Hello {
+        /// The sender's protocol version (`codec::PROTOCOL_VERSION`).
+        version: u8,
+    },
 }
 
 impl Message {
@@ -141,6 +161,7 @@ impl Message {
             Message::Pong { .. } => 7,
             Message::TelemetryRequest => 8,
             Message::TelemetryReply { .. } => 9,
+            Message::Hello { .. } => 10,
         }
     }
 }
@@ -157,6 +178,7 @@ mod tests {
             RejectCode::NotFound,
             RejectCode::Malformed,
             RejectCode::Internal,
+            RejectCode::ProtocolMismatch,
         ] {
             assert_eq!(RejectCode::from_u8(code.as_u8()), Some(code));
             assert!(!code.to_string().is_empty());
@@ -184,6 +206,7 @@ mod tests {
                 json: "{}".into(),
                 prometheus: String::new(),
             },
+            Message::Hello { version: 2 },
         ];
         let mut seen = std::collections::HashSet::new();
         for m in &msgs {
@@ -202,5 +225,6 @@ mod tests {
             .type_byte(),
             9
         );
+        assert_eq!(Message::Hello { version: 2 }.type_byte(), 10);
     }
 }

@@ -76,24 +76,52 @@ fn wrong_ip() -> IpAddr {
     IpAddr::V4(Ipv4Addr::new(198, 51, 100, 200))
 }
 
+/// Routes every client to one fixed puzzle backend, so the equivalence
+/// schedules can be replayed per registered backend.
+#[derive(Debug)]
+struct FixedRouter(aipow::pow::BackendId);
+
+impl aipow::policy::BackendRouter for FixedRouter {
+    fn name(&self) -> &str {
+        "fixed"
+    }
+    fn route(
+        &self,
+        _score: ReputationScore,
+        _ctx: &aipow::policy::PolicyContext,
+    ) -> aipow::pow::BackendId {
+        self.0
+    }
+}
+
 /// Builds one framework (fixed low score → tiny puzzles, solver cost
 /// negligible) with its lockstep clock.
 fn build(max_batch: usize) -> (Framework, ManualClock) {
-    build_with_lanes(max_batch, None)
+    build_with(max_batch, None, None)
 }
 
 /// As [`build`], with an explicit verifier lane width (`None` keeps the
-/// hardware-detected default).
-fn build_with_lanes(max_batch: usize, lanes: Option<usize>) -> (Framework, ManualClock) {
+/// hardware-detected default) and an optional fixed puzzle backend
+/// (`None` keeps the default SHA-256 routing).
+fn build_with(
+    max_batch: usize,
+    lanes: Option<usize>,
+    backend: Option<aipow::pow::BackendId>,
+) -> (Framework, ManualClock) {
     let (mut builder, clock) = FrameworkBuilder::new()
         .master_key([0x11u8; 32])
         .model(FixedScoreModel::new(ReputationScore::new(0.0).unwrap()))
         .policy(LinearPolicy::policy1()) // score 0 → 1 bit
         .ttl_ms(2_000) // short TTL so Advance can expire challenges
         .max_batch(max_batch)
+        // Smallest arena so memory-hard schedules stay test-fast.
+        .memory_hard_arena_mib(1)
         .manual_clock(1_000_000);
     if let Some(lanes) = lanes {
-        builder = builder.verify_lanes(lanes);
+        builder = builder.lanes(lanes);
+    }
+    if let Some(backend) = backend {
+        builder = builder.backend_router(Arc::new(FixedRouter(backend)));
     }
     (builder.build().unwrap(), clock)
 }
@@ -191,7 +219,15 @@ fn prepare_submission(
 
 /// Drives the schedule sequentially.
 fn run_sequential(ops: &[Op]) -> (Vec<Observed>, Framework) {
-    let (fw, clock) = build(4);
+    run_sequential_backend(ops, None)
+}
+
+/// As [`run_sequential`], with an optional fixed puzzle backend.
+fn run_sequential_backend(
+    ops: &[Op],
+    backend: Option<aipow::pow::BackendId>,
+) -> (Vec<Observed>, Framework) {
+    let (fw, clock) = build_with(4, None, backend);
     let mut states: [ClientState; 4] = Default::default();
     let features = FeatureVector::zeros();
     let mut observed = Vec::with_capacity(ops.len());
@@ -225,12 +261,17 @@ fn run_sequential(ops: &[Op]) -> (Vec<Observed>, Framework) {
 /// solution-like ops one `handle_solution_batch` call; `Advance`
 /// flushes.
 fn run_batched(ops: &[Op]) -> (Vec<Observed>, Framework) {
-    run_batched_lanes(ops, None)
+    run_batched_with(ops, None, None)
 }
 
-/// As [`run_batched`], with an explicit verifier lane width.
-fn run_batched_lanes(ops: &[Op], lanes: Option<usize>) -> (Vec<Observed>, Framework) {
-    let (fw, clock) = build_with_lanes(4, lanes);
+/// As [`run_batched`], with an explicit verifier lane width and an
+/// optional fixed puzzle backend.
+fn run_batched_with(
+    ops: &[Op],
+    lanes: Option<usize>,
+    backend: Option<aipow::pow::BackendId>,
+) -> (Vec<Observed>, Framework) {
+    let (fw, clock) = build_with(4, lanes, backend);
     let mut states: [ClientState; 4] = Default::default();
     let features = FeatureVector::zeros();
     let mut observed: Vec<Observed> = Vec::with_capacity(ops.len());
@@ -367,9 +408,9 @@ proptest! {
     fn verify_lane_width_is_observationally_invisible(
         ops in proptest::collection::vec(op_strategy(), 1..40)
     ) {
-        let (scalar_observed, scalar_fw) = run_batched_lanes(&ops, Some(1));
+        let (scalar_observed, scalar_fw) = run_batched_with(&ops, Some(1), None);
         for lanes in [2usize, 4, 8] {
-            let (wide_observed, wide_fw) = run_batched_lanes(&ops, Some(lanes));
+            let (wide_observed, wide_fw) = run_batched_with(&ops, Some(lanes), None);
             prop_assert_eq!(&scalar_observed, &wide_observed, "lanes {}", lanes);
             prop_assert_eq!(audit_view(&scalar_fw), audit_view(&wide_fw));
             prop_assert_eq!(scalar_fw.ledger().len(), wide_fw.ledger().len());
@@ -429,6 +470,39 @@ proptest! {
                 observed
             };
             prop_assert_eq!(&seq_observed, &run(&ops), "max_batch {}", max_batch);
+        }
+    }
+}
+
+proptest! {
+    // Fewer cases than the SHA-only properties: each case replays the
+    // schedule four ways per registered backend, and memory-hard solves
+    // touch a real (1 MiB) arena.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The batch/sequential equivalence holds through the backend seam
+    /// for **every** registered puzzle backend, and the verifier's lane
+    /// width stays observationally invisible under each of them.
+    #[test]
+    fn batch_equivalence_holds_for_every_registered_backend(
+        ops in proptest::collection::vec(op_strategy(), 1..20)
+    ) {
+        for id in aipow::pow::BackendRegistry::standard().ids() {
+            let (seq_observed, seq_fw) = run_sequential_backend(&ops, Some(id));
+            let (batch_observed, batch_fw) = run_batched_with(&ops, None, Some(id));
+            prop_assert_eq!(&seq_observed, &batch_observed, "backend {}", id);
+            prop_assert_eq!(audit_view(&seq_fw), audit_view(&batch_fw));
+            let seq_snap = seq_fw.metrics_snapshot();
+            let batch_snap = batch_fw.metrics_snapshot();
+            prop_assert_eq!(seq_snap.solutions_accepted, batch_snap.solutions_accepted);
+            prop_assert_eq!(seq_snap.solutions_rejected, batch_snap.solutions_rejected);
+            prop_assert_eq!(seq_snap.rejected_by_reason, batch_snap.rejected_by_reason);
+
+            // Lane width is a pure perf knob under this backend too.
+            let (scalar_observed, _) = run_batched_with(&ops, Some(1), Some(id));
+            let (wide_observed, _) = run_batched_with(&ops, Some(8), Some(id));
+            prop_assert_eq!(&batch_observed, &scalar_observed, "backend {} scalar", id);
+            prop_assert_eq!(&scalar_observed, &wide_observed, "backend {} wide", id);
         }
     }
 }

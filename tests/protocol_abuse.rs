@@ -65,6 +65,7 @@ fn solution_without_request_is_still_verified_on_its_merits() {
     write_message(
         &mut stream,
         &Message::SubmitSolution {
+            backend: solved.backend,
             challenge: solved.challenge,
             nonce: solved.nonce,
             width: solved.width,
@@ -109,6 +110,7 @@ fn replayed_solution_on_second_connection_rejected() {
         write_message(
             &mut stream,
             &Message::SubmitSolution {
+                backend: solved.backend,
                 challenge: solved.challenge.clone(),
                 nonce: solved.nonce,
                 width: solved.width,
@@ -271,7 +273,7 @@ fn oversized_frame_header_is_refused() {
     // Valid magic/version/type but an absurd declared length.
     let mut frame = Vec::new();
     frame.extend_from_slice(&0xA1F0u16.to_be_bytes());
-    frame.push(1); // protocol version
+    frame.push(aipow::wire::PROTOCOL_VERSION);
     frame.push(6); // ping
     frame.extend_from_slice(&u32::MAX.to_be_bytes());
     stream.write_all(&frame).unwrap();
