@@ -20,6 +20,11 @@
 //!   no blocking lock (`.lock()`/`.read()`/`.write()`) — emission must
 //!   stay `try_lock`-or-drop so tracing can never stall the admission
 //!   path it observes (snapshot/dump paths opt out explicitly);
+//! - **`reactor-blocking`**: the net reactor's event-loop files make no
+//!   blocking call (`thread::sleep`, blocking channel `.recv()`,
+//!   `.join()`, blocking locks, `read_exact`/`read_to_end`/`write_all`)
+//!   — one reactor thread serves tens of thousands of connections, so
+//!   the only place it may park is `Poller::wait`;
 //! - **`forbid-unsafe`**: every crate root carries
 //!   `#![forbid(unsafe_code)]` (or forbids it via `[lints.rust]`).
 //!
@@ -63,6 +68,22 @@ pub const ADMISSION_PATH_FILES: &[&str] = &[
 /// not match). Snapshot/dump code opts out with
 /// `// lint:allow(trace-blocking) <reason>`.
 pub const TRACE_HOT_FILES: &[&str] = &["crates/trace/src/tracer.rs", "crates/trace/src/ring.rs"];
+
+/// Files that run on a reactor event-loop thread (rule
+/// `reactor-blocking`): one thread multiplexes every connection it
+/// owns, so any call that can park it — a sleep, a blocking channel
+/// receive, a thread join, a blocking lock, or a
+/// read-exactly/write-fully loop on a socket — stalls *all* of them.
+/// The only sanctioned parking point is `Poller::wait`, and socket I/O
+/// must stay single-shot nonblocking reads/writes that surface
+/// `WouldBlock`. `gate.rs` is deliberately absent: its accept-time
+/// mutex is shared bookkeeping with the server API thread, O(1) inside
+/// the critical section, and audited separately.
+pub const REACTOR_HOT_FILES: &[&str] = &[
+    "crates/net/src/reactor/mod.rs",
+    "crates/net/src/reactor/conn.rs",
+    "crates/net/src/reactor/dispatch.rs",
+];
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -253,6 +274,9 @@ pub struct FileContext {
     /// File is on the tracer's span-emission hot path (rule
     /// `trace-blocking` applies).
     pub trace_hot: bool,
+    /// File runs on a reactor event-loop thread (rule
+    /// `reactor-blocking` applies).
+    pub reactor_hot: bool,
 }
 
 /// Scans one file's content. `rel` is the repo-relative path used in
@@ -425,6 +449,36 @@ pub fn scan_file(rel: &str, content: &str, ctx: FileContext) -> Vec<Violation> {
             }
         }
 
+        // reactor-blocking -------------------------------------------
+        if ctx.reactor_hot && !has_allow(comment, &hanging_comment, "reactor-blocking") {
+            for token in [
+                ".lock()",
+                ".read()",
+                ".write()",
+                "thread::sleep",
+                ".recv()",
+                ".join()",
+                ".read_exact(",
+                ".read_to_end(",
+                ".write_all(",
+            ] {
+                if code.contains(token) {
+                    violations.push(Violation {
+                        rule: "reactor-blocking",
+                        path: rel.to_string(),
+                        line: lineno,
+                        excerpt: excerpt.clone(),
+                        message: format!(
+                            "blocking `{token}` in a reactor event-loop file — one reactor \
+                             thread serves every connection it owns, so it may park only in \
+                             `Poller::wait`; use nonblocking I/O, `try_recv`, and `try_lock` \
+                             (or justify with `// lint:allow(reactor-blocking) <reason>`)"
+                        ),
+                    });
+                }
+            }
+        }
+
         // raw-keyed-state --------------------------------------------
         if ctx.admission_path && !has_allow(comment, &hanging_comment, "raw-keyed-state") {
             for token in ["HashMap::new(", "HashMap::with_capacity(", "BTreeMap::new("] {
@@ -480,7 +534,10 @@ pub fn check_forbid_unsafe(
         rule: "forbid-unsafe",
         path: rel.to_string(),
         line: 1,
-        excerpt: String::new(),
+        // Non-empty and content-independent: the baseline key must
+        // round-trip through `Baseline::parse`, which trims trailing
+        // whitespace (an empty excerpt would leave a dangling tab).
+        excerpt: "(crate root)".into(),
         message: "crate root missing `#![forbid(unsafe_code)]` (and its manifest does not \
                   forbid unsafe via [lints.rust])"
             .into(),
@@ -570,6 +627,7 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
                 admission_path: ADMISSION_PATH_FILES.contains(&rel.as_str()),
                 production: true,
                 trace_hot: TRACE_HOT_FILES.contains(&rel.as_str()),
+                reactor_hot: REACTOR_HOT_FILES.contains(&rel.as_str()),
             };
             violations.extend(scan_file(&rel, &content, ctx));
         }
@@ -653,16 +711,25 @@ mod tests {
         admission_path: false,
         production: true,
         trace_hot: false,
+        reactor_hot: false,
     };
     const ADMISSION: FileContext = FileContext {
         admission_path: true,
         production: true,
         trace_hot: false,
+        reactor_hot: false,
     };
     const TRACE_HOT: FileContext = FileContext {
         admission_path: false,
         production: true,
         trace_hot: true,
+        reactor_hot: false,
+    };
+    const REACTOR_HOT: FileContext = FileContext {
+        admission_path: false,
+        production: true,
+        trace_hot: false,
+        reactor_hot: true,
     };
 
     fn rules(violations: &[Violation]) -> Vec<&'static str> {
@@ -829,6 +896,41 @@ mod tests {
             rules(&scan_file("x.rs", src, TRACE_HOT)),
             ["trace-blocking"]
         );
+    }
+
+    #[test]
+    fn reactor_blocking_fires_only_on_reactor_files() {
+        let src = "std::thread::sleep(backoff);\n\
+                   let (stream, ip) = self.rx.recv();\n\
+                   handle.join();\n\
+                   stream.read_exact(&mut header);\n";
+        assert!(scan_file("x.rs", src, PROD).is_empty());
+        let v = scan_file("x.rs", src, REACTOR_HOT);
+        assert_eq!(
+            rules(&v),
+            [
+                "reactor-blocking",
+                "reactor-blocking",
+                "reactor-blocking",
+                "reactor-blocking"
+            ]
+        );
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn reactor_blocking_permits_nonblocking_idioms_and_allow_escape() {
+        // The event-loop idiom: single-shot nonblocking I/O and
+        // try_recv never park the thread.
+        let src = "while let Ok(conn) = self.rx.try_recv() { accept(conn); }\n\
+                   let n = stream.read(&mut buf)?;\n\
+                   let n = stream.write(chunk)?;\n\
+                   self.poller.wait(&mut events, timeout)?;\n";
+        assert!(scan_file("x.rs", src, REACTOR_HOT).is_empty());
+        // Shutdown/teardown paths opt out explicitly.
+        let src = "// lint:allow(reactor-blocking) shutdown join, loop already exited\n\
+                   handle.join();\n";
+        assert!(scan_file("x.rs", src, REACTOR_HOT).is_empty());
     }
 
     #[test]

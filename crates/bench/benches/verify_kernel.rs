@@ -22,9 +22,7 @@ use aipow_crypto::sha256::Sha256;
 use aipow_crypto::sha256_wide::digest_batch;
 use aipow_pow::solver::{self, SolverOptions};
 use aipow_pow::time::TimeSource;
-use aipow_pow::{
-    BackendId, BackendRegistry, Difficulty, Issuer, ManualClock, Solution, Verifier,
-};
+use aipow_pow::{BackendId, BackendRegistry, Difficulty, Issuer, ManualClock, Solution, Verifier};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::net::IpAddr;
 use std::sync::Arc;
@@ -239,14 +237,17 @@ fn backend_kernel(c: &mut Criterion) {
         let prefix = challenge.preimage_prefix(ip);
         let puzzle = registry.get(backend).expect("standard backend");
         group.throughput(Throughput::Elements(SOLVE_ATTEMPTS));
-        group.bench_function(BenchmarkId::new(format!("solve/{label}"), SOLVE_ATTEMPTS), |b| {
-            let mut cursor = puzzle.solve_cursor(challenge.backend_param(), &prefix);
-            b.iter(|| {
-                (0..SOLVE_ATTEMPTS).fold(0u8, |acc, nonce| {
-                    acc ^ cursor.attempt(&nonce.to_be_bytes()).as_bytes()[0]
+        group.bench_function(
+            BenchmarkId::new(format!("solve/{label}"), SOLVE_ATTEMPTS),
+            |b| {
+                let mut cursor = puzzle.solve_cursor(challenge.backend_param(), &prefix);
+                b.iter(|| {
+                    (0..SOLVE_ATTEMPTS).fold(0u8, |acc, nonce| {
+                        acc ^ cursor.attempt(&nonce.to_be_bytes()).as_bytes()[0]
+                    })
                 })
-            })
-        });
+            },
+        );
     }
     group.finish();
 }

@@ -1,11 +1,12 @@
 //! The CI performance-regression gate.
 //!
 //! Runs the hot-path throughput benches (`contended_admission`,
-//! `eviction_flood`, `admission_batch`, and `verify_kernel`) with
+//! `eviction_flood`, `admission_batch`, `verify_kernel`, and
+//! `connection_scaling`) with
 //! `AIPOW_BENCH_JSON` pointed at a scratch file, then compares every
 //! measured median throughput against the committed baselines
 //! (`BENCH_contended.json`, `BENCH_flood.json`, `BENCH_batch.json`,
-//! `BENCH_verify.json` at the repo
+//! `BENCH_verify.json`, `BENCH_net.json` at the repo
 //! root). A benchmark whose `per_sec` falls more than the tolerance
 //! below its baseline fails the gate (exit code 1), so a throughput
 //! regression on the admission or eviction hot path cannot merge
@@ -60,6 +61,14 @@
 //!   attempt, or routing a flooder to the memory-hard backend stops
 //!   being punitive. The recorded gap is orders of magnitude; a
 //!   shortcut that skips the arena work collapses it on any host.
+//! - `AIPOW_GATE_MAX_CONN_SLOWDOWN` — ceiling on the within-run ratio
+//!   of request throughput at 1k resident connections over 50k resident
+//!   connections, default `2`. Machine-independent like the other
+//!   ratios: the reactor keys per-connection state through a slab and
+//!   never scans the connection table on the exchange path, so the
+//!   honest ratio is ~1; an O(connections) walk reintroduced on the hot
+//!   path (table scan, eager wheel sweep, per-event iteration over all
+//!   peers) collapses 50k-resident throughput on any host.
 //! - `AIPOW_BENCH_TARGET_CPU` — the `-C target-cpu` value appended to
 //!   `RUSTFLAGS` for the bench run, default `native`. The portable wide
 //!   kernel only reaches full width when the compiler may use the host's
@@ -92,6 +101,8 @@ fn baseline_file_for(group: &str) -> &'static str {
         "BENCH_batch.json"
     } else if group.starts_with("verify_kernel") {
         "BENCH_verify.json"
+    } else if group.starts_with("connection_scaling") {
+        "BENCH_net.json"
     } else {
         "BENCH_contended.json"
     }
@@ -188,6 +199,8 @@ fn run_benches(out: &Path) {
         "admission_batch",
         "--bench",
         "verify_kernel",
+        "--bench",
+        "connection_scaling",
     ])
     .env("AIPOW_BENCH_JSON", out);
     let cpu = std::env::var("AIPOW_BENCH_TARGET_CPU").unwrap_or_else(|_| "native".to_string());
@@ -257,6 +270,58 @@ fn min_memhard_solve_ratio() -> f64 {
         .and_then(|v| v.parse().ok())
         .filter(|r: &f64| r.is_finite() && *r >= 1.0)
         .unwrap_or(10.0)
+}
+
+fn max_conn_slowdown() -> f64 {
+    std::env::var("AIPOW_GATE_MAX_CONN_SLOWDOWN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|r: &f64| r.is_finite() && *r >= 1.0)
+        .unwrap_or(2.0)
+}
+
+/// The connection-scaling acceptance bar, checked within this run like
+/// the batch gate: request throughput with 50k connections resident
+/// must hold at least `1 / max_slowdown` of the 1k-resident
+/// throughput. Per-connection reactor state is slab-keyed and the
+/// exchange path never walks the connection table, so the honest ratio
+/// is ~1; an O(connections) scan reintroduced on the hot path
+/// collapses it on any host.
+fn gate_conn_slowdown(measured: &Results, max_slowdown: f64) -> Vec<String> {
+    let small_key = "connection_scaling_request/conns/1000";
+    let large_key = "connection_scaling_request/conns/50000";
+    match (measured.get(small_key), measured.get(large_key)) {
+        (Some(&small), Some(&large)) => {
+            let slowdown = if large > 0.0 {
+                small / large
+            } else {
+                f64::INFINITY
+            };
+            let ok = slowdown <= max_slowdown;
+            println!(
+                "{:<48} {:>14.1} {:>14.1} {:>8.2}  {}",
+                "request slowdown, 1k -> 50k resident conns",
+                small,
+                large,
+                slowdown,
+                if ok { "ok" } else { "REGRESSION" }
+            );
+            if ok {
+                Vec::new()
+            } else {
+                vec![format!(
+                    "{large_key}: request throughput {slowdown:.2}x slower with 50k resident \
+                     connections than with 1k (ceiling {max_slowdown:.2}x) — something on \
+                     the exchange path scales with the connection population"
+                )]
+            }
+        }
+        (None, None) => Vec::new(), // pre-reactor JSON via --check-only
+        _ => vec![format!(
+            "connection-scaling gate needs both {small_key} and {large_key}; \
+             only one was measured"
+        )],
+    }
 }
 
 /// The batching acceptance bar, checked within this run (so it is
@@ -624,6 +689,7 @@ fn main() {
         "BENCH_flood.json",
         "BENCH_batch.json",
         "BENCH_verify.json",
+        "BENCH_net.json",
     ] {
         baseline.extend(read_results(&root.join(file)));
     }
@@ -639,6 +705,7 @@ fn main() {
     failures.extend(gate_batch_speedup(&measured, min_batch_speedup()));
     failures.extend(gate_trace_overhead(&measured, max_trace_overhead()));
     failures.extend(gate_wide_speedup(&measured, min_wide_speedup()));
+    failures.extend(gate_conn_slowdown(&measured, max_conn_slowdown()));
     failures.extend(gate_backend_asymmetry(
         &measured,
         max_memhard_verify_ratio(),

@@ -11,7 +11,7 @@
 //!
 //! Run with `cargo run --release -p aipow-bench --bin netsim_scenarios`.
 //! Pass `--only <scenario>` (repeatable; one of `fig2`, `contended`,
-//! `behavior`, `flood`, `burst`, `lanes`, `backends`, `tracefire`) to run a single
+//! `behavior`, `flood`, `burst`, `lanes`, `backends`, `connflood`, `tracefire`) to run a single
 //! suite — CI shards and local reproductions can target the suite under
 //! investigation without paying for the rest. `--list` prints the suite
 //! names and exits; an unknown `--only` name is echoed on stderr with a
@@ -20,6 +20,7 @@
 use aipow_netsim::backends::{backends_to_markdown, run_backends, BackendsConfig};
 use aipow_netsim::behavior::{run_behavior_shift, run_redemption, BehaviorConfig};
 use aipow_netsim::burst::{burst_to_markdown, run_burst, BurstConfig};
+use aipow_netsim::connflood::{connflood_to_markdown, run_connflood, ConnfloodConfig};
 use aipow_netsim::contended::{run_contended, ContendedConfig};
 use aipow_netsim::fig2::{run_paper_policies, Fig2Config};
 use aipow_netsim::flood::{flood_to_markdown, run_flood_pair};
@@ -287,6 +288,62 @@ fn backends_suite() {
     );
 }
 
+fn connflood_suite() {
+    println!("== connflood: 50k+ concurrent connections on the reactor core ==");
+    let config = ConnfloodConfig {
+        idle_connections: 50_000,
+        active_connections: 256,
+        exchanges_per_phase: 2_000,
+        per_ip_cap: 64,
+        flood_attempts: 50_000,
+        max_connections: 120_000,
+        idle_memory_budget_bytes: 64,
+    };
+    let outcome = run_connflood(&config);
+    // The concurrency claim: the whole population held open at once.
+    assert!(
+        outcome.peak_open_connections >= 50_000,
+        "only {} connections concurrently open",
+        outcome.peak_open_connections
+    );
+    // The per-IP cap is exact and charged nothing beyond it.
+    assert_eq!(
+        outcome.flood_admitted, 64,
+        "flooder holds {} connections, cap is 64",
+        outcome.flood_admitted
+    );
+    assert_eq!(
+        outcome.flood_rejected,
+        (50_000 - 64) as u64,
+        "every over-cap attempt must be refused at accept"
+    );
+    // The flatness claim: a 50k-connection flood hammering the accept
+    // gate must not move benign p99 (3x headroom for scheduler noise on
+    // shared runners; the measured effect is ~1x).
+    let p99_ratio = outcome.benign_p99_ratio();
+    assert!(
+        p99_ratio < 3.0,
+        "benign p99 grew {p99_ratio:.2}x under the connection flood"
+    );
+    // The memory claim: an idle connection's steady-state heap cost is
+    // bounded (shrunk buffers), so 100k idle connections stay a
+    // bounded-memory proposition.
+    assert!(
+        outcome.idle_heap_bytes_per_conn <= config.idle_memory_budget_bytes as f64,
+        "idle heap {:.1} B/conn over the {} B budget",
+        outcome.idle_heap_bytes_per_conn,
+        config.idle_memory_budget_bytes
+    );
+    println!("{}", connflood_to_markdown(&outcome));
+    println!(
+        "   {} conns held, flood capped at {}, benign p99 ratio {:.2}, idle {:.1} B/conn -- ok",
+        outcome.peak_open_connections,
+        outcome.flood_admitted,
+        p99_ratio,
+        outcome.idle_heap_bytes_per_conn
+    );
+}
+
 fn tracefire_suite() {
     println!("== tracefire: flight recorder under a rejection flood ==");
     let report = run_tracefire(&TracefireConfig::default());
@@ -314,7 +371,7 @@ fn tracefire_suite() {
 }
 
 /// The suite registry: names accepted by `--only`, in run order.
-const SUITES: [(&str, fn()); 8] = [
+const SUITES: [(&str, fn()); 9] = [
     ("fig2", fig2_suite),
     ("contended", contended_suite),
     ("behavior", behavior_suite),
@@ -322,6 +379,7 @@ const SUITES: [(&str, fn()); 8] = [
     ("burst", burst_suite),
     ("lanes", lanes_suite),
     ("backends", backends_suite),
+    ("connflood", connflood_suite),
     ("tracefire", tracefire_suite),
 ];
 

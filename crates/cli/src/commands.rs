@@ -32,6 +32,10 @@ pub fn serve(raw: &[String]) -> Result<(), CliError> {
             "key",
             "bypass",
             "workers",
+            "reactor-shards",
+            "max-connections",
+            "per-ip-cap",
+            "idle-timeout",
             "score",
             "max-batch",
             "lanes",
@@ -132,7 +136,26 @@ pub fn serve(raw: &[String]) -> Result<(), CliError> {
         resources.insert("/".to_string(), b"it works".to_vec());
     }
 
-    let workers = args.get_parsed::<usize>("workers", 4, "an integer")?;
+    let reactor_shards = reactor_shards_flag(&args)?;
+    let defaults = ServerConfig::default();
+    let max_connections = args.get_parsed::<usize>(
+        "max-connections",
+        defaults.max_connections,
+        "a positive integer",
+    )?;
+    if max_connections == 0 {
+        return Err(CliError::usage("--max-connections must be at least 1"));
+    }
+    let per_ip_connection_cap = args.get_parsed::<usize>(
+        "per-ip-cap",
+        defaults.per_ip_connection_cap,
+        "an integer (0 disables the per-IP cap)",
+    )?;
+    let idle_secs = args.get_parsed::<u64>(
+        "idle-timeout",
+        defaults.idle_timeout.as_secs(),
+        "a whole number of seconds (0 disables idle reaping)",
+    )?;
     let max_batch = args.get_parsed::<usize>(
         "max-batch",
         aipow_core::DEFAULT_MAX_BATCH,
@@ -148,7 +171,10 @@ pub fn serve(raw: &[String]) -> Result<(), CliError> {
         Arc::new(StaticFeatureSource::new(FeatureVector::zeros())),
         resources,
         ServerConfig {
-            workers,
+            max_connections,
+            per_ip_connection_cap,
+            idle_timeout: std::time::Duration::from_secs(idle_secs),
+            reactor_shards,
             max_batch,
             lanes,
             ..Default::default()
@@ -231,7 +257,14 @@ pub fn fetch(raw: &[String]) -> Result<(), CliError> {
 pub fn solve(raw: &[String]) -> Result<(), CliError> {
     let args = Args::parse(
         raw.iter().cloned(),
-        &["difficulty", "threads", "trials", "lanes", "backend", "arena-mib"],
+        &[
+            "difficulty",
+            "threads",
+            "trials",
+            "lanes",
+            "backend",
+            "arena-mib",
+        ],
         &[],
     )?;
     let bits = args.get_parsed::<u8>("difficulty", 16, "bits in [0,64]")?;
@@ -620,7 +653,10 @@ fn lanes_flag(args: &Args) -> Result<Option<usize>, CliError> {
         }
         Ok(lanes)
     };
-    let canonical = args.get("lanes").map(|raw| parse("lanes", raw)).transpose()?;
+    let canonical = args
+        .get("lanes")
+        .map(|raw| parse("lanes", raw))
+        .transpose()?;
     let alias = args
         .get("verify-lanes")
         .map(|raw| parse("verify-lanes", raw))
@@ -628,6 +664,37 @@ fn lanes_flag(args: &Args) -> Result<Option<usize>, CliError> {
     match (canonical, alias) {
         (Some(a), Some(b)) if a != b => Err(CliError::usage(
             "--lanes and --verify-lanes (deprecated alias) disagree; pass only --lanes",
+        )),
+        (Some(a), _) => Ok(Some(a)),
+        (None, alias) => Ok(alias),
+    }
+}
+
+/// Parses `--reactor-shards`, accepting `--workers` as a deprecated
+/// alias (the knob the threaded server had; on the reactor it means
+/// shard threads). `None` lets the server auto-size from the machine's
+/// parallelism.
+fn reactor_shards_flag(args: &Args) -> Result<Option<usize>, CliError> {
+    let parse = |flag: &str, raw: &str| -> Result<usize, CliError> {
+        let shards: usize = raw
+            .parse()
+            .map_err(|_| CliError::usage(format!("--{flag} expects a positive integer")))?;
+        if shards == 0 {
+            return Err(CliError::usage(format!("--{flag} must be at least 1")));
+        }
+        Ok(shards)
+    };
+    let canonical = args
+        .get("reactor-shards")
+        .map(|raw| parse("reactor-shards", raw))
+        .transpose()?;
+    let alias = args
+        .get("workers")
+        .map(|raw| parse("workers", raw))
+        .transpose()?;
+    match (canonical, alias) {
+        (Some(a), Some(b)) if a != b => Err(CliError::usage(
+            "--reactor-shards and --workers (deprecated alias) disagree; pass only --reactor-shards",
         )),
         (Some(a), _) => Ok(Some(a)),
         (None, alias) => Ok(alias),
@@ -702,23 +769,18 @@ mod tests {
         // Satellite knob unification: `--lanes` is the documented name;
         // `--verify-lanes` stays accepted as a deprecated alias.
         for flag in ["--lanes", "--verify-lanes"] {
-            let args = Args::parse(
-                strings(&[flag, "4"]).into_iter(),
-                &["lanes", "verify-lanes"],
-                &[],
-            )
-            .unwrap();
+            let args = Args::parse(strings(&[flag, "4"]), &["lanes", "verify-lanes"], &[]).unwrap();
             assert_eq!(lanes_flag(&args).unwrap(), Some(4), "{flag}");
         }
         let agree = Args::parse(
-            strings(&["--lanes", "2", "--verify-lanes", "2"]).into_iter(),
+            strings(&["--lanes", "2", "--verify-lanes", "2"]),
             &["lanes", "verify-lanes"],
             &[],
         )
         .unwrap();
         assert_eq!(lanes_flag(&agree).unwrap(), Some(2));
         let disagree = Args::parse(
-            strings(&["--lanes", "2", "--verify-lanes", "8"]).into_iter(),
+            strings(&["--lanes", "2", "--verify-lanes", "8"]),
             &["lanes", "verify-lanes"],
             &[],
         )

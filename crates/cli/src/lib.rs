@@ -76,7 +76,10 @@ COMMANDS:
              --resource <path=body>    repeatable; the resources to serve
              --key <hex32>             master key, 64 hex chars (default: random)
              --bypass <score>          admit scores below this without work
-             --workers <n>             worker threads (default 4)
+             --reactor-shards <n>      reactor threads (default: auto; alias --workers)
+             --max-connections <n>     concurrent connection ceiling (default 65536)
+             --per-ip-cap <n>          per-IP connection cap, 0 = off (default 4096)
+             --idle-timeout <secs>     reap idle connections, 0 = off (default 30)
              --score <f>               fixed client reputation score (default 5.0)
              --max-batch <n>           admission batch-drain cap
              --lanes <n>               verify lanes: 1, 4, or 8 (alias --verify-lanes)

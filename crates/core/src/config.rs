@@ -716,7 +716,10 @@ mod tests {
             .handle_request(IpAddr::V4(Ipv4Addr::LOCALHOST), &FeatureVector::zeros())
             .challenge()
             .unwrap();
-        assert_eq!(issued.challenge.backend(), aipow_pow::BackendId::MEMORY_HARD);
+        assert_eq!(
+            issued.challenge.backend(),
+            aipow_pow::BackendId::MEMORY_HARD
+        );
         assert_eq!(issued.challenge.backend_param(), 1);
     }
 
@@ -728,10 +731,7 @@ mod tests {
                 ..Default::default()
             };
             assert!(
-                matches!(
-                    config.apply(),
-                    Err(ConfigError::BadRoutingThreshold { .. })
-                ),
+                matches!(config.apply(), Err(ConfigError::BadRoutingThreshold { .. })),
                 "threshold {value} should be rejected"
             );
         }

@@ -105,6 +105,43 @@ pub fn snapshot_json(snap: &MetricsSnapshot) -> String {
     field(&mut out, "rate_limited", &snap.rate_limited.to_string());
     field(
         &mut out,
+        "open_connections",
+        &snap.open_connections.to_string(),
+    );
+    field(&mut out, "accepted_total", &snap.accepted_total.to_string());
+    field(&mut out, "reaped_idle", &snap.reaped_idle.to_string());
+    field(
+        &mut out,
+        "per_ip_cap_rejections",
+        &snap.per_ip_cap_rejections.to_string(),
+    );
+    field(
+        &mut out,
+        "max_conn_rejections",
+        &snap.max_conn_rejections.to_string(),
+    );
+    field(
+        &mut out,
+        "outbound_overflow_closes",
+        &snap.outbound_overflow_closes.to_string(),
+    );
+    field(
+        &mut out,
+        "reactor_wakeups",
+        &snap.reactor_wakeups.to_string(),
+    );
+    field(
+        &mut out,
+        "reactor_ready_events",
+        &snap.reactor_ready_events.to_string(),
+    );
+    field(
+        &mut out,
+        "ready_events_per_wakeup",
+        &json_f64(snap.ready_events_per_wakeup),
+    );
+    field(
+        &mut out,
         "replay_rejects_per_s",
         &json_f64(snap.replay_rejects_per_s),
     );
@@ -118,6 +155,7 @@ pub fn snapshot_json(snap: &MetricsSnapshot) -> String {
         "rejections_per_s",
         &json_f64(snap.rejections_per_s),
     );
+    field(&mut out, "accepts_per_s", &json_f64(snap.accepts_per_s));
 
     let mut stages = String::from("[");
     for (i, t) in snap.stage_timings.iter().enumerate() {
@@ -204,6 +242,30 @@ pub fn snapshot_prometheus(snap: &MetricsSnapshot) -> String {
     counter(&mut out, "aipow_accept_errors", snap.accept_errors);
     gauge(&mut out, "aipow_accept_backoff_ms", snap.accept_backoff_ms);
     counter(&mut out, "aipow_rate_limited", snap.rate_limited);
+    gauge(&mut out, "aipow_open_connections", snap.open_connections);
+    counter(&mut out, "aipow_accepted_total", snap.accepted_total);
+    counter(&mut out, "aipow_reaped_idle", snap.reaped_idle);
+    counter(
+        &mut out,
+        "aipow_per_ip_cap_rejections",
+        snap.per_ip_cap_rejections,
+    );
+    counter(
+        &mut out,
+        "aipow_max_conn_rejections",
+        snap.max_conn_rejections,
+    );
+    counter(
+        &mut out,
+        "aipow_outbound_overflow_closes",
+        snap.outbound_overflow_closes,
+    );
+    counter(&mut out, "aipow_reactor_wakeups", snap.reactor_wakeups);
+    counter(
+        &mut out,
+        "aipow_reactor_ready_events",
+        snap.reactor_ready_events,
+    );
 
     let rate = |out: &mut String, name: &str, value: f64| {
         let _ = writeln!(out, "# TYPE {name} gauge\n{name} {}", prom_f64(value));
@@ -219,6 +281,12 @@ pub fn snapshot_prometheus(snap: &MetricsSnapshot) -> String {
         snap.rate_limited_per_s,
     );
     rate(&mut out, "aipow_rejections_per_s", snap.rejections_per_s);
+    rate(&mut out, "aipow_accepts_per_s", snap.accepts_per_s);
+    rate(
+        &mut out,
+        "aipow_ready_events_per_wakeup",
+        snap.ready_events_per_wakeup,
+    );
 
     for (name, pick) in [
         ("aipow_stage_batches", 0usize),

@@ -1465,9 +1465,10 @@ mod tests {
         assert_eq!(issued.challenge.backend(), BackendId::MEMORY_HARD);
         assert_eq!(issued.challenge.backend_param(), 1);
         // The routed challenge round-trips through solve and verify.
-        let report =
-            solver::solve(&issued.challenge, ip(41), &SolverOptions::default()).unwrap();
-        suspicious.handle_solution(&report.solution, ip(41)).unwrap();
+        let report = solver::solve(&issued.challenge, ip(41), &SolverOptions::default()).unwrap();
+        suspicious
+            .handle_solution(&report.solution, ip(41))
+            .unwrap();
 
         let benign = build(3.0);
         let issued = benign

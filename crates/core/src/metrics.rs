@@ -279,6 +279,28 @@ pub struct FrameworkMetrics {
     /// the framework (the limiter sits in front of the pipeline, so these
     /// are *not* in `solutions_rejected` or `rejected_by_reason`).
     pub rate_limited: Counter,
+    /// Connections currently open across all reactor shards.
+    pub open_connections: Gauge,
+    /// Connections admitted past the accept gate, cumulative.
+    pub accepted_total: Counter,
+    /// Connections closed by the idle-deadline reaper.
+    pub reaped_idle: Counter,
+    /// Connections refused at accept because their source IP was at its
+    /// concurrent-connection cap.
+    pub per_ip_cap_rejections: Counter,
+    /// Connections refused at accept because the global
+    /// `max_connections` cap was full.
+    pub max_conn_rejections: Counter,
+    /// Connections closed because their bounded outbound queue
+    /// overflowed (the peer stopped reading its replies).
+    pub outbound_overflow_closes: Counter,
+    /// Reactor poll wakeups (returns from the readiness wait).
+    pub reactor_wakeups: Counter,
+    /// Readiness events delivered across all wakeups. The ratio to
+    /// [`reactor_wakeups`](Self::reactor_wakeups) says how much work each
+    /// wakeup amortizes — near 1 under light load, rising under load as
+    /// one `epoll_wait` return carries many ready connections.
+    pub reactor_ready_events: Counter,
     /// Rejections keyed by the verifier's reason label (lock-free).
     rejected_by_reason: RejectionCounts,
     /// Distribution of issued difficulties in bits (lock-free).
@@ -298,6 +320,7 @@ struct RateWindow {
     last_replayed: AtomicU64,
     last_rate_limited: AtomicU64,
     last_rejected: AtomicU64,
+    last_accepted: AtomicU64,
 }
 
 impl FrameworkMetrics {
@@ -351,6 +374,7 @@ impl FrameworkMetrics {
         let replayed = self.rejected_by_reason.count_for("replayed");
         let rate_limited = self.rate_limited.get();
         let rejected = self.solutions_rejected.get();
+        let accepted = self.accepted_total.get();
         // relaxed: the window cells are monitoring state; swaps make each
         // delta consumed by exactly one reader, and skew between cells
         // only perturbs one reported rate sample.
@@ -367,12 +391,17 @@ impl FrameworkMetrics {
             .rate_window
             .last_rejected
             .swap(rejected, Ordering::Relaxed); // relaxed: as above
+        let prev_accepted = self
+            .rate_window
+            .last_accepted
+            .swap(accepted, Ordering::Relaxed); // relaxed: as above
         if prev_ms > 0 && now_ms > prev_ms {
             let dt_s = (now_ms - prev_ms) as f64 / 1_000.0;
             snap.replay_rejects_per_s = replayed.saturating_sub(prev_replayed) as f64 / dt_s;
             snap.rate_limited_per_s = rate_limited.saturating_sub(prev_rate_limited) as f64 / dt_s;
             snap.rejections_per_s =
                 rejected.saturating_sub(prev_rejected) as f64 / dt_s + snap.rate_limited_per_s;
+            snap.accepts_per_s = accepted.saturating_sub(prev_accepted) as f64 / dt_s;
         }
         snap
     }
@@ -400,9 +429,26 @@ impl FrameworkMetrics {
             accept_errors: self.accept_errors.get(),
             accept_backoff_ms: self.accept_backoff_ms.get().max(0) as u64,
             rate_limited: self.rate_limited.get(),
+            open_connections: self.open_connections.get().max(0) as u64,
+            accepted_total: self.accepted_total.get(),
+            reaped_idle: self.reaped_idle.get(),
+            per_ip_cap_rejections: self.per_ip_cap_rejections.get(),
+            max_conn_rejections: self.max_conn_rejections.get(),
+            outbound_overflow_closes: self.outbound_overflow_closes.get(),
+            reactor_wakeups: self.reactor_wakeups.get(),
+            reactor_ready_events: self.reactor_ready_events.get(),
+            ready_events_per_wakeup: {
+                let wakeups = self.reactor_wakeups.get();
+                if wakeups == 0 {
+                    0.0
+                } else {
+                    self.reactor_ready_events.get() as f64 / wakeups as f64
+                }
+            },
             replay_rejects_per_s: 0.0,
             rate_limited_per_s: 0.0,
             rejections_per_s: 0.0,
+            accepts_per_s: 0.0,
             stage_timings: self.stage_timers.snapshot(),
         }
     }
@@ -445,6 +491,25 @@ pub struct MetricsSnapshot {
     pub accept_backoff_ms: u64,
     /// Requests refused by the per-client rate limiter (total).
     pub rate_limited: u64,
+    /// Connections currently open across all reactor shards.
+    pub open_connections: u64,
+    /// Connections admitted past the accept gate, cumulative.
+    pub accepted_total: u64,
+    /// Connections closed by the idle-deadline reaper.
+    pub reaped_idle: u64,
+    /// Accept-time refusals by the per-IP concurrent-connection cap.
+    pub per_ip_cap_rejections: u64,
+    /// Accept-time refusals by the global connection cap.
+    pub max_conn_rejections: u64,
+    /// Connections closed for outbound-queue overflow (slow readers).
+    pub outbound_overflow_closes: u64,
+    /// Reactor poll wakeups.
+    pub reactor_wakeups: u64,
+    /// Readiness events delivered across all wakeups.
+    pub reactor_ready_events: u64,
+    /// Lifetime average of ready events delivered per wakeup (0.0 before
+    /// the first wakeup) — the reactor's batching leverage.
+    pub ready_events_per_wakeup: f64,
     /// Replay rejections per second over the last snapshot window (0.0
     /// outside [`FrameworkMetrics::snapshot_at`]).
     pub replay_rejects_per_s: f64,
@@ -453,6 +518,8 @@ pub struct MetricsSnapshot {
     /// All rejections per second (verifier rejections + rate-limiter
     /// refusals) over the last snapshot window.
     pub rejections_per_s: f64,
+    /// Connections admitted per second over the last snapshot window.
+    pub accepts_per_s: f64,
     /// Per-stage pipeline latency, in chain order, for stages that have
     /// run (wall-clock totals — two runs of the same workload report
     /// different nanosecond counts, so equality comparisons of whole

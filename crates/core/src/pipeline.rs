@@ -415,9 +415,9 @@ impl AdmissionStage<RequestCtx<'_>> for IssueStage {
                     .difficulty
                     .expect("stage-order invariant: the policy stage ran first");
                 let backend = fw.router.route(ctx.score, &route_ctx);
-                let challenge = fw
-                    .issuer
-                    .issue_backend_at(ctx.client_ip, difficulty, backend, now_ms);
+                let challenge =
+                    fw.issuer
+                        .issue_backend_at(ctx.client_ip, difficulty, backend, now_ms);
                 ctx.decision = Some(AdmissionDecision::Challenge(IssuedChallenge {
                     challenge,
                     score: ctx.score,

@@ -29,6 +29,15 @@ pub enum ClientError {
         /// The server's explanation (usually names its version).
         detail: String,
     },
+    /// The server refused the connection at its capacity gate (global
+    /// or per-IP cap). Distinct from a connection-refused
+    /// [`ClientError::Io`] — the server is up and chose to shed this
+    /// connection, so backing off and retrying is sensible where a
+    /// refused connect usually is not.
+    ServerBusy {
+        /// The server's explanation.
+        detail: String,
+    },
     /// The local solver gave up (budget or nonce space exhausted).
     Solve(SolveError),
     /// The server sent a message that does not fit the protocol state.
@@ -52,6 +61,9 @@ impl fmt::Display for ClientError {
                     "incompatible protocol version (client speaks {}): {detail}",
                     aipow_wire::PROTOCOL_VERSION
                 )
+            }
+            ClientError::ServerBusy { detail } => {
+                write!(f, "server at connection capacity: {detail}")
             }
             ClientError::Solve(e) => write!(f, "solver failed: {e}"),
             ClientError::UnexpectedMessage { got } => {
@@ -93,12 +105,13 @@ impl From<ReadMessageError> for ClientError {
 }
 
 /// Maps a server `Rejected` frame to the client error, peeling the
-/// protocol-mismatch code out into its dedicated variant.
+/// protocol-mismatch and server-busy codes out into their dedicated
+/// variants.
 fn rejected(code: RejectCode, detail: String) -> ClientError {
-    if code == RejectCode::ProtocolMismatch {
-        ClientError::ProtocolMismatch { detail }
-    } else {
-        ClientError::Rejected { code, detail }
+    match code {
+        RejectCode::ProtocolMismatch => ClientError::ProtocolMismatch { detail },
+        RejectCode::ServerBusy => ClientError::ServerBusy { detail },
+        _ => ClientError::Rejected { code, detail },
     }
 }
 

@@ -3,9 +3,10 @@
 //! issuer/generator and the verifier components, and the client is the
 //! solver”).
 //!
-//! - [`PowServer`] — a threaded TCP resource server that fronts every
-//!   resource with the admission pipeline of
-//!   [`aipow_core::Framework`];
+//! - [`PowServer`] — an event-driven TCP resource server (a small set of
+//!   [`reactor`] shards, each a readiness loop serving thousands of
+//!   connections) that fronts every resource with the admission pipeline
+//!   of [`aipow_core::Framework`];
 //! - [`PowClient`] — a blocking client that requests a resource, solves
 //!   the returned puzzle, submits the solution, and receives the resource.
 //!
@@ -45,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod reactor;
 pub mod server;
 
 pub use client::{ClientError, FetchReport, PowClient, TelemetrySnapshot};

@@ -1,0 +1,235 @@
+//! Frame-batch dispatch: the protocol brain, detached from any socket.
+//!
+//! [`dispatch_frames`] turns a batch of decoded frames from one peer
+//! into replies — one per frame, in frame order — admitting consecutive
+//! same-kind runs through the framework's batch paths
+//! (`handle_request_batch` / `handle_solution_batch`). It is pure with
+//! respect to I/O: the threaded server called it between socket reads
+//! and writes, the reactor calls it from the event loop, and the netsim
+//! connection-flood scenario calls it on virtual connections with no
+//! sockets at all. Keeping one implementation is what makes the
+//! batch-equivalence guarantees transfer verbatim to the event-driven
+//! path.
+
+use aipow_core::{FeatureSource, Framework, RateLimiter};
+use aipow_pow::{Solution, SystemClock, TimeSource};
+use aipow_wire::{Message, RejectCode};
+use std::collections::HashMap;
+
+/// One admissible request frame, held with its slot in the reply order
+/// while a same-kind run accumulates.
+struct PendingRequest {
+    reply_slot: usize,
+    path: String,
+}
+
+/// One solution frame, likewise.
+struct PendingSolution {
+    reply_slot: usize,
+    solution: Solution,
+    path: String,
+}
+
+/// Turns a frame batch into replies, one per frame, in order.
+///
+/// Consecutive `RequestResource` frames that pass the rate limiter and
+/// path check are admitted through one `handle_request_batch` call;
+/// consecutive `SubmitSolution` frames through one
+/// `handle_solution_batch` call. Runs are flushed whenever the frame
+/// kind changes, so the decision order any sequential interleaving would
+/// produce is preserved exactly.
+pub fn dispatch_frames(
+    frames: Vec<Message>,
+    peer_ip: std::net::IpAddr,
+    framework: &Framework,
+    features: &dyn FeatureSource,
+    resources: &HashMap<String, Vec<u8>>,
+    limiter: &Option<RateLimiter>,
+) -> Vec<Message> {
+    let mut replies: Vec<Option<Message>> = (0..frames.len()).map(|_| None).collect();
+    let mut pending_requests: Vec<PendingRequest> = Vec::new();
+    let mut pending_solutions: Vec<PendingSolution> = Vec::new();
+
+    let flush_requests = |pending: &mut Vec<PendingRequest>, replies: &mut Vec<Option<Message>>| {
+        if pending.is_empty() {
+            return;
+        }
+        // One feature lookup per run: every frame in it is from this
+        // connection's peer, and the batch path samples features once
+        // per group by design (the batching invariant).
+        let fv = features.features_for(peer_ip);
+        let requests: Vec<_> = pending.iter().map(|_| (peer_ip, &fv)).collect();
+        let decisions = framework.handle_request_batch(&requests);
+        for (req, decision) in pending.drain(..).zip(decisions) {
+            let reply = match decision {
+                aipow_core::AdmissionDecision::Admit { .. } => Message::ResourceGranted {
+                    body: resources[&req.path].clone(),
+                    path: req.path,
+                },
+                aipow_core::AdmissionDecision::Challenge(issued) => Message::ChallengeIssued {
+                    challenge: issued.challenge,
+                    path: req.path,
+                },
+            };
+            replies[req.reply_slot] = Some(reply);
+        }
+    };
+    let flush_solutions = |pending: &mut Vec<PendingSolution>,
+                           replies: &mut Vec<Option<Message>>| {
+        if pending.is_empty() {
+            return;
+        }
+        let submissions: Vec<(&Solution, std::net::IpAddr)> =
+            pending.iter().map(|p| (&p.solution, peer_ip)).collect();
+        let outcomes = framework.handle_solution_batch(&submissions);
+        for (sub, outcome) in pending.drain(..).zip(outcomes) {
+            let reply = match outcome {
+                Ok(_token) => match resources.get(&sub.path) {
+                    Some(body) => Message::ResourceGranted {
+                        body: body.clone(),
+                        path: sub.path,
+                    },
+                    None => Message::Rejected {
+                        code: RejectCode::NotFound,
+                        detail: sub.path,
+                    },
+                },
+                Err(e) => Message::Rejected {
+                    code: RejectCode::InvalidSolution,
+                    detail: e.to_string(),
+                },
+            };
+            replies[sub.reply_slot] = Some(reply);
+        }
+    };
+
+    for (slot, msg) in frames.into_iter().enumerate() {
+        match msg {
+            Message::RequestResource { path } => {
+                flush_solutions(&mut pending_solutions, &mut replies);
+                // The limiter debits per frame, in frame order — a
+                // pipelined burst draws down the bucket exactly as a
+                // sequential one.
+                if let Some(limiter) = limiter {
+                    if !limiter.allow(peer_ip, SystemClock.now_ms()) {
+                        // The behavior tap still sees the arrival: a
+                        // flooder mostly dying at the limiter must not
+                        // look like a light client to the online loop.
+                        // Stamped with the framework's clock — the same
+                        // timeline every other tap event and the sketch
+                        // decay math live on. Earlier same-batch
+                        // requests flush first so the sink sees events
+                        // in frame order — a denied arrival must land on
+                        // the sketch those requests may have just
+                        // created, exactly as it would sequentially.
+                        flush_requests(&mut pending_requests, &mut replies);
+                        framework.metrics().rate_limited.inc();
+                        if let Some(sink) = framework.behavior_sink() {
+                            sink.on_rate_limited(peer_ip, framework.now_ms());
+                        }
+                        replies[slot] = Some(Message::Rejected {
+                            code: RejectCode::RateLimited,
+                            detail: "request rate exceeded".into(),
+                        });
+                        continue;
+                    }
+                }
+                if !resources.contains_key(&path) {
+                    replies[slot] = Some(Message::Rejected {
+                        code: RejectCode::NotFound,
+                        detail: path,
+                    });
+                    continue;
+                }
+                pending_requests.push(PendingRequest {
+                    reply_slot: slot,
+                    path,
+                });
+            }
+            Message::SubmitSolution {
+                challenge,
+                nonce,
+                width,
+                backend,
+                path,
+            } => {
+                flush_requests(&mut pending_requests, &mut replies);
+                pending_solutions.push(PendingSolution {
+                    reply_slot: slot,
+                    // The backend byte is carried through verbatim; the
+                    // verifier rejects ids that disagree with the
+                    // challenge or name no registered backend.
+                    solution: Solution {
+                        challenge,
+                        nonce,
+                        width,
+                        backend,
+                    },
+                    path,
+                });
+            }
+            Message::Ping { token } => {
+                flush_requests(&mut pending_requests, &mut replies);
+                flush_solutions(&mut pending_solutions, &mut replies);
+                replies[slot] = Some(Message::Pong { token });
+            }
+            Message::Hello { version } => {
+                // Flushing first keeps replies aligned with any
+                // sequential interleaving, though a well-behaved client
+                // sends the hello before anything else.
+                flush_requests(&mut pending_requests, &mut replies);
+                flush_solutions(&mut pending_solutions, &mut replies);
+                replies[slot] = Some(if version == aipow_wire::PROTOCOL_VERSION {
+                    Message::Hello {
+                        version: aipow_wire::PROTOCOL_VERSION,
+                    }
+                } else {
+                    Message::Rejected {
+                        code: RejectCode::ProtocolMismatch,
+                        detail: format!(
+                            "server speaks protocol version {}, peer sent {version}",
+                            aipow_wire::PROTOCOL_VERSION
+                        ),
+                    }
+                });
+            }
+            Message::TelemetryRequest => {
+                // Flush both pending runs first: a snapshot taken after a
+                // pipelined burst must reflect that burst's admissions,
+                // exactly as a sequential interleaving would.
+                flush_requests(&mut pending_requests, &mut replies);
+                flush_solutions(&mut pending_solutions, &mut replies);
+                let snap = framework.metrics_snapshot();
+                replies[slot] = Some(Message::TelemetryReply {
+                    json: aipow_core::export::snapshot_json(&snap),
+                    prometheus: aipow_core::export::snapshot_prometheus(&snap),
+                });
+            }
+            // Server-to-client message types arriving at the server.
+            Message::ChallengeIssued { .. }
+            | Message::ResourceGranted { .. }
+            | Message::Rejected { .. }
+            | Message::Pong { .. }
+            | Message::TelemetryReply { .. } => {
+                replies[slot] = Some(Message::Rejected {
+                    code: RejectCode::Malformed,
+                    detail: "unexpected message direction".into(),
+                });
+            }
+            // Future message types (enum is non_exhaustive).
+            _ => {
+                replies[slot] = Some(Message::Rejected {
+                    code: RejectCode::Malformed,
+                    detail: "unsupported message".into(),
+                });
+            }
+        }
+    }
+    flush_requests(&mut pending_requests, &mut replies);
+    flush_solutions(&mut pending_solutions, &mut replies);
+
+    replies
+        .into_iter()
+        .map(|reply| reply.expect("framing invariant: every parsed frame produced a reply"))
+        .collect()
+}

@@ -1,0 +1,186 @@
+//! Accept-time admission: global and per-IP concurrent-connection caps.
+//!
+//! The gate is consulted once per accepted socket, before any read. A
+//! rejected connection costs the server one accept, one best-effort
+//! `Rejected{ServerBusy}` write, and one close — no buffers, no table
+//! slot, no timer entry. That is the whole point: a connection flood
+//! from one source is priced out at the door while other peers' slots
+//! stay free.
+//!
+//! Per-IP counts live in a [`Mutex`]`<HashMap>` touched only at accept
+//! and close — never per frame — so the lock is far off the request hot
+//! path. The map's size is bounded by the number of *live* connections
+//! (entries are removed when their count hits zero), so it cannot be
+//! grown unboundedly by a connect/disconnect churn attack.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+/// The gate's verdict on one incoming connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitDecision {
+    /// Admitted; the caller owns a slot and must [`AcceptGate::release`]
+    /// it on close.
+    Admit,
+    /// The global `max_connections` cap is full.
+    MaxConnections,
+    /// This source IP is at its `per_ip_connection_cap`.
+    PerIpCap,
+}
+
+/// Connection-admission bookkeeping shared by acceptor and reactors.
+#[derive(Debug)]
+pub struct AcceptGate {
+    max_connections: usize,
+    /// 0 means unlimited.
+    per_ip_cap: usize,
+    open: Mutex<GateState>,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    total: usize,
+    per_ip: HashMap<IpAddr, u32>,
+}
+
+impl AcceptGate {
+    /// A gate admitting at most `max_connections` total and
+    /// `per_ip_cap` per source IP (`0` = no per-IP limit).
+    pub fn new(max_connections: usize, per_ip_cap: usize) -> Self {
+        AcceptGate {
+            max_connections,
+            per_ip_cap,
+            open: Mutex::new(GateState::default()),
+        }
+    }
+
+    /// Decides one incoming connection from `ip`. On
+    /// [`AdmitDecision::Admit`] the slot is charged immediately; the
+    /// caller must pair it with exactly one [`Self::release`].
+    pub fn try_admit(&self, ip: IpAddr) -> AdmitDecision {
+        let mut state = self.open.lock();
+        if state.total >= self.max_connections {
+            return AdmitDecision::MaxConnections;
+        }
+        if self.per_ip_cap > 0 {
+            let count = state.per_ip.entry(ip).or_insert(0);
+            if *count as usize >= self.per_ip_cap {
+                // The entry may have been freshly inserted at zero; only
+                // a zero count is garbage worth collecting.
+                if *count == 0 {
+                    state.per_ip.remove(&ip);
+                }
+                return AdmitDecision::PerIpCap;
+            }
+            *count += 1;
+        }
+        state.total += 1;
+        AdmitDecision::Admit
+    }
+
+    /// Returns an admitted connection's slot. Must be called exactly
+    /// once per successful [`Self::try_admit`], when the socket closes.
+    pub fn release(&self, ip: IpAddr) {
+        let mut state = self.open.lock();
+        state.total = state.total.saturating_sub(1);
+        if self.per_ip_cap > 0 {
+            if let Some(count) = state.per_ip.get_mut(&ip) {
+                *count = count.saturating_sub(1);
+                if *count == 0 {
+                    state.per_ip.remove(&ip);
+                }
+            }
+        }
+    }
+
+    /// Currently admitted connections.
+    pub fn open_connections(&self) -> usize {
+        self.open.lock().total
+    }
+
+    /// Number of distinct IPs with live connections (bounds the map).
+    pub fn tracked_ips(&self) -> usize {
+        self.open.lock().per_ip.len()
+    }
+
+    /// The configured global cap.
+    pub fn max_connections(&self) -> usize {
+        self.max_connections
+    }
+
+    /// The configured per-IP cap (`0` = unlimited).
+    pub fn per_ip_cap(&self) -> usize {
+        self.per_ip_cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(last: u8) -> IpAddr {
+        format!("10.0.0.{last}").parse().unwrap()
+    }
+
+    #[test]
+    fn global_cap_enforced() {
+        let gate = AcceptGate::new(2, 0);
+        assert_eq!(gate.try_admit(ip(1)), AdmitDecision::Admit);
+        assert_eq!(gate.try_admit(ip(2)), AdmitDecision::Admit);
+        assert_eq!(gate.try_admit(ip(3)), AdmitDecision::MaxConnections);
+        gate.release(ip(1));
+        assert_eq!(gate.try_admit(ip(3)), AdmitDecision::Admit);
+        assert_eq!(gate.open_connections(), 2);
+    }
+
+    #[test]
+    fn per_ip_cap_isolates_the_flooder() {
+        let gate = AcceptGate::new(100, 3);
+        let flooder = ip(66);
+        for _ in 0..3 {
+            assert_eq!(gate.try_admit(flooder), AdmitDecision::Admit);
+        }
+        assert_eq!(gate.try_admit(flooder), AdmitDecision::PerIpCap);
+        // A benign peer is unaffected by the flooder's saturation.
+        assert_eq!(gate.try_admit(ip(1)), AdmitDecision::Admit);
+        gate.release(flooder);
+        assert_eq!(gate.try_admit(flooder), AdmitDecision::Admit);
+    }
+
+    #[test]
+    fn per_ip_map_is_bounded_by_live_connections() {
+        let gate = AcceptGate::new(10_000, 4);
+        for i in 0..=255u8 {
+            assert_eq!(gate.try_admit(ip(i)), AdmitDecision::Admit);
+        }
+        assert_eq!(gate.tracked_ips(), 256);
+        for i in 0..=255u8 {
+            gate.release(ip(i));
+        }
+        // Churn leaves nothing behind: closed IPs are evicted.
+        assert_eq!(gate.tracked_ips(), 0);
+        assert_eq!(gate.open_connections(), 0);
+    }
+
+    #[test]
+    fn rejected_admit_charges_nothing() {
+        let gate = AcceptGate::new(100, 1);
+        assert_eq!(gate.try_admit(ip(9)), AdmitDecision::Admit);
+        assert_eq!(gate.try_admit(ip(9)), AdmitDecision::PerIpCap);
+        assert_eq!(gate.open_connections(), 1, "rejection must not count");
+        // A brand-new IP probing a full gate leaves no map entry.
+        let gate2 = AcceptGate::new(0, 1);
+        assert_eq!(gate2.try_admit(ip(8)), AdmitDecision::MaxConnections);
+        assert_eq!(gate2.tracked_ips(), 0);
+    }
+
+    #[test]
+    fn zero_per_ip_cap_means_unlimited() {
+        let gate = AcceptGate::new(1000, 0);
+        for _ in 0..500 {
+            assert_eq!(gate.try_admit(ip(1)), AdmitDecision::Admit);
+        }
+        assert_eq!(gate.tracked_ips(), 0, "no per-IP tracking when uncapped");
+    }
+}

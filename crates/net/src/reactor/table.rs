@@ -1,0 +1,191 @@
+//! Slab connection table with generation-tagged keys.
+//!
+//! The poller identifies connections by a `u64` key. Slot indices get
+//! reused the moment a connection closes, so a bare index would let a
+//! stale readiness event (queued by the kernel before the close) land on
+//! an unrelated new connection. Keys here carry a per-slot generation in
+//! the high half — `index | gen << 32` — and lookups check it, so events
+//! for a dead connection miss cleanly instead of misrouting.
+
+/// Bit offset of the generation tag inside a key.
+const GEN_SHIFT: u32 = 32;
+
+/// A slab of connections addressed by generation-tagged keys.
+#[derive(Debug)]
+pub struct ConnTable<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+#[derive(Debug)]
+struct Slot<T> {
+    gen: u32,
+    value: Option<T>,
+}
+
+impl<T> Default for ConnTable<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> ConnTable<T> {
+    /// An empty table.
+    pub fn new() -> Self {
+        ConnTable {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live connections.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table holds no connections.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a connection, returning its key.
+    pub fn insert(&mut self, value: T) -> u64 {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            slot.value = Some(value);
+            return key_of(index, slot.gen);
+        }
+        let index = self.slots.len() as u32;
+        self.slots.push(Slot {
+            gen: 0,
+            value: Some(value),
+        });
+        key_of(index, 0)
+    }
+
+    /// Looks up a live connection; a stale or foreign key misses.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut T> {
+        let (index, gen) = split(key);
+        let slot = self.slots.get_mut(index)?;
+        if slot.gen != gen {
+            return None;
+        }
+        slot.value.as_mut()
+    }
+
+    /// Removes a connection, returning it. The slot's generation bumps,
+    /// invalidating any event still in flight under the old key.
+    pub fn remove(&mut self, key: u64) -> Option<T> {
+        let (index, gen) = split(key);
+        let slot = self.slots.get_mut(index)?;
+        if slot.gen != gen {
+            return None;
+        }
+        let value = slot.value.take()?;
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(index as u32);
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Visits every live connection as `(key, &mut value)`.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (u64, &mut T)> {
+        self.slots.iter_mut().enumerate().filter_map(|(i, slot)| {
+            let gen = slot.gen;
+            slot.value.as_mut().map(move |v| (key_of(i as u32, gen), v))
+        })
+    }
+
+    /// Keys of every live connection (allocates; for shutdown sweeps).
+    pub fn keys(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.value.is_some())
+            .map(|(i, s)| key_of(i as u32, s.gen))
+            .collect()
+    }
+}
+
+fn key_of(index: u32, gen: u32) -> u64 {
+    index as u64 | (gen as u64) << GEN_SHIFT
+}
+
+fn split(key: u64) -> (usize, u32) {
+    ((key & u32::MAX as u64) as usize, (key >> GEN_SHIFT) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = ConnTable::new();
+        let a = t.insert("a");
+        let b = t.insert("b");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get_mut(a), Some(&mut "a"));
+        assert_eq!(t.get_mut(b), Some(&mut "b"));
+        assert_eq!(t.remove(a), Some("a"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get_mut(a), None);
+    }
+
+    #[test]
+    fn stale_key_misses_after_slot_reuse() {
+        let mut t = ConnTable::new();
+        let old = t.insert("old");
+        t.remove(old);
+        let new = t.insert("new");
+        // Same slot, different generation: the stale key must not reach
+        // the new occupant.
+        assert_ne!(old, new);
+        assert_eq!(t.get_mut(old), None);
+        assert_eq!(t.remove(old), None);
+        assert_eq!(t.get_mut(new), Some(&mut "new"));
+    }
+
+    #[test]
+    fn double_remove_is_none() {
+        let mut t = ConnTable::new();
+        let k = t.insert(1);
+        assert_eq!(t.remove(k), Some(1));
+        assert_eq!(t.remove(k), None);
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn iter_and_keys_see_only_live() {
+        let mut t = ConnTable::new();
+        let a = t.insert(10);
+        let b = t.insert(20);
+        let c = t.insert(30);
+        t.remove(b);
+        let mut seen: Vec<(u64, i32)> = t.iter_mut().map(|(k, v)| (k, *v)).collect();
+        seen.sort();
+        assert_eq!(seen, vec![(a, 10), (c, 30)]);
+        let mut keys = t.keys();
+        keys.sort();
+        let mut expect = vec![a, c];
+        expect.sort();
+        assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn freed_slots_are_reused() {
+        let mut t = ConnTable::new();
+        let keys: Vec<u64> = (0..100).map(|i| t.insert(i)).collect();
+        for k in &keys {
+            t.remove(*k);
+        }
+        for i in 0..100 {
+            t.insert(i);
+        }
+        // All hundred inserts landed in recycled slots.
+        assert_eq!(t.slots.len(), 100);
+    }
+}

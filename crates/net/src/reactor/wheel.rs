@@ -1,0 +1,180 @@
+//! Lazy deadline wheel for idle-connection reaping.
+//!
+//! Each connection is filed under the wheel slot of its idle deadline.
+//! Activity does **not** move the entry — with 100k connections each
+//! touching the wheel per request, eager reschedule would dominate. The
+//! entry is instead revalidated when its slot expires: the reaper asks
+//! the owner for the connection's *current* deadline, and if activity
+//! pushed it forward the entry is refiled, not reaped. An entry is thus
+//! visited at most once per idle-timeout window, amortised O(1).
+
+/// A coarse-grained timer wheel keyed by `u64` connection keys.
+#[derive(Debug)]
+pub struct DeadlineWheel {
+    slots: Vec<Vec<u64>>,
+    /// Milliseconds per slot.
+    granularity_ms: u64,
+    /// Slot index holding deadlines at `floor(now / granularity)`.
+    cursor: usize,
+    /// The absolute slot number (ms / granularity) the cursor is at.
+    cursor_tick: u64,
+    entries: usize,
+}
+
+impl DeadlineWheel {
+    /// A wheel spanning `span_ms` with `slots` buckets. Deadlines past
+    /// the span fold into the furthest slot and simply revalidate once
+    /// more when it comes around.
+    pub fn new(span_ms: u64, slots: usize) -> Self {
+        let slots = slots.max(2);
+        DeadlineWheel {
+            granularity_ms: (span_ms / slots as u64).max(1),
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            cursor_tick: 0,
+            entries: 0,
+        }
+    }
+
+    /// Number of filed entries (live plus not-yet-revalidated stale).
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the wheel holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Files `key` under `deadline_ms`. Call once at accept and again
+    /// whenever [`Self::expire`]'s callback reports a pushed-forward
+    /// deadline; plain activity between expirations needs no call.
+    pub fn schedule(&mut self, key: u64, deadline_ms: u64) {
+        let tick = deadline_ms / self.granularity_ms;
+        // A deadline at or behind the cursor would never be visited by
+        // advancing; file it one slot ahead so it expires promptly.
+        let tick = tick.max(self.cursor_tick + 1);
+        let ahead = ((tick - self.cursor_tick) as usize).min(self.slots.len() - 1);
+        let slot = (self.cursor + ahead) % self.slots.len();
+        self.slots[slot].push(key);
+        self.entries += 1;
+    }
+
+    /// Advances the wheel to `now_ms`, expiring every slot passed.
+    ///
+    /// For each filed key, `revalidate(key)` returns the connection's
+    /// current deadline: `None` drops the entry (connection is gone or
+    /// should be reaped — the owner decides which as a side effect), and
+    /// `Some(later)` refiles it for `later`.
+    pub fn expire<F: FnMut(u64) -> Option<u64>>(&mut self, now_ms: u64, mut revalidate: F) {
+        let target_tick = now_ms / self.granularity_ms;
+        while self.cursor_tick < target_tick {
+            self.cursor_tick += 1;
+            self.cursor = (self.cursor + 1) % self.slots.len();
+            if self.slots[self.cursor].is_empty() {
+                continue;
+            }
+            let due = std::mem::take(&mut self.slots[self.cursor]);
+            self.entries -= due.len();
+            for key in due {
+                if let Some(later) = revalidate(key) {
+                    self.schedule(key, later);
+                }
+            }
+        }
+    }
+
+    /// The wheel's slot width in milliseconds (reap timing granularity).
+    pub fn granularity_ms(&self) -> u64 {
+        self.granularity_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn expires_at_deadline_not_before() {
+        let mut w = DeadlineWheel::new(1000, 10); // 100ms slots
+        w.schedule(1, 500);
+        let mut reaped = Vec::new();
+        w.expire(400, |k| {
+            reaped.push(k);
+            None
+        });
+        assert!(reaped.is_empty(), "deadline not reached");
+        w.expire(700, |k| {
+            reaped.push(k);
+            None
+        });
+        assert_eq!(reaped, vec![1]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn activity_refiles_instead_of_reaping() {
+        let mut w = DeadlineWheel::new(1000, 10);
+        w.schedule(7, 300);
+        // The connection was active at t=250; its real deadline moved to
+        // 250 + idle_timeout. Revalidation reports that, no reap.
+        let mut deadlines: HashMap<u64, u64> = [(7u64, 1250u64)].into();
+        let mut reaped = Vec::new();
+        w.expire(400, |k| deadlines.get(&k).copied());
+        assert!(reaped.is_empty());
+        assert_eq!(w.len(), 1, "refiled, not dropped");
+        // Now let the pushed deadline lapse.
+        deadlines.clear();
+        w.expire(1400, |k| {
+            reaped.push(k);
+            deadlines.get(&k).copied()
+        });
+        assert_eq!(reaped, vec![7]);
+    }
+
+    #[test]
+    fn past_deadline_expires_on_next_advance() {
+        let mut w = DeadlineWheel::new(1000, 10);
+        w.expire(5000, |_| None); // move cursor well forward
+        w.schedule(3, 100); // already in the past
+        let mut reaped = Vec::new();
+        w.expire(5200, |k| {
+            reaped.push(k);
+            None
+        });
+        assert_eq!(reaped, vec![3]);
+    }
+
+    #[test]
+    fn far_future_deadline_folds_and_survives_revalidation() {
+        let mut w = DeadlineWheel::new(1000, 4);
+        w.schedule(9, 60_000); // far beyond the wheel span
+        let mut reaped = Vec::new();
+        // Sweeping the whole span revisits the folded entry, whose true
+        // deadline is still ahead — it must refile, not reap.
+        w.expire(2000, |k| if k == 9 { Some(60_000) } else { None });
+        w.expire(4000, |k| if k == 9 { Some(60_000) } else { None });
+        assert_eq!(w.len(), 1);
+        w.expire(61_000, |k| {
+            reaped.push(k);
+            None
+        });
+        assert_eq!(reaped, vec![9]);
+    }
+
+    #[test]
+    fn many_entries_single_sweep() {
+        let mut w = DeadlineWheel::new(30_000, 64);
+        for k in 0..10_000u64 {
+            w.schedule(k, 10_000 + (k % 100));
+        }
+        let mut reaped = 0usize;
+        w.expire(31_000, |_| {
+            reaped += 1;
+            None
+        });
+        assert_eq!(reaped, 10_000);
+        assert!(w.is_empty());
+    }
+}

@@ -1,28 +1,55 @@
 //! The challenge-issuing TCP resource server.
+//!
+//! Built on the event-driven reactor in [`crate::reactor`]: a small,
+//! fixed set of shard threads each run one readiness loop serving every
+//! connection the shard owns. Concurrency is bounded by configuration
+//! ([`ServerConfig::max_connections`]), not by how many OS threads the
+//! host can schedule, and an idle connection costs a table slot and an
+//! empty buffer pair rather than a parked thread.
 
+use crate::reactor::{spawn_reactor, AcceptGate, ReactorHandle, ReactorShared};
 use aipow_core::{FeatureSource, Framework, OnlineSettings, RateLimiter};
 use aipow_online::OnlineLoop;
-use aipow_pow::{Solution, SystemClock, TimeSource};
-use aipow_wire::{read_message, write_message, Message, ReadMessageError, RejectCode};
-use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads handling connections. Defaults to the machine's
-    /// available parallelism — with the per-client state sharded, workers
-    /// scale instead of serializing on global locks.
-    pub workers: usize,
-    /// Per-connection read timeout.
-    pub read_timeout: Duration,
+    /// Ceiling on concurrently open connections across all reactor
+    /// shards. Connection number `max_connections + 1` is refused at
+    /// accept with a typed `Rejected{ServerBusy}` frame — it never costs
+    /// a read buffer, a table slot, or a timer entry.
+    pub max_connections: usize,
+    /// Ceiling on concurrent connections from one source IP; `0`
+    /// disables the per-IP cap. A single-source connection flood
+    /// saturates its own cap and nothing else — other peers' slots and
+    /// latency are unaffected.
+    pub per_ip_connection_cap: usize,
+    /// Connections with no inbound traffic for this long are reaped.
+    /// `Duration::ZERO` disables idle reaping. Replaces the old
+    /// per-connection blocking `read_timeout`: the reactor never blocks
+    /// in a read, so idleness is a deadline-wheel sweep, not a stuck
+    /// thread.
+    pub idle_timeout: Duration,
+    /// Reactor shard (thread) count; `None` picks the machine's
+    /// available parallelism, capped at 8. Shard 0 owns the listener and
+    /// deals admitted connections round-robin, so request work spreads
+    /// across shards while accept stays single-owner (no thundering
+    /// herd on the listener).
+    pub reactor_shards: Option<usize>,
+    /// Bound in bytes on one connection's queued-but-unsent replies.
+    /// A peer that stops reading while requesting more work overflows
+    /// this and is closed — the alternative is the server holding
+    /// unbounded reply memory for a slow reader, multiplied by 100k
+    /// connections. Must fit at least one maximum frame
+    /// (`MAX_PAYLOAD_LEN` + header) or large resource grants can never
+    /// be sent; values below that are raised to it at start.
+    pub outbound_queue_bytes: usize,
     /// Optional per-IP rate limit: `(burst, refills_per_sec)` on
     /// resource requests. Solutions are never rate-limited — the client
     /// already paid for them in hashes.
@@ -41,16 +68,14 @@ pub struct ServerConfig {
     /// inflict on the admission path, independent of
     /// `rate_limit_max_clients`.
     pub rate_limit_max_scan: usize,
-    /// Backlog of accepted-but-unhandled connections.
-    pub queue_depth: usize,
-    /// Maximum pipelined frames one connection wakeup drains and
-    /// dispatches through the framework's batch admission path
-    /// (`handle_request_batch` / `handle_solution_batch`). A client that
-    /// writes k requests back-to-back gets them admitted in one pipeline
-    /// pass — one clock reading, one policy read-lock, one audit
-    /// shard-lock acquisition per shard — instead of k. Replies are
-    /// written in frame order either way; 1 disables batching (every
-    /// frame dispatched alone). Clamped to a minimum of 1.
+    /// Maximum pipelined frames dispatched through the framework's batch
+    /// admission path (`handle_request_batch` / `handle_solution_batch`)
+    /// per group. A client that writes k requests back-to-back gets them
+    /// admitted in one pipeline pass — one clock reading, one policy
+    /// read-lock, one audit shard-lock acquisition per shard — instead
+    /// of k. Replies are written in frame order either way; 1 disables
+    /// batching (every frame dispatched alone). Clamped to a minimum
+    /// of 1.
     pub max_batch: usize,
     /// Lane width for the verifier's multi-buffer SHA-256 kernel, applied
     /// to the framework at server start (`Verifier::set_verify_lanes`).
@@ -84,15 +109,15 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
-            workers: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4),
-            read_timeout: Duration::from_secs(30),
+            max_connections: 65_536,
+            per_ip_connection_cap: 4_096,
+            idle_timeout: Duration::from_secs(30),
+            reactor_shards: None,
+            outbound_queue_bytes: 2 * 1024 * 1024,
             rate_limit: None,
             rate_limit_max_clients: 65_536,
             rate_limit_shards: None,
             rate_limit_max_scan: aipow_core::sharded::DEFAULT_MAX_SCAN,
-            queue_depth: 256,
             max_batch: aipow_core::framework::DEFAULT_MAX_BATCH,
             lanes: None,
             online: None,
@@ -100,33 +125,43 @@ impl Default for ServerConfig {
     }
 }
 
+/// Floor for [`ServerConfig::outbound_queue_bytes`]: one maximum wire
+/// frame (header + payload). Anything smaller could never carry a
+/// full-size resource grant.
+const OUTBOUND_QUEUE_FLOOR: usize = aipow_wire::MAX_PAYLOAD_LEN + 8;
+
 /// A running server. Dropping it triggers the same orderly shutdown as
-/// [`shutdown`](PowServer::shutdown): stop accepting, interrupt in-flight
-/// reads, join every thread.
-#[derive(Debug)]
+/// [`shutdown`](PowServer::shutdown): stop accepting, wake every reactor
+/// shard, close all connections, join every thread.
 pub struct PowServer {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
-    /// Clones of live connection streams so shutdown can interrupt workers
-    /// blocked in reads.
-    connections: Arc<Mutex<Vec<TcpStream>>>,
+    reactor: Option<ReactorHandle>,
+    gate: Arc<AcceptGate>,
     /// The online reputation loop, when configured; its decay worker is
     /// stopped on shutdown.
     online: Option<Arc<OnlineLoop>>,
 }
 
+impl std::fmt::Debug for PowServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PowServer")
+            .field("local_addr", &self.local_addr)
+            .field("open_connections", &self.gate.open_connections())
+            .finish_non_exhaustive()
+    }
+}
+
 impl PowServer {
-    /// Binds `addr` and starts the acceptor and worker threads.
+    /// Binds `addr` and starts the reactor shards.
     ///
     /// `resources` maps paths to response bodies; every path is fronted by
     /// the framework's challenge flow.
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from binding the listener, or an
-    /// [`io::ErrorKind::InvalidInput`] error when
+    /// Returns any I/O error from binding the listener or creating the
+    /// shard pollers, or an [`io::ErrorKind::InvalidInput`] error when
     /// [`ServerConfig::online`] fails [`OnlineSettings::validate`]
     /// (version-controlled settings must reject bad values, not panic
     /// the server).
@@ -138,7 +173,6 @@ impl PowServer {
         config: ServerConfig,
     ) -> io::Result<PowServer> {
         let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
 
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -180,105 +214,39 @@ impl PowServer {
                 config.rate_limit_max_scan,
             )
         }));
-        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(config.queue_depth);
-        let connections: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
 
-        let workers = (0..config.workers.max(1))
-            .map(|_| {
-                let rx = rx.clone();
-                let framework = Arc::clone(&framework);
-                let features = Arc::clone(&features);
-                let resources = Arc::clone(&resources);
-                let limiter = Arc::clone(&limiter);
-                let connections = Arc::clone(&connections);
-                let shutdown = Arc::clone(&shutdown);
-                let read_timeout = config.read_timeout;
-                let max_batch = config.max_batch.max(1);
-                std::thread::spawn(move || {
-                    while let Ok(stream) = rx.recv() {
-                        let _ = stream.set_read_timeout(Some(read_timeout));
-                        let _ = stream.set_nodelay(true);
-                        if let Ok(clone) = stream.try_clone() {
-                            let mut registry = connections.lock();
-                            // Prune streams whose connections have ended so
-                            // the registry does not grow unboundedly.
-                            registry.retain(|s| s.peer_addr().is_ok());
-                            registry.push(clone);
-                        }
-                        // A shutdown that drained the registry before this
-                        // stream was registered would otherwise leave the
-                        // coming read blocked for the full timeout; the
-                        // registry mutex above orders this load after the
-                        // shutdown flag store, so one of the two sides
-                        // always closes the stream.
-                        // Acquire: pairs with the Release in
-                        // shutdown_in_place()
-                        if shutdown.load(Ordering::Acquire) {
-                            let _ = stream.shutdown(Shutdown::Both);
-                        }
-                        handle_connection(
-                            stream, &framework, &*features, &resources, &limiter, max_batch,
-                        );
-                    }
-                })
+        let gate = Arc::new(AcceptGate::new(
+            config.max_connections.max(1),
+            config.per_ip_connection_cap,
+        ));
+        let shards = config
+            .reactor_shards
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    .min(8)
             })
-            .collect();
-
-        let acceptor = {
-            let shutdown = Arc::clone(&shutdown);
-            let framework = Arc::clone(&framework);
-            std::thread::spawn(move || {
-                // Errors other than WouldBlock back off exponentially
-                // (capped), so a persistent condition like EMFILE — which
-                // `accept` reports on *every* call until descriptors free
-                // up — parks the thread instead of spinning a retry loop
-                // at poll frequency. Any successful accept resets the
-                // backoff.
-                let mut backoff = ACCEPT_BACKOFF_FLOOR;
-                // Acquire: pairs with the Release in shutdown_in_place()
-                while !shutdown.load(Ordering::Acquire) {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            backoff = ACCEPT_BACKOFF_FLOOR;
-                            framework.metrics().accept_backoff_ms.set(0);
-                            // A full queue sheds load by dropping the
-                            // connection — the PoW layer is the defense,
-                            // not an unbounded buffer.
-                            let _ = tx.try_send(stream);
-                        }
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            // Idle poll: a short fixed nap keeps shutdown
-                            // latency low; no escalation (nothing is
-                            // wrong).
-                            backoff = ACCEPT_BACKOFF_FLOOR;
-                            framework.metrics().accept_backoff_ms.set(0);
-                            std::thread::sleep(Duration::from_millis(2));
-                        }
-                        Err(_) => {
-                            // Surface acceptor distress (EMFILE and kin)
-                            // in telemetry: the error count and the
-                            // current backoff plateau say whether the
-                            // listener is healthy, degraded, or parked.
-                            framework.metrics().accept_errors.inc();
-                            framework
-                                .metrics()
-                                .accept_backoff_ms
-                                .set(backoff.as_millis() as i64);
-                            std::thread::sleep(backoff);
-                            backoff = next_accept_backoff(backoff);
-                        }
-                    }
-                }
-                // Dropping `tx` lets workers drain and exit.
-            })
-        };
+            .max(1);
+        let shared = Arc::new(ReactorShared {
+            framework,
+            features,
+            resources,
+            limiter,
+            gate: Arc::clone(&gate),
+            shutdown: Arc::clone(&shutdown),
+            max_batch: config.max_batch.max(1),
+            idle_timeout: config.idle_timeout,
+            outbound_limit: config.outbound_queue_bytes.max(OUTBOUND_QUEUE_FLOOR),
+            epoch: std::time::Instant::now(),
+        });
+        let reactor = spawn_reactor(listener, shared, shards)?;
 
         Ok(PowServer {
             local_addr,
             shutdown,
-            acceptor: Some(acceptor),
-            workers,
-            connections,
+            reactor: Some(reactor),
+            gate,
             online,
         })
     }
@@ -288,13 +256,18 @@ impl PowServer {
         self.local_addr
     }
 
+    /// Connections currently open across all shards (diagnostics).
+    pub fn open_connections(&self) -> usize {
+        self.gate.open_connections()
+    }
+
     /// The online reputation loop, when the server was configured with
     /// one (for diagnostics: recorder population, manual sweeps).
     pub fn online(&self) -> Option<&Arc<OnlineLoop>> {
         self.online.as_ref()
     }
 
-    /// Stops accepting, interrupts in-flight connections, and joins all
+    /// Stops accepting, closes every connection, and joins all shard
     /// threads.
     pub fn shutdown(mut self) {
         self.shutdown_in_place();
@@ -303,21 +276,22 @@ impl PowServer {
     }
 
     /// The idempotent shutdown body shared by [`shutdown`](Self::shutdown)
-    /// and [`Drop`]: every step consumes the handle it joins, so a second
-    /// call finds nothing to do.
+    /// and [`Drop`]: the reactor handle is consumed on the first call, so
+    /// a second call finds nothing to do.
     fn shutdown_in_place(&mut self) {
-        // Release: publishes the shutdown request to acceptor and workers
+        // Release: publishes the shutdown request to every shard; their
+        // post-wait Acquire load pairs with it.
         self.shutdown.store(true, Ordering::Release);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        // Workers may be blocked reading from live connections; closing
-        // both directions makes those reads return immediately.
-        for stream in self.connections.lock().drain(..) {
-            let _ = stream.shutdown(Shutdown::Both);
-        }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        if let Some(reactor) = self.reactor.take() {
+            // Wake each shard out of its poll wait; each closes its
+            // connections (the listener drops with shard 0's locals,
+            // releasing the port) and exits.
+            for poller in &reactor.pollers {
+                let _ = poller.notify();
+            }
+            for thread in reactor.threads {
+                let _ = thread.join();
+            }
         }
         if let Some(online) = self.online.take() {
             online.stop();
@@ -328,398 +302,10 @@ impl PowServer {
 impl Drop for PowServer {
     fn drop(&mut self) {
         // Without this, dropping the server silently detached the
-        // acceptor and worker threads and leaked live connections for the
-        // rest of the process lifetime.
+        // reactor threads and leaked live connections for the rest of
+        // the process lifetime.
         self.shutdown_in_place();
     }
-}
-
-/// Initial nap after an `accept()` error.
-const ACCEPT_BACKOFF_FLOOR: Duration = Duration::from_millis(2);
-/// Ceiling on the accept-error backoff: long enough that a persistent
-/// EMFILE costs ~2 wakeups/second instead of 500, short enough that
-/// recovery (descriptors freed) is noticed promptly and shutdown is
-/// never blocked on a long sleep.
-const ACCEPT_BACKOFF_CAP: Duration = Duration::from_millis(500);
-
-/// Doubles the accept-error backoff, capped at [`ACCEPT_BACKOFF_CAP`].
-fn next_accept_backoff(current: Duration) -> Duration {
-    (current * 2).min(ACCEPT_BACKOFF_CAP)
-}
-
-/// What draining one connection wakeup produced: the pipelined frames
-/// read so far, and the event that ended the drain.
-enum DrainEnd {
-    /// No more buffered frames (or the batch ceiling was reached);
-    /// process the batch and keep serving.
-    MoreLater,
-    /// The peer closed or the stream failed; process the batch, then
-    /// hang up.
-    Hangup,
-    /// A frame failed to decode; process the batch, send the rejection,
-    /// then hang up (the stream offset is unrecoverable). The code
-    /// distinguishes a protocol-version mismatch
-    /// ([`RejectCode::ProtocolMismatch`]) from plain garbage
-    /// ([`RejectCode::Malformed`]) so old-version peers get a typed,
-    /// actionable error.
-    Malformed(RejectCode, String),
-}
-
-/// What a nonblocking peek found buffered on the stream.
-enum Buffered {
-    /// A complete frame (or an invalid header whose error `read_message`
-    /// will surface without blocking) is fully buffered.
-    CompleteFrame,
-    /// Nothing, or only part of a frame: a read now could block, so the
-    /// batch must be processed first.
-    Incomplete,
-    /// The peer closed.
-    Eof,
-    /// The stream failed.
-    Broken,
-}
-
-/// Ceiling on the bytes one completeness peek inspects (and therefore
-/// on the frame size eligible for batching). Client-to-server frames —
-/// requests, solutions, pings — are ~100 bytes encoded, far under this;
-/// a larger frame is simply not batched: the drain processes the
-/// current batch and the next wakeup's ordinary blocking read takes the
-/// big frame, exactly as the sequential path would have.
-const PEEK_CAP: usize = 4096;
-
-/// Checks — without blocking and without consuming — whether the next
-/// frame is *entirely* buffered: one bounded peek covering the header
-/// and (for frames up to [`PEEK_CAP`]) the declared payload. Only a
-/// complete frame may join the current batch; a partial one would turn
-/// the drain's next read into a blocking wait while fully-received
-/// frames sit unanswered (the sequential path replied to each frame
-/// before blocking again). The peek buffer is a small stack array — no
-/// allocation, and never a copy proportional to `MAX_PAYLOAD_LEN`.
-fn peek_complete_frame(stream: &mut TcpStream) -> Buffered {
-    if stream.set_nonblocking(true).is_err() {
-        return Buffered::Broken;
-    }
-    let mut buffered = [0u8; PEEK_CAP];
-    let result = match stream.peek(&mut buffered) {
-        Ok(0) => Buffered::Eof,
-        Ok(n) if n < 8 => Buffered::Incomplete,
-        Ok(n) => {
-            let declared = u32::from_be_bytes(
-                buffered[4..8]
-                    .try_into()
-                    .expect("slice-length invariant: [4..8] is 4 bytes"),
-            ) as usize;
-            if declared > aipow_wire::MAX_PAYLOAD_LEN {
-                // read_message rejects the header before reading the
-                // body, so surfacing the error cannot block.
-                Buffered::CompleteFrame
-            } else if declared + 8 <= n {
-                Buffered::CompleteFrame
-            } else {
-                // Partially buffered, or complete but bigger than the
-                // peek window — either way, not batched.
-                Buffered::Incomplete
-            }
-        }
-        Err(e) if e.kind() == io::ErrorKind::WouldBlock => Buffered::Incomplete,
-        Err(_) => Buffered::Broken,
-    };
-    if stream.set_nonblocking(false).is_err() {
-        return Buffered::Broken;
-    }
-    result
-}
-
-/// Reads every already-buffered frame (up to `max_batch`) without
-/// blocking beyond the first. The first read blocks as before — an idle
-/// connection parks here — and each subsequent frame is read only when
-/// a nonblocking peek confirms it is *completely* buffered, so a client
-/// that pipelines k frames gets all k into one batch while a partial
-/// trailing frame never delays replies to the complete ones before it.
-fn drain_frames(stream: &mut TcpStream, max_batch: usize) -> (Vec<Message>, DrainEnd) {
-    let mut frames = Vec::new();
-    let end = loop {
-        if frames.len() >= max_batch {
-            break DrainEnd::MoreLater;
-        }
-        if !frames.is_empty() {
-            match peek_complete_frame(stream) {
-                Buffered::CompleteFrame => {}
-                Buffered::Incomplete => break DrainEnd::MoreLater,
-                Buffered::Eof | Buffered::Broken => break DrainEnd::Hangup,
-            }
-        }
-        match read_message(&mut *stream) {
-            Ok(msg) => frames.push(msg),
-            Err(ReadMessageError::Closed) => break DrainEnd::Hangup,
-            Err(ReadMessageError::Decode(e)) => {
-                let code = match e {
-                    aipow_wire::DecodeError::UnsupportedVersion { .. } => {
-                        RejectCode::ProtocolMismatch
-                    }
-                    _ => RejectCode::Malformed,
-                };
-                break DrainEnd::Malformed(code, e.to_string());
-            }
-            Err(ReadMessageError::Io(_)) => break DrainEnd::Hangup,
-        }
-    };
-    (frames, end)
-}
-
-/// Serves one connection until the peer closes or errors. Each wakeup
-/// drains up to `max_batch` pipelined frames and dispatches consecutive
-/// runs of same-kind frames through the framework's batch admission
-/// path; replies are written in frame order.
-fn handle_connection(
-    mut stream: TcpStream,
-    framework: &Framework,
-    features: &dyn FeatureSource,
-    resources: &HashMap<String, Vec<u8>>,
-    limiter: &Option<RateLimiter>,
-    max_batch: usize,
-) {
-    let peer_ip = match stream.peer_addr() {
-        Ok(addr) => addr.ip(),
-        Err(_) => return,
-    };
-
-    loop {
-        let (frames, end) = drain_frames(&mut stream, max_batch);
-        if !frames.is_empty() {
-            let replies = process_frames(frames, peer_ip, framework, features, resources, limiter);
-            for reply in replies {
-                if write_message(&mut stream, &reply).is_err() {
-                    return;
-                }
-            }
-        }
-        match end {
-            DrainEnd::MoreLater => {}
-            DrainEnd::Hangup => return,
-            DrainEnd::Malformed(code, detail) => {
-                let _ = write_message(&mut stream, &Message::Rejected { code, detail });
-                return;
-            }
-        }
-    }
-}
-
-/// One admissible request frame, held with its slot in the reply order
-/// while a same-kind run accumulates.
-struct PendingRequest {
-    reply_slot: usize,
-    path: String,
-}
-
-/// One solution frame, likewise.
-struct PendingSolution {
-    reply_slot: usize,
-    solution: Solution,
-    path: String,
-}
-
-/// Turns a drained frame batch into replies, one per frame, in order.
-/// Consecutive `RequestResource` frames that pass the rate limiter and
-/// path check are admitted through one `handle_request_batch` call;
-/// consecutive `SubmitSolution` frames through one
-/// `handle_solution_batch` call. Runs are flushed whenever the frame
-/// kind changes, so the decision order any sequential interleaving would
-/// produce is preserved exactly.
-fn process_frames(
-    frames: Vec<Message>,
-    peer_ip: std::net::IpAddr,
-    framework: &Framework,
-    features: &dyn FeatureSource,
-    resources: &HashMap<String, Vec<u8>>,
-    limiter: &Option<RateLimiter>,
-) -> Vec<Message> {
-    let mut replies: Vec<Option<Message>> = (0..frames.len()).map(|_| None).collect();
-    let mut pending_requests: Vec<PendingRequest> = Vec::new();
-    let mut pending_solutions: Vec<PendingSolution> = Vec::new();
-
-    let flush_requests = |pending: &mut Vec<PendingRequest>, replies: &mut Vec<Option<Message>>| {
-        if pending.is_empty() {
-            return;
-        }
-        // One feature lookup per run: every frame in it is from this
-        // connection's peer, and the batch path samples features once
-        // per group by design (the batching invariant).
-        let fv = features.features_for(peer_ip);
-        let requests: Vec<_> = pending.iter().map(|_| (peer_ip, &fv)).collect();
-        let decisions = framework.handle_request_batch(&requests);
-        for (req, decision) in pending.drain(..).zip(decisions) {
-            let reply = match decision {
-                aipow_core::AdmissionDecision::Admit { .. } => Message::ResourceGranted {
-                    body: resources[&req.path].clone(),
-                    path: req.path,
-                },
-                aipow_core::AdmissionDecision::Challenge(issued) => Message::ChallengeIssued {
-                    challenge: issued.challenge,
-                    path: req.path,
-                },
-            };
-            replies[req.reply_slot] = Some(reply);
-        }
-    };
-    let flush_solutions = |pending: &mut Vec<PendingSolution>,
-                           replies: &mut Vec<Option<Message>>| {
-        if pending.is_empty() {
-            return;
-        }
-        let submissions: Vec<(&Solution, std::net::IpAddr)> =
-            pending.iter().map(|p| (&p.solution, peer_ip)).collect();
-        let outcomes = framework.handle_solution_batch(&submissions);
-        for (sub, outcome) in pending.drain(..).zip(outcomes) {
-            let reply = match outcome {
-                Ok(_token) => match resources.get(&sub.path) {
-                    Some(body) => Message::ResourceGranted {
-                        body: body.clone(),
-                        path: sub.path,
-                    },
-                    None => Message::Rejected {
-                        code: RejectCode::NotFound,
-                        detail: sub.path,
-                    },
-                },
-                Err(e) => Message::Rejected {
-                    code: RejectCode::InvalidSolution,
-                    detail: e.to_string(),
-                },
-            };
-            replies[sub.reply_slot] = Some(reply);
-        }
-    };
-
-    for (slot, msg) in frames.into_iter().enumerate() {
-        match msg {
-            Message::RequestResource { path } => {
-                flush_solutions(&mut pending_solutions, &mut replies);
-                // The limiter debits per frame, in frame order — a
-                // pipelined burst draws down the bucket exactly as a
-                // sequential one.
-                if let Some(limiter) = limiter {
-                    if !limiter.allow(peer_ip, SystemClock.now_ms()) {
-                        // The behavior tap still sees the arrival: a
-                        // flooder mostly dying at the limiter must not
-                        // look like a light client to the online loop.
-                        // Stamped with the framework's clock — the same
-                        // timeline every other tap event and the sketch
-                        // decay math live on. Earlier same-batch
-                        // requests flush first so the sink sees events
-                        // in frame order — a denied arrival must land on
-                        // the sketch those requests may have just
-                        // created, exactly as it would sequentially.
-                        flush_requests(&mut pending_requests, &mut replies);
-                        framework.metrics().rate_limited.inc();
-                        if let Some(sink) = framework.behavior_sink() {
-                            sink.on_rate_limited(peer_ip, framework.now_ms());
-                        }
-                        replies[slot] = Some(Message::Rejected {
-                            code: RejectCode::RateLimited,
-                            detail: "request rate exceeded".into(),
-                        });
-                        continue;
-                    }
-                }
-                if !resources.contains_key(&path) {
-                    replies[slot] = Some(Message::Rejected {
-                        code: RejectCode::NotFound,
-                        detail: path,
-                    });
-                    continue;
-                }
-                pending_requests.push(PendingRequest {
-                    reply_slot: slot,
-                    path,
-                });
-            }
-            Message::SubmitSolution {
-                challenge,
-                nonce,
-                width,
-                backend,
-                path,
-            } => {
-                flush_requests(&mut pending_requests, &mut replies);
-                pending_solutions.push(PendingSolution {
-                    reply_slot: slot,
-                    // The backend byte is carried through verbatim; the
-                    // verifier rejects ids that disagree with the
-                    // challenge or name no registered backend.
-                    solution: Solution {
-                        challenge,
-                        nonce,
-                        width,
-                        backend,
-                    },
-                    path,
-                });
-            }
-            Message::Ping { token } => {
-                flush_requests(&mut pending_requests, &mut replies);
-                flush_solutions(&mut pending_solutions, &mut replies);
-                replies[slot] = Some(Message::Pong { token });
-            }
-            Message::Hello { version } => {
-                // Flushing first keeps replies aligned with any
-                // sequential interleaving, though a well-behaved client
-                // sends the hello before anything else.
-                flush_requests(&mut pending_requests, &mut replies);
-                flush_solutions(&mut pending_solutions, &mut replies);
-                replies[slot] = Some(if version == aipow_wire::PROTOCOL_VERSION {
-                    Message::Hello {
-                        version: aipow_wire::PROTOCOL_VERSION,
-                    }
-                } else {
-                    Message::Rejected {
-                        code: RejectCode::ProtocolMismatch,
-                        detail: format!(
-                            "server speaks protocol version {}, peer sent {version}",
-                            aipow_wire::PROTOCOL_VERSION
-                        ),
-                    }
-                });
-            }
-            Message::TelemetryRequest => {
-                // Flush both pending runs first: a snapshot taken after a
-                // pipelined burst must reflect that burst's admissions,
-                // exactly as a sequential interleaving would.
-                flush_requests(&mut pending_requests, &mut replies);
-                flush_solutions(&mut pending_solutions, &mut replies);
-                let snap = framework.metrics_snapshot();
-                replies[slot] = Some(Message::TelemetryReply {
-                    json: aipow_core::export::snapshot_json(&snap),
-                    prometheus: aipow_core::export::snapshot_prometheus(&snap),
-                });
-            }
-            // Server-to-client message types arriving at the server.
-            Message::ChallengeIssued { .. }
-            | Message::ResourceGranted { .. }
-            | Message::Rejected { .. }
-            | Message::Pong { .. }
-            | Message::TelemetryReply { .. } => {
-                replies[slot] = Some(Message::Rejected {
-                    code: RejectCode::Malformed,
-                    detail: "unexpected message direction".into(),
-                });
-            }
-            // Future message types (enum is non_exhaustive).
-            _ => {
-                replies[slot] = Some(Message::Rejected {
-                    code: RejectCode::Malformed,
-                    detail: "unsupported message".into(),
-                });
-            }
-        }
-    }
-    flush_requests(&mut pending_requests, &mut replies);
-    flush_solutions(&mut pending_solutions, &mut replies);
-
-    replies
-        .into_iter()
-        .map(|reply| reply.expect("framing invariant: every parsed frame produced a reply"))
-        .collect()
 }
 
 #[cfg(test)]
@@ -729,6 +315,8 @@ mod tests {
     use aipow_policy::LinearPolicy;
     use aipow_reputation::model::FixedScoreModel;
     use aipow_reputation::{FeatureVector, ReputationScore};
+    use aipow_wire::{read_message, write_message, Message, RejectCode};
+    use std::net::TcpStream;
 
     fn test_server(score: f64, config: ServerConfig) -> PowServer {
         let framework = Arc::new(
@@ -889,9 +477,6 @@ mod tests {
             Arc::new(StaticFeatureSource::new(FeatureVector::zeros())),
             resources,
             ServerConfig {
-                // Two live connections below (honest client + spammer);
-                // on a single-core host the default worker count is 1.
-                workers: 4,
                 online: Some(OnlineSettings {
                     prior_strength: 4.0,
                     ..Default::default()
@@ -939,22 +524,6 @@ mod tests {
         let online = server.online().expect("online loop configured");
         assert_eq!(online.recorder().len(), 1);
         server.shutdown();
-    }
-
-    #[test]
-    fn accept_backoff_doubles_and_caps() {
-        let mut backoff = ACCEPT_BACKOFF_FLOOR;
-        let mut total = Duration::ZERO;
-        for _ in 0..20 {
-            total += backoff;
-            backoff = next_accept_backoff(backoff);
-        }
-        assert_eq!(backoff, ACCEPT_BACKOFF_CAP);
-        // 20 consecutive failures cost ~10 naps totalling seconds, not a
-        // 500 Hz spin: the first few double (2,4,8,...) then park at the
-        // cap.
-        assert!(total >= Duration::from_secs(5));
-        assert!(next_accept_backoff(ACCEPT_BACKOFF_CAP) == ACCEPT_BACKOFF_CAP);
     }
 
     #[test]
@@ -1145,15 +714,9 @@ mod tests {
         use std::io::Write;
         use std::time::Instant;
         // A complete ping plus the first bytes of a second frame: the
-        // drain must answer the ping immediately instead of blocking in
-        // a read for the partial successor until the read timeout.
-        let server = test_server(
-            0.0,
-            ServerConfig {
-                read_timeout: Duration::from_secs(20),
-                ..Default::default()
-            },
-        );
+        // reactor must answer the ping immediately — a partial successor
+        // frame just stays in the assembler until its bytes arrive.
+        let server = test_server(0.0, ServerConfig::default());
         let mut stream = TcpStream::connect(server.local_addr()).unwrap();
         let mut burst = aipow_wire::encode(&Message::Ping { token: 11 });
         let second = aipow_wire::encode(&Message::Ping { token: 12 });
@@ -1216,6 +779,201 @@ mod tests {
             }
         }
         assert_eq!(rejected, 2, "burst of 2 then rejections");
+        server.shutdown();
+    }
+
+    #[test]
+    fn per_ip_cap_rejects_with_typed_server_busy() {
+        let server = test_server(
+            0.0,
+            ServerConfig {
+                per_ip_connection_cap: 2,
+                ..Default::default()
+            },
+        );
+        let addr = server.local_addr();
+        // Two connections fill this IP's budget; both still serve.
+        let mut a = TcpStream::connect(addr).unwrap();
+        let mut b = TcpStream::connect(addr).unwrap();
+        write_message(&mut a, &Message::Ping { token: 1 }).unwrap();
+        assert!(matches!(
+            read_message(&mut a).unwrap(),
+            Message::Pong { token: 1 }
+        ));
+        // The third is refused at accept with the typed frame, then EOF.
+        let mut c = TcpStream::connect(addr).unwrap();
+        match read_message(&mut c) {
+            Ok(Message::Rejected { code, .. }) => assert_eq!(code, RejectCode::ServerBusy),
+            other => panic!("expected server-busy rejection, got {other:?}"),
+        }
+        // Closing one admitted connection frees the slot. The close must
+        // propagate through the reactor before the gate slot frees, so
+        // probe with ping until a new connection is admitted.
+        drop(a);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let mut d = TcpStream::connect(addr).unwrap();
+            d.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            let _ = write_message(&mut d, &Message::Ping { token: 9 });
+            match read_message(&mut d) {
+                Ok(Message::Pong { token }) => {
+                    assert_eq!(token, 9);
+                    break;
+                }
+                // Still capped (typed reject) or racing the close (EOF /
+                // reset / timeout): retry until the deadline.
+                Ok(Message::Rejected { code, .. }) => {
+                    assert_eq!(code, RejectCode::ServerBusy);
+                }
+                Ok(other) => panic!("unsolicited frame {other:?}"),
+                Err(_) => {}
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "freed per-IP slot never became admittable"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        write_message(&mut b, &Message::Ping { token: 2 }).unwrap();
+        assert!(matches!(
+            read_message(&mut b).unwrap(),
+            Message::Pong { token: 2 }
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn max_connections_cap_rejects_with_typed_server_busy() {
+        let server = test_server(
+            0.0,
+            ServerConfig {
+                max_connections: 1,
+                per_ip_connection_cap: 0,
+                ..Default::default()
+            },
+        );
+        let addr = server.local_addr();
+        let mut a = TcpStream::connect(addr).unwrap();
+        write_message(&mut a, &Message::Ping { token: 1 }).unwrap();
+        assert!(matches!(
+            read_message(&mut a).unwrap(),
+            Message::Pong { .. }
+        ));
+        let mut b = TcpStream::connect(addr).unwrap();
+        match read_message(&mut b) {
+            Ok(Message::Rejected { code, .. }) => assert_eq!(code, RejectCode::ServerBusy),
+            other => panic!("expected server-busy rejection, got {other:?}"),
+        }
+        assert_eq!(server.open_connections(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_sees_typed_server_busy_at_connect() {
+        use crate::client::{ClientError, PowClient};
+        let server = test_server(
+            0.0,
+            ServerConfig {
+                max_connections: 1,
+                per_ip_connection_cap: 0,
+                ..Default::default()
+            },
+        );
+        let addr = server.local_addr();
+        let first = PowClient::connect(addr).unwrap();
+        match PowClient::connect(addr) {
+            Err(ClientError::ServerBusy { detail }) => {
+                assert!(detail.contains("capacity"), "detail: {detail}")
+            }
+            other => panic!("expected typed server-busy, got {other:?}"),
+        }
+        drop(first);
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_are_reaped_on_deadline() {
+        let server = test_server(
+            0.0,
+            ServerConfig {
+                idle_timeout: Duration::from_millis(200),
+                ..Default::default()
+            },
+        );
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // Activity works while fresh.
+        write_message(&mut stream, &Message::Ping { token: 1 }).unwrap();
+        assert!(matches!(
+            read_message(&mut stream).unwrap(),
+            Message::Pong { .. }
+        ));
+        // Then silence: the reaper closes the connection — the next read
+        // sees EOF (or a reset) rather than hanging forever.
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let start = std::time::Instant::now();
+        if let Ok(other) = read_message(&mut stream) {
+            panic!("unsolicited frame {other:?}");
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(8),
+            "reap took {:?}, idle timeout was 200ms",
+            start.elapsed()
+        );
+        assert_eq!(server.open_connections(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn active_connection_survives_the_idle_deadline() {
+        let server = test_server(
+            0.0,
+            ServerConfig {
+                idle_timeout: Duration::from_millis(300),
+                ..Default::default()
+            },
+        );
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // Keep pinging across several idle windows: activity must push
+        // the deadline forward, not merely delay the first reap.
+        for token in 0..10 {
+            write_message(&mut stream, &Message::Ping { token }).unwrap();
+            match read_message(&mut stream).unwrap() {
+                Message::Pong { token: t } => assert_eq!(t, token),
+                other => panic!("expected pong, got {other:?}"),
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn many_concurrent_connections_serve_on_few_threads() {
+        // Far more live connections than reactor threads: the old
+        // design needed a worker per connection; the reactor serves all
+        // of them from one shard.
+        let server = test_server(
+            0.0,
+            ServerConfig {
+                reactor_shards: Some(1),
+                per_ip_connection_cap: 0,
+                ..Default::default()
+            },
+        );
+        let addr = server.local_addr();
+        let mut streams: Vec<TcpStream> =
+            (0..64).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        // All 64 held open simultaneously, all answering.
+        for (i, stream) in streams.iter_mut().enumerate() {
+            write_message(stream, &Message::Ping { token: i as u64 }).unwrap();
+        }
+        for (i, stream) in streams.iter_mut().enumerate() {
+            match read_message(stream).unwrap() {
+                Message::Pong { token } => assert_eq!(token, i as u64),
+                other => panic!("conn {i}: expected pong, got {other:?}"),
+            }
+        }
         server.shutdown();
     }
 }

@@ -280,8 +280,7 @@ pub fn run_backends(config: &BackendsConfig) -> BackendsReport {
     let wide = build_framework(config, true, Some(MAX_LANES));
     let issuer = Issuer::new(&MASTER_KEY)
         .with_backend_param(BackendId::MEMORY_HARD, config.arena_mib.max(1));
-    let difficulty =
-        Difficulty::new(3).expect("scenario invariant: 3 bits is a valid difficulty");
+    let difficulty = Difficulty::new(3).expect("scenario invariant: 3 bits is a valid difficulty");
 
     let mut verify_submissions = 0usize;
     let mut verdict_mismatches = 0usize;

@@ -28,6 +28,10 @@
 //! - [`burst`] — pipelined bursts of `k` requests through the batch
 //!   admission path, asserting decision equivalence with the sequential
 //!   path and that per-request latency holds as fixed costs amortize;
+//! - [`connflood`] — the reactor's connection-scale proof: tens of
+//!   thousands of concurrent connections on the fd-free reactor core,
+//!   benign latency flat while a per-IP connection flood is capped at
+//!   accept, idle connections within a fixed heap budget;
 //! - [`tracefire`] — the observability proof: a flood trips the flight
 //!   recorder's rejection-rate trigger and the frozen JSONL dump is
 //!   hand-parsed for complete, correctly-ordered span chains;
@@ -54,6 +58,7 @@
 pub mod backends;
 pub mod behavior;
 pub mod burst;
+pub mod connflood;
 pub mod contended;
 pub mod engine;
 pub mod fig2;
@@ -68,6 +73,7 @@ pub mod tracefire;
 pub use backends::{BackendsConfig, BackendsReport};
 pub use behavior::{BehaviorConfig, BehaviorShiftOutcome, RedemptionOutcome, TrajectoryPoint};
 pub use burst::{BurstConfig, BurstReport};
+pub use connflood::{ConnfloodConfig, ConnfloodOutcome};
 pub use contended::{ContendedConfig, ContendedReport, ContendedRow};
 pub use engine::EventQueue;
 pub use fig2::{Fig2Config, Fig2Row, Fig2Table};

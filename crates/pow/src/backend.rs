@@ -340,7 +340,10 @@ mod tests {
     #[test]
     fn global_registry_carries_both_standard_backends() {
         let registry = BackendRegistry::global();
-        assert_eq!(registry.ids(), vec![BackendId::SHA256, BackendId::MEMORY_HARD]);
+        assert_eq!(
+            registry.ids(),
+            vec![BackendId::SHA256, BackendId::MEMORY_HARD]
+        );
         assert_eq!(registry.get(BackendId::SHA256).unwrap().name(), "sha256");
         assert_eq!(
             registry.get(BackendId::MEMORY_HARD).unwrap().name(),
@@ -416,7 +419,10 @@ mod tests {
         let second = cursor.attempt(&2u64.to_be_bytes());
         let first_again = cursor.attempt(&1u64.to_be_bytes());
         assert_ne!(first, second);
-        assert_eq!(first, first_again, "cursor state must not leak across attempts");
+        assert_eq!(
+            first, first_again,
+            "cursor state must not leak across attempts"
+        );
     }
 
     #[test]

@@ -182,11 +182,12 @@ pub fn solve_cancellable(
     let prefix = challenge.preimage_prefix(client_ip);
     let lanes = options.lanes.clamp(1, MAX_LANES);
 
-    let backend = BackendRegistry::global()
-        .get(challenge.backend())
-        .ok_or(SolveError::UnknownBackend {
-            id: challenge.backend(),
-        })?;
+    let backend =
+        BackendRegistry::global()
+            .get(challenge.backend())
+            .ok_or(SolveError::UnknownBackend {
+                id: challenge.backend(),
+            })?;
     let mut cursor = backend.solve_cursor(challenge.backend_param(), &prefix);
 
     // The multi-buffer fast path is SHA-256-specific: it broadcasts the
@@ -239,11 +240,7 @@ pub fn solve_cancellable(
                 // after hashing the lanes before it.
                 attempts += lane as u64 + 1;
                 return Ok(SolveReport {
-                    solution: Solution::new(
-                        challenge.clone(),
-                        nonce + lane as u64 * step,
-                        width,
-                    ),
+                    solution: Solution::new(challenge.clone(), nonce + lane as u64 * step, width),
                     attempts,
                     elapsed: start.elapsed(),
                 });
@@ -711,8 +708,7 @@ mod tests {
 
     #[test]
     fn memory_hard_challenge_solves_through_the_backend_seam() {
-        let issuer = Issuer::new(&[11u8; 32])
-            .with_backend_param(BackendId::MEMORY_HARD, 1);
+        let issuer = Issuer::new(&[11u8; 32]).with_backend_param(BackendId::MEMORY_HARD, 1);
         let c = issuer.issue_backend(ip(), Difficulty::new(6).unwrap(), BackendId::MEMORY_HARD);
         let report = solve(&c, ip(), &SolverOptions::default()).expect("solvable");
         assert_eq!(report.solution.backend, BackendId::MEMORY_HARD);

@@ -370,13 +370,13 @@ impl PreparedVerify<'_> {
                 got: challenge.version(),
             });
         }
-        let backend = self
-            .verifier
-            .registry
-            .get(challenge.backend())
-            .ok_or(VerifyError::UnknownBackend {
-                got: challenge.backend(),
-            })?;
+        let backend =
+            self.verifier
+                .registry
+                .get(challenge.backend())
+                .ok_or(VerifyError::UnknownBackend {
+                    got: challenge.backend(),
+                })?;
         if solution.backend != challenge.backend() {
             return Err(VerifyError::BackendMismatch {
                 challenge: challenge.backend(),
@@ -591,7 +591,10 @@ impl PreparedVerify<'_> {
                 .iter()
                 .map(|&pos| submissions[workable[pos]].0.challenge.backend_param())
                 .collect();
-            let msgs: Vec<&[u8]> = positions.iter().map(|&pos| preimages[pos].as_slice()).collect();
+            let msgs: Vec<&[u8]> = positions
+                .iter()
+                .map(|&pos| preimages[pos].as_slice())
+                .collect();
             let group_digests = backend.work_digest_batch(&params, &msgs, lanes);
             for (digest, &pos) in group_digests.into_iter().zip(positions) {
                 digests[pos] = Some(digest);

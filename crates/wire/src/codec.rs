@@ -664,22 +664,29 @@ mod tests {
                 path.prop_map(|path| Message::RequestResource { path }),
                 (arb_challenge(), path)
                     .prop_map(|(challenge, path)| { Message::ChallengeIssued { challenge, path } }),
-                (arb_challenge(), any::<u64>(), any::<bool>(), any::<u8>(), path).prop_map(
-                    |(challenge, nonce, wide, backend, path)| Message::SubmitSolution {
-                        challenge,
-                        nonce: if wide { nonce } else { nonce & 0xFFFF_FFFF },
-                        width: if wide {
-                            NonceWidth::U64
-                        } else {
-                            NonceWidth::U32
-                        },
-                        backend: BackendId(backend),
-                        path,
-                    }
-                ),
+                (
+                    arb_challenge(),
+                    any::<u64>(),
+                    any::<bool>(),
+                    any::<u8>(),
+                    path
+                )
+                    .prop_map(|(challenge, nonce, wide, backend, path)| {
+                        Message::SubmitSolution {
+                            challenge,
+                            nonce: if wide { nonce } else { nonce & 0xFFFF_FFFF },
+                            width: if wide {
+                                NonceWidth::U64
+                            } else {
+                                NonceWidth::U32
+                            },
+                            backend: BackendId(backend),
+                            path,
+                        }
+                    }),
                 (path, proptest::collection::vec(any::<u8>(), 0..256))
                     .prop_map(|(path, body)| Message::ResourceGranted { path, body }),
-                (1u8..=6, path).prop_map(|(c, detail)| Message::Rejected {
+                (1u8..=7, path).prop_map(|(c, detail)| Message::Rejected {
                     code: RejectCode::from_u8(c).unwrap(),
                     detail,
                 }),

@@ -20,6 +20,11 @@ pub enum RejectCode {
     /// The peer speaks an incompatible protocol version (sent in reply
     /// to a [`Message::Hello`] whose version the server cannot serve).
     ProtocolMismatch,
+    /// The server is at capacity: the connection was refused at accept
+    /// time by the global or per-IP connection cap. Sent best-effort
+    /// just before the server closes the socket, so a client can
+    /// distinguish "come back later" from a network failure.
+    ServerBusy,
 }
 
 impl RejectCode {
@@ -32,6 +37,7 @@ impl RejectCode {
             RejectCode::Malformed => 4,
             RejectCode::Internal => 5,
             RejectCode::ProtocolMismatch => 6,
+            RejectCode::ServerBusy => 7,
         }
     }
 
@@ -44,6 +50,7 @@ impl RejectCode {
             4 => RejectCode::Malformed,
             5 => RejectCode::Internal,
             6 => RejectCode::ProtocolMismatch,
+            7 => RejectCode::ServerBusy,
             _ => return None,
         })
     }
@@ -58,6 +65,7 @@ impl core::fmt::Display for RejectCode {
             RejectCode::Malformed => "malformed message",
             RejectCode::Internal => "internal server error",
             RejectCode::ProtocolMismatch => "incompatible protocol version",
+            RejectCode::ServerBusy => "server at connection capacity",
         };
         f.write_str(text)
     }
@@ -179,6 +187,7 @@ mod tests {
             RejectCode::Malformed,
             RejectCode::Internal,
             RejectCode::ProtocolMismatch,
+            RejectCode::ServerBusy,
         ] {
             assert_eq!(RejectCode::from_u8(code.as_u8()), Some(code));
             assert!(!code.to_string().is_empty());

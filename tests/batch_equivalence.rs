@@ -507,6 +507,175 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Wire-path equivalence: the reactor's frame assembly and per-readiness
+// dispatch grouping are invisible. TCP may deliver a pipelined burst in
+// any byte-level fragmentation or coalescing; the reactor must produce
+// the same replies in the same order as whole-frame delivery.
+// ---------------------------------------------------------------------
+
+use aipow::net::reactor::{dispatch_frames, FrameAssembler};
+use aipow::wire::Message;
+
+/// One frame of a pipelined burst (no solutions: their replies embed
+/// per-instance challenge seeds, covered seed-free by the schedule
+/// properties above; the wire property targets the framing layer).
+#[derive(Debug, Clone)]
+enum WireOp {
+    Ping(u64),
+    Request,
+    Missing,
+    Hello,
+}
+
+fn wire_op_strategy() -> impl Strategy<Value = WireOp> {
+    prop_oneof![
+        (0u64..u64::MAX).prop_map(WireOp::Ping),
+        Just(WireOp::Request),
+        Just(WireOp::Request),
+        Just(WireOp::Missing),
+        Just(WireOp::Hello),
+    ]
+}
+
+fn wire_op_message(op: &WireOp) -> Message {
+    match op {
+        WireOp::Ping(token) => Message::Ping { token: *token },
+        WireOp::Request => Message::RequestResource { path: "/r".into() },
+        WireOp::Missing => Message::RequestResource {
+            path: "/missing".into(),
+        },
+        WireOp::Hello => Message::Hello {
+            version: aipow::wire::PROTOCOL_VERSION,
+        },
+    }
+}
+
+/// Seed-free view of a reply (challenge bytes are random per framework
+/// instance; everything decision-shaped is not).
+fn observe_reply(reply: &Message) -> String {
+    match reply {
+        Message::Pong { token } => format!("pong {token}"),
+        Message::Hello { version } => format!("hello {version}"),
+        Message::ChallengeIssued { challenge, path } => {
+            format!("challenge {path} bits={}", challenge.difficulty().bits())
+        }
+        Message::ResourceGranted { path, body } => {
+            format!("granted {path} len={}", body.len())
+        }
+        Message::Rejected { code, .. } => format!("rejected {code:?}"),
+        other => format!("other {other:?}"),
+    }
+}
+
+/// Splits `bytes` into fragments whose lengths cycle through `cuts`
+/// (1-based; arbitrary small fragments exercise every partial-header and
+/// partial-payload state).
+fn fragments<'a>(bytes: &'a [u8], cuts: &[u16]) -> Vec<&'a [u8]> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut i = 0;
+    while start < bytes.len() {
+        let len = (cuts[i % cuts.len()] as usize).max(1);
+        let end = (start + len).min(bytes.len());
+        out.push(&bytes[start..end]);
+        start = end;
+        i += 1;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pure framing: any fragmentation/coalescing of a back-to-back
+    /// frame stream reassembles to exactly the original frame sequence.
+    #[test]
+    fn arbitrary_fragmentation_reassembles_the_exact_frame_sequence(
+        ops in proptest::collection::vec(wire_op_strategy(), 1..20),
+        cuts in proptest::collection::vec(1u16..64, 1..8),
+    ) {
+        let messages: Vec<Message> = ops.iter().map(wire_op_message).collect();
+        let mut bytes = Vec::new();
+        for msg in &messages {
+            bytes.extend(aipow::wire::encode(msg));
+        }
+        let mut assembler = FrameAssembler::new();
+        let mut reassembled = Vec::new();
+        for fragment in fragments(&bytes, &cuts) {
+            assembler.ingest(fragment);
+            while let Some(frame) = assembler.next_frame().expect("valid stream") {
+                reassembled.push(frame);
+            }
+        }
+        prop_assert_eq!(reassembled, messages);
+        prop_assert_eq!(assembler.buffered(), 0, "no bytes left behind");
+    }
+
+    /// Full wire path: fragment-driven dispatch (frames dispatched as
+    /// each "readiness event" completes them, in max_batch groups — the
+    /// reactor's exact drain discipline) produces the same replies in
+    /// the same order as whole-frame single-batch delivery.
+    #[test]
+    fn fragmented_delivery_replies_match_whole_frame_delivery(
+        ops in proptest::collection::vec(wire_op_strategy(), 1..20),
+        cuts in proptest::collection::vec(1u16..48, 1..8),
+        max_batch in 1usize..6,
+    ) {
+        let peer: IpAddr = client_ip(0);
+        let mut resources = std::collections::HashMap::new();
+        resources.insert("/r".to_string(), b"payload".to_vec());
+        let limiter = None;
+
+        let messages: Vec<Message> = ops.iter().map(wire_op_message).collect();
+        let mut bytes = Vec::new();
+        for msg in &messages {
+            bytes.extend(aipow::wire::encode(msg));
+        }
+
+        // Whole-frame delivery: every frame in one dispatch batch.
+        let (whole_fw, _clock) = build(4);
+        let whole: Vec<String> = dispatch_frames(
+            messages.clone(), peer, &whole_fw,
+            &aipow::framework::StaticFeatureSource::new(FeatureVector::zeros()),
+            &resources, &limiter,
+        ).iter().map(observe_reply).collect();
+
+        // Fragmented delivery on an identically built framework: each
+        // fragment completes zero or more frames; completed frames are
+        // dispatched immediately in groups of at most max_batch.
+        let (frag_fw, _clock) = build(4);
+        let features = aipow::framework::StaticFeatureSource::new(FeatureVector::zeros());
+        let mut assembler = FrameAssembler::new();
+        let mut fragged: Vec<String> = Vec::new();
+        for fragment in fragments(&bytes, &cuts) {
+            assembler.ingest(fragment);
+            loop {
+                let mut batch = Vec::new();
+                while batch.len() < max_batch {
+                    match assembler.next_frame().expect("valid stream") {
+                        Some(frame) => batch.push(frame),
+                        None => break,
+                    }
+                }
+                if batch.is_empty() {
+                    break;
+                }
+                let full = batch.len() == max_batch;
+                fragged.extend(
+                    dispatch_frames(batch, peer, &frag_fw, &features, &resources, &limiter)
+                        .iter()
+                        .map(observe_reply),
+                );
+                if !full {
+                    break;
+                }
+            }
+        }
+        prop_assert_eq!(whole, fragged);
+    }
+}
+
 /// Arc is referenced so the facade prelude import stays exercised even
 /// if the proptest bodies change.
 #[allow(dead_code)]

@@ -16,11 +16,12 @@ use std::time::Duration;
 /// test instead of hanging CI. Generous relative to loopback latency.
 const READ_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// Test servers use the suite's bounded read timeout; everything else is
-/// the production default.
+/// Test servers reap connections idle past the suite's bound (the
+/// event-driven replacement for the old per-connection read timeout);
+/// everything else is the production default.
 fn test_server_config() -> ServerConfig {
     ServerConfig {
-        read_timeout: READ_TIMEOUT,
+        idle_timeout: READ_TIMEOUT,
         ..ServerConfig::default()
     }
 }

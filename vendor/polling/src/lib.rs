@@ -1,0 +1,567 @@
+//! Vendored offline stand-in for the `polling` crate (API subset).
+//!
+//! A minimal readiness poller: register file descriptors with a `u64`
+//! key and a read/write interest, then [`Poller::wait`] for the kernel
+//! to report which are ready. Two backends:
+//!
+//! - **Epoll** (the default on Linux): `O(ready)` wakeups — the kernel
+//!   hands back only the descriptors with pending readiness, so one
+//!   reactor thread can watch hundreds of thousands of connections.
+//! - **Poll** (`poll(2)`): the portable fallback. `O(registered)` per
+//!   wait, kept for non-Linux targets and as a differential oracle for
+//!   the epoll path in tests.
+//!
+//! Both are level-triggered: a readiness condition is re-reported on
+//! every wait until it is consumed (read to `WouldBlock` / written until
+//! full). [`Poller::notify`] wakes a blocked `wait` from any thread via
+//! an internal eventfd, which is never surfaced as a caller event.
+//!
+//! Unlike the real crate, registration is not `unsafe`: the caller
+//! contract (deregister before closing the fd) is documented rather than
+//! typed, which suffices for the single consumer in `aipow-net`. All
+//! syscall surface is confined to the [`mod@sys`] module.
+
+// The sys module is the workspace's one sanctioned unsafe boundary:
+// FFI to epoll/poll/eventfd cannot be expressed without it. `deny`
+// (not `forbid`) at the root lets that module opt in explicitly while
+// every other line of this crate stays checked.
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sys;
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Which readiness conditions a registration subscribes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only — the steady state of an idle connection.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Readable and writable — a connection with queued outbound bytes.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The key the fd was registered with.
+    pub key: u64,
+    /// Readable now (includes peer hangup: a read will not block).
+    pub readable: bool,
+    /// Writable now.
+    pub writable: bool,
+    /// The peer closed or the fd errored; the connection is done.
+    pub hangup: bool,
+}
+
+/// Which kernel interface a [`Poller`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// `epoll(7)` — O(ready) wakeups.
+    Epoll,
+    /// `poll(2)` — O(registered) wakeups, portable.
+    Poll,
+}
+
+/// The key space reserved for the poller itself; user keys must stay
+/// below this. (The internal eventfd registers here.)
+pub const RESERVED_KEY: u64 = u64::MAX;
+
+struct PollBackendState {
+    /// fd → (key, interest); rebuilt into a pollfd array per wait.
+    registered: HashMap<i32, (u64, Interest)>,
+}
+
+enum Imp {
+    Epoll { epfd: sys::OwnedFd },
+    Poll { state: Mutex<PollBackendState> },
+}
+
+/// A readiness poller over raw file descriptors. See the crate docs.
+pub struct Poller {
+    imp: Imp,
+    waker: sys::OwnedFd,
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller")
+            .field("backend", &self.backend())
+            .finish()
+    }
+}
+
+fn epoll_mask(interest: Interest) -> u32 {
+    let mut mask = sys::EPOLLRDHUP;
+    if interest.readable {
+        mask |= sys::EPOLLIN;
+    }
+    if interest.writable {
+        mask |= sys::EPOLLOUT;
+    }
+    mask
+}
+
+fn poll_mask(interest: Interest) -> i16 {
+    let mut mask = 0;
+    if interest.readable {
+        mask |= sys::POLLIN;
+    }
+    if interest.writable {
+        mask |= sys::POLLOUT;
+    }
+    mask
+}
+
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        // Round up so a 100µs timeout does not become a busy spin.
+        Some(d) => d
+            .as_millis()
+            .saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0))
+            .min(i32::MAX as u128) as i32,
+    }
+}
+
+impl Poller {
+    /// A poller on the platform's best backend (epoll on Linux).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend-fd or eventfd creation failure.
+    pub fn new() -> io::Result<Poller> {
+        if cfg!(target_os = "linux") {
+            Poller::with_backend(Backend::Epoll)
+        } else {
+            Poller::with_backend(Backend::Poll)
+        }
+    }
+
+    /// A poller on an explicit backend (tests use this to run both).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend-fd or eventfd creation failure.
+    pub fn with_backend(backend: Backend) -> io::Result<Poller> {
+        let waker = sys::eventfd_create()?;
+        let imp = match backend {
+            Backend::Epoll => {
+                let epfd = sys::epoll_create()?;
+                sys::epoll_add(&epfd, waker.raw(), sys::EPOLLIN, RESERVED_KEY)?;
+                Imp::Epoll { epfd }
+            }
+            Backend::Poll => Imp::Poll {
+                state: Mutex::new(PollBackendState {
+                    registered: HashMap::new(),
+                }),
+            },
+        };
+        Ok(Poller { imp, waker })
+    }
+
+    /// The backend this poller runs on.
+    pub fn backend(&self) -> Backend {
+        match self.imp {
+            Imp::Epoll { .. } => Backend::Epoll,
+            Imp::Poll { .. } => Backend::Poll,
+        }
+    }
+
+    /// Registers `fd` under `key`. The fd must stay open until
+    /// [`delete`](Self::delete); `key` must be below [`RESERVED_KEY`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the kernel's registration error (e.g. an fd already
+    /// registered), or `InvalidInput` for a reserved key.
+    pub fn add(&self, fd: i32, key: u64, interest: Interest) -> io::Result<()> {
+        if key == RESERVED_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "key collides with the poller's reserved key space",
+            ));
+        }
+        match &self.imp {
+            Imp::Epoll { epfd } => sys::epoll_add(epfd, fd, epoll_mask(interest), key),
+            Imp::Poll { state } => {
+                let mut state = state.lock().expect(
+                    "poller mutex poisoned: a panic mid-registration leaves no valid recovery",
+                );
+                if state.registered.insert(fd, (key, interest)).is_some() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AlreadyExists,
+                        "fd already registered",
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Replaces the key/interest of a registered fd.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` (poll backend) or the kernel's `ENOENT` (epoll) when
+    /// the fd is not registered.
+    pub fn modify(&self, fd: i32, key: u64, interest: Interest) -> io::Result<()> {
+        if key == RESERVED_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "key collides with the poller's reserved key space",
+            ));
+        }
+        match &self.imp {
+            Imp::Epoll { epfd } => sys::epoll_modify(epfd, fd, epoll_mask(interest), key),
+            Imp::Poll { state } => {
+                let mut state = state.lock().expect(
+                    "poller mutex poisoned: a panic mid-registration leaves no valid recovery",
+                );
+                match state.registered.get_mut(&fd) {
+                    Some(slot) => {
+                        *slot = (key, interest);
+                        Ok(())
+                    }
+                    None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+                }
+            }
+        }
+    }
+
+    /// Deregisters an fd. Call before closing it.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound`/`ENOENT` when the fd is not registered.
+    pub fn delete(&self, fd: i32) -> io::Result<()> {
+        match &self.imp {
+            Imp::Epoll { epfd } => sys::epoll_delete(epfd, fd),
+            Imp::Poll { state } => {
+                let mut state = state.lock().expect(
+                    "poller mutex poisoned: a panic mid-registration leaves no valid recovery",
+                );
+                match state.registered.remove(&fd) {
+                    Some(_) => Ok(()),
+                    None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+                }
+            }
+        }
+    }
+
+    /// Blocks until at least one registered fd is ready, the timeout
+    /// lapses, or [`notify`](Self::notify) is called; appends the ready
+    /// events to `events` and returns how many were appended. A
+    /// notification wakes the wait but adds no event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend syscall error. `EINTR` is retried
+    /// internally with the original timeout.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        let before = events.len();
+        let ms = timeout_ms(timeout);
+        match &self.imp {
+            Imp::Epoll { epfd } => {
+                const CAP: usize = 1024;
+                let mut buf = [sys::EpollEvent { events: 0, data: 0 }; CAP];
+                let ready = loop {
+                    match sys::epoll_wait_into(epfd, &mut buf, ms) {
+                        Ok(ready) => break ready,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(e) => return Err(e),
+                    }
+                };
+                for ev in ready {
+                    // Copy out of the (possibly packed) kernel struct
+                    // before touching the fields.
+                    let (mask, key) = (ev.events, ev.data);
+                    if key == RESERVED_KEY {
+                        sys::eventfd_drain(&self.waker);
+                        continue;
+                    }
+                    events.push(Event {
+                        key,
+                        readable: mask & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP) != 0,
+                        writable: mask & sys::EPOLLOUT != 0,
+                        hangup: mask & (sys::EPOLLHUP | sys::EPOLLERR | sys::EPOLLRDHUP) != 0,
+                    });
+                }
+            }
+            Imp::Poll { state } => {
+                // Snapshot the registration table into a pollfd array.
+                // O(registered) per wait is the documented cost of the
+                // fallback backend.
+                let mut fds: Vec<sys::PollFd> = Vec::new();
+                let mut keys: Vec<u64> = Vec::new();
+                {
+                    let state = state.lock().expect(
+                        "poller mutex poisoned: a panic mid-registration leaves no valid recovery",
+                    );
+                    fds.reserve(state.registered.len() + 1);
+                    keys.reserve(state.registered.len() + 1);
+                    fds.push(sys::PollFd {
+                        fd: self.waker.raw(),
+                        events: sys::POLLIN,
+                        revents: 0,
+                    });
+                    keys.push(RESERVED_KEY);
+                    for (&fd, &(key, interest)) in &state.registered {
+                        fds.push(sys::PollFd {
+                            fd,
+                            events: poll_mask(interest),
+                            revents: 0,
+                        });
+                        keys.push(key);
+                    }
+                }
+                loop {
+                    match sys::poll_set(&mut fds, ms) {
+                        Ok(_) => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+                for (pollfd, &key) in fds.iter().zip(&keys) {
+                    let revents = pollfd.revents;
+                    if revents == 0 {
+                        continue;
+                    }
+                    if key == RESERVED_KEY {
+                        sys::eventfd_drain(&self.waker);
+                        continue;
+                    }
+                    events.push(Event {
+                        key,
+                        readable: revents & (sys::POLLIN | sys::POLLHUP) != 0,
+                        writable: revents & sys::POLLOUT != 0,
+                        hangup: revents & (sys::POLLHUP | sys::POLLERR) != 0,
+                    });
+                }
+            }
+        }
+        Ok(events.len() - before)
+    }
+
+    /// Wakes a concurrent [`wait`](Self::wait) from any thread. Coalesces:
+    /// many notifies before the next wait produce one wakeup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates an eventfd write failure (never `WouldBlock`, which
+    /// means a wakeup is already pending and is success).
+    pub fn notify(&self) -> io::Result<()> {
+        sys::eventfd_signal(&self.waker)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    fn backends() -> Vec<Backend> {
+        vec![Backend::Epoll, Backend::Poll]
+    }
+
+    /// A connected localhost socket pair.
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readable_after_peer_write() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            let (mut a, b) = pair();
+            b.set_nonblocking(true).unwrap();
+            poller.add(b.as_raw_fd(), 3, Interest::READABLE).unwrap();
+
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(0)))
+                .unwrap();
+            assert!(events.is_empty(), "{backend:?}: spurious readiness");
+
+            a.write_all(b"hi").unwrap();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(events.len(), 1, "{backend:?}");
+            assert_eq!(events[0].key, 3);
+            assert!(events[0].readable);
+            poller.delete(b.as_raw_fd()).unwrap();
+        }
+    }
+
+    #[test]
+    fn writable_interest_and_modify() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            let (a, _b) = pair();
+            a.set_nonblocking(true).unwrap();
+            // Read-only interest on an idle socket: nothing.
+            poller.add(a.as_raw_fd(), 9, Interest::READABLE).unwrap();
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(0)))
+                .unwrap();
+            assert!(events.is_empty(), "{backend:?}");
+            // Adding write interest: an empty socket buffer is writable.
+            poller.modify(a.as_raw_fd(), 9, Interest::BOTH).unwrap();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(events.len(), 1, "{backend:?}");
+            assert!(events[0].writable);
+            poller.delete(a.as_raw_fd()).unwrap();
+        }
+    }
+
+    #[test]
+    fn hangup_reported_on_peer_close() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            let (mut a, mut b) = pair();
+            a.set_nonblocking(true).unwrap();
+            poller.add(a.as_raw_fd(), 1, Interest::READABLE).unwrap();
+            drop(b.write_all(b"bye"));
+            drop(b);
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(events.len(), 1, "{backend:?}");
+            // Level-triggered semantics guarantee readable; the hangup
+            // flag may arrive on this event or once the data is drained.
+            assert!(events[0].readable, "{backend:?}");
+            let mut sink = Vec::new();
+            let _ = a.read_to_end(&mut sink);
+            events.clear();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            // EOF stays readable on both backends (a read returns 0 —
+            // the signal the reactor acts on); only epoll's RDHUP also
+            // names it a hangup. poll(2) reserves POLLHUP for full
+            // closes, so the flag is advisory there.
+            assert!(events[0].readable, "{backend:?}: close not reported");
+            if backend == Backend::Epoll {
+                assert!(events[0].hangup, "epoll must flag the half-close");
+            }
+            poller.delete(a.as_raw_fd()).unwrap();
+        }
+    }
+
+    #[test]
+    fn notify_wakes_wait_without_events() {
+        for backend in backends() {
+            let poller = std::sync::Arc::new(Poller::with_backend(backend).unwrap());
+            let waker = std::sync::Arc::clone(&poller);
+            let handle = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                waker.notify().unwrap();
+            });
+            let mut events = Vec::new();
+            let start = std::time::Instant::now();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(30)))
+                .unwrap();
+            assert_eq!(n, 0, "{backend:?}: notify must not surface an event");
+            assert!(
+                start.elapsed() < Duration::from_secs(10),
+                "{backend:?}: notify failed to interrupt the wait"
+            );
+            handle.join().unwrap();
+            // Coalescing: two notifies, one drained wakeup, next wait
+            // times out promptly.
+            poller.notify().unwrap();
+            poller.notify().unwrap();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(1)))
+                .unwrap();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(1)))
+                .unwrap();
+            assert_eq!(n, 0, "{backend:?}: stale wakeup");
+        }
+    }
+
+    #[test]
+    fn reserved_key_rejected() {
+        let poller = Poller::new().unwrap();
+        let (a, _b) = pair();
+        let err = poller
+            .add(a.as_raw_fd(), RESERVED_KEY, Interest::READABLE)
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn delete_unregistered_errors() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            let (a, _b) = pair();
+            assert!(poller.delete(a.as_raw_fd()).is_err(), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn many_registrations_deliver_only_ready_keys() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            let pairs: Vec<_> = (0..64).map(|_| pair()).collect();
+            for (i, (_, b)) in pairs.iter().enumerate() {
+                b.set_nonblocking(true).unwrap();
+                poller
+                    .add(b.as_raw_fd(), i as u64, Interest::READABLE)
+                    .unwrap();
+            }
+            // Write on three of them.
+            for i in [5usize, 17, 63] {
+                (&pairs[i].0).write_all(b"x").unwrap();
+            }
+            let mut events = Vec::new();
+            // Level-triggered: everything ready arrives within one or
+            // two waits.
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            let mut keys: Vec<u64> = events.iter().map(|e| e.key).collect();
+            keys.sort_unstable();
+            assert_eq!(keys, vec![5, 17, 63], "{backend:?}");
+            for (_, b) in &pairs {
+                poller.delete(b.as_raw_fd()).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn timeout_rounds_up_not_down() {
+        assert_eq!(timeout_ms(None), -1);
+        assert_eq!(timeout_ms(Some(Duration::from_millis(5))), 5);
+        assert_eq!(timeout_ms(Some(Duration::from_micros(100))), 1);
+        assert_eq!(timeout_ms(Some(Duration::ZERO)), 0);
+    }
+}

@@ -1,0 +1,255 @@
+//! The one unsafe module in the workspace: raw readiness syscalls.
+//!
+//! Everything here is a thin, total wrapper over four kernel interfaces —
+//! `epoll_create1`/`epoll_ctl`/`epoll_wait`, `poll(2)`, `eventfd(2)`, and
+//! `close(2)` — with `-1` mapped to [`io::Error::last_os_error`] and file
+//! descriptors owned by RAII guards. No pointer outlives its call, every
+//! buffer is a stack array or caller-provided slice whose length is passed
+//! alongside it, and no fd is used after its guard drops. The safe
+//! [`Poller`](crate::Poller) API above this module is the only consumer.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::raw::{c_int, c_uint, c_void};
+
+// x86-64 Linux packs `epoll_event` to 12 bytes; other 64-bit targets use
+// natural (8-aligned, 16-byte) layout. Getting this wrong corrupts the
+// event key on one arch or the other, so both layouts are spelled out.
+/// The kernel's `struct epoll_event` (x86-64 packed layout).
+#[cfg(target_arch = "x86_64")]
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness mask (`EPOLL*` bits).
+    pub events: u32,
+    /// The caller's registration key.
+    pub data: u64,
+}
+
+/// The kernel's `struct epoll_event` (naturally aligned layout).
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness mask (`EPOLL*` bits).
+    pub events: u32,
+    /// The caller's registration key.
+    pub data: u64,
+}
+
+/// The kernel's `struct pollfd`.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct PollFd {
+    /// The descriptor to watch.
+    pub fd: c_int,
+    /// Requested readiness (`POLL*` bits).
+    pub events: i16,
+    /// Delivered readiness, written by the kernel.
+    pub revents: i16,
+}
+
+/// `EPOLLIN`: the fd is readable.
+pub const EPOLLIN: u32 = 0x001;
+/// `EPOLLOUT`: the fd is writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// `EPOLLERR`: the fd errored (always reported, never requested).
+pub const EPOLLERR: u32 = 0x008;
+/// `EPOLLHUP`: both ends closed (always reported, never requested).
+pub const EPOLLHUP: u32 = 0x010;
+/// `EPOLLRDHUP`: the peer closed its write half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// `POLLIN`: the fd is readable.
+pub const POLLIN: i16 = 0x001;
+/// `POLLOUT`: the fd is writable.
+pub const POLLOUT: i16 = 0x004;
+/// `POLLERR`: the fd errored.
+pub const POLLERR: i16 = 0x008;
+/// `POLLHUP`: the peer hung up.
+pub const POLLHUP: i16 = 0x010;
+
+const EPOLL_CLOEXEC: c_int = 0x80000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EFD_CLOEXEC: c_int = 0x80000;
+const EFD_NONBLOCK: c_int = 0x800;
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+/// An fd owned by this module: closed exactly once, on drop.
+#[derive(Debug)]
+pub struct OwnedFd(c_int);
+
+impl OwnedFd {
+    /// The raw fd number, for passing to syscalls; ownership stays here.
+    pub fn raw(&self) -> c_int {
+        self.0
+    }
+}
+
+impl Drop for OwnedFd {
+    fn drop(&mut self) {
+        // Errors from close on a valid owned fd are unrecoverable and
+        // unreportable from Drop; the fd is gone either way.
+        unsafe {
+            let _ = close(self.0);
+        }
+    }
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// `epoll_create1(EPOLL_CLOEXEC)`, returning an owned epoll fd.
+pub fn epoll_create() -> io::Result<OwnedFd> {
+    // SAFETY: no pointers; the returned fd is immediately owned.
+    let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+    Ok(OwnedFd(fd))
+}
+
+/// One `epoll_ctl` op. `event` is read by the kernel before returning;
+/// passing it by value keeps the pointer's lifetime to this call.
+fn epoll_ctl_op(epfd: &OwnedFd, op: c_int, fd: c_int, mut event: EpollEvent) -> io::Result<()> {
+    // SAFETY: `&mut event` is a valid, properly laid out (repr C)
+    // pointer for the duration of the call; the kernel does not retain it.
+    cvt(unsafe { epoll_ctl(epfd.raw(), op, fd, &mut event) })?;
+    Ok(())
+}
+
+/// Registers `fd` with the epoll set under `key`.
+pub fn epoll_add(epfd: &OwnedFd, fd: c_int, events: u32, key: u64) -> io::Result<()> {
+    epoll_ctl_op(epfd, EPOLL_CTL_ADD, fd, EpollEvent { events, data: key })
+}
+
+/// Rewrites the interest/key of an fd already in the epoll set.
+pub fn epoll_modify(epfd: &OwnedFd, fd: c_int, events: u32, key: u64) -> io::Result<()> {
+    epoll_ctl_op(epfd, EPOLL_CTL_MOD, fd, EpollEvent { events, data: key })
+}
+
+/// Removes an fd from the epoll set.
+pub fn epoll_delete(epfd: &OwnedFd, fd: c_int) -> io::Result<()> {
+    // Pre-2.6.9 kernels demanded a non-null event for DEL; passing one
+    // is harmless everywhere.
+    epoll_ctl_op(epfd, EPOLL_CTL_DEL, fd, EpollEvent { events: 0, data: 0 })
+}
+
+/// `epoll_wait` into the caller's buffer; returns the filled prefix.
+pub fn epoll_wait_into<'a>(
+    epfd: &OwnedFd,
+    buf: &'a mut [EpollEvent],
+    timeout_ms: c_int,
+) -> io::Result<&'a [EpollEvent]> {
+    // SAFETY: `buf` is a valid writable region of exactly `buf.len()`
+    // `EpollEvent`s; the kernel writes at most that many and the return
+    // value bounds the initialized prefix.
+    let n = cvt(unsafe {
+        epoll_wait(
+            epfd.raw(),
+            buf.as_mut_ptr(),
+            buf.len().min(c_int::MAX as usize) as c_int,
+            timeout_ms,
+        )
+    })?;
+    Ok(&buf[..n as usize])
+}
+
+/// `poll(2)` over the caller's pollfd set; returns the ready count.
+pub fn poll_set(fds: &mut [PollFd], timeout_ms: c_int) -> io::Result<usize> {
+    // SAFETY: `fds` is a valid mutable region of exactly `fds.len()`
+    // pollfds, and the length is passed alongside the pointer.
+    let n = cvt(unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) })?;
+    Ok(n as usize)
+}
+
+/// A nonblocking, close-on-exec eventfd for cross-thread wakeups.
+pub fn eventfd_create() -> io::Result<OwnedFd> {
+    // SAFETY: no pointers; the returned fd is immediately owned.
+    let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+    Ok(OwnedFd(fd))
+}
+
+/// Adds 1 to the eventfd counter (the wakeup signal). A full counter
+/// (`WouldBlock`) means a wakeup is already pending, which is success.
+pub fn eventfd_signal(fd: &OwnedFd) -> io::Result<()> {
+    let one: u64 = 1;
+    // SAFETY: the buffer is a stack u64 passed with its exact size.
+    let n = unsafe { write(fd.raw(), (&one as *const u64).cast(), 8) };
+    if n == 8 {
+        return Ok(());
+    }
+    let err = io::Error::last_os_error();
+    if err.kind() == io::ErrorKind::WouldBlock {
+        Ok(())
+    } else {
+        Err(err)
+    }
+}
+
+/// Drains the eventfd counter so the next wait blocks again.
+pub fn eventfd_drain(fd: &OwnedFd) {
+    let mut buf: u64 = 0;
+    // SAFETY: the buffer is a stack u64 passed with its exact size. A
+    // failed read (empty counter) needs no handling: drained is drained.
+    let _ = unsafe { read(fd.raw(), (&mut buf as *mut u64).cast(), 8) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_event_layout_matches_kernel_abi() {
+        // 12 bytes packed on x86-64, 16 elsewhere; a mismatch would shear
+        // every delivered key.
+        #[cfg(target_arch = "x86_64")]
+        assert_eq!(core::mem::size_of::<EpollEvent>(), 12);
+        #[cfg(not(target_arch = "x86_64"))]
+        assert_eq!(core::mem::size_of::<EpollEvent>(), 16);
+        assert_eq!(core::mem::size_of::<PollFd>(), 8);
+    }
+
+    #[test]
+    fn eventfd_signal_then_drain() {
+        let fd = eventfd_create().unwrap();
+        eventfd_signal(&fd).unwrap();
+        eventfd_signal(&fd).unwrap();
+        eventfd_drain(&fd);
+        // Drained: a second drain is a harmless no-op.
+        eventfd_drain(&fd);
+    }
+
+    #[test]
+    fn epoll_roundtrip_on_eventfd() {
+        let ep = epoll_create().unwrap();
+        let ev = eventfd_create().unwrap();
+        epoll_add(&ep, ev.raw(), EPOLLIN, 7).unwrap();
+        let mut buf = [EpollEvent { events: 0, data: 0 }; 4];
+        // Nothing signalled: zero-timeout wait returns empty.
+        assert!(epoll_wait_into(&ep, &mut buf, 0).unwrap().is_empty());
+        eventfd_signal(&ev).unwrap();
+        let ready = epoll_wait_into(&ep, &mut buf, 1000).unwrap();
+        assert_eq!(ready.len(), 1);
+        let (events, data) = (ready[0].events, ready[0].data);
+        assert_ne!(events & EPOLLIN, 0);
+        assert_eq!(data, 7);
+        epoll_delete(&ep, ev.raw()).unwrap();
+    }
+}
