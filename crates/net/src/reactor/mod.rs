@@ -65,6 +65,13 @@ const READ_CHUNK: usize = 16 * 1024;
 /// could monopolize a wakeup while 10k ready peers wait.
 const READ_BUDGET: usize = 256 * 1024;
 
+/// Hard ceiling on bytes a connection's assembler may hold after frame
+/// draining. A legitimate leftover is at most one partial frame — the
+/// 8-byte header plus a payload the header already bounded at
+/// [`aipow_wire::MAX_PAYLOAD_LEN`] — so exceeding this means per-peer
+/// memory is being evaded and the connection is cut.
+const ASSEMBLER_BACKLOG_CAP: usize = aipow_wire::MAX_PAYLOAD_LEN + 64;
+
 /// Initial nap after an `accept()` error.
 pub(crate) const ACCEPT_BACKOFF_FLOOR: Duration = Duration::from_millis(2);
 /// Ceiling on the accept-error backoff: long enough that a persistent
@@ -222,13 +229,22 @@ impl Shard {
 
         loop {
             // Cap the sleep at the wheel granularity so reaping stays on
-            // schedule, and shorter while a parked listener waits to
-            // re-arm. notify() cuts all of this short for shutdown and
-            // handoffs.
-            let mut timeout = wheel.granularity_ms().min(250);
+            // schedule (a flat 250ms when reaping is disabled — no point
+            // ticking an idle wheel), and shorter while a parked listener
+            // waits to re-arm. notify() cuts all of this short for
+            // shutdown and handoffs.
+            let mut timeout = if self.idle_ms() > 0 {
+                wheel.granularity_ms().min(250)
+            } else {
+                250
+            };
             if let Some(until) = parked_until {
                 timeout = timeout.min(until.saturating_sub(self.now_ms()).max(1));
             }
+            // wait() appends; without the clear, every past event would
+            // be re-serviced on every wakeup and the Vec would grow for
+            // the life of the shard.
+            events.clear();
             let _ = self
                 .poller
                 .wait(&mut events, Some(Duration::from_millis(timeout)));
@@ -242,15 +258,29 @@ impl Shard {
 
             let now = self.now_ms();
 
-            // Re-arm a parked listener once its backoff lapses.
+            // Re-arm a parked listener once its backoff lapses. Un-park
+            // only after the registration lands: a failed add with
+            // parked_until cleared would never be retried, and the
+            // server would silently stop accepting forever.
             if let Some(until) = parked_until {
                 if now >= until {
-                    parked_until = None;
-                    metrics.accept_backoff_ms.set(0);
-                    if let Some(listener) = &self.listener {
-                        let _ =
-                            self.poller
-                                .add(listener.as_raw_fd(), LISTENER_KEY, Interest::READABLE);
+                    let rearmed = match &self.listener {
+                        Some(listener) => self
+                            .poller
+                            .add(listener.as_raw_fd(), LISTENER_KEY, Interest::READABLE)
+                            .is_ok(),
+                        None => true,
+                    };
+                    if rearmed {
+                        parked_until = None;
+                        metrics.accept_backoff_ms.set(0);
+                    } else {
+                        metrics.accept_errors.inc();
+                        metrics
+                            .accept_backoff_ms
+                            .set(accept_backoff.as_millis() as i64);
+                        parked_until = Some(now + accept_backoff.as_millis() as u64);
+                        accept_backoff = next_accept_backoff(accept_backoff);
                     }
                 }
             }
@@ -452,6 +482,14 @@ impl Shard {
     /// Drains readable bytes (bounded), assembles frames, dispatches
     /// them in `max_batch` groups, and queues the replies.
     fn service_readable(&self, conn: &mut Connection, now: u64) -> Fate {
+        if conn.core.closing {
+            // Condemned (malformed frame, overflow): the peer is owed
+            // nothing but the pending rejection flush. Buffering its
+            // bytes — or letting them count as activity that defers the
+            // idle reaper — would hand a garbage-streaming peer
+            // line-rate memory growth. Discard instead.
+            return self.drain_condemned(conn);
+        }
         let metrics = self.shared.framework.metrics();
         let mut budget = READ_BUDGET;
         let mut saw_eof = false;
@@ -532,6 +570,34 @@ impl Shard {
 
         if saw_eof {
             conn.core.closing = true;
+        }
+        // Invariant backstop: after draining, at most one partial frame
+        // (header + a payload the header already bounded) may remain
+        // buffered. Anything larger means the bound was evaded; cut the
+        // connection rather than let it hold memory.
+        if conn.core.assembler.buffered() > ASSEMBLER_BACKLOG_CAP {
+            return Fate::Close;
+        }
+        Fate::Keep
+    }
+
+    /// Services readable readiness on a condemned connection: bytes are
+    /// read and dropped (never buffered, never counted as activity), so
+    /// the pending rejection can still flush while a hostile peer's
+    /// stream costs the server nothing but the recv itself.
+    fn drain_condemned(&self, conn: &mut Connection) -> Fate {
+        let mut budget = READ_BUDGET;
+        let mut buf = [0u8; READ_CHUNK];
+        while budget > 0 {
+            match conn.stream.read(&mut buf) {
+                // EOF or a hard error: nobody is left to read the
+                // rejection; close now instead of waiting on the flush.
+                Ok(0) => return Fate::Close,
+                Ok(n) => budget = budget.saturating_sub(n),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return Fate::Close,
+            }
         }
         Fate::Keep
     }

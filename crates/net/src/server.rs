@@ -383,6 +383,64 @@ mod tests {
     }
 
     #[test]
+    fn condemned_connection_is_reaped_despite_inbound_garbage() {
+        use std::io::Write;
+        use std::time::Instant;
+        let server = test_server(
+            0.0,
+            ServerConfig {
+                idle_timeout: Duration::from_millis(300),
+                outbound_queue_bytes: 64 << 20,
+                ..Default::default()
+            },
+        );
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+
+        // Queue ~8 MiB of pong replies without reading any of them: the
+        // flush stalls on the full socket, so the rejection below cannot
+        // complete and the condemned connection stays resident.
+        let ping = aipow_wire::encode(&Message::Ping { token: 7 });
+        let mut burst = Vec::with_capacity(ping.len() * 500_000 + 16);
+        for _ in 0..500_000 {
+            burst.extend_from_slice(&ping);
+        }
+        // A malformed frame condemns the connection (closing = true).
+        burst.extend_from_slice(b"GET / HTTP/1.1\r\n");
+        stream.write_all(&burst).unwrap();
+
+        // Stream garbage continuously. Bytes arriving on a condemned
+        // connection must neither be buffered nor count as activity, so
+        // the idle reaper closes it even though it is never quiet; the
+        // pre-fix behavior (ingest + activity refresh) kept it alive and
+        // growing for as long as the peer cared to stream.
+        stream
+            .set_write_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        let garbage = [0x5Au8; 8192];
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut closed = false;
+        while Instant::now() < deadline {
+            match stream.write(&garbage) {
+                Ok(_) => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) => {}
+                Err(_) => {
+                    closed = true;
+                    break;
+                }
+            }
+        }
+        assert!(
+            closed,
+            "server must reap a condemned connection that keeps streaming garbage"
+        );
+        server.shutdown();
+    }
+
+    #[test]
     fn ping_pong() {
         let server = test_server(0.0, ServerConfig::default());
         let mut stream = TcpStream::connect(server.local_addr()).unwrap();
